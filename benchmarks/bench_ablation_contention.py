@@ -1,0 +1,84 @@
+"""Ablation: memory contention and arbitration (§3.3).
+
+Figure 3's headline numbers assume no contention (the CPU spin-waits).
+This bench quantifies the regimes around that assumption:
+
+* **scheduled** — rank ownership granted to JAFAR (the measured design);
+* **unscheduled** — "JAFAR can only run while the memory controller is
+  idle": work chopped into idle-gap-sized chunks, a row reopen per resume
+  (estimated with the §3.3 arithmetic from a real Figure 4 profile);
+* **host-interference** — what the MPR block prevents: a host stream
+  hammering the *same* rank mid-run versus a different rank.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table, run_figure4
+from repro.config import GEM5_PLATFORM
+from repro.dram import Agent, MemRequest
+from repro.system import Machine, idle_gap_slowdown
+from repro.workloads import uniform_column
+
+
+def test_unscheduled_idle_gap_penalty(benchmark, bench_rows, bench_scale):
+    values = uniform_column(bench_rows, seed=30)
+
+    def measure():
+        machine = Machine(GEM5_PLATFORM)
+        col = machine.alloc_array(values, dimm=0, pinned=True)
+        out = machine.alloc_zeros(max(values.size // 8, 64), dimm=0,
+                                  pinned=True)
+        owned = machine.driver.select_column(col.vaddr, values.size,
+                                             0, 500_000, out.vaddr)
+        profiles = run_figure4(bench_scale, queries=("Q1", "Q6", "Q22"))
+        return machine, owned.duration_ps, profiles
+
+    machine, owned_ps, profiles = run_once(benchmark, measure)
+
+    rows = [["scheduled (rank ownership)", f"{owned_ps / 1e6:.2f}", "1.00x"]]
+    for point in profiles:
+        est = idle_gap_slowdown(owned_ps, point.profile, machine.timings,
+                                bytes_total=values.size * 8)
+        rows.append([
+            f"unscheduled in {point.query}'s idle gaps",
+            f"{est.effective_ps / 1e6:.2f}",
+            f"{est.slowdown:.2f}x",
+        ])
+        assert est.slowdown > 1.0
+        assert est.interruptions > 1.0
+    print()
+    print(render_table(["regime", "select time (us)", "slowdown"],
+                       rows, title="Arbitration regimes"))
+
+
+def test_host_interference_on_same_vs_other_rank(benchmark, bench_rows):
+    """What happens without the MPR block: host traffic to JAFAR's rank."""
+    values = uniform_column(min(bench_rows, 1 << 16), seed=31)
+
+    def run_with_host_traffic(same_rank: bool):
+        machine = Machine(GEM5_PLATFORM)
+        col = machine.alloc_array(values, dimm=0, pinned=True)
+        out = machine.alloc_zeros(max(values.size // 8, 64), dimm=0,
+                                  pinned=True)
+        # Inject a host stream into the target rank before JAFAR runs: the
+        # rank's bank/IO state is what JAFAR then contends with.
+        geometry = machine.geometry
+        target = 0 if same_rank else geometry.rank_bytes  # rank 0 vs rank 1
+        for k in range(2048):
+            machine.controller.submit(MemRequest(
+                target + (k % 64) * geometry.row_bytes, 64, False,
+                k * machine.timings.cycles_to_ps(2), Agent.CPU))
+        start = machine.controller.channels[0].bus_free_ps
+        machine.core.now_ps = max(machine.core.now_ps, start)
+        result = machine.driver.select_column(col.vaddr, values.size,
+                                              0, 500_000, out.vaddr)
+        return result.duration_ps
+
+    def both():
+        return run_with_host_traffic(True), run_with_host_traffic(False)
+
+    same_ps, other_ps = run_once(benchmark, both)
+    print(f"\nJAFAR after host storm on same rank:  {same_ps / 1e6:.2f} us")
+    print(f"JAFAR after host storm on other rank: {other_ps / 1e6:.2f} us")
+    # Same-rank interference can only hurt (bank state, refresh debt).
+    assert same_ps >= other_ps * 0.99

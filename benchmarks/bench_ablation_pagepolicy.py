@@ -1,0 +1,56 @@
+"""Ablation: memory-controller row-buffer page policy (open vs closed).
+
+§2.1 explains why consecutive accesses to an active row are much faster than
+accesses to different rows; the controller's page policy decides whether to
+bet on that locality.  JAFAR's streaming consumption is the best case for
+the open-page bet; this bench quantifies how much of the Figure 3 win rides
+on it, and shows the policies' crossover on the CPU side (sequential scans
+love open page; row-conflict patterns prefer eager precharge).
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.config import GEM5_PLATFORM
+from repro.cpu import branchy_select
+from repro.system import Machine
+from repro.workloads import uniform_column
+
+
+def test_page_policy_ablation(benchmark, bench_rows):
+    n = min(bench_rows, 1 << 17)
+    values = uniform_column(n, seed=60)
+
+    def run_policies():
+        out = {}
+        for policy in ("open", "closed"):
+            machine = Machine(GEM5_PLATFORM, policy="fr-fcfs")
+            machine.controller.page_policy = policy
+            col = machine.alloc_array(values, dimm=0)
+            paddr = machine.vm.translate(col.vaddr)
+            scan = branchy_select(machine.core, values, paddr, 0, 500_000)
+            out[policy] = scan.time_ps
+        # JAFAR drives the ranks directly (its stream is row-sequential by
+        # construction), so only the host-side policy varies above.
+        jafar_machine = Machine(GEM5_PLATFORM)
+        col = jafar_machine.alloc_array(values, dimm=0, pinned=True)
+        bitset = jafar_machine.alloc_zeros(max(n // 8, 64), dimm=0,
+                                           pinned=True)
+        out["jafar"] = jafar_machine.driver.select_column(
+            col.vaddr, n, 0, 500_000, bitset.vaddr).duration_ps
+        return out
+
+    results = run_once(benchmark, run_policies)
+
+    rows = [[name, f"{ps / 1e6:.2f}",
+             f"{results['open'] / ps:.2f}x vs open-page CPU"]
+            for name, ps in results.items()]
+    print()
+    print(render_table(["configuration", "select time (us)", "relative"],
+                       rows, title="Row-buffer page-policy ablation"))
+
+    # Sequential scans favour open page on the CPU side.
+    assert results["open"] <= results["closed"]
+    # JAFAR beats the CPU under either policy.
+    assert results["jafar"] < results["open"]
+    assert results["jafar"] < results["closed"]

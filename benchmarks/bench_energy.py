@@ -1,0 +1,57 @@
+"""Extension study: select-operator energy, CPU vs JAFAR.
+
+Not a paper figure — the paper argues latency; the NDP literature it cites
+argues energy.  Composes datasheet-ballpark per-event energies over exactly
+the traffic the timing models generate: both paths pay the same internal
+DRAM energy to read the column, but the CPU ships every word (plus the
+position list) over the off-module channel and burns core cycles per row,
+while JAFAR ships one bit per row and runs a three-ALU datapath.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    cpu_select_energy,
+    jafar_select_energy,
+    render_table,
+)
+from repro.config import GEM5_PLATFORM
+
+SELECTIVITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_select_energy_comparison(benchmark, bench_rows):
+    def sweep():
+        rows = []
+        for s in SELECTIVITIES:
+            cpu = cpu_select_energy(GEM5_PLATFORM, bench_rows, s)
+            ndp = jafar_select_energy(GEM5_PLATFORM, bench_rows, s)
+            rows.append((s, cpu, ndp))
+        return rows
+
+    results = run_once(benchmark, sweep)
+
+    table = []
+    for s, cpu, ndp in results:
+        table.append([
+            f"{s:.0%}",
+            f"{cpu.total_uj:.0f}",
+            f"{cpu.bus_pj / 1e6:.0f}",
+            f"{ndp.total_uj:.1f}",
+            f"{ndp.bus_pj / 1e6:.2f}",
+            f"{cpu.total_pj / ndp.total_pj:.0f}x",
+            f"{cpu.bus_pj / ndp.bus_pj:.0f}x",
+        ])
+    print()
+    print(render_table(
+        ["selectivity", "CPU total (uJ)", "CPU bus (uJ)",
+         "JAFAR total (uJ)", "JAFAR bus (uJ)", "total ratio", "bus ratio"],
+        table, title=f"Select energy, {bench_rows} rows (extension study)"))
+
+    for s, cpu, ndp in results:
+        # The NDP bus win is structural: the bitset is 1/64 of the words.
+        assert cpu.bus_pj / ndp.bus_pj >= 60
+        assert cpu.total_pj > ndp.total_pj
+    # JAFAR's energy, like its time, is selectivity-invariant.
+    totals = [ndp.total_pj for _, _, ndp in results]
+    assert max(totals) == min(totals)

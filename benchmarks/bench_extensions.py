@@ -1,0 +1,186 @@
+"""The §4 roadmap accelerators vs their CPU equivalents.
+
+For each opportunity the paper sketches — aggregation, projection, sorting,
+row-store filtering — this bench runs the NDP unit against the CPU doing the
+same work through the memory hierarchy, and reports the data-movement and
+time ratios.  Joins are deliberately absent: §4 explains NDP "cannot always
+guarantee performance improvement" there.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.config import GEM5_PLATFORM
+from repro.cpu import branchy_select
+from repro.jafar import pack_mask
+from repro.jafar.extensions import (
+    FieldPredicate,
+    NdpAggregator,
+    NdpProjector,
+    NdpSorter,
+    RowStoreFilter,
+)
+from repro.system import Machine
+from repro.workloads import uniform_column
+
+
+def fresh_machine():
+    return Machine(GEM5_PLATFORM)
+
+
+def make_unit(machine, cls, **kwargs):
+    controller = machine.controller
+    return cls(machine.timings, controller.mapping, 0,
+               controller.channels[0].dimms[0], machine.memory,
+               GEM5_PLATFORM.jafar_cost, **kwargs)
+
+
+def test_ndp_aggregation_vs_cpu(benchmark, bench_rows):
+    n = min(bench_rows, 1 << 17)
+    values = uniform_column(n, seed=50)
+
+    def run_both():
+        machine = fresh_machine()
+        agg = make_unit(machine, NdpAggregator)
+        mapping = machine.alloc_array(values, dimm=0)
+        addr = machine.vm.translate(mapping.vaddr)
+        ndp = agg.scalar(addr, n, "sum", 0)
+        # CPU: stream the column through the hierarchy and add.
+        cpu_machine = fresh_machine()
+        cpu_map = cpu_machine.alloc_array(values, dimm=0)
+        paddr = cpu_machine.vm.translate(cpu_map.vaddr)
+        start = cpu_machine.core.now_ps
+        cpu_machine.core.stream_read_phase(paddr, n * 8,
+                                           cycles_per_line=8 * 1.0)
+        cpu_ps = cpu_machine.core.now_ps - start
+        return ndp, cpu_ps
+
+    ndp, cpu_ps = run_once(benchmark, run_both)
+    assert ndp.value == values.sum()
+    speedup = cpu_ps / ndp.duration_ps
+    print(f"\nNDP sum: {ndp.duration_ps / 1e6:.2f} us, CPU sum: "
+          f"{cpu_ps / 1e6:.2f} us, speedup {speedup:.2f}x")
+    assert speedup > 1.0
+
+
+def test_fused_filter_aggregate_beats_two_trips(benchmark, bench_rows):
+    """Select on JAFAR then aggregate on JAFAR: the bitmask never leaves
+    the DIMM, so the CPU never touches the column at all."""
+    n = min(bench_rows, 1 << 17)
+    values = uniform_column(n, seed=51)
+
+    def run():
+        machine = fresh_machine()
+        agg = make_unit(machine, NdpAggregator)
+        col = machine.alloc_array(values, dimm=0, pinned=True)
+        out = machine.alloc_zeros(max(n // 8, 64), dimm=0, pinned=True)
+        sel = machine.driver.select_column(col.vaddr, n, 0, 500_000,
+                                           out.vaddr)
+        col_paddr = machine.vm.translate(col.vaddr)
+        mask_paddr = machine.vm.translate(out.vaddr)
+        fused = agg.scalar(col_paddr, n, "sum", machine.core.now_ps,
+                           mask_addr=mask_paddr)
+        # CPU alternative: branchy select + position-list gather + add.
+        cpu_machine = fresh_machine()
+        cpu_col = cpu_machine.alloc_array(values, dimm=0)
+        paddr = cpu_machine.vm.translate(cpu_col.vaddr)
+        start = cpu_machine.core.now_ps
+        scan = branchy_select(cpu_machine.core, values, paddr, 0, 500_000)
+        cpu_machine.core.stream_read_phase(paddr, n * 8, cycles_per_line=8.0)
+        cpu_ps = cpu_machine.core.now_ps - start
+        ndp_ps = (sel.duration_ps + fused.duration_ps)
+        return fused, ndp_ps, cpu_ps, scan
+
+    fused, ndp_ps, cpu_ps, scan = run_once(benchmark, run)
+    expected = values[(values >= 0) & (values <= 500_000)].sum()
+    assert fused.value == expected
+    print(f"\nfused NDP filter+sum: {ndp_ps / 1e6:.2f} us vs CPU "
+          f"{cpu_ps / 1e6:.2f} us ({cpu_ps / ndp_ps:.2f}x)")
+    assert ndp_ps < cpu_ps
+
+
+def test_ndp_projection_data_movement(benchmark, bench_rows):
+    n = min(bench_rows, 1 << 16)
+    values = uniform_column(n, seed=52)
+    mask = values < 100_000  # ~10% qualify
+
+    def run():
+        machine = fresh_machine()
+        proj = make_unit(machine, NdpProjector)
+        col = machine.alloc_array(values, dimm=0)
+        mask_map = machine.alloc_array(pack_mask(mask), dimm=0)
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        return proj.project(machine.vm.translate(col.vaddr), n,
+                            machine.vm.translate(mask_map.vaddr),
+                            machine.vm.translate(out.vaddr), 0), machine
+
+    result, machine = run_once(benchmark, run)
+    got = machine.memory.view_words(result.out_addr, result.values_written)
+    assert (got == values[mask]).all()
+    moved_ndp = result.values_written * 8        # what the CPU must now read
+    moved_cpu = n * 8                            # full column the CPU path reads
+    print(f"\nprojection: {result.values_written}/{n} rows qualify; "
+          f"bus traffic {moved_ndp / 1024:.0f} KiB vs {moved_cpu / 1024:.0f}"
+          " KiB if the CPU scans")
+    assert moved_ndp < 0.2 * moved_cpu
+
+
+def test_ndp_sort_scaling(benchmark, bench_rows):
+    n = min(bench_rows, 1 << 15)
+    values = uniform_column(n, seed=53)
+
+    def run():
+        machine = fresh_machine()
+        sorter = make_unit(machine, NdpSorter, network_k=256)
+        col = machine.alloc_array(values, dimm=0)
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        return sorter.sort(machine.vm.translate(col.vaddr), n,
+                           out_addr, 0), machine, out_addr
+
+    result, machine, out_addr = run_once(benchmark, run)
+    got = machine.memory.view_words(out_addr, n)
+    assert (got == np.sort(values)).all()
+    print(f"\nNDP sort of {n} rows: {result.duration_ps / 1e6:.2f} us, "
+          f"{result.merge_passes} merge passes over DRAM")
+    assert result.merge_passes == int(np.ceil(np.log2(-(-n // 256))))
+
+
+def test_row_store_filter_vs_columnar_jafar(benchmark, bench_rows):
+    """§4's open question: NDP in row-stores vs column-stores.  The row
+    filter must stream *whole records*, so the columnar layout wins by the
+    record/field width ratio."""
+    n = min(bench_rows, 1 << 15)
+    a = uniform_column(n, seed=54)
+    b = uniform_column(n, seed=55)
+
+    def run():
+        machine = fresh_machine()
+        filt = make_unit(machine, RowStoreFilter)
+        records = np.empty(n * 4, dtype=np.int64)  # 32-byte records
+        records[0::4] = a
+        records[1::4] = b
+        records[2::4] = 0
+        records[3::4] = 0
+        rec_map = machine.alloc_array(records, dimm=0)
+        out = machine.alloc_zeros(max(n // 8, 64), dimm=0)
+        row_result = filt.filter(
+            machine.vm.translate(rec_map.vaddr), n, 32,
+            [FieldPredicate(0, 8, 0, 500_000)],
+            machine.vm.translate(out.vaddr), 0)
+        # Columnar: JAFAR scans just the 8-byte column.
+        col_machine = fresh_machine()
+        col = col_machine.alloc_array(a, dimm=0, pinned=True)
+        col_out = col_machine.alloc_zeros(max(n // 8, 64), dimm=0,
+                                          pinned=True)
+        col_result = col_machine.driver.select_column(
+            col.vaddr, n, 0, 500_000, col_out.vaddr)
+        return row_result, col_result
+
+    row_result, col_result = run_once(benchmark, run)
+    assert row_result.matches == col_result.matches
+    ratio = row_result.duration_ps / col_result.duration_ps
+    print(f"\nrow-store filter / columnar filter time: {ratio:.2f}x "
+          "(records are 4x wider than the column)")
+    assert 2.0 <= ratio <= 6.0

@@ -1,0 +1,52 @@
+"""Figure 3: simulated selection speedup of JAFAR over CPU-only execution.
+
+Regenerates the paper's series — speedup on the y-axis, selectivity 0%..100%
+on the x-axis, uniform random integers in [0, 1M) — and checks the paper's
+shape claims: ~5x at 0%, rising gradually to ~9x at 100%, with JAFAR's own
+execution time selectivity-invariant.
+
+Paper numbers:   5.0x @ 0%  ->  9.0x @ 100% (gradual increase)
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    check_figure3_shape,
+    render_series,
+    render_table,
+    run_figure3,
+)
+
+SELECTIVITIES = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def test_figure3_speedup_vs_selectivity(benchmark, bench_rows):
+    points = run_once(benchmark, run_figure3, bench_rows, SELECTIVITIES)
+
+    rows = [[f"{p.selectivity:.0%}", f"{p.achieved_selectivity:.3f}",
+             f"{p.cpu_ps / 1e6:.2f}", f"{p.jafar_ps / 1e6:.2f}",
+             f"{p.speedup:.2f}x"] for p in points]
+    print()
+    print(render_table(
+        ["selectivity", "achieved", "CPU (us)", "JAFAR (us)", "speedup"],
+        rows, title=f"Figure 3 (rows={bench_rows})"))
+    print()
+    print(render_series([p.selectivity for p in points],
+                        [p.speedup for p in points],
+                        title="Figure 3: speedup vs selectivity",
+                        x_label="selectivity", y_label="speedup"))
+
+    checks = check_figure3_shape(points)
+    assert all(checks.values()), checks
+    # Paper endpoints: ~5x and ~9x.
+    assert 4.0 <= points[0].speedup <= 6.0
+    assert 8.0 <= points[-1].speedup <= 10.5
+
+
+def test_figure3_jafar_time_constant(benchmark, bench_rows):
+    """§3.2's mechanism claim, at benchmark scale."""
+    points = run_once(benchmark, run_figure3, bench_rows, (0.0, 0.5, 1.0))
+    times = [p.jafar_ps for p in points]
+    spread = (max(times) - min(times)) / min(times)
+    print(f"\nJAFAR time spread across selectivities: {spread:.4%}")
+    assert spread < 0.01

@@ -1,0 +1,62 @@
+"""Figure 4: memory-controller idle-period estimates for TPC-H queries.
+
+Regenerates the paper's bar chart — mean idle period (memory-bus cycles) for
+Q1, Q3, Q6, Q18, Q22 and their average, computed with the paper's formula
+``MC_empty / (#reads + #writes)`` over simulated IMC counters — plus the
+§3.3 budget arithmetic (how much data JAFAR processes per average gap).
+
+Paper numbers: idle periods range ~200-800 cycles, average ~500; at 500
+cycles JAFAR moves 125 32-byte blocks = 4 KB per gap = half an 8 KB row.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    average_idle_cycles,
+    check_figure4_shape,
+    render_bars,
+    render_table,
+    run_figure4,
+)
+
+
+def test_figure4_idle_periods(benchmark, bench_scale):
+    points = run_once(benchmark, run_figure4, bench_scale)
+
+    bars = {p.query: p.mean_idle_cycles for p in points}
+    bars["AVG"] = average_idle_cycles(points)
+    print()
+    print(render_bars(bars, title="Figure 4: mean MC idle period (bus cycles)",
+                      unit=" cyc"))
+    rows = [[p.query, f"{p.profile.rc_busy_cycles:.0f}",
+             f"{p.profile.wc_busy_cycles:.0f}", p.profile.reads,
+             p.profile.writes, f"{p.mean_idle_cycles:.1f}",
+             f"{p.profile.true_mean_idle_gap_cycles:.1f}"] for p in points]
+    print()
+    print(render_table(
+        ["query", "RC_busy", "WC_busy", "reads", "writes",
+         "est. idle (paper formula)", "true gap (simulator)"],
+        rows, title=f"Counter detail (TPC-H scale={bench_scale})"))
+
+    checks = check_figure4_shape(points)
+    assert all(checks.values()), checks
+    assert 300 <= bars["AVG"] <= 700  # paper: ~500
+
+
+def test_figure4_budget_arithmetic(benchmark, bench_scale):
+    """The §3.3 in-text derivation from the measured average."""
+    points = run_once(benchmark, run_figure4, bench_scale)
+    avg = average_idle_cycles(points)
+    budget = points[0].budget
+    rows = [[p.query, f"{p.budget.blocks_per_gap:.0f}",
+             f"{p.budget.bytes_per_gap / 1000:.1f} KB",
+             f"{p.budget.fraction_of_row:.2f}"] for p in points]
+    print()
+    print(render_table(
+        ["query", "32B blocks/gap", "data/gap", "fraction of 8KB row"],
+        rows, title="Section 3.3 budget: what fits in each idle period"))
+    print(f"average idle: {avg:.0f} cycles")
+    # At the paper's 500-cycle average: 125 blocks, 4 KB, ~half a row.
+    assert budget.blocks_per_gap == points[0].profile.mean_idle_period_cycles / 4
+    for p in points:
+        assert 0.1 <= p.budget.fraction_of_row <= 1.2

@@ -1,0 +1,69 @@
+"""The paper's in-text timing claims (§2.2), regenerated from the models.
+
+Claims covered:
+
+* DDR3 CAS latencies "of around 13ns";
+* "JAFAR operates at around 2GHz, or twice the data bus clock frequency
+  (which is around 1GHz on DDR3)";
+* "Each DRAM access retrieves up to eight 64-bit words, and JAFAR can
+  process one per clock cycle (0.5ns) for a total of 4ns";
+* "JAFAR currently spends a total of 9 out of 13 nanoseconds waiting" —
+  the latency slack that makes richer NDP ops (hashing, aggregation) free;
+* the Aladdin-style schedule really does pipeline the filter at II = 1 with
+  two comparator ALUs (Figure 1(b)'s datapath).
+"""
+
+from conftest import run_once
+
+from repro.accel import (
+    JAFAR_RESOURCES,
+    jafar_filter_body,
+    list_schedule,
+    pipeline_analysis,
+)
+from repro.analysis import render_table
+from repro.config import GEM5_PLATFORM
+from repro.dram import speed_grade
+from repro.jafar import modeled_words_per_cycle
+
+
+def test_section22_timing_claims(benchmark):
+    timings = speed_grade(GEM5_PLATFORM.dram_grade)
+
+    def derive():
+        bounds = pipeline_analysis(jafar_filter_body(), JAFAR_RESOURCES)
+        schedule = list_schedule(jafar_filter_body(), JAFAR_RESOURCES,
+                                 iterations=8)
+        return bounds, schedule
+
+    bounds, schedule = run_once(benchmark, derive)
+
+    jafar_clock = timings.jafar_clock()
+    cas_ns = timings.cl_ps / 1000
+    word_ns = jafar_clock.period_ps / 1000 / bounds.words_per_cycle
+    burst_ns = 8 * word_ns
+    slack_ns = cas_ns - burst_ns
+
+    rows = [
+        ["data bus clock", f"{timings.bus_freq_hz / 1e9:.2f} GHz", "~1 GHz"],
+        ["JAFAR clock (2x bus)", f"{jafar_clock.freq_hz / 1e9:.2f} GHz", "~2 GHz"],
+        ["CAS latency", f"{cas_ns:.1f} ns", "~13 ns"],
+        ["per-word processing", f"{word_ns:.2f} ns", "0.5 ns"],
+        ["8-word burst processing", f"{burst_ns:.1f} ns", "4 ns"],
+        ["slack waiting for data", f"{slack_ns:.1f} ns", "9 ns"],
+        ["filter II (2 ALUs)", f"{bounds.ii}", "1 word/cycle"],
+        ["pipeline depth", f"{bounds.depth_cycles} cycles", "-"],
+        ["ops/cycle @ unroll 8", f"{schedule.ops_per_cycle:.2f}", "-"],
+    ]
+    print()
+    print(render_table(["quantity", "model", "paper"], rows,
+                       title="Section 2.2 in-text timing claims"))
+
+    assert 0.9e9 <= timings.bus_freq_hz <= 1.2e9
+    assert 1.8e9 <= jafar_clock.freq_hz <= 2.4e9
+    assert 12.0 <= cas_ns <= 14.0
+    assert word_ns <= 0.55
+    assert 3.4 <= burst_ns <= 4.2
+    assert 8.0 <= slack_ns <= 10.0
+    assert bounds.ii == 1
+    assert modeled_words_per_cycle() == 1.0

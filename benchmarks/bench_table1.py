@@ -1,0 +1,52 @@
+"""Table 1: specifications of the two evaluation platforms.
+
+Table 1 is configuration, not measurement; this bench regenerates its two
+columns from the live :class:`~repro.config.SystemConfig` objects (so the
+printed table cannot drift from what the simulations actually use) and
+benchmarks platform construction as the workload.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.config import GEM5_PLATFORM, XEON_PLATFORM
+from repro.system import Machine
+
+PAPER_TABLE1 = {
+    # paper row -> (gem5 column, Xeon column)
+    "CPU": ("1GHz CPU", "2 GHz CPU"),
+    "Sockets": ("1 socket", "4 socket server (32 phys. cores)"),
+    "DRAM": ("2GB DRAM", "1TB DDR3 SDRAM"),
+}
+
+
+def test_table1_specifications(benchmark):
+    def build_both():
+        return Machine(GEM5_PLATFORM), Machine(XEON_PLATFORM)
+
+    gem5_machine, xeon_machine = run_once(benchmark, build_both)
+
+    gem5_rows = dict(GEM5_PLATFORM.describe())
+    xeon_rows = dict(XEON_PLATFORM.describe())
+    rows = [[key, gem5_rows[key], xeon_rows[key]] for key in gem5_rows]
+    print()
+    print(render_table(["Spec", "gem5 simulator", "Intel Xeon E7-4820 v2"],
+                       rows, title="Table 1: evaluation platforms"))
+
+    # The live configs must state what the paper states.
+    assert GEM5_PLATFORM.cpu_freq_hz == 1_000_000_000
+    assert XEON_PLATFORM.cpu_freq_hz == 2_000_000_000
+    assert GEM5_PLATFORM.cores * GEM5_PLATFORM.sockets == 1
+    assert XEON_PLATFORM.cores * XEON_PLATFORM.sockets == 32
+    assert XEON_PLATFORM.smt == 2
+    assert GEM5_PLATFORM.dram_capacity_bytes == 2 << 30
+    assert XEON_PLATFORM.dram_capacity_bytes == 1024 << 30
+    assert len(GEM5_PLATFORM.caches) == 2   # 64 kB L1, 128 kB L2
+    assert len(XEON_PLATFORM.caches) == 3   # L1/L2/L3
+    assert GEM5_PLATFORM.caches[0].size_bytes == 64 << 10
+    assert GEM5_PLATFORM.caches[1].size_bytes == 128 << 10
+    assert XEON_PLATFORM.caches[2].size_bytes == 16 << 20
+
+    # And the built machines must reflect the configs.
+    assert gem5_machine.core.clock.freq_hz == 1_000_000_000
+    assert len(xeon_machine.hierarchy.levels) == 3

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs a *simulation* whose interesting output is the simulated
+time and the paper-comparison tables printed to stdout (run with ``pytest
+benchmarks/ --benchmark-only -s`` to see them); wall-clock numbers from
+pytest-benchmark measure the simulator itself.  Simulations are deterministic,
+so every benchmark uses one round.
+
+Environment knobs:
+
+* ``REPRO_BENCH_ROWS`` — microbenchmark column size (default 262144; the
+  paper's full 4M rows work but take minutes per sweep in pure Python).
+* ``REPRO_BENCH_SCALE`` — TPC-H scale factor (default 0.004 ≈ 24K-row
+  lineitem).
+"""
+
+import os
+
+import pytest
+
+BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", str(1 << 18)))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
+
+
+@pytest.fixture(scope="session")
+def bench_rows() -> int:
+    return BENCH_ROWS
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a deterministic simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

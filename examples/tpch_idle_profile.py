@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 4 interactively: MC idle periods under TPC-H.
+
+Runs Q1, Q3, Q6, Q18 and Q22 on the Xeon-like platform with the
+MonetDB-style engine calibration, samples the simulated memory-controller
+counters, and prints the paper's idle-period estimate per query plus the
+§3.3 budget analysis (how much JAFAR could process per idle gap without a
+scheduler).
+
+Run:  python examples/tpch_idle_profile.py [scale]
+"""
+
+import sys
+
+from repro.analysis import (
+    average_idle_cycles,
+    render_bars,
+    render_table,
+    run_figure4,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.004
+    print(f"running the 5 profiled TPC-H queries at scale {scale}...\n")
+    points = run_figure4(scale=scale)
+
+    bars = {p.query: p.mean_idle_cycles for p in points}
+    bars["AVG"] = average_idle_cycles(points)
+    print(render_bars(bars, title="Figure 4: mean MC idle period "
+                                  "(memory bus cycles)", unit=" cyc"))
+    print("\npaper: idle periods between 200 and 800 cycles, average ~500\n")
+
+    rows = [[p.query,
+             f"{p.profile.reads + p.profile.writes}",
+             f"{p.profile.read_queue_utilisation:.0%}",
+             f"{p.budget.bytes_per_gap / 1000:.1f} KB",
+             f"{p.budget.fraction_of_row:.0%}"]
+            for p in points]
+    print(render_table(
+        ["query", "memory accesses", "read-queue util",
+         "JAFAR data per gap", "of one 8KB row"],
+        rows, title="Section 3.3: what fits in each idle period"))
+    print("\npaper: at 500 cycles, 125 blocks = 4KB per gap = half a row;\n"
+          "interruptions are costly, so NDP needs memory-access scheduling.")
+
+
+if __name__ == "__main__":
+    main()

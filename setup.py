@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no `wheel` package, so PEP 517
+editable installs (which build an editable wheel) cannot run.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

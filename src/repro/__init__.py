@@ -1,0 +1,55 @@
+"""JAFAR reproduction: near-data processing for databases.
+
+A full-stack Python reproduction of *Beyond the Wall: Near-Data Processing
+for Databases* (Xi, Babarinsa, Athanassoulis, Idreos - DaMoN'15): the JAFAR
+on-DIMM select accelerator, the DDR3/cache/CPU timing substrate it is
+evaluated on, an in-house bulk-processing column-store with JAFAR pushdown,
+the TPC-H workload of the memory-contention study, and the analysis
+pipelines that regenerate every table and figure in the paper.
+
+Quick start::
+
+    from repro import GEM5_PLATFORM, Machine, run_figure3
+
+    points = run_figure3(num_rows=1 << 18)
+    for p in points:
+        print(p.selectivity, round(p.speedup, 2))
+
+Package map (see DESIGN.md for the full inventory):
+
+====================  ======================================================
+``repro.sim``         discrete-event kernel, clock domains, counters
+``repro.dram``        DDR3 timing model, banks/ranks/DIMMs, controller
+``repro.mem``         physical memory, frame allocator, page tables, pinning
+``repro.cache``       set-associative hierarchy, stream prefetcher
+``repro.cpu``         core timing model, scan kernels, analytic cost model
+``repro.accel``       Aladdin-style DDG scheduling and power estimates
+``repro.jafar``       the contribution: device, driver, API, ownership,
+                      multi-DIMM handling, and the section-4 extension units
+``repro.columnstore`` tables, operators, plans, executor, pushdown optimizer
+``repro.system``      platform assembly, IMC profiler, arbitration analysis
+``repro.tpch``        scaled dbgen and queries Q1/Q3/Q6/Q18/Q22
+``repro.workloads``   microbenchmark generators and selectivity solvers
+``repro.analysis``    Figure 3 / Figure 4 pipelines and ASCII reporting
+====================  ======================================================
+"""
+
+from .analysis import run_figure3, run_figure4
+from .config import GEM5_PLATFORM, PLATFORMS, XEON_PLATFORM, SystemConfig, platform
+from .errors import ReproError
+from .system import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GEM5_PLATFORM",
+    "Machine",
+    "PLATFORMS",
+    "ReproError",
+    "SystemConfig",
+    "XEON_PLATFORM",
+    "__version__",
+    "platform",
+    "run_figure3",
+    "run_figure4",
+]

@@ -1,0 +1,43 @@
+"""Aladdin-style pre-RTL accelerator modeling (the paper's §3.1 tooling).
+
+A C-style loop body (:mod:`~repro.accel.ir`) becomes a dynamic
+data-dependence graph (:mod:`~repro.accel.ddg`), which is scheduled
+cycle-by-cycle under resource constraints with pipelining analysis
+(:mod:`~repro.accel.scheduler`), plus first-order power/area estimates
+(:mod:`~repro.accel.power`).  The JAFAR device model derives its
+one-word-per-cycle filter throughput from this analysis instead of assuming
+it.
+"""
+
+from .ddg import build_ddg, critical_path_cycles, op_counts
+from .ir import CarriedDep, LoopBody, Op, OpKind, jafar_filter_body
+from .optimizer import unroll, unrolled_pipeline
+from .power import PowerReport, data_movement_savings_pj, estimate
+from .scheduler import (
+    JAFAR_RESOURCES,
+    PipelineBounds,
+    Schedule,
+    list_schedule,
+    pipeline_analysis,
+)
+
+__all__ = [
+    "CarriedDep",
+    "JAFAR_RESOURCES",
+    "LoopBody",
+    "Op",
+    "OpKind",
+    "PipelineBounds",
+    "PowerReport",
+    "Schedule",
+    "build_ddg",
+    "critical_path_cycles",
+    "data_movement_savings_pj",
+    "estimate",
+    "jafar_filter_body",
+    "list_schedule",
+    "op_counts",
+    "pipeline_analysis",
+    "unroll",
+    "unrolled_pipeline",
+]

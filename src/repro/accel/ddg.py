@@ -1,0 +1,68 @@
+"""Dynamic data-dependence graph construction and analysis.
+
+Aladdin's core representation: the loop body unrolled into a dependence
+graph whose nodes are dynamic operations.  We build the graph with networkx
+so standard DAG analyses (topological order, longest path) come for free.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import DDGError
+from .ir import LoopBody, Op
+
+
+def build_ddg(body: LoopBody, iterations: int = 1) -> nx.DiGraph:
+    """Unroll ``body`` for ``iterations`` and wire all dependences.
+
+    Node names are ``"{op}@{k}"`` for iteration ``k``; each node carries the
+    :class:`Op` in its ``op`` attribute and its iteration in ``iter``.
+    """
+    if iterations <= 0:
+        raise DDGError(f"iterations must be positive, got {iterations}")
+    graph = nx.DiGraph()
+    for k in range(iterations):
+        for op in body.ops:
+            graph.add_node(f"{op.name}@{k}", op=op, iter=k)
+        for op in body.ops:
+            for dep in op.deps:
+                graph.add_edge(f"{dep}@{k}", f"{op.name}@{k}",
+                               latency=body.find(dep).latency)
+    for dep in body.carried:
+        for k in range(iterations - dep.distance):
+            graph.add_edge(
+                f"{dep.producer}@{k}",
+                f"{dep.consumer}@{k + dep.distance}",
+                latency=body.find(dep.producer).latency,
+            )
+    if not nx.is_directed_acyclic_graph(graph):
+        raise DDGError("dependence graph has a cycle within one unrolled window")
+    return graph
+
+
+def critical_path_cycles(graph: nx.DiGraph) -> int:
+    """Length of the longest dependence chain, in cycles.
+
+    Includes the latency of the final op on the chain (a single op has a
+    critical path of its own latency).
+    """
+    if graph.number_of_nodes() == 0:
+        raise DDGError("empty dependence graph")
+    dist: dict[str, int] = {}
+    for node in nx.topological_sort(graph):
+        op: Op = graph.nodes[node]["op"]
+        best = 0
+        for pred in graph.predecessors(node):
+            best = max(best, dist[pred])
+        dist[node] = best + op.latency
+    return max(dist.values())
+
+
+def op_counts(graph: nx.DiGraph) -> dict[str, int]:
+    """Count nodes per resource class (for resource-II computation)."""
+    counts: dict[str, int] = {}
+    for node in graph.nodes:
+        op: Op = graph.nodes[node]["op"]
+        counts[op.resource] = counts.get(op.resource, 0) + 1
+    return counts

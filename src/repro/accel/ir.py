@@ -1,0 +1,152 @@
+"""Operation IR for the Aladdin-style accelerator model.
+
+Aladdin [48] converts a C-style description of the accelerated kernel into a
+dynamic data-dependence graph of compute operations (add, subtract,
+compare), memory operations, and conditional statements.  This module
+provides that vocabulary: :class:`Op` nodes with explicit dependence edges,
+grouped into a :class:`LoopBody` (one iteration of the accelerated loop plus
+its loop-carried dependences).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DDGError
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"      # read a word from the DRAM IO buffer
+    STORE = "store"    # write a word (output buffer flush)
+    ADD = "add"
+    SUB = "sub"
+    CMP = "cmp"        # integer comparison (one ALU op)
+    AND = "and"
+    OR = "or"
+    SHIFT = "shift"
+    SELECT = "select"  # conditional value select (predication in hardware)
+    BRANCH = "branch"  # control decision
+    COUNTER = "counter"  # dedicated counter increment (not an ALU op)
+
+
+#: Default per-op latency in accelerator cycles (simple single-cycle
+#: functional units, as JAFAR's §2.2 design implies).
+OP_LATENCY: dict[OpKind, int] = {kind: 1 for kind in OpKind}
+
+#: Which resource class each op kind consumes.
+OP_RESOURCE: dict[OpKind, str] = {
+    OpKind.LOAD: "mem_port",
+    OpKind.STORE: "store_port",
+    OpKind.ADD: "alu",
+    OpKind.SUB: "alu",
+    OpKind.CMP: "alu",
+    OpKind.AND: "logic",
+    OpKind.OR: "logic",
+    OpKind.SHIFT: "logic",
+    OpKind.SELECT: "logic",
+    OpKind.BRANCH: "logic",
+    OpKind.COUNTER: "logic",
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation in a loop body.
+
+    ``deps`` are same-iteration dependences (names of earlier ops whose
+    results this op consumes).
+    """
+
+    name: str
+    kind: OpKind
+    deps: tuple[str, ...] = ()
+
+    @property
+    def latency(self) -> int:
+        return OP_LATENCY[self.kind]
+
+    @property
+    def resource(self) -> str:
+        return OP_RESOURCE[self.kind]
+
+
+@dataclass(frozen=True)
+class CarriedDep:
+    """A loop-carried dependence: ``producer`` of iteration *k* feeds
+    ``consumer`` of iteration *k + distance*."""
+
+    producer: str
+    consumer: str
+    distance: int = 1
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0:
+            raise DDGError("carried-dependence distance must be positive")
+
+
+@dataclass
+class LoopBody:
+    """One iteration of an accelerated loop."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+    carried: list[CarriedDep] = field(default_factory=list)
+
+    def op(self, name: str, kind: OpKind, *deps: str) -> Op:
+        """Append an op, validating its dependences exist."""
+        known = {o.name for o in self.ops}
+        if name in known:
+            raise DDGError(f"duplicate op name {name!r}")
+        for dep in deps:
+            if dep not in known:
+                raise DDGError(f"op {name!r} depends on unknown op {dep!r}")
+        node = Op(name, kind, tuple(deps))
+        self.ops.append(node)
+        return node
+
+    def carry(self, producer: str, consumer: str, distance: int = 1) -> None:
+        """Add a loop-carried dependence."""
+        known = {o.name for o in self.ops}
+        for end in (producer, consumer):
+            if end not in known:
+                raise DDGError(f"carried dependence references unknown op {end!r}")
+        self.carried.append(CarriedDep(producer, consumer, distance))
+
+    def find(self, name: str) -> Op:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise DDGError(f"no op named {name!r}")
+
+    def resource_uses(self) -> dict[str, int]:
+        """How many ops of each resource class one iteration issues."""
+        uses: dict[str, int] = {}
+        for op in self.ops:
+            uses[op.resource] = uses.get(op.resource, 0) + 1
+        return uses
+
+
+def jafar_filter_body(range_filter: bool = True) -> LoopBody:
+    """The JAFAR select loop body (§2.2, Figure 1(b)).
+
+    Per 64-bit word received from the IO buffer: compare against the low and
+    high bounds (two ALUs in parallel for range filters), AND the outcomes,
+    shift the result into the output bitmask accumulator (a loop-carried
+    OR), track the row offset, and conditionally flush the buffer.
+    """
+    body = LoopBody("jafar_filter")
+    body.op("w", OpKind.LOAD)
+    body.op("cmp_lo", OpKind.CMP, "w")
+    if range_filter:
+        body.op("cmp_hi", OpKind.CMP, "w")
+        body.op("pass", OpKind.AND, "cmp_lo", "cmp_hi")
+    else:
+        body.op("pass", OpKind.AND, "cmp_lo")
+    body.op("bit", OpKind.SHIFT, "pass")
+    body.op("acc", OpKind.OR, "bit")
+    body.op("offset", OpKind.COUNTER)  # row-offset tracking, dedicated logic
+    body.op("flush?", OpKind.BRANCH, "offset")
+    body.carry("acc", "acc")        # bitmask accumulator
+    body.carry("offset", "offset")  # row-offset counter
+    return body

@@ -1,0 +1,48 @@
+"""Experiment pipelines and reporting: Figure 3 (speedup vs selectivity),
+Figure 4 (memory-controller idle periods), and ASCII rendering."""
+
+from .energy import (
+    EnergyBreakdown,
+    cpu_select_energy,
+    energy_ratio,
+    jafar_select_energy,
+)
+from .idle import (
+    FIGURE4_QUERIES,
+    Fig4Point,
+    MONETDB_ENGINE_CYCLES_PER_ROW,
+    average_idle_cycles,
+    check_figure4_shape,
+    run_figure4,
+    run_query_profile,
+)
+from .report import render_bars, render_series, render_table
+from .speedup import (
+    DEFAULT_SELECTIVITIES,
+    Fig3Point,
+    check_figure3_shape,
+    measure_point,
+    run_figure3,
+)
+
+__all__ = [
+    "DEFAULT_SELECTIVITIES",
+    "EnergyBreakdown",
+    "FIGURE4_QUERIES",
+    "Fig3Point",
+    "Fig4Point",
+    "MONETDB_ENGINE_CYCLES_PER_ROW",
+    "average_idle_cycles",
+    "check_figure3_shape",
+    "check_figure4_shape",
+    "cpu_select_energy",
+    "energy_ratio",
+    "jafar_select_energy",
+    "measure_point",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "run_figure3",
+    "run_figure4",
+    "run_query_profile",
+]

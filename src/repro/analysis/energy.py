@@ -1,0 +1,105 @@
+"""Energy analysis of NDP selects — an extension study beyond the paper.
+
+The paper argues JAFAR from the *latency* side; the NDP literature it cites
+([4], [42], [57]) argues equally from *energy*: most of a memory-bound
+operator's energy is spent moving bits, and moving a bit across the
+off-module channel costs an order of magnitude more than touching it inside
+the module.  This module quantifies that for the select operator using
+datasheet-ballpark per-event energies, composed over exactly the traffic the
+timing models generate.
+
+Not a paper figure — numbers are indicative (45 nm-era constants from the
+accelerator literature; see :mod:`repro.accel.power`) — but the *ratio*
+structure (JAFAR ships n/64 of the bytes, so bus energy collapses) is
+robust to the constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import JAFAR_RESOURCES, estimate, jafar_filter_body
+from ..accel.power import OFF_MODULE_TRANSFER_PJ
+from ..config import SystemConfig
+from ..errors import ConfigError
+
+#: Energy per DRAM row activation (ACT+PRE pair), picojoules.
+ROW_ACTIVATE_PJ = 900.0
+
+#: Energy to read or write one 64-byte burst inside the DRAM module
+#: (column access + internal IO), picojoules.
+BURST_ACCESS_PJ = 150.0
+
+#: CPU core + cache energy per executed cycle, picojoules (a ~1 GHz
+#: low-power OoO core's dynamic power of ~0.5 W).
+CPU_CYCLE_PJ = 500.0
+
+#: Energy per 64-bit word crossing the off-module memory channel.
+WORD_TRANSFER_PJ = OFF_MODULE_TRANSFER_PJ
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Select-operator energy, joules-free (all picojoules)."""
+
+    dram_pj: float        # activations + bursts inside the module
+    bus_pj: float         # words over the off-module channel
+    compute_pj: float     # CPU cycles or accelerator datapath
+    label: str
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.bus_pj + self.compute_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+
+def cpu_select_energy(config: SystemConfig, nrows: int,
+                      selectivity: float) -> EnergyBreakdown:
+    """Energy of the software scan: every word crosses the bus."""
+    _validate(nrows, selectivity)
+    bursts = -(-nrows * 8 // 64)
+    activations = -(-nrows * 8 // config.row_bytes)
+    dram = activations * ROW_ACTIVATE_PJ + bursts * BURST_ACCESS_PJ
+    # Input words up, position list (8 B per match) down.
+    words_moved = nrows + selectivity * nrows
+    bus = words_moved * WORD_TRANSFER_PJ
+    cycles_per_row = (config.cpu_cost.base_uops
+                      + selectivity * config.cpu_cost.match_uops) / \
+        config.cpu_cost.ipc
+    compute = nrows * cycles_per_row * CPU_CYCLE_PJ
+    return EnergyBreakdown(dram, bus, compute, "cpu")
+
+
+def jafar_select_energy(config: SystemConfig, nrows: int,
+                        selectivity: float) -> EnergyBreakdown:
+    """Energy of the NDP scan: only the bitset crosses the bus."""
+    _validate(nrows, selectivity)
+    bursts = -(-nrows * 8 // 64)
+    writeback_bursts = -(-nrows // config.jafar_cost.output_buffer_bits)
+    activations = -(-nrows * 8 // config.row_bytes) + writeback_bursts // 128
+    dram = (activations * ROW_ACTIVATE_PJ
+            + (bursts + writeback_bursts) * BURST_ACCESS_PJ)
+    # Only the bitset (1 bit/row) later crosses the bus to the CPU.
+    bitset_words = -(-nrows // 64)
+    bus = bitset_words * WORD_TRANSFER_PJ
+    datapath = estimate(jafar_filter_body(), JAFAR_RESOURCES, nrows)
+    return EnergyBreakdown(dram, bus, datapath.energy_per_iter_pj * nrows,
+                           "jafar")
+
+
+def energy_ratio(config: SystemConfig, nrows: int,
+                 selectivity: float) -> float:
+    """CPU-select energy over JAFAR-select energy (>1 ⇒ NDP wins)."""
+    cpu = cpu_select_energy(config, nrows, selectivity)
+    ndp = jafar_select_energy(config, nrows, selectivity)
+    return cpu.total_pj / ndp.total_pj
+
+
+def _validate(nrows: int, selectivity: float) -> None:
+    if nrows <= 0:
+        raise ConfigError("nrows must be positive")
+    if not 0.0 <= selectivity <= 1.0:
+        raise ConfigError(f"selectivity {selectivity} outside [0, 1]")

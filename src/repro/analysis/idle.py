@@ -1,0 +1,119 @@
+"""The Figure 4 pipeline: memory-controller idle periods under TPC-H.
+
+Methodology mirrors §3.3: run filter-heavy TPC-H queries (Q1, Q3, Q6, Q18,
+Q22) on a MonetDB-style bulk engine on the Xeon platform, sample the
+memory-controller occupancy counters, and compute the paper's pessimistic
+idle-period estimate::
+
+    MC_empty        = total_cycles - RC_busy - WC_busy
+    mean_idle_period = MC_empty / (#reads + #writes)      [bus cycles]
+
+The paper measures idle periods between 200 and 800 bus cycles with an
+average of ~500.
+
+Calibration (recorded in DESIGN.md): the real measurement reflects a full
+DBMS — interpretive operator dispatch, intermediate-BAT management,
+LLC-resident intermediates, and whole-process effects the counters
+aggregate.  We model that as an *effective engine overhead* of
+:data:`MONETDB_ENGINE_CYCLES_PER_ROW` cycles per processed row plus
+LLC-resident intermediates, calibrated so the five-query average lands near
+the paper's 500 cycles.  The cross-query *pattern* (scan-heavy queries at
+the short-idle end, compute/join-heavy at the long end) comes from the
+operator mix, not from the uniform calibration constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..columnstore import ExecutionContext, StorageManager
+from ..config import XEON_PLATFORM, SystemConfig
+from ..errors import ConfigError
+from ..system import GapBudget, MCProfile, Machine, gap_budget, profile_controller
+from ..tpch import PROFILED_QUERIES, generate
+
+#: Effective MonetDB-style engine overhead, cycles per processed row.
+MONETDB_ENGINE_CYCLES_PER_ROW = 140.0
+
+#: The §3.3 figure's x-axis.
+FIGURE4_QUERIES = ("Q1", "Q3", "Q6", "Q18", "Q22")
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    """One bar of Figure 4."""
+
+    query: str
+    profile: MCProfile
+    budget: GapBudget
+
+    @property
+    def mean_idle_cycles(self) -> float:
+        return self.profile.mean_idle_period_cycles
+
+
+def run_query_profile(query: str, data, config: SystemConfig = XEON_PLATFORM,
+                      engine_cycles: float = MONETDB_ENGINE_CYCLES_PER_ROW,
+                      use_ndp: bool = False) -> Fig4Point:
+    """Run one profiled query on a fresh machine and profile its IMC."""
+    if query not in PROFILED_QUERIES:
+        raise ConfigError(
+            f"{query!r} is not one of the profiled queries {FIGURE4_QUERIES}"
+        )
+    machine = Machine(config)
+    storage = StorageManager(machine, default_dimm=None)
+    for table in data.tables():
+        storage.load_table(table)
+    ctx = ExecutionContext(machine, storage, use_ndp=use_ndp,
+                           interpreter_cycles_per_row=engine_cycles,
+                           cache_resident_intermediates=True)
+    start = ctx.now_ps
+    PROFILED_QUERIES[query].run(ctx, data.catalog())
+    window_ps = ctx.now_ps - start
+    profile = profile_controller(machine.controller, window_ps, query)
+    budget = gap_budget(profile, machine.timings,
+                        row_bytes=config.row_bytes)
+    return Fig4Point(query, profile, budget)
+
+
+def run_figure4(scale: float = 0.004, seed: int = 1,
+                config: SystemConfig = XEON_PLATFORM,
+                engine_cycles: float = MONETDB_ENGINE_CYCLES_PER_ROW,
+                queries=FIGURE4_QUERIES) -> list[Fig4Point]:
+    """The full Figure 4 sweep, plus the cross-query average."""
+    data = generate(scale=scale, seed=seed)
+    return [run_query_profile(q, data, config, engine_cycles)
+            for q in queries]
+
+
+def average_idle_cycles(points: list[Fig4Point]) -> float:
+    """The figure's AVG bar."""
+    if not points:
+        raise ConfigError("no Figure 4 points")
+    return sum(p.mean_idle_cycles for p in points) / len(points)
+
+
+def check_figure4_shape(points: list[Fig4Point]) -> dict[str, bool]:
+    """The paper's claims as checkable properties.
+
+    * every per-query mean idle period falls in roughly 200–800 bus cycles;
+    * the average is near 500;
+    * the §3.3 budget arithmetic holds: at ~500 idle cycles JAFAR processes
+      ~4 KB per gap — about half of an 8 KB DRAM row.
+    """
+    if not points:
+        raise ConfigError("no Figure 4 points")
+    idles = [p.mean_idle_cycles for p in points]
+    avg = average_idle_cycles(points)
+    avg_budget = gap_budget(avg, _timings_of(points), row_bytes=8192)
+    return {
+        "range_200_800": all(150.0 <= v <= 900.0 for v in idles),
+        "average_near_500": 300.0 <= avg <= 700.0,
+        "half_row_per_gap": 0.25 <= avg_budget.fraction_of_row <= 0.75,
+    }
+
+
+def _timings_of(points: list[Fig4Point]):
+    from ..dram import speed_grade
+
+    return speed_grade(XEON_PLATFORM.dram_grade)

@@ -1,0 +1,77 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers render them as aligned ASCII tables and horizontal bar charts so a
+terminal diff against the paper's numbers is possible without plotting.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """An aligned ASCII table."""
+    if not headers:
+        raise ReproError("table needs headers")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(values: dict[str, float], title: str = "", width: int = 50,
+                unit: str = "") -> str:
+    """A horizontal ASCII bar chart (Figure 4 style)."""
+    if not values:
+        raise ReproError("bar chart needs values")
+    if width <= 0:
+        raise ReproError("bar width must be positive")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{key.ljust(label_w)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(xs: list[float], ys: list[float], title: str = "",
+                  x_label: str = "x", y_label: str = "y",
+                  height: int = 12) -> str:
+    """A coarse ASCII line plot (Figure 3 style: y vs x)."""
+    if len(xs) != len(ys) or not xs:
+        raise ReproError("series needs equal, non-empty x and y")
+    if height < 3:
+        raise ReproError("plot height must be at least 3")
+    y_min, y_max = min(ys), max(ys)
+    span = (y_max - y_min) or 1.0
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for col, y in enumerate(ys):
+        row = round((y - y_min) / span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"{y_label} (top={y_max:.2f}, bottom={y_min:.2f})")
+    for row in grid:
+        lines.append("  |" + " ".join(row))
+    lines.append("  +" + "--" * len(xs))
+    lines.append("   " + " ".join(f"{x:.1f}"[-1] for x in xs)
+                 + f"   <- {x_label}")
+    return "\n".join(lines)

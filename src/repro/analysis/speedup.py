@@ -1,0 +1,111 @@
+"""The Figure 3 pipeline: JAFAR speedup over CPU-only selects vs selectivity.
+
+Methodology mirrors §3.1/§3.2: a column of uniformly random integers in
+[0, 1M), unsorted and unindexed, scanned at selectivities from 0% to 100%;
+the CPU spin-waits while JAFAR runs (no memory contention); the CPU baseline
+is the branchy (non-predicated) kernel.  The paper reports speedup rising
+from ~5× at 0% to ~9× at 100% — JAFAR's time is selectivity-invariant while
+the CPU pays per-qualifying-row costs.
+
+``num_rows`` defaults to a Python-simulation-friendly sample of the paper's
+4M rows; the workload is regular, so (as the paper itself argues) the
+per-row behaviour is scale-invariant.  Pass ``num_rows=4_000_000`` for the
+full-size run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GEM5_PLATFORM, SystemConfig
+from ..cpu import branchy_select, predicated_select
+from ..errors import ConfigError
+from ..system import Machine
+from ..workloads import bounds_for_selectivity, uniform_column
+
+DEFAULT_SELECTIVITIES = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass(frozen=True)
+class Fig3Point:
+    """One x-position of Figure 3."""
+
+    selectivity: float
+    achieved_selectivity: float
+    cpu_ps: int
+    jafar_ps: int
+    matches: int
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_ps / self.jafar_ps if self.jafar_ps else float("inf")
+
+
+def measure_point(selectivity: float, num_rows: int,
+                  config: SystemConfig = GEM5_PLATFORM, seed: int = 42,
+                  kernel: str = "branchy") -> Fig3Point:
+    """Measure one selectivity point: fresh machine per system, same data."""
+    if num_rows <= 0:
+        raise ConfigError("num_rows must be positive")
+    values = uniform_column(num_rows, seed)
+    low, high = bounds_for_selectivity(selectivity)
+
+    # JAFAR run: column pinned on DIMM 0, output bitset alongside.
+    jafar_machine = Machine(config)
+    col = jafar_machine.alloc_array(values, dimm=0, pinned=True)
+    out = jafar_machine.alloc_zeros(max(num_rows // 8, 1), dimm=0, pinned=True)
+    result = jafar_machine.driver.select_column(col.vaddr, num_rows,
+                                                low, high, out.vaddr)
+    jafar_ps = result.duration_ps
+
+    # CPU-only run on an identical, separate machine (no contention).
+    cpu_machine = Machine(config)
+    cpu_col = cpu_machine.alloc_array(values, dimm=0)
+    paddr = cpu_machine.vm.translate(cpu_col.vaddr)
+    scan = {"branchy": branchy_select,
+            "predicated": predicated_select}[kernel](
+        cpu_machine.core, values, paddr, low, high)
+
+    if scan.num_matches != result.matches:
+        raise ConfigError(
+            "CPU and JAFAR disagree on the result: "
+            f"{scan.num_matches} vs {result.matches} matches"
+        )
+    return Fig3Point(selectivity, scan.num_matches / num_rows,
+                     scan.time_ps, jafar_ps, scan.num_matches)
+
+
+def run_figure3(num_rows: int = 262_144,
+                selectivities=DEFAULT_SELECTIVITIES,
+                config: SystemConfig = GEM5_PLATFORM, seed: int = 42,
+                kernel: str = "branchy") -> list[Fig3Point]:
+    """The full Figure 3 sweep."""
+    return [measure_point(s, num_rows, config, seed, kernel)
+            for s in selectivities]
+
+
+def check_figure3_shape(points: list[Fig3Point]) -> dict[str, bool]:
+    """The paper's claims as checkable properties.
+
+    * speedup at 0% selectivity is mid-single-digit (~5×);
+    * speedup at 100% is higher (~9×);
+    * speedup increases (weakly) with selectivity;
+    * JAFAR's own time is selectivity-invariant.
+    """
+    if len(points) < 2:
+        raise ConfigError("need at least the 0% and 100% endpoints")
+    by_sel = sorted(points, key=lambda p: p.selectivity)
+    low_end = by_sel[0].speedup
+    high_end = by_sel[-1].speedup
+    jafar_times = [p.jafar_ps for p in by_sel]
+    speedups = [p.speedup for p in by_sel]
+    monotone_violations = sum(
+        1 for a, b in zip(speedups, speedups[1:]) if b < a * 0.97)
+    return {
+        "low_end_midsingle": 3.5 <= low_end <= 6.5,
+        "high_end_about_9x": 7.5 <= high_end <= 11.0,
+        "grows_with_selectivity": high_end > low_end * 1.5,
+        "roughly_monotone": monotone_violations <= 1,
+        "jafar_selectivity_invariant":
+            max(jafar_times) <= min(jafar_times) * 1.02,
+    }

@@ -1,0 +1,20 @@
+"""Cache hierarchy models: set-associative levels, hierarchy composition,
+and a stream prefetcher.
+
+Table 1's two platforms are built from these: the gem5 system's 64 kB L1 /
+128 kB L2 and the Xeon's L1/L2/L3.  The hierarchy decides which accesses
+reach the memory controller, and therefore how much of a scan's time is
+data movement — the quantity JAFAR exists to eliminate.
+"""
+
+from .hierarchy import CacheHierarchy, HierarchyResult
+from .prefetcher import StreamPrefetcher
+from .setassoc import AccessResult, SetAssociativeCache
+
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyResult",
+    "SetAssociativeCache",
+    "StreamPrefetcher",
+]

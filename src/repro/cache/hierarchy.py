@@ -1,0 +1,105 @@
+"""A two- or three-level cache hierarchy.
+
+Composes :class:`~repro.cache.setassoc.SetAssociativeCache` levels into the
+inclusive hierarchies of Table 1: the gem5 platform's 64 kB L1 + 128 kB L2,
+and the Xeon's 256 kB L1 + 2 MB L2 + 16 MB L3 (per-core shares of the real
+machine's totals).  :meth:`CacheHierarchy.access` walks the levels and
+reports where the access was satisfied plus any dirty writebacks that must
+go to memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .setassoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Outcome of one hierarchy access.
+
+    ``level`` is 1-based for cache hits and ``0`` for a full miss that must
+    go to DRAM.  ``latency_cycles`` accumulates lookup latencies of every
+    level touched (DRAM latency is the memory model's business, not ours).
+    ``writebacks`` lists dirty-victim line addresses evicted to memory.
+    """
+
+    level: int
+    latency_cycles: int
+    writebacks: tuple[int, ...] = ()
+
+    @property
+    def dram_access(self) -> bool:
+        return self.level == 0
+
+
+class CacheHierarchy:
+    """Inclusive multi-level cache with write-back victims propagated down."""
+
+    def __init__(self, levels: list[SetAssociativeCache]) -> None:
+        if not levels:
+            raise ConfigError("hierarchy needs at least one level")
+        line = levels[0].line_bytes
+        for cache in levels:
+            if cache.line_bytes != line:
+                raise ConfigError("all levels must share one line size")
+        for upper, lower in zip(levels, levels[1:]):
+            if upper.size_bytes > lower.size_bytes:
+                raise ConfigError(
+                    f"{upper.name} larger than {lower.name}; hierarchy must grow"
+                )
+        self.levels = levels
+        self.line_bytes = line
+
+    def access(self, addr: int, is_write: bool = False) -> HierarchyResult:
+        """One demand access; fills all missed levels (inclusive)."""
+        latency = 0
+        writebacks: list[int] = []
+        for depth, cache in enumerate(self.levels, start=1):
+            latency += cache.hit_latency_cycles
+            result = cache.access(addr, is_write=is_write and depth == 1)
+            if result.writeback_addr is not None:
+                # Dirty victim: goes to the next level down, or memory.
+                if depth < len(self.levels):
+                    below = self.levels[depth].access(result.writeback_addr,
+                                                      is_write=True)
+                    if below.writeback_addr is not None:
+                        writebacks.append(below.writeback_addr)
+                else:
+                    writebacks.append(result.writeback_addr)
+            if result.hit:
+                return HierarchyResult(depth, latency, tuple(writebacks))
+        return HierarchyResult(0, latency, tuple(writebacks))
+
+    def invalidate_range(self, addr: int, nbytes: int) -> int:
+        """Invalidate all lines overlapping a range, in every level.
+
+        Returns the number of lines dropped.  Used by the JAFAR driver before
+        the CPU polls accelerator-written memory.
+        """
+        if nbytes <= 0:
+            raise ConfigError(f"range size must be positive, got {nbytes}")
+        first = addr // self.line_bytes
+        last = (addr + nbytes - 1) // self.line_bytes
+        dropped = 0
+        for line in range(first, last + 1):
+            for cache in self.levels:
+                if cache.invalidate(line * self.line_bytes):
+                    dropped += 1
+        return dropped
+
+    def total_capacity(self) -> int:
+        return sum(cache.size_bytes for cache in self.levels)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {
+            cache.name: {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+            }
+            for cache in self.levels
+        }

@@ -1,0 +1,109 @@
+"""A set-associative, write-back, write-allocate cache with LRU replacement.
+
+Transaction-level: :meth:`SetAssociativeCache.access` classifies one access
+as hit or miss and reports any dirty victim that must be written back.  The
+CPU model composes these into a hierarchy; the scan kernels use a vectorised
+fast path for the perfectly sequential case but fall back to this model for
+irregular access patterns (hash probes in the TPC-H joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    writeback_addr: int | None = None  # dirty victim line address, if any
+
+
+class SetAssociativeCache:
+    """One cache level."""
+
+    def __init__(self, name: str, size_bytes: int, line_bytes: int = 64,
+                 ways: int = 8, hit_latency_cycles: int = 4) -> None:
+        if not is_power_of_two(size_bytes) or not is_power_of_two(line_bytes):
+            raise ConfigError(f"{name}: size and line size must be powers of two")
+        if size_bytes % (line_bytes * ways):
+            raise ConfigError(f"{name}: size not divisible by line_bytes*ways")
+        if hit_latency_cycles < 0:
+            raise ConfigError(f"{name}: negative hit latency")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.hit_latency_cycles = hit_latency_cycles
+        self.num_sets = size_bytes // (line_bytes * ways)
+        # Per set: list of (tag, dirty) in LRU order (index 0 = LRU).
+        self._sets: list[list[tuple[int, bool]]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr: int, is_write: bool = False) -> AccessResult:
+        """Access one address; fills on miss (write-allocate)."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        for pos, (candidate, dirty) in enumerate(ways):
+            if candidate == tag:
+                self.hits += 1
+                ways.pop(pos)
+                ways.append((tag, dirty or is_write))
+                return AccessResult(hit=True)
+        self.misses += 1
+        writeback = None
+        if len(ways) >= self.ways:
+            victim_tag, victim_dirty = ways.pop(0)
+            if victim_dirty:
+                self.writebacks += 1
+                writeback = (victim_tag * self.num_sets + index) * self.line_bytes
+        ways.append((tag, is_write))
+        return AccessResult(hit=False, writeback_addr=writeback)
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU or counters."""
+        index, tag = self._index_tag(addr)
+        return any(candidate == tag for candidate, _ in self._sets[index])
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present (no writeback); returns whether it was there.
+
+        Used when JAFAR's output buffer lands in memory the CPU previously
+        cached — the driver invalidates the region before polling results.
+        """
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        for pos, (candidate, _) in enumerate(ways):
+            if candidate == tag:
+                ways.pop(pos)
+                return True
+        return False
+
+    def flush(self) -> list[int]:
+        """Drop everything; returns addresses of dirty lines (to write back)."""
+        dirty_addrs = []
+        for index, ways in enumerate(self._sets):
+            for tag, dirty in ways:
+                if dirty:
+                    dirty_addrs.append((tag * self.num_sets + index) * self.line_bytes)
+            ways.clear()
+        self.writebacks += len(dirty_addrs)
+        return dirty_addrs
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,75 @@
+"""The in-house prototype column-store (§3.1).
+
+A bulk-processing, late-materialisation column-store "capable of performing
+select-project-join queries ... and can invoke JAFAR to push down selections
+to the accelerator".  Integer-centric storage (dates, decimals and
+dictionary-encoded strings all materialise as int64 arrays JAFAR can
+filter), positional intermediates, and per-operator time accounting on the
+simulated machine.
+"""
+
+from .column import Catalog, Column, Table
+from .context import ExecutionContext, OperatorProfile
+from .executor import QueryExecutor, ResultSet
+from .exprs import RangePredicate, between, compare, equals, in_set, prefix
+from .optimizer import PushdownDecision, decide_pushdown, estimate_jafar_ps, route_select
+from .plan import (
+    Aggregate,
+    AggregateSpec,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    walk,
+)
+from .positions import Bitvector, PositionList
+from .storage import ColumnHandle, StorageManager
+from .types import (
+    ColumnType,
+    Dictionary,
+    decode_date,
+    decode_decimal,
+    encode_date,
+    encode_decimal,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Bitvector",
+    "Catalog",
+    "Column",
+    "ColumnHandle",
+    "ColumnType",
+    "Dictionary",
+    "ExecutionContext",
+    "Join",
+    "OperatorProfile",
+    "OrderBy",
+    "PlanNode",
+    "PositionList",
+    "Project",
+    "PushdownDecision",
+    "QueryExecutor",
+    "RangePredicate",
+    "ResultSet",
+    "Scan",
+    "Select",
+    "StorageManager",
+    "Table",
+    "between",
+    "compare",
+    "decide_pushdown",
+    "decode_date",
+    "decode_decimal",
+    "encode_date",
+    "encode_decimal",
+    "equals",
+    "estimate_jafar_ps",
+    "in_set",
+    "prefix",
+    "route_select",
+    "walk",
+]

@@ -1,0 +1,146 @@
+"""Columns and tables: the logical storage layer.
+
+A :class:`Column` holds one attribute as an int64 storage array (see
+:mod:`~repro.columnstore.types`); a :class:`Table` is an ordered set of
+equal-length columns.  Physical placement into the simulated memory is the
+job of :mod:`~repro.columnstore.storage` — logical objects stay usable in
+pure-functional tests without a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+from .types import ColumnType, Dictionary, coerce_storage, decode_date, decode_decimal
+
+
+@dataclass
+class Column:
+    """One attribute of a table."""
+
+    name: str
+    ctype: ColumnType
+    values: np.ndarray
+    dictionary: Dictionary | None = None
+
+    @classmethod
+    def build(cls, name: str, ctype: ColumnType, raw_values,
+              dictionary: Dictionary | None = None) -> "Column":
+        if ctype is ColumnType.STRING and dictionary is None:
+            dictionary = Dictionary.from_values(raw_values)
+        values = coerce_storage(raw_values, ctype, dictionary)
+        return cls(name, ctype, values, dictionary)
+
+    def __post_init__(self) -> None:
+        if self.values.dtype != np.int64:
+            raise SchemaError(
+                f"column {self.name!r}: storage must be int64, "
+                f"got {self.values.dtype}"
+            )
+        if self.ctype is ColumnType.STRING and self.dictionary is None:
+            raise SchemaError(f"column {self.name!r}: STRING needs a dictionary")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    def decode(self, index: int):
+        """User-facing value at ``index``."""
+        raw = int(self.values[index])
+        if self.ctype is ColumnType.DATE:
+            return decode_date(raw)
+        if self.ctype is ColumnType.DECIMAL:
+            return decode_decimal(raw)
+        if self.ctype is ColumnType.STRING:
+            assert self.dictionary is not None
+            return self.dictionary.decode(raw)
+        return raw
+
+    def take(self, positions: np.ndarray) -> "Column":
+        """A new logical column of the rows at ``positions``."""
+        return Column(self.name, self.ctype, self.values[positions],
+                      self.dictionary)
+
+
+@dataclass
+class Table:
+    """An ordered collection of equal-length columns."""
+
+    name: str
+    columns: dict[str, Column] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, name: str, columns: list[Column]) -> "Table":
+        table = cls(name)
+        for column in columns:
+            table.add(column)
+        return table
+
+    def add(self, column: Column) -> None:
+        if column.name in self.columns:
+            raise SchemaError(f"duplicate column {column.name!r} in {self.name!r}")
+        if self.columns and len(column) != self.num_rows:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows; "
+                f"table {self.name!r} has {self.num_rows}"
+            )
+        self.columns[column.name] = column
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {sorted(self.columns)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(column.nbytes for column in self.columns.values())
+
+
+class Catalog:
+    """Named tables of one database instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r}; known: {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

@@ -1,0 +1,93 @@
+"""Execution context shared by all bulk operators.
+
+Carries the machine (whose core clock is the query's timeline), the storage
+manager, and execution flags: whether selects push down to JAFAR, and which
+CPU scan kernel the software path uses.  Operators charge all their time to
+``ctx.core``; wall-clock measurements are differences of ``ctx.now_ps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpu import Core
+from ..errors import ConfigError
+from ..system import Machine
+from .storage import StorageManager
+
+
+@dataclass
+class OperatorProfile:
+    """Per-operator time accounting for one query execution."""
+
+    times_ps: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, operator: str, duration_ps: int) -> None:
+        self.times_ps[operator] = self.times_ps.get(operator, 0) + duration_ps
+
+    def total_ps(self) -> int:
+        return sum(self.times_ps.values())
+
+
+@dataclass
+class ExecutionContext:
+    """One query's execution environment."""
+
+    machine: Machine
+    storage: StorageManager
+    #: Select routing: False = always CPU, True = always JAFAR, "auto" =
+    #: per-select cost-based decision (repro.columnstore.optimizer).
+    use_ndp: bool | str = False
+    cpu_kernel: str = "branchy"    # §3.2 baseline has no predication
+    #: Per-row interpretive engine overhead (cycles).  Zero for the tight
+    #: hand-written kernels of the Figure 3 microbenchmark; the Figure 4
+    #: MonetDB profile sets it to model BAT-at-a-time interpretation costs
+    #: (operator dispatch, intermediate BAT management) — see DESIGN.md.
+    interpreter_cycles_per_row: float = 0.0
+    #: When True, in-flight intermediates that fit in the last-level cache
+    #: generate no DRAM traffic (MonetDB's materialised intermediates at
+    #: profiled scales are largely LLC-resident).
+    cache_resident_intermediates: bool = False
+    profile: OperatorProfile = field(default_factory=OperatorProfile)
+
+    def __post_init__(self) -> None:
+        if self.cpu_kernel not in ("branchy", "predicated"):
+            raise ConfigError(f"unknown CPU kernel {self.cpu_kernel!r}")
+        if self.use_ndp not in (True, False, "auto"):
+            raise ConfigError(
+                f"use_ndp must be True, False or 'auto', got {self.use_ndp!r}"
+            )
+        if self.interpreter_cycles_per_row < 0:
+            raise ConfigError("interpreter overhead must be non-negative")
+
+    def llc_bytes(self) -> int:
+        """Capacity of the last cache level."""
+        return self.machine.hierarchy.levels[-1].size_bytes
+
+    @property
+    def core(self) -> Core:
+        return self.machine.core
+
+    @property
+    def now_ps(self) -> int:
+        return self.machine.core.now_ps
+
+    def timed(self, operator: str):
+        """Context manager charging elapsed core time to ``operator``."""
+        return _Timed(self, operator)
+
+
+class _Timed:
+    def __init__(self, ctx: ExecutionContext, operator: str) -> None:
+        self.ctx = ctx
+        self.operator = operator
+        self._start = 0
+
+    def __enter__(self) -> "_Timed":
+        self._start = self.ctx.now_ps
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.ctx.profile.charge(self.operator,
+                                    self.ctx.now_ps - self._start)

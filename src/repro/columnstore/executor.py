@@ -1,0 +1,239 @@
+"""The bulk-processing query executor with late materialisation.
+
+Executes :mod:`~repro.columnstore.plan` trees bottom-up.  Base-table
+intermediates stay *positional* — a (table, positions) pair — until an
+operator actually needs values, at which point project operators fetch the
+referenced columns (one per column, the N−1 projects of §4).  Selects over
+full base tables route through :func:`~repro.columnstore.operators.scan.
+select`, which is where JAFAR pushdown happens; selects over already-refined
+intermediates run as in-flight refinements on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PlanError
+from .column import Catalog
+from .context import ExecutionContext
+from .operators import aggregate as agg_ops
+from .operators import join as join_ops
+from .operators import scan as scan_ops
+from .operators import sort as sort_ops
+from .operators.project import fetch
+from .plan import (
+    Aggregate,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+)
+from .positions import PositionList
+from .types import Dictionary
+
+
+@dataclass
+class ResultSet:
+    """Materialised query output."""
+
+    columns: dict[str, np.ndarray]
+    dictionaries: dict[str, Dictionary] = field(default_factory=dict)
+    duration_ps: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(next(iter(self.columns.values())).shape[0])
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise PlanError(
+                f"result has no column {name!r}; columns: {sorted(self.columns)}"
+            ) from None
+
+
+@dataclass
+class _BaseRef:
+    """Positional intermediate over one base table."""
+
+    table: str
+    positions: PositionList
+
+
+@dataclass
+class _Materialized:
+    """Value intermediate (after projects/joins/aggregates)."""
+
+    columns: dict[str, np.ndarray]
+    dictionaries: dict[str, Dictionary] = field(default_factory=dict)
+
+
+class QueryExecutor:
+    """Runs plan trees against a catalog on a simulated machine."""
+
+    def __init__(self, ctx: ExecutionContext, catalog: Catalog) -> None:
+        self.ctx = ctx
+        self.catalog = catalog
+
+    def execute(self, plan: PlanNode) -> ResultSet:
+        plan.validate()
+        start = self.ctx.now_ps
+        result = self._run(plan)
+        materialized = self._materialize(result)
+        return ResultSet(materialized.columns, materialized.dictionaries,
+                         self.ctx.now_ps - start)
+
+    # -- node dispatch -------------------------------------------------------------
+
+    def _run(self, node: PlanNode):
+        if isinstance(node, Scan):
+            table = self.catalog.table(node.table)
+            return _BaseRef(node.table, PositionList.all_rows(table.num_rows))
+        if isinstance(node, Select):
+            return self._select(node)
+        if isinstance(node, Project):
+            return self._project(node)
+        if isinstance(node, Join):
+            return self._join(node)
+        if isinstance(node, Aggregate):
+            return self._aggregate(node)
+        if isinstance(node, OrderBy):
+            return self._order_by(node)
+        raise PlanError(f"unknown plan node {type(node).__name__}")
+
+    # -- select ---------------------------------------------------------------------
+
+    def _select(self, node: Select):
+        child = self._run(node.child)
+        if not isinstance(child, _BaseRef):
+            raise PlanError("Select currently applies to base-table streams")
+        table = self.catalog.table(child.table)
+        positions = child.positions
+        full = positions.count() == table.num_rows
+        for pred in node.predicates:
+            if full:
+                # Full-column select: the JAFAR-eligible path.
+                result = scan_ops.select(self.ctx, child.table, pred)
+                positions = result.positions()
+                full = False
+            else:
+                # Refinement: fetch the column at surviving positions and
+                # filter in flight.
+                handle = self.ctx.storage.handle(child.table, pred.column_name)
+                fetched = fetch(self.ctx, handle, positions)
+                values = fetched.column.values
+                with self.ctx.timed("select.refine"):
+                    agg_ops._charge_stream(self.ctx, values.nbytes, 8.0)
+                    keep = (values >= pred.low) & (values <= pred.high)
+                positions = PositionList(positions.positions[keep])
+        return _BaseRef(child.table, positions)
+
+    # -- project ---------------------------------------------------------------------
+
+    def _project(self, node: Project):
+        child = self._run(node.child)
+        if isinstance(child, _Materialized):
+            missing = [c for c in node.columns if c not in child.columns]
+            if missing:
+                raise PlanError(f"projected columns not available: {missing}")
+            return _Materialized(
+                {c: child.columns[c] for c in node.columns},
+                {c: d for c, d in child.dictionaries.items()
+                 if c in node.columns})
+        return self._fetch_columns(child, node.columns)
+
+    def _fetch_columns(self, ref: _BaseRef, names) -> _Materialized:
+        out: dict[str, np.ndarray] = {}
+        dicts: dict[str, Dictionary] = {}
+        for name in names:
+            handle = self.ctx.storage.handle(ref.table, name)
+            fetched = fetch(self.ctx, handle, ref.positions)
+            out[name] = fetched.column.values
+            if fetched.column.dictionary is not None:
+                dicts[name] = fetched.column.dictionary
+        return _Materialized(out, dicts)
+
+    # -- join -------------------------------------------------------------------------
+
+    def _join(self, node: Join):
+        left = self._materialize(self._run(node.left),
+                                 ensure=[node.left_key])
+        right = self._materialize(self._run(node.right),
+                                  ensure=[node.right_key])
+        result = join_ops.hash_join(self.ctx, left.columns[node.left_key],
+                                    right.columns[node.right_key])
+        columns: dict[str, np.ndarray] = {}
+        dicts: dict[str, Dictionary] = {}
+        for name, values in left.columns.items():
+            columns[name] = values[result.build_positions]
+            if name in left.dictionaries:
+                dicts[name] = left.dictionaries[name]
+        for name, values in right.columns.items():
+            out_name = name if name not in columns else f"right.{name}"
+            columns[out_name] = values[result.probe_positions]
+            if name in right.dictionaries:
+                dicts[out_name] = right.dictionaries[name]
+        return _Materialized(columns, dicts)
+
+    # -- aggregate ----------------------------------------------------------------------
+
+    def _aggregate(self, node: Aggregate):
+        needed = list(node.keys) + [spec.column for spec in node.aggregates]
+        child = self._materialize(self._run(node.child), ensure=needed)
+        if node.keys:
+            key_matrix = np.column_stack([
+                child.columns[k] for k in node.keys])
+            aggs = {
+                spec.name: (child.columns[spec.column], spec.kind)
+                for spec in node.aggregates
+            }
+            result = agg_ops.group_by(self.ctx, key_matrix, aggs)
+            columns: dict[str, np.ndarray] = {}
+            for i, key in enumerate(node.keys):
+                columns[key] = result.keys[:, i]
+            columns.update(result.aggregates)
+            dicts = {k: d for k, d in child.dictionaries.items()
+                     if k in node.keys}
+            return _Materialized(columns, dicts)
+        columns = {}
+        for spec in node.aggregates:
+            scalar = agg_ops.scalar_aggregate(
+                self.ctx, child.columns[spec.column], spec.kind)
+            columns[spec.name] = np.array([scalar.value])
+        return _Materialized(columns)
+
+    # -- order by ------------------------------------------------------------------------
+
+    def _order_by(self, node: OrderBy):
+        child = self._materialize(self._run(node.child), ensure=node.keys)
+        keys = [child.columns[k] for k in node.keys]
+        descending = list(node.descending) if node.descending else None
+        if node.limit is None:
+            order = sort_ops.sort_by(self.ctx, keys, descending).order
+        else:
+            order = sort_ops.top_n(self.ctx, keys, node.limit,
+                                   descending).order
+        return _Materialized(
+            {name: values[order] for name, values in child.columns.items()},
+            child.dictionaries)
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _materialize(self, intermediate, ensure=None) -> _Materialized:
+        if isinstance(intermediate, _Materialized):
+            if ensure:
+                missing = [c for c in ensure if c not in intermediate.columns]
+                if missing:
+                    raise PlanError(f"columns not available: {missing}")
+            return intermediate
+        assert isinstance(intermediate, _BaseRef)
+        table = self.catalog.table(intermediate.table)
+        names = ensure if ensure else table.column_names
+        return self._fetch_columns(intermediate, names)

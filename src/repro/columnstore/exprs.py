@@ -1,0 +1,108 @@
+"""Predicate expressions over columns.
+
+Every scalar predicate the engine supports lowers to the inclusive integer
+range JAFAR executes natively (see
+:func:`repro.jafar.alu.predicate_to_range`): comparisons on integers, dates
+(day numbers), decimals (fixed point), and dictionary-encoded strings
+(order-preserving codes).  Conjunctions and disjunctions combine ranges over
+the resulting bitvectors/position lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..errors import PlanError, TypeMismatchError
+from ..jafar import Predicate, predicate_to_range
+from .column import Column, Table
+from .types import ColumnType, encode_date, encode_decimal
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``low <= column <= high`` in storage units — the hardware-native form."""
+
+    column_name: str
+    low: int
+    high: int
+
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+
+def _storage_value(column: Column, value) -> int:
+    """Lower a user-facing literal to the column's storage representation."""
+    if column.ctype is ColumnType.DATE and isinstance(value, date):
+        return encode_date(value)
+    if column.ctype is ColumnType.DECIMAL and isinstance(value, float):
+        return encode_decimal(value)
+    if column.ctype is ColumnType.STRING and isinstance(value, str):
+        assert column.dictionary is not None
+        return column.dictionary.encode(value)
+    if isinstance(value, (int,)):
+        return int(value)
+    raise TypeMismatchError(
+        f"literal {value!r} incompatible with {column.ctype} column "
+        f"{column.name!r}"
+    )
+
+
+def compare(table: Table, column_name: str, pred: Predicate, value,
+            high=None) -> RangePredicate:
+    """Build the range form of ``column <pred> value`` for ``table``.
+
+    For STRING columns only EQ and BETWEEN-over-dictionary-order make sense
+    directly; prefix matching uses :func:`prefix`.
+    """
+    column = table[column_name]
+    low_store = _storage_value(column, value)
+    high_store = _storage_value(column, high) if high is not None else None
+    low, high_out = predicate_to_range(pred, low_store, high_store)
+    return RangePredicate(column_name, low, high_out)
+
+
+def between(table: Table, column_name: str, low, high) -> RangePredicate:
+    """Inclusive range predicate with user-facing bounds."""
+    return compare(table, column_name, Predicate.BETWEEN, low, high)
+
+
+def equals(table: Table, column_name: str, value) -> RangePredicate:
+    return compare(table, column_name, Predicate.EQ, value)
+
+
+def prefix(table: Table, column_name: str, text: str) -> RangePredicate:
+    """String-prefix predicate via the order-preserving dictionary (§4)."""
+    column = table[column_name]
+    if column.ctype is not ColumnType.STRING or column.dictionary is None:
+        raise TypeMismatchError(
+            f"prefix predicate needs a STRING column, got {column.ctype}"
+        )
+    code_range = column.dictionary.range_for_prefix(text)
+    if code_range is None:
+        return RangePredicate(column_name, 1, 0)  # matches nothing
+    return RangePredicate(column_name, code_range[0], code_range[1])
+
+
+def in_set(table: Table, column_name: str, values) -> list[RangePredicate]:
+    """IN-list as a disjunction of point ranges (each JAFAR-executable).
+
+    Adjacent codes coalesce into single ranges, so dense IN lists cost few
+    scans.
+    """
+    column = table[column_name]
+    codes = sorted(_storage_value(column, v) for v in values)
+    if not codes:
+        raise PlanError("IN list must not be empty")
+    ranges: list[RangePredicate] = []
+    start = prev = codes[0]
+    for code in codes[1:]:
+        if code == prev:
+            continue
+        if code == prev + 1:
+            prev = code
+            continue
+        ranges.append(RangePredicate(column_name, start, prev))
+        start = prev = code
+    ranges.append(RangePredicate(column_name, start, prev))
+    return ranges

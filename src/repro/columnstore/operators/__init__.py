@@ -1,0 +1,40 @@
+"""Bulk-processing relational operators.
+
+Each operator processes whole columns per call (MonetDB-style bulk
+processing, the engine family the paper profiles) and charges its time to
+the execution context's core.  The select operator is the star: it routes to
+either the CPU scan kernels or the JAFAR pushdown path.
+"""
+
+from .aggregate import (
+    AggKind,
+    GroupByResult,
+    ScalarAggResult,
+    group_by,
+    scalar_aggregate,
+)
+from .join import JoinResult, hash_join, semi_join_mask
+from .project import ProjectResult, fetch
+from .scan import ScanResult, expand_bitset, select, select_cpu, select_jafar
+from .sort import SortResult, sort_by, top_n
+
+__all__ = [
+    "AggKind",
+    "GroupByResult",
+    "JoinResult",
+    "ProjectResult",
+    "ScalarAggResult",
+    "ScanResult",
+    "SortResult",
+    "expand_bitset",
+    "fetch",
+    "group_by",
+    "hash_join",
+    "scalar_aggregate",
+    "select",
+    "select_cpu",
+    "select_jafar",
+    "semi_join_mask",
+    "sort_by",
+    "top_n",
+]

@@ -1,0 +1,183 @@
+"""Aggregation operators: scalar aggregates and hash group-by.
+
+Scalar aggregates (sum/min/max/count/avg, §4's list) stream their input once
+with a couple of cycles of arithmetic per row.  Group-by aggregation hashes
+each row's key into an in-memory table — streaming reads for the input, a
+random access per row into the hash-table region (the cache hierarchy
+decides how expensive that is, which is what differentiates small and large
+group domains), and arithmetic per aggregate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ColumnStoreError, PlanError
+from ..context import ExecutionContext
+from ..types import DECIMAL_SCALE
+
+#: Per-row arithmetic for one scalar aggregate (load folded into stream).
+AGG_CYCLES_PER_ROW = 1.0
+
+#: Per-row cost of hashing a key (multiply-shift) and comparing on probe.
+HASH_CYCLES_PER_ROW = 4.0
+
+#: Bytes per hash-table slot: key + payload accumulator(s).
+SLOT_BYTES = 32
+
+
+class AggKind(enum.Enum):
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    COUNT = "count"
+    AVG = "avg"
+
+
+@dataclass
+class ScalarAggResult:
+    kind: AggKind
+    value: float | int
+    rows: int
+    duration_ps: int
+
+
+def _charge_stream(ctx: ExecutionContext, nbytes: int,
+                   cycles_per_line: float) -> None:
+    """Charge a streaming pass over ``nbytes`` of in-flight data.
+
+    Adds the context's interpretive per-row overhead (8-byte rows per line)
+    and, when intermediates are modeled cache-resident and the array fits in
+    the LLC, charges compute only — no DRAM traffic.
+    """
+    if nbytes <= 0:
+        return
+    rows_per_line = 8  # int64 rows per 64 B line
+    total_cycles_per_line = (cycles_per_line
+                             + ctx.interpreter_cycles_per_row * rows_per_line)
+    nlines = -(-max(nbytes, 64) // 64)
+    if ctx.cache_resident_intermediates and nbytes <= ctx.llc_bytes():
+        ctx.core.compute_phase(total_cycles_per_line * nlines)
+        return
+    paddr = ctx.storage.timing_scratch(max(nbytes, 64))
+    ctx.core.stream_read_phase(paddr, max(nbytes, 64),
+                               cycles_per_line=total_cycles_per_line)
+
+
+def scalar_aggregate(ctx: ExecutionContext, values: np.ndarray,
+                     kind: AggKind, decimal: bool = False) -> ScalarAggResult:
+    """One aggregate over an in-flight value array."""
+    if values.dtype.kind not in "iu":
+        raise ColumnStoreError(f"aggregate over non-integer dtype {values.dtype}")
+    rows_per_line = max(64 // values.dtype.itemsize, 1)
+    with ctx.timed(f"aggregate.{kind.value}"):
+        start = ctx.now_ps
+        _charge_stream(ctx, values.nbytes,
+                       AGG_CYCLES_PER_ROW * rows_per_line)
+        if kind is AggKind.COUNT:
+            value: float | int = int(values.size)
+        elif values.size == 0:
+            raise PlanError(f"{kind.value} over an empty input")
+        elif kind is AggKind.SUM:
+            value = int(values.sum())
+        elif kind is AggKind.MIN:
+            value = int(values.min())
+        elif kind is AggKind.MAX:
+            value = int(values.max())
+        else:  # AVG
+            value = float(values.mean())
+        if decimal and kind in (AggKind.SUM, AggKind.MIN, AggKind.MAX):
+            value = value / DECIMAL_SCALE
+        if decimal and kind is AggKind.AVG:
+            value = value / DECIMAL_SCALE
+        duration = ctx.now_ps - start
+    return ScalarAggResult(kind, value, int(values.size), duration)
+
+
+@dataclass
+class GroupByResult:
+    """Hash group-by output: group keys plus one array per aggregate."""
+
+    keys: np.ndarray                       # unique keys (or key codes)
+    aggregates: dict[str, np.ndarray]      # name -> per-group values
+    duration_ps: int
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.keys.shape[0])
+
+
+def group_by(ctx: ExecutionContext, keys: np.ndarray,
+             aggregates: dict[str, tuple[np.ndarray, AggKind]],
+             expected_groups: int | None = None) -> GroupByResult:
+    """Hash aggregation of ``aggregates`` grouped by ``keys``.
+
+    ``keys`` may be a single int64 array or a 2-D array (composite keys,
+    one column per key part).  ``aggregates`` maps output names to
+    ``(values, kind)``.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim == 1:
+        key_matrix = keys.reshape(-1, 1)
+    elif keys.ndim == 2:
+        key_matrix = keys
+    else:
+        raise PlanError("keys must be 1-D or 2-D")
+    n = key_matrix.shape[0]
+    for name, (values, _) in aggregates.items():
+        if values.shape[0] != n:
+            raise PlanError(
+                f"aggregate {name!r} has {values.shape[0]} rows, keys have {n}"
+            )
+
+    with ctx.timed("group_by"):
+        start = ctx.now_ps
+        # Functional result.
+        uniq, inverse = np.unique(key_matrix, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        out: dict[str, np.ndarray] = {}
+        counts = np.bincount(inverse, minlength=uniq.shape[0])
+        for name, (values, kind) in aggregates.items():
+            if kind is AggKind.COUNT:
+                out[name] = counts.copy()
+            elif kind is AggKind.SUM:
+                out[name] = np.bincount(inverse, weights=values.astype(np.float64),
+                                        minlength=uniq.shape[0]).astype(np.int64)
+            elif kind is AggKind.AVG:
+                sums = np.bincount(inverse, weights=values.astype(np.float64),
+                                   minlength=uniq.shape[0])
+                out[name] = sums / np.maximum(counts, 1)
+            elif kind in (AggKind.MIN, AggKind.MAX):
+                fill = np.iinfo(np.int64).max if kind is AggKind.MIN else \
+                    np.iinfo(np.int64).min
+                acc = np.full(uniq.shape[0], fill, dtype=np.int64)
+                ufunc = np.minimum if kind is AggKind.MIN else np.maximum
+                ufunc.at(acc, inverse, values.astype(np.int64))
+                out[name] = acc
+            else:  # pragma: no cover - enum is exhaustive
+                raise PlanError(f"unsupported aggregate {kind}")
+
+        # Timing: stream every input array once; one hash-table access per
+        # row into a region sized by the group count.
+        total_bytes = key_matrix.nbytes + sum(
+            v.nbytes for v, _ in aggregates.values())
+        rows_per_line = max(64 // 8, 1)
+        arith = AGG_CYCLES_PER_ROW * len(aggregates)
+        _charge_stream(ctx, total_bytes,
+                       (HASH_CYCLES_PER_ROW + arith) * rows_per_line)
+        groups = expected_groups or int(uniq.shape[0])
+        table_bytes = max(groups * SLOT_BYTES, 64)
+        table_paddr = ctx.storage.timing_scratch(table_bytes)
+        rng = np.random.default_rng(int(uniq.shape[0]) + n)
+        probe_addrs = table_paddr + (
+            rng.integers(0, max(table_bytes // 64, 1), size=n) * 64)
+        ctx.core.random_read_phase(
+            probe_addrs,
+            cycles_per_access=1.0 + ctx.interpreter_cycles_per_row,
+            dependent=False)
+        duration = ctx.now_ps - start
+    return GroupByResult(uniq if keys.ndim == 2 else uniq.reshape(-1),
+                         out, duration)

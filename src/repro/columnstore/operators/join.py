@@ -1,0 +1,114 @@
+"""Hash join (equi-join on int64 keys).
+
+§4 notes joins "may produce more tuples than input" and are therefore the
+problem children of NDP; in this engine they always run on the CPU.  The
+model: build a hash table over the smaller input (stream + random writes
+into the table region), then probe with the larger input (stream + a
+dependent random read per probe — pointer chasing through buckets).
+
+Functionally the join returns matching position pairs (late
+materialisation: downstream projects fetch payload columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import PlanError
+from ..context import ExecutionContext
+from .aggregate import HASH_CYCLES_PER_ROW, SLOT_BYTES, _charge_stream
+
+
+@dataclass
+class JoinResult:
+    """Matching row-position pairs of a hash equi-join."""
+
+    build_positions: np.ndarray
+    probe_positions: np.ndarray
+    duration_ps: int
+
+    @property
+    def matches(self) -> int:
+        return int(self.build_positions.size)
+
+
+def hash_join(ctx: ExecutionContext, build_keys: np.ndarray,
+              probe_keys: np.ndarray) -> JoinResult:
+    """Join ``build_keys`` (smaller side) with ``probe_keys``.
+
+    Duplicate keys on either side produce the full cross product of matches,
+    as SQL semantics require.
+    """
+    build_keys = np.asarray(build_keys)
+    probe_keys = np.asarray(probe_keys)
+    for name, arr in (("build", build_keys), ("probe", probe_keys)):
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+            raise PlanError(f"{name} keys must be a 1-D integer array")
+
+    with ctx.timed("hash_join"):
+        start = ctx.now_ps
+        # Functional: sort-merge the key->position multimaps.
+        build_order = np.argsort(build_keys, kind="stable")
+        sorted_build = build_keys[build_order]
+        left = np.searchsorted(sorted_build, probe_keys, side="left")
+        right = np.searchsorted(sorted_build, probe_keys, side="right")
+        counts = right - left
+        probe_pos = np.repeat(np.arange(probe_keys.size, dtype=np.int64),
+                              counts)
+        if counts.sum():
+            offsets = np.concatenate([
+                np.arange(lo, hi) for lo, hi in zip(left, right) if hi > lo
+            ])
+            build_pos = build_order[offsets].astype(np.int64)
+        else:
+            build_pos = np.empty(0, dtype=np.int64)
+
+        # Timing: build phase — stream the build keys, one table write/row.
+        table_slots = max(int(build_keys.size) * 2, 1)  # 50% fill factor
+        table_bytes = max(table_slots * SLOT_BYTES, 64)
+        table_paddr = ctx.storage.timing_scratch(table_bytes)
+        _charge_stream(ctx, build_keys.nbytes, HASH_CYCLES_PER_ROW * 8)
+        rng = np.random.default_rng(build_keys.size * 31 + probe_keys.size)
+        build_addrs = table_paddr + rng.integers(
+            0, max(table_bytes // 64, 1), size=build_keys.size) * 64
+        ctx.core.random_read_phase(
+            build_addrs,
+            cycles_per_access=2.0 + ctx.interpreter_cycles_per_row,
+            dependent=False)
+        # Probe phase — stream probe keys, dependent bucket walk per probe.
+        _charge_stream(ctx, probe_keys.nbytes, HASH_CYCLES_PER_ROW * 8)
+        probe_addrs = table_paddr + rng.integers(
+            0, max(table_bytes // 64, 1), size=probe_keys.size) * 64
+        ctx.core.random_read_phase(
+            probe_addrs,
+            cycles_per_access=2.0 + ctx.interpreter_cycles_per_row,
+            dependent=True)
+        duration = ctx.now_ps - start
+    return JoinResult(build_pos, probe_pos, duration)
+
+
+def semi_join_mask(ctx: ExecutionContext, probe_keys: np.ndarray,
+                   build_keys: np.ndarray, anti: bool = False) -> np.ndarray:
+    """EXISTS / NOT EXISTS: boolean mask over ``probe_keys``.
+
+    Used by TPC-H Q22's anti-join against orders.  Timing is a hash build
+    over ``build_keys`` plus one dependent probe per probe key.
+    """
+    probe_keys = np.asarray(probe_keys)
+    build_keys = np.asarray(build_keys)
+    with ctx.timed("semi_join"):
+        exists = np.isin(probe_keys, build_keys)
+        table_slots = max(int(np.unique(build_keys).size) * 2, 1)
+        table_bytes = max(table_slots * SLOT_BYTES, 64)
+        table_paddr = ctx.storage.timing_scratch(table_bytes)
+        _charge_stream(ctx, build_keys.nbytes, HASH_CYCLES_PER_ROW * 8)
+        rng = np.random.default_rng(probe_keys.size * 17 + 3)
+        probe_addrs = table_paddr + rng.integers(
+            0, max(table_bytes // 64, 1), size=probe_keys.size) * 64
+        ctx.core.random_read_phase(
+            probe_addrs,
+            cycles_per_access=2.0 + ctx.interpreter_cycles_per_row,
+            dependent=True)
+    return ~exists if anti else exists

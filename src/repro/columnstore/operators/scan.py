@@ -1,0 +1,133 @@
+"""The select operator: CPU scan or JAFAR pushdown.
+
+This is the operator the whole paper is about.  Both paths produce the same
+logical result (verified bit-for-bit by the integration tests):
+
+* the CPU path runs a software scan kernel (branchy by default — the §3.2
+  baseline deliberately does not use predication) and yields a position
+  list;
+* the NDP path invokes JAFAR through the driver — the column streams through
+  the on-DIMM comparators, and only the result bitset crosses the memory
+  bus.  Converting the bitset to positions is *downstream* CPU work, charged
+  separately when an operator needs positions (as in the paper, where the
+  select's measured region is the accelerated filter itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cpu import kernels as cpu_kernels
+from ...errors import ColumnStoreError
+from ...jafar import unpack_mask
+from ..context import ExecutionContext
+from ..exprs import RangePredicate
+from ..positions import Bitvector, PositionList
+from ..storage import ColumnHandle
+
+#: Cycles per output word for bitset->positions expansion (a table-driven
+#: bit-unpack loop on the CPU).
+BITSET_EXPAND_CYCLES_PER_ROW = 1.0
+
+
+@dataclass
+class ScanResult:
+    """Select output: always a bitvector view plus lazy positions."""
+
+    bitvector: Bitvector
+    duration_ps: int
+    path: str  # "cpu" or "jafar"
+
+    def positions(self) -> PositionList:
+        return self.bitvector.to_positions()
+
+    @property
+    def matches(self) -> int:
+        return self.bitvector.count()
+
+
+def select(ctx: ExecutionContext, table_name: str,
+           predicate: RangePredicate) -> ScanResult:
+    """Route a select to JAFAR or the CPU per the context flags.
+
+    ``ctx.use_ndp`` may be a boolean (forced routing) or ``"auto"``, in
+    which case the cost-based pushdown decision of
+    :mod:`repro.columnstore.optimizer` picks the path per select.
+    """
+    handle = ctx.storage.handle(table_name, predicate.column_name)
+    if predicate.is_empty():
+        # Degenerate predicate: nothing can match; no scan is needed.
+        return ScanResult(Bitvector(np.zeros(handle.num_rows, dtype=bool)),
+                          0, "none")
+    if ctx.use_ndp == "auto":
+        from ..optimizer import decide_pushdown
+        decision = decide_pushdown(ctx, handle, predicate)
+        if decision.use_jafar:
+            return select_jafar(ctx, handle, predicate)
+        return select_cpu(ctx, handle, predicate)
+    if ctx.use_ndp:
+        return select_jafar(ctx, handle, predicate)
+    return select_cpu(ctx, handle, predicate)
+
+
+def select_cpu(ctx: ExecutionContext, handle: ColumnHandle,
+               predicate: RangePredicate) -> ScanResult:
+    """Software scan over the materialised column."""
+    kernel = cpu_kernels.KERNELS[ctx.cpu_kernel]
+    paddr = ctx.storage.paddr_of(handle)
+    with ctx.timed("select.cpu"):
+        start = ctx.now_ps
+        result = kernel(ctx.core, handle.column.values, paddr,
+                        predicate.low, predicate.high,
+                        extra_cycles_per_row=ctx.interpreter_cycles_per_row)
+        duration = ctx.now_ps - start
+    return ScanResult(Bitvector(result.mask), duration, "cpu")
+
+
+def select_jafar(ctx: ExecutionContext, handle: ColumnHandle,
+                 predicate: RangePredicate) -> ScanResult:
+    """Push the select down to the column's on-DIMM JAFAR unit."""
+    if handle.out_mapping is None:
+        raise ColumnStoreError(
+            f"column {handle.column.name!r} has no JAFAR output buffer"
+        )
+    with ctx.timed("select.jafar"):
+        start = ctx.now_ps
+        driver_result = ctx.machine.driver.select_column(
+            handle.vaddr, handle.num_rows, predicate.low, predicate.high,
+            handle.out_mapping.vaddr)
+        duration = ctx.now_ps - start
+    out_bytes = -(-handle.num_rows // 8)
+    buf = ctx.machine.read_array(handle.out_mapping, out_bytes,
+                                 dtype=np.uint8)
+    bits = unpack_mask(buf, handle.num_rows)
+    result = ScanResult(Bitvector(bits), duration, "jafar")
+    if result.matches != driver_result.matches:
+        raise ColumnStoreError(
+            "JAFAR bitset disagrees with its match counter: "
+            f"{result.matches} vs {driver_result.matches}"
+        )
+    return result
+
+
+def expand_bitset(ctx: ExecutionContext, result: ScanResult) -> PositionList:
+    """Bitset → position list on the CPU (downstream of a JAFAR select).
+
+    Streams the bitset (tiny: one bit per row) and emits positions; charged
+    as its own operator so experiments can separate filter time from
+    materialisation time, as the paper does.
+    """
+    with ctx.timed("expand_bitset"):
+        num_rows = result.bitvector.num_rows
+        bitset_bytes = max(-(-num_rows // 8), 64)
+        paddr = ctx.storage.timing_scratch(bitset_bytes)
+        ctx.core.stream_read_phase(
+            paddr, bitset_bytes,
+            cycles_per_line=BITSET_EXPAND_CYCLES_PER_ROW * 8 * 8,
+            write_bytes_per_line=result.matches * 8.0 / max(
+                bitset_bytes / 64.0, 1.0),
+        )
+        positions = result.positions()
+    return positions

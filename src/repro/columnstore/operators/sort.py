@@ -1,0 +1,73 @@
+"""Sort operator (order-by and top-N).
+
+Used for order-based group-by plans and for sorting position lists after
+index-less scans (§4, Sorting).  The CPU model charges ``n log2 n`` compare/
+swap work plus two streaming passes (read keys, write run); the NDP sorting
+extension (:mod:`repro.jafar.extensions.sorter`) provides the
+fixed-function alternative the paper's roadmap discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import PlanError
+from ..context import ExecutionContext
+from .aggregate import _charge_stream
+
+#: Cycles per key comparison+swap in a tuned merge sort.
+SORT_CYCLES_PER_CMP = 3.0
+
+
+@dataclass
+class SortResult:
+    order: np.ndarray  # permutation indices
+    duration_ps: int
+
+
+def sort_by(ctx: ExecutionContext, keys: list[np.ndarray],
+            descending: list[bool] | None = None) -> SortResult:
+    """Stable multi-key sort; ``keys[0]`` is the primary key.
+
+    Returns the permutation that orders the rows (apply with
+    ``array[order]``).
+    """
+    if not keys:
+        raise PlanError("sort needs at least one key")
+    n = keys[0].size
+    for key in keys:
+        if key.size != n:
+            raise PlanError("sort keys must have equal length")
+    descending = descending or [False] * len(keys)
+    if len(descending) != len(keys):
+        raise PlanError("descending flags must match the key count")
+
+    with ctx.timed("sort"):
+        start = ctx.now_ps
+        # np.lexsort orders by the LAST key first; feed reversed.
+        materialised = []
+        for key, desc in zip(keys, descending):
+            materialised.append(-key if desc else key)
+        order = np.lexsort(tuple(reversed(materialised))).astype(np.int64)
+
+        total_bytes = sum(int(k.nbytes) for k in keys)
+        if n > 1:
+            compares = n * math.log2(n)
+            cycles_per_line = SORT_CYCLES_PER_CMP * compares / max(
+                total_bytes / 64.0, 1.0)
+            _charge_stream(ctx, total_bytes, cycles_per_line)
+            _charge_stream(ctx, total_bytes, 1.0)  # write the sorted run
+        duration = ctx.now_ps - start
+    return SortResult(order, duration)
+
+
+def top_n(ctx: ExecutionContext, keys: list[np.ndarray], n: int,
+          descending: list[bool] | None = None) -> SortResult:
+    """Top-N via full sort then cut (bulk engines rarely specialise this)."""
+    if n <= 0:
+        raise PlanError("top_n needs a positive n")
+    result = sort_by(ctx, keys, descending)
+    return SortResult(result.order[:n], result.duration_ps)

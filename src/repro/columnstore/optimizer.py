@@ -1,0 +1,91 @@
+"""Select-pushdown decisions: when should a select run on JAFAR?
+
+The paper shows JAFAR wins for full-column selects at every selectivity
+(Figure 3), but a real engine still needs guardrails, which this module
+encodes as an explicit cost comparison built from the same models the
+simulator uses:
+
+* the column must be materialised, pinned, and resident on a JAFAR-equipped
+  DIMM (§4's placement requirements);
+* estimated CPU-scan time (closed form, :func:`repro.cpu.costmodel.
+  scan_estimate`) must exceed estimated JAFAR time (streaming closed form
+  plus per-page invocation overhead) — tiny columns lose to the fixed
+  overhead;
+* selects over already-refined position lists never push down (JAFAR
+  consumes complete columns, §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu import scan_estimate
+from ..errors import ColumnStoreError
+from .context import ExecutionContext
+from .exprs import RangePredicate
+from .storage import ColumnHandle
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    use_jafar: bool
+    reason: str
+    cpu_estimate_ps: float
+    jafar_estimate_ps: float
+
+
+def estimate_jafar_ps(ctx: ExecutionContext, num_rows: int) -> float:
+    """Closed-form JAFAR column time: streaming + activation + overheads."""
+    machine = ctx.machine
+    timings = machine.timings
+    cost = machine.config.jafar_cost
+    bursts = -(-num_rows * 8 // timings.burst_bytes)
+    streaming = bursts * timings.cycles_to_ps(timings.tccd)
+    rows_crossed = -(-num_rows * 8 // machine.config.row_bytes)
+    activates = rows_crossed * timings.cycles_to_ps(timings.trp + timings.trcd)
+    flushes = -(-num_rows // cost.output_buffer_bits)
+    writes = flushes * timings.cycles_to_ps(timings.tccd + timings.cwl)
+    pages = -(-num_rows * 8 // machine.config.page_bytes)
+    overhead = pages * cost.invoke_overhead_ns * 1000.0
+    return streaming + activates + writes + overhead
+
+
+def decide_pushdown(ctx: ExecutionContext, handle: ColumnHandle,
+                    predicate: RangePredicate,
+                    selectivity_estimate: float = 0.5) -> PushdownDecision:
+    """Cost-based routing for one full-column select."""
+    machine = ctx.machine
+    num_rows = handle.num_rows
+    if num_rows <= 0:
+        raise ColumnStoreError("cannot route a select over an empty column")
+    cpu = scan_estimate(machine.config, machine.timings, num_rows, 8,
+                        min(max(selectivity_estimate, 0.0), 1.0),
+                        kernel=ctx.cpu_kernel).total_ps
+    jafar = estimate_jafar_ps(ctx, num_rows)
+
+    if not machine.devices:
+        return PushdownDecision(False, "no JAFAR units installed", cpu, jafar)
+    if handle.dimm not in machine.devices:
+        return PushdownDecision(False,
+                                f"no JAFAR on DIMM {handle.dimm}", cpu, jafar)
+    if not machine.vm.is_pinned(handle.vaddr):
+        return PushdownDecision(False, "column pages not pinned (mlock)",
+                                cpu, jafar)
+    if handle.out_mapping is None:
+        return PushdownDecision(False, "no output bitset buffer allocated",
+                                cpu, jafar)
+    if predicate.is_empty():
+        return PushdownDecision(False, "degenerate predicate", cpu, jafar)
+    if jafar >= cpu:
+        return PushdownDecision(
+            False, "column too small to amortise invocation overhead",
+            cpu, jafar)
+    return PushdownDecision(True, "JAFAR estimated faster", cpu, jafar)
+
+
+def route_select(ctx: ExecutionContext, handle: ColumnHandle,
+                 predicate: RangePredicate,
+                 selectivity_estimate: float = 0.5) -> str:
+    """Convenience: ``"jafar"`` or ``"cpu"`` for this select."""
+    decision = decide_pushdown(ctx, handle, predicate, selectivity_estimate)
+    return "jafar" if decision.use_jafar else "cpu"

@@ -1,0 +1,138 @@
+"""Logical query plans for select-project-join-aggregate queries.
+
+The prototype engine of §3.1 "is capable of performing select-project-join
+queries using bulk processing and can invoke JAFAR to push down selections".
+Plans here are small trees of dataclass nodes; the executor runs them
+bottom-up with late materialisation, and the optimizer decides which selects
+push down to JAFAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from .exprs import RangePredicate
+from .operators.aggregate import AggKind
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class; concrete nodes below."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def validate(self) -> None:
+        for child in self.children():
+            child.validate()
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Read a base table (no predicate)."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """Conjunctive range filter over a base-table stream."""
+
+    child: PlanNode
+    predicates: tuple[RangePredicate, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def validate(self) -> None:
+        if not self.predicates:
+            raise PlanError("Select needs at least one predicate")
+        super().validate()
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Materialise the named columns (tuple reconstruction)."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def validate(self) -> None:
+        if not self.columns:
+            raise PlanError("Project needs at least one column")
+        super().validate()
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Hash equi-join; the left side is the build side."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: str
+    right_key: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate: ``name = kind(column)``."""
+
+    name: str
+    column: str
+    kind: AggKind
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """Group-by aggregation (empty ``keys`` = scalar aggregates)."""
+
+    child: PlanNode
+    keys: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def validate(self) -> None:
+        if not self.aggregates:
+            raise PlanError("Aggregate needs at least one aggregate")
+        names = [spec.name for spec in self.aggregates]
+        if len(set(names)) != len(names):
+            raise PlanError("aggregate output names must be unique")
+        super().validate()
+
+
+@dataclass(frozen=True)
+class OrderBy(PlanNode):
+    """Sort by columns, optionally limiting output rows."""
+
+    child: PlanNode
+    keys: tuple[str, ...]
+    descending: tuple[bool, ...] = field(default=())
+    limit: int | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def validate(self) -> None:
+        if not self.keys:
+            raise PlanError("OrderBy needs at least one key")
+        if self.descending and len(self.descending) != len(self.keys):
+            raise PlanError("descending flags must match keys")
+        if self.limit is not None and self.limit <= 0:
+            raise PlanError("limit must be positive")
+        super().validate()
+
+
+def walk(node: PlanNode):
+    """Pre-order traversal of a plan tree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

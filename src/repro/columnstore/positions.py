@@ -1,0 +1,104 @@
+"""Late-materialization intermediates: position lists and bitvectors.
+
+Column-store plans flow *positions* (row ids), not tuples, between
+operators; values are fetched late, per referenced column (the N−1 project
+operators of §4).  Two physical forms exist with free conversion:
+
+* :class:`Bitvector` — one bit per base-table row; what JAFAR produces.
+* :class:`PositionList` — sorted row ids; what CPU scans produce and what
+  project operators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ColumnStoreError
+
+
+@dataclass(frozen=True)
+class Bitvector:
+    """A qualifying-row bitset over ``num_rows`` base rows."""
+
+    bits: np.ndarray  # bool array, length num_rows
+
+    def __post_init__(self) -> None:
+        if self.bits.dtype != np.bool_:
+            raise ColumnStoreError("bitvector needs a boolean array")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.bits.size)
+
+    def count(self) -> int:
+        return int(self.bits.sum())
+
+    def to_positions(self) -> "PositionList":
+        return PositionList(np.flatnonzero(self.bits).astype(np.int64))
+
+    def __and__(self, other: "Bitvector") -> "Bitvector":
+        self._check_peer(other)
+        return Bitvector(self.bits & other.bits)
+
+    def __or__(self, other: "Bitvector") -> "Bitvector":
+        self._check_peer(other)
+        return Bitvector(self.bits | other.bits)
+
+    def __invert__(self) -> "Bitvector":
+        return Bitvector(~self.bits)
+
+    def _check_peer(self, other: "Bitvector") -> None:
+        if self.num_rows != other.num_rows:
+            raise ColumnStoreError(
+                f"bitvector length mismatch: {self.num_rows} vs {other.num_rows}"
+            )
+
+
+@dataclass(frozen=True)
+class PositionList:
+    """Sorted, duplicate-free qualifying row ids."""
+
+    positions: np.ndarray  # int64, ascending
+
+    def __post_init__(self) -> None:
+        if self.positions.dtype != np.int64:
+            raise ColumnStoreError("position list must be int64")
+        if self.positions.size > 1 and not (
+                np.diff(self.positions) > 0).all():
+            raise ColumnStoreError("positions must be strictly ascending")
+        if self.positions.size and self.positions[0] < 0:
+            raise ColumnStoreError("positions must be non-negative")
+
+    @classmethod
+    def of(cls, *positions: int) -> "PositionList":
+        return cls(np.array(positions, dtype=np.int64))
+
+    @classmethod
+    def all_rows(cls, num_rows: int) -> "PositionList":
+        return cls(np.arange(num_rows, dtype=np.int64))
+
+    def count(self) -> int:
+        return int(self.positions.size)
+
+    def to_bitvector(self, num_rows: int) -> Bitvector:
+        if self.positions.size and self.positions[-1] >= num_rows:
+            raise ColumnStoreError(
+                f"position {int(self.positions[-1])} outside {num_rows} rows"
+            )
+        bits = np.zeros(num_rows, dtype=bool)
+        bits[self.positions] = True
+        return Bitvector(bits)
+
+    def intersect(self, other: "PositionList") -> "PositionList":
+        return PositionList(np.intersect1d(self.positions, other.positions,
+                                           assume_unique=True))
+
+    def union(self, other: "PositionList") -> "PositionList":
+        return PositionList(np.union1d(self.positions, other.positions))
+
+    def selectivity(self, num_rows: int) -> float:
+        if num_rows <= 0:
+            raise ColumnStoreError("num_rows must be positive")
+        return self.count() / num_rows

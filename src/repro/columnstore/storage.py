@@ -1,0 +1,123 @@
+"""Physical placement of columns into the simulated memory system.
+
+The storage manager materialises logical columns into the machine's virtual
+memory — contiguously, fill-first on a chosen DIMM when JAFAR will consume
+them (the §4 requirement that the system know what data sits on which DIMM),
+with ``mlock`` pinning applied up front.  It also owns the per-column output
+bitset buffers JAFAR writes into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ColumnStoreError
+from ..mem import Mapping, Placement
+from ..system import Machine
+from .column import Column, Table
+
+
+@dataclass
+class ColumnHandle:
+    """A column materialised in simulated memory."""
+
+    column: Column
+    mapping: Mapping
+    dimm: int
+    out_mapping: Mapping | None = None  # JAFAR bitset buffer, same DIMM
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.column)
+
+    @property
+    def vaddr(self) -> int:
+        return self.mapping.vaddr
+
+
+class StorageManager:
+    """Places tables into a machine's memory and tracks their handles."""
+
+    def __init__(self, machine: Machine, default_dimm: int | None = 0,
+                 placement: Placement = Placement.FILL_FIRST,
+                 pin: bool = True) -> None:
+        self.machine = machine
+        self.default_dimm = default_dimm
+        self.placement = placement
+        self.pin = pin
+        self._handles: dict[tuple[str, str], ColumnHandle] = {}
+
+    def load_table(self, table: Table, dimm: int | None = None) -> None:
+        """Materialise every column of ``table``."""
+        for column in table.columns.values():
+            self.load_column(table.name, column, dimm=dimm)
+
+    def load_column(self, table_name: str, column: Column,
+                    dimm: int | None = None) -> ColumnHandle:
+        key = (table_name, column.name)
+        if key in self._handles:
+            raise ColumnStoreError(f"column {key} already materialised")
+        target = self.default_dimm if dimm is None else dimm
+        mapping = self.machine.alloc_array(column.values, dimm=target,
+                                           placement=self.placement,
+                                           pinned=self.pin)
+        out_bytes = max(-(-len(column) // 8), 1)
+        out_mapping = self.machine.alloc_zeros(out_bytes, dimm=target,
+                                               pinned=self.pin)
+        handle = ColumnHandle(column, mapping,
+                              self.machine.vm.dimm_of(mapping.vaddr),
+                              out_mapping)
+        self._handles[key] = handle
+        return handle
+
+    def handle(self, table_name: str, column_name: str) -> ColumnHandle:
+        try:
+            return self._handles[(table_name, column_name)]
+        except KeyError:
+            raise ColumnStoreError(
+                f"column {table_name}.{column_name} is not materialised"
+            ) from None
+
+    def is_loaded(self, table_name: str, column_name: str) -> bool:
+        return (table_name, column_name) in self._handles
+
+    def paddr_of(self, handle: ColumnHandle) -> int:
+        """Physical base address (columns are physically contiguous)."""
+        runs = self.machine.vm.translate_range(handle.vaddr,
+                                               handle.column.nbytes)
+        if len(runs) != 1:
+            raise ColumnStoreError(
+                f"column {handle.column.name!r} is not physically contiguous"
+            )
+        return runs[0][0]
+
+    def scratch_region(self, nbytes: int) -> tuple[Mapping, int]:
+        """An anonymous region for operator intermediates (hash tables,
+        output buffers); returns (mapping, physical base)."""
+        if nbytes <= 0:
+            raise ColumnStoreError("scratch region must be positive")
+        mapping = self.machine.alloc_zeros(nbytes)
+        paddr = self.machine.vm.translate(mapping.vaddr)
+        return mapping, paddr
+
+    def timing_scratch(self, nbytes: int) -> int:
+        """Physical base of a reusable region for charging memory traffic of
+        in-flight intermediates (arrays not materialised as columns).
+
+        Contents are irrelevant — only the traffic pattern matters — so one
+        region is cached and grown on demand instead of leaking mappings.
+        """
+        if nbytes <= 0:
+            raise ColumnStoreError("scratch region must be positive")
+        cached = getattr(self, "_timing_scratch", None)
+        if cached is None or cached[1] < nbytes:
+            mapping = self.machine.alloc_zeros(nbytes)
+            cached = (self.machine.vm.translate(mapping.vaddr), nbytes)
+            self._timing_scratch = cached
+        return cached[0]
+
+    def values_in_memory(self, handle: ColumnHandle) -> np.ndarray:
+        """The column's storage array as held by the simulated memory."""
+        return self.machine.read_array(handle.mapping, handle.column.nbytes)

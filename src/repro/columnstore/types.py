@@ -1,0 +1,135 @@
+"""Column data types, including dictionary encoding for strings.
+
+The engine follows the paper's integer-centric world view: "Integers are
+sufficient to capture most datatypes in modern data systems" (§2.2), and
+"many modern systems effectively handle string columns as integers using
+dictionary compression" (§4, Data Types).  Dates are days since epoch;
+decimals are fixed-point integers; strings are dictionary codes.  Every
+column therefore materialises as an int64 array that JAFAR can filter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import date
+
+import numpy as np
+
+from ..errors import SchemaError, TypeMismatchError
+
+EPOCH = date(1970, 1, 1)
+
+
+class ColumnType(enum.Enum):
+    INT64 = "int64"
+    DATE = "date"          # days since 1970-01-01, stored as int64
+    DECIMAL = "decimal"    # fixed-point, 2 decimal digits, stored as int64
+    STRING = "string"      # dictionary-encoded, stored as int64 codes
+
+
+DECIMAL_SCALE = 100  # two decimal digits
+
+
+def encode_date(value: date) -> int:
+    """A calendar date as its int64 storage representation."""
+    return (value - EPOCH).days
+
+
+def decode_date(days: int) -> date:
+    return date.fromordinal(EPOCH.toordinal() + int(days))
+
+
+def encode_decimal(value: float) -> int:
+    """A decimal(x, 2) value as its fixed-point representation."""
+    return round(value * DECIMAL_SCALE)
+
+
+def decode_decimal(fixed: int) -> float:
+    return fixed / DECIMAL_SCALE
+
+
+@dataclass
+class Dictionary:
+    """An order-preserving string dictionary.
+
+    Order preservation means range predicates on strings lower to range
+    predicates on codes — exactly the trick that lets JAFAR filter string
+    columns (§4).  Building order-preserving dictionaries requires the value
+    domain up front, which suits the bulk-loaded TPC-H tables here.
+    """
+
+    values: list[str] = field(default_factory=list)
+    _codes: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_values(cls, values) -> "Dictionary":
+        d = cls()
+        for v in sorted(set(values)):
+            d._codes[v] = len(d.values)
+            d.values.append(v)
+        return d
+
+    def encode(self, value: str) -> int:
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise TypeMismatchError(
+                f"string {value!r} not in dictionary ({len(self.values)} entries)"
+            ) from None
+
+    def encode_many(self, values) -> np.ndarray:
+        return np.array([self.encode(v) for v in values], dtype=np.int64)
+
+    def decode(self, code: int) -> str:
+        if not 0 <= code < len(self.values):
+            raise TypeMismatchError(f"dictionary code {code} out of range")
+        return self.values[code]
+
+    def range_for_prefix(self, prefix: str) -> tuple[int, int] | None:
+        """Code range matching a string prefix, or None when nothing does.
+
+        Order preservation makes prefix predicates contiguous code ranges.
+        """
+        lo = None
+        hi = None
+        for code, value in enumerate(self.values):
+            if value.startswith(prefix):
+                if lo is None:
+                    lo = code
+                hi = code
+            elif lo is not None:
+                break
+        if lo is None:
+            return None
+        assert hi is not None
+        return lo, hi
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def coerce_storage(values, ctype: ColumnType,
+                   dictionary: Dictionary | None = None) -> np.ndarray:
+    """Convert user-facing values to the int64 storage representation."""
+    if ctype is ColumnType.INT64:
+        arr = np.asarray(values)
+        if arr.dtype.kind not in "iu":
+            raise TypeMismatchError(f"INT64 column got dtype {arr.dtype}")
+        return arr.astype(np.int64)
+    if ctype is ColumnType.DATE:
+        first = values[0] if len(values) else None
+        if isinstance(first, date):
+            return np.array([encode_date(v) for v in values], dtype=np.int64)
+        return np.asarray(values, dtype=np.int64)
+    if ctype is ColumnType.DECIMAL:
+        arr = np.asarray(values)
+        if arr.dtype.kind in "iu":
+            return arr.astype(np.int64)  # already fixed-point
+        return np.array([encode_decimal(float(v)) for v in values],
+                        dtype=np.int64)
+    if ctype is ColumnType.STRING:
+        if dictionary is None:
+            raise SchemaError("STRING columns need a dictionary")
+        return dictionary.encode_many(values)
+    raise SchemaError(f"unknown column type {ctype}")  # pragma: no cover

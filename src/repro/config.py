@@ -1,0 +1,220 @@
+"""Platform configurations — Table 1 of the paper, as live objects.
+
+Two platforms are defined:
+
+* :data:`GEM5_PLATFORM` — the simulated system used to isolate JAFAR's raw
+  performance (Figure 3): one out-of-order x86 core at 1 GHz, 64 kB L1,
+  128 kB L2, 2 GB DDR3 on one socket.
+* :data:`XEON_PLATFORM` — the Intel Xeon E7-4820 v2 server used to profile
+  real TPC-H workloads (Figure 4): 2 GHz cores, 256 kB L1 / 2 MB L2 / 16 MB
+  L3 per-core shares, 1 TB DDR3 across 4 sockets.
+
+The ``populated_mib`` knob bounds how much of the address space the
+simulator materialises — the timing geometry still describes the full
+platform, but only the touched prefix is backed by real bytes (the paper
+makes the same sampling argument for its 4M-row dataset, §3.1).
+
+Cost-model constants (the free parameters discussed in DESIGN.md §4) also
+live here so every experiment reads them from one audited place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .units import gib, kib, mib
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One cache level: ``(name, size_bytes, ways, hit_latency_cycles)``."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    hit_latency_cycles: int
+
+
+@dataclass(frozen=True)
+class CPUCostModel:
+    """Per-row instruction-cost constants for the scan kernels (§3.2).
+
+    The paper's CPU baseline "executes additional code to record when a row
+    passes the filter" and does *not* use predication.  The constants below
+    are µop counts for the two kernel flavours; times fall out as
+    ``µops / ipc`` cycles plus memory stalls from the cache/DRAM model.
+
+    * ``base_uops`` — load, compare, branch, index increment, loop check for
+      one non-matching row of the branchy kernel.
+    * ``match_uops`` — extra work on the match path: materialise the row id,
+      store it to the output position list, bump the output cursor.
+    * ``predicated_uops`` — per-row cost of the branch-free kernel
+      (compare-to-flag, masked store, unconditional cursor advance); paid
+      for *every* row regardless of selectivity.
+    * ``mispredict_penalty_cycles`` × ``mispredict_rate(s) = 2s(1-s)`` —
+      optional pipeline-flush term for the branchy kernel; the default
+      penalty reflects the short gem5 in-order-like pipeline.
+    * ``residual_stall_cycles_per_line`` — memory stall per cache line that
+      the stream prefetcher could not hide.
+    """
+
+    base_uops: float = 5.0
+    match_uops: float = 3.0
+    predicated_uops: float = 7.0
+    ipc: float = 2.0
+    mispredict_penalty_cycles: float = 1.0
+    residual_stall_cycles_per_line: float = 4.0
+
+    def __post_init__(self) -> None:
+        for fname in ("base_uops", "match_uops", "predicated_uops", "ipc"):
+            if getattr(self, fname) <= 0:
+                raise ConfigError(f"cost model: {fname} must be positive")
+        if self.mispredict_penalty_cycles < 0 or self.residual_stall_cycles_per_line < 0:
+            raise ConfigError("cost model: penalties must be non-negative")
+
+
+@dataclass(frozen=True)
+class JafarCostModel:
+    """JAFAR device constants (§2.2).
+
+    * ``output_buffer_bits`` — the *n*-bit output bitset; every *n* results
+      the buffer is written back to DRAM without stalling the filter.
+    * ``invoke_overhead_ns`` — per-call cost of programming the
+      memory-mapped control registers, the ownership handoff, and the final
+      completion poll (the ~7% non-accelerated time of §3.1).
+    * ``words_per_cycle`` — filter throughput at the JAFAR clock; derived
+      from the Aladdin-style schedule (1 word/cycle with two ALUs), kept
+      here so experiments can ablate slower designs.
+    """
+
+    output_buffer_bits: int = 512
+    invoke_overhead_ns: float = 200.0
+    words_per_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.output_buffer_bits <= 0 or self.output_buffer_bits % 8:
+            raise ConfigError("output buffer must be a positive multiple of 8 bits")
+        if self.invoke_overhead_ns < 0:
+            raise ConfigError("invoke overhead must be non-negative")
+        if self.words_per_cycle <= 0:
+            raise ConfigError("words_per_cycle must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A full platform description (one column of Table 1)."""
+
+    name: str
+    cpu_freq_hz: int
+    cores: int
+    smt: int
+    sockets: int
+    caches: tuple[CacheLevelSpec, ...]
+    dram_grade: str
+    dram_capacity_bytes: int
+    channels: int = 1
+    dimms_per_channel: int = 1
+    ranks_per_dimm: int = 1
+    banks_per_rank: int = 8
+    row_bytes: int = 8192
+    page_bytes: int = 65536
+    populated_mib: int = 64
+    cpu_cost: CPUCostModel = field(default_factory=CPUCostModel)
+    jafar_cost: JafarCostModel = field(default_factory=JafarCostModel)
+    refresh_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cpu_freq_hz <= 0:
+            raise ConfigError(f"{self.name}: CPU frequency must be positive")
+        if self.cores <= 0 or self.smt <= 0 or self.sockets <= 0:
+            raise ConfigError(f"{self.name}: core counts must be positive")
+        if not self.caches:
+            raise ConfigError(f"{self.name}: at least one cache level required")
+        if self.populated_mib <= 0:
+            raise ConfigError(f"{self.name}: populated_mib must be positive")
+
+    def with_(self, **overrides) -> "SystemConfig":
+        """A copy with fields replaced (experiments tweak platforms a lot)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """Human-readable spec rows, used by the Table 1 bench."""
+        cache_desc = ", ".join(
+            f"{c.size_bytes // kib(1)} kB {c.name}" if c.size_bytes < mib(1)
+            else f"{c.size_bytes // mib(1)} MB {c.name}"
+            for c in self.caches
+        )
+        total_cores = self.cores * self.sockets
+        return [
+            ("Platform", self.name),
+            ("CPU", f"{self.cpu_freq_hz / 1e9:g} GHz CPU"),
+            ("Cores", f"{self.cores} core(s) x {self.smt}-way SMT"
+                      f" ({total_cores} phys. cores total)"),
+            ("Sockets", f"{self.sockets} socket(s)"),
+            ("Caches", cache_desc),
+            ("DRAM", f"{self.dram_capacity_bytes // gib(1)} GB {self.dram_grade}"),
+        ]
+
+
+# -- Table 1, left column: the gem5-simulated system -----------------------------
+
+GEM5_PLATFORM = SystemConfig(
+    name="gem5 simulator (one OoO CPU)",
+    cpu_freq_hz=1_000_000_000,
+    cores=1,
+    smt=1,
+    sockets=1,
+    caches=(
+        CacheLevelSpec("L1", kib(64), ways=2, hit_latency_cycles=4),
+        CacheLevelSpec("L2", kib(128), ways=8, hit_latency_cycles=12),
+    ),
+    dram_grade="DDR3-2133N",   # ~1 GHz data bus, CL ~13 ns — §2.2's numbers
+    dram_capacity_bytes=gib(2),
+    channels=1,
+    dimms_per_channel=1,
+    ranks_per_dimm=2,
+    page_bytes=65536,
+    populated_mib=128,
+)
+
+# -- Table 1, right column: the Xeon E7-4820 v2 profiling host --------------------
+#
+# Cache sizes are the per-core shares the paper lists (256 kB L1 / 2 MB L2 /
+# 16 MB L3 are the chip totals; a single query stream sees one core's slice
+# plus the shared L3).
+
+XEON_PLATFORM = SystemConfig(
+    name="Intel Xeon E7-4820 v2",
+    cpu_freq_hz=2_000_000_000,
+    cores=8,
+    smt=2,
+    sockets=4,
+    caches=(
+        CacheLevelSpec("L1", kib(32), ways=8, hit_latency_cycles=4),
+        CacheLevelSpec("L2", kib(256), ways=8, hit_latency_cycles=12),
+        CacheLevelSpec("L3", mib(16), ways=16, hit_latency_cycles=40),
+    ),
+    dram_grade="DDR3-1600K",
+    dram_capacity_bytes=gib(1024),
+    channels=2,
+    dimms_per_channel=2,
+    ranks_per_dimm=2,
+    page_bytes=65536,
+    populated_mib=256,
+    cpu_cost=CPUCostModel(ipc=2.5),  # wider core than the gem5 model
+)
+
+PLATFORMS: dict[str, SystemConfig] = {
+    "gem5": GEM5_PLATFORM,
+    "xeon": XEON_PLATFORM,
+}
+
+
+def platform(name: str) -> SystemConfig:
+    """Look up a platform by short name (``"gem5"`` or ``"xeon"``)."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise ConfigError(f"unknown platform {name!r}; known: {known}") from None

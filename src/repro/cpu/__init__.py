@@ -1,0 +1,53 @@
+"""CPU timing model: µop vocabulary, core model, scan kernels, closed forms.
+
+This package is the software baseline of Figure 3 — the thing JAFAR is
+measured against.  The core charges compute as ``µops / IPC`` and drives
+transaction-level memory traffic through the cache hierarchy into the DRAM
+model; the kernels implement the branchy (paper baseline) and predicated
+select scans; the cost model provides cross-validated closed forms.
+"""
+
+from .core import Core, PhaseStats
+from .costmodel import (
+    ScanEstimate,
+    branchy_cycles_per_row,
+    line_service_ps,
+    mispredict_rate,
+    predicated_cycles_per_row,
+    scan_estimate,
+)
+from .isa import (
+    BRANCHY_MATCH_EXTRA,
+    BRANCHY_ROW,
+    PREDICATED_ROW,
+    UopBundle,
+    UopKind,
+)
+from .kernels import (
+    KERNELS,
+    SelectResult,
+    branchy_select,
+    predicated_select,
+    range_mask,
+)
+
+__all__ = [
+    "BRANCHY_MATCH_EXTRA",
+    "BRANCHY_ROW",
+    "Core",
+    "KERNELS",
+    "PREDICATED_ROW",
+    "PhaseStats",
+    "ScanEstimate",
+    "SelectResult",
+    "UopBundle",
+    "UopKind",
+    "branchy_cycles_per_row",
+    "branchy_select",
+    "line_service_ps",
+    "mispredict_rate",
+    "predicated_cycles_per_row",
+    "predicated_select",
+    "range_mask",
+    "scan_estimate",
+]

@@ -1,0 +1,226 @@
+"""The scan-oriented CPU core timing model.
+
+:class:`Core` advances a local clock by charging compute cycles
+(``µops / IPC``) and by issuing transaction-level memory traffic through the
+cache hierarchy into the memory controller.  Two access-phase shapes cover
+the paper's workloads:
+
+* :meth:`Core.stream_read_phase` — a sequential sweep over a region with
+  per-line compute costs; the stream prefetcher lets up to ``prefetch_depth``
+  line fetches run ahead of the consuming instruction, so throughput is
+  ``max(compute, DRAM service)`` per line after ramp-up, exactly the
+  closed-loop behaviour a real scan exhibits.
+* :meth:`Core.random_read_phase` — dependent (pointer-chase-like) accesses
+  through the cache model, paying full latency on misses; the TPC-H hash
+  joins and group-bys use this.
+
+Output writes are fire-and-forget (write buffers drain asynchronously), so
+they consume controller bandwidth and perturb the idle-period profile
+without stalling the core — matching how write queues behave in the §3.3
+measurement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache import CacheHierarchy
+from ..config import SystemConfig
+from ..dram import Agent, MemoryController, MemRequest
+from ..errors import ConfigError
+from ..sim.clock import ClockDomain
+
+
+@dataclass
+class PhaseStats:
+    """Outcome of one access phase."""
+
+    start_ps: int
+    end_ps: int
+    lines_read: int = 0
+    lines_written: int = 0
+    compute_cycles: float = 0.0
+    stall_ps: int = 0
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class Core:
+    """One CPU hardware context issuing memory traffic and compute."""
+
+    def __init__(self, config: SystemConfig, controller: MemoryController,
+                 hierarchy: CacheHierarchy, prefetch_depth: int = 8,
+                 write_drain_batch: int = 16, start_ps: int = 0) -> None:
+        if prefetch_depth < 0:
+            raise ConfigError("prefetch depth must be non-negative")
+        if write_drain_batch <= 0:
+            raise ConfigError("write drain batch must be positive")
+        self.config = config
+        self.cost = config.cpu_cost
+        self.controller = controller
+        self.hierarchy = hierarchy
+        self.clock = ClockDomain(config.cpu_freq_hz, "cpu")
+        self.prefetch_depth = prefetch_depth
+        self.write_drain_batch = write_drain_batch
+        self.now_ps = start_ps
+        self.line_bytes = hierarchy.line_bytes
+        self._write_cursor = 0
+        self._pending_writes: list[int] = []
+
+    # -- posted writes ---------------------------------------------------------
+    #
+    # Stores retire into the write queue and drain in batches (real
+    # controllers switch to write-drain mode when the queue fills), which
+    # preserves row locality within the drained burst instead of thrashing
+    # the row buffer against the concurrent read stream.
+
+    def _post_write(self, addr: int, issue_floor: int) -> int:
+        self._pending_writes.append(addr)
+        if len(self._pending_writes) >= self.write_drain_batch:
+            return self._drain_writes(issue_floor)
+        return issue_floor
+
+    def _drain_writes(self, issue_floor: int) -> int:
+        issue_at = max(issue_floor, self.now_ps)
+        for addr in self._pending_writes:
+            self.controller.submit(
+                MemRequest(addr, self.line_bytes, True, issue_at, Agent.CPU))
+        self._pending_writes.clear()
+        return issue_at
+
+    # -- compute ------------------------------------------------------------------
+
+    def cycles_for_uops(self, uops: float) -> float:
+        return uops / self.cost.ipc
+
+    def advance_cycles(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ConfigError("cannot advance by negative cycles")
+        self.now_ps += self.clock.cycles_to_ps(cycles)
+
+    def advance_ps(self, ps: int) -> None:
+        if ps < 0:
+            raise ConfigError("cannot advance by negative time")
+        self.now_ps += ps
+
+    # -- streaming phase ------------------------------------------------------------
+
+    def stream_read_phase(self, base_addr: int, nbytes: int,
+                          cycles_per_line: np.ndarray | float,
+                          write_bytes_per_line: np.ndarray | float = 0.0,
+                          write_base: int | None = None) -> PhaseStats:
+        """Sequentially consume ``[base_addr, base_addr+nbytes)``.
+
+        ``cycles_per_line`` is the compute charged after each line arrives
+        (scalar, or one entry per line).  ``write_bytes_per_line`` generates
+        posted write traffic at ``write_base`` (defaults to just past the
+        input region).
+        """
+        if nbytes <= 0:
+            raise ConfigError("stream phase needs a positive size")
+        nlines = -(-nbytes // self.line_bytes)
+        per_line = np.broadcast_to(np.asarray(cycles_per_line, dtype=np.float64),
+                                   (nlines,))
+        out_per_line = np.broadcast_to(
+            np.asarray(write_bytes_per_line, dtype=np.float64), (nlines,))
+        if write_base is None:
+            write_base = base_addr + nlines * self.line_bytes
+        self._write_cursor = write_base
+
+        start_ps = self.now_ps
+        stats = PhaseStats(start_ps=start_ps, end_ps=start_ps, lines_read=nlines)
+        # The prefetcher keeps up to `depth` fetches in flight; a fetch for
+        # line k is issued when the core finished consuming line k - depth
+        # (or at phase start during ramp-up).
+        finish_times: deque[int] = deque([start_ps] * max(self.prefetch_depth, 1),
+                                         maxlen=max(self.prefetch_depth, 1))
+        issue_floor = start_ps
+        write_backlog = 0.0
+        for k in range(nlines):
+            addr = base_addr + k * self.line_bytes
+            issue_at = max(finish_times[0], issue_floor)
+            issue_floor = issue_at  # controller needs ordered arrivals
+            done = self.controller.submit(
+                MemRequest(addr, self.line_bytes, False, issue_at, Agent.CPU))
+            data_ready = done.finish_ps
+            if data_ready > self.now_ps:
+                stats.stall_ps += data_ready - self.now_ps
+                self.now_ps = data_ready
+            compute = float(per_line[k])
+            stats.compute_cycles += compute
+            self.now_ps += self.clock.cycles_to_ps(compute)
+            finish_times.append(self.now_ps)
+
+            write_backlog += float(out_per_line[k])
+            while write_backlog >= self.line_bytes:
+                write_backlog -= self.line_bytes
+                issue_floor = self._post_write(self._write_cursor, issue_floor)
+                self._write_cursor += self.line_bytes
+                stats.lines_written += 1
+        if write_backlog > 0:
+            issue_floor = self._post_write(self._write_cursor, issue_floor)
+            self._write_cursor += self.line_bytes
+            stats.lines_written += 1
+        self._drain_writes(issue_floor)
+        stats.end_ps = self.now_ps
+        return stats
+
+    # -- random-access phase -----------------------------------------------------------
+
+    def random_read_phase(self, addrs: np.ndarray,
+                          cycles_per_access: float,
+                          dependent: bool = True) -> PhaseStats:
+        """Access ``addrs`` through the cache hierarchy with compute between.
+
+        ``dependent=True`` (hash-probe pointer chasing) serialises each miss;
+        ``dependent=False`` allows ``prefetch_depth``-way overlap, modelling
+        independent probes the OoO window can parallelise.
+        """
+        addrs = np.asarray(addrs)
+        if addrs.size == 0:
+            return PhaseStats(self.now_ps, self.now_ps)
+        if cycles_per_access < 0:
+            raise ConfigError("cycles_per_access must be non-negative")
+        start_ps = self.now_ps
+        stats = PhaseStats(start_ps=start_ps, end_ps=start_ps)
+        lead = 1 if dependent else max(self.prefetch_depth, 1)
+        finish_times: deque[int] = deque([start_ps] * lead, maxlen=lead)
+        issue_floor = start_ps
+        compute_ps = self.clock.cycles_to_ps(cycles_per_access)
+        for addr in addrs:
+            addr = int(addr)
+            result = self.hierarchy.access(addr)
+            self.now_ps += self.clock.cycles_to_ps(result.latency_cycles)
+            if result.dram_access:
+                issue_at = max(finish_times[0], issue_floor)
+                issue_floor = issue_at
+                line_addr = (addr // self.line_bytes) * self.line_bytes
+                done = self.controller.submit(
+                    MemRequest(line_addr, self.line_bytes, False, issue_at,
+                               Agent.CPU))
+                stats.lines_read += 1
+                if done.finish_ps > self.now_ps:
+                    stats.stall_ps += done.finish_ps - self.now_ps
+                    self.now_ps = done.finish_ps
+            for wb_addr in result.writebacks:
+                issue_floor = self._post_write(wb_addr, issue_floor)
+                stats.lines_written += 1
+            stats.compute_cycles += cycles_per_access
+            self.now_ps += compute_ps
+            finish_times.append(self.now_ps)
+        self._drain_writes(issue_floor)
+        stats.end_ps = self.now_ps
+        return stats
+
+    # -- pure compute phase ---------------------------------------------------------
+
+    def compute_phase(self, cycles: float) -> PhaseStats:
+        """Advance time by pure computation (no memory traffic)."""
+        start = self.now_ps
+        self.advance_cycles(cycles)
+        return PhaseStats(start, self.now_ps, compute_cycles=cycles)

@@ -1,0 +1,115 @@
+"""Closed-form analytic cost model for the scan kernels.
+
+For perfectly regular streams the event-level simulation admits closed
+forms; this module derives them from the *same* constants
+(:class:`~repro.config.CPUCostModel`, :class:`~repro.dram.DDR3Timings`) so
+they can cross-validate the simulator (``tests/integration/
+test_fidelity_crosscheck.py``) and drive large parameter sweeps cheaply.
+
+Model:
+
+* compute per line = ``rows/line × base/IPC + matches × extra/IPC +
+  mispredicts × penalty + residual``;
+* memory per line = one burst per tCCD when streaming row-hits, plus the
+  amortised row-activation gap every ``row_bytes / line`` lines, plus the
+  steady-state refresh tax ``tRFC / tREFI``;
+* throughput = ``max(compute, memory)`` per line (the prefetcher overlaps
+  them), plus one full DRAM latency of ramp-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CPUCostModel, SystemConfig
+from ..dram import DDR3Timings
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScanEstimate:
+    """Analytic scan-time breakdown (picoseconds)."""
+
+    total_ps: float
+    compute_ps: float
+    memory_ps: float
+    ramp_ps: float
+    lines: int
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_ps >= self.memory_ps else "memory"
+
+
+def mispredict_rate(selectivity: float) -> float:
+    """1-bit predictor flush rate on i.i.d. data: two transitions per
+    enter/leave of a match run, i.e. ``2 s (1 - s)``."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ConfigError(f"selectivity {selectivity} outside [0, 1]")
+    return 2.0 * selectivity * (1.0 - selectivity)
+
+
+def branchy_cycles_per_row(cost: CPUCostModel, selectivity: float) -> float:
+    """Expected compute cycles per row of the branchy kernel."""
+    base = cost.base_uops / cost.ipc
+    extra = selectivity * cost.match_uops / cost.ipc
+    flush = mispredict_rate(selectivity) * cost.mispredict_penalty_cycles
+    return base + extra + flush
+
+
+def predicated_cycles_per_row(cost: CPUCostModel) -> float:
+    """Compute cycles per row of the predicated kernel (selectivity-free)."""
+    return cost.predicated_uops / cost.ipc
+
+
+def line_service_ps(timings: DDR3Timings, line_bytes: int = 64,
+                    row_bytes: int = 8192, refresh: bool = True) -> float:
+    """Steady-state DRAM service time per sequential line.
+
+    One burst per tCCD while the row is open; a (tRP + tRCD) gap every time
+    the stream crosses a row boundary; everything inflated by the refresh
+    duty cycle.
+    """
+    bursts_per_line = max(1, line_bytes // timings.burst_bytes)
+    per_line = timings.cycles_to_ps(timings.tccd) * bursts_per_line
+    lines_per_row = max(1, row_bytes // line_bytes)
+    row_gap = timings.cycles_to_ps(timings.trp + timings.trcd)
+    per_line += row_gap / lines_per_row
+    if refresh:
+        per_line *= 1.0 + timings.trfc_ps / timings.trefi_ps
+    return per_line
+
+
+def scan_estimate(config: SystemConfig, timings: DDR3Timings, nrows: int,
+                  word_bytes: int, selectivity: float,
+                  kernel: str = "branchy") -> ScanEstimate:
+    """Closed-form scan time for ``nrows`` of ``word_bytes``-wide values."""
+    if nrows <= 0 or word_bytes <= 0:
+        raise ConfigError("nrows and word_bytes must be positive")
+    cost = config.cpu_cost
+    line_bytes = 64
+    rows_per_line = max(line_bytes // word_bytes, 1)
+    lines = -(-nrows // rows_per_line)
+
+    if kernel == "branchy":
+        cycles_row = branchy_cycles_per_row(cost, selectivity)
+    elif kernel == "predicated":
+        cycles_row = predicated_cycles_per_row(cost)
+    else:
+        raise ConfigError(f"unknown kernel {kernel!r}")
+    cpu_period_ps = 1e12 / config.cpu_freq_hz
+    compute_line_ps = (cycles_row * rows_per_line
+                       + cost.residual_stall_cycles_per_line) * cpu_period_ps
+
+    # Input stream plus the posted position-list writes behind it.
+    write_bytes_per_line = selectivity * rows_per_line * 8.0
+    memory_line_ps = line_service_ps(
+        timings, line_bytes, config.row_bytes,
+        refresh=config.refresh_enabled,
+    ) * (1.0 + write_bytes_per_line / line_bytes)
+
+    per_line = max(compute_line_ps, memory_line_ps)
+    ramp = timings.cycles_to_ps(timings.trcd + timings.cl + timings.burst_cycles)
+    total = lines * per_line + ramp
+    return ScanEstimate(total, lines * compute_line_ps, lines * memory_line_ps,
+                        float(ramp), lines)

@@ -1,0 +1,77 @@
+"""Micro-op vocabulary for the CPU cost model.
+
+The scan kernels are compiled (by hand, in :mod:`repro.cpu.kernels`) into
+per-row µop bundles; the core model charges ``µops / IPC`` cycles for the
+compute portion and consults the cache/DRAM model for the memory portion.
+This is deliberately far simpler than gem5's OoO pipeline — the workloads in
+the paper are regular scan loops whose steady-state cost is captured by an
+issue-width model (DESIGN.md §4 records this substitution).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+class UopKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    ALU = "alu"          # add/sub/shift/logic
+    CMP = "cmp"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class UopBundle:
+    """A straight-line bundle of µops with a known mix.
+
+    ``counts`` maps :class:`UopKind` to how many such µops the bundle
+    contains.  Bundles add; kernels build per-row costs out of them.
+    """
+
+    counts: tuple[tuple[UopKind, int], ...]
+
+    @staticmethod
+    def of(**kinds: int) -> "UopBundle":
+        """Build a bundle from keyword counts, e.g. ``of(load=1, cmp=1)``."""
+        pairs = []
+        for name, count in kinds.items():
+            if count < 0:
+                raise ConfigError(f"negative µop count for {name}")
+            pairs.append((UopKind(name), count))
+        return UopBundle(tuple(pairs))
+
+    @property
+    def total(self) -> int:
+        return sum(count for _, count in self.counts)
+
+    def count(self, kind: UopKind) -> int:
+        return sum(c for k, c in self.counts if k is kind)
+
+    def __add__(self, other: "UopBundle") -> "UopBundle":
+        merged: dict[UopKind, int] = {}
+        for kind, count in self.counts + other.counts:
+            merged[kind] = merged.get(kind, 0) + count
+        return UopBundle(tuple(sorted(merged.items(), key=lambda kv: kv[0].value)))
+
+    def scaled(self, factor: int) -> "UopBundle":
+        if factor < 0:
+            raise ConfigError("bundle scale factor must be non-negative")
+        return UopBundle(tuple((k, c * factor) for k, c in self.counts))
+
+
+# The §3.2 baseline: a branchy scan over 64-bit words, *without* predication.
+# Per non-matching row: load the word, compare, conditional branch (not
+# taken), advance the cursor, loop-bound check + back-edge branch.
+BRANCHY_ROW = UopBundle.of(load=1, cmp=1, branch=2, alu=1)
+
+# Extra work on the match path: store the row id into the output position
+# list (auto-increment addressing) and take the recording branch.
+BRANCHY_MATCH_EXTRA = UopBundle.of(alu=1, store=1, branch=1)
+
+# The predicated kernel pays a fixed bundle every row: compare to a flag,
+# unconditional masked store, cursor advance by the flag, loop overhead.
+PREDICATED_ROW = UopBundle.of(load=1, cmp=1, alu=3, store=1, branch=1)

@@ -1,0 +1,137 @@
+"""CPU select-scan kernels: the §3.2 software baselines.
+
+Two flavours of the select operator, both producing a position list (late
+materialization style — positions, not values, flow up the plan):
+
+* :func:`branchy_select` — the paper's baseline: a conditional branch per
+  row, extra instructions on the match path to record the qualifying row.
+  Branch mispredictions are modeled with a 1-bit predictor: every
+  *transition* in the match/no-match outcome sequence is a flush.  On
+  uniform random data transitions occur at rate ``2s(1-s)``, reproducing the
+  textbook misprediction curve from the data itself rather than a formula.
+* :func:`predicated_select` — the branch-free variant the paper discusses
+  ("predication leads to more stable and better performance on average, [but]
+  for lower selectivity it has adverse impact"): a fixed per-row bundle,
+  selectivity-independent compute.
+
+Functional results are computed with NumPy (bit-exact against the plain
+Python semantics); timing comes from :class:`~repro.cpu.core.Core` streaming
+the column through the cache/DRAM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+from .core import Core, PhaseStats
+# The default config µop counts equal these bundles' totals; the bundles
+# document the per-row µop mix while the config is the tunable knob.
+from .isa import BRANCHY_MATCH_EXTRA, BRANCHY_ROW, PREDICATED_ROW  # noqa: F401
+
+
+@dataclass
+class SelectResult:
+    """Outcome of a CPU select scan."""
+
+    positions: np.ndarray      # qualifying row ids, ascending
+    mask: np.ndarray           # boolean match mask over all rows
+    time_ps: int               # wall time of the scan
+    phase: PhaseStats
+
+    @property
+    def num_matches(self) -> int:
+        return int(self.positions.size)
+
+
+def range_mask(values: np.ndarray, low: int, high: int) -> np.ndarray:
+    """The select predicate: inclusive range filter (=, <, >, <=, >= all
+    reduce to ranges over integers, which is what JAFAR supports, §2.2)."""
+    if values.dtype.kind not in "iu":
+        raise TypeMismatchError(
+            f"select operates on integer columns, got dtype {values.dtype}"
+        )
+    return (values >= low) & (values <= high)
+
+
+def _per_line(mask: np.ndarray, rows_per_line: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cache-line match counts and 1-bit-predictor mispredict counts."""
+    n = mask.size
+    nlines = -(-n // rows_per_line)
+    padded = np.zeros(nlines * rows_per_line, dtype=bool)
+    padded[:n] = mask
+    matches = padded.reshape(nlines, rows_per_line).sum(axis=1)
+    transitions = np.empty(n, dtype=bool)
+    transitions[0] = mask[0]  # predictor starts predicting "no match"
+    np.not_equal(mask[1:], mask[:-1], out=transitions[1:])
+    tpad = np.zeros(nlines * rows_per_line, dtype=bool)
+    tpad[:n] = transitions
+    mispredicts = tpad.reshape(nlines, rows_per_line).sum(axis=1)
+    return matches.astype(np.float64), mispredicts.astype(np.float64)
+
+
+def branchy_select(core: Core, values: np.ndarray, base_addr: int,
+                   low: int, high: int,
+                   extra_cycles_per_row: float = 0.0) -> SelectResult:
+    """The non-predicated CPU scan baseline of Figure 3.
+
+    ``extra_cycles_per_row`` layers engine-level overhead (e.g. interpretive
+    operator dispatch) on top of the kernel's own cost.
+    """
+    mask = range_mask(values, low, high)
+    cost = core.cost
+    word_bytes = values.dtype.itemsize
+    rows_per_line = max(core.line_bytes // word_bytes, 1)
+    matches, mispredicts = _per_line(mask, rows_per_line)
+
+    base_cycles = (core.cycles_for_uops(cost.base_uops)
+                   + extra_cycles_per_row) * rows_per_line
+    match_cycles = core.cycles_for_uops(cost.match_uops)
+    cycles_per_line = (
+        base_cycles
+        + matches * match_cycles
+        + mispredicts * cost.mispredict_penalty_cycles
+        + cost.residual_stall_cycles_per_line
+    )
+    start = core.now_ps
+    phase = core.stream_read_phase(
+        base_addr, values.size * word_bytes,
+        cycles_per_line=cycles_per_line,
+        write_bytes_per_line=matches * 8.0,  # 64-bit positions out
+    )
+    return SelectResult(np.flatnonzero(mask).astype(np.int64), mask,
+                        core.now_ps - start, phase)
+
+
+def predicated_select(core: Core, values: np.ndarray, base_addr: int,
+                      low: int, high: int,
+                      extra_cycles_per_row: float = 0.0) -> SelectResult:
+    """The branch-free CPU scan: stable, selectivity-independent compute."""
+    mask = range_mask(values, low, high)
+    cost = core.cost
+    word_bytes = values.dtype.itemsize
+    rows_per_line = max(core.line_bytes // word_bytes, 1)
+    matches, _ = _per_line(mask, rows_per_line)
+
+    cycles_per_line = np.full(
+        matches.shape,
+        (core.cycles_for_uops(cost.predicated_uops)
+         + extra_cycles_per_row) * rows_per_line
+        + cost.residual_stall_cycles_per_line,
+    )
+    start = core.now_ps
+    phase = core.stream_read_phase(
+        base_addr, values.size * word_bytes,
+        cycles_per_line=cycles_per_line,
+        write_bytes_per_line=matches * 8.0,
+    )
+    return SelectResult(np.flatnonzero(mask).astype(np.int64), mask,
+                        core.now_ps - start, phase)
+
+
+KERNELS = {
+    "branchy": branchy_select,
+    "predicated": predicated_select,
+}

@@ -1,0 +1,64 @@
+"""Transaction-level DDR3 SDRAM model.
+
+Implements the memory substrate of §2.1: timing parameters and JEDEC speed
+grades, channel/DIMM/rank/bank geometry with address mapping, bank state
+machines with row-buffer tracking, the 8n-prefetch IO buffer, mode registers
+(including the MR3/MPR rank-ownership blocking used by JAFAR), refresh, and
+a memory controller with FCFS/FR-FCFS scheduling and the IMC performance
+counters that Figure 4's methodology samples.
+"""
+
+from .bank import Bank, BurstTiming
+from .commands import Agent, CompletedRequest, DRAMCommand, MemRequest
+from .controller import MemoryController
+from .counters import IMCCounters
+from .dimm import DIMM, Channel
+from .geometry import AddressMapping, DRAMGeometry, Location
+from .iobuffer import BeatSchedule, IOBuffer
+from .mode_registers import MR3_MPR_ENABLE_BIT, ModeRegisterFile
+from .rank import Rank
+from .refresh import RefreshState
+from .scheduler import FCFSPolicy, FRFCFSPolicy, make_policy
+from .timing import (
+    DDR3_1066,
+    DDR3_1333,
+    DDR3_1600,
+    DDR3_1866,
+    DDR3_2133,
+    SPEED_GRADES,
+    DDR3Timings,
+    speed_grade,
+)
+
+__all__ = [
+    "Agent",
+    "AddressMapping",
+    "Bank",
+    "BeatSchedule",
+    "BurstTiming",
+    "Channel",
+    "CompletedRequest",
+    "DDR3Timings",
+    "DDR3_1066",
+    "DDR3_1333",
+    "DDR3_1600",
+    "DDR3_1866",
+    "DDR3_2133",
+    "DIMM",
+    "DRAMCommand",
+    "DRAMGeometry",
+    "FCFSPolicy",
+    "FRFCFSPolicy",
+    "IMCCounters",
+    "IOBuffer",
+    "Location",
+    "MR3_MPR_ENABLE_BIT",
+    "MemRequest",
+    "MemoryController",
+    "ModeRegisterFile",
+    "Rank",
+    "RefreshState",
+    "SPEED_GRADES",
+    "make_policy",
+    "speed_grade",
+]

@@ -1,0 +1,134 @@
+"""Bank state machine with a timestamped-resource timing model.
+
+Each bank tracks its open row and the earliest picosecond at which the next
+ACT / column command / PRE may legally issue, enforcing the four §2.1 timing
+parameters (CL, tRCD, tRP, tRAS) plus the secondary constraints (tCCD, tWR,
+tRTP).  Commands are issued by calling :meth:`Bank.access`, which returns the
+burst's data-bus window; callers (the memory controller or the JAFAR device)
+serialise data-bus usage themselves via the owning rank's bus tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DRAMTimingError
+from .timing import DDR3Timings
+
+
+@dataclass
+class BurstTiming:
+    """Timing outcome of one column burst on a bank.
+
+    ``cas_ps`` is when the column command issued, ``data_start_ps`` when the
+    first beat hits the bus, ``data_end_ps`` when the last beat completes.
+    ``row_hit`` reports whether the burst hit the open row buffer.
+    """
+
+    cas_ps: int
+    data_start_ps: int
+    data_end_ps: int
+    row_hit: bool
+    activated_row: bool
+
+
+class Bank:
+    """One DRAM bank: open-row tracking plus next-legal-command timestamps."""
+
+    def __init__(self, timings: DDR3Timings, index: int = 0) -> None:
+        self.timings = timings
+        self.index = index
+        self.open_row: int | None = None
+        # Earliest legal issue times for each command class, picoseconds.
+        self.next_act_ps = 0
+        self.next_col_ps = 0
+        self.next_pre_ps = 0
+        # The bank's data pins: enforces read/write turnaround (CL != CWL
+        # means equal CAS spacing does not imply disjoint data windows).
+        self._data_free_ps = 0
+        self._last_act_ps = -(10**15)
+        # Statistics.
+        self.activations = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # -- raw commands ----------------------------------------------------------
+
+    def precharge(self, at_ps: int) -> int:
+        """Close the open row.  Returns the PRE issue time."""
+        t = self.timings
+        issue = max(at_ps, self.next_pre_ps, self._last_act_ps + t.cycles_to_ps(t.tras))
+        self.open_row = None
+        self.next_act_ps = max(self.next_act_ps, issue + t.cycles_to_ps(t.trp))
+        return issue
+
+    def activate(self, row: int, at_ps: int) -> int:
+        """Open ``row``.  Returns the ACT issue time."""
+        if self.open_row is not None:
+            raise DRAMTimingError(
+                f"bank {self.index}: ACT while row {self.open_row} is open"
+            )
+        t = self.timings
+        issue = max(at_ps, self.next_act_ps)
+        self.open_row = row
+        self._last_act_ps = issue
+        self.activations += 1
+        self.next_col_ps = max(self.next_col_ps, issue + t.cycles_to_ps(t.trcd))
+        self.next_pre_ps = max(self.next_pre_ps, issue + t.cycles_to_ps(t.tras))
+        return issue
+
+    # -- transaction-level access -----------------------------------------------
+
+    def access(self, row: int, at_ps: int, is_write: bool,
+               bus_free_ps: int = 0) -> BurstTiming:
+        """Perform one burst to ``row``, opening/closing rows as needed.
+
+        ``bus_free_ps`` is the earliest time the shared data bus is free; the
+        column command is delayed so its data window starts no earlier.
+        Returns the burst timing; the caller must then advance its bus
+        tracker to ``data_end_ps``.
+        """
+        t = self.timings
+        activated = False
+        if self.open_row is not None and self.open_row != row:
+            pre_at = self.precharge(at_ps)
+            at_ps = max(at_ps, pre_at)
+            self.row_misses += 1
+        elif self.open_row == row:
+            self.row_hits += 1
+        if self.open_row is None:
+            act_at = self.activate(row, at_ps)
+            at_ps = max(at_ps, act_at)
+            activated = True
+            if self.open_row != row:  # pragma: no cover - defensive
+                raise DRAMTimingError("activation did not open the requested row")
+
+        latency = t.cwl if is_write else t.cl
+        # The column command must wait for tRCD/tCCD and for both the
+        # external bus and the bank's own data pins to be free.
+        data_floor = max(bus_free_ps, self._data_free_ps)
+        cas = max(at_ps, self.next_col_ps,
+                  data_floor - t.cycles_to_ps(latency))
+        data_start = cas + t.cycles_to_ps(latency)
+        data_end = data_start + t.cycles_to_ps(t.burst_cycles)
+        self._data_free_ps = data_end
+        self.next_col_ps = cas + t.cycles_to_ps(t.tccd)
+        if is_write:
+            # Write recovery delays the next precharge.
+            self.next_pre_ps = max(self.next_pre_ps,
+                                   data_end + t.cycles_to_ps(t.twr))
+        else:
+            self.next_pre_ps = max(self.next_pre_ps,
+                                   cas + t.cycles_to_ps(t.trtp))
+        return BurstTiming(cas, data_start, data_end, row_hit=not activated,
+                           activated_row=activated)
+
+    def block_until(self, time_ps: int) -> None:
+        """Forbid any command before ``time_ps`` (refresh / ownership holds)."""
+        self.next_act_ps = max(self.next_act_ps, time_ps)
+        self.next_col_ps = max(self.next_col_ps, time_ps)
+        self.next_pre_ps = max(self.next_pre_ps, time_ps)
+
+    def idle_from(self) -> int:
+        """Earliest time the bank could accept a fresh ACT."""
+        return self.next_act_ps

@@ -1,0 +1,95 @@
+"""DRAM command and request types.
+
+The memory controller decodes physical addresses into RAS/CAS command
+sequences (§2.1).  At transaction level we model the five commands that
+matter for timing — ACT, RD, WR, PRE, REF — plus MRS (mode-register set),
+which the paper repurposes for rank-ownership handoff (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class DRAMCommand(enum.Enum):
+    """DDR3 command encodings relevant to the timing model."""
+
+    ACT = "activate"        # RAS: open a row into the row buffer
+    RD = "read"             # CAS: read a column burst
+    WR = "write"            # CAS: write a column burst
+    PRE = "precharge"       # close the open row
+    REF = "refresh"         # refresh cycle (tRFC)
+    MRS = "mode_register"   # load a mode register (MR0-MR3)
+
+
+class Agent(enum.Enum):
+    """Who issued a memory request.
+
+    The paper's §3.3 analysis is exactly about arbitrating between these two
+    agents for a shared DRAM rank.
+    """
+
+    CPU = "cpu"
+    JAFAR = "jafar"
+
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One transaction-level memory request (a cache-line-sized access).
+
+    Attributes:
+        addr: physical byte address (burst-aligned accesses are fastest but
+            alignment is not required; the controller aligns internally).
+        nbytes: request size in bytes; the controller splits it into bursts.
+        is_write: write (True) or read (False).
+        arrival_ps: when the request reaches the controller queue.
+        agent: CPU or JAFAR, for ownership checks and per-agent counters.
+    """
+
+    addr: int
+    nbytes: int
+    is_write: bool
+    arrival_ps: int
+    agent: Agent = Agent.CPU
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"negative address {self.addr:#x}")
+        if self.nbytes <= 0:
+            raise ValueError(f"request size must be positive, got {self.nbytes}")
+        if self.arrival_ps < 0:
+            raise ValueError(f"negative arrival time {self.arrival_ps}")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Timing outcome of a serviced :class:`MemRequest`.
+
+    ``issue_ps`` is when the first column command for the request issued,
+    ``first_data_ps`` when the first beat appeared on the data bus, and
+    ``finish_ps`` when the last beat finished.  ``row_hits``/``row_misses``
+    count per-burst row-buffer outcomes.
+    """
+
+    request: MemRequest
+    issue_ps: int
+    first_data_ps: int
+    finish_ps: int
+    row_hits: int
+    row_misses: int
+
+    @property
+    def latency_ps(self) -> int:
+        """Arrival-to-last-data latency."""
+        return self.finish_ps - self.request.arrival_ps
+
+    @property
+    def service_ps(self) -> int:
+        """Issue-to-last-data service time (excludes queueing)."""
+        return self.finish_ps - self.issue_ps

@@ -1,0 +1,82 @@
+"""Integrated-memory-controller performance counters.
+
+§3.3 profiles a Xeon's IMC counters: cycles the read queue was busy
+(``RC_busy``), cycles the write queue was busy (``WC_busy``), and the number
+of reads and writes.  The paper then *estimates* controller idle time as::
+
+    MC_empty = total_cycles - RC_busy - WC_busy          (lower bound)
+    mean_idle_period = MC_empty / (#reads + #writes)     (pessimistic)
+
+:class:`IMCCounters` maintains those counters for the simulated controller —
+and, because this is a simulator, also the ground-truth idle-gap histogram
+the real hardware could not expose, so the bound's pessimism is measurable.
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import BusyTracker, Counter, Histogram
+from .timing import DDR3Timings
+
+
+class IMCCounters:
+    """Counter block for one memory controller."""
+
+    def __init__(self, timings: DDR3Timings) -> None:
+        self.timings = timings
+        self.read_queue = BusyTracker("imc.read_queue")
+        self.write_queue = BusyTracker("imc.write_queue")
+        self.combined = BusyTracker("imc.any_queue")
+        self.reads = Counter("imc.reads")
+        self.writes = Counter("imc.writes")
+        self.read_latency = Histogram("imc.read_latency_ps")
+        self.row_hits = Counter("imc.row_hits")
+        self.row_misses = Counter("imc.row_misses")
+
+    def record(self, is_write: bool, arrival_ps: int, finish_ps: int,
+               row_hits: int, row_misses: int) -> None:
+        """Account one completed request."""
+        if is_write:
+            self.writes.add()
+            self.write_queue.mark_busy(arrival_ps, finish_ps)
+        else:
+            self.reads.add()
+            self.read_queue.mark_busy(arrival_ps, finish_ps)
+            self.read_latency.record(finish_ps - arrival_ps)
+        self.combined.mark_busy(arrival_ps, finish_ps)
+        self.row_hits.add(row_hits)
+        self.row_misses.add(row_misses)
+
+    def finish(self) -> None:
+        """Close open busy intervals at the end of a run."""
+        self.read_queue.finish()
+        self.write_queue.finish()
+        self.combined.finish()
+
+    # -- the paper's derived quantities (§3.3) -----------------------------------
+
+    def rc_busy_cycles(self) -> float:
+        """Cycles the read queue was busy, in memory-bus clocks."""
+        return self.timings.ps_to_cycles(self.read_queue.busy_ps)
+
+    def wc_busy_cycles(self) -> float:
+        """Cycles the write queue was busy, in memory-bus clocks."""
+        return self.timings.ps_to_cycles(self.write_queue.busy_ps)
+
+    def total_accesses(self) -> int:
+        return self.reads.value + self.writes.value
+
+    def mc_empty_cycles(self, total_cycles: float) -> float:
+        """The paper's lower bound on idle cycles (assumes zero R/W overlap)."""
+        return max(0.0, total_cycles - self.rc_busy_cycles() - self.wc_busy_cycles())
+
+    def mean_idle_period_cycles(self, total_cycles: float) -> float:
+        """The paper's pessimistic mean idle-period estimate, in bus cycles."""
+        accesses = self.total_accesses()
+        if accesses == 0:
+            return total_cycles
+        return self.mc_empty_cycles(total_cycles) / accesses
+
+    def true_mean_idle_gap_cycles(self) -> float:
+        """Ground truth: mean gap between busy spans of the combined queue."""
+        gaps = self.combined.idle_gaps_ps()
+        return self.timings.ps_to_cycles(round(gaps.mean)) if gaps.count else 0.0

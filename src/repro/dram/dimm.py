@@ -1,0 +1,58 @@
+"""DIMMs and channels.
+
+A DIMM aggregates one or two ranks (§2.1) and is the physical home of a
+JAFAR unit — JAFAR is "an external integrated circuit mounted on a DIMM"
+(§2.2, Physical Implementation), so there is one (optional) JAFAR per DIMM
+and it can only touch data resident on that DIMM (§4, Memory Management).
+
+A :class:`Channel` groups the DIMMs behind one memory-controller port and
+owns the shared data-bus availability timestamp.
+"""
+
+from __future__ import annotations
+
+from .geometry import DRAMGeometry
+from .rank import Rank
+from .timing import DDR3Timings
+
+
+class DIMM:
+    """One memory module: ranks plus an optional on-module accelerator slot."""
+
+    def __init__(self, timings: DDR3Timings, geometry: DRAMGeometry,
+                 index: int = 0, refresh_enabled: bool = True) -> None:
+        self.timings = timings
+        self.geometry = geometry
+        self.index = index
+        self.ranks = [
+            Rank(timings, geometry.banks_per_rank, index=r,
+                 refresh_enabled=refresh_enabled)
+            for r in range(geometry.ranks_per_dimm)
+        ]
+        # Set by Machine when a JAFAR unit is mounted on this DIMM.
+        self.accelerator = None
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.geometry.dimm_bytes
+
+
+class Channel:
+    """One memory channel: DIMMs plus the shared data bus."""
+
+    def __init__(self, timings: DDR3Timings, geometry: DRAMGeometry,
+                 index: int = 0, refresh_enabled: bool = True) -> None:
+        self.timings = timings
+        self.geometry = geometry
+        self.index = index
+        self.dimms = [
+            DIMM(timings, geometry, index=d, refresh_enabled=refresh_enabled)
+            for d in range(geometry.dimms_per_channel)
+        ]
+        self.bus_free_ps = 0
+
+    def rank(self, dimm: int, rank: int) -> Rank:
+        return self.dimms[dimm].ranks[rank]
+
+    def all_ranks(self) -> list[Rank]:
+        return [rank for dimm in self.dimms for rank in dimm.ranks]

@@ -1,0 +1,202 @@
+"""DRAM geometry and physical-address mapping.
+
+§2.1: a DIMM is composed of one or two *ranks*; each rank is a collection of
+separately packaged SDRAM chips; each chip has multiple independently
+addressable *banks*; each bank is a collection of arrays across which data is
+interleaved.  At transaction level the arrays inside a bank act in lockstep,
+so the addressable unit hierarchy is::
+
+    channel -> dimm -> rank -> bank -> row -> column
+
+:class:`DRAMGeometry` describes the shape; :class:`AddressMapping` decodes a
+physical byte address into a :class:`Location` (the RAS/CAS decode performed
+by the memory controller) and back.
+
+The default bit order, low to high, is ``offset : column : bank : rank :
+dimm : channel-interleave : row`` — an open-page-friendly mapping where a
+sequential stream walks an entire 8 KiB row before touching the next bank.
+An alternative ``bank-interleaved`` mapping rotates banks at burst
+granularity for higher random throughput; both are exercised by the
+interleaving ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, DRAMAddressError
+from ..units import is_power_of_two, log2_exact
+from .timing import DDR3Timings
+
+
+@dataclass(frozen=True)
+class Location:
+    """A fully decoded DRAM coordinate."""
+
+    channel: int
+    dimm: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+    offset: int  # byte offset within the burst-addressable column unit
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Shape of the simulated memory system.
+
+    ``row_bytes`` is the size of one DRAM row *as seen by the channel* (the
+    paper cites commercial chips whose banks store 8 KiB per row, §3.3).
+    ``interleave_bytes`` is the granularity at which consecutive addresses
+    rotate across channels (0 disables channel interleaving — addresses fill
+    one channel/DIMM completely before the next, the "straightforward" case
+    of §2.2 Handling Data Interleaving).
+    """
+
+    channels: int = 1
+    dimms_per_channel: int = 1
+    ranks_per_dimm: int = 1
+    banks_per_rank: int = 8
+    row_bytes: int = 8192
+    rows_per_bank: int = 32768
+    bus_bytes: int = 8           # 64-bit data bus
+    interleave_bytes: int = 0    # 0 = fill-first (no channel interleave)
+    bank_rotate_bytes: int = 0   # 0 = row-major; else rotate banks every N bytes
+
+    def __post_init__(self) -> None:
+        for fname in ("channels", "dimms_per_channel", "ranks_per_dimm",
+                      "banks_per_rank", "row_bytes", "rows_per_bank", "bus_bytes"):
+            value = getattr(self, fname)
+            if value <= 0 or not is_power_of_two(value):
+                raise ConfigError(f"geometry.{fname} must be a positive power of two, got {value}")
+        if self.interleave_bytes and not is_power_of_two(self.interleave_bytes):
+            raise ConfigError("interleave_bytes must be 0 or a power of two")
+        if self.bank_rotate_bytes and not is_power_of_two(self.bank_rotate_bytes):
+            raise ConfigError("bank_rotate_bytes must be 0 or a power of two")
+        if self.bank_rotate_bytes and self.bank_rotate_bytes >= self.row_bytes:
+            raise ConfigError("bank_rotate_bytes must be smaller than row_bytes")
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.row_bytes * self.rows_per_bank
+
+    @property
+    def rank_bytes(self) -> int:
+        return self.bank_bytes * self.banks_per_rank
+
+    @property
+    def dimm_bytes(self) -> int:
+        return self.rank_bytes * self.ranks_per_dimm
+
+    @property
+    def channel_bytes(self) -> int:
+        return self.dimm_bytes * self.dimms_per_channel
+
+    @property
+    def total_bytes(self) -> int:
+        return self.channel_bytes * self.channels
+
+    @property
+    def total_ranks(self) -> int:
+        return self.channels * self.dimms_per_channel * self.ranks_per_dimm
+
+    def columns_per_row(self, burst_bytes: int) -> int:
+        """Number of burst-sized column units in one row."""
+        if self.row_bytes % burst_bytes:
+            raise ConfigError(
+                f"row size {self.row_bytes} not a multiple of burst {burst_bytes}"
+            )
+        return self.row_bytes // burst_bytes
+
+
+class AddressMapping:
+    """Bidirectional physical-address ↔ :class:`Location` mapping."""
+
+    def __init__(self, geometry: DRAMGeometry, timings: DDR3Timings) -> None:
+        self.geometry = geometry
+        self.timings = timings
+        self.burst_bytes = timings.burst_bytes
+        if geometry.row_bytes % self.burst_bytes:
+            raise ConfigError("row_bytes must be a multiple of the burst size")
+        self._offset_bits = log2_exact(self.burst_bytes)
+        self._col_bits = log2_exact(geometry.columns_per_row(self.burst_bytes))
+        self._bank_bits = log2_exact(geometry.banks_per_rank)
+        self._rank_bits = log2_exact(geometry.ranks_per_dimm)
+        self._dimm_bits = log2_exact(geometry.dimms_per_channel)
+        self._chan_bits = log2_exact(geometry.channels)
+        self._row_bits = log2_exact(geometry.rows_per_bank)
+
+    def decode(self, addr: int) -> Location:
+        """Decode a physical byte address into a DRAM coordinate."""
+        geometry = self.geometry
+        if addr < 0 or addr >= geometry.total_bytes:
+            raise DRAMAddressError(
+                f"address {addr:#x} outside {geometry.total_bytes:#x}-byte memory"
+            )
+        if geometry.interleave_bytes and geometry.channels > 1:
+            block = addr // geometry.interleave_bytes
+            channel = block % geometry.channels
+            within = (block // geometry.channels) * geometry.interleave_bytes + (
+                addr % geometry.interleave_bytes
+            )
+        else:
+            channel = addr // geometry.channel_bytes
+            within = addr % geometry.channel_bytes
+
+        dimm = within // geometry.dimm_bytes
+        within %= geometry.dimm_bytes
+        rank = within // geometry.rank_bytes
+        within %= geometry.rank_bytes
+
+        if geometry.bank_rotate_bytes:
+            chunk = within // geometry.bank_rotate_bytes
+            bank = chunk % geometry.banks_per_rank
+            linear = (chunk // geometry.banks_per_rank) * geometry.bank_rotate_bytes + (
+                within % geometry.bank_rotate_bytes
+            )
+        else:
+            bank = within // geometry.bank_bytes
+            linear = within % geometry.bank_bytes
+
+        row = linear // geometry.row_bytes
+        in_row = linear % geometry.row_bytes
+        column = in_row // self.burst_bytes
+        offset = in_row % self.burst_bytes
+        return Location(channel, dimm, rank, bank, row, column, offset)
+
+    def encode(self, loc: Location) -> int:
+        """Inverse of :meth:`decode` (used heavily by property tests)."""
+        geometry = self.geometry
+        in_row = loc.column * self.burst_bytes + loc.offset
+        linear = loc.row * geometry.row_bytes + in_row
+        if geometry.bank_rotate_bytes:
+            chunk_index = linear // geometry.bank_rotate_bytes
+            within = (
+                (chunk_index * geometry.banks_per_rank + loc.bank)
+                * geometry.bank_rotate_bytes
+                + linear % geometry.bank_rotate_bytes
+            )
+        else:
+            within = loc.bank * geometry.bank_bytes + linear
+        within += loc.rank * geometry.rank_bytes
+        within += loc.dimm * geometry.dimm_bytes
+        if geometry.interleave_bytes and geometry.channels > 1:
+            block = within // geometry.interleave_bytes
+            addr = (
+                (block * geometry.channels + loc.channel) * geometry.interleave_bytes
+                + within % geometry.interleave_bytes
+            )
+        else:
+            addr = loc.channel * geometry.channel_bytes + within
+        return addr
+
+    def bursts_for(self, addr: int, nbytes: int) -> list[int]:
+        """Burst-aligned start addresses covering ``[addr, addr+nbytes)``."""
+        if nbytes <= 0:
+            raise DRAMAddressError(f"span must be positive, got {nbytes}")
+        first = (addr // self.burst_bytes) * self.burst_bytes
+        last = ((addr + nbytes - 1) // self.burst_bytes) * self.burst_bytes
+        return list(range(first, last + 1, self.burst_bytes))

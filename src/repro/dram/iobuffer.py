@@ -1,0 +1,68 @@
+"""The DRAM module's internal IO buffer (the 8n-prefetch stage).
+
+§2.1: a read request for a 64-bit word returns up to 512 bits; those bits are
+loaded into an internal IO buffer and streamed out 64 bits at a time on both
+clock edges over four data-bus cycles.  JAFAR taps this buffer directly
+(Figure 1), receiving two 64-bit words per bus cycle — which is why it
+generates its own clock at twice the bus frequency and consumes one word per
+JAFAR cycle.
+
+:class:`IOBuffer` exposes the per-burst *beat schedule*: the timestamps at
+which each of the eight 64-bit words becomes available to a consumer sitting
+on the module (JAFAR) or to the channel (the memory controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DRAMError
+from .timing import DDR3Timings
+
+
+@dataclass(frozen=True)
+class BeatSchedule:
+    """Availability times of each 64-bit beat of one burst."""
+
+    start_ps: int
+    beat_ps: tuple[int, ...]
+
+    @property
+    def end_ps(self) -> int:
+        return self.beat_ps[-1]
+
+
+class IOBuffer:
+    """Models the prefetch buffer's dual-pumped streaming behaviour."""
+
+    def __init__(self, timings: DDR3Timings) -> None:
+        self.timings = timings
+        self.words_per_burst = timings.burst_length
+        self._half_ps = timings.tck_ps / 2.0
+
+    def beat_schedule(self, data_start_ps: int) -> BeatSchedule:
+        """Timestamps at which each beat of a burst starting at
+        ``data_start_ps`` is valid.
+
+        Beat *k* is valid ``k`` half-cycles after the first beat: DDR delivers
+        one 64-bit word per clock edge.
+        """
+        if data_start_ps < 0:
+            raise DRAMError(f"negative data start: {data_start_ps}")
+        beats = tuple(
+            data_start_ps + round((k + 1) * self._half_ps)
+            for k in range(self.words_per_burst)
+        )
+        return BeatSchedule(data_start_ps, beats)
+
+    def burst_duration_ps(self) -> int:
+        """Time one burst occupies the IO buffer output (BL/2 bus cycles)."""
+        return self.timings.cycles_to_ps(self.timings.burst_cycles)
+
+    def words_available_by(self, data_start_ps: int, time_ps: int) -> int:
+        """How many of the burst's words are available by ``time_ps``."""
+        if time_ps <= data_start_ps:
+            return 0
+        elapsed = time_ps - data_start_ps
+        words = int(elapsed / self._half_ps)
+        return min(words, self.words_per_burst)

@@ -1,0 +1,63 @@
+"""DDR3 mode registers, including the MR3/MPR rank-ownership mechanism.
+
+§2.2 ("Coordinating DRAM Access") proposes passing DRAM-rank ownership to
+JAFAR by repurposing mode register 3: when MR3 enables the multipurpose
+register (MPR), the memory controller may only read/write the MPR, not the
+DRAM arrays — effectively blocking ordinary host traffic to the rank while
+JAFAR works.  :class:`ModeRegisterFile` models MR0–MR3 with that semantics;
+:class:`repro.jafar.ownership.RankOwnership` builds the arbitration protocol
+on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DRAMError
+
+
+MR3_MPR_ENABLE_BIT = 1 << 2  # A2 selects MPR operation in DDR3's MR3
+
+
+@dataclass
+class ModeRegisterFile:
+    """The four DDR3 mode registers of one rank.
+
+    MR0 holds burst length / CAS latency configuration, MR1 DLL and drive
+    strength, MR2 CWL — all opaque payloads here.  MR3's MPR-enable bit is
+    the one with modeled behaviour.
+    """
+
+    mr: list[int] = field(default_factory=lambda: [0, 0, 0, 0])
+
+    def load(self, index: int, value: int) -> None:
+        """MRS command: load mode register ``index`` with ``value``.
+
+        Mode registers can be set from user-level code at runtime (§2.2), so
+        no privilege model is applied here.
+        """
+        if index not in (0, 1, 2, 3):
+            raise DRAMError(f"no such mode register MR{index}")
+        if value < 0 or value >= (1 << 16):
+            raise DRAMError(f"mode register value {value:#x} out of 16-bit range")
+        self.mr[index] = value
+
+    def read(self, index: int) -> int:
+        if index not in (0, 1, 2, 3):
+            raise DRAMError(f"no such mode register MR{index}")
+        return self.mr[index]
+
+    @property
+    def mpr_enabled(self) -> bool:
+        """True when MR3 has engaged the multipurpose register.
+
+        While enabled, the memory controller is only permitted to address the
+        MPR; ordinary reads and writes to the rank are blocked.
+        """
+        return bool(self.mr[3] & MR3_MPR_ENABLE_BIT)
+
+    def enable_mpr(self) -> None:
+        self.mr[3] |= MR3_MPR_ENABLE_BIT
+
+    def disable_mpr(self) -> None:
+        self.mr[3] &= ~MR3_MPR_ENABLE_BIT

@@ -1,0 +1,88 @@
+"""A DRAM rank: a set of banks behind one chip-select, with mode registers.
+
+The rank is the arbitration unit of the paper: JAFAR is granted "ownership"
+of a DRAM rank for a bounded number of cycles (§2.2), during which the memory
+controller is blocked via the MR3/MPR mechanism.  Both agents' accesses flow
+through :meth:`Rank.access`, so bank-state and refresh interference between
+them is modeled naturally.
+"""
+
+from __future__ import annotations
+
+from ..errors import DRAMOwnershipError
+from .bank import Bank, BurstTiming
+from .commands import Agent
+from .iobuffer import IOBuffer
+from .mode_registers import ModeRegisterFile
+from .refresh import RefreshState
+from .timing import DDR3Timings
+
+
+class Rank:
+    """Banks + mode registers + refresh state for one rank."""
+
+    def __init__(self, timings: DDR3Timings, banks: int, index: int = 0,
+                 refresh_enabled: bool = True) -> None:
+        self.timings = timings
+        self.index = index
+        self.banks = [Bank(timings, i) for i in range(banks)]
+        self.mode_registers = ModeRegisterFile()
+        self.refresh = RefreshState(timings, enabled=refresh_enabled)
+        self.io_buffer = IOBuffer(timings)
+        # The rank's internal data path (chip IO). The channel bus is tracked
+        # separately by the controller; JAFAR taps this path directly.
+        self.io_free_ps = 0
+        # Optional command trace (see repro.sim.trace.attach_trace).
+        self.trace = None
+
+    def _settle_refresh(self, at_ps: int) -> int:
+        ready = self.refresh.settle(at_ps)
+        if ready > at_ps:
+            for bank in self.banks:
+                bank.open_row = None  # REF requires precharge-all
+                bank.block_until(ready)
+        return ready
+
+    def access(self, bank: int, row: int, at_ps: int, is_write: bool,
+               agent: Agent = Agent.CPU, bus_free_ps: int = 0) -> BurstTiming:
+        """One burst access through this rank.
+
+        ``bus_free_ps`` is the external constraint (channel bus for the
+        controller; JAFAR passes its own ingest readiness).  Raises
+        :class:`DRAMOwnershipError` when the host controller touches a rank
+        whose MPR is engaged — the §2.2 blocking semantics.
+        """
+        if agent is Agent.CPU and self.mode_registers.mpr_enabled:
+            raise DRAMOwnershipError(
+                f"rank {self.index}: MPR engaged; host reads/writes blocked"
+            )
+        at_ps = self._settle_refresh(at_ps)
+        timing = self.banks[bank].access(
+            row, at_ps, is_write, bus_free_ps=max(bus_free_ps, self.io_free_ps)
+        )
+        self.io_free_ps = timing.data_end_ps
+        if self.trace is not None:
+            self.trace.record(timing.cas_ps, agent.value, self.index, bank,
+                              row, is_write, timing.row_hit)
+        return timing
+
+    def precharge_all(self, at_ps: int) -> int:
+        """Close every open row; returns when the rank is fully precharged."""
+        done = at_ps
+        for bank in self.banks:
+            if bank.open_row is not None:
+                issue = bank.precharge(at_ps)
+                done = max(done, issue + self.timings.cycles_to_ps(self.timings.trp))
+        return done
+
+    @property
+    def row_hits(self) -> int:
+        return sum(b.row_hits for b in self.banks)
+
+    @property
+    def row_misses(self) -> int:
+        return sum(b.row_misses for b in self.banks)
+
+    @property
+    def activations(self) -> int:
+        return sum(b.activations for b in self.banks)

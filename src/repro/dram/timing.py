@@ -1,0 +1,153 @@
+"""DDR3 SDRAM timing parameters and JEDEC speed grades.
+
+§2.1 of the paper describes DRAM access latency as governed by four timing
+parameters — CL, tRCD, tRP, and tRAS — plus the 8n-prefetch burst design.
+:class:`DDR3Timings` captures those (and the handful of secondary constraints
+needed for a faithful transaction-level model), expressed the way datasheets
+express them: in data-bus clock cycles, with the bus period in picoseconds.
+
+The paper's JAFAR runs at twice the data-bus clock, "around 1 GHz on DDR3"
+(§2.2), with CAS latencies "around 13 ns" [Micron datasheet] — that matches
+the DDR3-2133 grade (1066 MHz bus, CL14 ≈ 13.1 ns), which is therefore the
+default grade for the gem5-like platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim.clock import ClockDomain
+
+
+@dataclass(frozen=True)
+class DDR3Timings:
+    """Timing parameters of one DDR3 speed grade.
+
+    All ``t*`` fields are in data-bus clock cycles unless suffixed ``_ps``.
+
+    Attributes:
+        name: JEDEC-style grade name, e.g. ``"DDR3-1600K"``.
+        tck_ps: data-bus clock period in picoseconds.
+        cl: CAS latency — read command to first data beat.
+        trcd: RAS-to-CAS delay — ACT to first column command.
+        trp: row precharge time — PRE to next ACT.
+        tras: ACT to PRE minimum (row must stay open this long).
+        tccd: column-to-column delay between bursts (BL/2 = 4 for DDR3).
+        twr: write recovery — last write data to PRE.
+        trtp: read-to-precharge delay.
+        twtr: write-to-read turnaround.
+        cwl: CAS write latency.
+        trfc_ps: refresh cycle time, picoseconds.
+        trefi_ps: average refresh interval, picoseconds.
+        burst_length: beats per burst (8 for DDR3's 8n-prefetch).
+    """
+
+    name: str
+    tck_ps: int
+    cl: int
+    trcd: int
+    trp: int
+    tras: int
+    tccd: int = 4
+    twr: int = 12
+    trtp: int = 6
+    twtr: int = 6
+    cwl: int = 8
+    trfc_ps: int = 160_000
+    trefi_ps: int = 7_800_000
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tck_ps <= 0:
+            raise ConfigError(f"{self.name}: tCK must be positive")
+        for fname in ("cl", "trcd", "trp", "tras", "tccd", "twr", "trtp", "twtr", "cwl"):
+            if getattr(self, fname) <= 0:
+                raise ConfigError(f"{self.name}: {fname} must be positive")
+        if self.burst_length not in (4, 8):
+            raise ConfigError(f"{self.name}: DDR3 burst length must be 4 or 8")
+        if self.tras < self.trcd:
+            raise ConfigError(f"{self.name}: tRAS must cover at least tRCD")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def bus_freq_hz(self) -> int:
+        """Data-bus clock frequency in Hz."""
+        return round(1e12 / self.tck_ps)
+
+    @property
+    def data_rate_mts(self) -> int:
+        """Transfers per second in MT/s (two per bus cycle — dual data rate)."""
+        return round(2e6 / self.tck_ps)
+
+    @property
+    def burst_cycles(self) -> int:
+        """Bus cycles one burst occupies the data bus (BL/2 for DDR)."""
+        return self.burst_length // 2
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes per burst on a 64-bit channel: 8 B/beat × BL beats."""
+        return 8 * self.burst_length
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Convert bus cycles to picoseconds."""
+        return round(cycles * self.tck_ps)
+
+    def ps_to_cycles(self, ps: int) -> float:
+        """Convert picoseconds to (fractional) bus cycles."""
+        return ps / self.tck_ps
+
+    @property
+    def cl_ps(self) -> int:
+        """CAS latency in picoseconds (the paper quotes ~13 ns for DDR3)."""
+        return self.cycles_to_ps(self.cl)
+
+    @property
+    def trc_ps(self) -> int:
+        """Row cycle time tRC = tRAS + tRP, picoseconds."""
+        return self.cycles_to_ps(self.tras + self.trp)
+
+    def bus_clock(self) -> ClockDomain:
+        """The data-bus clock as a :class:`ClockDomain`."""
+        return ClockDomain(self.bus_freq_hz, f"{self.name}.bus")
+
+    def array_clock(self) -> ClockDomain:
+        """The internal array clock: bus/4 in the 8n-prefetch design (§2.1)."""
+        return ClockDomain(self.bus_freq_hz // 4, f"{self.name}.array")
+
+    def jafar_clock(self) -> ClockDomain:
+        """JAFAR's self-generated clock at 2× the data-bus clock (§2.2)."""
+        return ClockDomain(self.bus_freq_hz * 2, f"{self.name}.jafar")
+
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Peak channel bandwidth: 8 B per beat, 2 beats per bus cycle."""
+        return self.bus_freq_hz * 16.0
+
+
+# JEDEC DDR3 speed grades (common bins; secondary timings at typical values).
+DDR3_1066 = DDR3Timings("DDR3-1066G", tck_ps=1875, cl=8, trcd=8, trp=8, tras=20,
+                        twr=8, trtp=4, twtr=4, cwl=6)
+DDR3_1333 = DDR3Timings("DDR3-1333H", tck_ps=1500, cl=9, trcd=9, trp=9, tras=24,
+                        twr=10, trtp=5, twtr=5, cwl=7)
+DDR3_1600 = DDR3Timings("DDR3-1600K", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28,
+                        twr=12, trtp=6, twtr=6, cwl=8)
+DDR3_1866 = DDR3Timings("DDR3-1866M", tck_ps=1071, cl=13, trcd=13, trp=13, tras=32,
+                        twr=14, trtp=7, twtr=7, cwl=9)
+DDR3_2133 = DDR3Timings("DDR3-2133N", tck_ps=938, cl=14, trcd=14, trp=14, tras=36,
+                        twr=16, trtp=8, twtr=8, cwl=10)
+
+SPEED_GRADES: dict[str, DDR3Timings] = {
+    grade.name: grade
+    for grade in (DDR3_1066, DDR3_1333, DDR3_1600, DDR3_1866, DDR3_2133)
+}
+
+
+def speed_grade(name: str) -> DDR3Timings:
+    """Look up a speed grade by name (``"DDR3-1600K"`` etc.)."""
+    try:
+        return SPEED_GRADES[name]
+    except KeyError:
+        known = ", ".join(sorted(SPEED_GRADES))
+        raise ConfigError(f"unknown DDR3 speed grade {name!r}; known: {known}") from None

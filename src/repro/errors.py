@@ -1,0 +1,101 @@
+"""Exception hierarchy for the JAFAR reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError``.  The hierarchy mirrors the subsystem layout: simulation kernel,
+DRAM model, memory management, the JAFAR device, and the column-store engine
+each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly."""
+
+
+class ClockError(SimulationError):
+    """A clock domain was constructed or converted incorrectly."""
+
+
+class DRAMError(ReproError):
+    """Base class for DRAM-model errors."""
+
+
+class DRAMTimingError(DRAMError):
+    """A DRAM command violated the timing protocol."""
+
+
+class DRAMAddressError(DRAMError):
+    """A physical address does not decode to a valid DRAM location."""
+
+
+class DRAMOwnershipError(DRAMError):
+    """An agent accessed a rank it does not currently own."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors (physical or virtual).
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+
+class OutOfMemoryError(MemoryError_):
+    """The simulated physical memory or an allocator is exhausted."""
+
+
+class PageFaultError(MemoryError_):
+    """A virtual address has no mapping in the simulated page table."""
+
+
+class PinningError(MemoryError_):
+    """A pin/unpin (``mlock``-style) request was invalid."""
+
+
+class AccelError(ReproError):
+    """Base class for accelerator-modeling (Aladdin-style) errors."""
+
+
+class DDGError(AccelError):
+    """A dynamic data-dependence graph is malformed."""
+
+
+class JafarError(ReproError):
+    """Base class for JAFAR device and driver errors."""
+
+
+class JafarBusyError(JafarError):
+    """JAFAR was started while a previous operation was still running."""
+
+
+class JafarProgrammingError(JafarError):
+    """JAFAR control registers were programmed inconsistently."""
+
+
+class ColumnStoreError(ReproError):
+    """Base class for column-store engine errors."""
+
+
+class SchemaError(ColumnStoreError):
+    """A table or column definition is invalid or mismatched."""
+
+
+class TypeMismatchError(ColumnStoreError):
+    """An operator received values of the wrong column type."""
+
+
+class PlanError(ColumnStoreError):
+    """A logical query plan is malformed or cannot be executed."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

@@ -1,0 +1,94 @@
+"""JAFAR — "Just A Filtering Accelerator on Relations" (the paper's
+contribution).
+
+An on-DIMM near-data-processing accelerator implementing the column-store
+select operator: the host programs memory-mapped control registers, JAFAR
+streams the column out of the DRAM arrays through its comparator ALU pair at
+one 64-bit word per 2×-bus-clock cycle, accumulates a result bitset in its
+n-bit output buffer, and writes the bitset back to DRAM — so only one bit
+per row, not the data, ever crosses the memory bus.
+
+Package layout: host-visible register file (:mod:`~repro.jafar.registers`),
+comparator ALUs (:mod:`~repro.jafar.alu`), output buffer
+(:mod:`~repro.jafar.bitmask`), the device engine
+(:mod:`~repro.jafar.device`), the Figure 2 C API (:mod:`~repro.jafar.api`),
+the OS driver with pinning/translation/polling (:mod:`~repro.jafar.driver`),
+MR3/MPR rank ownership (:mod:`~repro.jafar.ownership`), multi-DIMM
+interleaving (:mod:`~repro.jafar.multidimm`), and the §4 roadmap
+accelerators (:mod:`~repro.jafar.extensions`).
+"""
+
+from .alu import INT64_MAX, INT64_MIN, ComparatorPair, Predicate, predicate_to_range
+from .api import (
+    JAFAR_EBUSY,
+    JAFAR_EFAULT,
+    JAFAR_EINVAL,
+    JAFAR_ENODEV,
+    JAFAR_OK,
+    select_jafar,
+    strerror,
+)
+from .bitmask import (
+    OutputBuffer,
+    Writeback,
+    pack_mask,
+    positions_from_mask,
+    unpack_mask,
+)
+from .device import (
+    DeviceStats,
+    JafarDevice,
+    JafarRunResult,
+    modeled_words_per_cycle,
+)
+from .driver import (
+    COMPLETION_MODES,
+    DriverResult,
+    INTERRUPT_LATENCY_NS,
+    JafarDriver,
+    POLL_QUANTUM_NS,
+    PendingSelect,
+)
+from .multidimm import MultiDimmResult, select_interleaved
+from .ownership import OwnershipGrant, RankOwnership, TMOD_CYCLES
+from .registers import CTRL_START, MMIO_ACCESS_NS, Reg, RegisterFile, Status
+
+__all__ = [
+    "CTRL_START",
+    "ComparatorPair",
+    "DeviceStats",
+    "COMPLETION_MODES",
+    "DriverResult",
+    "INT64_MAX",
+    "INT64_MIN",
+    "JAFAR_EBUSY",
+    "JAFAR_EFAULT",
+    "JAFAR_EINVAL",
+    "JAFAR_ENODEV",
+    "JAFAR_OK",
+    "JafarDevice",
+    "JafarDriver",
+    "JafarRunResult",
+    "MMIO_ACCESS_NS",
+    "MultiDimmResult",
+    "OutputBuffer",
+    "OwnershipGrant",
+    "INTERRUPT_LATENCY_NS",
+    "POLL_QUANTUM_NS",
+    "PendingSelect",
+    "Predicate",
+    "RankOwnership",
+    "Reg",
+    "RegisterFile",
+    "Status",
+    "TMOD_CYCLES",
+    "Writeback",
+    "modeled_words_per_cycle",
+    "pack_mask",
+    "positions_from_mask",
+    "predicate_to_range",
+    "select_interleaved",
+    "select_jafar",
+    "strerror",
+    "unpack_mask",
+]

@@ -1,0 +1,93 @@
+"""JAFAR's comparator ALUs.
+
+§2.2: "For each 64 bit word received, an integer comparison is performed
+against the value of the tuple element corresponding to the query predicate.
+For range filters, two arithmetic logic units (ALUs) operate in parallel."
+
+The supported predicate set is =, <, >, <=, >= over integers; every one of
+them compiles to an inclusive range ``[low, high]`` evaluated by the ALU
+pair (one bound each), which is how the device executes them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import JafarProgrammingError
+
+#: Extremes of the signed 64-bit domain the ALUs operate on.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+class Predicate(enum.Enum):
+    """The predicate forms JAFAR supports (§2.2)."""
+
+    EQ = "=="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    BETWEEN = "between"  # inclusive range — the native hardware form
+
+
+def predicate_to_range(pred: Predicate, value: int,
+                       high: int | None = None) -> tuple[int, int]:
+    """Lower every supported predicate to the hardware's inclusive range.
+
+    ``high`` is only used by BETWEEN.  Raises for values outside int64 (the
+    word width of the datapath).
+    """
+    for bound in (value, high if high is not None else value):
+        if not INT64_MIN <= bound <= INT64_MAX:
+            raise JafarProgrammingError(f"bound {bound} exceeds the 64-bit datapath")
+    if pred is Predicate.EQ:
+        return value, value
+    if pred is Predicate.LT:
+        if value == INT64_MIN:
+            raise JafarProgrammingError("x < INT64_MIN selects nothing")
+        return INT64_MIN, value - 1
+    if pred is Predicate.LE:
+        return INT64_MIN, value
+    if pred is Predicate.GT:
+        if value == INT64_MAX:
+            raise JafarProgrammingError("x > INT64_MAX selects nothing")
+        return value + 1, INT64_MAX
+    if pred is Predicate.GE:
+        return value, INT64_MAX
+    if pred is Predicate.BETWEEN:
+        if high is None:
+            raise JafarProgrammingError("BETWEEN requires a high bound")
+        return value, high
+    raise JafarProgrammingError(f"unsupported predicate {pred}")  # pragma: no cover
+
+
+class ComparatorPair:
+    """The two parallel ALUs: word >= low (ALU0) AND word <= high (ALU1)."""
+
+    def __init__(self, low: int, high: int) -> None:
+        for bound in (low, high):
+            if not INT64_MIN <= bound <= INT64_MAX:
+                raise JafarProgrammingError(
+                    f"bound {bound} exceeds the 64-bit datapath"
+                )
+        self.low = low
+        self.high = high
+
+    def compare(self, word: int) -> bool:
+        """Single-word comparison (what one JAFAR cycle decides)."""
+        return self.low <= word <= self.high
+
+    def compare_block(self, words: np.ndarray) -> np.ndarray:
+        """Vectorised comparison of a burst's words (functional fast path).
+
+        Bit-exact with :meth:`compare` applied element-wise; the device model
+        uses this for contents while charging per-word time separately.
+        """
+        if words.dtype.kind not in "iu":
+            raise JafarProgrammingError(
+                f"datapath is integer-only, got dtype {words.dtype}"
+            )
+        return (words >= self.low) & (words <= self.high)

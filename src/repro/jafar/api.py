@@ -1,0 +1,79 @@
+"""The C-style JAFAR API of Figure 2.
+
+::
+
+    int errno = select_jafar(
+        void*     col_data,
+        int       range_low,
+        int       range_high,
+        uint8_t*  out_buf,
+        size_t    num_input_rows,
+        size_t*   num_output_rows);
+
+``col_data`` points to the start of one virtual-memory page of column data;
+``range_low``/``range_high`` are the inclusive range bounds; the output
+bitset is returned in ``out_buf``; the function must be called for every
+page in the column.  :func:`select_jafar` reproduces that contract with
+errno-style returns (no exceptions escape — a C API cannot throw).
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    JafarBusyError,
+    JafarError,
+    JafarProgrammingError,
+    PageFaultError,
+    PinningError,
+)
+from .driver import JafarDriver
+
+# errno values, matching their POSIX numbers where a natural analogue exists.
+JAFAR_OK = 0
+JAFAR_EFAULT = 14     # bad address / unmapped page
+JAFAR_EBUSY = 16      # device already running
+JAFAR_ENODEV = 19     # no JAFAR unit on the page's DIMM
+JAFAR_EINVAL = 22     # bad bounds / row count / alignment / unpinned page
+
+ERRNO_NAMES = {
+    JAFAR_OK: "OK",
+    JAFAR_EFAULT: "EFAULT",
+    JAFAR_EBUSY: "EBUSY",
+    JAFAR_ENODEV: "ENODEV",
+    JAFAR_EINVAL: "EINVAL",
+}
+
+
+def select_jafar(driver: JafarDriver, col_data: int, range_low: int,
+                 range_high: int, out_buf: int,
+                 num_input_rows: int) -> tuple[int, int]:
+    """Filter one page of column data on the nearest JAFAR unit.
+
+    Arguments mirror Figure 2 (``col_data`` and ``out_buf`` are virtual
+    addresses in the simulated address space).  Returns ``(errno,
+    num_output_rows)``; ``num_output_rows`` is only meaningful when errno is
+    :data:`JAFAR_OK`.
+    """
+    if num_input_rows <= 0 or range_low > range_high:
+        return JAFAR_EINVAL, 0
+    try:
+        result = driver.select_page(col_data, num_input_rows, range_low,
+                                    range_high, out_buf)
+    except PageFaultError:
+        return JAFAR_EFAULT, 0
+    except JafarBusyError:
+        return JAFAR_EBUSY, 0
+    except PinningError:
+        return JAFAR_EINVAL, 0
+    except JafarProgrammingError as exc:
+        if "no JAFAR unit" in str(exc):
+            return JAFAR_ENODEV, 0
+        return JAFAR_EINVAL, 0
+    except JafarError:
+        return JAFAR_EINVAL, 0
+    return JAFAR_OK, result.matches
+
+
+def strerror(errno: int) -> str:
+    """Symbolic name of a JAFAR errno value."""
+    return ERRNO_NAMES.get(errno, f"unknown error {errno}")

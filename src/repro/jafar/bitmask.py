@@ -1,0 +1,116 @@
+"""JAFAR's output bitmask buffer (§2.2).
+
+"If the result of the filter is true, then the offset is converted into a
+bitmask and written into an output buffer, which is a bitset indicating
+which rows passed the filter.  The output buffer holds n bits ... Every n
+cycles, the output buffer is fully filled and its contents are written back
+to DRAM at a pre-programmed location" — *without delaying the filtering
+operation* (§3.2), which is why JAFAR's execution time is
+selectivity-invariant.
+
+Bit order is little-endian within bytes: row ``i`` maps to bit ``i % 8`` of
+byte ``i // 8``, matching the Figure 2 ``uint8_t* out_buf`` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import JafarProgrammingError
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean row mask into the out_buf byte layout."""
+    return np.packbits(mask.astype(np.uint8), bitorder="little")
+
+
+def unpack_mask(buf: np.ndarray, num_rows: int) -> np.ndarray:
+    """Inverse of :func:`pack_mask` (used by the CPU to consume results)."""
+    if num_rows < 0:
+        raise JafarProgrammingError("row count must be non-negative")
+    need = -(-num_rows // 8)
+    if buf.size < need:
+        raise JafarProgrammingError(
+            f"buffer of {buf.size} bytes cannot hold {num_rows} result bits"
+        )
+    bits = np.unpackbits(buf[:need].astype(np.uint8), bitorder="little")
+    return bits[:num_rows].astype(bool)
+
+
+def positions_from_mask(buf: np.ndarray, num_rows: int) -> np.ndarray:
+    """Qualifying row ids from a packed output buffer."""
+    return np.flatnonzero(unpack_mask(buf, num_rows)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Writeback:
+    """One buffer flush: ``nbits`` results landing at ``bit_offset``."""
+
+    bit_offset: int
+    data: np.ndarray  # packed bytes
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.size)
+
+
+class OutputBuffer:
+    """The n-bit accumulator between the ALUs and DRAM.
+
+    Results stream in row order; every time ``capacity_bits`` accumulate the
+    buffer emits a :class:`Writeback` (the device schedules the DRAM write
+    behind the filter, never stalling it).  ``flush`` drains the remainder
+    at end of column.
+    """
+
+    def __init__(self, capacity_bits: int) -> None:
+        if capacity_bits <= 0 or capacity_bits % 8:
+            raise JafarProgrammingError(
+                f"buffer capacity must be a positive multiple of 8 bits, "
+                f"got {capacity_bits}"
+            )
+        self.capacity_bits = capacity_bits
+        self._bits: list[bool] = []
+        self._emitted_bits = 0
+        self.total_matches = 0
+
+    def push(self, passed: bool) -> Writeback | None:
+        """Record one filter outcome; returns a writeback when full."""
+        self._bits.append(bool(passed))
+        if passed:
+            self.total_matches += 1
+        if len(self._bits) == self.capacity_bits:
+            return self._emit()
+        return None
+
+    def push_block(self, outcomes: np.ndarray) -> list[Writeback]:
+        """Record a burst of outcomes; returns all writebacks they trigger."""
+        writebacks = []
+        for passed in outcomes:
+            wb = self.push(bool(passed))
+            if wb is not None:
+                writebacks.append(wb)
+        return writebacks
+
+    def flush(self) -> Writeback | None:
+        """Drain a partially filled buffer (end of column)."""
+        if not self._bits:
+            return None
+        return self._emit()
+
+    def _emit(self) -> Writeback:
+        mask = np.array(self._bits, dtype=bool)
+        writeback = Writeback(self._emitted_bits, pack_mask(mask))
+        self._emitted_bits += len(self._bits)
+        self._bits.clear()
+        return writeback
+
+    @property
+    def pending_bits(self) -> int:
+        return len(self._bits)
+
+    @property
+    def results_seen(self) -> int:
+        return self._emitted_bits + len(self._bits)

@@ -1,0 +1,289 @@
+"""The JAFAR device: the on-DIMM filtering engine (§2.2, Figure 1(b)).
+
+Operation: the host programs the control registers and writes CTRL_START;
+the device then requests bursts from its DIMM's ranks exactly as a memory
+controller would — but the data never leaves the module.  It taps the
+8n-prefetch IO buffer, consuming one 64-bit word per JAFAR cycle (the JAFAR
+clock is twice the data-bus clock, so ingest keeps pace with the dual-pumped
+beat stream).  Filter outcomes accumulate in the n-bit output buffer, whose
+full contents are written back to DRAM at a pre-programmed location without
+delaying the filter — which is why JAFAR's execution time is independent of
+selectivity (§3.2).
+
+Timing falls out of the shared :class:`~repro.dram.Rank` state machines, so
+JAFAR and host traffic naturally interfere when they touch the same rank —
+the effect §3.3 quantifies.  Output-buffer writebacks are posted into a
+small on-device FIFO and drained when the read stream crosses a DRAM row
+boundary (where a PRE/ACT gap exists anyway), honouring the paper's
+no-stall claim while still charging every write burst to the rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accel import JAFAR_RESOURCES, jafar_filter_body, pipeline_analysis
+from ..config import JafarCostModel
+from ..dram import Agent, AddressMapping, DDR3Timings
+from ..dram.dimm import DIMM
+from ..errors import JafarBusyError, JafarProgrammingError
+from ..mem import PhysicalMemory
+from ..sim.clock import ClockDomain
+from .alu import ComparatorPair
+from .bitmask import pack_mask
+from .registers import CTRL_START, Reg, RegisterFile, Status
+
+WORD_BYTES = 8
+
+
+@dataclass
+class JafarRunResult:
+    """Timing and traffic summary of one JAFAR invocation."""
+
+    start_ps: int
+    end_ps: int
+    words_processed: int
+    matches: int
+    bursts_read: int
+    writeback_bursts: int
+    bursts_skipped: int = 0  # bursts owned by a sibling DIMM (interleaving)
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+@dataclass
+class DeviceStats:
+    invocations: int = 0
+    words_processed: int = 0
+    bursts_read: int = 0
+    writeback_bursts: int = 0
+    busy_ps: int = 0
+    row_boundaries_crossed: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+def modeled_words_per_cycle(resources: dict[str, int] | None = None) -> float:
+    """Filter throughput derived from the Aladdin-style schedule.
+
+    With the default datapath (two comparator ALUs) the loop body pipelines
+    at II = 1 — one word per JAFAR cycle, the §2.2 design point.
+    """
+    bounds = pipeline_analysis(jafar_filter_body(), resources or JAFAR_RESOURCES)
+    return bounds.words_per_cycle
+
+
+class JafarDevice:
+    """One JAFAR unit, mounted on one DIMM."""
+
+    def __init__(self, timings: DDR3Timings, mapping: AddressMapping,
+                 channel_index: int, dimm: DIMM, memory: PhysicalMemory,
+                 cost: JafarCostModel | None = None) -> None:
+        self.timings = timings
+        self.mapping = mapping
+        self.channel_index = channel_index
+        self.dimm = dimm
+        self.memory = memory
+        self.cost = cost or JafarCostModel()
+        self.clock: ClockDomain = timings.jafar_clock()
+        self.registers = RegisterFile()
+        self.stats = DeviceStats()
+        self._pipeline_depth = pipeline_analysis(jafar_filter_body(),
+                                                 JAFAR_RESOURCES).depth_cycles
+        dimm.accelerator = self
+
+    # -- host-facing MMIO -----------------------------------------------------------
+
+    def mmio_write(self, reg: Reg, value: int) -> None:
+        self.registers.write(reg, value)
+
+    def mmio_read(self, reg: Reg) -> int:
+        return self.registers.read(reg)
+
+    def start(self, start_ps: int) -> JafarRunResult:
+        """CTRL_START semantics: validate and run the programmed operation.
+
+        The transaction-level model executes the whole operation eagerly and
+        returns its timing; the driver converts that into the polled-status
+        protocol the CPU sees.
+        """
+        if self.registers.status is Status.RUNNING:
+            raise JafarBusyError("JAFAR started while an operation is running")
+        self.registers.write(Reg.CTRL, CTRL_START)
+        try:
+            self.registers.validate_programmed()
+        except JafarProgrammingError:
+            self.registers.set_status(Status.ERROR)
+            raise
+        self.registers.set_status(Status.RUNNING)
+        result = self._execute(start_ps)
+        self.registers.set_matches(result.matches)
+        self.registers.set_status(Status.DONE)
+        return result
+
+    # -- the filter engine ------------------------------------------------------------
+
+    def _execute(self, start_ps: int) -> JafarRunResult:
+        regs = self.registers
+        col_addr = regs.read(Reg.COL_ADDR)
+        out_addr = regs.read(Reg.OUT_ADDR)
+        num_rows = regs.read(Reg.NUM_ROWS)
+        comparator = ComparatorPair(regs.read(Reg.RANGE_LOW),
+                                    regs.read(Reg.RANGE_HIGH))
+
+        words = self.memory.view_words(col_addr, num_rows, dtype=np.int64)
+        burst_bytes = self.timings.burst_bytes
+        words_per_burst = burst_bytes // WORD_BYTES
+        total_bytes = num_rows * WORD_BYTES
+        first_burst = (col_addr // burst_bytes) * burst_bytes
+        last_burst = ((col_addr + total_bytes - 1) // burst_bytes) * burst_bytes
+
+        # Functional result, computed once (bit-exact with per-word ALU ops).
+        mask = comparator.compare_block(words)
+
+        word_period = self.clock.period_ps / self.cost.words_per_cycle
+        buffer_bits = self.cost.output_buffer_bits
+
+        cursor = start_ps
+        alu_ready = 0
+        bursts_read = 0
+        bursts_skipped = 0
+        writeback_bursts = 0
+        results_done = 0        # words whose outcome has been produced
+        writebacks_owed = 0     # full buffer flushes not yet written to DRAM
+        out_cursor = out_addr
+        owned = np.zeros(num_rows, dtype=bool)
+        current_row_key: tuple[int, int, int] | None = None
+        last_proc_done = start_ps
+        owned_any = False
+
+        addr = first_burst
+        while addr <= last_burst:
+            loc = self.mapping.decode(addr)
+            if loc.channel != self.channel_index or loc.dimm != self.dimm.index:
+                # Interleaved layout: this chunk belongs to a sibling DIMM's
+                # JAFAR; skip it but keep the result-bit accounting aligned.
+                bursts_skipped += 1
+                results_done = self._advance_results(
+                    addr, col_addr, words_per_burst, num_rows, results_done)
+                addr += burst_bytes
+                continue
+            owned_any = True
+            lo_word = max(0, (addr - col_addr) // WORD_BYTES)
+            hi_word = min(num_rows,
+                          (addr + burst_bytes - col_addr) // WORD_BYTES)
+            owned[lo_word:hi_word] = True
+            rank = self.dimm.ranks[loc.rank]
+            row_key = (loc.rank, loc.bank, loc.row)
+            if current_row_key is not None and row_key != current_row_key:
+                # Natural PRE/ACT gap: drain owed writebacks here.
+                self.stats.row_boundaries_crossed += 1
+                while writebacks_owed > 0:
+                    cursor, out_cursor = self._write_back(out_cursor, cursor)
+                    writebacks_owed -= 1
+                    writeback_bursts += 1
+            current_row_key = row_key
+
+            timing = rank.access(loc.bank, loc.row, cursor, is_write=False,
+                                 agent=Agent.JAFAR, bus_free_ps=alu_ready)
+            bursts_read += 1
+            words_here = self._words_in_burst(addr, col_addr, words_per_burst,
+                                              num_rows, results_done)
+            proc_done = round(timing.data_start_ps + words_here * word_period)
+            proc_done = max(proc_done, timing.data_end_ps)
+            alu_ready = proc_done
+            cursor = timing.cas_ps  # next command no earlier than this CAS
+            last_proc_done = proc_done
+
+            before = results_done // buffer_bits
+            results_done += words_here
+            writebacks_owed += results_done // buffer_bits - before
+            addr += burst_bytes
+
+        if not owned_any:
+            raise JafarProgrammingError(
+                "no burst of the programmed column resides on this DIMM"
+            )
+
+        # Tail: flush remaining full buffers plus the partial one.
+        cursor = max(cursor, last_proc_done)
+        pending_tail = 1 if results_done % buffer_bits else 0
+        for _ in range(writebacks_owed + pending_tail):
+            cursor, out_cursor = self._write_back(out_cursor, cursor)
+            writeback_bursts += 1
+
+        # Drain the pipeline (a handful of JAFAR cycles).
+        end_ps = max(last_proc_done, cursor) + self.clock.cycles_to_ps(
+            self._pipeline_depth)
+
+        # Functional writeback: overwrite ONLY the bits for rows this device
+        # operated on (§2.2, Handling Data Interleaving) — sibling DIMMs'
+        # JAFARs own the other bits.
+        from .bitmask import unpack_mask
+        nbytes = -(-num_rows // 8)
+        current = unpack_mask(self.memory.read(out_addr, nbytes), num_rows)
+        current[owned] = mask[owned]
+        self.memory.write(out_addr, pack_mask(current))
+
+        matches = int(mask.sum())
+        self.stats.invocations += 1
+        self.stats.words_processed += num_rows
+        self.stats.bursts_read += bursts_read
+        self.stats.writeback_bursts += writeback_bursts
+        self.stats.busy_ps += end_ps - start_ps
+        return JafarRunResult(start_ps, end_ps, num_rows, matches,
+                              bursts_read, writeback_bursts, bursts_skipped)
+
+    def _words_in_burst(self, burst_addr: int, col_addr: int,
+                        words_per_burst: int, num_rows: int,
+                        results_done: int) -> int:
+        """How many column words of this burst are real rows (edge bursts
+        may be partially outside the column)."""
+        start = max(burst_addr, col_addr)
+        end = min(burst_addr + words_per_burst * WORD_BYTES,
+                  col_addr + num_rows * WORD_BYTES)
+        return max(0, (end - start) // WORD_BYTES)
+
+    def _advance_results(self, burst_addr: int, col_addr: int,
+                         words_per_burst: int, num_rows: int,
+                         results_done: int) -> int:
+        return results_done + self._words_in_burst(
+            burst_addr, col_addr, words_per_burst, num_rows, results_done)
+
+    def _write_back(self, out_cursor: int, cursor: int) -> tuple[int, int]:
+        """One output-buffer flush: ``buffer_bits/8`` bytes of bitmask.
+
+        JAFAR writes through its own module interface.  When the programmed
+        output chunk resides on a sibling DIMM (interleaved layouts scatter
+        the bitset), the device stages the partial bitset in a local scratch
+        row instead; the host later merges partial bitsets, overwriting only
+        the bits each unit operated on (§2.2; realised CPU-side via
+        :func:`repro.mem.layout.merge_partial_bitmasks`).
+        """
+        flush_bytes = self.cost.output_buffer_bits // 8
+        bursts = -(-flush_bytes // self.timings.burst_bytes)
+        for _ in range(bursts):
+            loc = self.mapping.decode(out_cursor)
+            if loc.channel != self.channel_index or loc.dimm != self.dimm.index:
+                loc = self._staging_location()
+            target_rank = self.dimm.ranks[loc.rank]
+            timing = target_rank.access(loc.bank, loc.row, cursor,
+                                        is_write=True, agent=Agent.JAFAR)
+            cursor = timing.data_end_ps
+            out_cursor += min(self.timings.burst_bytes, flush_bytes)
+            flush_bytes -= self.timings.burst_bytes
+        return cursor, out_cursor
+
+    def _staging_location(self):
+        """A scratch column in the last row of this DIMM's last bank."""
+        from ..dram.geometry import Location
+
+        geometry = self.mapping.geometry
+        self._staging_col = (getattr(self, "_staging_col", -1) + 1) % (
+            geometry.columns_per_row(self.timings.burst_bytes))
+        return Location(self.channel_index, self.dimm.index, 0,
+                        geometry.banks_per_rank - 1,
+                        geometry.rows_per_bank - 1, self._staging_col, 0)

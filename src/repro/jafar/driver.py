@@ -1,0 +1,288 @@
+"""The JAFAR software driver: translation, pinning, invocation, polling.
+
+Glues the pieces the paper describes across §2.2 and §4:
+
+* the API "must be called for every page in the column, since JAFAR must
+  rely on the CPU to provide memory translation services";
+* "prior to invoking JAFAR, the operating system must first pin the memory
+  pages JAFAR will access to specific DIMMs" (``mlock``);
+* the CPU "is currently notified of JAFAR operation completion by polling a
+  shared memory location" while it spin-waits (§3.1);
+* rank ownership is acquired per invocation via the MR3/MPR handoff.
+
+The driver charges every software cost to the calling core's clock: MMIO
+register writes, the ownership MRS pair, the polling quantum, and the fixed
+syscall/translation overhead from :class:`~repro.config.JafarCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpu import Core
+from ..errors import JafarProgrammingError, PinningError
+from ..mem import VirtualMemory
+from ..units import ns
+from .device import JafarDevice, JafarRunResult
+from .ownership import RankOwnership
+from .registers import MMIO_ACCESS_NS, Reg
+
+#: How often the spin-waiting CPU re-reads the status location.  On average
+#: completion is detected half a quantum late.
+POLL_QUANTUM_NS = 50.0
+
+#: Hardware-interrupt delivery latency (device -> APIC -> handler entry)
+#: plus handler prologue.  §2.2: "CPU utilization in a complete system can
+#: be improved by using hardware interrupts" — the trade is a longer
+#: completion-detection latency in exchange for a free CPU meanwhile.
+INTERRUPT_LATENCY_NS = 2_000.0
+
+#: Registers programmed per invocation (col, low, high, out, rows, ctrl).
+REGISTER_WRITES = 6
+
+COMPLETION_MODES = ("poll", "interrupt")
+
+
+@dataclass
+class DriverResult:
+    """Outcome of a (possibly multi-page) driver-level select."""
+
+    matches: int
+    pages: int
+    start_ps: int
+    end_ps: int
+    per_page: list[JafarRunResult] = field(default_factory=list)
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class JafarDriver:
+    """Software interface between the query engine and the JAFAR units."""
+
+    def __init__(self, vm: VirtualMemory, devices: dict[int, JafarDevice],
+                 core: Core, ownership: RankOwnership,
+                 require_pinned: bool = True,
+                 completion: str = "poll") -> None:
+        if completion not in COMPLETION_MODES:
+            raise JafarProgrammingError(
+                f"completion mode must be one of {COMPLETION_MODES}, "
+                f"got {completion!r}"
+            )
+        self.vm = vm
+        self.devices = devices  # flat DIMM index -> device
+        self.core = core
+        self.ownership = ownership
+        self.require_pinned = require_pinned
+        self.completion = completion
+
+    def device_for(self, vaddr: int) -> JafarDevice:
+        """The JAFAR unit on the DIMM holding ``vaddr``'s page."""
+        dimm = self.vm.dimm_of(vaddr)
+        device = self.devices.get(dimm)
+        if device is None:
+            raise JafarProgrammingError(f"no JAFAR unit on DIMM {dimm}")
+        return device
+
+    # -- single page (the Figure 2 API granularity) --------------------------------
+
+    def select_page(self, col_vaddr: int, num_rows: int, low: int, high: int,
+                    out_vaddr: int) -> JafarRunResult:
+        """Filter one page's worth of column data on its DIMM's JAFAR."""
+        page = self.vm.page_bytes
+        if num_rows <= 0:
+            raise JafarProgrammingError("num_rows must be positive")
+        if num_rows * 8 > page - col_vaddr % page:
+            raise JafarProgrammingError(
+                f"{num_rows} rows do not fit in the page at {col_vaddr:#x}; "
+                "the API is per-page (Figure 2)"
+            )
+        if self.require_pinned and not self.vm.is_pinned(col_vaddr):
+            raise PinningError(
+                f"column page {col_vaddr:#x} is not pinned; mlock it first (§4)"
+            )
+        device = self.device_for(col_vaddr)
+        out_bytes = -(-num_rows // 8)
+        out_paddr_runs = self.vm.translate_range(out_vaddr, out_bytes)
+        if len(out_paddr_runs) != 1:
+            raise JafarProgrammingError("output buffer must be physically contiguous")
+        out_paddr = out_paddr_runs[0][0]
+        if self.vm.dimm_of(out_vaddr) != self.vm.dimm_of(col_vaddr):
+            raise JafarProgrammingError(
+                "output buffer must live on the column page's DIMM"
+            )
+        col_paddr = self.vm.translate(col_vaddr)
+
+        core = self.core
+        cost = device.cost
+        # Fixed syscall + translation overhead (half up front, half on the
+        # completion side), plus the uncached register writes.
+        core.advance_ps(ns(cost.invoke_overhead_ns / 2))
+        core.advance_ps(ns(MMIO_ACCESS_NS * REGISTER_WRITES))
+        device.mmio_write(Reg.COL_ADDR, col_paddr)
+        device.mmio_write(Reg.RANGE_LOW, low)
+        device.mmio_write(Reg.RANGE_HIGH, high)
+        device.mmio_write(Reg.OUT_ADDR, out_paddr)
+        device.mmio_write(Reg.NUM_ROWS, num_rows)
+
+        # Ownership handoff: the query manager grants the rank for the
+        # (predictable) duration of the work, with slack.
+        rank = self._rank_of(device, col_paddr)
+        expected = self.expected_run_ps(device, num_rows)
+        grant = self.ownership.acquire(rank, core.now_ps, 2 * expected)
+
+        result = device.start(max(core.now_ps, grant.ready_ps))
+
+        # Completion detection: spin-polling sees DONE half a quantum late
+        # on average (§3.1's spin-wait); an interrupt frees the CPU but adds
+        # delivery + handler latency (§2.2's noted improvement).
+        done_seen = result.end_ps + self.completion_latency_ps()
+        if done_seen > core.now_ps:
+            core.now_ps = done_seen
+        self.ownership.release(grant, core.now_ps)
+        core.advance_ps(ns(cost.invoke_overhead_ns / 2))
+        # The accelerator wrote the output buffer behind the caches.
+        core.hierarchy.invalidate_range(out_paddr, out_bytes)
+        return result
+
+    # -- whole column ------------------------------------------------------------------
+
+    def select_column(self, col_vaddr: int, num_rows: int, low: int,
+                      high: int, out_vaddr: int) -> DriverResult:
+        """Filter a whole column by invoking the per-page API repeatedly.
+
+        JAFAR "is designed to consume one complete column at a time" (§2.2);
+        the driver feeds it page by page because translation is per page.
+        """
+        if num_rows <= 0:
+            raise JafarProgrammingError("num_rows must be positive")
+        page_rows = self.vm.page_bytes // 8
+        start_ps = self.core.now_ps
+        per_page: list[JafarRunResult] = []
+        matches = 0
+        done = 0
+        while done < num_rows:
+            rows_here = min(page_rows, num_rows - done)
+            result = self.select_page(
+                col_vaddr + done * 8, rows_here, low, high,
+                out_vaddr + done // 8)
+            per_page.append(result)
+            matches += result.matches
+            done += rows_here
+        return DriverResult(matches, len(per_page), start_ps,
+                            self.core.now_ps, per_page)
+
+    # -- asynchronous invocation (§3.1: the CPU is free to do other work) -----
+
+    def start_page(self, col_vaddr: int, num_rows: int, low: int, high: int,
+                   out_vaddr: int) -> "PendingSelect":
+        """Kick off one page's select and return without waiting.
+
+        The returned handle exposes the device-side completion time; the
+        caller overlaps CPU work and calls :meth:`PendingSelect.wait` when
+        it needs the result.  This is the §3.1 "CPU can perform other
+        operations in parallel" mode; the synchronous :meth:`select_page`
+        is the spin-wait mode the paper's benchmarks use.
+        """
+        page = self.vm.page_bytes
+        if num_rows <= 0:
+            raise JafarProgrammingError("num_rows must be positive")
+        if num_rows * 8 > page - col_vaddr % page:
+            raise JafarProgrammingError(
+                f"{num_rows} rows do not fit in the page at {col_vaddr:#x}; "
+                "the API is per-page (Figure 2)"
+            )
+        if self.require_pinned and not self.vm.is_pinned(col_vaddr):
+            raise PinningError(
+                f"column page {col_vaddr:#x} is not pinned; mlock it first (§4)"
+            )
+        device = self.device_for(col_vaddr)
+        out_bytes = -(-num_rows // 8)
+        out_paddr = self.vm.translate_range(out_vaddr, out_bytes)[0][0]
+        col_paddr = self.vm.translate(col_vaddr)
+        core = self.core
+        cost = device.cost
+        core.advance_ps(ns(cost.invoke_overhead_ns / 2))
+        core.advance_ps(ns(MMIO_ACCESS_NS * REGISTER_WRITES))
+        device.mmio_write(Reg.COL_ADDR, col_paddr)
+        device.mmio_write(Reg.RANGE_LOW, low)
+        device.mmio_write(Reg.RANGE_HIGH, high)
+        device.mmio_write(Reg.OUT_ADDR, out_paddr)
+        device.mmio_write(Reg.NUM_ROWS, num_rows)
+        rank = self._rank_of(device, col_paddr)
+        expected = self.expected_run_ps(device, num_rows)
+        grant = self.ownership.acquire(rank, core.now_ps, 2 * expected)
+        result = device.start(max(core.now_ps, grant.ready_ps))
+        return PendingSelect(self, grant, result, out_paddr, out_bytes)
+
+    def completion_latency_ps(self) -> int:
+        """Delay between device DONE and the CPU observing it."""
+        if self.completion == "poll":
+            return ns(POLL_QUANTUM_NS / 2)
+        return ns(INTERRUPT_LATENCY_NS)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def expected_run_ps(self, device: JafarDevice, num_rows: int) -> int:
+        """Predicted device time: JAFAR's performance "is extremely
+        predictable" (§2.2), which is what makes bounded grants possible."""
+        timings = device.timings
+        bursts = -(-num_rows * 8 // timings.burst_bytes)
+        streaming = bursts * timings.cycles_to_ps(timings.tccd)
+        rows_crossed = -(-num_rows * 8 // device.mapping.geometry.row_bytes)
+        activates = rows_crossed * timings.cycles_to_ps(
+            timings.trp + timings.trcd)
+        flushes = -(-num_rows // device.cost.output_buffer_bits)
+        writes = flushes * timings.cycles_to_ps(timings.tccd + timings.cwl)
+        return streaming + activates + writes + timings.cycles_to_ps(50)
+
+    def _rank_of(self, device: JafarDevice, paddr: int):
+        loc = device.mapping.decode(paddr)
+        return device.dimm.ranks[loc.rank]
+
+
+@dataclass
+class PendingSelect:
+    """An in-flight asynchronous JAFAR invocation.
+
+    Between :meth:`JafarDriver.start_page` and :meth:`wait`, the CPU clock
+    is the caller's to spend — compute phases advanced on the core overlap
+    with the device's run "for free" up to the device completion time.
+    """
+
+    driver: JafarDriver
+    grant: object
+    result: JafarRunResult
+    out_paddr: int
+    out_bytes: int
+    _finished: bool = False
+
+    @property
+    def device_done_ps(self) -> int:
+        return self.result.end_ps
+
+    def done(self) -> bool:
+        """Non-blocking check (one status-register read, at current time)."""
+        self.driver.core.advance_ps(ns(MMIO_ACCESS_NS))
+        return self.driver.core.now_ps >= self.result.end_ps
+
+    def wait(self) -> JafarRunResult:
+        """Block until the device is done; returns its run result.
+
+        Idempotent; the first call releases rank ownership, charges the
+        completion-detection latency, and invalidates the cached output
+        range.
+        """
+        if self._finished:
+            return self.result
+        core = self.driver.core
+        seen = self.result.end_ps + self.driver.completion_latency_ps()
+        if seen > core.now_ps:
+            core.now_ps = seen
+        self.driver.ownership.release(self.grant, core.now_ps)
+        core.advance_ps(ns(self.driver.devices[
+            next(iter(self.driver.devices))].cost.invoke_overhead_ns / 2))
+        core.hierarchy.invalidate_range(self.out_paddr, self.out_bytes)
+        self._finished = True
+        return self.result

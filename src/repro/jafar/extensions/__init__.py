@@ -1,0 +1,46 @@
+"""The §4 roadmap accelerators: NDP beyond the select operator.
+
+Each unit shares JAFAR's physical position (on the DIMM, fed by the IO
+buffer) and streaming schedule — the §2.2 observation that the filter ALUs
+sit idle 9 of every 13 ns is what makes richer per-word work (hashing,
+accumulation) free.  Units: scalar/grouped aggregation with the on-chip
+bucket limit and hierarchical fallback (:mod:`~.aggregate`), qualifying-
+value projection and row-store field extraction (:mod:`~.projection`),
+fixed-function bitonic sorting with divide-and-conquer merging
+(:mod:`~.sorter`), multi-attribute row-store filtering (:mod:`~.rowstore`),
+and the fixed-function hash units (:mod:`~.hashunit`).
+"""
+
+from .aggregate import NdpAggregator, NdpAggResult, NdpGroupByResult
+from .base import NdpEngine, StreamStats
+from .hashunit import (
+    HASH_UNITS,
+    fnv1a,
+    fnv1a_block,
+    multiplicative_hash,
+    multiplicative_hash_block,
+)
+from .projection import NdpProjector, NdpProjectResult
+from .rowstore import FieldPredicate, RowFilterResult, RowStoreFilter
+from .sorter import BitonicNetwork, NdpSorter, NdpSortResult
+
+__all__ = [
+    "BitonicNetwork",
+    "FieldPredicate",
+    "HASH_UNITS",
+    "NdpAggResult",
+    "NdpAggregator",
+    "NdpEngine",
+    "NdpGroupByResult",
+    "NdpProjectResult",
+    "NdpProjector",
+    "NdpSortResult",
+    "NdpSorter",
+    "RowFilterResult",
+    "RowStoreFilter",
+    "StreamStats",
+    "fnv1a",
+    "fnv1a_block",
+    "multiplicative_hash",
+    "multiplicative_hash_block",
+]

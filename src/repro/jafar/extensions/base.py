@@ -1,0 +1,108 @@
+"""Shared machinery for the §4 extension accelerators.
+
+Every roadmap unit (aggregator, projector, sorter, row-store filter) sits in
+the same physical position as JAFAR — on the DIMM, fed by the IO buffer —
+so they share one streaming-timing core: burst-walk a physical range through
+the rank state machines at the module-internal rate, optionally writing
+results back.  §2.2's latency-slack observation ("JAFAR currently spends a
+total of 9 out of 13 nanoseconds waiting for data to arrive, which implies
+that there are opportunities to include more complex calculations, like
+hashing or aggregates, at virtually no additional latency") is exactly why
+these units can reuse the filter's streaming schedule unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import JafarCostModel
+from ...dram import Agent, AddressMapping, DDR3Timings
+from ...dram.dimm import DIMM
+from ...errors import JafarProgrammingError
+from ...mem import PhysicalMemory
+
+WORD_BYTES = 8
+
+
+@dataclass
+class StreamStats:
+    """Timing outcome of one NDP streaming pass."""
+
+    start_ps: int
+    end_ps: int
+    bursts_read: int
+    bursts_written: int
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+class NdpEngine:
+    """Base class: an on-DIMM unit that streams ranges through the rank."""
+
+    def __init__(self, timings: DDR3Timings, mapping: AddressMapping,
+                 channel_index: int, dimm: DIMM, memory: PhysicalMemory,
+                 cost: JafarCostModel | None = None) -> None:
+        self.timings = timings
+        self.mapping = mapping
+        self.channel_index = channel_index
+        self.dimm = dimm
+        self.memory = memory
+        self.cost = cost or JafarCostModel()
+        self.clock = timings.jafar_clock()
+
+    def _check_local(self, addr: int) -> None:
+        loc = self.mapping.decode(addr)
+        if loc.channel != self.channel_index or loc.dimm != self.dimm.index:
+            raise JafarProgrammingError(
+                f"address {addr:#x} is not on this unit's DIMM"
+            )
+
+    def stream_read(self, addr: int, nbytes: int, start_ps: int,
+                    words_per_cycle: float | None = None) -> StreamStats:
+        """Stream ``[addr, addr+nbytes)`` through the unit's datapath."""
+        if nbytes <= 0:
+            raise JafarProgrammingError("stream length must be positive")
+        wpc = words_per_cycle or self.cost.words_per_cycle
+        word_period = self.clock.period_ps / wpc
+        burst_bytes = self.timings.burst_bytes
+        first = (addr // burst_bytes) * burst_bytes
+        last = ((addr + nbytes - 1) // burst_bytes) * burst_bytes
+        cursor = start_ps
+        alu_ready = 0
+        bursts = 0
+        end = start_ps
+        for burst_addr in range(first, last + burst_bytes, burst_bytes):
+            self._check_local(burst_addr)
+            loc = self.mapping.decode(burst_addr)
+            rank = self.dimm.ranks[loc.rank]
+            timing = rank.access(loc.bank, loc.row, cursor, is_write=False,
+                                 agent=Agent.JAFAR, bus_free_ps=alu_ready)
+            words = burst_bytes // WORD_BYTES
+            proc_done = max(round(timing.data_start_ps + words * word_period),
+                            timing.data_end_ps)
+            alu_ready = proc_done
+            cursor = timing.cas_ps
+            end = proc_done
+            bursts += 1
+        return StreamStats(start_ps, end, bursts, 0)
+
+    def stream_write(self, addr: int, nbytes: int, start_ps: int) -> StreamStats:
+        """Write ``nbytes`` back to DRAM from the unit's buffers."""
+        if nbytes <= 0:
+            raise JafarProgrammingError("write length must be positive")
+        burst_bytes = self.timings.burst_bytes
+        first = (addr // burst_bytes) * burst_bytes
+        last = ((addr + nbytes - 1) // burst_bytes) * burst_bytes
+        cursor = start_ps
+        bursts = 0
+        for burst_addr in range(first, last + burst_bytes, burst_bytes):
+            self._check_local(burst_addr)
+            loc = self.mapping.decode(burst_addr)
+            rank = self.dimm.ranks[loc.rank]
+            timing = rank.access(loc.bank, loc.row, cursor, is_write=True,
+                                 agent=Agent.JAFAR)
+            cursor = timing.data_end_ps
+            bursts += 1
+        return StreamStats(start_ps, cursor, 0, bursts)

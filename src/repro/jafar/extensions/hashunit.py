@@ -1,0 +1,65 @@
+"""Fixed-function hash units (§4, Aggregations).
+
+"Common hash functions like SHA and MD5 can be provided a priori as fixed
+function hardware units, while custom hash functions could potentially be
+supported via reconfigurable logic."  Cryptographic digests are overkill for
+hash *aggregation*, so the aggregator uses the two classic integer hashes
+below as its fixed-function units; both are exact bit-level specifications
+(deterministic across platforms), as hardware would be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import JafarProgrammingError
+
+MASK64 = (1 << 64) - 1
+
+#: Fibonacci/multiplicative hashing constant: 2^64 / golden ratio.
+FIB_MULT = 0x9E3779B97F4A7C15
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x00000100000001B3
+
+
+def multiplicative_hash(key: int, bits: int) -> int:
+    """Fibonacci hashing: top ``bits`` of ``key * 2^64/phi`` (one multiply
+    and one shift — a single-cycle hardware unit)."""
+    if not 1 <= bits <= 63:
+        raise JafarProgrammingError(f"hash width {bits} outside [1, 63]")
+    return ((key * FIB_MULT) & MASK64) >> (64 - bits)
+
+
+def multiplicative_hash_block(keys: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`multiplicative_hash` (bit-exact)."""
+    if not 1 <= bits <= 63:
+        raise JafarProgrammingError(f"hash width {bits} outside [1, 63]")
+    mixed = (keys.astype(np.uint64) * np.uint64(FIB_MULT))
+    return (mixed >> np.uint64(64 - bits)).astype(np.int64)
+
+
+def fnv1a(key: int) -> int:
+    """FNV-1a over the key's 8 little-endian bytes."""
+    h = FNV_OFFSET
+    for shift in range(0, 64, 8):
+        h ^= (key >> shift) & 0xFF
+        h = (h * FNV_PRIME) & MASK64
+    return h
+
+
+def fnv1a_block(keys: np.ndarray) -> np.ndarray:
+    """Vectorised FNV-1a, bit-exact with :func:`fnv1a`."""
+    h = np.full(keys.shape, FNV_OFFSET, dtype=np.uint64)
+    k = keys.astype(np.uint64)
+    prime = np.uint64(FNV_PRIME)
+    for shift in range(0, 64, 8):
+        h = (h ^ ((k >> np.uint64(shift)) & np.uint64(0xFF))) * prime
+    return h
+
+
+#: Registry of available fixed-function units.
+HASH_UNITS = {
+    "multiplicative": multiplicative_hash_block,
+    "fnv1a": lambda keys, bits=64: fnv1a_block(keys),
+}

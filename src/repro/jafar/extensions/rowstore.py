@@ -1,0 +1,107 @@
+"""NDP filtering for row-stores and column-group hybrids (§4).
+
+"Near-data processing for row-stores or hybrids that store data as
+column-groups can be achieved by slightly altering the design of JAFAR to be
+able to apply in parallel different filtering operations to different
+attributes and record the result of the collective filter accordingly."
+
+:class:`RowStoreFilter` does exactly that: records are fixed-width byte
+rows; each :class:`FieldPredicate` names a fixed-width integer field and an
+inclusive range; one comparator pair per predicate evaluates all predicates
+as the record streams past, and the AND of the outcomes becomes the record's
+result bit.  The number of parallel comparator pairs is a hardware limit —
+predicates beyond it require a second pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import JafarProgrammingError
+from ..bitmask import pack_mask
+from .base import NdpEngine
+
+
+@dataclass(frozen=True)
+class FieldPredicate:
+    """``low <= record[offset:offset+width] <= high`` (little-endian int)."""
+
+    offset: int
+    width: int  # 1, 2, 4 or 8 bytes
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 2, 4, 8):
+            raise JafarProgrammingError(
+                f"field width must be 1/2/4/8 bytes, got {self.width}"
+            )
+        if self.offset < 0:
+            raise JafarProgrammingError("field offset must be non-negative")
+        if self.low > self.high:
+            raise JafarProgrammingError("empty range: low exceeds high")
+
+
+@dataclass
+class RowFilterResult:
+    matches: int
+    start_ps: int
+    end_ps: int
+    passes: int
+    bursts_read: int
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+_WIDTH_DTYPES = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}
+
+
+class RowStoreFilter(NdpEngine):
+    """Multi-attribute parallel filter over fixed-width records."""
+
+    #: Parallel comparator pairs (each predicate needs one pair).
+    comparator_pairs = 4
+
+    def filter(self, base_addr: int, num_records: int, record_bytes: int,
+               predicates: list[FieldPredicate], out_addr: int,
+               start_ps: int) -> RowFilterResult:
+        """Evaluate the conjunction of ``predicates`` over every record."""
+        if num_records <= 0 or record_bytes <= 0:
+            raise JafarProgrammingError(
+                "record count and record size must be positive"
+            )
+        if not predicates:
+            raise JafarProgrammingError("at least one predicate required")
+        for pred in predicates:
+            if pred.offset + pred.width > record_bytes:
+                raise JafarProgrammingError(
+                    f"field at {pred.offset}+{pred.width} exceeds the "
+                    f"{record_bytes}-byte record"
+                )
+
+        raw = self.memory.read(base_addr, num_records * record_bytes)
+        records = raw.reshape(num_records, record_bytes)
+        mask = np.ones(num_records, dtype=bool)
+        for pred in predicates:
+            field = np.ascontiguousarray(
+                records[:, pred.offset:pred.offset + pred.width]
+            ).view(_WIDTH_DTYPES[pred.width]).reshape(num_records)
+            mask &= (field >= pred.low) & (field <= pred.high)
+
+        # Hardware limit: comparator_pairs predicates per streaming pass.
+        passes = -(-len(predicates) // self.comparator_pairs)
+        end = start_ps
+        bursts = 0
+        for _ in range(passes):
+            stats = self.stream_read(base_addr, num_records * record_bytes,
+                                     end)
+            end = stats.end_ps
+            bursts += stats.bursts_read
+        write = self.stream_write(out_addr, max(-(-num_records // 8), 1), end)
+        end = write.end_ps
+        self.memory.write(out_addr, pack_mask(mask))
+        return RowFilterResult(int(mask.sum()), start_ps, end, passes, bursts)

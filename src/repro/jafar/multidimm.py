@@ -1,0 +1,84 @@
+"""Multi-DIMM JAFAR coordination (§2.2, Handling Data Interleaving).
+
+When column data is interleaved across DIMMs, every DIMM's JAFAR runs the
+same filter over the shared logical range: each unit reads only the bursts
+resident on its module, produces result bits only for the rows it operated
+on, and overwrites only those bits of the shared output bitset.  The units
+run in *parallel* — they touch disjoint DIMMs — so wall time is the maximum
+of the per-unit times.
+
+This module provides that orchestration for physically contiguous ranges
+(the storage engine may instead shuffle data to per-DIMM contiguity — see
+:func:`repro.mem.layout.shuffle_for_contiguity` — in which case the plain
+driver path applies per shard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import JafarProgrammingError
+from .device import JafarDevice, JafarRunResult
+from .registers import Reg
+
+
+@dataclass
+class MultiDimmResult:
+    """Combined outcome of a fleet of JAFAR units over one column range."""
+
+    matches: int
+    start_ps: int
+    end_ps: int
+    per_device: list[JafarRunResult]
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+def select_interleaved(devices: list[JafarDevice], col_paddr: int,
+                       num_rows: int, low: int, high: int, out_paddr: int,
+                       start_ps: int) -> MultiDimmResult:
+    """Run the same select on every unit; merge timing and result bits.
+
+    Each device skips bursts that are not on its DIMM and performs
+    masked-bit output writes, so after all units finish, the output bitset
+    at ``out_paddr`` is complete.  Devices whose DIMM holds none of the
+    range are skipped entirely.
+    """
+    if not devices:
+        raise JafarProgrammingError("no JAFAR units supplied")
+    if num_rows <= 0:
+        raise JafarProgrammingError("num_rows must be positive")
+    results: list[JafarRunResult] = []
+    total_owned_matches = 0
+    end_ps = start_ps
+    ran_any = False
+    for device in devices:
+        device.mmio_write(Reg.COL_ADDR, col_paddr)
+        device.mmio_write(Reg.RANGE_LOW, low)
+        device.mmio_write(Reg.RANGE_HIGH, high)
+        device.mmio_write(Reg.OUT_ADDR, out_paddr)
+        device.mmio_write(Reg.NUM_ROWS, num_rows)
+        try:
+            result = device.start(start_ps)
+        except JafarProgrammingError as exc:
+            if "resides on this DIMM" in str(exc):
+                continue  # this unit owns none of the range
+            raise
+        ran_any = True
+        results.append(result)
+        end_ps = max(end_ps, result.end_ps)
+    if not ran_any:
+        raise JafarProgrammingError(
+            "no supplied JAFAR unit owns any burst of the column range"
+        )
+    # The authoritative match count is the merged bitset in memory; device
+    # NUM_MATCHES registers count each unit's full-mask view and cannot be
+    # summed under interleaving.
+    from .bitmask import unpack_mask
+
+    memory = devices[0].memory
+    merged = unpack_mask(memory.read(out_paddr, -(-num_rows // 8)), num_rows)
+    total_owned_matches = int(merged.sum())
+    return MultiDimmResult(total_owned_matches, start_ps, end_ps, results)

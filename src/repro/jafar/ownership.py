@@ -1,0 +1,92 @@
+"""DRAM-rank ownership arbitration via MR3/MPR (§2.2, Coordinating DRAM
+Access).
+
+"The query manager can grant 'ownership' of a DRAM rank to JAFAR for a
+specified number of cycles, knowing that JAFAR will finish its allotted work
+in that amount of time."  The handoff is implemented by repurposing mode
+register 3: enabling the multipurpose register blocks the host controller
+from ordinary reads/writes to the rank (enforced by
+:class:`~repro.dram.rank.Rank`).
+
+The MRS command itself costs tMOD (~12 bus cycles on DDR3) and requires all
+banks precharged, both of which are charged here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram import Agent, DDR3Timings, Rank
+from ..errors import DRAMOwnershipError
+
+#: MRS-to-non-MRS command delay, bus cycles (DDR3 tMOD).
+TMOD_CYCLES = 12
+
+
+@dataclass
+class OwnershipGrant:
+    """An active grant of one rank to one agent."""
+
+    rank: Rank
+    owner: Agent
+    granted_ps: int
+    expires_ps: int
+    ready_ps: int  # when the owner may issue its first command
+
+    @property
+    def duration_ps(self) -> int:
+        return self.expires_ps - self.granted_ps
+
+
+class RankOwnership:
+    """Tracks which agent owns which rank and performs MR3 handoffs."""
+
+    def __init__(self, timings: DDR3Timings) -> None:
+        self.timings = timings
+        self._grants: dict[int, OwnershipGrant] = {}
+        self.handoffs = 0
+
+    def owner_of(self, rank: Rank) -> Agent:
+        grant = self._grants.get(id(rank))
+        return grant.owner if grant else Agent.CPU
+
+    def acquire(self, rank: Rank, now_ps: int, duration_ps: int,
+                owner: Agent = Agent.JAFAR) -> OwnershipGrant:
+        """Hand ``rank`` to ``owner`` for ``duration_ps``.
+
+        Precharges all banks (MRS requires an idle rank), loads MR3 with the
+        MPR-enable bit, and charges tMOD before the first owner command.
+        """
+        if duration_ps <= 0:
+            raise DRAMOwnershipError("ownership duration must be positive")
+        if id(rank) in self._grants:
+            raise DRAMOwnershipError(
+                f"rank {rank.index} is already granted to "
+                f"{self._grants[id(rank)].owner.value}"
+            )
+        idle_ps = rank.precharge_all(now_ps)
+        rank.mode_registers.enable_mpr()
+        ready_ps = idle_ps + self.timings.cycles_to_ps(TMOD_CYCLES)
+        grant = OwnershipGrant(rank, owner, now_ps, ready_ps + duration_ps,
+                               ready_ps)
+        self._grants[id(rank)] = grant
+        self.handoffs += 1
+        return grant
+
+    def release(self, grant: OwnershipGrant, now_ps: int) -> int:
+        """Return the rank to the host.  Returns when the host may issue.
+
+        Releasing after expiry is legal (the expiry is the *scheduling
+        contract*, not a hardware timeout) but flagged to the caller via the
+        overrun amount in the grant object; the arbiter uses it.
+        """
+        if self._grants.get(id(grant.rank)) is not grant:
+            raise DRAMOwnershipError("grant is not active")
+        grant.rank.mode_registers.disable_mpr()
+        del self._grants[id(grant.rank)]
+        ready = max(now_ps, grant.ready_ps)
+        return ready + self.timings.cycles_to_ps(TMOD_CYCLES)
+
+    def overrun_ps(self, grant: OwnershipGrant, finished_ps: int) -> int:
+        """How far past its allotted window the owner ran (0 if within)."""
+        return max(0, finished_ps - grant.expires_ps)

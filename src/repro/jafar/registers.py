@@ -1,0 +1,89 @@
+"""JAFAR's memory-mapped accelerator control registers (§2.2).
+
+"The CPU controls the operation of JAFAR via memory-mapped accelerator
+control registers and is currently notified of JAFAR operation completion by
+polling a shared memory location."
+
+The register file mirrors the Figure 2 API: column base, inclusive range
+bounds, output-buffer base, row count; plus a control/status pair and a
+result-count register.  Offsets are stable so the driver can be written
+against the "hardware" contract.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import JafarProgrammingError
+
+
+class Reg(enum.IntEnum):
+    """Register offsets (in 8-byte words) within the MMIO window."""
+
+    COL_ADDR = 0      # physical base of the column page to filter
+    RANGE_LOW = 1     # inclusive lower bound (signed 64-bit)
+    RANGE_HIGH = 2    # inclusive upper bound (signed 64-bit)
+    OUT_ADDR = 3      # physical base of the output bitset buffer
+    NUM_ROWS = 4      # rows in this invocation (one page's worth)
+    CTRL = 5          # write 1 to start
+    STATUS = 6        # IDLE / RUNNING / DONE / ERROR — the polled location
+    NUM_MATCHES = 7   # qualifying-row count, valid when DONE
+
+
+class Status(enum.IntEnum):
+    IDLE = 0
+    RUNNING = 1
+    DONE = 2
+    ERROR = 3
+
+
+CTRL_START = 1
+
+#: MMIO cost of touching an uncached control register, in nanoseconds.  An
+#: uncached write must cross the memory channel; part of the per-invocation
+#: overhead budget in :class:`repro.config.JafarCostModel`.
+MMIO_ACCESS_NS = 20.0
+
+
+@dataclass
+class RegisterFile:
+    """The device-side register state."""
+
+    regs: dict[Reg, int] = field(default_factory=lambda: {r: 0 for r in Reg})
+
+    def write(self, reg: Reg, value: int) -> None:
+        if reg in (Reg.STATUS, Reg.NUM_MATCHES):
+            raise JafarProgrammingError(f"{reg.name} is read-only from the host")
+        if reg in (Reg.COL_ADDR, Reg.OUT_ADDR, Reg.NUM_ROWS) and value < 0:
+            raise JafarProgrammingError(f"{reg.name} must be non-negative")
+        self.regs[reg] = int(value)
+
+    def read(self, reg: Reg) -> int:
+        return self.regs[reg]
+
+    # Device-side (internal) accessors — not bound by host read-only rules.
+
+    def set_status(self, status: Status) -> None:
+        self.regs[Reg.STATUS] = int(status)
+
+    def set_matches(self, count: int) -> None:
+        if count < 0:
+            raise JafarProgrammingError("match count must be non-negative")
+        self.regs[Reg.NUM_MATCHES] = count
+
+    @property
+    def status(self) -> Status:
+        return Status(self.regs[Reg.STATUS])
+
+    def validate_programmed(self) -> None:
+        """Check the host programmed a coherent operation before start."""
+        if self.regs[Reg.NUM_ROWS] <= 0:
+            raise JafarProgrammingError("NUM_ROWS must be positive")
+        if self.regs[Reg.RANGE_LOW] > self.regs[Reg.RANGE_HIGH]:
+            raise JafarProgrammingError(
+                "RANGE_LOW exceeds RANGE_HIGH (empty ranges are expressed "
+                "by the host as low > high only via explicit no-op)"
+            )
+        if self.regs[Reg.COL_ADDR] % 8 or self.regs[Reg.OUT_ADDR] % 8:
+            raise JafarProgrammingError("addresses must be 8-byte aligned")

@@ -1,0 +1,29 @@
+"""Simulated memory management: contents, frames, virtual memory, layout.
+
+The DRAM package models timing; this package models *state*: physical byte
+contents (:mod:`~repro.mem.physical`), frame allocation with DIMM placement
+(:mod:`~repro.mem.allocator`), page tables with mlock-style pinning
+(:mod:`~repro.mem.vm`, the §4 Memory Management machinery JAFAR depends on),
+and multi-DIMM interleaving layout helpers (:mod:`~repro.mem.layout`).
+"""
+
+from .allocator import FrameAllocator, Placement
+from .layout import (
+    interleaved_word_ownership,
+    merge_partial_bitmasks,
+    shuffle_for_contiguity,
+)
+from .physical import PhysicalMemory
+from .vm import Mapping, PageTableEntry, VirtualMemory
+
+__all__ = [
+    "FrameAllocator",
+    "Mapping",
+    "PageTableEntry",
+    "PhysicalMemory",
+    "Placement",
+    "VirtualMemory",
+    "interleaved_word_ownership",
+    "merge_partial_bitmasks",
+    "shuffle_for_contiguity",
+]

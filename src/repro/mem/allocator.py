@@ -1,0 +1,132 @@
+"""Physical-page allocator with DIMM placement control.
+
+§4 (Memory Management): "the data system needs to know what data is located
+on which DIMM when invoking JAFAR.  Therefore, prior to invoking JAFAR, the
+operating system must first pin the memory pages JAFAR will access to
+specific DIMMs."  The allocator is where that placement decision is made: it
+hands out physical page frames either *fill-first* (contiguous within one
+DIMM — what JAFAR wants) or *round-robin* across DIMMs (what a NUMA-unaware
+kernel might do).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import OutOfMemoryError, PinningError
+from ..units import is_power_of_two
+from .. import dram
+
+
+class Placement(enum.Enum):
+    """Physical placement policies for fresh allocations."""
+
+    FILL_FIRST = "fill-first"      # pack one DIMM before moving to the next
+    ROUND_ROBIN = "round-robin"    # rotate DIMMs per page
+
+
+class FrameAllocator:
+    """Allocates page frames from the populated prefix of each DIMM.
+
+    ``populated_per_dimm`` bounds how much of each DIMM's address range is
+    backed by the :class:`~repro.mem.physical.PhysicalMemory` object (the
+    simulator does not materialise the full geometry).
+    """
+
+    def __init__(self, geometry: "dram.DRAMGeometry", page_bytes: int,
+                 populated_per_dimm: int) -> None:
+        if not is_power_of_two(page_bytes):
+            raise PinningError(f"page size must be a power of two, got {page_bytes}")
+        if populated_per_dimm % page_bytes:
+            raise PinningError("populated bytes must be page aligned")
+        if populated_per_dimm > geometry.dimm_bytes:
+            raise PinningError("populated bytes exceed DIMM capacity")
+        self.geometry = geometry
+        self.page_bytes = page_bytes
+        self.populated_per_dimm = populated_per_dimm
+        self.num_dimms = geometry.channels * geometry.dimms_per_channel
+        self._free: dict[int, list[int]] = {}
+        for dimm in range(self.num_dimms):
+            base = self._dimm_base(dimm)
+            frames = list(range(base, base + populated_per_dimm, page_bytes))
+            frames.reverse()  # pop() hands out ascending addresses
+            self._free[dimm] = frames
+        self._rr_next = 0
+
+    def _dimm_base(self, dimm_index: int) -> int:
+        """Physical base address of DIMM ``dimm_index`` (fill-first layout).
+
+        With channel interleaving enabled the notion of a contiguous DIMM
+        range disappears; the allocator requires fill-first geometry.
+        """
+        geometry = self.geometry
+        if geometry.interleave_bytes and geometry.channels > 1:
+            raise PinningError(
+                "frame allocator requires fill-first (non-interleaved) channels; "
+                "use the interleaved layout helpers instead"
+            )
+        channel = dimm_index // geometry.dimms_per_channel
+        dimm = dimm_index % geometry.dimms_per_channel
+        return channel * geometry.channel_bytes + dimm * geometry.dimm_bytes
+
+    def free_frames(self, dimm: int | None = None) -> int:
+        """Number of free frames on ``dimm`` (or in total)."""
+        if dimm is None:
+            return sum(len(v) for v in self._free.values())
+        return len(self._free[dimm])
+
+    def alloc(self, count: int, placement: Placement = Placement.FILL_FIRST,
+              dimm: int | None = None) -> list[int]:
+        """Allocate ``count`` frames; returns their physical addresses.
+
+        ``dimm`` forces every frame onto one DIMM (the pinning case).  With
+        FILL_FIRST and no ``dimm``, frames pack the lowest-numbered DIMM with
+        space; with ROUND_ROBIN they rotate across DIMMs page by page.
+        """
+        if count <= 0:
+            raise OutOfMemoryError(f"frame count must be positive, got {count}")
+        if dimm is not None:
+            if dimm not in self._free:
+                raise PinningError(f"no such DIMM {dimm}")
+            if len(self._free[dimm]) < count:
+                raise OutOfMemoryError(
+                    f"DIMM {dimm} has {len(self._free[dimm])} free frames, "
+                    f"need {count}"
+                )
+            return [self._free[dimm].pop() for _ in range(count)]
+
+        if self.free_frames() < count:
+            raise OutOfMemoryError(
+                f"{self.free_frames()} free frames in total, need {count}"
+            )
+        frames: list[int] = []
+        if placement is Placement.FILL_FIRST:
+            for dimm_index in range(self.num_dimms):
+                while self._free[dimm_index] and len(frames) < count:
+                    frames.append(self._free[dimm_index].pop())
+                if len(frames) == count:
+                    break
+        else:
+            while len(frames) < count:
+                dimm_index = self._rr_next
+                self._rr_next = (self._rr_next + 1) % self.num_dimms
+                if self._free[dimm_index]:
+                    frames.append(self._free[dimm_index].pop())
+        return frames
+
+    def free(self, frames: list[int]) -> None:
+        """Return frames to their DIMM free lists."""
+        for frame in frames:
+            if frame % self.page_bytes:
+                raise PinningError(f"frame {frame:#x} not page aligned")
+            dimm = self.dimm_of(frame)
+            if frame in self._free[dimm]:
+                raise PinningError(f"double free of frame {frame:#x}")
+            self._free[dimm].append(frame)
+
+    def dimm_of(self, addr: int) -> int:
+        """Which DIMM (flat index) a physical address lives on."""
+        geometry = self.geometry
+        channel = addr // geometry.channel_bytes
+        dimm = (addr % geometry.channel_bytes) // geometry.dimm_bytes
+        return channel * geometry.dimms_per_channel + dimm

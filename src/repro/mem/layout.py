@@ -1,0 +1,93 @@
+"""Data-layout helpers for multi-DIMM systems (§2.2, Handling Data
+Interleaving).
+
+Systems with more than one DIMM either fill one DIMM before the next
+(*fill-first*) or interleave addresses across DIMMs.  JAFAR handles both:
+
+* fill-first — pages are contiguous on a DIMM, no change needed;
+* interleaved — JAFAR filters the 64-bit words resident on its DIMM and,
+  when writing the output bitset back, overwrites **only the bits for rows it
+  operated on** (:func:`interleaved_word_ownership` computes which); or
+* the storage engine explicitly *shuffles* column data so the physical
+  layout is contiguous on one DIMM (:func:`shuffle_for_contiguity`), the
+  approach taken by prior work [12].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def interleaved_word_ownership(num_words: int, word_bytes: int,
+                               interleave_bytes: int, num_units: int,
+                               unit: int) -> np.ndarray:
+    """Boolean mask of the words of a logical array owned by ``unit``.
+
+    With addresses rotating across ``num_units`` DIMM/channel units every
+    ``interleave_bytes``, word *i* lives on unit ``(i*word_bytes //
+    interleave_bytes) % num_units``.  A JAFAR on ``unit`` may only produce
+    (and later write back) result bits for these words.
+    """
+    if num_words < 0:
+        raise ConfigError(f"word count must be non-negative, got {num_words}")
+    if word_bytes <= 0 or interleave_bytes <= 0 or num_units <= 0:
+        raise ConfigError("word_bytes, interleave_bytes, num_units must be positive")
+    if interleave_bytes % word_bytes:
+        raise ConfigError(
+            "interleave granularity must be a multiple of the word size "
+            f"({interleave_bytes} % {word_bytes} != 0)"
+        )
+    if not 0 <= unit < num_units:
+        raise ConfigError(f"unit {unit} out of range [0, {num_units})")
+    words = np.arange(num_words, dtype=np.int64)
+    owner = (words * word_bytes // interleave_bytes) % num_units
+    return owner == unit
+
+
+def merge_partial_bitmasks(masks: list[np.ndarray],
+                           ownership: list[np.ndarray]) -> np.ndarray:
+    """Combine per-unit result bitmasks into the full result.
+
+    Each unit contributes only the bit positions it owns; positions owned by
+    no unit (impossible for a complete ownership partition) raise.
+    """
+    if not masks:
+        raise ConfigError("no partial masks to merge")
+    if len(masks) != len(ownership):
+        raise ConfigError("masks and ownership lists must align")
+    n = masks[0].size
+    covered = np.zeros(n, dtype=bool)
+    out = np.zeros(n, dtype=bool)
+    for mask, owns in zip(masks, ownership):
+        if mask.size != n or owns.size != n:
+            raise ConfigError("all masks must have equal length")
+        if np.any(covered & owns):
+            raise ConfigError("ownership masks overlap")
+        out[owns] = mask[owns]
+        covered |= owns
+    if not covered.all():
+        raise ConfigError("ownership masks do not cover every word")
+    return out
+
+
+def shuffle_for_contiguity(values: np.ndarray, interleave_bytes: int,
+                           num_units: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reorder an interleaved logical array so each unit's words are
+    contiguous.
+
+    Returns ``(shuffled, inverse_permutation)``: ``shuffled`` concatenates
+    unit 0's words, then unit 1's, …; ``inverse_permutation`` restores
+    logical order (``shuffled[inverse] == values``).  This is the explicit
+    storage-engine shuffle of §2.2.
+    """
+    word_bytes = values.dtype.itemsize
+    order = np.concatenate([
+        np.flatnonzero(interleaved_word_ownership(
+            values.size, word_bytes, interleave_bytes, num_units, unit))
+        for unit in range(num_units)
+    ])
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(order.size)
+    return values[order], inverse

@@ -1,0 +1,78 @@
+"""Simulated physical memory contents.
+
+The DRAM package models *timing*; this module models *contents*.  Keeping the
+two separate lets functional tests run without a timing model and lets the
+timing model run without materialising gigabytes.  A machine couples one
+:class:`PhysicalMemory` (sized to the populated prefix of the address space)
+with one :class:`~repro.dram.MemoryController` (whose geometry may describe a
+larger address space).
+
+Data is stored in a NumPy byte array, with typed views for the 64-bit words
+JAFAR operates on (§2.2: "For each 64 bit word received, an integer
+comparison is performed").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryError_, OutOfMemoryError
+
+
+class PhysicalMemory:
+    """A flat, byte-addressable backing store."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise OutOfMemoryError(f"memory size must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size_bytes:
+            raise MemoryError_(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside "
+                f"{self.size_bytes:#x}-byte memory"
+            )
+
+    # -- raw bytes ---------------------------------------------------------------
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` as a uint8 array (a copy)."""
+        self._check(addr, nbytes)
+        return self._data[addr:addr + nbytes].copy()
+
+    def write(self, addr: int, data: np.ndarray | bytes) -> None:
+        """Write bytes at ``addr``."""
+        buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, bytes) else (
+            np.ascontiguousarray(data, dtype=np.uint8)
+        )
+        self._check(addr, buf.size)
+        self._data[addr:addr + buf.size] = buf
+
+    # -- typed views ---------------------------------------------------------------
+
+    def view_words(self, addr: int, count: int, dtype=np.int64) -> np.ndarray:
+        """A zero-copy typed view of ``count`` elements at ``addr``.
+
+        The view aliases the backing store: writes through it are visible to
+        subsequent reads.  ``addr`` must be aligned to the element size.
+        """
+        itemsize = np.dtype(dtype).itemsize
+        if addr % itemsize:
+            raise MemoryError_(f"address {addr:#x} not {itemsize}-byte aligned")
+        self._check(addr, count * itemsize)
+        return self._data[addr:addr + count * itemsize].view(dtype)
+
+    def write_words(self, addr: int, values: np.ndarray) -> None:
+        """Write a typed array at ``addr`` (element-size aligned)."""
+        values = np.ascontiguousarray(values)
+        view = self.view_words(addr, values.size, dtype=values.dtype)
+        view[:] = values
+
+    def fill(self, addr: int, nbytes: int, byte: int = 0) -> None:
+        """Set ``nbytes`` bytes to ``byte``."""
+        if not 0 <= byte <= 0xFF:
+            raise MemoryError_(f"fill byte {byte} out of range")
+        self._check(addr, nbytes)
+        self._data[addr:addr + nbytes] = byte

@@ -1,0 +1,152 @@
+"""Virtual memory: page tables, translation, and mlock-style pinning.
+
+JAFAR "must rely on the CPU to provide memory translation services" (§2.2) —
+its API takes one virtual page at a time — and the OS "must first pin the
+memory pages JAFAR will access to specific DIMMs ... accomplished via the
+mlock and munlock system calls" (§4).  :class:`VirtualMemory` provides those
+services for the simulated system: contiguous virtual mappings over
+allocator-placed frames, translation, and pin/unpin with DIMM affinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PageFaultError, PinningError
+from .allocator import FrameAllocator, Placement
+
+
+@dataclass
+class PageTableEntry:
+    frame_addr: int
+    pinned: bool = False
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A contiguous virtual region returned by :meth:`VirtualMemory.mmap`."""
+
+    vaddr: int
+    nbytes: int
+    page_bytes: int
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self.nbytes // self.page_bytes)
+
+    def pages(self) -> list[int]:
+        """Virtual page base addresses of the region."""
+        return [self.vaddr + i * self.page_bytes for i in range(self.num_pages)]
+
+
+class VirtualMemory:
+    """A single-address-space page table over a :class:`FrameAllocator`."""
+
+    def __init__(self, allocator: FrameAllocator,
+                 vbase: int = 0x1000_0000) -> None:
+        self.allocator = allocator
+        self.page_bytes = allocator.page_bytes
+        self._table: dict[int, PageTableEntry] = {}  # vpage number -> PTE
+        self._next_vaddr = vbase
+
+    # -- mapping -------------------------------------------------------------------
+
+    def mmap(self, nbytes: int, placement: Placement = Placement.FILL_FIRST,
+             dimm: int | None = None) -> Mapping:
+        """Map a fresh region of ``nbytes`` (rounded up to whole pages)."""
+        if nbytes <= 0:
+            raise PageFaultError(f"mapping size must be positive, got {nbytes}")
+        pages = -(-nbytes // self.page_bytes)
+        frames = self.allocator.alloc(pages, placement=placement, dimm=dimm)
+        vaddr = self._next_vaddr
+        self._next_vaddr += pages * self.page_bytes
+        for i, frame in enumerate(frames):
+            self._table[(vaddr // self.page_bytes) + i] = PageTableEntry(frame)
+        return Mapping(vaddr, nbytes, self.page_bytes)
+
+    def munmap(self, mapping: Mapping) -> None:
+        """Unmap a region, returning its frames (pinned pages must be
+        unpinned first)."""
+        frames = []
+        for vpage_addr in mapping.pages():
+            vpn = vpage_addr // self.page_bytes
+            entry = self._table.get(vpn)
+            if entry is None:
+                raise PageFaultError(f"munmap of unmapped page {vpage_addr:#x}")
+            if entry.pinned:
+                raise PinningError(
+                    f"munmap of pinned page {vpage_addr:#x}; munlock first"
+                )
+            frames.append(entry.frame_addr)
+            del self._table[vpn]
+        self.allocator.free(frames)
+
+    # -- translation ------------------------------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual → physical translation (raises PageFaultError if unmapped)."""
+        entry = self._table.get(vaddr // self.page_bytes)
+        if entry is None:
+            raise PageFaultError(f"no mapping for virtual address {vaddr:#x}")
+        return entry.frame_addr + (vaddr % self.page_bytes)
+
+    def translate_range(self, vaddr: int, nbytes: int) -> list[tuple[int, int]]:
+        """Translate a range into ``(paddr, nbytes)`` physically contiguous runs."""
+        if nbytes <= 0:
+            raise PageFaultError(f"range size must be positive, got {nbytes}")
+        runs: list[tuple[int, int]] = []
+        remaining = nbytes
+        cursor = vaddr
+        while remaining > 0:
+            in_page = min(remaining, self.page_bytes - cursor % self.page_bytes)
+            paddr = self.translate(cursor)
+            if runs and runs[-1][0] + runs[-1][1] == paddr:
+                runs[-1] = (runs[-1][0], runs[-1][1] + in_page)
+            else:
+                runs.append((paddr, in_page))
+            cursor += in_page
+            remaining -= in_page
+        return runs
+
+    # -- pinning (mlock/munlock, §4) -----------------------------------------------------
+
+    def mlock(self, vaddr: int, nbytes: int) -> None:
+        """Pin ``[vaddr, vaddr+nbytes)``: guarantee residency for JAFAR."""
+        for vpn in self._vpns(vaddr, nbytes):
+            entry = self._table.get(vpn)
+            if entry is None:
+                raise PageFaultError(
+                    f"mlock of unmapped page {vpn * self.page_bytes:#x}"
+                )
+            entry.pinned = True
+
+    def munlock(self, vaddr: int, nbytes: int) -> None:
+        """Unpin a previously pinned range."""
+        for vpn in self._vpns(vaddr, nbytes):
+            entry = self._table.get(vpn)
+            if entry is None:
+                raise PageFaultError(
+                    f"munlock of unmapped page {vpn * self.page_bytes:#x}"
+                )
+            if not entry.pinned:
+                raise PinningError(
+                    f"munlock of unpinned page {vpn * self.page_bytes:#x}"
+                )
+            entry.pinned = False
+
+    def is_pinned(self, vaddr: int) -> bool:
+        entry = self._table.get(vaddr // self.page_bytes)
+        if entry is None:
+            raise PageFaultError(f"no mapping for virtual address {vaddr:#x}")
+        return entry.pinned
+
+    def dimm_of(self, vaddr: int) -> int:
+        """Which DIMM the page holding ``vaddr`` resides on."""
+        return self.allocator.dimm_of(self.translate(vaddr))
+
+    def _vpns(self, vaddr: int, nbytes: int) -> range:
+        if nbytes <= 0:
+            raise PinningError(f"range size must be positive, got {nbytes}")
+        first = vaddr // self.page_bytes
+        last = (vaddr + nbytes - 1) // self.page_bytes
+        return range(first, last + 1)

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+The kernel has three parts:
+
+* :mod:`repro.sim.engine` — a timestamp-ordered event queue
+  (:class:`~repro.sim.engine.Simulator`).
+* :mod:`repro.sim.clock` — clock domains that convert between cycles and
+  picoseconds exactly (:class:`~repro.sim.clock.ClockDomain`).
+* :mod:`repro.sim.stats` — counters, histograms, and interval trackers used
+  to implement the paper's performance-counter methodology.
+
+The DRAM/CPU hot paths in this package use *direct timestamp arithmetic*
+(each transaction computes its completion time in O(1)) rather than per-cycle
+event callbacks; the event queue is used where genuine asynchrony matters
+(JAFAR completion polling, rank-ownership handoff, refresh).
+"""
+
+from .clock import ClockDomain
+from .engine import Event, Simulator
+from .stats import BusyTracker, Counter, Histogram, StatGroup
+from .trace import CommandTrace, TraceRecord, attach_trace, detach_trace
+
+__all__ = [
+    "BusyTracker",
+    "CommandTrace",
+    "ClockDomain",
+    "Counter",
+    "Event",
+    "Histogram",
+    "Simulator",
+    "TraceRecord",
+    "attach_trace",
+    "detach_trace",
+    "StatGroup",
+]

@@ -1,0 +1,95 @@
+"""Clock domains.
+
+The paper's system has four clock domains (§2.2): the CPU clock, the DRAM
+data-bus clock, the internal DRAM array clock (bus/4 in DDR3's 8n-prefetch
+design), and JAFAR's own clock at twice the data-bus frequency.
+:class:`ClockDomain` converts between cycle counts and picosecond timestamps
+for one such domain.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClockError
+from ..units import PS_PER_S, period_ps
+
+
+class ClockDomain:
+    """A fixed-frequency clock.
+
+    Cycle→time conversions are exact integer multiples of the period; time→
+    cycle conversions round *down* (a timestamp mid-cycle belongs to the cycle
+    in flight).
+    """
+
+    def __init__(self, freq_hz: int, name: str = "clk") -> None:
+        if freq_hz <= 0:
+            raise ClockError(f"clock {name!r}: frequency must be positive")
+        self.freq_hz = int(freq_hz)
+        self.name = name
+        self.period_ps = period_ps(self.freq_hz)
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Duration of ``cycles`` cycles, in picoseconds (rounded)."""
+        return round(cycles * self.period_ps)
+
+    def ps_to_cycles(self, ps: int) -> int:
+        """Whole cycles elapsed in ``ps`` picoseconds (floor)."""
+        if ps < 0:
+            raise ClockError(f"negative duration: {ps} ps")
+        return ps // self.period_ps
+
+    def ps_to_cycles_exact(self, ps: int) -> float:
+        """Fractional cycles elapsed in ``ps`` picoseconds."""
+        return ps / self.period_ps
+
+    def next_edge(self, time_ps: int) -> int:
+        """First rising-edge timestamp at or after ``time_ps``."""
+        rem = time_ps % self.period_ps
+        if rem == 0:
+            return time_ps
+        return time_ps + (self.period_ps - rem)
+
+    def half_period_ps(self) -> int:
+        """Half-cycle duration, used for dual-data-rate transfers."""
+        return self.period_ps // 2
+
+    def derived(self, multiplier: float, name: str | None = None) -> "ClockDomain":
+        """A clock at ``multiplier``× this clock's frequency.
+
+        JAFAR generates its own clock at 2× the data-bus clock (§2.2); the
+        DRAM array clock is the bus clock divided by 4.
+        """
+        freq = round(self.freq_hz * multiplier)
+        return ClockDomain(freq, name or f"{self.name}x{multiplier:g}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ghz = self.freq_hz / 1e9
+        return f"ClockDomain({self.name!r}, {ghz:.3f} GHz, {self.period_ps} ps)"
+
+
+def bandwidth_bytes_per_s(clock: ClockDomain, bytes_per_edge: int, pumped: int = 2) -> float:
+    """Peak bandwidth of a bus clocked by ``clock``.
+
+    ``bytes_per_edge`` is the transfer width (8 bytes for a 64-bit DDR3
+    channel) and ``pumped`` the number of transfers per cycle (2 for DDR).
+    """
+    if bytes_per_edge <= 0 or pumped <= 0:
+        raise ClockError("bytes_per_edge and pumped must be positive")
+    return clock.freq_hz * bytes_per_edge * pumped * 1.0
+
+
+def transfer_time_ps(clock: ClockDomain, nbytes: int, bytes_per_edge: int = 8, pumped: int = 2) -> int:
+    """Time to stream ``nbytes`` over a ``pumped``-rate bus, in picoseconds.
+
+    Rounded up to a whole number of bus *edges* (half cycles for DDR).
+    """
+    if nbytes < 0:
+        raise ClockError(f"negative transfer size: {nbytes}")
+    edges = -(-nbytes // bytes_per_edge)  # ceil division
+    edge_ps = clock.period_ps / pumped
+    return round(edges * edge_ps)
+
+
+# A convenience constant: picoseconds per second, re-exported for callers
+# computing rates from counters.
+PS_PER_SECOND = PS_PER_S

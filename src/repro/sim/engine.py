@@ -1,0 +1,130 @@
+"""Timestamp-ordered discrete-event simulator.
+
+Events are ``(time_ps, sequence, callback)`` triples kept in a binary heap.
+The sequence number makes ordering total and deterministic: two events
+scheduled for the same picosecond fire in scheduling order.  Timestamps are
+integer picoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time_ps, seq)``."""
+
+    time_ps: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulation loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule_at(ns(10), lambda: print("fired"))
+        sim.run()
+
+    The simulator never moves time backwards: scheduling an event in the past
+    raises :class:`SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ps``."""
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time_ps} ps; time is {self._now} ps"
+            )
+        event = Event(time_ps, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay_ps: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after a relative delay of ``delay_ps``."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps} ps")
+        return self.schedule_at(self._now + delay_ps, callback)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time_ps
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_ps: int | None = None, max_events: int = 50_000_000) -> int:
+        """Run until the queue drains or time exceeds ``until_ps``.
+
+        Returns the number of events fired.  ``max_events`` guards against
+        runaway self-rescheduling loops in model code.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and head.time_ps > until_ps:
+                    # Advance to the horizon so repeated bounded runs make
+                    # forward progress even with a non-empty queue.
+                    self._now = max(self._now, until_ps)
+                    break
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def advance_to(self, time_ps: int) -> None:
+        """Move the clock forward without firing events.
+
+        Used by direct-timestamp components to synchronise the global clock
+        with work they accounted for analytically.  Moving backwards raises.
+        """
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot advance to {time_ps} ps; time is {self._now} ps"
+            )
+        self._now = time_ps

@@ -1,0 +1,121 @@
+"""DRAM command tracing.
+
+A :class:`CommandTrace` attached to ranks records every burst serviced —
+timestamp, agent (CPU or JAFAR), rank/bank/row coordinates, read/write, and
+row-buffer outcome.  Traces answer the questions the paper's §3.3 raises
+about interference: who touched which rank when, how row locality evolved,
+and how the two agents' accesses interleave.
+
+Tracing is off by default (zero overhead on the hot path: a single ``is not
+None`` test); attach with :func:`attach_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One serviced burst."""
+
+    time_ps: int
+    agent: str        # "cpu" | "jafar"
+    rank: int
+    bank: int
+    row: int
+    is_write: bool
+    row_hit: bool
+
+
+@dataclass
+class CommandTrace:
+    """An append-only record of DRAM activity with summary analyses."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    capacity: int = 1_000_000
+
+    def record(self, time_ps: int, agent: str, rank: int, bank: int,
+               row: int, is_write: bool, row_hit: bool) -> None:
+        if len(self.records) >= self.capacity:
+            raise SimulationError(
+                f"command trace exceeded {self.capacity} records; "
+                "raise capacity or narrow the traced window"
+            )
+        self.records.append(TraceRecord(time_ps, agent, rank, bank, row,
+                                        is_write, row_hit))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- analyses ---------------------------------------------------------------
+
+    def counts_by_agent(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.agent] = out.get(r.agent, 0) + 1
+        return out
+
+    def row_hit_rate(self, agent: str | None = None) -> float:
+        relevant = [r for r in self.records
+                    if agent is None or r.agent == agent]
+        if not relevant:
+            return 0.0
+        return sum(r.row_hit for r in relevant) / len(relevant)
+
+    def interleavings(self) -> int:
+        """Times consecutive bursts came from different agents — the §3.3
+        interference events (each costs the stream its open row)."""
+        flips = 0
+        for a, b in zip(self.records, self.records[1:]):
+            if a.agent != b.agent:
+                flips += 1
+        return flips
+
+    def agent_conflicts(self) -> int:
+        """Agent flips that actually landed on the same bank — the row
+        buffer the second agent finds is the first agent's leavings."""
+        conflicts = 0
+        for a, b in zip(self.records, self.records[1:]):
+            if a.agent != b.agent and (a.rank, a.bank) == (b.rank, b.bank):
+                conflicts += 1
+        return conflicts
+
+    def window(self, start_ps: int, end_ps: int) -> "CommandTrace":
+        """Records within ``[start_ps, end_ps)``."""
+        if end_ps < start_ps:
+            raise SimulationError("trace window ends before it starts")
+        sub = CommandTrace(capacity=self.capacity)
+        sub.records = [r for r in self.records
+                       if start_ps <= r.time_ps < end_ps]
+        return sub
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "bursts": len(self.records),
+            "reads": sum(not r.is_write for r in self.records),
+            "writes": sum(r.is_write for r in self.records),
+            "row_hit_rate": self.row_hit_rate(),
+            "agent_flips": self.interleavings(),
+            "agent_conflicts": self.agent_conflicts(),
+        }
+
+
+def attach_trace(machine, capacity: int = 1_000_000) -> CommandTrace:
+    """Attach one shared trace to every rank of a machine (or controller)."""
+    trace = CommandTrace(capacity=capacity)
+    controller = getattr(machine, "controller", machine)
+    for channel in controller.channels:
+        for rank in channel.all_ranks():
+            rank.trace = trace
+    return trace
+
+
+def detach_trace(machine) -> None:
+    """Remove tracing from every rank."""
+    controller = getattr(machine, "controller", machine)
+    for channel in controller.channels:
+        for rank in channel.all_ranks():
+            rank.trace = None

@@ -1,0 +1,26 @@
+"""Full-system assembly and measurement.
+
+:class:`~repro.system.machine.Machine` builds a Table 1 platform;
+:mod:`~repro.system.profiler` implements the Figure 4 counter methodology;
+:mod:`~repro.system.arbiter` implements the §3.3 host/JAFAR arbitration
+analysis (rank ownership vs. unscheduled idle-gap stealing).
+"""
+
+from .arbiter import (
+    GapBudget,
+    UnscheduledEstimate,
+    gap_budget,
+    idle_gap_slowdown,
+)
+from .machine import Machine
+from .profiler import MCProfile, profile_controller
+
+__all__ = [
+    "GapBudget",
+    "MCProfile",
+    "Machine",
+    "UnscheduledEstimate",
+    "gap_budget",
+    "idle_gap_slowdown",
+    "profile_controller",
+]

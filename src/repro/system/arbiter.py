@@ -1,0 +1,98 @@
+"""Query-manager DRAM arbitration between the host and JAFAR (§2.2/§3.3).
+
+Two regimes:
+
+* **Scheduled (rank ownership)** — the query execution manager grants JAFAR
+  exclusive ownership of a rank for a bounded window (MR3/MPR handoff);
+  JAFAR's predictable runtime makes the window computable in advance.  This
+  is the regime Figure 3 measures (the CPU spin-waits, no contention).
+* **Unscheduled (idle-gap stealing)** — without a scheduler, "JAFAR can only
+  run while the memory controller is idle or it would cause unexpected
+  delays in CPU memory requests" (§3.3).  JAFAR's work is chopped into
+  gap-sized chunks; every interruption costs a row reopen
+  (precharge + activate) when it resumes.
+
+:func:`idle_gap_slowdown` quantifies the second regime from a measured
+:class:`~repro.system.profiler.MCProfile` — the §3.3 arithmetic (≥4 bus
+cycles per request, 125 blocks ≈ 4 KB per average 500-cycle gap, half a
+DRAM row per interruption) falls out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram import DDR3Timings
+from ..errors import ConfigError
+from .profiler import MCProfile
+
+
+@dataclass(frozen=True)
+class GapBudget:
+    """What fits in one average memory-controller idle period."""
+
+    gap_cycles: float
+    usable_cycles: float
+    blocks_per_gap: float        # 32-byte data blocks (the §3.3 unit)
+    bytes_per_gap: float
+    fraction_of_row: float       # how much of one DRAM row fits per gap
+
+
+def gap_budget(profile_or_cycles: MCProfile | float, timings: DDR3Timings,
+               row_bytes: int = 8192, reentry_overhead_cycles: float = 0.0) -> GapBudget:
+    """The §3.3 budget: how much JAFAR processes per idle period.
+
+    "DDR3's 8n-prefetch design means each memory request occupies at least
+    four bus cycles ...; this means that at most, JAFAR can process
+    500/4 = 125 32-byte data blocks, or a total of 4KB of data, per idle
+    period."  (The paper's 32-byte block is a half-burst: four bus cycles
+    of dual-pumped 8-byte beats moves 64 B, i.e. the *request* unit; its
+    block arithmetic divides cycles by 4 and multiplies by 32 B.)
+    """
+    gap = (profile_or_cycles.mean_idle_period_cycles
+           if isinstance(profile_or_cycles, MCProfile) else float(profile_or_cycles))
+    if gap < 0:
+        raise ConfigError("idle gap must be non-negative")
+    usable = max(0.0, gap - reentry_overhead_cycles)
+    blocks = usable / 4.0
+    bytes_per_gap = blocks * 32.0
+    return GapBudget(gap, usable, blocks, bytes_per_gap,
+                     bytes_per_gap / row_bytes)
+
+
+@dataclass(frozen=True)
+class UnscheduledEstimate:
+    """Cost of running JAFAR opportunistically in idle gaps."""
+
+    work_ps: int                 # uninterrupted JAFAR runtime
+    effective_ps: float          # including interruption overheads
+    interruptions: float
+    slowdown: float
+
+
+def idle_gap_slowdown(work_ps: int, profile: MCProfile,
+                      timings: DDR3Timings, bytes_total: int,
+                      row_bytes: int = 8192) -> UnscheduledEstimate:
+    """Estimate unscheduled-JAFAR completion time from an idle-gap profile.
+
+    JAFAR processes ``bytes_per_gap`` per idle period, then yields to host
+    traffic; on resume it pays a row reopen (tRP + tRCD) if the interruption
+    evicted its active row — guaranteed when the host touched the bank,
+    assumed here (the paper calls interruptions "costly" for this reason).
+    """
+    if work_ps <= 0 or bytes_total <= 0:
+        raise ConfigError("work and bytes_total must be positive")
+    budget = gap_budget(profile, timings, row_bytes)
+    if budget.bytes_per_gap <= 0:
+        return UnscheduledEstimate(work_ps, float("inf"), float("inf"),
+                                   float("inf"))
+    interruptions = bytes_total / budget.bytes_per_gap
+    reopen_ps = timings.cycles_to_ps(timings.trp + timings.trcd)
+    # While the host is active, JAFAR waits; the wait per interruption is
+    # the mean *busy* span between gaps.
+    busy_cycles = (profile.rc_busy_cycles + profile.wc_busy_cycles)
+    busy_per_gap = busy_cycles / max(profile.accesses, 1)
+    wait_ps = timings.cycles_to_ps(busy_per_gap)
+    effective = work_ps + interruptions * (reopen_ps + wait_ps)
+    return UnscheduledEstimate(work_ps, effective, interruptions,
+                               effective / work_ps)

@@ -1,0 +1,133 @@
+"""Full-system assembly: CPU + caches + memory controller + DRAM + JAFAR.
+
+:class:`Machine` instantiates one platform column of Table 1 as live model
+objects: the DRAM geometry and timing, the memory controller, the populated
+physical memory with frame allocator and page tables, the cache hierarchy and
+core, one JAFAR unit per DIMM, and the driver/ownership plumbing.
+
+The timing geometry is sized to the *populated* prefix of the platform
+(``config.populated_mib``) — row counts per bank shrink, which does not
+affect any timing parameter (only ``row_bytes`` and bank/rank counts enter
+the timing equations), while keeping the backing store allocatable.  The
+paper makes the equivalent sampling argument for its 4M-row dataset (§3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache import CacheHierarchy, SetAssociativeCache
+from ..config import SystemConfig
+from ..cpu import Core
+from ..dram import DRAMGeometry, MemoryController, speed_grade
+from ..errors import ConfigError
+from ..jafar import JafarDevice, JafarDriver, RankOwnership
+from ..mem import FrameAllocator, Mapping, PhysicalMemory, Placement, VirtualMemory
+from ..units import MIB, is_power_of_two
+
+
+def _populated_geometry(config: SystemConfig) -> DRAMGeometry:
+    """Geometry whose total capacity equals the populated prefix."""
+    populated = config.populated_mib * MIB
+    per_bank = populated // (
+        config.channels * config.dimms_per_channel * config.ranks_per_dimm
+        * config.banks_per_rank * config.row_bytes
+    )
+    if per_bank < 1 or not is_power_of_two(per_bank):
+        raise ConfigError(
+            f"populated_mib={config.populated_mib} does not divide into a "
+            "power-of-two row count per bank; adjust the populated size"
+        )
+    return DRAMGeometry(
+        channels=config.channels,
+        dimms_per_channel=config.dimms_per_channel,
+        ranks_per_dimm=config.ranks_per_dimm,
+        banks_per_rank=config.banks_per_rank,
+        row_bytes=config.row_bytes,
+        rows_per_bank=per_bank,
+    )
+
+
+class Machine:
+    """One simulated platform instance."""
+
+    def __init__(self, config: SystemConfig, policy: str = "fr-fcfs",
+                 prefetch_depth: int = 8) -> None:
+        self.config = config
+        self.timings = speed_grade(config.dram_grade)
+        self.geometry = _populated_geometry(config)
+        self.controller = MemoryController(
+            self.timings, self.geometry, policy=policy,
+            refresh_enabled=config.refresh_enabled)
+        self.memory = PhysicalMemory(self.geometry.total_bytes)
+        self.allocator = FrameAllocator(self.geometry, config.page_bytes,
+                                        populated_per_dimm=self.geometry.dimm_bytes)
+        self.vm = VirtualMemory(self.allocator)
+        self.hierarchy = CacheHierarchy([
+            SetAssociativeCache(spec.name, spec.size_bytes, 64, spec.ways,
+                                spec.hit_latency_cycles)
+            for spec in config.caches
+        ])
+        self.core = Core(config, self.controller, self.hierarchy,
+                         prefetch_depth=prefetch_depth)
+        self.ownership = RankOwnership(self.timings)
+        self.devices: dict[int, JafarDevice] = {}
+        flat = 0
+        for channel in self.controller.channels:
+            for dimm in channel.dimms:
+                self.devices[flat] = JafarDevice(
+                    self.timings, self.controller.mapping, channel.index,
+                    dimm, self.memory, config.jafar_cost)
+                flat += 1
+        self.driver = JafarDriver(self.vm, self.devices, self.core,
+                                  self.ownership)
+
+    # -- data placement helpers ---------------------------------------------------
+
+    def alloc_array(self, values: np.ndarray, dimm: int | None = None,
+                    placement: Placement = Placement.FILL_FIRST,
+                    pinned: bool = False) -> Mapping:
+        """Map a fresh region, copy ``values`` into it, optionally pin it."""
+        values = np.ascontiguousarray(values)
+        mapping = self.vm.mmap(values.nbytes, placement=placement, dimm=dimm)
+        for offset, (paddr, nbytes) in self._runs(mapping, values.nbytes):
+            chunk = values.view(np.uint8).reshape(-1)[offset:offset + nbytes]
+            self.memory.write(paddr, chunk)
+        if pinned:
+            self.vm.mlock(mapping.vaddr, values.nbytes)
+        return mapping
+
+    def alloc_zeros(self, nbytes: int, dimm: int | None = None,
+                    pinned: bool = False) -> Mapping:
+        """Map a zeroed region (output buffers)."""
+        mapping = self.vm.mmap(nbytes, dimm=dimm)
+        for _, (paddr, run_bytes) in self._runs(mapping, nbytes):
+            self.memory.fill(paddr, run_bytes, 0)
+        if pinned:
+            self.vm.mlock(mapping.vaddr, nbytes)
+        return mapping
+
+    def read_array(self, mapping_or_vaddr, nbytes: int,
+                   dtype=np.int64) -> np.ndarray:
+        """Read back a virtually contiguous region as a typed array."""
+        vaddr = getattr(mapping_or_vaddr, "vaddr", mapping_or_vaddr)
+        parts = [
+            self.memory.read(paddr, run_bytes)
+            for paddr, run_bytes in self.vm.translate_range(vaddr, nbytes)
+        ]
+        return np.concatenate(parts).view(dtype)
+
+    def _runs(self, mapping: Mapping, nbytes: int):
+        offset = 0
+        for paddr, run_bytes in self.vm.translate_range(mapping.vaddr, nbytes):
+            yield offset, (paddr, run_bytes)
+            offset += run_bytes
+
+    # -- measurement helpers --------------------------------------------------------
+
+    def bus_cycles(self, ps: int) -> float:
+        """Convert picoseconds to memory-bus clock cycles (Figure 4's unit)."""
+        return self.timings.ps_to_cycles(ps)
+
+    def finish_counters(self) -> None:
+        self.controller.finish()

@@ -1,0 +1,17 @@
+"""TPC-H substrate: schemas, a seeded scaled-down dbgen, and the five
+queries the paper profiles on MonetDB (Figure 4)."""
+
+from .datagen import TPCHData, generate
+from .queries import PROFILED_QUERIES, QueryResult
+from .schema import MKT_SEGMENTS, SF1_ROWS, TABLES, rows_at_scale
+
+__all__ = [
+    "MKT_SEGMENTS",
+    "PROFILED_QUERIES",
+    "QueryResult",
+    "SF1_ROWS",
+    "TABLES",
+    "TPCHData",
+    "generate",
+    "rows_at_scale",
+]

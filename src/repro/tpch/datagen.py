@@ -1,0 +1,168 @@
+"""Seeded, scaled-down TPC-H data generator (the dbgen substitute).
+
+Reproduces the value distributions and foreign-key structure Q1/Q3/Q6/Q18/
+Q22 are sensitive to:
+
+* lineitem:orders ≈ 4:1 (1–7 lines per order, uniform), orders:customer
+  10:1, and one third of customers place no orders (Q22's anti-join has
+  real victims);
+* uniform l_quantity in [1, 50], l_discount in [0.00, 0.10], l_tax in
+  [0.00, 0.08] — Q6's predicates land on their spec selectivities;
+* l_shipdate = o_orderdate + U[1, 121] days over the 1992-01-01..1998-08-02
+  order window, so Q1's ``shipdate <= 1998-09-02`` keeps ~98% of rows and
+  Q6's one-year window keeps ~15%;
+* l_returnflag/l_linestatus correlated with date as in dbgen (R/A for old
+  shipments, N for recent; F for old, O for recent);
+* o_totalprice really is the sum of the order's line prices (Q18 groups on
+  it transitively).
+
+Everything derives from one :class:`numpy.random.Generator` seed, so a given
+``(scale, seed)`` pair is bit-reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from ..columnstore import Catalog, Column, ColumnType, Table
+from .schema import (
+    LINE_STATUSES,
+    MKT_SEGMENTS,
+    RETURN_FLAGS,
+    TABLES,
+    rows_at_scale,
+)
+from .text import customer_names, phone_numbers
+
+ORDER_WINDOW_START = date(1992, 1, 1)
+ORDER_WINDOW_END = date(1998, 8, 2)
+#: Shipments after this date are "recent": linestatus O, returnflag mostly N.
+STATUS_CUTOVER = date(1995, 6, 17)
+
+
+@dataclass
+class TPCHData:
+    """One generated database instance."""
+
+    scale: float
+    seed: int
+    customer: Table
+    orders: Table
+    lineitem: Table
+
+    def catalog(self) -> Catalog:
+        catalog = Catalog()
+        for table in (self.customer, self.orders, self.lineitem):
+            catalog.register(table)
+        return catalog
+
+    def tables(self) -> list[Table]:
+        return [self.customer, self.orders, self.lineitem]
+
+
+def generate(scale: float = 0.01, seed: int = 1) -> TPCHData:
+    """Generate a database at the given (fractional) scale factor."""
+    rng = np.random.default_rng(seed)
+    n_cust = rows_at_scale("customer", scale)
+    n_orders = rows_at_scale("orders", scale)
+
+    customer = _gen_customer(rng, n_cust)
+    orders_cols = _gen_orders(rng, n_orders, n_cust)
+    lineitem_cols = _gen_lineitem(rng, orders_cols)
+
+    # o_totalprice = sum of the order's extended prices (+tax, -discount is
+    # close enough to the spec formula for the queries' purposes).
+    totals = np.zeros(n_orders, dtype=np.int64)
+    np.add.at(totals, lineitem_cols["l_orderkey"] - 1,
+              lineitem_cols["l_extendedprice"])
+    orders_cols["o_totalprice"] = totals
+
+    orders = Table.build("orders", [
+        Column.build(name, TABLES["orders"][name], values)
+        for name, values in orders_cols.items()
+    ])
+    lineitem = Table.build("lineitem", [
+        Column.build(name, TABLES["lineitem"][name], values)
+        for name, values in lineitem_cols.items()
+    ])
+    return TPCHData(scale, seed, customer, orders, lineitem)
+
+
+def _gen_customer(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nation = rng.integers(0, 25, size=n).astype(np.int64)
+    acctbal = rng.integers(-99_999, 1_000_000, size=n).astype(np.int64)  # fixed-point
+    segments = [MKT_SEGMENTS[i] for i in rng.integers(0, len(MKT_SEGMENTS), n)]
+    return Table.build("customer", [
+        Column.build("c_custkey", ColumnType.INT64, keys),
+        Column.build("c_name", ColumnType.STRING, customer_names(keys)),
+        Column.build("c_mktsegment", ColumnType.STRING, segments),
+        Column.build("c_phone", ColumnType.STRING, phone_numbers(nation, rng)),
+        Column.build("c_acctbal", ColumnType.DECIMAL, acctbal),
+        Column.build("c_nationkey", ColumnType.INT64, nation),
+    ])
+
+
+def _gen_orders(rng: np.random.Generator, n: int, n_cust: int) -> dict:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    # dbgen: every third customer has no orders.
+    eligible = np.array([k for k in range(1, n_cust + 1) if k % 3 != 0],
+                        dtype=np.int64)
+    custkey = eligible[rng.integers(0, eligible.size, size=n)]
+    window_days = (ORDER_WINDOW_END - ORDER_WINDOW_START).days
+    start = np.int64((ORDER_WINDOW_START - date(1970, 1, 1)).days)
+    orderdate = start + rng.integers(0, window_days + 1, size=n).astype(np.int64)
+    return {
+        "o_orderkey": keys,
+        "o_custkey": custkey,
+        "o_orderdate": orderdate,
+        "o_totalprice": np.zeros(n, dtype=np.int64),  # filled after lineitem
+        "o_shippriority": np.zeros(n, dtype=np.int64),
+    }
+
+
+def _gen_lineitem(rng: np.random.Generator, orders_cols: dict) -> dict:
+    orderkeys = orders_cols["o_orderkey"]
+    orderdates = orders_cols["o_orderdate"]
+    lines_per_order = rng.integers(1, 8, size=orderkeys.size)
+    l_orderkey = np.repeat(orderkeys, lines_per_order).astype(np.int64)
+    base_date = np.repeat(orderdates, lines_per_order)
+    n = l_orderkey.size
+
+    quantity = rng.integers(1, 51, size=n).astype(np.int64)
+    # extendedprice = quantity x unit price in [900, 10500) (fixed-point;
+    # fixed x integer stays fixed).
+    unit_price = rng.integers(90_000, 1_050_000, size=n)
+    extendedprice = (quantity * unit_price).astype(np.int64)
+    discount = rng.integers(0, 11, size=n).astype(np.int64)  # 0.00..0.10
+    tax = rng.integers(0, 9, size=n).astype(np.int64)        # 0.00..0.08
+    shipdate = base_date + rng.integers(1, 122, size=n).astype(np.int64)
+    commitdate = base_date + rng.integers(30, 91, size=n).astype(np.int64)
+    receiptdate = shipdate + rng.integers(1, 31, size=n).astype(np.int64)
+
+    cutover = np.int64((STATUS_CUTOVER - date(1970, 1, 1)).days)
+    recent = shipdate > cutover
+    linestatus = np.where(recent, LINE_STATUSES.index("O"),
+                          LINE_STATUSES.index("F"))
+    # Old shipments split A/R; recent ones are N.
+    old_flags = rng.integers(0, 2, size=n)  # 0 -> A, 1 -> R
+    returnflag = np.where(
+        recent, RETURN_FLAGS.index("N"),
+        np.where(old_flags == 0, RETURN_FLAGS.index("A"),
+                 RETURN_FLAGS.index("R")))
+
+    return {
+        "l_orderkey": l_orderkey,
+        "l_quantity": quantity,
+        "l_extendedprice": extendedprice,
+        "l_discount": discount,   # fixed-point hundredths: 5 == 0.05
+        "l_tax": tax,
+        "l_returnflag": [RETURN_FLAGS[i] for i in returnflag],
+        "l_linestatus": [LINE_STATUSES[i] for i in linestatus],
+        "l_shipdate": shipdate,
+        "l_commitdate": commitdate,
+        "l_receiptdate": receiptdate,
+    }

@@ -1,0 +1,21 @@
+"""The five TPC-H queries profiled in Figure 4: Q1, Q3, Q6, Q18, Q22.
+
+Each module exposes ``NAME``, ``run(ctx, catalog) -> QueryResult`` (the
+physical operator pipeline executed on the simulated machine), and
+``reference(data) -> rows`` (a pure-NumPy recomputation used to validate
+the pipeline bit-for-bit).
+"""
+
+from . import q1, q3, q6, q18, q22
+from .common import QueryResult
+
+#: Figure 4's x-axis, in its order.
+PROFILED_QUERIES = {
+    "Q1": q1,
+    "Q3": q3,
+    "Q6": q6,
+    "Q18": q18,
+    "Q22": q22,
+}
+
+__all__ = ["PROFILED_QUERIES", "QueryResult", "q1", "q3", "q6", "q18", "q22"]

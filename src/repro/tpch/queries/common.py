@@ -1,0 +1,65 @@
+"""Shared plumbing for the TPC-H query implementations.
+
+Queries are written as *physical* operator pipelines (the way a bulk
+engine's plans actually execute), not plan trees, so each one controls
+exactly which selects are full-column (JAFAR-eligible) and which are
+refinements.  Every query returns a :class:`QueryResult` whose rows are
+plain Python values, and each module ships a pure-NumPy ``reference``
+implementation the tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+import numpy as np
+
+from ...columnstore import ExecutionContext
+from ...columnstore.operators.aggregate import _charge_stream
+from ...columnstore.types import DECIMAL_SCALE
+
+#: Cycles per row for in-flight arithmetic (e.g. price * (1 - discount)).
+ARITH_CYCLES_PER_ROW = 2.0
+
+
+@dataclass
+class QueryResult:
+    """Output of one TPC-H query run."""
+
+    name: str
+    rows: list[dict]
+    duration_ps: int
+    operator_times_ps: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+def charge_arithmetic(ctx: ExecutionContext, arrays: list[np.ndarray],
+                      passes: float = 1.0) -> None:
+    """Charge streaming arithmetic over in-flight arrays."""
+    total = sum(int(a.nbytes) for a in arrays)
+    if total:
+        _charge_stream(ctx, total,
+                       ARITH_CYCLES_PER_ROW * passes * 8)
+
+
+def money(fixed) -> float:
+    """Fixed-point decimal to user-facing float."""
+    return float(fixed) / DECIMAL_SCALE
+
+
+def disc_price(extendedprice: np.ndarray, discount: np.ndarray) -> np.ndarray:
+    """``l_extendedprice * (1 - l_discount)`` in float dollars."""
+    return (extendedprice / DECIMAL_SCALE) * (1.0 - discount / DECIMAL_SCALE)
+
+
+def charge(extendedprice: np.ndarray, discount: np.ndarray,
+           tax: np.ndarray) -> np.ndarray:
+    """``l_extendedprice * (1 - l_discount) * (1 + l_tax)`` in dollars."""
+    return disc_price(extendedprice, discount) * (1.0 + tax / DECIMAL_SCALE)
+
+
+D = date  # shorthand used by the query modules

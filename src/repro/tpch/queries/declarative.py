@@ -1,0 +1,105 @@
+"""Declarative plan-tree variants of the profiled queries.
+
+The hand-written pipelines in ``q1.py``–``q22.py`` are *physical* plans with
+full control over scan placement (what a tuned engine executes).  These are
+the same workloads expressed as logical plan trees for the generic
+:class:`~repro.columnstore.executor.QueryExecutor` — they exercise the
+optimizer-facing path and demonstrate the engine's declarative API on real
+TPC-H shapes.  The plan algebra has no computed-expression columns, so each
+variant reports the aggregable sub-results (counts/sums of stored columns);
+tests verify those against the physical pipelines and NumPy.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ...columnstore import (
+    Aggregate,
+    AggregateSpec,
+    Catalog,
+    ExecutionContext,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    QueryExecutor,
+    ResultSet,
+    Scan,
+    Select,
+    between,
+    compare,
+    equals,
+)
+from ...columnstore.operators import AggKind
+from ...jafar import Predicate
+from .q1 import CUTOFF
+from .q3 import PIVOT, SEGMENT
+from .q6 import DISCOUNT_HIGH, DISCOUNT_LOW, QUANTITY_LIMIT, YEAR_END, YEAR_START
+
+
+def q6_plan(catalog: Catalog) -> PlanNode:
+    """Q6's filter + scalar aggregation over the stored columns."""
+    lineitem = catalog.table("lineitem")
+    return Aggregate(
+        Select(Scan("lineitem"), (
+            between(lineitem, "l_shipdate", YEAR_START, YEAR_END),
+            between(lineitem, "l_discount", DISCOUNT_LOW, DISCOUNT_HIGH),
+            compare(lineitem, "l_quantity", Predicate.LT, QUANTITY_LIMIT),
+        )),
+        keys=(),
+        aggregates=(
+            AggregateSpec("rows_selected", "l_quantity", AggKind.COUNT),
+            AggregateSpec("sum_price", "l_extendedprice", AggKind.SUM),
+        ),
+    )
+
+
+def q1_plan(catalog: Catalog) -> PlanNode:
+    """Q1's grouping over the stored columns (counts and plain sums)."""
+    lineitem = catalog.table("lineitem")
+    return OrderBy(
+        Aggregate(
+            Select(Scan("lineitem"), (
+                between(lineitem, "l_shipdate", date(1992, 1, 1), CUTOFF),
+            )),
+            keys=("l_returnflag", "l_linestatus"),
+            aggregates=(
+                AggregateSpec("sum_qty", "l_quantity", AggKind.SUM),
+                AggregateSpec("sum_base_price", "l_extendedprice",
+                              AggKind.SUM),
+                AggregateSpec("avg_disc", "l_discount", AggKind.AVG),
+                AggregateSpec("count_order", "l_quantity", AggKind.COUNT),
+            ),
+        ),
+        keys=("l_returnflag", "l_linestatus"),
+    )
+
+
+def q3_join_plan(catalog: Catalog) -> PlanNode:
+    """Q3's customer⋈orders core: BUILDING customers' pre-pivot orders."""
+    customer = catalog.table("customer")
+    orders = catalog.table("orders")
+    return Aggregate(
+        Join(
+            Project(Select(Scan("customer"),
+                           (equals(customer, "c_mktsegment", SEGMENT),)),
+                    ("c_custkey",)),
+            Project(Select(Scan("orders"),
+                           (compare(orders, "o_orderdate", Predicate.LT,
+                                    PIVOT),)),
+                    ("o_custkey", "o_orderkey", "o_totalprice")),
+            left_key="c_custkey", right_key="o_custkey",
+        ),
+        keys=(),
+        aggregates=(
+            AggregateSpec("qualifying_orders", "o_orderkey", AggKind.COUNT),
+            AggregateSpec("sum_totalprice", "o_totalprice", AggKind.SUM),
+        ),
+    )
+
+
+def run_plan(ctx: ExecutionContext, catalog: Catalog,
+             plan: PlanNode) -> ResultSet:
+    """Execute one declarative variant."""
+    return QueryExecutor(ctx, catalog).execute(plan)

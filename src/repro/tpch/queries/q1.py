@@ -1,0 +1,112 @@
+"""TPC-H Q1: pricing summary report.
+
+A scan-then-aggregate query: one high-selectivity date filter over lineitem
+(``l_shipdate <= date '1998-12-01' - interval '90' day``; keeps ~98% of
+rows) followed by a 4-group aggregation with heavy per-row arithmetic.  In
+the Figure 4 profile this makes Q1 *moderately* memory-intensive: long
+streaming reads, but real compute between them.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+
+from ...columnstore import Catalog, ExecutionContext, between, encode_date
+from ...columnstore.operators import AggKind, expand_bitset, fetch, group_by, select, sort_by
+from ..datagen import TPCHData
+from .common import QueryResult, charge, charge_arithmetic, disc_price
+
+NAME = "Q1"
+CUTOFF = date(1998, 9, 2)  # 1998-12-01 minus 90 days
+
+COLUMNS = ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+           "l_discount", "l_tax"]
+
+
+def run(ctx: ExecutionContext, catalog: Catalog) -> QueryResult:
+    start = ctx.now_ps
+    lineitem = catalog.table("lineitem")
+
+    pred = between(lineitem, "l_shipdate", date(1992, 1, 1), CUTOFF)
+    scan = select(ctx, "lineitem", pred)
+    positions = expand_bitset(ctx, scan)
+
+    cols = {}
+    for name in COLUMNS:
+        handle = ctx.storage.handle("lineitem", name)
+        cols[name] = fetch(ctx, handle, positions).column.values
+
+    qty = cols["l_quantity"]
+    price = cols["l_extendedprice"]
+    disc = cols["l_discount"]
+    tax = cols["l_tax"]
+    dprice = disc_price(price, disc)
+    chrg = charge(price, disc, tax)
+    charge_arithmetic(ctx, [price, disc, tax], passes=2.0)
+
+    keys = np.column_stack([cols["l_returnflag"], cols["l_linestatus"]])
+    grouped = group_by(ctx, keys, {
+        "sum_qty": (qty, AggKind.SUM),
+        "sum_base_price": (price, AggKind.SUM),
+        "sum_disc_price": (dprice.astype(np.int64), AggKind.SUM),
+        "sum_charge": (chrg.astype(np.int64), AggKind.SUM),
+        "avg_qty": (qty, AggKind.AVG),
+        "avg_price": (price, AggKind.AVG),
+        "avg_disc": (disc, AggKind.AVG),
+        "count_order": (qty, AggKind.COUNT),
+    })
+    order = sort_by(ctx, [grouped.keys[:, 0], grouped.keys[:, 1]]).order
+
+    rf_dict = lineitem["l_returnflag"].dictionary
+    ls_dict = lineitem["l_linestatus"].dictionary
+    assert rf_dict is not None and ls_dict is not None
+    rows = []
+    for g in order:
+        rows.append({
+            "l_returnflag": rf_dict.decode(int(grouped.keys[g, 0])),
+            "l_linestatus": ls_dict.decode(int(grouped.keys[g, 1])),
+            "sum_qty": int(grouped.aggregates["sum_qty"][g]),
+            "sum_base_price": int(grouped.aggregates["sum_base_price"][g]),
+            "sum_disc_price": int(grouped.aggregates["sum_disc_price"][g]),
+            "sum_charge": int(grouped.aggregates["sum_charge"][g]),
+            "avg_disc": float(grouped.aggregates["avg_disc"][g]),
+            "count_order": int(grouped.aggregates["count_order"][g]),
+        })
+    return QueryResult(NAME, rows, ctx.now_ps - start,
+                       dict(ctx.profile.times_ps))
+
+
+def reference(data: TPCHData) -> list[dict]:
+    """Pure-NumPy recomputation for validation."""
+    li = data.lineitem
+    mask = li["l_shipdate"].values <= encode_date(CUTOFF)
+    rf = li["l_returnflag"].values[mask]
+    ls = li["l_linestatus"].values[mask]
+    qty = li["l_quantity"].values[mask]
+    price = li["l_extendedprice"].values[mask]
+    disc = li["l_discount"].values[mask]
+    tax = li["l_tax"].values[mask]
+    rf_dict = li["l_returnflag"].dictionary
+    ls_dict = li["l_linestatus"].dictionary
+    assert rf_dict is not None and ls_dict is not None
+
+    rows = []
+    for rf_code in np.unique(rf):
+        for ls_code in np.unique(ls[rf == rf_code]):
+            sel = (rf == rf_code) & (ls == ls_code)
+            rows.append({
+                "l_returnflag": rf_dict.decode(int(rf_code)),
+                "l_linestatus": ls_dict.decode(int(ls_code)),
+                "sum_qty": int(qty[sel].sum()),
+                "sum_base_price": int(price[sel].sum()),
+                "sum_disc_price": int(disc_price(price[sel], disc[sel])
+                                      .astype(np.int64).sum()),
+                "sum_charge": int(charge(price[sel], disc[sel], tax[sel])
+                                  .astype(np.int64).sum()),
+                "avg_disc": float(disc[sel].mean()),
+                "count_order": int(sel.sum()),
+            })
+    rows.sort(key=lambda r: (r["l_returnflag"], r["l_linestatus"]))
+    return rows

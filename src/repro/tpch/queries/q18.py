@@ -1,0 +1,112 @@
+"""TPC-H Q18: large volume customers.
+
+A whole-table group-by over lineitem (no filter!) with a HAVING clause,
+followed by two joins and a top-100 sort.  The big hash aggregation gives
+this query the most *irregular* memory behaviour of the five — hash-table
+probes scattered over a table sized by the order count — which is why its
+idle periods sit at the long end of Figure 4.
+"""
+
+from __future__ import annotations
+
+from ...columnstore import Catalog, ExecutionContext
+from ...columnstore.operators import (
+    AggKind,
+    fetch,
+    group_by,
+    hash_join,
+    top_n,
+)
+from ...columnstore.positions import PositionList
+from ..datagen import TPCHData
+from .common import QueryResult
+
+NAME = "Q18"
+QUANTITY_THRESHOLD = 300
+
+
+def run(ctx: ExecutionContext, catalog: Catalog) -> QueryResult:
+    start = ctx.now_ps
+    orders = catalog.table("orders")
+    customer = catalog.table("customer")
+    lineitem = catalog.table("lineitem")
+
+    # Whole-table aggregation: sum(l_quantity) per order.
+    all_rows = PositionList.all_rows(lineitem.num_rows)
+    l_orderkey = fetch(ctx, ctx.storage.handle("lineitem", "l_orderkey"),
+                       all_rows).column.values
+    l_quantity = fetch(ctx, ctx.storage.handle("lineitem", "l_quantity"),
+                       all_rows).column.values
+    per_order = group_by(ctx, l_orderkey, {
+        "sum_qty": (l_quantity, AggKind.SUM),
+    })
+    having = per_order.aggregates["sum_qty"] > QUANTITY_THRESHOLD
+    big_orders = per_order.keys[having]
+    big_sums = per_order.aggregates["sum_qty"][having]
+
+    # Join the qualifying orders with the orders table ...
+    o_orderkey = orders["o_orderkey"].values
+    oj = hash_join(ctx, big_orders, o_orderkey)
+    ord_rows = oj.probe_positions
+    sums = big_sums[oj.build_positions]
+
+    # ... and with customer.
+    c_custkey = customer["c_custkey"].values
+    cj = hash_join(ctx, orders["o_custkey"].values[ord_rows], c_custkey)
+    cust_rows = cj.probe_positions
+    ord_rows = ord_rows[cj.build_positions]
+    sums = sums[cj.build_positions]
+
+    totalprice = orders["o_totalprice"].values[ord_rows]
+    orderdate = orders["o_orderdate"].values[ord_rows]
+    order = top_n(ctx, [totalprice, orderdate,
+                        orders["o_orderkey"].values[ord_rows]],
+                  100, descending=[True, False, False]).order
+
+    name_dict = customer["c_name"].dictionary
+    assert name_dict is not None
+    rows = []
+    for g in order:
+        rows.append({
+            "c_name": name_dict.decode(
+                int(customer["c_name"].values[cust_rows[g]])),
+            "c_custkey": int(customer["c_custkey"].values[cust_rows[g]]),
+            "o_orderkey": int(orders["o_orderkey"].values[ord_rows[g]]),
+            "o_orderdate": int(orderdate[g]),
+            "o_totalprice": int(totalprice[g]),
+            "sum_qty": int(sums[g]),
+        })
+    return QueryResult(NAME, rows, ctx.now_ps - start,
+                       dict(ctx.profile.times_ps))
+
+
+def reference(data: TPCHData) -> list[dict]:
+    li = data.lineitem
+    orders = data.orders
+    customer = data.customer
+    sums: dict[int, int] = {}
+    for key, qty in zip(li["l_orderkey"].values.tolist(),
+                        li["l_quantity"].values.tolist()):
+        sums[key] = sums.get(key, 0) + qty
+    big = {k: v for k, v in sums.items() if v > QUANTITY_THRESHOLD}
+
+    okeys = orders["o_orderkey"].values
+    name_dict = customer["c_name"].dictionary
+    assert name_dict is not None
+    cust_by_key = {int(k): i for i, k in
+                   enumerate(customer["c_custkey"].values.tolist())}
+    candidates = []
+    for i, okey in enumerate(okeys.tolist()):
+        if okey in big:
+            ci = cust_by_key[int(orders["o_custkey"].values[i])]
+            candidates.append({
+                "c_name": name_dict.decode(int(customer["c_name"].values[ci])),
+                "c_custkey": int(customer["c_custkey"].values[ci]),
+                "o_orderkey": okey,
+                "o_orderdate": int(orders["o_orderdate"].values[i]),
+                "o_totalprice": int(orders["o_totalprice"].values[i]),
+                "sum_qty": big[okey],
+            })
+    candidates.sort(key=lambda r: (-r["o_totalprice"], r["o_orderdate"],
+                                   r["o_orderkey"]))
+    return candidates[:100]

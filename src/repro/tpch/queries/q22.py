@@ -1,0 +1,113 @@
+"""TPC-H Q22: global sales opportunity.
+
+The most compute-per-byte query of the five: string prefix predicates
+(country codes out of c_phone — dictionary-encoded, so they lower to code
+ranges JAFAR can scan), a correlated scalar average, an anti-join against
+orders, and a small group-by.  Little streaming, lots of pointer-chasing —
+the long-idle-period end of Figure 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...columnstore import Catalog, ExecutionContext, prefix
+from ...columnstore.operators import (
+    AggKind,
+    ScanResult,
+    expand_bitset,
+    fetch,
+    group_by,
+    scalar_aggregate,
+    select,
+    semi_join_mask,
+    sort_by,
+)
+from ...columnstore.positions import PositionList
+from ..datagen import TPCHData
+from .common import QueryResult, charge_arithmetic
+
+NAME = "Q22"
+COUNTRY_CODES = ("13", "31", "23", "29", "30", "18", "17")
+
+
+def run(ctx: ExecutionContext, catalog: Catalog) -> QueryResult:
+    start = ctx.now_ps
+    customer = catalog.table("customer")
+    orders = catalog.table("orders")
+
+    # Seven prefix scans over c_phone, OR-combined.
+    bits = None
+    for code in COUNTRY_CODES:
+        scan = select(ctx, "customer", prefix(customer, "c_phone", code))
+        bits = scan.bitvector if bits is None else (bits | scan.bitvector)
+    assert bits is not None
+    in_codes = expand_bitset(ctx, ScanResult(bits, 0, scan.path))
+
+    acct = fetch(ctx, ctx.storage.handle("customer", "c_acctbal"),
+                 in_codes).column.values
+
+    # Correlated subquery: avg(c_acctbal) over positive balances in-code.
+    positive = acct[acct > 0]
+    charge_arithmetic(ctx, [acct])
+    avg_result = scalar_aggregate(ctx, positive, AggKind.AVG)
+    threshold = float(avg_result.value)
+
+    rich = acct > threshold
+    rich_pos = PositionList(in_codes.positions[rich])
+    rich_acct = acct[rich]
+
+    custkeys = fetch(ctx, ctx.storage.handle("customer", "c_custkey"),
+                     rich_pos).column.values
+    no_orders = semi_join_mask(ctx, custkeys, orders["o_custkey"].values,
+                               anti=True)
+
+    final_pos = rich_pos.positions[no_orders]
+    final_acct = rich_acct[no_orders]
+    phones = customer["c_phone"].values[final_pos]
+    phone_dict = customer["c_phone"].dictionary
+    assert phone_dict is not None
+    cntry = np.array(
+        [int(phone_dict.decode(int(p))[:2]) for p in phones],
+        dtype=np.int64)
+
+    grouped = group_by(ctx, cntry, {
+        "numcust": (final_acct, AggKind.COUNT),
+        "totacctbal": (final_acct, AggKind.SUM),
+    })
+    order = sort_by(ctx, [grouped.keys]).order
+
+    rows = []
+    for g in order:
+        rows.append({
+            "cntrycode": str(int(grouped.keys[g])),
+            "numcust": int(grouped.aggregates["numcust"][g]),
+            "totacctbal": int(grouped.aggregates["totacctbal"][g]),
+        })
+    return QueryResult(NAME, rows, ctx.now_ps - start,
+                       dict(ctx.profile.times_ps))
+
+
+def reference(data: TPCHData) -> list[dict]:
+    customer = data.customer
+    orders = data.orders
+    phone_dict = customer["c_phone"].dictionary
+    assert phone_dict is not None
+    phones = [phone_dict.decode(int(p))
+              for p in customer["c_phone"].values]
+    codes = np.array([p[:2] for p in phones])
+    in_codes = np.isin(codes, np.array(COUNTRY_CODES))
+    acct = customer["c_acctbal"].values
+    threshold = acct[in_codes & (acct > 0)].mean()
+    has_order = np.isin(customer["c_custkey"].values,
+                        orders["o_custkey"].values)
+    final = in_codes & (acct > threshold) & ~has_order
+    rows = []
+    for code in sorted(set(codes[final].tolist())):
+        sel = final & (codes == code)
+        rows.append({
+            "cntrycode": code,
+            "numcust": int(sel.sum()),
+            "totacctbal": int(acct[sel].sum()),
+        })
+    return rows

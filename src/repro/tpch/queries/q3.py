@@ -1,0 +1,130 @@
+"""TPC-H Q3: shipping priority.
+
+Three filtered tables joined twice, then grouped and top-10 sorted —
+the classic select-project-join shape.  Selects on customer (point
+predicate on mktsegment) and on the two date columns are JAFAR-eligible
+full-column scans; the joins and the top-N run on the CPU.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+
+from ...columnstore import Catalog, ExecutionContext, compare, equals
+from ...columnstore.operators import (
+    expand_bitset,
+    fetch,
+    group_by,
+    hash_join,
+    select,
+    top_n,
+)
+from ...columnstore.operators.aggregate import AggKind
+from ...jafar import Predicate
+from ..datagen import TPCHData
+from .common import QueryResult, charge_arithmetic, disc_price
+
+NAME = "Q3"
+SEGMENT = "BUILDING"
+PIVOT = date(1995, 3, 15)
+
+
+def run(ctx: ExecutionContext, catalog: Catalog) -> QueryResult:
+    start = ctx.now_ps
+    customer = catalog.table("customer")
+    orders = catalog.table("orders")
+    lineitem = catalog.table("lineitem")
+
+    cust_pos = expand_bitset(ctx, select(
+        ctx, "customer", equals(customer, "c_mktsegment", SEGMENT)))
+    ord_pos = expand_bitset(ctx, select(
+        ctx, "orders", compare(orders, "o_orderdate", Predicate.LT, PIVOT)))
+    li_pos = expand_bitset(ctx, select(
+        ctx, "lineitem", compare(lineitem, "l_shipdate", Predicate.GT, PIVOT)))
+
+    c_key = fetch(ctx, ctx.storage.handle("customer", "c_custkey"),
+                  cust_pos).column.values
+    o_custkey = fetch(ctx, ctx.storage.handle("orders", "o_custkey"),
+                      ord_pos).column.values
+    co = hash_join(ctx, c_key, o_custkey)
+    surviving_orders = ord_pos.positions[co.probe_positions]
+
+    o_orderkey_all = orders["o_orderkey"].values
+    o_orderdate_all = orders["o_orderdate"].values
+    o_shippriority_all = orders["o_shippriority"].values
+    o_keys = o_orderkey_all[surviving_orders]
+
+    l_orderkey = fetch(ctx, ctx.storage.handle("lineitem", "l_orderkey"),
+                       li_pos).column.values
+    ol = hash_join(ctx, o_keys, l_orderkey)
+
+    li_rows = li_pos.positions[ol.probe_positions]
+    ord_rows = surviving_orders[ol.build_positions]
+
+    price = lineitem["l_extendedprice"].values[li_rows]
+    disc = lineitem["l_discount"].values[li_rows]
+    revenue = disc_price(price, disc)
+    charge_arithmetic(ctx, [price, disc])
+
+    keys = np.column_stack([
+        o_orderkey_all[ord_rows],
+        o_orderdate_all[ord_rows],
+        o_shippriority_all[ord_rows],
+    ])
+    grouped = group_by(ctx, keys, {
+        "revenue": (revenue.astype(np.int64), AggKind.SUM),
+    })
+    order = top_n(ctx, [grouped.aggregates["revenue"],
+                        grouped.keys[:, 1], grouped.keys[:, 0]], 10,
+                  descending=[True, False, False]).order
+
+    rows = []
+    for g in order:
+        rows.append({
+            "l_orderkey": int(grouped.keys[g, 0]),
+            "revenue": int(grouped.aggregates["revenue"][g]),
+            "o_orderdate": int(grouped.keys[g, 1]),
+            "o_shippriority": int(grouped.keys[g, 2]),
+        })
+    return QueryResult(NAME, rows, ctx.now_ps - start,
+                       dict(ctx.profile.times_ps))
+
+
+def reference(data: TPCHData) -> list[dict]:
+    from ...columnstore import encode_date
+
+    cust = data.customer
+    orders = data.orders
+    li = data.lineitem
+    seg_dict = cust["c_mktsegment"].dictionary
+    assert seg_dict is not None
+    seg_code = seg_dict.encode(SEGMENT)
+    pivot = encode_date(PIVOT)
+
+    good_cust = set(cust["c_custkey"].values[
+        cust["c_mktsegment"].values == seg_code].tolist())
+    o_mask = (orders["o_orderdate"].values < pivot) & np.isin(
+        orders["o_custkey"].values,
+        np.fromiter(good_cust, dtype=np.int64, count=len(good_cust)))
+    good_orders = orders["o_orderkey"].values[o_mask]
+    odate = dict(zip(orders["o_orderkey"].values[o_mask].tolist(),
+                     orders["o_orderdate"].values[o_mask].tolist()))
+
+    l_mask = (li["l_shipdate"].values > pivot) & np.isin(
+        li["l_orderkey"].values, good_orders)
+    okeys = li["l_orderkey"].values[l_mask]
+    revenue = disc_price(li["l_extendedprice"].values[l_mask],
+                         li["l_discount"].values[l_mask]).astype(np.int64)
+    totals: dict[int, int] = {}
+    for key, rev in zip(okeys.tolist(), revenue.tolist()):
+        totals[key] = totals.get(key, 0) + rev
+    ranked = sorted(totals.items(),
+                    key=lambda kv: (-kv[1], odate[kv[0]], kv[0]))[:10]
+    return [{
+        "l_orderkey": key,
+        "revenue": rev,
+        "o_orderdate": odate[key],
+        "o_shippriority": 0,
+    } for key, rev in ranked]

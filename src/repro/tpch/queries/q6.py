@@ -1,0 +1,88 @@
+"""TPC-H Q6: forecasting revenue change.
+
+The purest filter query in the suite — three conjunctive range predicates
+over lineitem and a single scalar sum, no joins, almost no per-row compute.
+This is the *most memory-bound* of the profiled queries, which is why its
+memory-controller idle periods are the shortest in Figure 4.
+
+Plan shape differs by mode: with NDP on, all three predicates run as
+full-column JAFAR scans whose bitsets AND together (bitset ANDing is nearly
+free); on the CPU, the first scan filters and the remaining predicates
+refine the surviving positions.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ...columnstore import Catalog, ExecutionContext, between, compare, encode_date
+from ...columnstore.operators import expand_bitset, fetch, scalar_aggregate, select
+from ...columnstore.operators.aggregate import AggKind, _charge_stream
+from ...jafar import Predicate
+from ..datagen import TPCHData
+from .common import QueryResult, charge_arithmetic
+
+NAME = "Q6"
+YEAR_START = date(1994, 1, 1)
+YEAR_END = date(1994, 12, 31)      # BETWEEN is inclusive; spec is < 1995-01-01
+DISCOUNT_LOW = 5                    # 0.05 in fixed-point hundredths
+DISCOUNT_HIGH = 7                   # 0.07
+QUANTITY_LIMIT = 24                 # l_quantity < 24
+
+
+def run(ctx: ExecutionContext, catalog: Catalog) -> QueryResult:
+    start = ctx.now_ps
+    lineitem = catalog.table("lineitem")
+
+    date_pred = between(lineitem, "l_shipdate", YEAR_START, YEAR_END)
+    disc_pred = between(lineitem, "l_discount", DISCOUNT_LOW, DISCOUNT_HIGH)
+    qty_pred = compare(lineitem, "l_quantity", Predicate.LT, QUANTITY_LIMIT)
+
+    if ctx.use_ndp:
+        # Three NDP scans; only bitsets cross the bus; AND them on the CPU.
+        bits = select(ctx, "lineitem", date_pred).bitvector
+        bits = bits & select(ctx, "lineitem", disc_pred).bitvector
+        bits = bits & select(ctx, "lineitem", qty_pred).bitvector
+        with ctx.timed("bitset_and"):
+            _charge_stream(ctx, 2 * max(bits.num_rows // 8, 64), 2.0)
+        positions = bits.to_positions()
+    else:
+        scan = select(ctx, "lineitem", date_pred)
+        positions = expand_bitset(ctx, scan)
+        for pred in (disc_pred, qty_pred):
+            handle = ctx.storage.handle("lineitem", pred.column_name)
+            values = fetch(ctx, handle, positions).column.values
+            with ctx.timed("select.refine"):
+                _charge_stream(ctx, max(values.nbytes, 64), 8.0)
+                keep = (values >= pred.low) & (values <= pred.high)
+            from ...columnstore.positions import PositionList
+            positions = PositionList(positions.positions[keep])
+
+    price = fetch(ctx, ctx.storage.handle("lineitem", "l_extendedprice"),
+                  positions).column.values
+    disc = fetch(ctx, ctx.storage.handle("lineitem", "l_discount"),
+                 positions).column.values
+    # revenue = sum(l_extendedprice * l_discount); discount is hundredths,
+    # so the product of fixed-points needs one rescale.
+    revenue_terms = (price * disc) // 100
+    charge_arithmetic(ctx, [price, disc])
+    total = scalar_aggregate(ctx, revenue_terms, AggKind.SUM)
+
+    rows = [{"revenue": int(total.value), "rows_selected": positions.count()}]
+    return QueryResult(NAME, rows, ctx.now_ps - start,
+                       dict(ctx.profile.times_ps))
+
+
+def reference(data: TPCHData) -> list[dict]:
+    li = data.lineitem
+    ship = li["l_shipdate"].values
+    mask = (
+        (ship >= encode_date(YEAR_START))
+        & (ship <= encode_date(YEAR_END))
+        & (li["l_discount"].values >= DISCOUNT_LOW)
+        & (li["l_discount"].values <= DISCOUNT_HIGH)
+        & (li["l_quantity"].values < QUANTITY_LIMIT)
+    )
+    revenue = int(((li["l_extendedprice"].values[mask]
+                    * li["l_discount"].values[mask]) // 100).sum())
+    return [{"revenue": revenue, "rows_selected": int(mask.sum())}]

@@ -1,0 +1,66 @@
+"""TPC-H schema subset: the tables and columns Q1/Q3/Q6/Q18/Q22 touch.
+
+Types follow the engine's integer-centric storage: dates as day numbers,
+decimals as fixed-point, strings dictionary-encoded (see
+:mod:`repro.columnstore.types`).  Only the columns the five profiled queries
+reference are generated — the rest of the spec adds bulk without touching
+any code path.
+"""
+
+from __future__ import annotations
+
+from ..columnstore import ColumnType
+
+LINEITEM = {
+    "l_orderkey": ColumnType.INT64,
+    "l_quantity": ColumnType.INT64,        # spec: decimal, but integral values
+    "l_extendedprice": ColumnType.DECIMAL,
+    "l_discount": ColumnType.DECIMAL,
+    "l_tax": ColumnType.DECIMAL,
+    "l_returnflag": ColumnType.STRING,     # R / A / N
+    "l_linestatus": ColumnType.STRING,     # O / F
+    "l_shipdate": ColumnType.DATE,
+    "l_commitdate": ColumnType.DATE,
+    "l_receiptdate": ColumnType.DATE,
+}
+
+ORDERS = {
+    "o_orderkey": ColumnType.INT64,
+    "o_custkey": ColumnType.INT64,
+    "o_orderdate": ColumnType.DATE,
+    "o_totalprice": ColumnType.DECIMAL,
+    "o_shippriority": ColumnType.INT64,
+}
+
+CUSTOMER = {
+    "c_custkey": ColumnType.INT64,
+    "c_name": ColumnType.STRING,
+    "c_mktsegment": ColumnType.STRING,
+    "c_phone": ColumnType.STRING,
+    "c_acctbal": ColumnType.DECIMAL,
+    "c_nationkey": ColumnType.INT64,
+}
+
+TABLES = {
+    "lineitem": LINEITEM,
+    "orders": ORDERS,
+    "customer": CUSTOMER,
+}
+
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["F", "O"]
+
+#: Base cardinalities at scale factor 1.0 (the dbgen ratios).
+SF1_ROWS = {
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def rows_at_scale(table: str, scale: float) -> int:
+    """dbgen cardinality of ``table`` at a (possibly fractional) scale."""
+    if scale <= 0:
+        raise ValueError(f"scale factor must be positive, got {scale}")
+    return max(int(SF1_ROWS[table] * scale), 1)

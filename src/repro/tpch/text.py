@@ -1,0 +1,32 @@
+"""Deterministic text helpers for the data generator.
+
+dbgen's grammar-based text is overkill for the profiled queries; the helpers
+here produce the *structured* strings the queries actually inspect —
+customer phone numbers whose first two characters are the country code
+(Q22's ``substring(c_phone, 1, 2)``) and formatted customer names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def phone_numbers(nation_keys: np.ndarray, rng: np.random.Generator) -> list[str]:
+    """dbgen-style phone numbers: ``CC-LLL-LLL-LLLL`` with country code
+    ``nation_key + 10`` — the property Q22 relies on."""
+    locals_ = rng.integers(100, 1000, size=(nation_keys.size, 2))
+    last = rng.integers(1000, 10000, size=nation_keys.size)
+    return [
+        f"{int(nk) + 10}-{int(a)}-{int(b)}-{int(c)}"
+        for nk, (a, b), c in zip(nation_keys, locals_, last)
+    ]
+
+
+def country_code(phone: str) -> str:
+    """Q22's ``substring(c_phone from 1 for 2)``."""
+    return phone[:2]
+
+
+def customer_names(keys: np.ndarray) -> list[str]:
+    """dbgen format: ``Customer#000000001``."""
+    return [f"Customer#{int(k):09d}" for k in keys]

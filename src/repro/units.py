@@ -1,0 +1,128 @@
+"""Unit helpers: time, frequency, and size conversions.
+
+All simulation timestamps in this package are integer **picoseconds**.
+Integers keep event ordering exact (no float rounding drift across clock
+domains) while picosecond resolution comfortably represents DDR3 half-cycle
+edges (a DDR3-2133 half-cycle is ~469 ps).
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+# -- time ------------------------------------------------------------------
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return round(value * PS_PER_S)
+
+
+def to_ns(ps: int) -> float:
+    """Convert picoseconds to nanoseconds (float, for reporting)."""
+    return ps / PS_PER_NS
+
+
+def to_us(ps: int) -> float:
+    """Convert picoseconds to microseconds (float, for reporting)."""
+    return ps / PS_PER_US
+
+
+def to_ms(ps: int) -> float:
+    """Convert picoseconds to milliseconds (float, for reporting)."""
+    return ps / PS_PER_MS
+
+
+# -- frequency --------------------------------------------------------------
+
+HZ_PER_MHZ = 1_000_000
+HZ_PER_GHZ = 1_000_000_000
+
+
+def mhz(value: float) -> int:
+    """Convert megahertz to integer hertz."""
+    return round(value * HZ_PER_MHZ)
+
+
+def ghz(value: float) -> int:
+    """Convert gigahertz to integer hertz."""
+    return round(value * HZ_PER_GHZ)
+
+
+def period_ps(freq_hz: int) -> int:
+    """Clock period in picoseconds for ``freq_hz``, rounded to nearest ps.
+
+    Raises :class:`ConfigError` for non-positive frequencies or frequencies
+    above 1 THz (whose period would round to 0 ps and break event ordering).
+    """
+    if freq_hz <= 0:
+        raise ConfigError(f"frequency must be positive, got {freq_hz} Hz")
+    period = round(PS_PER_S / freq_hz)
+    if period <= 0:
+        raise ConfigError(f"frequency {freq_hz} Hz is too high to represent")
+    return period
+
+
+# -- sizes -------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes."""
+    return round(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Convert MiB to bytes."""
+    return round(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Convert GiB to bytes."""
+    return round(value * GIB)
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (``"64 B"``, ``"8.0 KiB"``, ``"2.0 GiB"``)."""
+    if n < KIB:
+        return f"{n} B"
+    if n < MIB:
+        return f"{n / KIB:.1f} KiB"
+    if n < GIB:
+        return f"{n / MIB:.1f} MiB"
+    return f"{n / GIB:.1f} GiB"
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return ``log2(n)`` for an exact power of two, else raise ConfigError."""
+    if not is_power_of_two(n):
+        raise ConfigError(f"{n} is not a power of two")
+    return n.bit_length() - 1

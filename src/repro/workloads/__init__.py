@@ -1,0 +1,21 @@
+"""Workload generators and selectivity solvers for the microbenchmarks."""
+
+from .generators import (
+    DOMAIN_MAX,
+    clustered_runs_column,
+    sorted_column,
+    uniform_column,
+    zipf_column,
+)
+from .selectivity import achieved_selectivity, bounds_for_selectivity, exact_bounds
+
+__all__ = [
+    "DOMAIN_MAX",
+    "achieved_selectivity",
+    "bounds_for_selectivity",
+    "clustered_runs_column",
+    "exact_bounds",
+    "sorted_column",
+    "uniform_column",
+    "zipf_column",
+]

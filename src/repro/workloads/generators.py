@@ -1,0 +1,53 @@
+"""Workload generators for the microbenchmarks.
+
+The Figure 3 workload: "4 million rows in which all values are randomly
+generated integers uniformly distributed between 0 and 1 million.  The
+columns are not sorted or indexed" (§3.1).  Variants (sorted, Zipfian,
+clustered-runs) exist for the ablations — the branchy kernel's mispredict
+term and JAFAR's indifference to value order make data order an interesting
+axis the paper could not explore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+DOMAIN_MAX = 1_000_000  # the paper's value domain: [0, 1M)
+
+
+def uniform_column(num_rows: int, seed: int = 42,
+                   domain: int = DOMAIN_MAX) -> np.ndarray:
+    """The §3.1 microbenchmark column."""
+    if num_rows <= 0:
+        raise WorkloadError(f"num_rows must be positive, got {num_rows}")
+    if domain <= 0:
+        raise WorkloadError(f"domain must be positive, got {domain}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, domain, size=num_rows, dtype=np.int64)
+
+
+def sorted_column(num_rows: int, seed: int = 42,
+                  domain: int = DOMAIN_MAX) -> np.ndarray:
+    """Sorted variant: the branchy kernel's best case (two mispredicts)."""
+    return np.sort(uniform_column(num_rows, seed, domain))
+
+
+def zipf_column(num_rows: int, seed: int = 42, a: float = 1.3,
+                domain: int = DOMAIN_MAX) -> np.ndarray:
+    """Zipf-skewed values clipped to the domain."""
+    if a <= 1.0:
+        raise WorkloadError("zipf exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    return np.minimum(rng.zipf(a, size=num_rows), domain - 1).astype(np.int64)
+
+
+def clustered_runs_column(num_rows: int, seed: int = 42, run_length: int = 64,
+                          domain: int = DOMAIN_MAX) -> np.ndarray:
+    """Values arrive in same-value runs: mispredicts only at run edges."""
+    if run_length <= 0:
+        raise WorkloadError("run_length must be positive")
+    runs = -(-num_rows // run_length)
+    values = uniform_column(runs, seed, domain)
+    return np.repeat(values, run_length)[:num_rows]

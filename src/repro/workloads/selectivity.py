@@ -1,0 +1,52 @@
+"""Selectivity → predicate-bound solving.
+
+Figure 3 sweeps query selectivity from 0% to 100%; for a uniform column over
+``[0, domain)`` the inclusive range ``[0, s*domain - 1]`` hits selectivity
+``s`` in expectation.  0% needs care: the bounds must stay a *legal* range
+(low <= high) that matches nothing — JAFAR's register file rejects inverted
+ranges (§2.2 supports =, <, >, <=, >=; an inverted range is a programming
+error, not a predicate).
+
+:func:`exact_bounds` instead picks bounds from the *actual data* so the
+achieved selectivity matches the target to within one row — used when a
+sweep must hit its x-axis exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .generators import DOMAIN_MAX
+
+
+def bounds_for_selectivity(selectivity: float,
+                           domain: int = DOMAIN_MAX) -> tuple[int, int]:
+    """Expected-selectivity bounds for a uniform column over [0, domain)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise WorkloadError(f"selectivity {selectivity} outside [0, 1]")
+    if selectivity == 0.0:
+        return -2, -1  # legal, matches nothing in [0, domain)
+    high = round(selectivity * domain) - 1
+    return 0, max(high, 0)
+
+
+def exact_bounds(values: np.ndarray, selectivity: float) -> tuple[int, int]:
+    """Bounds achieving ``selectivity`` on ``values`` to within one row."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise WorkloadError(f"selectivity {selectivity} outside [0, 1]")
+    if values.size == 0:
+        raise WorkloadError("cannot derive bounds from an empty column")
+    if selectivity == 0.0:
+        low = int(values.min())
+        return low - 2, low - 1
+    k = max(1, round(selectivity * values.size))
+    kth = int(np.partition(values, k - 1)[k - 1])
+    return int(values.min()), kth
+
+
+def achieved_selectivity(values: np.ndarray, low: int, high: int) -> float:
+    """The fraction of rows an inclusive range actually selects."""
+    if values.size == 0:
+        raise WorkloadError("empty column has no selectivity")
+    return float(((values >= low) & (values <= high)).mean())

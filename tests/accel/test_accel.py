@@ -1,0 +1,219 @@
+"""Tests for the Aladdin-style accelerator model."""
+
+import pytest
+
+from repro.accel import (
+    JAFAR_RESOURCES,
+    LoopBody,
+    OpKind,
+    build_ddg,
+    critical_path_cycles,
+    data_movement_savings_pj,
+    estimate,
+    jafar_filter_body,
+    list_schedule,
+    op_counts,
+    pipeline_analysis,
+)
+from repro.errors import AccelError, DDGError
+
+
+class TestLoopBody:
+    def test_op_dependency_validation(self):
+        body = LoopBody("t")
+        body.op("a", OpKind.LOAD)
+        with pytest.raises(DDGError, match="unknown op"):
+            body.op("b", OpKind.CMP, "missing")
+        with pytest.raises(DDGError, match="duplicate"):
+            body.op("a", OpKind.CMP)
+
+    def test_carried_dep_validation(self):
+        body = LoopBody("t")
+        body.op("a", OpKind.ADD)
+        with pytest.raises(DDGError):
+            body.carry("a", "nope")
+        with pytest.raises(DDGError):
+            body.carry("a", "a", distance=0)
+
+    def test_resource_uses(self):
+        body = jafar_filter_body()
+        uses = body.resource_uses()
+        assert uses["alu"] == 2   # the two parallel range comparators
+        assert uses["mem_port"] == 1
+
+
+class TestDDG:
+    def test_unrolled_graph_size(self):
+        body = jafar_filter_body()
+        graph = build_ddg(body, iterations=4)
+        assert graph.number_of_nodes() == 4 * len(body.ops)
+
+    def test_carried_edges_link_iterations(self):
+        body = jafar_filter_body()
+        graph = build_ddg(body, iterations=2)
+        assert graph.has_edge("acc@0", "acc@1")
+        assert graph.has_edge("offset@0", "offset@1")
+
+    def test_critical_path_of_filter_body(self):
+        body = jafar_filter_body()
+        # load -> cmp -> and -> shift -> or : 5 single-cycle ops.
+        assert critical_path_cycles(build_ddg(body, 1)) == 5
+
+    def test_op_counts(self):
+        body = jafar_filter_body()
+        counts = op_counts(build_ddg(body, 2))
+        assert counts["alu"] == 4
+        assert counts["mem_port"] == 2
+
+    def test_invalid_iterations(self):
+        with pytest.raises(DDGError):
+            build_ddg(jafar_filter_body(), 0)
+
+
+class TestPipelineAnalysis:
+    def test_jafar_achieves_one_word_per_cycle_with_two_alus(self):
+        """§2.2: two ALUs in parallel for range filters -> the filter
+        sustains one word per JAFAR cycle."""
+        bounds = pipeline_analysis(jafar_filter_body(), JAFAR_RESOURCES)
+        assert bounds.ii == 1
+        assert bounds.words_per_cycle == 1.0
+
+    def test_single_alu_halves_throughput(self):
+        poor = dict(JAFAR_RESOURCES, alu=1)
+        bounds = pipeline_analysis(jafar_filter_body(), poor)
+        assert bounds.ii == 2
+
+    def test_equality_filter_needs_fewer_alus(self):
+        body = jafar_filter_body(range_filter=False)
+        bounds = pipeline_analysis(body, dict(JAFAR_RESOURCES, alu=2))
+        assert bounds.ii == 1
+
+    def test_recurrence_bound(self):
+        body = LoopBody("acc")
+        body.op("x", OpKind.LOAD)
+        body.op("sum", OpKind.ADD, "x")
+        body.carry("sum", "sum")
+        bounds = pipeline_analysis(body, {"mem_port": 4, "alu": 4})
+        assert bounds.recurrence_ii == 1
+        assert bounds.ii == 1
+
+    def test_total_cycles_formula(self):
+        bounds = pipeline_analysis(jafar_filter_body(),
+                                   dict(JAFAR_RESOURCES, alu=3))
+        assert bounds.total_cycles(1) == bounds.depth_cycles
+        assert bounds.total_cycles(100) == bounds.depth_cycles + 99
+
+    def test_missing_resource_raises(self):
+        with pytest.raises(DDGError, match="provisioned"):
+            pipeline_analysis(jafar_filter_body(), {"alu": 2})
+
+
+class TestListSchedule:
+    def test_respects_dependences(self):
+        schedule = list_schedule(jafar_filter_body(), iterations=1)
+        a = schedule.assignment
+        assert a["w@0"] < a["cmp_lo@0"] < a["pass@0"] < a["bit@0"] < a["acc@0"]
+
+    def test_respects_resource_limits(self):
+        body = jafar_filter_body()
+        schedule = list_schedule(body, dict(JAFAR_RESOURCES, alu=1),
+                                 iterations=2)
+        per_cycle: dict[int, int] = {}
+        for node, cycle in schedule.assignment.items():
+            op = body.find(node.split("@")[0])
+            if op.resource == "alu":
+                per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        assert all(count <= 1 for count in per_cycle.values())
+
+    def test_unrolling_improves_ops_per_cycle(self):
+        narrow = list_schedule(jafar_filter_body(), iterations=1)
+        wide = list_schedule(jafar_filter_body(), iterations=8)
+        assert wide.ops_per_cycle > narrow.ops_per_cycle
+
+    def test_unprovisioned_resource_raises(self):
+        with pytest.raises(DDGError):
+            list_schedule(jafar_filter_body(), {"alu": 0, "mem_port": 1,
+                                                "store_port": 1, "logic": 1})
+
+
+class TestPower:
+    def test_estimate_scales_with_iterations(self):
+        body = jafar_filter_body()
+        one = estimate(body, JAFAR_RESOURCES, 1)
+        many = estimate(body, JAFAR_RESOURCES, 1000)
+        assert many.total_energy_nj == pytest.approx(one.total_energy_nj * 1000)
+        assert many.area_um2 == one.area_um2
+        assert one.area_um2 > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AccelError):
+            estimate(jafar_filter_body(), JAFAR_RESOURCES, 0)
+        with pytest.raises(AccelError):
+            estimate(jafar_filter_body(), {"alu": -1}, 1)
+
+    def test_data_movement_savings_positive_for_selective_filters(self):
+        assert data_movement_savings_pj(10_000, 100) > 0
+        # Shipping everything (plus the bitmask) is worse than the CPU path.
+        assert data_movement_savings_pj(10_000, 10_000) < 0
+        with pytest.raises(AccelError):
+            data_movement_savings_pj(10, 20)
+
+
+class TestUnrolling:
+    def test_unroll_replicates_ops(self):
+        from repro.accel import unroll
+        body = jafar_filter_body()
+        wide = unroll(body, 4)
+        assert len(wide.ops) == 4 * len(body.ops)
+        assert wide.find("w@0") and wide.find("w@3")
+
+    def test_unroll_factor_one_is_identity(self):
+        from repro.accel import unroll
+        body = jafar_filter_body()
+        assert unroll(body, 1) is body
+
+    def test_carried_deps_chain_within_trip_and_wrap(self):
+        from repro.accel import unroll
+        body = jafar_filter_body()
+        wide = unroll(body, 2)
+        # Within the trip, acc@1 depends on acc@0 as a plain edge.
+        assert "acc@0" in wide.find("acc@1").deps
+        # Across trips, acc@1 feeds acc@0 as a carried dependence.
+        wrapped = [(d.producer, d.consumer) for d in wide.carried]
+        assert ("acc@1", "acc@0") in wrapped
+
+    def test_serial_accumulator_caps_plain_unrolling(self):
+        """The bitmask accumulator is a true recurrence: unrolling alone
+        cannot exceed one word per cycle no matter how many ALUs."""
+        from repro.accel import unrolled_pipeline
+        body = jafar_filter_body()
+        rich = dict(JAFAR_RESOURCES, alu=8, mem_port=4, logic=32,
+                    store_port=4)
+        _, base = unrolled_pipeline(body, 1, dict(JAFAR_RESOURCES))
+        _, plain = unrolled_pipeline(body, 4, rich)
+        assert base == 1.0
+        assert plain == pytest.approx(1.0)
+
+    def test_reduction_lanes_beat_the_recurrence(self):
+        """Splitting the accumulator into per-copy lanes (the standard
+        reduction transform) unlocks factor-x throughput given units."""
+        from repro.accel import unrolled_pipeline
+        body = jafar_filter_body()
+        rich = dict(JAFAR_RESOURCES, alu=8, mem_port=4, logic=32,
+                    store_port=4)
+        _, fast = unrolled_pipeline(body, 4, rich, split_accumulators=True)
+        assert fast > 1.0
+
+    def test_unroll_validation(self):
+        from repro.accel import unroll
+        with pytest.raises(DDGError):
+            unroll(jafar_filter_body(), 0)
+
+    def test_unrolled_body_schedules(self):
+        from repro.accel import unroll
+        wide = unroll(jafar_filter_body(), 4)
+        rich = dict(JAFAR_RESOURCES, alu=8, mem_port=4, logic=32,
+                    store_port=4)
+        schedule = list_schedule(wide, rich, iterations=1)
+        assert schedule.cycles > 0
+        assert len(schedule.assignment) == len(wide.ops)

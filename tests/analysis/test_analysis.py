@@ -1,0 +1,135 @@
+"""Tests for the figure pipelines and ASCII reporting."""
+
+import pytest
+
+from repro.analysis import (
+    Fig3Point,
+    check_figure3_shape,
+    check_figure4_shape,
+    average_idle_cycles,
+    measure_point,
+    render_bars,
+    render_series,
+    render_table,
+    run_figure3,
+    run_figure4,
+)
+from repro.errors import ConfigError, ReproError
+
+
+class TestFigure3Pipeline:
+    def test_measure_point_consistency(self):
+        point = measure_point(0.5, num_rows=32_768)
+        assert point.achieved_selectivity == pytest.approx(0.5, abs=0.02)
+        assert point.cpu_ps > point.jafar_ps
+        assert 3.0 < point.speedup < 12.0
+
+    def test_zero_selectivity_point(self):
+        point = measure_point(0.0, num_rows=16_384)
+        assert point.matches == 0
+        assert point.speedup > 3.0
+
+    def test_predicated_baseline_option(self):
+        branchy = measure_point(0.0, num_rows=16_384, kernel="branchy")
+        predicated = measure_point(0.0, num_rows=16_384, kernel="predicated")
+        # Predication costs more at low selectivity ("adverse impact").
+        assert predicated.cpu_ps > branchy.cpu_ps
+
+    def test_shape_checker_on_synthetic_points(self):
+        good = [Fig3Point(0.0, 0.0, 500, 100, 0),
+                Fig3Point(1.0, 1.0, 900, 100, 10)]
+        checks = check_figure3_shape(good)
+        assert checks["low_end_midsingle"]
+        assert checks["high_end_about_9x"]
+        assert checks["jafar_selectivity_invariant"]
+
+    def test_shape_checker_catches_flat_speedup(self):
+        flat = [Fig3Point(0.0, 0.0, 500, 100, 0),
+                Fig3Point(1.0, 1.0, 520, 100, 10)]
+        assert not check_figure3_shape(flat)["grows_with_selectivity"]
+
+    def test_shape_checker_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            check_figure3_shape([Fig3Point(0.0, 0.0, 1, 1, 0)])
+
+    def test_small_sweep_passes_all_checks(self):
+        points = run_figure3(num_rows=32_768, selectivities=(0.0, 0.5, 1.0))
+        assert all(check_figure3_shape(points).values())
+
+    def test_invalid_rows(self):
+        with pytest.raises(ConfigError):
+            measure_point(0.5, num_rows=0)
+
+
+class TestFigure4Pipeline:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure4(scale=0.002, queries=("Q1", "Q6", "Q22"))
+
+    def test_idle_periods_in_band(self, points):
+        for point in points:
+            assert 100 <= point.mean_idle_cycles <= 1000
+
+    def test_scan_heavy_query_has_shorter_idle(self, points):
+        by_name = {p.query: p.mean_idle_cycles for p in points}
+        assert by_name["Q6"] < by_name["Q22"]
+
+    def test_average(self, points):
+        avg = average_idle_cycles(points)
+        assert min(p.mean_idle_cycles for p in points) <= avg
+        assert avg <= max(p.mean_idle_cycles for p in points)
+        with pytest.raises(ConfigError):
+            average_idle_cycles([])
+
+    def test_budget_attached(self, points):
+        for point in points:
+            assert point.budget.bytes_per_gap > 0
+            assert 0 < point.budget.fraction_of_row < 1.5
+
+    def test_shape_checker(self, points):
+        checks = check_figure4_shape(points)
+        assert checks["range_200_800"]
+
+    def test_unknown_query_rejected(self):
+        from repro.analysis.idle import run_query_profile
+        from repro.tpch import generate
+        with pytest.raises(ConfigError):
+            run_query_profile("Q99", generate(scale=0.001))
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_validation(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+        with pytest.raises(ReproError):
+            render_table(["a"], [[1, 2]])
+
+    def test_bars_scale_to_peak(self):
+        text = render_bars({"x": 10.0, "y": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bars_validation(self):
+        with pytest.raises(ReproError):
+            render_bars({})
+        with pytest.raises(ReproError):
+            render_bars({"x": 1.0}, width=0)
+
+    def test_series_plot(self):
+        text = render_series([0.0, 0.5, 1.0], [5.0, 7.0, 9.0], title="fig3")
+        assert "fig3" in text
+        assert text.count("*") == 3
+
+    def test_series_validation(self):
+        with pytest.raises(ReproError):
+            render_series([], [])
+        with pytest.raises(ReproError):
+            render_series([1.0], [1.0], height=1)

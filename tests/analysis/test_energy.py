@@ -1,0 +1,69 @@
+"""Tests for the select-energy extension study."""
+
+import pytest
+
+from repro.analysis import (
+    cpu_select_energy,
+    energy_ratio,
+    jafar_select_energy,
+)
+from repro.config import GEM5_PLATFORM
+from repro.errors import ConfigError
+
+N = 1_000_000
+
+
+def test_components_positive_and_total_consistent():
+    for energy in (cpu_select_energy(GEM5_PLATFORM, N, 0.5),
+                   jafar_select_energy(GEM5_PLATFORM, N, 0.5)):
+        assert energy.dram_pj > 0
+        assert energy.bus_pj > 0
+        assert energy.compute_pj > 0
+        assert energy.total_pj == pytest.approx(
+            energy.dram_pj + energy.bus_pj + energy.compute_pj)
+        assert energy.total_uj == pytest.approx(energy.total_pj / 1e6)
+
+
+def test_jafar_bus_energy_is_bitset_sized():
+    """Only one bit per row crosses the bus: 1/64 of the CPU's word count."""
+    cpu = cpu_select_energy(GEM5_PLATFORM, N, 0.0)
+    ndp = jafar_select_energy(GEM5_PLATFORM, N, 0.0)
+    assert ndp.bus_pj == pytest.approx(cpu.bus_pj / 64, rel=0.05)
+
+
+def test_cpu_bus_energy_grows_with_selectivity():
+    """The position list written back is per-match traffic."""
+    low = cpu_select_energy(GEM5_PLATFORM, N, 0.0)
+    high = cpu_select_energy(GEM5_PLATFORM, N, 1.0)
+    assert high.bus_pj == pytest.approx(2 * low.bus_pj, rel=0.01)
+
+
+def test_jafar_energy_selectivity_invariant():
+    low = jafar_select_energy(GEM5_PLATFORM, N, 0.0)
+    high = jafar_select_energy(GEM5_PLATFORM, N, 1.0)
+    assert low.total_pj == high.total_pj
+
+
+def test_ndp_wins_at_every_selectivity():
+    for s in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert energy_ratio(GEM5_PLATFORM, N, s) > 1.0
+
+
+def test_ratio_grows_with_selectivity():
+    assert energy_ratio(GEM5_PLATFORM, N, 1.0) > energy_ratio(
+        GEM5_PLATFORM, N, 0.0)
+
+
+def test_both_dram_components_similar():
+    """Both paths read the same column out of the arrays: internal DRAM
+    energy should be nearly equal (JAFAR adds only bitset writebacks)."""
+    cpu = cpu_select_energy(GEM5_PLATFORM, N, 0.5)
+    ndp = jafar_select_energy(GEM5_PLATFORM, N, 0.5)
+    assert ndp.dram_pj == pytest.approx(cpu.dram_pj, rel=0.05)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        cpu_select_energy(GEM5_PLATFORM, 0, 0.5)
+    with pytest.raises(ConfigError):
+        jafar_select_energy(GEM5_PLATFORM, 10, 1.5)

@@ -1,0 +1,130 @@
+"""Tests for the cache hierarchy and stream prefetcher."""
+
+import pytest
+
+from repro.cache import CacheHierarchy, SetAssociativeCache, StreamPrefetcher
+from repro.errors import ConfigError
+
+
+def make_hierarchy():
+    l1 = SetAssociativeCache("L1", 1024, 64, 2, hit_latency_cycles=4)
+    l2 = SetAssociativeCache("L2", 4096, 64, 4, hit_latency_cycles=12)
+    return CacheHierarchy([l1, l2])
+
+
+class TestHierarchy:
+    def test_full_miss_goes_to_dram(self):
+        h = make_hierarchy()
+        result = h.access(0)
+        assert result.dram_access
+        assert result.level == 0
+        assert result.latency_cycles == 16  # both lookups paid
+
+    def test_l1_hit_after_fill(self):
+        h = make_hierarchy()
+        h.access(0)
+        result = h.access(0)
+        assert result.level == 1
+        assert result.latency_cycles == 4
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.access(0)
+        # Evict line 0 from L1 (2-way, 8 sets -> set stride 512).
+        h.access(512)
+        h.access(1024)
+        result = h.access(0)
+        assert result.level == 2
+        assert result.latency_cycles == 16
+
+    def test_dirty_l1_victim_lands_in_l2_not_memory(self):
+        h = make_hierarchy()
+        h.access(0, is_write=True)
+        h.access(512)
+        result = h.access(1024)  # evicts dirty 0 into L2
+        assert result.writebacks == ()
+        # Line 0 now hits in L2.
+        assert h.access(0).level == 2
+
+    def test_writeback_reaches_memory_when_l2_overflows(self):
+        l1 = SetAssociativeCache("L1", 128, 64, 1)   # 2 lines
+        l2 = SetAssociativeCache("L2", 256, 64, 1)   # 4 lines
+        h = CacheHierarchy([l1, l2])
+        h.access(0, is_write=True)
+        # Conflict chain: set count L1=2, L2=4. Addresses 0,128,256... map to
+        # L1 set 0; L2 sets cycle mod 256. Fill until dirty 0 is pushed out
+        # of both levels.
+        writebacks = []
+        for addr in (128, 256, 384, 512, 640):
+            writebacks += list(h.access(addr, is_write=False).writebacks)
+        assert 0 in writebacks
+
+    def test_invalidate_range(self):
+        h = make_hierarchy()
+        h.access(0)
+        h.access(64)
+        dropped = h.invalidate_range(0, 128)
+        assert dropped == 4  # two lines x two levels (inclusive fill)
+        assert h.access(0).dram_access
+
+    def test_invalid_configs(self):
+        big = SetAssociativeCache("big", 4096)
+        small = SetAssociativeCache("small", 1024)
+        with pytest.raises(ConfigError, match="grow"):
+            CacheHierarchy([big, small])
+        with pytest.raises(ConfigError):
+            CacheHierarchy([])
+        odd = SetAssociativeCache("odd", 2048, line_bytes=128, ways=2)
+        with pytest.raises(ConfigError, match="line size"):
+            CacheHierarchy([small, odd])
+        with pytest.raises(ConfigError):
+            make_hierarchy().invalidate_range(0, 0)
+
+    def test_stats_snapshot(self):
+        h = make_hierarchy()
+        h.access(0)
+        h.access(0)
+        stats = h.stats()
+        assert stats["L1"]["hits"] == 1
+        assert stats["L1"]["misses"] == 1
+        assert stats["L2"]["misses"] == 1
+
+
+class TestPrefetcher:
+    def test_stream_detected_after_trigger(self):
+        pf = StreamPrefetcher(line_bytes=64, depth=4, trigger=2)
+        assert pf.observe(0) == []
+        assert pf.observe(64) == []
+        prefetches = pf.observe(128)
+        assert prefetches == [192, 256, 320, 384]
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher(line_bytes=64, depth=2, trigger=2)
+        pf.observe(640)
+        pf.observe(576)
+        assert pf.observe(512) == [448, 384]
+
+    def test_random_pattern_never_triggers(self):
+        pf = StreamPrefetcher(depth=4, trigger=2)
+        for addr in (0, 4096, 64, 8192, 128):
+            assert pf.observe(addr) == []
+
+    def test_same_line_accesses_do_not_break_stream(self):
+        pf = StreamPrefetcher(line_bytes=64, depth=1, trigger=2)
+        pf.observe(0)
+        pf.observe(64)
+        pf.observe(80)  # same line as 64
+        assert pf.observe(128) == [192]
+
+    def test_reset(self):
+        pf = StreamPrefetcher(trigger=1)
+        pf.observe(0)
+        pf.observe(64)
+        pf.reset()
+        assert pf.observe(128) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            StreamPrefetcher(depth=0)
+        with pytest.raises(ConfigError):
+            StreamPrefetcher(trigger=0)

@@ -1,0 +1,106 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.errors import ConfigError
+
+
+def make_cache(size=1024, line=64, ways=2):
+    return SetAssociativeCache("L1", size, line, ways)
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    assert not cache.access(0).hit
+    assert cache.access(0).hit
+    assert cache.access(63).hit  # same line
+    assert cache.hits == 2 and cache.misses == 1
+
+
+def test_lru_eviction_within_set():
+    cache = make_cache(size=256, line=64, ways=2)  # 2 sets
+    set_stride = 2 * 64  # addresses mapping to set 0
+    cache.access(0)
+    cache.access(set_stride)
+    cache.access(2 * set_stride)  # evicts line 0 (LRU)
+    assert not cache.access(0).hit
+    assert cache.access(2 * set_stride).hit
+
+
+def test_lru_updated_on_hit():
+    cache = make_cache(size=256, line=64, ways=2)
+    set_stride = 128
+    cache.access(0)
+    cache.access(set_stride)
+    cache.access(0)  # refresh line 0
+    cache.access(2 * set_stride)  # should evict set_stride, not 0
+    assert cache.access(0).hit
+    assert not cache.access(set_stride).hit
+
+
+def test_dirty_victim_reports_writeback():
+    cache = make_cache(size=256, line=64, ways=1)  # direct-mapped, 4 sets
+    cache.access(0, is_write=True)
+    result = cache.access(256)  # same set, evicts dirty line 0
+    assert result.writeback_addr == 0
+    assert cache.writebacks == 1
+
+
+def test_clean_victim_has_no_writeback():
+    cache = make_cache(size=256, line=64, ways=1)
+    cache.access(0)
+    result = cache.access(256)
+    assert result.writeback_addr is None
+
+
+def test_write_hit_marks_dirty():
+    cache = make_cache(size=256, line=64, ways=1)
+    cache.access(0)                  # clean fill
+    cache.access(0, is_write=True)   # dirty it
+    result = cache.access(256)
+    assert result.writeback_addr == 0
+
+
+def test_probe_does_not_disturb_state():
+    cache = make_cache()
+    cache.access(0)
+    hits_before = cache.hits
+    assert cache.probe(0)
+    assert not cache.probe(4096)
+    assert cache.hits == hits_before
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.access(0)
+    assert cache.invalidate(0)
+    assert not cache.invalidate(0)
+    assert not cache.access(0).hit
+
+
+def test_flush_returns_dirty_lines():
+    cache = make_cache(size=256, line=64, ways=2)
+    cache.access(0, is_write=True)
+    cache.access(64)
+    dirty = cache.flush()
+    assert dirty == [0]
+    assert not cache.probe(0) and not cache.probe(64)
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == pytest.approx(0.5)
+    assert SetAssociativeCache("x", 1024).miss_rate == 0.0
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigError):
+        SetAssociativeCache("x", 1000)  # not a power of two
+    with pytest.raises(ConfigError):
+        SetAssociativeCache("x", 1024, line_bytes=64, ways=3,
+                            hit_latency_cycles=1)
+    with pytest.raises(ConfigError):
+        SetAssociativeCache("x", 1024, hit_latency_cycles=-1)

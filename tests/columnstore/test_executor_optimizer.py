@@ -1,0 +1,245 @@
+"""Tests for the plan layer, the query executor, and the pushdown optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import (
+    Aggregate,
+    AggregateSpec,
+    Catalog,
+    Column,
+    ColumnType,
+    ExecutionContext,
+    Join,
+    OrderBy,
+    Project,
+    QueryExecutor,
+    RangePredicate,
+    Scan,
+    Select,
+    StorageManager,
+    Table,
+    between,
+    decide_pushdown,
+    route_select,
+    walk,
+)
+from repro.columnstore.operators import AggKind
+from repro.config import GEM5_PLATFORM
+from repro.errors import PlanError
+from repro.system import Machine
+
+
+def make_world(use_ndp=False, n=4096, seed=3):
+    rng = np.random.default_rng(seed)
+    t = Table.build("t", [
+        Column.build("a", ColumnType.INT64, rng.integers(0, 100, n)),
+        Column.build("b", ColumnType.INT64, rng.integers(0, 10, n)),
+        Column.build("k", ColumnType.INT64, rng.integers(0, 50, n)),
+    ])
+    dim = Table.build("dim", [
+        Column.build("k", ColumnType.INT64, np.arange(50)),
+        Column.build("label", ColumnType.INT64, np.arange(50) * 100),
+    ])
+    machine = Machine(GEM5_PLATFORM)
+    storage = StorageManager(machine)
+    storage.load_table(t)
+    storage.load_table(dim)
+    catalog = Catalog()
+    catalog.register(t)
+    catalog.register(dim)
+    ctx = ExecutionContext(machine, storage, use_ndp=use_ndp)
+    return ctx, catalog, t, dim
+
+
+class TestPlanValidation:
+    def test_walk_traverses_tree(self):
+        plan = Select(Scan("t"), (RangePredicate("a", 0, 5),))
+        assert [type(n).__name__ for n in walk(plan)] == ["Select", "Scan"]
+
+    def test_select_needs_predicates(self):
+        with pytest.raises(PlanError):
+            Select(Scan("t"), ()).validate()
+
+    def test_project_needs_columns(self):
+        with pytest.raises(PlanError):
+            Project(Scan("t"), ()).validate()
+
+    def test_aggregate_unique_names(self):
+        spec = AggregateSpec("x", "a", AggKind.SUM)
+        with pytest.raises(PlanError):
+            Aggregate(Scan("t"), (), (spec, spec)).validate()
+
+    def test_orderby_flags(self):
+        with pytest.raises(PlanError):
+            OrderBy(Scan("t"), ("a",), (True, False)).validate()
+        with pytest.raises(PlanError):
+            OrderBy(Scan("t"), ("a",), limit=0).validate()
+
+
+class TestExecutor:
+    def test_select_project(self):
+        ctx, catalog, t, _ = make_world()
+        plan = Project(Select(Scan("t"), (RangePredicate("a", 10, 20),)),
+                       ("a", "b"))
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        mask = (t["a"].values >= 10) & (t["a"].values <= 20)
+        assert (rs.column("a") == t["a"].values[mask]).all()
+        assert (rs.column("b") == t["b"].values[mask]).all()
+        assert rs.duration_ps > 0
+
+    def test_conjunctive_select(self):
+        ctx, catalog, t, _ = make_world()
+        plan = Project(Select(Scan("t"), (RangePredicate("a", 10, 60),
+                                          RangePredicate("b", 0, 4))),
+                       ("a",))
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        mask = ((t["a"].values >= 10) & (t["a"].values <= 60)
+                & (t["b"].values <= 4))
+        assert rs.num_rows == int(mask.sum())
+        # Second predicate ran as a refinement, not a full scan.
+        assert "select.refine" in ctx.profile.times_ps
+
+    def test_scalar_aggregate_plan(self):
+        ctx, catalog, t, _ = make_world()
+        plan = Aggregate(Select(Scan("t"), (RangePredicate("a", 0, 50),)),
+                         (), (AggregateSpec("total", "b", AggKind.SUM),))
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        mask = t["a"].values <= 50
+        assert rs.column("total")[0] == t["b"].values[mask].sum()
+
+    def test_group_by_plan(self):
+        ctx, catalog, t, _ = make_world()
+        plan = Aggregate(Scan("t"), ("b",),
+                         (AggregateSpec("cnt", "a", AggKind.COUNT),))
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        assert rs.num_rows == np.unique(t["b"].values).size
+        assert rs.column("cnt").sum() == t.num_rows
+
+    def test_join_plan(self):
+        ctx, catalog, t, dim = make_world()
+        plan = Join(Project(Scan("dim"), ("k", "label")),
+                    Project(Select(Scan("t"), (RangePredicate("a", 0, 10),)),
+                            ("k", "a")),
+                    left_key="k", right_key="k")
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        mask = t["a"].values <= 10
+        assert rs.num_rows == int(mask.sum())  # FK join preserves rows
+        assert (rs.column("label") == rs.column("k") * 100).all()
+
+    def test_order_by_with_limit(self):
+        ctx, catalog, t, _ = make_world()
+        plan = OrderBy(Project(Scan("t"), ("a",)), ("a",),
+                       descending=(True,), limit=5)
+        rs = QueryExecutor(ctx, catalog).execute(plan)
+        expected = np.sort(t["a"].values)[::-1][:5]
+        assert rs.column("a").tolist() == expected.tolist()
+
+    def test_ndp_and_cpu_plans_agree(self):
+        plan = Aggregate(Select(Scan("t"), (RangePredicate("a", 20, 70),)),
+                         ("b",), (AggregateSpec("s", "a", AggKind.SUM),))
+        cpu_ctx, catalog, _, _ = make_world(use_ndp=False)
+        cpu = QueryExecutor(cpu_ctx, catalog).execute(plan)
+        ndp_ctx, catalog2, _, _ = make_world(use_ndp=True)
+        ndp = QueryExecutor(ndp_ctx, catalog2).execute(plan)
+        assert cpu.column("b").tolist() == ndp.column("b").tolist()
+        assert cpu.column("s").tolist() == ndp.column("s").tolist()
+        assert "select.jafar" in ndp_ctx.profile.times_ps
+        assert "select.cpu" in cpu_ctx.profile.times_ps
+
+    def test_missing_column_raises(self):
+        ctx, catalog, _, _ = make_world()
+        plan = Project(Scan("t"), ("nope",))
+        with pytest.raises(Exception):
+            QueryExecutor(ctx, catalog).execute(plan)
+
+    def test_result_column_lookup(self):
+        ctx, catalog, _, _ = make_world()
+        rs = QueryExecutor(ctx, catalog).execute(Project(Scan("t"), ("a",)))
+        with pytest.raises(PlanError, match="no column"):
+            rs.column("zzz")
+
+
+class TestPushdownOptimizer:
+    def test_large_pinned_column_pushes_down(self):
+        ctx, _, _, _ = make_world()
+        handle = ctx.storage.handle("t", "a")
+        decision = decide_pushdown(ctx, handle, RangePredicate("a", 0, 50))
+        assert decision.use_jafar
+        assert decision.jafar_estimate_ps < decision.cpu_estimate_ps
+
+    def test_tiny_column_stays_on_cpu(self):
+        machine = Machine(GEM5_PLATFORM)
+        storage = StorageManager(machine)
+        tiny = Table.build("tiny", [
+            Column.build("x", ColumnType.INT64, np.arange(32))])
+        storage.load_table(tiny)
+        ctx = ExecutionContext(machine, storage)
+        handle = storage.handle("tiny", "x")
+        decision = decide_pushdown(ctx, handle, RangePredicate("x", 0, 5))
+        assert not decision.use_jafar
+        assert "overhead" in decision.reason
+
+    def test_unpinned_column_stays_on_cpu(self):
+        machine = Machine(GEM5_PLATFORM)
+        storage = StorageManager(machine, pin=False)
+        t = Table.build("t", [
+            Column.build("x", ColumnType.INT64, np.arange(100_000))])
+        storage.load_table(t)
+        ctx = ExecutionContext(machine, storage)
+        decision = decide_pushdown(ctx, storage.handle("t", "x"),
+                                   RangePredicate("x", 0, 5))
+        assert not decision.use_jafar
+        assert "pinned" in decision.reason
+
+    def test_degenerate_predicate(self):
+        ctx, _, _, _ = make_world()
+        handle = ctx.storage.handle("t", "a")
+        decision = decide_pushdown(ctx, handle, RangePredicate("a", 9, 3))
+        assert not decision.use_jafar
+
+    def test_route_select_string(self):
+        ctx, _, _, _ = make_world()
+        handle = ctx.storage.handle("t", "a")
+        assert route_select(ctx, handle, RangePredicate("a", 0, 50)) in (
+            "jafar", "cpu")
+
+
+class TestAutoRouting:
+    def test_auto_mode_uses_jafar_for_big_pinned_columns(self):
+        ctx, catalog, t, _ = make_world(use_ndp="auto")
+        plan = Project(Select(Scan("t"), (RangePredicate("a", 0, 50),)),
+                       ("a",))
+        QueryExecutor(ctx, catalog).execute(plan)
+        assert "select.jafar" in ctx.profile.times_ps
+
+    def test_auto_mode_keeps_tiny_tables_on_cpu(self):
+        machine = Machine(GEM5_PLATFORM)
+        storage = StorageManager(machine)
+        tiny = Table.build("tiny", [
+            Column.build("x", ColumnType.INT64, np.arange(16))])
+        storage.load_table(tiny)
+        catalog = Catalog()
+        catalog.register(tiny)
+        ctx = ExecutionContext(machine, storage, use_ndp="auto")
+        plan = Project(Select(Scan("tiny"), (RangePredicate("x", 0, 5),)),
+                       ("x",))
+        QueryExecutor(ctx, catalog).execute(plan)
+        assert "select.cpu" in ctx.profile.times_ps
+        assert "select.jafar" not in ctx.profile.times_ps
+
+    def test_auto_mode_results_match_forced_modes(self):
+        plan = Project(Select(Scan("t"), (RangePredicate("a", 10, 60),)),
+                       ("a",))
+        outputs = []
+        for mode in (False, True, "auto"):
+            ctx, catalog, _, _ = make_world(use_ndp=mode)
+            rs = QueryExecutor(ctx, catalog).execute(plan)
+            outputs.append(rs.column("a").tolist())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_invalid_mode_rejected(self):
+        machine = Machine(GEM5_PLATFORM)
+        storage = StorageManager(machine)
+        with pytest.raises(Exception, match="use_ndp"):
+            ExecutionContext(machine, storage, use_ndp="maybe")

@@ -1,0 +1,162 @@
+"""Tests for position lists, bitvectors, and predicate lowering."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import (
+    Bitvector,
+    Column,
+    ColumnType,
+    PositionList,
+    Table,
+    between,
+    compare,
+    equals,
+    in_set,
+    prefix,
+)
+from repro.errors import ColumnStoreError, PlanError, TypeMismatchError
+from repro.jafar import Predicate
+
+
+class TestBitvector:
+    def test_count_and_positions(self):
+        bits = Bitvector(np.array([True, False, True, True]))
+        assert bits.count() == 3
+        assert bits.to_positions().positions.tolist() == [0, 2, 3]
+
+    def test_boolean_algebra(self):
+        a = Bitvector(np.array([True, True, False, False]))
+        b = Bitvector(np.array([True, False, True, False]))
+        assert (a & b).bits.tolist() == [True, False, False, False]
+        assert (a | b).bits.tolist() == [True, True, True, False]
+        assert (~a).bits.tolist() == [False, False, True, True]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ColumnStoreError):
+            Bitvector(np.array([True])) & Bitvector(np.array([True, False]))
+
+    def test_requires_bool_dtype(self):
+        with pytest.raises(ColumnStoreError):
+            Bitvector(np.array([1, 0]))
+
+
+class TestPositionList:
+    def test_round_trip_with_bitvector(self):
+        positions = PositionList.of(1, 4, 7)
+        bits = positions.to_bitvector(10)
+        assert bits.to_positions().positions.tolist() == [1, 4, 7]
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ColumnStoreError):
+            PositionList(np.array([3, 1], dtype=np.int64))
+        with pytest.raises(ColumnStoreError):
+            PositionList(np.array([1, 1], dtype=np.int64))
+        with pytest.raises(ColumnStoreError):
+            PositionList(np.array([-1], dtype=np.int64))
+
+    def test_out_of_range_bitvector(self):
+        with pytest.raises(ColumnStoreError):
+            PositionList.of(12).to_bitvector(10)
+
+    def test_set_operations(self):
+        a = PositionList.of(1, 2, 3)
+        b = PositionList.of(2, 3, 4)
+        assert a.intersect(b).positions.tolist() == [2, 3]
+        assert a.union(b).positions.tolist() == [1, 2, 3, 4]
+
+    def test_selectivity(self):
+        assert PositionList.of(0, 1).selectivity(4) == 0.5
+        with pytest.raises(ColumnStoreError):
+            PositionList.of(0).selectivity(0)
+
+    def test_all_rows(self):
+        assert PositionList.all_rows(3).positions.tolist() == [0, 1, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(0, 200), min_size=0, max_size=50),
+           st.integers(201, 300))
+    def test_round_trip_property(self, positions, num_rows):
+        plist = PositionList(np.array(sorted(positions), dtype=np.int64))
+        assert (plist.to_bitvector(num_rows).to_positions().positions
+                == plist.positions).all()
+
+
+@pytest.fixture()
+def table():
+    return Table.build("t", [
+        Column.build("num", ColumnType.INT64, np.arange(100)),
+        Column.build("when", ColumnType.DATE,
+                     [date(1995, 1, 1), date(1995, 6, 1)] * 50),
+        Column.build("price", ColumnType.DECIMAL, [1.25, 9.75] * 50),
+        Column.build("phone", ColumnType.STRING,
+                     ["13-111", "31-222", "13-999", "23-000"] * 25),
+    ])
+
+
+class TestPredicates:
+    def test_between_user_bounds(self, table):
+        pred = between(table, "num", 10, 20)
+        assert (pred.low, pred.high) == (10, 20)
+
+    def test_date_literals_lowered(self, table):
+        pred = compare(table, "when", Predicate.LT, date(1995, 3, 15))
+        from repro.columnstore import encode_date
+        assert pred.high == encode_date(date(1995, 3, 15)) - 1
+
+    def test_decimal_literals_lowered(self, table):
+        pred = compare(table, "price", Predicate.GE, 5.0)
+        assert pred.low == 500
+
+    def test_string_equality_via_dictionary(self, table):
+        pred = equals(table, "phone", "31-222")
+        dictionary = table["phone"].dictionary
+        assert pred.low == pred.high == dictionary.encode("31-222")
+
+    def test_prefix_predicate(self, table):
+        pred = prefix(table, "phone", "13")
+        dictionary = table["phone"].dictionary
+        codes = [dictionary.encode("13-111"), dictionary.encode("13-999")]
+        assert pred.low == min(codes) and pred.high == max(codes)
+
+    def test_prefix_no_match_is_empty(self, table):
+        assert prefix(table, "phone", "99").is_empty()
+
+    def test_prefix_requires_string_column(self, table):
+        with pytest.raises(TypeMismatchError):
+            prefix(table, "num", "1")
+
+    def test_incompatible_literal_raises(self, table):
+        with pytest.raises(TypeMismatchError):
+            compare(table, "num", Predicate.EQ, "not-a-number")
+
+    def test_in_set_coalesces_adjacent(self, table):
+        ranges = in_set(table, "num", [5, 6, 7, 20, 22])
+        spans = [(r.low, r.high) for r in ranges]
+        assert spans == [(5, 7), (20, 20), (22, 22)]
+
+    def test_in_set_deduplicates(self, table):
+        ranges = in_set(table, "num", [5, 5, 6])
+        assert [(r.low, r.high) for r in ranges] == [(5, 6)]
+
+    def test_in_set_empty_raises(self, table):
+        with pytest.raises(PlanError):
+            in_set(table, "num", [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(0, 60), min_size=1, max_size=20))
+    def test_in_set_semantics_property(self, values):
+        # Build the table inline: hypothesis forbids function-scoped fixtures.
+        table = Table.build("t", [
+            Column.build("num", ColumnType.INT64, np.arange(100))])
+        ranges = in_set(table, "num", sorted(values))
+        column = table["num"].values
+        got = np.zeros(column.size, dtype=bool)
+        for r in ranges:
+            got |= (column >= r.low) & (column <= r.high)
+        expected = np.isin(column, np.array(sorted(values)))
+        assert (got == expected).all()

@@ -1,0 +1,309 @@
+"""Tests for storage placement and the bulk operators."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import (
+    Column,
+    ColumnType,
+    ExecutionContext,
+    PositionList,
+    RangePredicate,
+    StorageManager,
+    Table,
+)
+from repro.columnstore.operators import (
+    AggKind,
+    expand_bitset,
+    fetch,
+    group_by,
+    hash_join,
+    scalar_aggregate,
+    select,
+    select_cpu,
+    select_jafar,
+    semi_join_mask,
+    sort_by,
+    top_n,
+)
+from repro.config import GEM5_PLATFORM
+from repro.errors import ColumnStoreError, PlanError
+from repro.system import Machine
+
+
+def make_ctx(use_ndp=False, n=8192, seed=0, **ctx_kwargs):
+    rng = np.random.default_rng(seed)
+    table = Table.build("t", [
+        Column.build("a", ColumnType.INT64, rng.integers(0, 1000, n)),
+        Column.build("b", ColumnType.INT64, rng.integers(0, 50, n)),
+    ])
+    machine = Machine(GEM5_PLATFORM)
+    storage = StorageManager(machine)
+    storage.load_table(table)
+    ctx = ExecutionContext(machine, storage, use_ndp=use_ndp, **ctx_kwargs)
+    return ctx, table
+
+
+class TestStorageManager:
+    def test_columns_materialise_contiguously(self):
+        ctx, table = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        paddr = ctx.storage.paddr_of(handle)
+        values = ctx.machine.memory.view_words(paddr, table.num_rows)
+        assert (values == table["a"].values).all()
+
+    def test_pinning_applied(self):
+        ctx, _ = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        assert ctx.machine.vm.is_pinned(handle.vaddr)
+
+    def test_out_buffer_on_same_dimm(self):
+        ctx, _ = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        assert handle.out_mapping is not None
+        assert ctx.machine.vm.dimm_of(handle.out_mapping.vaddr) == handle.dimm
+
+    def test_double_load_rejected(self):
+        ctx, table = make_ctx()
+        with pytest.raises(ColumnStoreError, match="already"):
+            ctx.storage.load_column("t", table["a"])
+
+    def test_missing_handle(self):
+        ctx, _ = make_ctx()
+        with pytest.raises(ColumnStoreError, match="not materialised"):
+            ctx.storage.handle("t", "zzz")
+        assert ctx.storage.is_loaded("t", "a")
+        assert not ctx.storage.is_loaded("t", "zzz")
+
+    def test_scratch_region_allocates_fresh_zeroed_memory(self):
+        ctx, _ = make_ctx()
+        mapping, paddr = ctx.storage.scratch_region(4096)
+        assert not ctx.machine.memory.read(paddr, 4096).any()
+        mapping2, paddr2 = ctx.storage.scratch_region(4096)
+        assert paddr != paddr2  # fresh region per call
+        with pytest.raises(ColumnStoreError):
+            ctx.storage.scratch_region(0)
+
+    def test_timing_scratch_reuses_region(self):
+        ctx, _ = make_ctx()
+        first = ctx.storage.timing_scratch(1024)
+        second = ctx.storage.timing_scratch(512)
+        assert first == second
+        bigger = ctx.storage.timing_scratch(1 << 20)
+        assert ctx.storage.timing_scratch(2048) == bigger
+
+
+class TestSelectOperator:
+    def test_cpu_and_jafar_agree(self):
+        pred = RangePredicate("a", 100, 600)
+        cpu_ctx, table = make_ctx(use_ndp=False)
+        ndp_ctx, _ = make_ctx(use_ndp=True)
+        cpu = select(cpu_ctx, "t", pred)
+        ndp = select(ndp_ctx, "t", pred)
+        assert cpu.path == "cpu" and ndp.path == "jafar"
+        assert (cpu.bitvector.bits == ndp.bitvector.bits).all()
+        expected = (table["a"].values >= 100) & (table["a"].values <= 600)
+        assert (cpu.bitvector.bits == expected).all()
+
+    def test_jafar_select_faster(self):
+        pred = RangePredicate("a", 0, 500)
+        cpu_ctx, _ = make_ctx(use_ndp=False)
+        ndp_ctx, _ = make_ctx(use_ndp=True)
+        cpu = select(cpu_ctx, "t", pred)
+        ndp = select(ndp_ctx, "t", pred)
+        assert ndp.duration_ps < cpu.duration_ps
+
+    def test_empty_predicate_short_circuits(self):
+        ctx, _ = make_ctx()
+        result = select(ctx, "t", RangePredicate("a", 10, 5))
+        assert result.path == "none"
+        assert result.matches == 0
+        assert result.duration_ps == 0
+
+    def test_predicated_kernel_option(self):
+        ctx, table = make_ctx(cpu_kernel="predicated")
+        result = select(ctx, "t", RangePredicate("a", 0, 500))
+        expected = ((table["a"].values >= 0) & (table["a"].values <= 500))
+        assert result.matches == int(expected.sum())
+
+    def test_expand_bitset_charges_time(self):
+        ctx, _ = make_ctx(use_ndp=True)
+        result = select(ctx, "t", RangePredicate("a", 0, 500))
+        before = ctx.now_ps
+        positions = expand_bitset(ctx, result)
+        assert ctx.now_ps > before
+        assert positions.count() == result.matches
+
+    def test_interpreter_overhead_slows_scan(self):
+        plain_ctx, _ = make_ctx()
+        taxed_ctx, _ = make_ctx(interpreter_cycles_per_row=50.0)
+        pred = RangePredicate("a", 0, 500)
+        plain = select(plain_ctx, "t", pred)
+        taxed = select(taxed_ctx, "t", pred)
+        assert taxed.duration_ps > 3 * plain.duration_ps
+
+
+class TestProject:
+    def test_sparse_fetch_correct(self):
+        ctx, table = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        positions = PositionList.of(5, 100, 4096)
+        result = fetch(ctx, handle, positions)
+        assert (result.column.values
+                == table["a"].values[[5, 100, 4096]]).all()
+        assert result.lines_touched == 3
+
+    def test_dense_fetch_correct(self):
+        ctx, table = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        positions = PositionList.all_rows(table.num_rows)
+        result = fetch(ctx, handle, positions)
+        assert (result.column.values == table["a"].values).all()
+
+    def test_dense_cheaper_per_row_than_sparse(self):
+        """A dense gather streams; a sparse one pays per-line latency."""
+        ctx, table = make_ctx(n=32768)
+        handle = ctx.storage.handle("t", "a")
+        n = table.num_rows
+        dense = fetch(ctx, handle, PositionList.all_rows(n))
+        sparse_pos = PositionList(np.arange(0, n, 64, dtype=np.int64))
+        sparse = fetch(ctx, handle, sparse_pos)
+        dense_per_row = dense.duration_ps / n
+        sparse_per_row = sparse.duration_ps / sparse_pos.count()
+        assert sparse_per_row > 2 * dense_per_row
+
+    def test_empty_positions(self):
+        ctx, _ = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        result = fetch(ctx, handle, PositionList(np.empty(0, dtype=np.int64)))
+        assert result.column.values.size == 0
+
+    def test_out_of_range_position_raises(self):
+        ctx, table = make_ctx()
+        handle = ctx.storage.handle("t", "a")
+        with pytest.raises(ColumnStoreError):
+            fetch(ctx, handle, PositionList.of(table.num_rows))
+
+
+class TestAggregates:
+    def test_scalar_kinds(self):
+        ctx, _ = make_ctx()
+        values = np.array([4, -2, 10, 10], dtype=np.int64)
+        assert scalar_aggregate(ctx, values, AggKind.SUM).value == 22
+        assert scalar_aggregate(ctx, values, AggKind.MIN).value == -2
+        assert scalar_aggregate(ctx, values, AggKind.MAX).value == 10
+        assert scalar_aggregate(ctx, values, AggKind.COUNT).value == 4
+        assert scalar_aggregate(ctx, values, AggKind.AVG).value == 5.5
+
+    def test_empty_aggregate(self):
+        ctx, _ = make_ctx()
+        empty = np.empty(0, dtype=np.int64)
+        assert scalar_aggregate(ctx, empty, AggKind.COUNT).value == 0
+        with pytest.raises(PlanError):
+            scalar_aggregate(ctx, empty, AggKind.SUM)
+
+    def test_group_by_single_key(self):
+        ctx, _ = make_ctx()
+        keys = np.array([1, 2, 1, 3, 2], dtype=np.int64)
+        vals = np.array([10, 20, 30, 40, 50], dtype=np.int64)
+        result = group_by(ctx, keys, {"s": (vals, AggKind.SUM),
+                                      "c": (vals, AggKind.COUNT),
+                                      "m": (vals, AggKind.MIN)})
+        assert result.keys.tolist() == [1, 2, 3]
+        assert result.aggregates["s"].tolist() == [40, 70, 40]
+        assert result.aggregates["c"].tolist() == [2, 2, 1]
+        assert result.aggregates["m"].tolist() == [10, 20, 40]
+
+    def test_group_by_composite_key(self):
+        ctx, _ = make_ctx()
+        keys = np.array([[1, 1], [1, 2], [1, 1]], dtype=np.int64)
+        vals = np.ones(3, dtype=np.int64)
+        result = group_by(ctx, keys, {"c": (vals, AggKind.COUNT)})
+        assert result.num_groups == 2
+
+    def test_group_by_avg_and_max(self):
+        ctx, _ = make_ctx()
+        keys = np.array([7, 7, 8], dtype=np.int64)
+        vals = np.array([2, 4, 9], dtype=np.int64)
+        result = group_by(ctx, keys, {"avg": (vals, AggKind.AVG),
+                                      "max": (vals, AggKind.MAX)})
+        assert result.aggregates["avg"].tolist() == [3.0, 9.0]
+        assert result.aggregates["max"].tolist() == [4, 9]
+
+    def test_group_by_validates_lengths(self):
+        ctx, _ = make_ctx()
+        with pytest.raises(PlanError):
+            group_by(ctx, np.array([1, 2], dtype=np.int64),
+                     {"s": (np.ones(3, dtype=np.int64), AggKind.SUM)})
+
+
+class TestJoins:
+    def test_hash_join_with_duplicates(self):
+        ctx, _ = make_ctx()
+        build = np.array([1, 2, 2, 3], dtype=np.int64)
+        probe = np.array([2, 4, 1, 2], dtype=np.int64)
+        result = hash_join(ctx, build, probe)
+        pairs = sorted(zip(result.build_positions.tolist(),
+                           result.probe_positions.tolist()))
+        # key 2 matches build rows {1,2} x probe rows {0,3}; key 1: (0, 2).
+        assert pairs == [(0, 2), (1, 0), (1, 3), (2, 0), (2, 3)]
+
+    def test_join_no_matches(self):
+        ctx, _ = make_ctx()
+        result = hash_join(ctx, np.array([1], dtype=np.int64),
+                           np.array([2], dtype=np.int64))
+        assert result.matches == 0
+
+    def test_join_validates_inputs(self):
+        ctx, _ = make_ctx()
+        with pytest.raises(PlanError):
+            hash_join(ctx, np.array([[1]], dtype=np.int64),
+                      np.array([1], dtype=np.int64))
+
+    def test_semi_and_anti_join(self):
+        ctx, _ = make_ctx()
+        probe = np.array([1, 2, 3, 4], dtype=np.int64)
+        build = np.array([2, 4, 9], dtype=np.int64)
+        assert semi_join_mask(ctx, probe, build).tolist() == [
+            False, True, False, True]
+        assert semi_join_mask(ctx, probe, build, anti=True).tolist() == [
+            True, False, True, False]
+
+    def test_join_charges_time(self):
+        ctx, _ = make_ctx()
+        before = ctx.now_ps
+        hash_join(ctx, np.arange(1000, dtype=np.int64),
+                  np.arange(5000, dtype=np.int64))
+        assert ctx.now_ps > before
+        assert "hash_join" in ctx.profile.times_ps
+
+
+class TestSort:
+    def test_single_key(self):
+        ctx, _ = make_ctx()
+        keys = np.array([5, 1, 3], dtype=np.int64)
+        order = sort_by(ctx, [keys]).order
+        assert keys[order].tolist() == [1, 3, 5]
+
+    def test_multi_key_with_descending(self):
+        ctx, _ = make_ctx()
+        primary = np.array([1, 1, 2], dtype=np.int64)
+        secondary = np.array([10, 20, 5], dtype=np.int64)
+        order = sort_by(ctx, [primary, secondary],
+                        descending=[False, True]).order
+        assert order.tolist() == [1, 0, 2]
+
+    def test_top_n(self):
+        ctx, _ = make_ctx()
+        keys = np.array([5, 9, 1, 7], dtype=np.int64)
+        order = top_n(ctx, [keys], 2, descending=[True]).order
+        assert keys[order].tolist() == [9, 7]
+
+    def test_validation(self):
+        ctx, _ = make_ctx()
+        with pytest.raises(PlanError):
+            sort_by(ctx, [])
+        with pytest.raises(PlanError):
+            sort_by(ctx, [np.arange(2), np.arange(3)])
+        with pytest.raises(PlanError):
+            top_n(ctx, [np.arange(3)], 0)

@@ -1,0 +1,156 @@
+"""Tests for column types, dictionary encoding, columns, tables, catalog."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.columnstore import Catalog, Column, ColumnType, Dictionary, Table
+from repro.columnstore.types import (
+    coerce_storage,
+    decode_date,
+    decode_decimal,
+    encode_date,
+    encode_decimal,
+)
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class TestScalarEncodings:
+    def test_date_round_trip(self):
+        for d in (date(1970, 1, 1), date(1995, 3, 15), date(2038, 1, 19)):
+            assert decode_date(encode_date(d)) == d
+
+    def test_epoch_is_zero(self):
+        assert encode_date(date(1970, 1, 1)) == 0
+
+    def test_decimal_round_trip(self):
+        assert decode_decimal(encode_decimal(19.99)) == pytest.approx(19.99)
+        assert encode_decimal(0.05) == 5
+        assert encode_decimal(-1.5) == -150
+
+
+class TestDictionary:
+    def test_order_preserving(self):
+        """Codes follow sort order, so range predicates work on codes."""
+        d = Dictionary.from_values(["cherry", "apple", "banana", "apple"])
+        assert d.values == ["apple", "banana", "cherry"]
+        assert d.encode("apple") < d.encode("banana") < d.encode("cherry")
+
+    def test_encode_decode_round_trip(self):
+        d = Dictionary.from_values(["x", "y", "z"])
+        for value in ("x", "y", "z"):
+            assert d.decode(d.encode(value)) == value
+
+    def test_unknown_value_raises(self):
+        d = Dictionary.from_values(["a"])
+        with pytest.raises(TypeMismatchError):
+            d.encode("missing")
+        with pytest.raises(TypeMismatchError):
+            d.decode(5)
+
+    def test_prefix_range(self):
+        d = Dictionary.from_values(["13-555", "13-999", "14-000", "31-222"])
+        assert d.range_for_prefix("13") == (0, 1)
+        assert d.range_for_prefix("31") == (3, 3)
+        assert d.range_for_prefix("99") is None
+
+    def test_len(self):
+        assert len(Dictionary.from_values(["a", "b", "a"])) == 2
+
+
+class TestCoercion:
+    def test_int64_passthrough(self):
+        out = coerce_storage(np.array([1, 2], dtype=np.int32),
+                             ColumnType.INT64)
+        assert out.dtype == np.int64
+
+    def test_int64_rejects_floats(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_storage(np.array([1.5]), ColumnType.INT64)
+
+    def test_dates_from_objects_and_ints(self):
+        days = coerce_storage([date(1970, 1, 2)], ColumnType.DATE)
+        assert days.tolist() == [1]
+        assert coerce_storage([10, 20], ColumnType.DATE).tolist() == [10, 20]
+
+    def test_decimal_from_floats_and_fixed(self):
+        assert coerce_storage([1.25], ColumnType.DECIMAL).tolist() == [125]
+        assert coerce_storage(np.array([125]), ColumnType.DECIMAL).tolist() == [125]
+
+    def test_string_requires_dictionary(self):
+        with pytest.raises(SchemaError):
+            coerce_storage(["a"], ColumnType.STRING)
+
+
+class TestColumnTable:
+    def test_build_string_column_auto_dictionary(self):
+        col = Column.build("seg", ColumnType.STRING, ["B", "A", "B"])
+        assert col.values.tolist() == [1, 0, 1]
+        assert col.decode(0) == "B"
+
+    def test_decode_typed_values(self):
+        col = Column.build("d", ColumnType.DATE, [date(1995, 3, 15)])
+        assert col.decode(0) == date(1995, 3, 15)
+        dec = Column.build("m", ColumnType.DECIMAL, [19.99])
+        assert dec.decode(0) == pytest.approx(19.99)
+
+    def test_take(self):
+        col = Column.build("x", ColumnType.INT64, np.arange(10))
+        sub = col.take(np.array([1, 3, 5]))
+        assert sub.values.tolist() == [1, 3, 5]
+        assert sub.name == "x"
+
+    def test_storage_must_be_int64(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.INT64, np.arange(3, dtype=np.int32))
+
+    def test_table_rejects_mismatched_lengths(self):
+        table = Table.build("t", [
+            Column.build("a", ColumnType.INT64, np.arange(5))])
+        with pytest.raises(SchemaError, match="rows"):
+            table.add(Column.build("b", ColumnType.INT64, np.arange(3)))
+
+    def test_table_rejects_duplicates(self):
+        table = Table.build("t", [
+            Column.build("a", ColumnType.INT64, np.arange(5))])
+        with pytest.raises(SchemaError, match="duplicate"):
+            table.add(Column.build("a", ColumnType.INT64, np.arange(5)))
+
+    def test_table_lookup_and_contains(self):
+        table = Table.build("t", [
+            Column.build("a", ColumnType.INT64, np.arange(5))])
+        assert table["a"].name == "a"
+        assert "a" in table and "b" not in table
+        with pytest.raises(SchemaError, match="no column"):
+            table["b"]
+
+    def test_table_metadata(self):
+        table = Table.build("t", [
+            Column.build("a", ColumnType.INT64, np.arange(5)),
+            Column.build("b", ColumnType.INT64, np.arange(5)),
+        ])
+        assert table.num_rows == 5
+        assert table.column_names == ["a", "b"]
+        assert table.nbytes == 2 * 5 * 8
+        assert Table("empty").num_rows == 0
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        table = Table.build("t", [
+            Column.build("a", ColumnType.INT64, np.arange(2))])
+        catalog.register(table)
+        assert catalog.table("t") is table
+        assert "t" in catalog
+        assert catalog.table_names == ["t"]
+
+    def test_duplicate_and_missing(self):
+        catalog = Catalog()
+        table = Table("t")
+        catalog.register(table)
+        with pytest.raises(SchemaError, match="already"):
+            catalog.register(Table("t"))
+        with pytest.raises(SchemaError, match="no table"):
+            catalog.table("other")

@@ -1,0 +1,50 @@
+"""Tests for the µop bundle vocabulary."""
+
+import pytest
+
+from repro.config import CPUCostModel
+from repro.cpu import BRANCHY_MATCH_EXTRA, BRANCHY_ROW, PREDICATED_ROW, UopBundle, UopKind
+from repro.errors import ConfigError
+
+
+def test_bundle_of_and_counts():
+    bundle = UopBundle.of(load=1, cmp=2, branch=1)
+    assert bundle.total == 4
+    assert bundle.count(UopKind.CMP) == 2
+    assert bundle.count(UopKind.STORE) == 0
+
+
+def test_bundle_addition_merges_kinds():
+    merged = UopBundle.of(load=1, alu=1) + UopBundle.of(alu=2, store=1)
+    assert merged.total == 5
+    assert merged.count(UopKind.ALU) == 3
+    assert merged.count(UopKind.LOAD) == 1
+
+
+def test_bundle_scaling():
+    assert UopBundle.of(alu=2).scaled(4).total == 8
+    assert UopBundle.of(alu=2).scaled(0).total == 0
+    with pytest.raises(ConfigError):
+        UopBundle.of(alu=1).scaled(-1)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ConfigError):
+        UopBundle.of(load=-1)
+
+
+def test_default_bundles_match_config_defaults():
+    """The documented µop mixes must equal the tunable config defaults —
+    if one changes, the other must follow (DESIGN.md calibration table)."""
+    cost = CPUCostModel()
+    assert BRANCHY_ROW.total == cost.base_uops
+    assert BRANCHY_MATCH_EXTRA.total == cost.match_uops
+    assert PREDICATED_ROW.total == cost.predicated_uops
+
+
+def test_branchy_row_mix():
+    assert BRANCHY_ROW.count(UopKind.LOAD) == 1
+    assert BRANCHY_ROW.count(UopKind.CMP) == 1
+    assert BRANCHY_ROW.count(UopKind.BRANCH) == 2
+    assert BRANCHY_MATCH_EXTRA.count(UopKind.STORE) == 1
+    assert PREDICATED_ROW.count(UopKind.BRANCH) == 1  # loop edge only

@@ -1,0 +1,121 @@
+"""Tests for the CPU select kernels and the analytic cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GEM5_PLATFORM
+from repro.cpu import (
+    branchy_cycles_per_row,
+    branchy_select,
+    mispredict_rate,
+    predicated_cycles_per_row,
+    predicated_select,
+    range_mask,
+    scan_estimate,
+)
+from repro.errors import ConfigError, TypeMismatchError
+from repro.dram import speed_grade
+from tests.cpu.test_core import make_core
+
+
+def make_column(n=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1_000_000, size=n, dtype=np.int64)
+
+
+class TestRangeMask:
+    def test_inclusive_bounds(self):
+        values = np.array([1, 5, 10], dtype=np.int64)
+        assert range_mask(values, 5, 10).tolist() == [False, True, True]
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeMismatchError):
+            range_mask(np.array([1.5]), 0, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=100),
+           st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_matches_python_semantics(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        arr = np.array(values, dtype=np.int64)
+        expected = [low <= v <= high for v in values]
+        assert range_mask(arr, low, high).tolist() == expected
+
+
+class TestKernels:
+    def test_both_kernels_agree_functionally(self):
+        values = make_column()
+        r1 = branchy_select(make_core(), values, 0, 100_000, 500_000)
+        r2 = predicated_select(make_core(), values, 0, 100_000, 500_000)
+        assert (r1.positions == r2.positions).all()
+        expected = np.flatnonzero((values >= 100_000) & (values <= 500_000))
+        assert (r1.positions == expected).all()
+
+    def test_branchy_time_grows_with_selectivity(self):
+        """§3.2: the CPU executes additional code to record matches, so
+        scan time rises with selectivity."""
+        values = make_column(8192)
+        t_low = branchy_select(make_core(), values, 0, 0, 10_000).time_ps
+        t_high = branchy_select(make_core(), values, 0, 0, 990_000).time_ps
+        assert t_high > t_low * 1.2
+
+    def test_predicated_time_is_selectivity_stable(self):
+        """Predicated compute is selectivity-free; only the position-list
+        write bandwidth grows, so the total varies far less than branchy."""
+        values = make_column(8192)
+        p_low = predicated_select(make_core(), values, 0, 0, 10_000)
+        p_high = predicated_select(make_core(), values, 0, 0, 990_000)
+        assert p_high.phase.compute_cycles == pytest.approx(
+            p_low.phase.compute_cycles, rel=1e-6)
+        assert p_high.time_ps < p_low.time_ps * 1.5
+        b_low = branchy_select(make_core(), values, 0, 0, 10_000).time_ps
+        b_high = branchy_select(make_core(), values, 0, 0, 990_000).time_ps
+        assert (p_high.time_ps / p_low.time_ps) < (b_high / b_low)
+
+    def test_predicated_beats_branchy_at_mid_selectivity_eventually(self):
+        """At ~50% selectivity the branchy kernel eats mispredicts; the
+        predicated kernel's fixed cost should be competitive."""
+        values = make_column(8192)
+        branchy = branchy_select(make_core(), values, 0, 0, 500_000).time_ps
+        pred = predicated_select(make_core(), values, 0, 0, 500_000).time_ps
+        assert pred < branchy * 1.3
+
+    def test_empty_and_full_selectivity_results(self):
+        values = make_column(1024)
+        none = branchy_select(make_core(), values, 0, -10, -5)
+        assert none.num_matches == 0
+        everything = branchy_select(make_core(), values, 0, 0, 10_000_000)
+        assert everything.num_matches == 1024
+
+
+class TestCostModel:
+    def test_mispredict_rate_shape(self):
+        assert mispredict_rate(0.0) == 0.0
+        assert mispredict_rate(1.0) == 0.0
+        assert mispredict_rate(0.5) == pytest.approx(0.5)
+        with pytest.raises(ConfigError):
+            mispredict_rate(1.5)
+
+    def test_branchy_cycles_monotone_near_extremes(self):
+        cost = GEM5_PLATFORM.cpu_cost
+        assert branchy_cycles_per_row(cost, 0.0) < branchy_cycles_per_row(cost, 1.0)
+
+    def test_predicated_flat(self):
+        cost = GEM5_PLATFORM.cpu_cost
+        assert predicated_cycles_per_row(cost) > 0
+
+    def test_scan_estimate_reports_bound(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        est = scan_estimate(GEM5_PLATFORM, timings, nrows=1 << 20,
+                            word_bytes=8, selectivity=0.5)
+        assert est.total_ps > 0
+        assert est.bound in ("compute", "memory")
+
+    def test_scan_estimate_validation(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        with pytest.raises(ConfigError):
+            scan_estimate(GEM5_PLATFORM, timings, 0, 8, 0.5)
+        with pytest.raises(ConfigError):
+            scan_estimate(GEM5_PLATFORM, timings, 10, 8, 0.5, kernel="simd")

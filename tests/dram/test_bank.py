@@ -1,0 +1,99 @@
+"""Tests for the bank state machine's timing rules (§2.1's CL/tRCD/tRP/tRAS)."""
+
+import pytest
+
+from repro.dram import DDR3_1600, Bank
+from repro.errors import DRAMTimingError
+
+T = DDR3_1600
+
+
+def ps(cycles):
+    return T.cycles_to_ps(cycles)
+
+
+def test_closed_bank_read_pays_trcd_plus_cl():
+    bank = Bank(T)
+    timing = bank.access(row=5, at_ps=0, is_write=False)
+    assert not timing.row_hit
+    assert timing.activated_row
+    assert timing.cas_ps == ps(T.trcd)
+    assert timing.data_start_ps == ps(T.trcd + T.cl)
+    assert timing.data_end_ps == ps(T.trcd + T.cl + T.burst_cycles)
+
+
+def test_row_hit_read_pays_only_cl():
+    bank = Bank(T)
+    bank.access(row=5, at_ps=0, is_write=False)
+    start = ps(100)
+    timing = bank.access(row=5, at_ps=start, is_write=False)
+    assert timing.row_hit
+    assert timing.cas_ps == start
+    assert timing.data_start_ps == start + ps(T.cl)
+
+
+def test_row_conflict_pays_pre_act_cas():
+    bank = Bank(T)
+    bank.access(row=5, at_ps=0, is_write=False)
+    start = ps(100)  # well past tRAS
+    timing = bank.access(row=9, at_ps=start, is_write=False)
+    assert not timing.row_hit
+    # PRE at start, ACT at start+tRP, CAS at start+tRP+tRCD.
+    assert timing.cas_ps == start + ps(T.trp + T.trcd)
+    assert bank.row_misses == 1
+
+
+def test_tras_delays_early_precharge():
+    bank = Bank(T)
+    bank.access(row=5, at_ps=0, is_write=False)
+    # Conflict immediately: the PRE may not issue before ACT + tRAS.
+    timing = bank.access(row=9, at_ps=ps(1), is_write=False)
+    assert timing.cas_ps >= ps(T.tras + T.trp + T.trcd)
+
+
+def test_back_to_back_hits_spaced_by_tccd():
+    bank = Bank(T)
+    first = bank.access(row=5, at_ps=0, is_write=False)
+    second = bank.access(row=5, at_ps=0, is_write=False)
+    assert second.cas_ps - first.cas_ps == ps(T.tccd)
+
+
+def test_bus_constraint_delays_cas():
+    bank = Bank(T)
+    bus_free = ps(1000)
+    timing = bank.access(row=5, at_ps=0, is_write=False, bus_free_ps=bus_free)
+    # Data may not start before the bus frees.
+    assert timing.data_start_ps >= bus_free
+
+
+def test_write_uses_cwl_and_delays_precharge():
+    bank = Bank(T)
+    timing = bank.access(row=5, at_ps=0, is_write=True)
+    assert timing.data_start_ps == timing.cas_ps + ps(T.cwl)
+    # Next conflicting access must respect tWR after write data.
+    conflict = bank.access(row=9, at_ps=timing.data_end_ps, is_write=False)
+    assert conflict.cas_ps >= timing.data_end_ps + ps(T.twr + T.trp + T.trcd)
+
+
+def test_double_activation_raises():
+    bank = Bank(T)
+    bank.activate(3, 0)
+    with pytest.raises(DRAMTimingError):
+        bank.activate(4, ps(100))
+
+
+def test_block_until_delays_everything():
+    bank = Bank(T)
+    bank.block_until(ps(50))
+    timing = bank.access(row=1, at_ps=0, is_write=False)
+    assert timing.cas_ps >= ps(50 + T.trcd)
+
+
+def test_hit_miss_statistics():
+    bank = Bank(T)
+    bank.access(row=1, at_ps=0, is_write=False)
+    bank.access(row=1, at_ps=ps(50), is_write=False)
+    bank.access(row=2, at_ps=ps(100), is_write=False)
+    assert bank.row_hits == 1
+    assert bank.row_misses == 1
+    assert bank.activations == 2

@@ -1,0 +1,182 @@
+"""Tests for the memory controller: service timing, counters, scheduling."""
+
+import pytest
+
+from repro.dram import (
+    DDR3_1600,
+    Agent,
+    DRAMGeometry,
+    MemoryController,
+    MemRequest,
+)
+from repro.errors import DRAMError
+
+T = DDR3_1600
+GEO = DRAMGeometry(channels=1, dimms_per_channel=1, ranks_per_dimm=1,
+                   banks_per_rank=8, row_bytes=8192, rows_per_bank=128)
+
+
+def make_mc(**kwargs) -> MemoryController:
+    defaults = dict(timings=T, geometry=GEO, refresh_enabled=False)
+    defaults.update(kwargs)
+    return MemoryController(**defaults)
+
+
+def ps(cycles):
+    return T.cycles_to_ps(cycles)
+
+
+def test_single_read_latency_is_trcd_cl_burst():
+    mc = make_mc()
+    done = mc.submit(MemRequest(addr=0, nbytes=64, is_write=False, arrival_ps=0))
+    assert done.latency_ps == ps(T.trcd + T.cl + T.burst_cycles)
+    assert done.row_misses == 1 and done.row_hits == 0
+
+
+def test_sequential_stream_hits_row_buffer():
+    mc = make_mc()
+    results = mc.stream(range(0, 8192, 64), nbytes=64, start_ps=0)
+    hits = sum(r.row_hits for r in results)
+    misses = sum(r.row_misses for r in results)
+    assert misses == 1  # only the first access opens the row
+    assert hits == 127
+
+
+def test_streaming_throughput_is_bus_bound():
+    """A long row-hit stream should sustain one burst per tCCD (= 4 cycles)."""
+    mc = make_mc()
+    results = mc.stream(range(0, 8192, 64), nbytes=64, start_ps=0)
+    spacing = results[-1].finish_ps - results[-2].finish_ps
+    assert spacing == ps(T.tccd)
+
+
+def test_multi_burst_request_is_split():
+    mc = make_mc()
+    done = mc.submit(MemRequest(addr=0, nbytes=256, is_write=False, arrival_ps=0))
+    assert done.row_hits + done.row_misses == 4
+    # 4 bursts back-to-back: last data ends 3*tCCD after the first burst's end.
+    assert done.finish_ps == ps(T.trcd + T.cl + T.burst_cycles + 3 * T.tccd)
+
+
+def test_counters_track_reads_and_writes():
+    mc = make_mc()
+    mc.submit(MemRequest(0, 64, False, 0))
+    mc.submit(MemRequest(64, 64, True, ps(100)))
+    mc.finish()
+    counters = mc.counters
+    assert counters.reads.value == 1
+    assert counters.writes.value == 1
+    assert counters.rc_busy_cycles() > 0
+    assert counters.wc_busy_cycles() > 0
+
+
+def test_idle_gap_appears_between_spaced_requests():
+    mc = make_mc()
+    mc.submit(MemRequest(0, 64, False, 0))
+    mc.submit(MemRequest(64, 64, False, ps(500)))
+    mc.finish()
+    gaps = mc.counters.combined.idle_gaps_ps()
+    assert gaps.count == 1
+    assert gaps.mean > ps(400)
+
+
+def test_mean_idle_period_formula():
+    """The §3.3 estimate: (total - RC_busy - WC_busy) / (#reads + #writes)."""
+    mc = make_mc()
+    mc.submit(MemRequest(0, 64, False, 0))
+    mc.submit(MemRequest(64, 64, False, ps(1000)))
+    mc.finish()
+    total = 2000.0
+    expected = (total - mc.counters.rc_busy_cycles()) / 2
+    assert mc.counters.mean_idle_period_cycles(total) == pytest.approx(expected)
+
+
+def test_submit_requires_ordered_arrivals():
+    mc = make_mc()
+    mc.submit(MemRequest(0, 64, False, ps(100)))
+    with pytest.raises(DRAMError, match="non-decreasing"):
+        mc.submit(MemRequest(64, 64, False, ps(50)))
+
+
+def test_frfcfs_prefers_row_hits():
+    mc = make_mc(policy="fr-fcfs")
+    # Open row 0 of bank 0.
+    mc.submit(MemRequest(0, 64, False, 0))
+    row_bytes = GEO.row_bytes
+    window = [
+        MemRequest(5 * row_bytes, 64, False, ps(100)),  # miss (row 5)
+        MemRequest(64, 64, False, ps(101)),             # hit (row 0)
+    ]
+    results = mc.submit_batch(window)
+    # Results return in request order, but the hit was serviced first.
+    assert results[1].first_data_ps < results[0].first_data_ps
+
+
+def test_fcfs_keeps_arrival_order():
+    mc = make_mc(policy="fcfs")
+    mc.submit(MemRequest(0, 64, False, 0))
+    row_bytes = GEO.row_bytes
+    window = [
+        MemRequest(5 * row_bytes, 64, False, ps(100)),
+        MemRequest(64, 64, False, ps(101)),
+    ]
+    results = mc.submit_batch(window)
+    assert results[0].first_data_ps < results[1].first_data_ps
+
+
+def test_batch_returns_results_aligned_with_input_order():
+    mc = make_mc()
+    window = [MemRequest(i * 64, 64, False, ps(10)) for i in range(8)]
+    results = mc.submit_batch(window)
+    assert [r.request.req_id for r in results] == [w.req_id for w in window]
+
+
+def test_empty_batch_is_noop():
+    assert make_mc().submit_batch([]) == []
+
+
+def test_rank_at_and_dimm_at():
+    geometry = DRAMGeometry(channels=1, dimms_per_channel=2, ranks_per_dimm=2,
+                            banks_per_rank=8, row_bytes=8192, rows_per_bank=64)
+    mc = MemoryController(T, geometry, refresh_enabled=False)
+    assert mc.rank_at(0).index == 0
+    assert mc.dimm_at(geometry.dimm_bytes).index == 1
+    second_rank_addr = geometry.rank_bytes
+    assert mc.rank_at(second_rank_addr).index == 1
+
+
+def test_jafar_agent_requests_bypass_mpr_block():
+    mc = make_mc()
+    rank = mc.rank_at(0)
+    rank.mode_registers.enable_mpr()
+    done = mc.submit(MemRequest(0, 64, False, 0, agent=Agent.JAFAR))
+    assert done.finish_ps > 0
+
+
+class TestPagePolicy:
+    def test_closed_page_never_hits_rows(self):
+        mc = make_mc(page_policy="closed")
+        results = mc.stream(range(0, 8192, 64), nbytes=64, start_ps=0)
+        assert sum(r.row_hits for r in results) == 0
+
+    def test_closed_page_slower_on_sequential_streams(self):
+        open_mc = make_mc(page_policy="open")
+        closed_mc = make_mc(page_policy="closed")
+        open_end = open_mc.stream(range(0, 8192, 64), 64, 0)[-1].finish_ps
+        closed_end = closed_mc.stream(range(0, 8192, 64), 64, 0)[-1].finish_ps
+        assert closed_end > open_end
+
+    def test_closed_page_competitive_on_row_conflict_patterns(self):
+        """Alternating rows in one bank: open-page pays PRE on the critical
+        path each time; closed-page precharges eagerly off-path."""
+        def conflict_addrs():
+            return [((k % 2) * GEO.row_bytes) for k in range(64)]
+        open_mc = make_mc(page_policy="open")
+        closed_mc = make_mc(page_policy="closed")
+        open_end = open_mc.stream(conflict_addrs(), 64, 0)[-1].finish_ps
+        closed_end = closed_mc.stream(conflict_addrs(), 64, 0)[-1].finish_ps
+        assert closed_end <= open_end
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(DRAMError, match="page policy"):
+            make_mc(page_policy="adaptive")

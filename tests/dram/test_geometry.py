@@ -1,0 +1,113 @@
+"""Tests for DRAM geometry and address mapping, incl. property-based
+encode/decode round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import DDR3_1600, AddressMapping, DRAMGeometry
+from repro.errors import ConfigError, DRAMAddressError
+
+SMALL = DRAMGeometry(channels=2, dimms_per_channel=2, ranks_per_dimm=2,
+                     banks_per_rank=8, row_bytes=8192, rows_per_bank=64)
+
+
+def make_mapping(**overrides) -> AddressMapping:
+    geometry = DRAMGeometry(**{**dict(
+        channels=2, dimms_per_channel=2, ranks_per_dimm=2,
+        banks_per_rank=8, row_bytes=8192, rows_per_bank=64,
+    ), **overrides})
+    return AddressMapping(geometry, DDR3_1600)
+
+
+def test_total_capacity():
+    assert SMALL.total_bytes == 2 * 2 * 2 * 8 * 8192 * 64
+    assert SMALL.total_ranks == 8
+
+
+def test_sequential_addresses_walk_one_row_first():
+    """Fill-first mapping: a 64B stream stays in one row for 8 KiB."""
+    mapping = make_mapping()
+    locs = [mapping.decode(addr) for addr in range(0, 8192, 64)]
+    assert {(l.channel, l.dimm, l.rank, l.bank, l.row) for l in locs} == {(0, 0, 0, 0, 0)}
+    assert [l.column for l in locs] == list(range(128))
+
+
+def test_row_boundary_crossing():
+    mapping = make_mapping()
+    last_of_row0 = mapping.decode(8191)
+    first_of_row1 = mapping.decode(8192)
+    assert last_of_row0.row == 0
+    assert first_of_row1.row == 1
+    assert first_of_row1.column == 0
+
+
+def test_channel_interleaving_rotates_at_granularity():
+    mapping = make_mapping(interleave_bytes=64)
+    assert mapping.decode(0).channel == 0
+    assert mapping.decode(64).channel == 1
+    assert mapping.decode(128).channel == 0
+
+
+def test_bank_rotation_mapping():
+    mapping = make_mapping(bank_rotate_bytes=64)
+    banks = [mapping.decode(addr).bank for addr in range(0, 64 * 10, 64)]
+    assert banks == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+
+def test_out_of_range_address_raises():
+    mapping = make_mapping()
+    with pytest.raises(DRAMAddressError):
+        mapping.decode(mapping.geometry.total_bytes)
+    with pytest.raises(DRAMAddressError):
+        mapping.decode(-1)
+
+
+def test_bursts_for_spans():
+    mapping = make_mapping()
+    assert mapping.bursts_for(0, 64) == [0]
+    assert mapping.bursts_for(0, 65) == [0, 64]
+    assert mapping.bursts_for(60, 8) == [0, 64]
+    with pytest.raises(DRAMAddressError):
+        mapping.bursts_for(0, 0)
+
+
+def test_non_power_of_two_geometry_rejected():
+    with pytest.raises(ConfigError):
+        DRAMGeometry(banks_per_rank=6)
+    with pytest.raises(ConfigError):
+        DRAMGeometry(interleave_bytes=48)
+    with pytest.raises(ConfigError):
+        DRAMGeometry(bank_rotate_bytes=8192, row_bytes=8192)
+
+
+@settings(max_examples=200, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=SMALL.total_bytes - 1))
+def test_decode_encode_round_trip_plain(addr):
+    mapping = AddressMapping(SMALL, DDR3_1600)
+    assert mapping.encode(mapping.decode(addr)) == addr
+
+
+@settings(max_examples=200, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=SMALL.total_bytes - 1))
+def test_decode_encode_round_trip_interleaved(addr):
+    geometry = DRAMGeometry(channels=2, dimms_per_channel=2, ranks_per_dimm=2,
+                            banks_per_rank=8, row_bytes=8192, rows_per_bank=64,
+                            interleave_bytes=64, bank_rotate_bytes=64)
+    mapping = AddressMapping(geometry, DDR3_1600)
+    assert mapping.encode(mapping.decode(addr)) == addr
+
+
+@settings(max_examples=100, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=SMALL.total_bytes - 1))
+def test_decode_fields_in_range(addr):
+    mapping = AddressMapping(SMALL, DDR3_1600)
+    loc = mapping.decode(addr)
+    geometry = mapping.geometry
+    assert 0 <= loc.channel < geometry.channels
+    assert 0 <= loc.dimm < geometry.dimms_per_channel
+    assert 0 <= loc.rank < geometry.ranks_per_dimm
+    assert 0 <= loc.bank < geometry.banks_per_rank
+    assert 0 <= loc.row < geometry.rows_per_bank
+    assert 0 <= loc.column < geometry.columns_per_row(64)
+    assert 0 <= loc.offset < 64

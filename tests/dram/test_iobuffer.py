@@ -1,0 +1,55 @@
+"""Tests for the 8n-prefetch IO buffer beat schedule (§2.1/§2.2)."""
+
+import pytest
+
+from repro.dram import DDR3_1600, DDR3_2133, IOBuffer
+from repro.errors import DRAMError
+
+
+def test_eight_beats_per_burst():
+    io = IOBuffer(DDR3_1600)
+    schedule = io.beat_schedule(0)
+    assert len(schedule.beat_ps) == 8
+
+
+def test_beats_arrive_on_clock_edges():
+    """One 64-bit word per half bus cycle — dual data rate."""
+    io = IOBuffer(DDR3_1600)
+    schedule = io.beat_schedule(0)
+    half = DDR3_1600.tck_ps / 2
+    for k, beat in enumerate(schedule.beat_ps):
+        assert beat == pytest.approx((k + 1) * half, abs=1)
+
+
+def test_burst_spans_four_bus_cycles():
+    io = IOBuffer(DDR3_1600)
+    schedule = io.beat_schedule(1000)
+    assert schedule.end_ps - schedule.start_ps == pytest.approx(
+        4 * DDR3_1600.tck_ps, abs=4
+    )
+    assert io.burst_duration_ps() == DDR3_1600.cycles_to_ps(4)
+
+
+def test_words_available_by():
+    io = IOBuffer(DDR3_1600)
+    tck = DDR3_1600.tck_ps
+    assert io.words_available_by(0, 0) == 0
+    assert io.words_available_by(0, tck) == 2          # two edges passed
+    assert io.words_available_by(0, 4 * tck) == 8      # full burst
+    assert io.words_available_by(0, 100 * tck) == 8    # capped
+
+
+def test_paper_processing_window():
+    """§2.2: 8 words at ~2 GHz take ~4 ns; CAS latency is ~13 ns, so JAFAR
+    waits ~9 of every 13 ns for data — verify those magnitudes hold."""
+    t = DDR3_2133
+    jafar_clk = t.jafar_clock()
+    process_ps = 8 * jafar_clk.period_ps
+    assert process_ps == pytest.approx(4_000, rel=0.1)     # ~4 ns
+    assert t.cl_ps == pytest.approx(13_000, rel=0.02)      # ~13 ns
+    assert t.cl_ps - process_ps == pytest.approx(9_000, rel=0.15)  # ~9 ns slack
+
+
+def test_negative_start_raises():
+    with pytest.raises(DRAMError):
+        IOBuffer(DDR3_1600).beat_schedule(-5)

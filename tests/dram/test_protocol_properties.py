@@ -1,0 +1,127 @@
+"""Property-based tests of DRAM protocol invariants.
+
+Whatever access sequence arrives, the timing model must never violate the
+DDR3 protocol: data-bus windows on one rank never overlap, column commands
+are spaced by at least tCCD, row hits only happen against the open row, and
+time never goes backwards.  Hypothesis drives random request sequences at
+both the bank and controller level.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (
+    DDR3_1066,
+    DDR3_1600,
+    DDR3_2133,
+    Bank,
+    DRAMGeometry,
+    MemRequest,
+    MemoryController,
+)
+
+GEO = DRAMGeometry(channels=1, dimms_per_channel=1, ranks_per_dimm=1,
+                   banks_per_rank=8, row_bytes=8192, rows_per_bank=64)
+
+
+@st.composite
+def access_sequence(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    rows = draw(st.lists(st.integers(0, 7), min_size=n, max_size=n))
+    gaps = draw(st.lists(st.integers(0, 50), min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return list(zip(rows, gaps, writes))
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_sequence(), st.sampled_from([DDR3_1066, DDR3_1600, DDR3_2133]))
+def test_bank_data_windows_never_overlap(seq, timings):
+    bank = Bank(timings)
+    t = 0
+    windows = []
+    for row, gap, is_write in seq:
+        t += timings.cycles_to_ps(gap)
+        timing = bank.access(row, t, is_write)
+        windows.append((timing.data_start_ps, timing.data_end_ps))
+    windows.sort()
+    for (_, end_a), (start_b, _) in zip(windows, windows[1:]):
+        assert start_b >= end_a
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_sequence(), st.sampled_from([DDR3_1066, DDR3_1600, DDR3_2133]))
+def test_bank_cas_spacing_at_least_tccd(seq, timings):
+    bank = Bank(timings)
+    t = 0
+    cas_times = []
+    for row, gap, is_write in seq:
+        t += timings.cycles_to_ps(gap)
+        cas_times.append(bank.access(row, t, is_write).cas_ps)
+    for a, b in zip(cas_times, cas_times[1:]):
+        assert b - a >= timings.cycles_to_ps(timings.tccd)
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_sequence())
+def test_bank_row_hits_only_on_open_row(seq):
+    bank = Bank(DDR3_1600)
+    t = 0
+    prev_row = None
+    for row, gap, is_write in seq:
+        t += DDR3_1600.cycles_to_ps(gap)
+        timing = bank.access(row, t, is_write)
+        if timing.row_hit:
+            assert row == prev_row
+        prev_row = row
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, GEO.total_bytes // 64 - 1),
+                          st.integers(0, 100), st.booleans()),
+                min_size=1, max_size=30))
+def test_controller_results_causal_and_monotone(ops):
+    mc = MemoryController(DDR3_1600, GEO, refresh_enabled=False)
+    t = 0
+    for line, gap, is_write in ops:
+        t += DDR3_1600.cycles_to_ps(gap)
+        done = mc.submit(MemRequest(line * 64, 64, is_write, t))
+        # Causality: nothing completes before it arrives or issues.
+        assert done.issue_ps >= t
+        assert done.first_data_ps > done.issue_ps
+        assert done.finish_ps > done.first_data_ps
+        assert done.row_hits + done.row_misses == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, GEO.total_bytes // 64 - 1),
+                min_size=2, max_size=30))
+def test_controller_counters_balance(lines):
+    mc = MemoryController(DDR3_1600, GEO, refresh_enabled=False)
+    for k, line in enumerate(lines):
+        mc.submit(MemRequest(line * 64, 64, k % 3 == 0,
+                             DDR3_1600.cycles_to_ps(100 * k)))
+    mc.finish()
+    counters = mc.counters
+    assert counters.reads.value + counters.writes.value == len(lines)
+    assert counters.row_hits.value + counters.row_misses.value == len(lines)
+    # Busy time can never exceed the span from first arrival to last finish.
+    assert counters.combined.busy_ps <= counters.combined.span_ps()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=2, max_size=40))
+def test_closed_page_latency_is_row_independent(rows):
+    """Under auto-precharge every isolated access costs the same, no matter
+    which rows precede it (no history leaks through the row buffer)."""
+    mc = MemoryController(DDR3_1600, GEO, refresh_enabled=False,
+                          page_policy="closed")
+    t = DDR3_1600
+    latencies = []
+    time = 0
+    for row in rows:
+        time += t.cycles_to_ps(200)  # far apart: no queueing effects
+        done = mc.submit(MemRequest(row * GEO.row_bytes, 64, False, time))
+        latencies.append(done.latency_ps)
+    assert len(set(latencies)) == 1

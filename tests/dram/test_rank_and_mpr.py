@@ -1,0 +1,124 @@
+"""Tests for rank composition, refresh settlement, and MR3/MPR blocking."""
+
+import pytest
+
+from repro.dram import DDR3_1600, Agent, Rank
+from repro.dram.mode_registers import MR3_MPR_ENABLE_BIT, ModeRegisterFile
+from repro.errors import DRAMError, DRAMOwnershipError
+
+T = DDR3_1600
+
+
+def make_rank(refresh=False):
+    return Rank(T, banks=8, refresh_enabled=refresh)
+
+
+class TestModeRegisters:
+    def test_load_and_read(self):
+        mrf = ModeRegisterFile()
+        mrf.load(1, 0x44)
+        assert mrf.read(1) == 0x44
+
+    def test_invalid_register_raises(self):
+        mrf = ModeRegisterFile()
+        with pytest.raises(DRAMError):
+            mrf.load(4, 0)
+        with pytest.raises(DRAMError):
+            mrf.read(-1)
+
+    def test_out_of_range_value_raises(self):
+        with pytest.raises(DRAMError):
+            ModeRegisterFile().load(0, 1 << 16)
+
+    def test_mpr_bit_controls_blocking_flag(self):
+        mrf = ModeRegisterFile()
+        assert not mrf.mpr_enabled
+        mrf.enable_mpr()
+        assert mrf.mpr_enabled
+        assert mrf.read(3) & MR3_MPR_ENABLE_BIT
+        mrf.disable_mpr()
+        assert not mrf.mpr_enabled
+
+    def test_mpr_survives_other_mr3_bits(self):
+        mrf = ModeRegisterFile()
+        mrf.load(3, 0b1000)
+        mrf.enable_mpr()
+        assert mrf.read(3) == 0b1100
+
+
+class TestRankAccess:
+    def test_host_blocked_while_mpr_engaged(self):
+        """§2.2: with MPR enabled the controller cannot issue ordinary
+        reads/writes — this is the JAFAR ownership handoff."""
+        rank = make_rank()
+        rank.mode_registers.enable_mpr()
+        with pytest.raises(DRAMOwnershipError):
+            rank.access(bank=0, row=0, at_ps=0, is_write=False, agent=Agent.CPU)
+
+    def test_jafar_allowed_while_mpr_engaged(self):
+        rank = make_rank()
+        rank.mode_registers.enable_mpr()
+        timing = rank.access(bank=0, row=0, at_ps=0, is_write=False,
+                             agent=Agent.JAFAR)
+        assert timing.data_end_ps > 0
+
+    def test_host_allowed_after_release(self):
+        rank = make_rank()
+        rank.mode_registers.enable_mpr()
+        rank.mode_registers.disable_mpr()
+        timing = rank.access(bank=0, row=0, at_ps=0, is_write=False)
+        assert timing.data_end_ps > 0
+
+    def test_io_path_serialises_bursts_across_banks(self):
+        rank = make_rank()
+        a = rank.access(bank=0, row=0, at_ps=0, is_write=False)
+        b = rank.access(bank=1, row=0, at_ps=0, is_write=False)
+        # Different banks can overlap commands, but data shares the chip IO.
+        assert b.data_start_ps >= a.data_end_ps
+
+    def test_precharge_all_closes_rows(self):
+        rank = make_rank()
+        rank.access(bank=0, row=3, at_ps=0, is_write=False)
+        rank.access(bank=1, row=4, at_ps=0, is_write=False)
+        done = rank.precharge_all(T.cycles_to_ps(200))
+        assert done > T.cycles_to_ps(200)
+        assert all(bank.open_row is None for bank in rank.banks)
+
+    def test_hit_and_miss_aggregation(self):
+        rank = make_rank()
+        rank.access(bank=0, row=1, at_ps=0, is_write=False)
+        rank.access(bank=0, row=1, at_ps=T.cycles_to_ps(50), is_write=False)
+        rank.access(bank=0, row=2, at_ps=T.cycles_to_ps(100), is_write=False)
+        assert rank.row_hits == 1
+        assert rank.row_misses == 1
+        assert rank.activations == 2
+
+
+class TestRefresh:
+    def test_refresh_blocks_rank_and_closes_rows(self):
+        rank = Rank(T, banks=8, refresh_enabled=True)
+        rank.access(bank=0, row=1, at_ps=0, is_write=False)
+        # Jump past the first tREFI: the access should be pushed past tRFC
+        # and the previously open row must be gone (precharge-all).
+        at = T.trefi_ps + 1
+        timing = rank.access(bank=0, row=1, at_ps=at, is_write=False)
+        assert not timing.row_hit  # row was closed by refresh
+        assert timing.cas_ps >= T.trefi_ps + T.trfc_ps
+        assert rank.refresh.refreshes_issued == 1
+
+    def test_multiple_due_refreshes_settle(self):
+        rank = Rank(T, banks=8, refresh_enabled=True)
+        at = 3 * T.trefi_ps + 5
+        rank.access(bank=0, row=0, at_ps=at, is_write=False)
+        assert rank.refresh.refreshes_issued == 3
+
+    def test_disabled_refresh_never_fires(self):
+        rank = make_rank(refresh=False)
+        rank.access(bank=0, row=0, at_ps=10 * T.trefi_ps, is_write=False)
+        assert rank.refresh.refreshes_issued == 0
+
+    def test_overhead_fraction(self):
+        rank = Rank(T, banks=8)
+        assert rank.refresh.overhead_fraction() == pytest.approx(
+            T.trfc_ps / T.trefi_ps
+        )

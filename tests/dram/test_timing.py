@@ -1,0 +1,72 @@
+"""Tests for DDR3 timing parameters and speed grades."""
+
+import pytest
+
+from repro.dram import DDR3_1600, DDR3_2133, SPEED_GRADES, DDR3Timings, speed_grade
+from repro.errors import ConfigError
+
+
+def test_all_grades_registered():
+    assert set(SPEED_GRADES) == {
+        "DDR3-1066G", "DDR3-1333H", "DDR3-1600K", "DDR3-1866M", "DDR3-2133N",
+    }
+
+
+def test_speed_grade_lookup_and_error():
+    assert speed_grade("DDR3-1600K") is DDR3_1600
+    with pytest.raises(ConfigError, match="unknown DDR3 speed grade"):
+        speed_grade("DDR4-3200")
+
+
+def test_2133_matches_papers_cited_numbers():
+    """§2.2: bus clock ~1 GHz, CAS latency ~13 ns, JAFAR clock ~2 GHz."""
+    t = DDR3_2133
+    assert t.bus_freq_hz == pytest.approx(1.066e9, rel=0.01)
+    assert t.cl_ps == pytest.approx(13_000, rel=0.02)  # ~13 ns
+    assert t.jafar_clock().freq_hz == pytest.approx(2.13e9, rel=0.01)
+
+
+def test_burst_geometry():
+    t = DDR3_1600
+    assert t.burst_length == 8          # 8n-prefetch
+    assert t.burst_cycles == 4          # BL/2 bus cycles on the data bus
+    assert t.burst_bytes == 64          # 8 words x 8 bytes
+
+
+def test_array_clock_is_quarter_of_bus():
+    t = DDR3_1600
+    assert t.array_clock().freq_hz * 4 == pytest.approx(t.bus_clock().freq_hz, rel=1e-6)
+
+
+def test_data_rate_names_match():
+    assert DDR3_1600.data_rate_mts == pytest.approx(1600, rel=0.01)
+    assert DDR3_2133.data_rate_mts == pytest.approx(2133, rel=0.01)
+
+
+def test_peak_bandwidth():
+    # DDR3-1600: 800 MHz bus x 16 B per cycle = 12.8 GB/s.
+    assert DDR3_1600.peak_bandwidth_bytes_per_s() == pytest.approx(12.8e9, rel=0.01)
+
+
+def test_cycle_conversions_round_trip():
+    t = DDR3_1600
+    assert t.cycles_to_ps(4) == 5000
+    assert t.ps_to_cycles(5000) == pytest.approx(4.0)
+
+
+def test_trc_is_tras_plus_trp():
+    t = DDR3_1600
+    assert t.trc_ps == t.cycles_to_ps(t.tras + t.trp)
+
+
+@pytest.mark.parametrize("kwargs,match", [
+    (dict(tck_ps=0), "tCK"),
+    (dict(cl=0), "cl"),
+    (dict(burst_length=16), "burst length"),
+    (dict(tras=5, trcd=11), "tRAS"),
+])
+def test_invalid_parameters_rejected(kwargs, match):
+    base = dict(name="bad", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28)
+    base.update(kwargs)
+    with pytest.raises(ConfigError, match=match):
+        DDR3Timings(**base)

@@ -1,0 +1,126 @@
+"""End-to-end equivalence: every select path computes the same relation.
+
+The load-bearing invariant of the whole reproduction: the CPU branchy
+kernel, the CPU predicated kernel, the single-DIMM JAFAR path, and the
+multi-DIMM interleaved JAFAR path must agree bit-for-bit on arbitrary data
+and predicates (hypothesis-driven), and must agree with plain NumPy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GEM5_PLATFORM, JafarCostModel
+from repro.cpu import branchy_select, predicated_select
+from repro.dram import DDR3_1600, DRAMGeometry, MemoryController
+from repro.jafar import JafarDevice, positions_from_mask, select_interleaved
+from repro.mem import PhysicalMemory
+from repro.system import Machine
+
+
+@st.composite
+def column_and_range(draw):
+    n = draw(st.integers(min_value=1, max_value=600))
+    values = draw(st.lists(st.integers(-10**6, 10**6), min_size=n, max_size=n))
+    a = draw(st.integers(-10**6, 10**6))
+    b = draw(st.integers(-10**6, 10**6))
+    return np.array(values, dtype=np.int64), min(a, b), max(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(column_and_range())
+def test_cpu_kernels_and_jafar_agree(case):
+    values, low, high = case
+    expected = np.flatnonzero((values >= low) & (values <= high))
+
+    machine = Machine(GEM5_PLATFORM)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(max(values.size // 8, 1) + 8, dimm=0,
+                              pinned=True)
+    driver_result = machine.driver.select_column(col.vaddr, values.size,
+                                                 low, high, out.vaddr)
+    buf = machine.read_array(out, -(-values.size // 8), dtype=np.uint8)
+    jafar_positions = positions_from_mask(buf, values.size)
+
+    cpu_machine = Machine(GEM5_PLATFORM)
+    cpu_col = cpu_machine.alloc_array(values, dimm=0)
+    paddr = cpu_machine.vm.translate(cpu_col.vaddr)
+    branchy = branchy_select(cpu_machine.core, values, paddr, low, high)
+    predicated = predicated_select(cpu_machine.core, values, paddr, low, high)
+
+    assert (jafar_positions == expected).all()
+    assert (branchy.positions == expected).all()
+    assert (predicated.positions == expected).all()
+    assert driver_result.matches == expected.size
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=16, max_value=400),
+       st.integers(min_value=0, max_value=100))
+def test_interleaved_multidimm_agrees_with_numpy(n, threshold):
+    geometry = DRAMGeometry(channels=2, dimms_per_channel=1,
+                            ranks_per_dimm=1, banks_per_rank=8,
+                            row_bytes=8192, rows_per_bank=64,
+                            interleave_bytes=64)
+    mc = MemoryController(DDR3_1600, geometry, refresh_enabled=False)
+    memory = PhysicalMemory(geometry.total_bytes)
+    devices = [
+        JafarDevice(DDR3_1600, mc.mapping, channel.index, dimm, memory,
+                    JafarCostModel())
+        for channel in mc.channels for dimm in channel.dimms
+    ]
+    rng = np.random.default_rng(n * 131 + threshold)
+    values = rng.integers(0, 100, n, dtype=np.int64)
+    memory.write_words(0, values)
+    out_addr = 512 * 1024
+    result = select_interleaved(devices, 0, n, 0, threshold, out_addr, 0)
+    expected = np.flatnonzero(values <= threshold)
+    got = positions_from_mask(memory.read(out_addr, -(-n // 8)), n)
+    assert (got == expected).all()
+    assert result.matches == expected.size
+
+
+def test_full_stack_query_equivalence_across_modes():
+    """The same TPC-H query on four engine configurations, one answer."""
+    from repro.columnstore import ExecutionContext, StorageManager
+    from repro.config import XEON_PLATFORM
+    from repro.tpch import PROFILED_QUERIES, generate
+
+    data = generate(scale=0.001, seed=21)
+    reference = PROFILED_QUERIES["Q6"].reference(data)
+    for use_ndp in (False, True):
+        for kernel in ("branchy", "predicated"):
+            machine = Machine(XEON_PLATFORM)
+            storage = StorageManager(machine, default_dimm=None)
+            for table in data.tables():
+                storage.load_table(table)
+            ctx = ExecutionContext(machine, storage, use_ndp=use_ndp,
+                                   cpu_kernel=kernel)
+            result = PROFILED_QUERIES["Q6"].run(ctx, data.catalog())
+            assert result.rows == reference, (use_ndp, kernel)
+
+
+def test_memory_contents_survive_jafar_runs():
+    """JAFAR must not corrupt the column it scans."""
+    values = np.arange(20_000, dtype=np.int64) * 3
+    machine = Machine(GEM5_PLATFORM)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(values.size // 8 + 8, dimm=0, pinned=True)
+    machine.driver.select_column(col.vaddr, values.size, 0, 30_000, out.vaddr)
+    machine.driver.select_column(col.vaddr, values.size, 100, 999, out.vaddr)
+    assert (machine.read_array(col, values.nbytes) == values).all()
+
+
+def test_driver_time_always_exceeds_device_time():
+    """Software overheads (MMIO, ownership, polling) are never free."""
+    values = np.arange(8192, dtype=np.int64)
+    machine = Machine(GEM5_PLATFORM)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(1024 + 8, dimm=0, pinned=True)
+    before = machine.core.now_ps
+    result = machine.driver.select_column(col.vaddr, values.size, 0, 100,
+                                          out.vaddr)
+    cpu_elapsed = machine.core.now_ps - before
+    device_total = sum(r.duration_ps for r in result.per_page)
+    assert cpu_elapsed > device_total

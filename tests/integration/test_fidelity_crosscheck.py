@@ -1,0 +1,90 @@
+"""Cross-validation of the two model fidelities (DESIGN.md §4).
+
+The streaming-analytic closed forms in :mod:`repro.cpu.costmodel` and
+:mod:`repro.columnstore.optimizer` are derived from the same constants as
+the transaction-level simulation; they must agree on regular workloads to
+within a modest tolerance, or one of them has drifted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import estimate_jafar_ps
+from repro.columnstore.context import ExecutionContext
+from repro.columnstore.storage import StorageManager
+from repro.config import GEM5_PLATFORM
+from repro.cpu import branchy_select, line_service_ps, predicated_select, scan_estimate
+from repro.dram import speed_grade
+from repro.system import Machine
+from repro.workloads import bounds_for_selectivity, uniform_column
+
+N = 1 << 17  # 128K rows keeps the cross-check fast but steady-state
+
+
+@pytest.mark.parametrize("selectivity", [0.0, 0.3, 0.7, 1.0])
+def test_analytic_vs_simulated_branchy_scan(selectivity):
+    values = uniform_column(N, seed=10)
+    low, high = bounds_for_selectivity(selectivity)
+
+    machine = Machine(GEM5_PLATFORM)
+    mapping = machine.alloc_array(values, dimm=0)
+    paddr = machine.vm.translate(mapping.vaddr)
+    simulated = branchy_select(machine.core, values, paddr, low, high).time_ps
+
+    analytic = scan_estimate(GEM5_PLATFORM,
+                             speed_grade(GEM5_PLATFORM.dram_grade),
+                             N, 8, selectivity, kernel="branchy").total_ps
+    assert analytic == pytest.approx(simulated, rel=0.25)
+
+
+def test_analytic_vs_simulated_predicated_scan():
+    values = uniform_column(N, seed=11)
+    low, high = bounds_for_selectivity(0.5)
+    machine = Machine(GEM5_PLATFORM)
+    mapping = machine.alloc_array(values, dimm=0)
+    paddr = machine.vm.translate(mapping.vaddr)
+    simulated = predicated_select(machine.core, values, paddr, low, high).time_ps
+    analytic = scan_estimate(GEM5_PLATFORM,
+                             speed_grade(GEM5_PLATFORM.dram_grade),
+                             N, 8, 0.5, kernel="predicated").total_ps
+    assert analytic == pytest.approx(simulated, rel=0.25)
+
+
+def test_analytic_vs_simulated_jafar_run():
+    values = uniform_column(N, seed=12)
+    machine = Machine(GEM5_PLATFORM)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(N // 8, dimm=0, pinned=True)
+    simulated = machine.driver.select_column(col.vaddr, N, 0, 500_000,
+                                             out.vaddr).duration_ps
+    storage = StorageManager(machine)
+    ctx = ExecutionContext(machine, storage)
+    analytic = estimate_jafar_ps(ctx, N)
+    assert analytic == pytest.approx(simulated, rel=0.25)
+
+
+def test_line_service_matches_streamed_controller():
+    """The memory closed form vs a raw controller streaming sweep."""
+    machine = Machine(GEM5_PLATFORM)
+    timings = machine.timings
+    nlines = 4096
+    results = machine.controller.stream(
+        range(0, nlines * 64, 64), nbytes=64, start_ps=0)
+    simulated_per_line = (results[-1].finish_ps - results[0].finish_ps) / (
+        nlines - 1)
+    analytic = line_service_ps(timings, 64, GEM5_PLATFORM.row_bytes,
+                               refresh=True)
+    assert analytic == pytest.approx(simulated_per_line, rel=0.1)
+
+
+def test_speedup_prediction_from_closed_forms():
+    """The closed forms alone predict the paper's 5x-9x window."""
+    timings = speed_grade(GEM5_PLATFORM.dram_grade)
+    machine = Machine(GEM5_PLATFORM)
+    storage = StorageManager(machine)
+    ctx = ExecutionContext(machine, storage)
+    jafar = estimate_jafar_ps(ctx, 4_000_000)
+    low = scan_estimate(GEM5_PLATFORM, timings, 4_000_000, 8, 0.0).total_ps
+    high = scan_estimate(GEM5_PLATFORM, timings, 4_000_000, 8, 1.0).total_ps
+    assert 3.5 <= low / jafar <= 6.5
+    assert 7.0 <= high / jafar <= 11.0

@@ -1,0 +1,117 @@
+"""The paper's quantitative claims, as a test suite.
+
+Each test checks one statement from the paper against the simulation at
+reduced scale (the benchmarks re-verify at full scale).  These are the
+reproduction's acceptance tests.
+"""
+
+import pytest
+
+from repro.analysis import (
+    average_idle_cycles,
+    check_figure3_shape,
+    check_figure4_shape,
+    run_figure3,
+    run_figure4,
+)
+from repro.config import GEM5_PLATFORM
+from repro.dram import speed_grade
+from repro.jafar import modeled_words_per_cycle
+from repro.system import Machine, gap_budget
+
+
+class TestFigure3Claims:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure3(num_rows=1 << 16,
+                           selectivities=(0.0, 0.25, 0.5, 0.75, 1.0))
+
+    def test_all_shape_checks_pass(self, points):
+        checks = check_figure3_shape(points)
+        assert all(checks.values()), checks
+
+    def test_speedup_5x_at_zero_selectivity(self, points):
+        assert points[0].speedup == pytest.approx(5.0, abs=1.0)
+
+    def test_speedup_9x_at_full_selectivity(self, points):
+        assert points[-1].speedup == pytest.approx(9.0, abs=1.5)
+
+    def test_gradual_increase(self, points):
+        speedups = [p.speedup for p in points]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_jafar_constant_execution_time(self, points):
+        """'JAFAR has constant execution time irrespective of the query
+        selectivity' (§3.2)."""
+        times = [p.jafar_ps for p in points]
+        assert max(times) <= min(times) * 1.01
+
+
+class TestFigure4Claims:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure4(scale=0.002)
+
+    def test_idle_periods_in_200_to_800_band(self, points):
+        checks = check_figure4_shape(points)
+        assert checks["range_200_800"], [
+            (p.query, p.mean_idle_cycles) for p in points]
+
+    def test_average_near_500_cycles(self, points):
+        assert average_idle_cycles(points) == pytest.approx(500, abs=200)
+
+    def test_4kb_per_idle_period_arithmetic(self, points):
+        """'JAFAR can process 500/4 = 125 32-byte data blocks, or a total of
+        4KB of data, per idle period' (§3.3)."""
+        machine = Machine(GEM5_PLATFORM)
+        budget = gap_budget(500.0, machine.timings)
+        assert budget.blocks_per_gap == 125.0
+        assert budget.bytes_per_gap == 4000.0
+
+    def test_half_row_per_interruption(self, points):
+        """'JAFAR would on average process half of a DRAM-activated row
+        before an interruption' (§3.3, 8 KB rows)."""
+        avg = average_idle_cycles(points)
+        machine = Machine(GEM5_PLATFORM)
+        budget = gap_budget(avg, machine.timings, row_bytes=8192)
+        assert budget.fraction_of_row == pytest.approx(0.5, abs=0.25)
+
+
+class TestInlineTimingClaims:
+    """§2.2's in-text numbers."""
+
+    def test_cas_latency_about_13ns(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        assert timings.cl_ps / 1000 == pytest.approx(13.0, abs=0.5)
+
+    def test_jafar_clock_about_2ghz(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        assert timings.jafar_clock().freq_hz / 1e9 == pytest.approx(2.1, abs=0.2)
+
+    def test_eight_words_in_about_4ns(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        wpc = modeled_words_per_cycle()
+        process_ns = 8 / wpc * timings.jafar_clock().period_ps / 1000
+        assert process_ns == pytest.approx(4.0, abs=0.5)
+
+    def test_9_of_13_ns_waiting(self):
+        timings = speed_grade(GEM5_PLATFORM.dram_grade)
+        cas_ns = timings.cl_ps / 1000
+        process_ns = 8 * timings.jafar_clock().period_ps / 1000
+        assert cas_ns - process_ns == pytest.approx(9.0, abs=1.0)
+
+    def test_accelerated_region_dominates(self):
+        """§3.1: '93% of the total execution time is spent inside the
+        accelerated region' — device time must dominate driver overheads."""
+        import numpy as np
+
+        machine = Machine(GEM5_PLATFORM)
+        n = 1 << 18
+        values = np.arange(n, dtype=np.int64)
+        col = machine.alloc_array(values, dimm=0, pinned=True)
+        out = machine.alloc_zeros(n // 8, dimm=0, pinned=True)
+        before = machine.core.now_ps
+        result = machine.driver.select_column(col.vaddr, n, 0, 100, out.vaddr)
+        total = machine.core.now_ps - before
+        device = sum(r.duration_ps for r in result.per_page)
+        assert device / total >= 0.85

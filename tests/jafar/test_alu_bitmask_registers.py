@@ -1,0 +1,209 @@
+"""Tests for JAFAR's ALUs, output buffer, and control registers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JafarProgrammingError
+from repro.jafar import (
+    INT64_MAX,
+    INT64_MIN,
+    ComparatorPair,
+    OutputBuffer,
+    Predicate,
+    Reg,
+    RegisterFile,
+    Status,
+    pack_mask,
+    positions_from_mask,
+    predicate_to_range,
+    unpack_mask,
+)
+
+
+class TestComparator:
+    def test_inclusive_range(self):
+        alu = ComparatorPair(10, 20)
+        assert not alu.compare(9)
+        assert alu.compare(10)
+        assert alu.compare(20)
+        assert not alu.compare(21)
+
+    def test_block_matches_scalar(self):
+        alu = ComparatorPair(-5, 5)
+        words = np.arange(-10, 11, dtype=np.int64)
+        block = alu.compare_block(words)
+        assert block.tolist() == [alu.compare(int(w)) for w in words]
+
+    def test_rejects_float_data(self):
+        with pytest.raises(JafarProgrammingError):
+            ComparatorPair(0, 1).compare_block(np.array([1.0]))
+
+    def test_rejects_out_of_range_bounds(self):
+        with pytest.raises(JafarProgrammingError):
+            ComparatorPair(INT64_MIN - 1, 0)
+
+
+class TestPredicateLowering:
+    @pytest.mark.parametrize("pred,value,expected", [
+        (Predicate.EQ, 7, (7, 7)),
+        (Predicate.LT, 7, (INT64_MIN, 6)),
+        (Predicate.LE, 7, (INT64_MIN, 7)),
+        (Predicate.GT, 7, (8, INT64_MAX)),
+        (Predicate.GE, 7, (7, INT64_MAX)),
+    ])
+    def test_lowering(self, pred, value, expected):
+        assert predicate_to_range(pred, value) == expected
+
+    def test_between(self):
+        assert predicate_to_range(Predicate.BETWEEN, 3, 9) == (3, 9)
+        with pytest.raises(JafarProgrammingError):
+            predicate_to_range(Predicate.BETWEEN, 3)
+
+    def test_degenerate_extremes_rejected(self):
+        with pytest.raises(JafarProgrammingError):
+            predicate_to_range(Predicate.LT, INT64_MIN)
+        with pytest.raises(JafarProgrammingError):
+            predicate_to_range(Predicate.GT, INT64_MAX)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sampled_from(list(Predicate)),
+           st.integers(-10**6, 10**6), st.integers(-10**6, 10**6),
+           st.integers(-10**6, 10**6))
+    def test_lowered_range_semantically_equal(self, pred, value, high, word):
+        if pred is Predicate.BETWEEN and high < value:
+            return
+        low, hi = predicate_to_range(pred, value,
+                                     high if pred is Predicate.BETWEEN else None)
+        got = low <= word <= hi
+        expected = {
+            Predicate.EQ: word == value,
+            Predicate.LT: word < value,
+            Predicate.GT: word > value,
+            Predicate.LE: word <= value,
+            Predicate.GE: word >= value,
+            Predicate.BETWEEN: value <= word <= high,
+        }[pred]
+        assert got == expected
+
+
+class TestBitmaskPacking:
+    def test_bit_order_is_little_endian(self):
+        mask = np.zeros(8, dtype=bool)
+        mask[0] = True
+        mask[3] = True
+        assert pack_mask(mask).tolist() == [0b0000_1001]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_pack_unpack_round_trip(self, bits):
+        mask = np.array(bits, dtype=bool)
+        assert (unpack_mask(pack_mask(mask), mask.size) == mask).all()
+
+    def test_positions_from_mask(self):
+        mask = np.array([True, False, False, True, True], dtype=bool)
+        assert positions_from_mask(pack_mask(mask), 5).tolist() == [0, 3, 4]
+
+    def test_unpack_validates_buffer_size(self):
+        with pytest.raises(JafarProgrammingError):
+            unpack_mask(np.zeros(1, dtype=np.uint8), 100)
+
+
+class TestOutputBuffer:
+    def test_emits_writeback_exactly_when_full(self):
+        buf = OutputBuffer(16)
+        for i in range(15):
+            assert buf.push(i % 2 == 0) is None
+        wb = buf.push(True)
+        assert wb is not None
+        assert wb.bit_offset == 0
+        assert wb.nbytes == 2
+        assert buf.pending_bits == 0
+
+    def test_sequential_writebacks_advance_offset(self):
+        buf = OutputBuffer(8)
+        first = buf.push_block(np.ones(8, dtype=bool))[0]
+        second = buf.push_block(np.zeros(8, dtype=bool))[0]
+        assert first.bit_offset == 0
+        assert second.bit_offset == 8
+        assert first.data.tolist() == [0xFF]
+        assert second.data.tolist() == [0x00]
+
+    def test_flush_drains_partial(self):
+        buf = OutputBuffer(16)
+        buf.push(True)
+        buf.push(False)
+        buf.push(True)
+        wb = buf.flush()
+        assert wb is not None
+        assert wb.data.tolist() == [0b101]
+        assert buf.flush() is None
+
+    def test_match_counting(self):
+        buf = OutputBuffer(8)
+        buf.push_block(np.array([True, True, False, True]))
+        assert buf.total_matches == 3
+        assert buf.results_seen == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(JafarProgrammingError):
+            OutputBuffer(12)  # not a byte multiple
+        with pytest.raises(JafarProgrammingError):
+            OutputBuffer(0)
+
+    def test_buffer_reconstructs_full_mask(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random(100) < 0.3
+        buf = OutputBuffer(24)
+        chunks = buf.push_block(mask)
+        tail = buf.flush()
+        if tail is not None:
+            chunks.append(tail)
+        rebuilt = np.zeros(100, dtype=bool)
+        for chunk in chunks:
+            bits = unpack_mask(chunk.data, min(24, 100 - chunk.bit_offset))
+            rebuilt[chunk.bit_offset:chunk.bit_offset + bits.size] = bits
+        assert (rebuilt == mask).all()
+
+
+class TestRegisterFile:
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(Reg.RANGE_LOW, -5)
+        assert regs.read(Reg.RANGE_LOW) == -5
+
+    def test_status_registers_read_only_from_host(self):
+        regs = RegisterFile()
+        with pytest.raises(JafarProgrammingError):
+            regs.write(Reg.STATUS, 1)
+        with pytest.raises(JafarProgrammingError):
+            regs.write(Reg.NUM_MATCHES, 1)
+
+    def test_device_side_status(self):
+        regs = RegisterFile()
+        regs.set_status(Status.RUNNING)
+        assert regs.status is Status.RUNNING
+        regs.set_matches(42)
+        assert regs.read(Reg.NUM_MATCHES) == 42
+
+    def test_validation_rules(self):
+        regs = RegisterFile()
+        regs.write(Reg.COL_ADDR, 64)
+        regs.write(Reg.OUT_ADDR, 128)
+        regs.write(Reg.NUM_ROWS, 0)
+        with pytest.raises(JafarProgrammingError, match="NUM_ROWS"):
+            regs.validate_programmed()
+        regs.write(Reg.NUM_ROWS, 8)
+        regs.write(Reg.RANGE_LOW, 10)
+        regs.write(Reg.RANGE_HIGH, 5)
+        with pytest.raises(JafarProgrammingError, match="RANGE_LOW"):
+            regs.validate_programmed()
+        regs.write(Reg.RANGE_HIGH, 20)
+        regs.write(Reg.COL_ADDR, 3)
+        with pytest.raises(JafarProgrammingError, match="aligned"):
+            regs.validate_programmed()
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(JafarProgrammingError):
+            RegisterFile().write(Reg.COL_ADDR, -8)

@@ -1,0 +1,142 @@
+"""Tests for asynchronous invocation and interrupt-based completion."""
+
+import numpy as np
+import pytest
+
+from repro.config import GEM5_PLATFORM
+from repro.errors import JafarProgrammingError, PinningError
+from repro.jafar import (
+    COMPLETION_MODES,
+    INTERRUPT_LATENCY_NS,
+    JafarDriver,
+    POLL_QUANTUM_NS,
+    positions_from_mask,
+)
+from repro.system import Machine
+from repro.units import ns
+
+N = 1 << 13
+
+
+def make_machine(completion="poll"):
+    machine = Machine(GEM5_PLATFORM)
+    machine.driver = JafarDriver(machine.vm, machine.devices, machine.core,
+                                 machine.ownership, completion=completion)
+    return machine
+
+
+def setup(machine, seed=1):
+    values = np.random.default_rng(seed).integers(0, 1_000_000, N,
+                                                  dtype=np.int64)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(N // 8, dimm=0, pinned=True)
+    return values, col, out
+
+
+class TestCompletionModes:
+    def test_modes_enumerated(self):
+        assert COMPLETION_MODES == ("poll", "interrupt")
+
+    def test_unknown_mode_rejected(self):
+        machine = Machine(GEM5_PLATFORM)
+        with pytest.raises(JafarProgrammingError, match="completion mode"):
+            JafarDriver(machine.vm, machine.devices, machine.core,
+                        machine.ownership, completion="semaphore")
+
+    def test_latency_constants(self):
+        poll = make_machine("poll").driver.completion_latency_ps()
+        intr = make_machine("interrupt").driver.completion_latency_ps()
+        assert poll == ns(POLL_QUANTUM_NS / 2)
+        assert intr == ns(INTERRUPT_LATENCY_NS)
+        assert intr > poll
+
+    def test_interrupt_mode_same_result_slightly_slower(self):
+        """Interrupts add detection latency per page but free the CPU —
+        for a spin-waiting caller they are strictly slower."""
+        results = {}
+        for mode in COMPLETION_MODES:
+            machine = make_machine(mode)
+            values, col, out = setup(machine)
+            result = machine.driver.select_column(col.vaddr, N, 0, 500_000,
+                                                  out.vaddr)
+            results[mode] = result
+        assert results["poll"].matches == results["interrupt"].matches
+        assert results["interrupt"].duration_ps > results["poll"].duration_ps
+
+
+class TestAsyncInvocation:
+    def test_overlapped_compute_is_free(self):
+        """CPU work issued between start and wait overlaps the device run:
+        total time is max(compute, device), not the sum."""
+        machine = make_machine()
+        values, col, out = setup(machine)
+
+        async_machine = make_machine()
+        v2, col2, out2 = setup(async_machine)
+
+        # Synchronous: select, then compute.
+        sync_start = machine.core.now_ps
+        machine.driver.select_page(col.vaddr, N, 0, 500_000, out.vaddr)
+        machine.core.compute_phase(50_000)  # 50K cycles of other work
+        sync_total = machine.core.now_ps - sync_start
+
+        # Asynchronous: start, compute while the device runs, wait.
+        async_start = async_machine.core.now_ps
+        pending = async_machine.driver.start_page(col2.vaddr, N, 0, 500_000,
+                                                  out2.vaddr)
+        async_machine.core.compute_phase(50_000)
+        pending.wait()
+        async_total = async_machine.core.now_ps - async_start
+
+        assert async_total < sync_total
+
+    def test_wait_returns_correct_result(self):
+        machine = make_machine()
+        values, col, out = setup(machine, seed=5)
+        pending = machine.driver.start_page(col.vaddr, N, 100, 400_000,
+                                            out.vaddr)
+        result = pending.wait()
+        expected = np.flatnonzero((values >= 100) & (values <= 400_000))
+        assert result.matches == expected.size
+        buf = machine.read_array(out, N // 8, dtype=np.uint8)
+        assert (positions_from_mask(buf, N) == expected).all()
+
+    def test_wait_is_idempotent(self):
+        machine = make_machine()
+        _, col, out = setup(machine)
+        pending = machine.driver.start_page(col.vaddr, N, 0, 10, out.vaddr)
+        first = pending.wait()
+        t_after_first = machine.core.now_ps
+        second = pending.wait()
+        assert second is first
+        assert machine.core.now_ps == t_after_first
+
+    def test_done_polls_status(self):
+        machine = make_machine()
+        _, col, out = setup(machine)
+        pending = machine.driver.start_page(col.vaddr, N, 0, 10, out.vaddr)
+        # Immediately after start the CPU clock trails the device.
+        finished_immediately = pending.done()
+        machine.core.advance_ps(pending.device_done_ps + 1)
+        assert pending.done()
+        pending.wait()
+        assert not finished_immediately or pending.device_done_ps <= 0
+
+    def test_wait_releases_ownership(self):
+        machine = make_machine()
+        _, col, out = setup(machine)
+        pending = machine.driver.start_page(col.vaddr, N, 0, 10, out.vaddr)
+        rank = machine.controller.rank_at(machine.vm.translate(col.vaddr))
+        assert rank.mode_registers.mpr_enabled  # owned mid-flight
+        pending.wait()
+        assert not rank.mode_registers.mpr_enabled
+
+    def test_start_page_validates_like_select_page(self):
+        machine = make_machine()
+        values = np.arange(N, dtype=np.int64)
+        col = machine.alloc_array(values, dimm=0)  # NOT pinned
+        out = machine.alloc_zeros(N // 8, dimm=0, pinned=True)
+        with pytest.raises(PinningError):
+            machine.driver.start_page(col.vaddr, N, 0, 10, out.vaddr)
+        with pytest.raises(JafarProgrammingError):
+            machine.driver.start_page(col.vaddr, 0, 0, 10, out.vaddr)

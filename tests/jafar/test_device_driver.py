@@ -1,0 +1,186 @@
+"""Tests for the JAFAR device, driver, API, ownership, and multi-DIMM paths."""
+
+import numpy as np
+import pytest
+
+from repro.config import GEM5_PLATFORM
+from repro.dram import Agent
+from repro.errors import (
+    DRAMOwnershipError,
+    JafarProgrammingError,
+    PinningError,
+)
+from repro.jafar import (
+    JAFAR_EFAULT,
+    JAFAR_EINVAL,
+    JAFAR_OK,
+    Reg,
+    Status,
+    modeled_words_per_cycle,
+    positions_from_mask,
+    select_jafar,
+    strerror,
+)
+from repro.system import Machine
+
+N = 1 << 13  # 8K rows = one 64 KiB page
+
+
+@pytest.fixture()
+def machine():
+    return Machine(GEM5_PLATFORM)
+
+
+def make_values(n=N, seed=1):
+    return np.random.default_rng(seed).integers(0, 1_000_000, n, dtype=np.int64)
+
+
+def setup_column(machine, values, pinned=True):
+    col = machine.alloc_array(values, dimm=0, pinned=pinned)
+    out = machine.alloc_zeros(max(values.size // 8, 1), dimm=0, pinned=True)
+    return col, out
+
+
+class TestDevice:
+    def test_functional_correctness(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        result = machine.driver.select_page(col.vaddr, N, 100, 500_000, out.vaddr)
+        expected = np.flatnonzero((values >= 100) & (values <= 500_000))
+        assert result.matches == expected.size
+        buf = machine.read_array(out, N // 8, dtype=np.uint8)
+        assert (positions_from_mask(buf, N) == expected).all()
+
+    def test_status_protocol(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        device = machine.devices[0]
+        assert device.registers.status is Status.IDLE
+        machine.driver.select_page(col.vaddr, N, 0, 10, out.vaddr)
+        assert device.registers.status is Status.DONE
+        assert device.mmio_read(Reg.NUM_MATCHES) == device.stats.extra.get(
+            "unused", device.mmio_read(Reg.NUM_MATCHES))
+
+    def test_time_is_selectivity_invariant(self, machine):
+        """§3.2: JAFAR has constant execution time irrespective of
+        selectivity — the buffer writes back regardless of outcomes."""
+        values = make_values()
+        durations = []
+        for low, high in ((-10, -1), (0, 500_000), (0, 2_000_000)):
+            m = Machine(GEM5_PLATFORM)
+            col, out = setup_column(m, values)
+            result = m.driver.select_page(col.vaddr, N, low, high, out.vaddr)
+            durations.append(result.duration_ps)
+        assert max(durations) <= min(durations) * 1.01
+
+    def test_device_faster_than_bus_would_allow_to_cpu(self, machine):
+        """JAFAR streams at the DRAM-side rate: about tCCD per 8 rows."""
+        values = make_values()
+        col, out = setup_column(machine, values)
+        result = machine.driver.select_page(col.vaddr, N, 0, 10, out.vaddr)
+        t = machine.timings
+        floor_ps = (N * 8 // t.burst_bytes) * t.cycles_to_ps(t.tccd)
+        assert result.duration_ps >= floor_ps
+        assert result.duration_ps < 3 * floor_ps  # overheads bounded
+
+    def test_writeback_traffic_matches_buffer_size(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        result = machine.driver.select_page(col.vaddr, N, 0, 10, out.vaddr)
+        bits = machine.config.jafar_cost.output_buffer_bits
+        assert result.writeback_bursts == -(-N // bits)
+
+    def test_unvalidated_start_errors(self, machine):
+        device = machine.devices[0]
+        device.mmio_write(Reg.NUM_ROWS, 0)
+        with pytest.raises(JafarProgrammingError):
+            device.start(0)
+        assert device.registers.status is Status.ERROR
+
+    def test_modeled_throughput_is_one_word_per_cycle(self):
+        assert modeled_words_per_cycle() == 1.0
+
+
+class TestDriver:
+    def test_unpinned_page_rejected(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values, pinned=False)
+        with pytest.raises(PinningError, match="mlock"):
+            machine.driver.select_page(col.vaddr, N, 0, 10, out.vaddr)
+
+    def test_multi_page_column(self, machine):
+        values = make_values(4 * N)
+        col = machine.alloc_array(values, dimm=0, pinned=True)
+        out = machine.alloc_zeros(values.size // 8, dimm=0, pinned=True)
+        result = machine.driver.select_column(col.vaddr, values.size,
+                                              0, 250_000, out.vaddr)
+        assert result.pages == 4
+        expected = int(((values >= 0) & (values <= 250_000)).sum())
+        assert result.matches == expected
+
+    def test_driver_charges_cpu_time(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        before = machine.core.now_ps
+        result = machine.driver.select_page(col.vaddr, N, 0, 10, out.vaddr)
+        assert machine.core.now_ps > before
+        # CPU-visible time covers device time plus software overheads.
+        assert machine.core.now_ps - before > result.duration_ps
+
+    def test_oversized_page_call_rejected(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        too_many = machine.config.page_bytes // 8 + 1
+        with pytest.raises(JafarProgrammingError, match="per-page"):
+            machine.driver.select_page(col.vaddr, too_many, 0, 10, out.vaddr)
+
+    def test_ownership_blocks_host_during_run(self, machine):
+        """While JAFAR owns the rank (MPR engaged), host accesses fault."""
+        rank = machine.controller.rank_at(0)
+        grant = machine.ownership.acquire(rank, 0, 10_000_000)
+        with pytest.raises(DRAMOwnershipError):
+            rank.access(0, 0, grant.ready_ps, False, agent=Agent.CPU)
+        machine.ownership.release(grant, grant.ready_ps)
+        rank.access(0, 0, grant.ready_ps, False, agent=Agent.CPU)
+
+    def test_double_grant_rejected(self, machine):
+        rank = machine.controller.rank_at(0)
+        grant = machine.ownership.acquire(rank, 0, 1000)
+        with pytest.raises(DRAMOwnershipError, match="already granted"):
+            machine.ownership.acquire(rank, grant.ready_ps, 1000)
+
+
+class TestAPI:
+    def test_figure2_contract(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        errno, matches = select_jafar(machine.driver, col.vaddr, 0, 500_000,
+                                      out.vaddr, N)
+        assert errno == JAFAR_OK
+        assert matches == int(((values >= 0) & (values <= 500_000)).sum())
+
+    def test_einval_for_bad_arguments(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values)
+        assert select_jafar(machine.driver, col.vaddr, 10, 5, out.vaddr, N)[0] \
+            == JAFAR_EINVAL
+        assert select_jafar(machine.driver, col.vaddr, 0, 10, out.vaddr, 0)[0] \
+            == JAFAR_EINVAL
+
+    def test_efault_for_unmapped_address(self, machine):
+        values = make_values()
+        _, out = setup_column(machine, values)
+        errno, _ = select_jafar(machine.driver, 0xDEAD0000000, 0, 10,
+                                out.vaddr, N)
+        assert errno == JAFAR_EFAULT
+
+    def test_einval_for_unpinned(self, machine):
+        values = make_values()
+        col, out = setup_column(machine, values, pinned=False)
+        errno, _ = select_jafar(machine.driver, col.vaddr, 0, 10, out.vaddr, N)
+        assert errno == JAFAR_EINVAL
+
+    def test_strerror(self):
+        assert strerror(JAFAR_OK) == "OK"
+        assert strerror(JAFAR_EFAULT) == "EFAULT"
+        assert "unknown" in strerror(999)

@@ -1,0 +1,338 @@
+"""Tests for the §4 extension accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.config import GEM5_PLATFORM
+from repro.errors import JafarProgrammingError
+from repro.jafar import pack_mask
+from repro.jafar.extensions import (
+    BitonicNetwork,
+    FieldPredicate,
+    NdpAggregator,
+    NdpProjector,
+    NdpSorter,
+    RowStoreFilter,
+    fnv1a,
+    fnv1a_block,
+    multiplicative_hash,
+    multiplicative_hash_block,
+)
+from repro.system import Machine
+
+
+def make_engine(engine_cls, **kwargs):
+    machine = Machine(GEM5_PLATFORM)
+    controller = machine.controller
+    return machine, engine_cls(machine.timings, controller.mapping, 0,
+                               controller.channels[0].dimms[0],
+                               machine.memory,
+                               GEM5_PLATFORM.jafar_cost, **kwargs)
+
+
+def place(machine, values):
+    mapping = machine.alloc_array(values, dimm=0)
+    return machine.vm.translate(mapping.vaddr)
+
+
+class TestHashUnits:
+    def test_multiplicative_scalar_vs_block(self):
+        keys = np.arange(100, dtype=np.int64) * 7919
+        block = multiplicative_hash_block(keys, 10)
+        for key, hashed in zip(keys.tolist(), block.tolist()):
+            assert multiplicative_hash(key, 10) == hashed
+
+    def test_multiplicative_range(self):
+        keys = np.arange(1000, dtype=np.int64)
+        hashed = multiplicative_hash_block(keys, 6)
+        assert hashed.min() >= 0 and hashed.max() < 64
+
+    def test_multiplicative_spreads(self):
+        """Sequential keys should spread across buckets, not cluster."""
+        keys = np.arange(64 * 32, dtype=np.int64)
+        hashed = multiplicative_hash_block(keys, 6)
+        counts = np.bincount(hashed, minlength=64)
+        assert counts.max() < 4 * counts.mean()
+
+    def test_fnv_scalar_vs_block(self):
+        keys = np.array([0, 1, 255, 2**40 + 7, 2**63 - 1], dtype=np.int64)
+        block = fnv1a_block(keys)
+        for key, hashed in zip(keys.tolist(), block.tolist()):
+            assert fnv1a(key) == hashed
+
+    def test_fnv_known_zero_vector(self):
+        # FNV-1a of eight zero bytes is a fixed constant.
+        assert fnv1a(0) == fnv1a_block(np.array([0], dtype=np.int64))[0]
+
+    def test_width_validation(self):
+        with pytest.raises(JafarProgrammingError):
+            multiplicative_hash(1, 0)
+        with pytest.raises(JafarProgrammingError):
+            multiplicative_hash_block(np.array([1]), 64)
+
+
+class TestNdpAggregator:
+    def test_scalar_aggregates(self):
+        machine, agg = make_engine(NdpAggregator)
+        values = np.random.default_rng(0).integers(-100, 100, 5000,
+                                                   dtype=np.int64)
+        addr = place(machine, values)
+        t = 0
+        for kind, expected in (("sum", values.sum()), ("min", values.min()),
+                               ("max", values.max()), ("count", values.size)):
+            result = agg.scalar(addr, values.size, kind, t)
+            assert result.value == expected
+            t = result.end_ps
+        avg = agg.scalar(addr, values.size, "avg", t)
+        assert avg.value == pytest.approx(values.mean())
+
+    def test_fused_filter_aggregate(self):
+        """Aggregate restricted to a prior select's bitset."""
+        machine, agg = make_engine(NdpAggregator)
+        values = np.arange(1000, dtype=np.int64)
+        mask = values % 3 == 0
+        addr = place(machine, values)
+        mask_addr = place(machine, pack_mask(mask))
+        result = agg.scalar(addr, values.size, "sum", 0, mask_addr=mask_addr)
+        assert result.value == values[mask].sum()
+
+    def test_aggregation_time_is_one_streaming_pass(self):
+        machine, agg = make_engine(NdpAggregator)
+        values = np.zeros(8192, dtype=np.int64)
+        addr = place(machine, values)
+        result = agg.scalar(addr, values.size, "sum", 0)
+        t = machine.timings
+        floor = (values.nbytes // t.burst_bytes) * t.cycles_to_ps(t.tccd)
+        assert floor <= result.duration_ps <= 2 * floor
+
+    def test_group_by_within_bucket_limit_is_single_pass(self):
+        machine, agg = make_engine(NdpAggregator)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 32, 4000, dtype=np.int64)  # 32 <= 64 buckets
+        values = rng.integers(0, 100, 4000, dtype=np.int64)
+        result = agg.group_by_sum(place(machine, keys),
+                                  place(machine, values), 4000, 0)
+        assert result.passes == 1 and not result.partitioned
+        for key, total in zip(result.keys.tolist(), result.sums.tolist()):
+            assert total == values[keys == key].sum()
+
+    def test_group_by_beyond_buckets_goes_hierarchical(self):
+        machine, agg = make_engine(NdpAggregator)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 500, 4000, dtype=np.int64)  # > 64 buckets
+        values = rng.integers(0, 100, 4000, dtype=np.int64)
+        scratch = machine.alloc_zeros(4000 * 16, dimm=0)
+        scratch_addr = machine.vm.translate(scratch.vaddr)
+        result = agg.group_by_sum(place(machine, keys),
+                                  place(machine, values), 4000, 0,
+                                  scratch_addr=scratch_addr)
+        assert result.passes == 2 and result.partitioned
+        # Hierarchy costs extra passes: slower than a small-domain group-by.
+        small = agg.group_by_sum(place(machine, keys % 32),
+                                 place(machine, values), 4000, result.end_ps)
+        assert result.duration_ps > small.duration_ps
+
+    def test_hierarchical_without_scratch_raises(self):
+        machine, agg = make_engine(NdpAggregator)
+        keys = np.arange(1000, dtype=np.int64)
+        values = np.ones(1000, dtype=np.int64)
+        with pytest.raises(JafarProgrammingError, match="hierarchical"):
+            agg.group_by_sum(place(machine, keys), place(machine, values),
+                             1000, 0)
+
+    def test_validation(self):
+        machine, agg = make_engine(NdpAggregator)
+        addr = place(machine, np.ones(8, dtype=np.int64))
+        with pytest.raises(JafarProgrammingError):
+            agg.scalar(addr, 0, "sum", 0)
+        with pytest.raises(JafarProgrammingError):
+            agg.scalar(addr, 8, "median", 0)
+
+
+class TestNdpProjector:
+    def test_project_gathers_qualifying_values(self):
+        machine, proj = make_engine(NdpProjector)
+        values = np.arange(2048, dtype=np.int64) * 3
+        mask = (values % 2 == 0) & (values > 100)
+        addr = place(machine, values)
+        mask_addr = place(machine, pack_mask(mask))
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        result = proj.project(addr, values.size, mask_addr, out_addr, 0)
+        assert result.values_written == int(mask.sum())
+        got = machine.memory.view_words(out_addr, result.values_written)
+        assert (got == values[mask]).all()
+
+    def test_output_traffic_proportional_to_matches(self):
+        machine, proj = make_engine(NdpProjector)
+        values = np.arange(8192, dtype=np.int64)
+        addr = place(machine, values)
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        sparse_mask = place(machine, pack_mask(values < 64))
+        dense_mask = place(machine, pack_mask(values >= 0))
+        sparse = proj.project(addr, values.size, sparse_mask, out_addr, 0)
+        dense = proj.project(addr, values.size, dense_mask, out_addr,
+                             sparse.end_ps)
+        assert sparse.bursts_written < dense.bursts_written
+        assert sparse.duration_ps < dense.duration_ps
+
+    def test_empty_selection(self):
+        machine, proj = make_engine(NdpProjector)
+        values = np.arange(256, dtype=np.int64)
+        addr = place(machine, values)
+        mask_addr = place(machine, pack_mask(np.zeros(256, dtype=bool)))
+        out = machine.alloc_zeros(64, dimm=0)
+        result = proj.project(addr, 256, mask_addr,
+                              machine.vm.translate(out.vaddr), 0)
+        assert result.values_written == 0
+        assert result.bursts_written == 0
+
+    def test_row_store_projection(self):
+        machine, proj = make_engine(NdpProjector)
+        # 16-byte records: two int64 fields.
+        n = 512
+        a = np.arange(n, dtype=np.int64)
+        b = a * 7
+        records = np.empty(n * 2, dtype=np.int64)
+        records[0::2] = a
+        records[1::2] = b
+        base = place(machine, records)
+        out = machine.alloc_zeros(n * 8, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        result = proj.project_row_store(base, n, 16, field_offset=8,
+                                        field_bytes=8, out_addr=out_addr,
+                                        start_ps=0)
+        got = machine.memory.view_words(out_addr, n)
+        assert (got == b).all()
+        assert result.values_written == n
+
+    def test_row_store_validation(self):
+        machine, proj = make_engine(NdpProjector)
+        with pytest.raises(JafarProgrammingError, match="fit"):
+            proj.project_row_store(0, 4, 16, field_offset=12, field_bytes=8,
+                                   out_addr=4096, start_ps=0)
+
+
+class TestBitonicNetwork:
+    def test_stage_count_formula(self):
+        for k in (2, 4, 16, 256):
+            net = BitonicNetwork(k)
+            log_k = k.bit_length() - 1
+            assert net.num_stages == log_k * (log_k + 1) // 2
+
+    def test_sorts_exactly(self):
+        rng = np.random.default_rng(5)
+        net = BitonicNetwork(64)
+        for _ in range(5):
+            block = rng.integers(-1000, 1000, 64, dtype=np.int64)
+            assert (net.sort_block(block) == np.sort(block)).all()
+
+    def test_wrong_block_size_raises(self):
+        with pytest.raises(JafarProgrammingError):
+            BitonicNetwork(16).sort_block(np.zeros(8, dtype=np.int64))
+
+    def test_invalid_width(self):
+        with pytest.raises(JafarProgrammingError):
+            BitonicNetwork(100)
+        with pytest.raises(JafarProgrammingError):
+            BitonicNetwork(1)
+
+
+class TestNdpSorter:
+    def test_sorts_into_output_region(self):
+        machine, sorter = make_engine(NdpSorter, network_k=64)
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 10**6, 5000, dtype=np.int64)
+        addr = place(machine, values)
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        result = sorter.sort(addr, values.size, out_addr, 0)
+        got = machine.memory.view_words(out_addr, values.size)
+        assert (got == np.sort(values)).all()
+        assert result.merge_passes == int(np.ceil(np.log2(-(-5000 // 64))))
+
+    def test_block_sized_input_needs_no_merge(self):
+        machine, sorter = make_engine(NdpSorter, network_k=256)
+        values = np.random.default_rng(7).permutation(256).astype(np.int64)
+        addr = place(machine, values)
+        out = machine.alloc_zeros(values.nbytes, dimm=0)
+        result = sorter.sort(addr, 256, machine.vm.translate(out.vaddr), 0)
+        assert result.merge_passes == 0
+
+    def test_merge_passes_cost_time(self):
+        machine, sorter = make_engine(NdpSorter, network_k=64)
+        small = np.random.default_rng(8).integers(0, 100, 64, dtype=np.int64)
+        big = np.random.default_rng(8).integers(0, 100, 4096, dtype=np.int64)
+        a_small = place(machine, small)
+        a_big = place(machine, big)
+        out = machine.alloc_zeros(big.nbytes, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        t_small = sorter.sort(a_small, 64, out_addr, 0)
+        t_big = sorter.sort(a_big, 4096, out_addr, t_small.end_ps)
+        # 64x the data plus merge passes: far more than 64x a blocks' time.
+        assert t_big.duration_ps > 32 * t_small.duration_ps
+
+
+class TestRowStoreFilter:
+    def make_records(self, machine, n=1000, seed=9):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 100, n, dtype=np.int64)
+        b = rng.integers(0, 100, n, dtype=np.int64)
+        records = np.empty(n * 2, dtype=np.int64)
+        records[0::2] = a
+        records[1::2] = b
+        return a, b, place(machine, records)
+
+    def test_multi_attribute_conjunction(self):
+        machine, filt = make_engine(RowStoreFilter)
+        a, b, base = self.make_records(machine)
+        out = machine.alloc_zeros(256, dimm=0)
+        out_addr = machine.vm.translate(out.vaddr)
+        result = filt.filter(base, a.size, 16, [
+            FieldPredicate(0, 8, 10, 50),
+            FieldPredicate(8, 8, 0, 30),
+        ], out_addr, 0)
+        expected = (a >= 10) & (a <= 50) & (b <= 30)
+        assert result.matches == int(expected.sum())
+        from repro.jafar import unpack_mask
+        got = unpack_mask(machine.memory.read(out_addr, -(-a.size // 8)),
+                          a.size)
+        assert (got == expected).all()
+
+    def test_predicates_beyond_comparators_need_more_passes(self):
+        machine, filt = make_engine(RowStoreFilter)
+        a, b, base = self.make_records(machine)
+        out_addr = machine.vm.translate(machine.alloc_zeros(256, dimm=0).vaddr)
+        few = filt.filter(base, a.size, 16,
+                          [FieldPredicate(0, 8, 0, 50)], out_addr, 0)
+        many = filt.filter(base, a.size, 16,
+                           [FieldPredicate(0, 8, 0, 50)] * 5,  # > 4 pairs
+                           out_addr, few.end_ps)
+        assert few.passes == 1
+        assert many.passes == 2
+        assert many.duration_ps > 1.5 * few.duration_ps
+
+    def test_narrow_fields(self):
+        machine, filt = make_engine(RowStoreFilter)
+        n = 256
+        raw = np.zeros(n * 8, dtype=np.uint8)
+        raw[0::8] = np.arange(n) % 200  # 1-byte field at offset 0
+        mapping = machine.alloc_array(raw, dimm=0)
+        base = machine.vm.translate(mapping.vaddr)
+        out_addr = machine.vm.translate(machine.alloc_zeros(64, dimm=0).vaddr)
+        result = filt.filter(base, n, 8, [FieldPredicate(0, 1, 0, 99)],
+                             out_addr, 0)
+        expected = int((np.arange(n) % 200 <= 99).sum())
+        assert result.matches == expected
+
+    def test_validation(self):
+        machine, filt = make_engine(RowStoreFilter)
+        with pytest.raises(JafarProgrammingError):
+            filt.filter(0, 10, 8, [], 4096, 0)
+        with pytest.raises(JafarProgrammingError, match="exceeds"):
+            filt.filter(0, 10, 8, [FieldPredicate(4, 8, 0, 1)], 4096, 0)
+        with pytest.raises(JafarProgrammingError):
+            FieldPredicate(0, 3, 0, 1)
+        with pytest.raises(JafarProgrammingError):
+            FieldPredicate(0, 8, 5, 1)

@@ -1,0 +1,89 @@
+"""Tests for multi-DIMM JAFAR coordination over interleaved layouts (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import JafarCostModel
+from repro.dram import DDR3_1600, DRAMGeometry, MemoryController
+from repro.errors import JafarProgrammingError
+from repro.jafar import JafarDevice, positions_from_mask, select_interleaved
+from repro.mem import PhysicalMemory
+
+
+def build_interleaved_system(interleave=64):
+    """Two channels (one DIMM each) with channel interleaving at 64 B."""
+    geometry = DRAMGeometry(channels=2, dimms_per_channel=1, ranks_per_dimm=1,
+                            banks_per_rank=8, row_bytes=8192, rows_per_bank=64,
+                            interleave_bytes=interleave)
+    mc = MemoryController(DDR3_1600, geometry, refresh_enabled=False)
+    memory = PhysicalMemory(geometry.total_bytes)
+    devices = []
+    for channel in mc.channels:
+        for dimm in channel.dimms:
+            devices.append(JafarDevice(DDR3_1600, mc.mapping, channel.index,
+                                       dimm, memory, JafarCostModel()))
+    return mc, memory, devices
+
+
+def test_interleaved_select_produces_complete_bitset():
+    mc, memory, devices = build_interleaved_system()
+    rng = np.random.default_rng(9)
+    n = 4096
+    values = rng.integers(0, 1000, n, dtype=np.int64)
+    col_addr = 0
+    out_addr = 256 * 1024
+    memory.write_words(col_addr, values)
+    result = select_interleaved(devices, col_addr, n, 100, 400, out_addr, 0)
+    expected = np.flatnonzero((values >= 100) & (values <= 400))
+    assert result.matches == expected.size
+    got = positions_from_mask(memory.read(out_addr, n // 8), n)
+    assert (got == expected).all()
+
+
+def test_each_device_reads_only_its_share():
+    mc, memory, devices = build_interleaved_system()
+    n = 4096
+    memory.write_words(0, np.arange(n, dtype=np.int64))
+    result = select_interleaved(devices, 0, n, 0, 10**9, 256 * 1024, 0)
+    reads = [r.bursts_read for r in result.per_device]
+    skips = [r.bursts_skipped for r in result.per_device]
+    total_bursts = n * 8 // 64
+    assert sum(reads) == total_bursts
+    assert reads[0] == reads[1] == total_bursts // 2
+    assert skips[0] == skips[1] == total_bursts // 2
+
+
+def test_parallel_devices_finish_in_about_half_the_time():
+    """Two units splitting the column finish in ~half one unit's time."""
+    mc, memory, devices = build_interleaved_system()
+    n = 8192
+    memory.write_words(0, np.zeros(n, dtype=np.int64))
+    both = select_interleaved(devices, 0, n, 0, 10, 512 * 1024, 0)
+
+    geometry = DRAMGeometry(channels=1, dimms_per_channel=1, ranks_per_dimm=1,
+                            banks_per_rank=8, row_bytes=8192, rows_per_bank=128)
+    single_mc = MemoryController(DDR3_1600, geometry, refresh_enabled=False)
+    single_mem = PhysicalMemory(geometry.total_bytes)
+    single_mem.write_words(0, np.zeros(n, dtype=np.int64))
+    device = JafarDevice(DDR3_1600, single_mc.mapping, 0,
+                         single_mc.channels[0].dimms[0], single_mem,
+                         JafarCostModel())
+    solo = select_interleaved([device], 0, n, 0, 10, 512 * 1024, 0)
+    assert both.duration_ps < solo.duration_ps * 0.7
+
+
+def test_devices_owning_nothing_are_skipped():
+    mc, memory, devices = build_interleaved_system(interleave=4096)
+    n = 256  # 2 KiB - entirely within channel 0's first interleave chunk
+    memory.write_words(0, np.arange(n, dtype=np.int64))
+    result = select_interleaved(devices, 0, n, 0, 10**9, 512 * 1024, 0)
+    assert len(result.per_device) == 1
+    assert result.matches == n
+
+
+def test_validation():
+    mc, memory, devices = build_interleaved_system()
+    with pytest.raises(JafarProgrammingError):
+        select_interleaved([], 0, 10, 0, 1, 1024, 0)
+    with pytest.raises(JafarProgrammingError):
+        select_interleaved(devices, 0, 0, 0, 1, 1024, 0)

@@ -1,0 +1,159 @@
+"""Tests for frame allocation, placement, virtual memory, and pinning."""
+
+import pytest
+
+from repro.dram import DRAMGeometry
+from repro.errors import OutOfMemoryError, PageFaultError, PinningError
+from repro.mem import FrameAllocator, Placement, VirtualMemory
+
+PAGE = 4096
+GEO = DRAMGeometry(channels=1, dimms_per_channel=4, ranks_per_dimm=1,
+                   banks_per_rank=8, row_bytes=8192, rows_per_bank=64)
+
+
+def make_allocator(populated=16 * PAGE) -> FrameAllocator:
+    return FrameAllocator(GEO, PAGE, populated)
+
+
+class TestAllocator:
+    def test_fill_first_packs_one_dimm(self):
+        alloc = make_allocator()
+        frames = alloc.alloc(4, placement=Placement.FILL_FIRST)
+        assert frames == [0, PAGE, 2 * PAGE, 3 * PAGE]
+        assert all(alloc.dimm_of(f) == 0 for f in frames)
+
+    def test_round_robin_rotates_dimms(self):
+        alloc = make_allocator()
+        frames = alloc.alloc(4, placement=Placement.ROUND_ROBIN)
+        assert [alloc.dimm_of(f) for f in frames] == [0, 1, 2, 3]
+
+    def test_forced_dimm_placement(self):
+        alloc = make_allocator()
+        frames = alloc.alloc(3, dimm=2)
+        assert all(alloc.dimm_of(f) == 2 for f in frames)
+
+    def test_exhaustion_raises(self):
+        alloc = make_allocator(populated=2 * PAGE)
+        alloc.alloc(2, dimm=0)
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc(1, dimm=0)
+        # Other DIMMs still have frames.
+        assert alloc.alloc(1, dimm=1)
+
+    def test_total_exhaustion(self):
+        alloc = make_allocator(populated=PAGE)
+        alloc.alloc(4)  # one page per DIMM
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc(1)
+
+    def test_free_and_reuse(self):
+        alloc = make_allocator(populated=PAGE)
+        frames = alloc.alloc(1, dimm=0)
+        alloc.free(frames)
+        assert alloc.alloc(1, dimm=0) == frames
+
+    def test_double_free_raises(self):
+        alloc = make_allocator()
+        frames = alloc.alloc(1)
+        alloc.free(frames)
+        with pytest.raises(PinningError, match="double free"):
+            alloc.free(frames)
+
+    def test_unaligned_free_raises(self):
+        alloc = make_allocator()
+        with pytest.raises(PinningError):
+            alloc.free([123])
+
+    def test_fill_first_spills_to_next_dimm(self):
+        alloc = make_allocator(populated=2 * PAGE)
+        frames = alloc.alloc(3, placement=Placement.FILL_FIRST)
+        assert [alloc.dimm_of(f) for f in frames] == [0, 0, 1]
+
+    def test_interleaved_geometry_rejected(self):
+        geo = DRAMGeometry(channels=2, dimms_per_channel=1, ranks_per_dimm=1,
+                           banks_per_rank=8, row_bytes=8192, rows_per_bank=64,
+                           interleave_bytes=64)
+        with pytest.raises(PinningError, match="fill-first"):
+            FrameAllocator(geo, PAGE, 4 * PAGE)
+
+
+class TestVirtualMemory:
+    def make_vm(self) -> VirtualMemory:
+        return VirtualMemory(make_allocator())
+
+    def test_mmap_translate_round_trip(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(3 * PAGE)
+        for offset in (0, 5, PAGE, 3 * PAGE - 1):
+            paddr = vm.translate(mapping.vaddr + offset)
+            assert 0 <= paddr < GEO.total_bytes
+
+    def test_contiguous_virtual_maps_contiguous_physical_fill_first(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(4 * PAGE)
+        runs = vm.translate_range(mapping.vaddr, 4 * PAGE)
+        assert runs == [(0, 4 * PAGE)]
+
+    def test_translate_range_splits_on_discontiguity(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(2 * PAGE, placement=Placement.ROUND_ROBIN)
+        runs = vm.translate_range(mapping.vaddr, 2 * PAGE)
+        assert len(runs) == 2
+        assert all(size == PAGE for _, size in runs)
+
+    def test_unmapped_translation_faults(self):
+        vm = self.make_vm()
+        with pytest.raises(PageFaultError):
+            vm.translate(0xDEAD_BEEF_000)
+
+    def test_mlock_munlock_cycle(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(2 * PAGE)
+        vm.mlock(mapping.vaddr, 2 * PAGE)
+        assert vm.is_pinned(mapping.vaddr)
+        assert vm.is_pinned(mapping.vaddr + PAGE)
+        vm.munlock(mapping.vaddr, 2 * PAGE)
+        assert not vm.is_pinned(mapping.vaddr)
+
+    def test_munlock_of_unpinned_raises(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(PAGE)
+        with pytest.raises(PinningError):
+            vm.munlock(mapping.vaddr, PAGE)
+
+    def test_munmap_of_pinned_page_raises(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(PAGE)
+        vm.mlock(mapping.vaddr, PAGE)
+        with pytest.raises(PinningError, match="munlock first"):
+            vm.munmap(mapping)
+
+    def test_munmap_returns_frames(self):
+        alloc = make_allocator(populated=PAGE)
+        vm = VirtualMemory(alloc)
+        mapping = vm.mmap(4 * PAGE)  # uses every frame
+        vm.munmap(mapping)
+        assert alloc.free_frames() == 4
+        with pytest.raises(PageFaultError):
+            vm.translate(mapping.vaddr)
+
+    def test_dimm_of_respects_forced_placement(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(PAGE, dimm=3)
+        assert vm.dimm_of(mapping.vaddr) == 3
+
+    def test_mapping_pages_helper(self):
+        vm = self.make_vm()
+        mapping = vm.mmap(PAGE + 1)
+        assert mapping.num_pages == 2
+        assert mapping.pages() == [mapping.vaddr, mapping.vaddr + PAGE]
+
+    def test_invalid_sizes_raise(self):
+        vm = self.make_vm()
+        with pytest.raises(PageFaultError):
+            vm.mmap(0)
+        mapping = vm.mmap(PAGE)
+        with pytest.raises(PageFaultError):
+            vm.translate_range(mapping.vaddr, 0)
+        with pytest.raises(PinningError):
+            vm.mlock(mapping.vaddr, 0)

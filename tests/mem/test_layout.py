@@ -1,0 +1,92 @@
+"""Tests for multi-DIMM interleaving layout helpers (§2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import (
+    interleaved_word_ownership,
+    merge_partial_bitmasks,
+    shuffle_for_contiguity,
+)
+
+
+def test_ownership_at_word_granularity():
+    """Interleaving at 64-bit granularity: words alternate units."""
+    mask = interleaved_word_ownership(8, word_bytes=8, interleave_bytes=8,
+                                      num_units=2, unit=0)
+    assert mask.tolist() == [True, False] * 4
+
+
+def test_ownership_at_line_granularity():
+    mask = interleaved_word_ownership(16, word_bytes=8, interleave_bytes=64,
+                                      num_units=2, unit=1)
+    assert mask.tolist() == [False] * 8 + [True] * 8  # 8 words per 64B chunk
+
+
+def test_ownership_partition_is_complete():
+    masks = [
+        interleaved_word_ownership(100, 8, 64, 4, unit)
+        for unit in range(4)
+    ]
+    assert np.logical_or.reduce(masks).all()
+    assert sum(m.sum() for m in masks) == 100
+
+
+def test_ownership_validation():
+    with pytest.raises(ConfigError):
+        interleaved_word_ownership(8, 8, 4, 2, 0)  # interleave < word
+    with pytest.raises(ConfigError):
+        interleaved_word_ownership(8, 8, 64, 2, 5)  # unit out of range
+    with pytest.raises(ConfigError):
+        interleaved_word_ownership(-1, 8, 64, 2, 0)
+
+
+def test_merge_partial_bitmasks_recovers_full_result():
+    """Each JAFAR overwrites only bits for rows it operated on (§2.2)."""
+    values = np.arange(32, dtype=np.int64)
+    full = values % 3 == 0
+    ownership = [interleaved_word_ownership(32, 8, 64, 2, u) for u in range(2)]
+    partials = []
+    for owns in ownership:
+        partial = np.zeros(32, dtype=bool)
+        partial[owns] = full[owns]
+        partials.append(partial)
+    merged = merge_partial_bitmasks(partials, ownership)
+    assert (merged == full).all()
+
+
+def test_merge_rejects_overlap_and_gaps():
+    ones = np.ones(4, dtype=bool)
+    with pytest.raises(ConfigError, match="overlap"):
+        merge_partial_bitmasks([ones, ones], [ones, ones])
+    half = np.array([True, True, False, False])
+    with pytest.raises(ConfigError, match="cover"):
+        merge_partial_bitmasks([ones], [half])
+    with pytest.raises(ConfigError, match="no partial"):
+        merge_partial_bitmasks([], [])
+
+
+def test_shuffle_for_contiguity_round_trip():
+    values = np.arange(24, dtype=np.int64) * 7
+    shuffled, inverse = shuffle_for_contiguity(values, interleave_bytes=64,
+                                               num_units=2)
+    assert (shuffled[inverse] == values).all()
+    # First half of the shuffled array is unit 0's words.
+    owns0 = interleaved_word_ownership(24, 8, 64, 2, 0)
+    assert (shuffled[:owns0.sum()] == values[owns0]).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    units=st.sampled_from([1, 2, 4]),
+    interleave=st.sampled_from([8, 64, 4096]),
+)
+def test_shuffle_round_trip_property(n, units, interleave):
+    values = np.arange(n, dtype=np.int64)
+    shuffled, inverse = shuffle_for_contiguity(values, interleave, units)
+    assert (shuffled[inverse] == values).all()
+    assert sorted(shuffled.tolist()) == values.tolist()

@@ -1,0 +1,69 @@
+"""Tests for the physical-memory backing store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_, OutOfMemoryError
+from repro.mem import PhysicalMemory
+
+
+def test_read_write_round_trip():
+    mem = PhysicalMemory(1024)
+    mem.write(100, b"hello")
+    assert mem.read(100, 5).tobytes() == b"hello"
+
+
+def test_memory_starts_zeroed():
+    mem = PhysicalMemory(64)
+    assert not mem.read(0, 64).any()
+
+
+def test_word_view_aliases_storage():
+    mem = PhysicalMemory(1024)
+    view = mem.view_words(0, 4, dtype=np.int64)
+    view[:] = [1, -2, 3, -4]
+    again = mem.view_words(0, 4, dtype=np.int64)
+    assert list(again) == [1, -2, 3, -4]
+
+
+def test_write_words_and_read_back():
+    mem = PhysicalMemory(1024)
+    mem.write_words(64, np.array([10, 20, 30], dtype=np.int32))
+    assert list(mem.view_words(64, 3, dtype=np.int32)) == [10, 20, 30]
+
+
+def test_unaligned_word_view_raises():
+    mem = PhysicalMemory(1024)
+    with pytest.raises(MemoryError_, match="aligned"):
+        mem.view_words(3, 1, dtype=np.int64)
+
+
+def test_out_of_bounds_access_raises():
+    mem = PhysicalMemory(64)
+    with pytest.raises(MemoryError_):
+        mem.read(60, 8)
+    with pytest.raises(MemoryError_):
+        mem.write(64, b"x")
+    with pytest.raises(MemoryError_):
+        mem.read(-1, 4)
+
+
+def test_fill():
+    mem = PhysicalMemory(64)
+    mem.fill(8, 8, 0xFF)
+    assert mem.read(8, 8).tolist() == [0xFF] * 8
+    assert mem.read(0, 8).tolist() == [0] * 8
+    with pytest.raises(MemoryError_):
+        mem.fill(0, 4, 300)
+
+
+def test_zero_size_memory_rejected():
+    with pytest.raises(OutOfMemoryError):
+        PhysicalMemory(0)
+
+
+def test_read_returns_copy():
+    mem = PhysicalMemory(64)
+    snapshot = mem.read(0, 8)
+    mem.write(0, b"\x01" * 8)
+    assert not snapshot.any()

@@ -1,0 +1,77 @@
+"""Tests for clock domains and bus-transfer arithmetic."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import ClockDomain, bandwidth_bytes_per_s, transfer_time_ps
+from repro.units import ghz, mhz
+
+
+def test_period_of_1ghz_clock_is_1000ps():
+    clk = ClockDomain(ghz(1))
+    assert clk.period_ps == 1000
+
+
+def test_cycles_to_ps_round_trip():
+    clk = ClockDomain(mhz(800))
+    assert clk.period_ps == 1250
+    assert clk.cycles_to_ps(4) == 5000
+    assert clk.ps_to_cycles(5000) == 4
+    assert clk.ps_to_cycles(5001) == 4  # mid-cycle floors
+
+
+def test_ps_to_cycles_exact_is_fractional():
+    clk = ClockDomain(ghz(1))
+    assert clk.ps_to_cycles_exact(1500) == pytest.approx(1.5)
+
+
+def test_next_edge_alignment():
+    clk = ClockDomain(ghz(1))
+    assert clk.next_edge(0) == 0
+    assert clk.next_edge(1) == 1000
+    assert clk.next_edge(1000) == 1000
+    assert clk.next_edge(1001) == 2000
+
+
+def test_derived_clock_doubles_frequency():
+    bus = ClockDomain(mhz(1066), "bus")
+    jafar = bus.derived(2, "jafar")
+    assert jafar.freq_hz == bus.freq_hz * 2
+    assert jafar.period_ps == pytest.approx(bus.period_ps / 2, abs=1)
+
+
+def test_invalid_frequency_raises():
+    with pytest.raises(ClockError):
+        ClockDomain(0)
+    with pytest.raises(ClockError):
+        ClockDomain(-5)
+
+
+def test_negative_duration_raises():
+    clk = ClockDomain(ghz(1))
+    with pytest.raises(ClockError):
+        clk.ps_to_cycles(-1)
+
+
+def test_ddr_bandwidth_is_16x_bus_freq():
+    # 64-bit channel, dual-pumped: 16 bytes per bus cycle.
+    bus = ClockDomain(ghz(1))
+    assert bandwidth_bytes_per_s(bus, bytes_per_edge=8, pumped=2) == 16e9
+
+
+def test_transfer_time_of_one_burst():
+    # 64 bytes over a dual-pumped 64-bit bus = 8 edges = 4 cycles.
+    bus = ClockDomain(ghz(1))
+    assert transfer_time_ps(bus, 64) == 4000
+
+
+def test_transfer_time_rounds_up_partial_edges():
+    bus = ClockDomain(ghz(1))
+    assert transfer_time_ps(bus, 1) == 500  # one edge
+    assert transfer_time_ps(bus, 9) == 1000  # two edges
+
+
+def test_transfer_time_rejects_negative_size():
+    bus = ClockDomain(ghz(1))
+    with pytest.raises(ClockError):
+        transfer_time_ps(bus, -1)

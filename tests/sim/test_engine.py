@@ -1,0 +1,104 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(30, lambda: fired.append("c"))
+    sim.schedule_at(10, lambda: fired.append("a"))
+    sim.schedule_at(20, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("first", "second", "third"):
+        sim.schedule_at(5, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(100, lambda: sim.schedule_after(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule_at(10, lambda: fired.append("x"))
+    event.cancel()
+    sim.schedule_at(20, lambda: fired.append("y"))
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_horizon_stops_and_preserves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, lambda: fired.append(10))
+    sim.schedule_at(100, lambda: fired.append(100))
+    count = sim.run(until_ps=50)
+    assert count == 1
+    assert fired == [10]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_run_guards_against_runaway_loops():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule_after(1, reschedule)
+
+    sim.schedule_at(0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_advance_to_moves_time_forward_only():
+    sim = Simulator()
+    sim.advance_to(500)
+    assert sim.now == 500
+    with pytest.raises(SimulationError):
+        sim.advance_to(400)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    event = sim.schedule_at(10, lambda: None)
+    sim.schedule_at(20, lambda: None)
+    assert sim.pending == 2
+    event.cancel()
+    assert sim.pending == 1

@@ -1,0 +1,126 @@
+"""Tests for counters, histograms, and busy-interval tracking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import BusyTracker, Counter, Histogram, StatGroup
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("reads")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(10)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_moments(self):
+        hist = Histogram("lat")
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.stddev == pytest.approx(0.8165, abs=1e-3)
+
+    def test_power_of_two_buckets(self):
+        hist = Histogram("lat")
+        hist.record(0.5)   # bucket 0
+        hist.record(1)     # bucket 1
+        hist.record(3)     # bucket 2
+        hist.record(1000)  # bucket 10
+        assert hist.buckets == {0: 1, 1: 1, 2: 1, 10: 1}
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(SimulationError):
+            Histogram("x").record(-1)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestBusyTracker:
+    def test_disjoint_intervals_accumulate_and_gap_recorded(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(0, 100)
+        tracker.mark_busy(300, 400)
+        tracker.finish()
+        assert tracker.busy_ps == 200
+        assert tracker.intervals == 2
+        gaps = tracker.idle_gaps_ps()
+        assert gaps.count == 1
+        assert gaps.mean == 200
+
+    def test_overlapping_intervals_coalesce(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(0, 100)
+        tracker.mark_busy(50, 150)
+        tracker.mark_busy(150, 200)  # abutting also coalesces
+        tracker.finish()
+        assert tracker.busy_ps == 200
+        assert tracker.intervals == 1
+        assert tracker.idle_gaps_ps().count == 0
+
+    def test_zero_length_interval_ignored(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(10, 10)
+        tracker.finish()
+        assert tracker.busy_ps == 0
+
+    def test_out_of_order_starts_raise(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(100, 200)
+        with pytest.raises(SimulationError):
+            tracker.mark_busy(50, 60)
+
+    def test_backwards_interval_raises(self):
+        with pytest.raises(SimulationError):
+            BusyTracker("rq").mark_busy(100, 50)
+
+    def test_span_and_utilisation(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(100, 200)
+        tracker.mark_busy(400, 500)
+        tracker.finish()
+        assert tracker.span_ps() == 400
+        assert tracker.utilisation(1000) == pytest.approx(0.2)
+
+    def test_utilisation_includes_open_interval(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(0, 500)
+        assert tracker.utilisation(1000) == pytest.approx(0.5)
+
+    def test_utilisation_rejects_empty_window(self):
+        with pytest.raises(SimulationError):
+            BusyTracker("rq").utilisation(0)
+
+
+class TestStatGroup:
+    def test_lazily_creates_and_snapshots(self):
+        group = StatGroup("mc")
+        group.counter("reads").add(3)
+        group.histogram("lat").record(10)
+        snap = group.snapshot()
+        assert snap["reads"] == 3
+        assert snap["lat.mean"] == 10
+        assert snap["lat.count"] == 1
+
+    def test_reset_clears_everything(self):
+        group = StatGroup("mc")
+        group.counter("reads").add(3)
+        group.histogram("lat").record(10)
+        group.reset()
+        assert group.counter("reads").value == 0
+        assert group.histogram("lat").count == 0

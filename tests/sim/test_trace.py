@@ -1,0 +1,91 @@
+"""Tests for DRAM command tracing."""
+
+import numpy as np
+import pytest
+
+from repro.config import GEM5_PLATFORM
+from repro.dram import Agent, MemRequest
+from repro.errors import SimulationError
+from repro.sim import CommandTrace, attach_trace, detach_trace
+from repro.system import Machine
+
+
+def test_trace_records_controller_traffic():
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    machine.controller.stream(range(0, 64 * 16, 64), nbytes=64, start_ps=0)
+    assert len(trace) == 16
+    assert trace.counts_by_agent() == {"cpu": 16}
+    # Sequential stream: all but the first burst hit the open row.
+    assert trace.row_hit_rate() == pytest.approx(15 / 16)
+
+
+def test_trace_sees_both_agents():
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    values = np.arange(4096, dtype=np.int64)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(512, dimm=0, pinned=True)
+    machine.driver.select_column(col.vaddr, 4096, 0, 100, out.vaddr)
+    machine.controller.submit(MemRequest(0, 64, False,
+                                         machine.core.now_ps, Agent.CPU))
+    counts = trace.counts_by_agent()
+    assert counts["jafar"] > 0
+    assert counts["cpu"] > 0
+    assert trace.interleavings() >= 1
+
+
+def test_agent_conflicts_only_on_shared_banks():
+    trace = CommandTrace()
+    trace.record(0, "cpu", 0, 0, 1, False, False)
+    trace.record(1, "jafar", 0, 0, 2, False, False)   # same bank: conflict
+    trace.record(2, "cpu", 0, 3, 1, False, False)     # different bank
+    assert trace.interleavings() == 2
+    assert trace.agent_conflicts() == 1
+
+
+def test_window_filters_by_time():
+    trace = CommandTrace()
+    for t in (10, 20, 30, 40):
+        trace.record(t, "cpu", 0, 0, 0, False, True)
+    sub = trace.window(15, 35)
+    assert len(sub) == 2
+    with pytest.raises(SimulationError):
+        trace.window(10, 5)
+
+
+def test_summary_fields():
+    trace = CommandTrace()
+    trace.record(0, "cpu", 0, 0, 0, False, True)
+    trace.record(1, "cpu", 0, 0, 0, True, True)
+    summary = trace.summary()
+    assert summary["bursts"] == 2
+    assert summary["reads"] == 1
+    assert summary["writes"] == 1
+    assert summary["row_hit_rate"] == 1.0
+
+
+def test_capacity_guard():
+    trace = CommandTrace(capacity=2)
+    trace.record(0, "cpu", 0, 0, 0, False, True)
+    trace.record(1, "cpu", 0, 0, 0, False, True)
+    with pytest.raises(SimulationError, match="capacity"):
+        trace.record(2, "cpu", 0, 0, 0, False, True)
+
+
+def test_detach_stops_recording():
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    machine.controller.submit(MemRequest(0, 64, False, 0))
+    detach_trace(machine)
+    machine.controller.submit(MemRequest(64, 64, False, 1000))
+    assert len(trace) == 1
+
+
+def test_row_hit_rate_per_agent():
+    trace = CommandTrace()
+    trace.record(0, "cpu", 0, 0, 0, False, True)
+    trace.record(1, "jafar", 0, 0, 0, False, False)
+    assert trace.row_hit_rate("cpu") == 1.0
+    assert trace.row_hit_rate("jafar") == 0.0
+    assert trace.row_hit_rate("nobody") == 0.0

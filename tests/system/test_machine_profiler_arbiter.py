@@ -1,0 +1,133 @@
+"""Tests for full-system assembly, the Fig. 4 profiler, and the arbiter."""
+
+import numpy as np
+import pytest
+
+from repro.config import GEM5_PLATFORM, XEON_PLATFORM, platform
+from repro.dram import MemRequest
+from repro.errors import ConfigError, SimulationError
+from repro.system import (
+    Machine,
+    gap_budget,
+    idle_gap_slowdown,
+    profile_controller,
+)
+
+
+class TestMachine:
+    def test_gem5_platform_builds(self):
+        machine = Machine(GEM5_PLATFORM)
+        assert machine.timings.name == "DDR3-2133N"
+        assert len(machine.hierarchy.levels) == 2
+        assert len(machine.devices) == 1  # one DIMM, one JAFAR
+
+    def test_xeon_platform_builds(self):
+        machine = Machine(XEON_PLATFORM)
+        assert len(machine.hierarchy.levels) == 3
+        assert len(machine.devices) == 4  # 2 channels x 2 DIMMs
+        assert machine.geometry.total_bytes == 256 * 1024 * 1024
+
+    def test_platform_lookup(self):
+        assert platform("gem5") is GEM5_PLATFORM
+        with pytest.raises(ConfigError):
+            platform("power9")
+
+    def test_alloc_read_round_trip(self):
+        machine = Machine(GEM5_PLATFORM)
+        values = np.arange(10_000, dtype=np.int64)
+        mapping = machine.alloc_array(values)
+        back = machine.read_array(mapping, values.nbytes)
+        assert (back == values).all()
+
+    def test_alloc_pinned(self):
+        machine = Machine(GEM5_PLATFORM)
+        mapping = machine.alloc_array(np.arange(16, dtype=np.int64), pinned=True)
+        assert machine.vm.is_pinned(mapping.vaddr)
+
+    def test_alloc_zeros(self):
+        machine = Machine(GEM5_PLATFORM)
+        mapping = machine.alloc_zeros(4096)
+        assert not machine.read_array(mapping, 4096, dtype=np.uint8).any()
+
+    def test_populated_size_must_divide(self):
+        with pytest.raises(ConfigError, match="populated"):
+            Machine(GEM5_PLATFORM.with_(populated_mib=100))  # not a power split
+
+    def test_describe_matches_table1(self):
+        rows = dict(XEON_PLATFORM.describe())
+        assert "Xeon" in rows["Platform"]
+        assert rows["CPU"].startswith("2 GHz")
+        assert "4 socket" in rows["Sockets"]
+        assert "1024 GB" in rows["DRAM"]
+
+
+class TestProfiler:
+    def make_loaded_machine(self):
+        machine = Machine(GEM5_PLATFORM)
+        t = machine.timings
+        # Requests spaced 100 bus cycles apart, 64 of them.
+        for k in range(64):
+            machine.controller.submit(
+                MemRequest(k * 64, 64, k % 4 == 3, t.cycles_to_ps(100 * k)))
+        return machine, t.cycles_to_ps(100 * 64)
+
+    def test_profile_reports_the_papers_estimate(self):
+        machine, window_ps = self.make_loaded_machine()
+        profile = profile_controller(machine.controller, window_ps, "unit")
+        assert profile.reads == 48
+        assert profile.writes == 16
+        assert profile.mc_empty_cycles == pytest.approx(
+            profile.total_cycles - profile.rc_busy_cycles
+            - profile.wc_busy_cycles)
+        assert profile.mean_idle_period_cycles == pytest.approx(
+            profile.mc_empty_cycles / 64)
+
+    def test_estimate_is_pessimistic_vs_ground_truth(self):
+        """The paper's bound under-counts idle time (assumes no R/W
+        overlap), so the true mean gap is at least the estimate's order."""
+        machine, window_ps = self.make_loaded_machine()
+        profile = profile_controller(machine.controller, window_ps, "unit")
+        assert profile.true_mean_idle_gap_cycles > 0
+        # With no R/W overlap the two agree to within the N vs N-1 gap
+        # count; with overlap the estimate can only go lower.
+        assert profile.mean_idle_period_cycles <= (
+            profile.true_mean_idle_gap_cycles * 1.02)
+
+    def test_window_validation(self):
+        machine, _ = self.make_loaded_machine()
+        with pytest.raises(SimulationError):
+            profile_controller(machine.controller, 0)
+
+
+class TestArbiter:
+    def test_gap_budget_reproduces_section33_arithmetic(self):
+        """500-cycle gap -> 125 blocks -> 4 KB -> half an 8 KB row."""
+        machine = Machine(XEON_PLATFORM)
+        budget = gap_budget(500.0, machine.timings, row_bytes=8192)
+        assert budget.blocks_per_gap == pytest.approx(125.0)
+        assert budget.bytes_per_gap == pytest.approx(4000.0)
+        assert budget.fraction_of_row == pytest.approx(0.49, abs=0.01)
+
+    def test_reentry_overhead_shrinks_budget(self):
+        machine = Machine(XEON_PLATFORM)
+        free = gap_budget(500.0, machine.timings)
+        taxed = gap_budget(500.0, machine.timings, reentry_overhead_cycles=100)
+        assert taxed.usable_cycles == 400
+        assert taxed.bytes_per_gap < free.bytes_per_gap
+
+    def test_idle_gap_slowdown_exceeds_one(self):
+        machine, window_ps = TestProfiler().make_loaded_machine()
+        profile = profile_controller(machine.controller, window_ps, "unit")
+        est = idle_gap_slowdown(work_ps=10**9, profile=profile,
+                                timings=machine.timings,
+                                bytes_total=32 * 1024 * 1024)
+        assert est.slowdown > 1.0
+        assert est.interruptions > 0
+
+    def test_validation(self):
+        machine, window_ps = TestProfiler().make_loaded_machine()
+        profile = profile_controller(machine.controller, window_ps, "unit")
+        with pytest.raises(ConfigError):
+            idle_gap_slowdown(0, profile, machine.timings, 100)
+        with pytest.raises(ConfigError):
+            gap_budget(-1.0, machine.timings)

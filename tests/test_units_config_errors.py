@@ -1,0 +1,143 @@
+"""Tests for units, platform configuration, error hierarchy, and commands."""
+
+import pytest
+
+from repro import errors, units
+from repro.config import (
+    CPUCostModel,
+    CacheLevelSpec,
+    GEM5_PLATFORM,
+    JafarCostModel,
+    SystemConfig,
+    XEON_PLATFORM,
+)
+from repro.dram import MemRequest
+from repro.errors import ConfigError
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.ns(1) == 1000
+        assert units.us(1.5) == 1_500_000
+        assert units.ms(2) == 2_000_000_000
+        assert units.seconds(1) == units.PS_PER_S
+
+    def test_time_back_conversions(self):
+        assert units.to_ns(1500) == 1.5
+        assert units.to_us(units.us(3)) == 3.0
+        assert units.to_ms(units.ms(0.5)) == 0.5
+
+    def test_frequency(self):
+        assert units.mhz(800) == 800_000_000
+        assert units.ghz(2.5) == 2_500_000_000
+        assert units.period_ps(units.ghz(1)) == 1000
+
+    def test_period_validation(self):
+        with pytest.raises(ConfigError):
+            units.period_ps(0)
+        with pytest.raises(ConfigError):
+            units.period_ps(10**13)  # > 1 THz rounds to 0 ps
+
+    def test_sizes(self):
+        assert units.kib(2) == 2048
+        assert units.mib(1) == 1 << 20
+        assert units.gib(1) == 1 << 30
+
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(64) == "64 B"
+        assert units.fmt_bytes(8192) == "8.0 KiB"
+        assert units.fmt_bytes(3 << 20) == "3.0 MiB"
+        assert units.fmt_bytes(2 << 30) == "2.0 GiB"
+
+    def test_power_of_two_helpers(self):
+        assert units.is_power_of_two(64)
+        assert not units.is_power_of_two(0)
+        assert not units.is_power_of_two(63)
+        assert units.log2_exact(1024) == 10
+        with pytest.raises(ConfigError):
+            units.log2_exact(100)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_subsystem_branches(self):
+        assert issubclass(errors.DRAMTimingError, errors.DRAMError)
+        assert issubclass(errors.PageFaultError, errors.MemoryError_)
+        assert issubclass(errors.JafarBusyError, errors.JafarError)
+        assert issubclass(errors.SchemaError, errors.ColumnStoreError)
+        assert issubclass(errors.DDGError, errors.AccelError)
+
+    def test_catching_the_base_class_works(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DRAMOwnershipError("x")
+
+
+class TestConfig:
+    def test_with_creates_modified_copy(self):
+        faster = GEM5_PLATFORM.with_(cpu_freq_hz=3_000_000_000)
+        assert faster.cpu_freq_hz == 3_000_000_000
+        assert GEM5_PLATFORM.cpu_freq_hz == 1_000_000_000
+        assert faster.caches == GEM5_PLATFORM.caches
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GEM5_PLATFORM.with_(cpu_freq_hz=0)
+        with pytest.raises(ConfigError):
+            GEM5_PLATFORM.with_(cores=0)
+        with pytest.raises(ConfigError):
+            GEM5_PLATFORM.with_(caches=())
+        with pytest.raises(ConfigError):
+            GEM5_PLATFORM.with_(populated_mib=-1)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigError):
+            CPUCostModel(ipc=0)
+        with pytest.raises(ConfigError):
+            CPUCostModel(base_uops=-1)
+        with pytest.raises(ConfigError):
+            CPUCostModel(mispredict_penalty_cycles=-1)
+        with pytest.raises(ConfigError):
+            JafarCostModel(output_buffer_bits=10)  # not a byte multiple
+        with pytest.raises(ConfigError):
+            JafarCostModel(invoke_overhead_ns=-1)
+        with pytest.raises(ConfigError):
+            JafarCostModel(words_per_cycle=0)
+
+    def test_describe_covers_all_specs(self):
+        rows = dict(GEM5_PLATFORM.describe())
+        assert set(rows) == {"Platform", "CPU", "Cores", "Sockets", "Caches",
+                             "DRAM"}
+        assert "64 kB L1" in rows["Caches"]
+        xeon = dict(XEON_PLATFORM.describe())
+        assert "16 MB L3" in xeon["Caches"]
+
+    def test_cache_level_spec_fields(self):
+        spec = CacheLevelSpec("L1", 65536, 8, 4)
+        assert (spec.name, spec.size_bytes, spec.ways,
+                spec.hit_latency_cycles) == ("L1", 65536, 8, 4)
+
+    def test_platforms_differ_where_the_paper_says(self):
+        assert XEON_PLATFORM.cpu_freq_hz == 2 * GEM5_PLATFORM.cpu_freq_hz
+        assert XEON_PLATFORM.sockets == 4
+        assert GEM5_PLATFORM.sockets == 1
+        assert XEON_PLATFORM.dram_grade != GEM5_PLATFORM.dram_grade
+
+
+class TestMemRequestValidation:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            MemRequest(-1, 64, False, 0)
+        with pytest.raises(ValueError):
+            MemRequest(0, 0, False, 0)
+        with pytest.raises(ValueError):
+            MemRequest(0, 64, False, -5)
+
+    def test_request_ids_are_unique(self):
+        a = MemRequest(0, 64, False, 0)
+        b = MemRequest(0, 64, False, 0)
+        assert a.req_id != b.req_id

@@ -1,0 +1,134 @@
+"""Tests for the scaled TPC-H data generator."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.columnstore import encode_date
+from repro.tpch import generate, rows_at_scale
+from repro.tpch.datagen import ORDER_WINDOW_END, ORDER_WINDOW_START
+from repro.tpch.text import country_code, customer_names, phone_numbers
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=0.002, seed=7)
+
+
+def test_cardinality_ratios(data):
+    assert data.customer.num_rows == rows_at_scale("customer", 0.002)
+    assert data.orders.num_rows == rows_at_scale("orders", 0.002)
+    # lineitem averages 4 lines per order (U[1,7]).
+    ratio = data.lineitem.num_rows / data.orders.num_rows
+    assert 3.5 <= ratio <= 4.5
+
+
+def test_rows_at_scale_validation():
+    with pytest.raises(ValueError):
+        rows_at_scale("orders", 0)
+    assert rows_at_scale("customer", 1.0) == 150_000
+
+
+def test_determinism():
+    a = generate(scale=0.001, seed=3)
+    b = generate(scale=0.001, seed=3)
+    assert (a.lineitem["l_extendedprice"].values
+            == b.lineitem["l_extendedprice"].values).all()
+    c = generate(scale=0.001, seed=4)
+    # Different seed: same orders cardinality, different values.
+    assert not (a.orders["o_orderdate"].values
+                == c.orders["o_orderdate"].values).all()
+
+
+def test_foreign_keys_valid(data):
+    custkeys = set(data.customer["c_custkey"].values.tolist())
+    assert set(data.orders["o_custkey"].values.tolist()) <= custkeys
+    orderkeys = set(data.orders["o_orderkey"].values.tolist())
+    assert set(data.lineitem["l_orderkey"].values.tolist()) <= orderkeys
+
+
+def test_every_third_customer_has_no_orders(data):
+    ordering_custkeys = set(data.orders["o_custkey"].values.tolist())
+    skipped = [k for k in data.customer["c_custkey"].values.tolist()
+               if k % 3 == 0]
+    assert not ordering_custkeys.intersection(skipped)
+
+
+def test_order_dates_in_window(data):
+    dates = data.orders["o_orderdate"].values
+    assert dates.min() >= encode_date(ORDER_WINDOW_START)
+    assert dates.max() <= encode_date(ORDER_WINDOW_END)
+
+
+def test_ship_commit_receipt_ordering(data):
+    li = data.lineitem
+    # receiptdate strictly follows shipdate (1-30 days).
+    gap = li["l_receiptdate"].values - li["l_shipdate"].values
+    assert gap.min() >= 1 and gap.max() <= 30
+
+
+def test_value_domains(data):
+    li = data.lineitem
+    assert li["l_quantity"].values.min() >= 1
+    assert li["l_quantity"].values.max() <= 50
+    assert li["l_discount"].values.min() >= 0
+    assert li["l_discount"].values.max() <= 10
+    assert li["l_tax"].values.max() <= 8
+
+
+def test_returnflag_linestatus_correlated_with_date(data):
+    from repro.tpch.datagen import STATUS_CUTOVER
+    li = data.lineitem
+    cut = encode_date(STATUS_CUTOVER)
+    recent = li["l_shipdate"].values > cut
+    ls_dict = li["l_linestatus"].dictionary
+    rf_dict = li["l_returnflag"].dictionary
+    status = li["l_linestatus"].values
+    flags = li["l_returnflag"].values
+    assert (status[recent] == ls_dict.encode("O")).all()
+    assert (status[~recent] == ls_dict.encode("F")).all()
+    assert (flags[recent] == rf_dict.encode("N")).all()
+    assert set(np.unique(flags[~recent]).tolist()) == {
+        rf_dict.encode("A"), rf_dict.encode("R")}
+
+
+def test_totalprice_is_sum_of_lines(data):
+    li = data.lineitem
+    orders = data.orders
+    expected = np.zeros(orders.num_rows, dtype=np.int64)
+    np.add.at(expected, li["l_orderkey"].values - 1,
+              li["l_extendedprice"].values)
+    assert (orders["o_totalprice"].values == expected).all()
+
+
+def test_q1_and_q6_selectivities(data):
+    """The filter selectivities the profiled queries depend on."""
+    li = data.lineitem
+    ship = li["l_shipdate"].values
+    q1 = (ship <= encode_date(date(1998, 9, 2))).mean()
+    assert 0.95 <= q1 <= 1.0
+    q6 = ((ship >= encode_date(date(1994, 1, 1)))
+          & (ship <= encode_date(date(1994, 12, 31)))
+          & (li["l_discount"].values >= 5)
+          & (li["l_discount"].values <= 7)
+          & (li["l_quantity"].values < 24)).mean()
+    assert 0.01 <= q6 <= 0.03
+
+
+class TestText:
+    def test_phone_country_codes(self):
+        rng = np.random.default_rng(0)
+        nations = np.array([0, 14, 24])
+        phones = phone_numbers(nations, rng)
+        assert [country_code(p) for p in phones] == ["10", "24", "34"]
+
+    def test_phone_format(self):
+        rng = np.random.default_rng(0)
+        phone = phone_numbers(np.array([5]), rng)[0]
+        parts = phone.split("-")
+        assert len(parts) == 4
+        assert parts[0] == "15"
+
+    def test_customer_names(self):
+        assert customer_names(np.array([7]))[0] == "Customer#000000007"

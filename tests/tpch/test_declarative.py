@@ -1,0 +1,94 @@
+"""Declarative plan-tree query variants vs NumPy and the physical plans."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import ExecutionContext, StorageManager, encode_date
+from repro.config import XEON_PLATFORM
+from repro.system import Machine
+from repro.tpch import generate
+from repro.tpch.queries import declarative, q6
+from repro.tpch.queries.q1 import CUTOFF
+from repro.tpch.queries.q3 import PIVOT, SEGMENT
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=0.002, seed=13)
+
+
+def make_ctx(data, use_ndp=False):
+    machine = Machine(XEON_PLATFORM)
+    storage = StorageManager(machine, default_dimm=None)
+    for table in data.tables():
+        storage.load_table(table)
+    return ExecutionContext(machine, storage, use_ndp=use_ndp)
+
+
+@pytest.mark.parametrize("use_ndp", [False, True])
+def test_q6_plan_matches_numpy(data, use_ndp):
+    ctx = make_ctx(data, use_ndp)
+    rs = declarative.run_plan(ctx, data.catalog(),
+                              declarative.q6_plan(data.catalog()))
+    li = data.lineitem
+    mask = ((li["l_shipdate"].values >= encode_date(q6.YEAR_START))
+            & (li["l_shipdate"].values <= encode_date(q6.YEAR_END))
+            & (li["l_discount"].values >= q6.DISCOUNT_LOW)
+            & (li["l_discount"].values <= q6.DISCOUNT_HIGH)
+            & (li["l_quantity"].values < q6.QUANTITY_LIMIT))
+    assert rs.column("rows_selected")[0] == int(mask.sum())
+    assert rs.column("sum_price")[0] == int(
+        li["l_extendedprice"].values[mask].sum())
+
+
+def test_q6_plan_row_count_matches_physical_pipeline(data):
+    ctx = make_ctx(data)
+    rs = declarative.run_plan(ctx, data.catalog(),
+                              declarative.q6_plan(data.catalog()))
+    physical = q6.run(make_ctx(data), data.catalog())
+    assert rs.column("rows_selected")[0] == physical.rows[0]["rows_selected"]
+
+
+def test_q1_plan_groups_match_numpy(data):
+    ctx = make_ctx(data)
+    rs = declarative.run_plan(ctx, data.catalog(),
+                              declarative.q1_plan(data.catalog()))
+    li = data.lineitem
+    mask = li["l_shipdate"].values <= encode_date(CUTOFF)
+    rf = li["l_returnflag"].values[mask]
+    ls = li["l_linestatus"].values[mask]
+    qty = li["l_quantity"].values[mask]
+    for i in range(rs.num_rows):
+        sel = ((rf == rs.column("l_returnflag")[i])
+               & (ls == rs.column("l_linestatus")[i]))
+        assert rs.column("count_order")[i] == int(sel.sum())
+        assert rs.column("sum_qty")[i] == int(qty[sel].sum())
+    # Ordered by the group keys.
+    keys = list(zip(rs.column("l_returnflag").tolist(),
+                    rs.column("l_linestatus").tolist()))
+    assert keys == sorted(keys)
+
+
+def test_q3_join_plan_matches_numpy(data):
+    ctx = make_ctx(data)
+    rs = declarative.run_plan(ctx, data.catalog(),
+                              declarative.q3_join_plan(data.catalog()))
+    cust = data.customer
+    orders = data.orders
+    seg_dict = cust["c_mktsegment"].dictionary
+    building = cust["c_custkey"].values[
+        cust["c_mktsegment"].values == seg_dict.encode(SEGMENT)]
+    mask = ((orders["o_orderdate"].values < encode_date(PIVOT))
+            & np.isin(orders["o_custkey"].values, building))
+    assert rs.column("qualifying_orders")[0] == int(mask.sum())
+    assert rs.column("sum_totalprice")[0] == int(
+        orders["o_totalprice"].values[mask].sum())
+
+
+def test_plan_variants_charge_operator_time(data):
+    ctx = make_ctx(data)
+    declarative.run_plan(ctx, data.catalog(),
+                         declarative.q3_join_plan(data.catalog()))
+    assert "hash_join" in ctx.profile.times_ps
+    assert "select.cpu" in ctx.profile.times_ps
+    assert ctx.profile.total_ps() > 0

@@ -1,0 +1,106 @@
+"""Tests for the five profiled TPC-H queries.
+
+Each query's operator pipeline must agree with its pure-NumPy reference —
+both on the CPU path and with JAFAR pushdown enabled (the pushed-down plan
+must not change results, only time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import ExecutionContext, StorageManager
+from repro.config import XEON_PLATFORM
+from repro.system import Machine
+from repro.tpch import PROFILED_QUERIES, generate
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=SCALE, seed=11)
+
+
+def run_query(data, name, use_ndp=False, **ctx_kwargs):
+    machine = Machine(XEON_PLATFORM)
+    storage = StorageManager(machine, default_dimm=None)
+    for table in data.tables():
+        storage.load_table(table)
+    ctx = ExecutionContext(machine, storage, use_ndp=use_ndp, **ctx_kwargs)
+    return PROFILED_QUERIES[name].run(ctx, data.catalog()), ctx
+
+
+@pytest.mark.parametrize("name", list(PROFILED_QUERIES))
+def test_query_matches_reference_cpu(data, name):
+    result, _ = run_query(data, name)
+    assert result.rows == PROFILED_QUERIES[name].reference(data)
+
+
+@pytest.mark.parametrize("name", list(PROFILED_QUERIES))
+def test_query_matches_reference_with_ndp(data, name):
+    result, ctx = run_query(data, name, use_ndp=True)
+    assert result.rows == PROFILED_QUERIES[name].reference(data)
+    if name != "Q18":  # Q18 has no select to push down (whole-table group-by)
+        assert "select.jafar" in ctx.profile.times_ps
+
+
+@pytest.mark.parametrize("name", list(PROFILED_QUERIES))
+def test_query_charges_time_and_profiles_operators(data, name):
+    result, ctx = run_query(data, name)
+    assert result.duration_ps > 0
+    assert ctx.profile.total_ps() > 0
+    assert result.operator_times_ps  # per-operator breakdown captured
+
+
+def test_q1_group_structure(data):
+    result, _ = run_query(data, "Q1")
+    flags = [(r["l_returnflag"], r["l_linestatus"]) for r in result.rows]
+    assert flags == sorted(flags)
+    # dbgen correlation: N only pairs with O; A/R only with F.
+    for rf, ls in flags:
+        assert (ls == "O") == (rf == "N")
+
+
+def test_q1_counts_cover_filtered_rows(data):
+    result, _ = run_query(data, "Q1")
+    from repro.columnstore import encode_date
+    from repro.tpch.queries.q1 import CUTOFF
+    expected = int((data.lineitem["l_shipdate"].values
+                    <= encode_date(CUTOFF)).sum())
+    assert sum(r["count_order"] for r in result.rows) == expected
+
+
+def test_q3_returns_top10_descending_revenue(data):
+    result, _ = run_query(data, "Q3")
+    revenues = [r["revenue"] for r in result.rows]
+    assert revenues == sorted(revenues, reverse=True)
+    assert len(result.rows) <= 10
+
+
+def test_q6_revenue_positive_and_small_selection(data):
+    result, _ = run_query(data, "Q6")
+    row = result.rows[0]
+    assert row["revenue"] > 0
+    assert row["rows_selected"] < 0.05 * data.lineitem.num_rows
+
+
+def test_q18_threshold_respected(data):
+    result, _ = run_query(data, "Q18")
+    assert all(r["sum_qty"] > 300 for r in result.rows)
+    prices = [r["o_totalprice"] for r in result.rows]
+    assert prices == sorted(prices, reverse=True)
+
+
+def test_q22_customers_have_no_orders(data):
+    result, _ = run_query(data, "Q22")
+    assert result.rows  # the anti-join has real victims by construction
+    from repro.tpch.queries.q22 import COUNTRY_CODES
+    assert all(r["cntrycode"] in COUNTRY_CODES for r in result.rows)
+    assert all(r["numcust"] > 0 for r in result.rows)
+
+
+def test_interpreter_tax_slows_queries(data):
+    fast, _ = run_query(data, "Q6")
+    slow, _ = run_query(data, "Q6", interpreter_cycles_per_row=100.0,
+                        cache_resident_intermediates=True)
+    assert slow.duration_ps > 2 * fast.duration_ps

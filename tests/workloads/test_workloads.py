@@ -1,0 +1,103 @@
+"""Tests for workload generators and selectivity solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    DOMAIN_MAX,
+    achieved_selectivity,
+    bounds_for_selectivity,
+    clustered_runs_column,
+    exact_bounds,
+    sorted_column,
+    uniform_column,
+    zipf_column,
+)
+
+
+class TestGenerators:
+    def test_uniform_matches_paper_spec(self):
+        """§3.1: random integers uniformly distributed in [0, 1M)."""
+        values = uniform_column(100_000, seed=1)
+        assert values.dtype == np.int64
+        assert values.min() >= 0
+        assert values.max() < DOMAIN_MAX
+        # Roughly uniform: each decile holds ~10%.
+        hist, _ = np.histogram(values, bins=10, range=(0, DOMAIN_MAX))
+        assert (np.abs(hist / values.size - 0.1) < 0.02).all()
+
+    def test_deterministic_by_seed(self):
+        assert (uniform_column(1000, seed=5) == uniform_column(1000, seed=5)).all()
+        assert not (uniform_column(1000, seed=5)
+                    == uniform_column(1000, seed=6)).all()
+
+    def test_sorted_column(self):
+        values = sorted_column(1000)
+        assert (np.diff(values) >= 0).all()
+
+    def test_zipf_skew(self):
+        values = zipf_column(10_000, seed=2)
+        # Zipf(1.3): the smallest value alone holds 1/zeta(1.3) ~ 26%.
+        assert (values == 1).mean() > 0.2
+        with pytest.raises(WorkloadError):
+            zipf_column(10, a=0.9)
+
+    def test_clustered_runs(self):
+        values = clustered_runs_column(1000, run_length=100)
+        transitions = int((values[1:] != values[:-1]).sum())
+        assert transitions <= 10
+        with pytest.raises(WorkloadError):
+            clustered_runs_column(10, run_length=0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            uniform_column(0)
+        with pytest.raises(WorkloadError):
+            uniform_column(10, domain=0)
+
+
+class TestSelectivity:
+    def test_zero_selectivity_bounds_are_legal_but_empty(self):
+        low, high = bounds_for_selectivity(0.0)
+        assert low <= high  # legal range for JAFAR's register file
+        values = uniform_column(10_000)
+        assert achieved_selectivity(values, low, high) == 0.0
+
+    def test_full_selectivity(self):
+        low, high = bounds_for_selectivity(1.0)
+        values = uniform_column(10_000)
+        assert achieved_selectivity(values, low, high) == 1.0
+
+    def test_expected_selectivity_close(self):
+        values = uniform_column(200_000, seed=3)
+        for target in (0.1, 0.5, 0.9):
+            low, high = bounds_for_selectivity(target)
+            assert achieved_selectivity(values, low, high) == pytest.approx(
+                target, abs=0.01)
+
+    def test_exact_bounds_hit_target(self):
+        values = uniform_column(50_000, seed=4)
+        for target in (0.0, 0.25, 0.75, 1.0):
+            low, high = exact_bounds(values, target)
+            achieved = achieved_selectivity(values, low, high)
+            assert achieved == pytest.approx(target, abs=2 / values.size)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bounds_for_selectivity(1.5)
+        with pytest.raises(WorkloadError):
+            exact_bounds(np.empty(0, dtype=np.int64), 0.5)
+        with pytest.raises(WorkloadError):
+            achieved_selectivity(np.empty(0, dtype=np.int64), 0, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_exact_bounds_property(self, target):
+        values = uniform_column(5000, seed=9)
+        low, high = exact_bounds(values, target)
+        assert low <= high
+        achieved = achieved_selectivity(values, low, high)
+        assert abs(achieved - target) < 0.01 + 1 / 5000
