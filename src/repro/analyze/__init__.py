@@ -1,0 +1,54 @@
+"""Custom static analysis and protocol invariants for the reproduction.
+
+Three pass families guard the contracts the reported numbers rest on:
+
+* determinism (:mod:`repro.analyze.determinism`) — no wall clock, no
+  unseeded randomness, integer-picosecond timestamp arithmetic, no
+  set-iteration in event-scheduling code;
+* unit safety (:mod:`repro.analyze.units_lint`) — no cross-unit
+  add/subtract/compare, no magic latency constants outside the audited
+  cost-model homes;
+* DDR3 protocol (:mod:`repro.analyze.protocol`) — JEDEC relationships on
+  every speed grade and platform, plus a trace-replay validator that
+  re-checks recorded command streams against per-bank/per-rank ordering
+  constraints.
+
+Run as ``python -m repro.analyze [paths] [--format json|text]``; exits
+non-zero on any finding, which is how CI gates on it.
+"""
+
+from .core import (
+    AnalysisReport,
+    Finding,
+    ModulePass,
+    Pass,
+    ProjectPass,
+    all_passes,
+    discover,
+    register,
+    run_analysis,
+)
+from .protocol import (
+    ReplayReport,
+    TraceViolation,
+    jedec_findings,
+    replay_commands,
+    replay_trace,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModulePass",
+    "Pass",
+    "ProjectPass",
+    "ReplayReport",
+    "TraceViolation",
+    "all_passes",
+    "discover",
+    "jedec_findings",
+    "register",
+    "replay_commands",
+    "replay_trace",
+    "run_analysis",
+]

@@ -1,0 +1,121 @@
+"""``python -m repro.analyze`` — the CI gate.
+
+Exit codes: 0 = clean, 1 = findings (or replay violations), 2 = usage /
+internal error.  ``--format json`` emits a machine-readable report for
+tooling; the default text format prints one finding per line in the
+``path:line:col: [rule] message`` shape editors understand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core import all_passes, run_analysis
+from .protocol import ReplayReport, replay_commands
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Project-specific static analysis: determinism lints, "
+                    "unit-safety lints, and DDR3 protocol invariants.",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to scan (default: src/)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--no-project-passes", action="store_true",
+                        help="skip passes that validate live objects "
+                             "(speed grades, platforms)")
+    parser.add_argument("--replay", metavar="TRACE.jsonl",
+                        help="replay a DRAM command stream (written by "
+                             "repro.sim.trace.dump_commands) instead of "
+                             "scanning source")
+    parser.add_argument("--grade", default="DDR3-2133N",
+                        help="speed grade to validate --replay against "
+                             "(default: DDR3-2133N)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; the findings
+        # it read are still valid, so report them via the exit code alone.
+        sys.stderr.close()
+        return 1
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for p in all_passes():
+            scope = ",".join(p.scope) if p.scope else "repo-wide"
+            print(f"{p.name:<16} [{scope}] {p.description}")
+        return 0
+
+    if args.replay:
+        return _run_replay(args)
+
+    paths = args.paths or ["src"]
+    try:
+        report = run_analysis(paths,
+                              with_project_passes=not args.no_project_passes)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.parse_errors + report.findings:
+            print(finding.format())
+        status = "clean" if report.ok else (
+            f"{len(report.findings)} finding(s)"
+            + (f", {len(report.parse_errors)} parse error(s)"
+               if report.parse_errors else ""))
+        print(f"repro.analyze: {report.files_scanned} file(s), "
+              f"{len(report.passes_run)} pass(es): {status}")
+    return 0 if report.ok else 1
+
+
+def _run_replay(args) -> int:
+    from ..dram.timing import speed_grade
+    from ..sim.trace import load_commands
+
+    try:
+        timings = speed_grade(args.grade)
+        commands = load_commands(args.replay)
+    except Exception as exc:  # ConfigError, SimulationError, OSError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = ReplayReport(commands=len(commands),
+                          violations=replay_commands(commands, timings))
+    if args.format == "json":
+        print(json.dumps({
+            "ok": report.ok,
+            "commands": report.commands,
+            "grade": timings.name,
+            "violations": [{"index": v.index, "rule": v.rule,
+                            "message": v.message}
+                           for v in report.violations],
+        }, indent=2, sort_keys=True))
+    else:
+        for v in report.violations:
+            print(f"{args.replay}: {v.format()}")
+        status = "clean" if report.ok else f"{len(report.violations)} violation(s)"
+        print(f"repro.analyze --replay: {report.commands} command(s) "
+              f"against {timings.name}: {status}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

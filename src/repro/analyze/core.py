@@ -1,0 +1,211 @@
+"""The lint framework: findings, passes, discovery, suppression, running.
+
+``repro.analyze`` is a small AST-walking static-analysis harness with three
+project-specific pass families (determinism, unit safety, DRAM protocol
+invariants).  It exists because the numbers this repo reports rest on
+contracts — integer-picosecond timestamps, deterministic event ordering,
+JEDEC-consistent DDR3 parameters — that Python will not enforce for us.
+
+Two kinds of pass:
+
+* :class:`ModulePass` — walks the AST of each discovered file.  Scoping is
+  by path segment (e.g. the wall-clock ban applies only under ``sim``,
+  ``dram``, ``jafar``), so benchmarks and analysis code keep their floats.
+* :class:`ProjectPass` — runs once per invocation against live objects
+  (the registered DDR3 speed grades, the platform table).
+
+Findings can be suppressed line-by-line with an audited comment::
+
+    foo_ps = bar / 2   # analyze: allow[float-ps] reviewed: exact halves
+
+Suppressions without a rule name (``# analyze: allow``) silence every rule
+on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "message": self.message,
+                "path": self.path, "line": self.line, "col": self.col}
+
+
+class Pass:
+    """Base class for all analysis passes.
+
+    ``name`` is the rule id findings carry (and the id suppression comments
+    reference); ``scope`` is a tuple of path segments the pass is limited
+    to, or None for repo-wide.
+    """
+
+    name: str = "pass"
+    description: str = ""
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.scope is None:
+            return True
+        parts = os.path.normpath(path).split(os.sep)
+        return any(seg in parts for seg in self.scope)
+
+
+class ModulePass(Pass):
+    """A pass that inspects one parsed module at a time."""
+
+    def check_module(self, tree: ast.Module, source: str,
+                     path: str) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProjectPass(Pass):
+    """A pass that validates live project objects once per run."""
+
+    def check_project(self) -> list[Finding]:
+        raise NotImplementedError
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: list[type[Pass]] = []
+
+
+def register(cls: type[Pass]) -> type[Pass]:
+    """Class decorator adding a pass to the default suite."""
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_passes() -> list[Pass]:
+    """Fresh instances of every registered pass, in registration order."""
+    # Importing the pass modules populates the registry exactly once.
+    from . import determinism, protocol, units_lint  # noqa: F401
+
+    return [cls() for cls in _REGISTRY]
+
+
+# -- discovery ----------------------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".ruff_cache",
+              "build", "dist"}
+
+
+def discover(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.add(os.path.normpath(path))
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in _SKIP_DIRS
+                                 and not d.endswith(".egg-info"))
+                for fname in files:
+                    if fname.endswith(".py"):
+                        out.add(os.path.normpath(os.path.join(root, fname)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+# -- suppression --------------------------------------------------------------
+
+_ALLOW_RE = re.compile(r"#\s*analyze:\s*allow(?:\[([a-z0-9_,\- ]+)\])?")
+
+
+def suppressed_lines(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule names (None = every rule)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+# -- runner -------------------------------------------------------------------
+
+@dataclass
+class AnalysisReport:
+    """Everything one invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    passes_run: list[str] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "passes": self.passes_run,
+            "findings": [f.as_dict() for f in self.findings],
+            "parse_errors": [f.as_dict() for f in self.parse_errors],
+        }
+
+
+def run_analysis(paths: list[str], passes: list[Pass] | None = None,
+                 with_project_passes: bool = True) -> AnalysisReport:
+    """Run the pass suite over ``paths`` and return the combined report."""
+    if passes is None:
+        passes = all_passes()
+    module_passes = [p for p in passes if isinstance(p, ModulePass)]
+    project_passes = [p for p in passes if isinstance(p, ProjectPass)]
+
+    report = AnalysisReport(passes_run=[p.name for p in passes])
+    files = discover(paths)
+    report.files_scanned = len(files)
+
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.parse_errors.append(Finding(
+                "parse-error", f"syntax error: {exc.msg}", path,
+                exc.lineno or 0, exc.offset or 0))
+            continue
+        allow = suppressed_lines(source)
+        for mod_pass in module_passes:
+            if not mod_pass.applies_to(path):
+                continue
+            for finding in mod_pass.check_module(tree, source, path):
+                rules = allow.get(finding.line, ...)
+                if rules is None or (rules is not ... and finding.rule in rules):
+                    continue
+                report.findings.append(finding)
+
+    if with_project_passes:
+        for proj_pass in project_passes:
+            report.findings.extend(proj_pass.check_project())
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,232 @@
+"""Determinism passes.
+
+The simulator's contract (:mod:`repro.sim.engine`) is that identical inputs
+produce identical event sequences: timestamps are integer picoseconds, event
+order is the total order ``(time_ps, seq)``, and nothing in the timing model
+consults the outside world.  These passes make the contract machine-checked
+inside the simulation packages (``sim``, ``dram``, ``jafar``):
+
+* ``wall-clock`` — no ``time.time()`` / ``datetime.now()`` & friends.
+* ``unseeded-random`` — no ``random`` module, no seedless
+  ``numpy.random.default_rng()``, no legacy global-state numpy RNG.
+* ``float-ps`` — no float literals and no true division in expressions
+  assigned to ``*_ps`` / ``*_cycles`` names (use integer arithmetic and
+  :func:`repro.units.div_round`).
+* ``set-iteration`` — no iteration over set displays/``set()`` results;
+  Python set order is salted per process, so iterating one inside
+  event-scheduling code reorders same-timestamp work between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModulePass, register
+
+#: Packages whose files carry the integer-picosecond / determinism contract.
+SIM_SCOPE = ("sim", "dram", "jafar")
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "process_time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: numpy.random module-level functions backed by the hidden global RNG.
+_GLOBAL_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+    "normal", "standard_normal",
+}
+
+
+def _dotted_tail(node: ast.expr) -> tuple[str, str] | None:
+    """``a.b.c(...)`` -> ("b", "c"): the last two path components."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    leaf = node.attr
+    base = node.value
+    if isinstance(base, ast.Attribute):
+        return (base.attr, leaf)
+    if isinstance(base, ast.Name):
+        return (base.id, leaf)
+    if isinstance(base, ast.Call):
+        tail = _dotted_tail(base.func)
+        if tail is not None:
+            return (tail[1], leaf)
+    return None
+
+
+@register
+class WallClockPass(ModulePass):
+    """Forbid wall-clock reads inside the simulation packages."""
+
+    name = "wall-clock"
+    description = "no time.time()/datetime.now() in simulation code"
+    scope = SIM_SCOPE
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" or alias.name.startswith("time."):
+                        findings.append(Finding(
+                            self.name,
+                            "import of wall-clock module 'time' in simulation "
+                            "code; simulated time is repro.sim.engine's job",
+                            path, node.lineno, node.col_offset))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    findings.append(Finding(
+                        self.name,
+                        "import from wall-clock module 'time' in simulation code",
+                        path, node.lineno, node.col_offset))
+            elif isinstance(node, ast.Call):
+                tail = _dotted_tail(node.func)
+                if tail in _WALLCLOCK_CALLS:
+                    findings.append(Finding(
+                        self.name,
+                        f"wall-clock call {tail[0]}.{tail[1]}() makes results "
+                        "depend on the host clock",
+                        path, node.lineno, node.col_offset))
+        return findings
+
+
+@register
+class UnseededRandomPass(ModulePass):
+    """Forbid nondeterministically seeded randomness in simulation code."""
+
+    name = "unseeded-random"
+    description = "no random module / seedless RNGs in simulation code"
+    scope = SIM_SCOPE
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(Finding(
+                            self.name,
+                            "import of stdlib 'random' (process-seeded) in "
+                            "simulation code; use numpy default_rng(seed)",
+                            path, node.lineno, node.col_offset))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(Finding(
+                        self.name,
+                        "import from stdlib 'random' in simulation code",
+                        path, node.lineno, node.col_offset))
+            elif isinstance(node, ast.Call):
+                tail = _dotted_tail(node.func)
+                if tail is None:
+                    continue
+                if tail[1] == "default_rng" and not node.args and not node.keywords:
+                    findings.append(Finding(
+                        self.name,
+                        "default_rng() without a seed draws OS entropy; pass "
+                        "an explicit seed",
+                        path, node.lineno, node.col_offset))
+                elif tail[0] == "random" and tail[1] in _GLOBAL_NP_RANDOM:
+                    findings.append(Finding(
+                        self.name,
+                        f"global-state RNG call random.{tail[1]}(); construct "
+                        "a seeded Generator instead",
+                        path, node.lineno, node.col_offset))
+        return findings
+
+
+_TIMESTAMP_SUFFIXES = ("_ps", "_cycles")
+
+
+def _timestamp_targets(node: ast.stmt) -> list[str]:
+    """Names ending in a timestamp suffix assigned by this statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names = []
+    stack = list(targets)
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (ast.Tuple, ast.List)):
+            stack.extend(t.elts)
+        elif isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return [n for n in names
+            if any(n.endswith(suf) for suf in _TIMESTAMP_SUFFIXES)]
+
+
+@register
+class FloatTimestampPass(ModulePass):
+    """Keep ``*_ps`` / ``*_cycles`` assignments in exact integer arithmetic."""
+
+    name = "float-ps"
+    description = "no float literals / true division feeding *_ps or *_cycles"
+    scope = SIM_SCOPE
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            names = _timestamp_targets(node)
+            if not names or node.value is None:
+                continue
+            label = ", ".join(sorted(set(names)))
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                    findings.append(Finding(
+                        self.name,
+                        f"float literal {sub.value!r} feeds timestamp "
+                        f"variable {label}; timestamps are integer picoseconds",
+                        path, sub.lineno, sub.col_offset))
+                elif isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                    findings.append(Finding(
+                        self.name,
+                        f"true division feeds timestamp variable {label}; "
+                        "use // or repro.units.div_round for exact integers",
+                        path, sub.lineno, sub.col_offset))
+        return findings
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationPass(ModulePass):
+    """Forbid iterating sets in event-scheduling code (salted hash order)."""
+
+    name = "set-iteration"
+    description = "no iteration over set()/set displays in simulation code"
+    scope = SIM_SCOPE
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if _is_set_expr(it):
+                    findings.append(Finding(
+                        self.name,
+                        "iteration over a set: order is hash-salted per "
+                        "process; sort it (sorted(...)) to keep event order "
+                        "deterministic",
+                        path, it.lineno, it.col_offset))
+        return findings

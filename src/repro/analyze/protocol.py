@@ -1,0 +1,329 @@
+"""DDR3 protocol invariants: static JEDEC checks and trace replay.
+
+Two layers of defence for the timing model every reported number rests on:
+
+* **Static** — :class:`JEDECInvariantPass` audits every registered speed
+  grade (:data:`repro.dram.timing.SPEED_GRADES`) and every platform in
+  :data:`repro.config.PLATFORMS` against the JEDEC DDR3 relationships
+  (tRAS >= tRCD + CL, tRC = tRAS + tRP, tFAW >= 4*tRRD, tREFI vs tRFC,
+  tCCD >= BL/2, CWL <= CL).  :class:`DDR3LiteralPass` applies the same
+  relationships to ``DDR3Timings(...)`` constructor calls written with
+  literal arguments anywhere in the scanned code, so an experiment defining
+  a one-off grade gets the same scrutiny.
+
+* **Dynamic** — :func:`replay_commands` re-validates a recorded command
+  stream (:class:`repro.sim.trace.CommandRecord`) against per-bank and
+  per-rank ordering constraints: ACT only to a precharged bank and only
+  after tRP elapses, CAS only to the open row and only after tRCD, tCCD
+  between same-bank bursts, tRAS/tWR/tRTP before PRE, tRRD between ACTs
+  and the tFAW four-activate rolling window per rank.  It is, in effect, a
+  race detector for the memory controller: any scheduling path that lets
+  the CPU and JAFAR agents interleave illegally shows up as a violation.
+
+One model artifact is tolerated deliberately: refresh is settled lazily
+(:mod:`repro.dram.refresh`), so a REF record may carry a timestamp earlier
+than commands appended before it.  Replay therefore processes records in
+append (service) order — which per bank is also time order for every
+command the model issues — and treats REF as a barrier rather than
+checking its own ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import Finding, ModulePass, ProjectPass, register
+
+
+def jedec_findings(t, origin: str) -> list[Finding]:
+    """JEDEC DDR3 relationship violations for one timing object.
+
+    ``origin`` names where the object came from (a file path or registry
+    name) for the report.
+    """
+    findings: list[Finding] = []
+
+    def bad(msg: str) -> None:
+        findings.append(Finding("jedec", f"{t.name}: {msg}", origin, 0))
+
+    if t.tras < t.trcd + t.cl:
+        bad(f"tRAS ({t.tras}) < tRCD + CL ({t.trcd} + {t.cl}): a row could "
+            "close before its first read completes")
+    if t.trc_ps != t.cycles_to_ps(t.tras + t.trp):
+        bad("tRC must equal tRAS + tRP")
+    if t.tfaw < 4 * t.trrd:
+        bad(f"tFAW ({t.tfaw}) < 4*tRRD ({4 * t.trrd}): the four-activate "
+            "window cannot hold four tRRD-spaced ACTs")
+    if t.trfc_ps <= 0 or t.trefi_ps <= 0:
+        bad("tRFC and tREFI must be positive")
+    elif t.trfc_ps >= t.trefi_ps:
+        bad(f"tRFC ({t.trfc_ps} ps) >= tREFI ({t.trefi_ps} ps): refresh "
+            "would consume the whole schedule")
+    if t.trefi_ps > 7_800_000:
+        bad(f"tREFI ({t.trefi_ps} ps) exceeds the JEDEC 7.8 us average "
+            "refresh interval (normal temperature range)")
+    if t.tccd < t.burst_cycles:
+        bad(f"tCCD ({t.tccd}) < BL/2 ({t.burst_cycles}): back-to-back "
+            "bursts would overlap on the data bus")
+    if t.cwl > t.cl:
+        bad(f"CWL ({t.cwl}) > CL ({t.cl}): DDR3 write latency never "
+            "exceeds read latency")
+    return findings
+
+
+@register
+class JEDECInvariantPass(ProjectPass):
+    """Validate every registered speed grade and platform config."""
+
+    name = "jedec"
+    description = "JEDEC DDR3 relationships on SPEED_GRADES and PLATFORMS"
+
+    def check_project(self):
+        from ..config import PLATFORMS
+        from ..dram.timing import SPEED_GRADES
+
+        findings: list[Finding] = []
+        for key, grade in sorted(SPEED_GRADES.items()):
+            findings.extend(jedec_findings(grade, f"<SPEED_GRADES[{key!r}]>"))
+        for key, platform in sorted(PLATFORMS.items()):
+            timings = platform.dram_timings()  # raises on unknown grade
+            for f in jedec_findings(timings, f"<PLATFORMS[{key!r}]>"):
+                findings.append(f)
+        return findings
+
+
+#: Relationships checkable from literal kwargs alone:
+#: (required kwargs, predicate, message).
+_LITERAL_RULES = (
+    (("tras", "trcd", "cl"), lambda k: k["tras"] >= k["trcd"] + k["cl"],
+     "tRAS < tRCD + CL"),
+    (("tfaw", "trrd"), lambda k: k["tfaw"] >= 4 * k["trrd"],
+     "tFAW < 4*tRRD"),
+    (("trfc_ps", "trefi_ps"), lambda k: k["trfc_ps"] < k["trefi_ps"],
+     "tRFC >= tREFI"),
+    (("cwl", "cl"), lambda k: k["cwl"] <= k["cl"],
+     "CWL > CL"),
+)
+
+
+@register
+class DDR3LiteralPass(ModulePass):
+    """Statically audit literal ``DDR3Timings(...)`` constructor calls."""
+
+    name = "ddr3-literal"
+    description = "JEDEC relationships on literal DDR3Timings(...) calls"
+    scope = None
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            fname = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if fname != "DDR3Timings":
+                continue
+            kwargs = {
+                kw.arg: kw.value.value
+                for kw in node.keywords
+                if kw.arg and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, int)
+            }
+            for required, pred, message in _LITERAL_RULES:
+                if all(k in kwargs for k in required) and not pred(kwargs):
+                    findings.append(Finding(
+                        self.name,
+                        f"DDR3Timings literal violates JEDEC: {message} "
+                        f"({ {k: kwargs[k] for k in required} })",
+                        path, node.lineno, node.col_offset))
+        return findings
+
+
+# -- trace replay -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One protocol violation found while replaying a command stream."""
+
+    index: int        # position of the offending record in the stream
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"cmd[{self.index}]: [{self.rule}] {self.message}"
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    act_ps: int | None = None
+    pre_done_ps: int = 0
+    last_cas_ps: int | None = None
+    last_rd_cas_ps: int | None = None
+    wr_data_end_ps: int | None = None
+
+    def reset_for_ref(self) -> None:
+        self.open_row = None
+        self.act_ps = None
+        self.last_cas_ps = None
+        self.last_rd_cas_ps = None
+        self.wr_data_end_ps = None
+
+
+def replay_commands(commands, timings) -> list[TraceViolation]:
+    """Replay a DRAM command stream against ``timings``.
+
+    ``commands`` is a sequence of :class:`repro.sim.trace.CommandRecord` in
+    append (service) order.  Returns every protocol violation found; an
+    empty list means the stream is consistent with the DDR3 contract.
+    """
+    cps = timings.cycles_to_ps
+    trp_ps = cps(timings.trp)
+    trcd_ps = cps(timings.trcd)
+    tras_ps = cps(timings.tras)
+    tccd_ps = cps(timings.tccd)
+    trrd_ps = cps(timings.trrd)
+    tfaw_ps = cps(timings.tfaw)
+    twr_ps = cps(timings.twr)
+    trtp_ps = cps(timings.trtp)
+    wr_data_ps = cps(timings.cwl + timings.burst_cycles)
+
+    banks: dict[tuple[int, int], _BankState] = {}
+    rank_acts: dict[int, list[int]] = {}
+    rank_ref_ready: dict[int, int] = {}
+    violations: list[TraceViolation] = []
+
+    def bank_state(rank: int, bank: int) -> _BankState:
+        return banks.setdefault((rank, bank), _BankState())
+
+    for i, cmd in enumerate(commands):
+        where = f"rank {cmd.rank} bank {cmd.bank} @ {cmd.time_ps} ps"
+
+        if cmd.kind == "REF":
+            # Lazy-refresh barrier: close every bank of the rank, block
+            # ACTs until tRFC elapses.  (See module docstring for why REF
+            # ordering itself is not checked.)
+            for (rank, _bank), state in banks.items():
+                if rank == cmd.rank:
+                    state.reset_for_ref()
+            rank_ref_ready[cmd.rank] = max(
+                rank_ref_ready.get(cmd.rank, 0), cmd.time_ps + timings.trfc_ps)
+            continue
+
+        if cmd.bank is None:
+            violations.append(TraceViolation(
+                i, "malformed", f"{cmd.kind} without a bank address ({where})"))
+            continue
+        b = bank_state(cmd.rank, cmd.bank)
+
+        if cmd.kind == "ACT":
+            if b.open_row is not None:
+                violations.append(TraceViolation(
+                    i, "act-while-open",
+                    f"ACT row {cmd.row} while row {b.open_row} is open ({where})"))
+            if cmd.time_ps < b.pre_done_ps:
+                violations.append(TraceViolation(
+                    i, "trp",
+                    f"ACT at {cmd.time_ps} ps before PRE completes at "
+                    f"{b.pre_done_ps} ps ({where})"))
+            ready = rank_ref_ready.get(cmd.rank, 0)
+            if cmd.time_ps < ready:
+                violations.append(TraceViolation(
+                    i, "trfc",
+                    f"ACT during refresh; rank busy until {ready} ps ({where})"))
+            acts = rank_acts.setdefault(cmd.rank, [])
+            if acts:
+                if cmd.time_ps < acts[-1]:
+                    violations.append(TraceViolation(
+                        i, "act-order",
+                        f"ACT times regressed: {cmd.time_ps} ps after "
+                        f"{acts[-1]} ps ({where})"))
+                if cmd.time_ps < acts[-1] + trrd_ps:
+                    violations.append(TraceViolation(
+                        i, "trrd",
+                        f"ACT {cmd.time_ps - acts[-1]} ps after previous ACT "
+                        f"on the rank; tRRD is {trrd_ps} ps ({where})"))
+            if len(acts) >= 4 and cmd.time_ps < acts[-4] + tfaw_ps:
+                violations.append(TraceViolation(
+                    i, "tfaw",
+                    f"5th ACT within the four-activate window: "
+                    f"{cmd.time_ps - acts[-4]} ps since the 4th-last ACT; "
+                    f"tFAW is {tfaw_ps} ps ({where})"))
+            acts.append(cmd.time_ps)
+            b.open_row = cmd.row
+            b.act_ps = cmd.time_ps
+
+        elif cmd.kind in ("RD", "WR"):
+            if b.open_row != cmd.row:
+                violations.append(TraceViolation(
+                    i, "cas-closed-row",
+                    f"{cmd.kind} to row {cmd.row} but open row is "
+                    f"{b.open_row} ({where})"))
+            if b.act_ps is not None and cmd.time_ps < b.act_ps + trcd_ps:
+                violations.append(TraceViolation(
+                    i, "trcd",
+                    f"{cmd.kind} {cmd.time_ps - b.act_ps} ps after ACT; "
+                    f"tRCD is {trcd_ps} ps ({where})"))
+            if b.last_cas_ps is not None and cmd.time_ps < b.last_cas_ps + tccd_ps:
+                violations.append(TraceViolation(
+                    i, "tccd",
+                    f"{cmd.kind} {cmd.time_ps - b.last_cas_ps} ps after the "
+                    f"previous burst on this bank; tCCD is {tccd_ps} ps ({where})"))
+            b.last_cas_ps = cmd.time_ps
+            if cmd.kind == "WR":
+                b.wr_data_end_ps = cmd.time_ps + wr_data_ps
+            else:
+                b.last_rd_cas_ps = cmd.time_ps
+
+        elif cmd.kind == "PRE":
+            if b.open_row is not None:
+                if b.act_ps is not None and cmd.time_ps < b.act_ps + tras_ps:
+                    violations.append(TraceViolation(
+                        i, "tras",
+                        f"PRE {cmd.time_ps - b.act_ps} ps after ACT; tRAS is "
+                        f"{tras_ps} ps ({where})"))
+                if (b.wr_data_end_ps is not None
+                        and cmd.time_ps < b.wr_data_end_ps + twr_ps):
+                    violations.append(TraceViolation(
+                        i, "twr",
+                        f"PRE before write recovery completes ({where})"))
+                if (b.last_rd_cas_ps is not None
+                        and cmd.time_ps < b.last_rd_cas_ps + trtp_ps):
+                    violations.append(TraceViolation(
+                        i, "trtp",
+                        f"PRE {cmd.time_ps - b.last_rd_cas_ps} ps after read "
+                        f"CAS; tRTP is {trtp_ps} ps ({where})"))
+            b.open_row = None
+            b.act_ps = None
+            b.wr_data_end_ps = None
+            b.last_rd_cas_ps = None
+            b.pre_done_ps = max(b.pre_done_ps, cmd.time_ps + trp_ps)
+
+        else:
+            violations.append(TraceViolation(
+                i, "malformed", f"unknown command kind {cmd.kind!r} ({where})"))
+
+    return violations
+
+
+def replay_trace(trace, timings) -> list[TraceViolation]:
+    """Replay a :class:`repro.sim.trace.CommandTrace`'s command stream."""
+    return replay_commands(trace.commands, timings)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one command stream (CLI-facing)."""
+
+    commands: int
+    violations: list[TraceViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_findings(self, origin: str) -> list[Finding]:
+        return [Finding(f"replay-{v.rule}", v.message, origin, v.index)
+                for v in self.violations]

@@ -1,0 +1,131 @@
+"""Unit-safety passes.
+
+The codebase encodes physical units in name suffixes (``_ps``, ``_ns``,
+``_cycles``, ``_bytes``, …) and funnels conversions through
+:mod:`repro.units` and the per-grade converters on
+:class:`repro.dram.timing.DDR3Timings`.  These passes catch the two ways
+that discipline silently rots:
+
+* ``unit-mix`` — adding/subtracting/comparing two suffixed names whose
+  units differ (``x_ps + y_cycles`` is always a bug; multiply/divide are
+  exempt because that *is* how conversions are written).
+* ``magic-latency`` — a large numeric literal assigned straight into a
+  ``_ps``/``_ns``/``_cycles`` name outside the audited constant homes
+  (``repro/config.py``, ``repro/units.py``, ``repro/dram/timing.py``).
+  Latency constants belong in the cost model where experiments can see and
+  ablate them.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from .core import Finding, ModulePass, register
+
+#: suffix -> canonical unit.  Lower-case only: ALL_CAPS constants like
+#: ``PS_PER_NS`` are conversion factors, not quantities of one unit.
+_UNIT_RE = re.compile(r"_(ps|ns|us|ms|cycles|bytes)$")
+
+
+def _unit_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if name != name.lower():
+        return None
+    m = _UNIT_RE.search(name)
+    return m.group(1) if m else None
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return "<expr>"
+
+
+@register
+class UnitMixPass(ModulePass):
+    """Flag additive/comparison mixing of differently-suffixed quantities."""
+
+    name = "unit-mix"
+    description = "no +/-/comparison between *_ps, *_ns, *_cycles, *_bytes names"
+    scope = None  # repo-wide
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            pairs: list[tuple[ast.expr, ast.expr]] = []
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs.extend(zip(operands, operands[1:]))
+            for left, right in pairs:
+                lu, ru = _unit_of(left), _unit_of(right)
+                if lu and ru and lu != ru:
+                    findings.append(Finding(
+                        self.name,
+                        f"mixing units: {_describe(left)} [{lu}] and "
+                        f"{_describe(right)} [{ru}] combined without a "
+                        "repro.units / DDR3Timings conversion",
+                        path, node.lineno, node.col_offset))
+        return findings
+
+
+#: Files allowed to define raw latency/size constants.
+_CONSTANT_HOMES = ("config.py", "units.py", "timing.py")
+#: Path segments where magic numbers are test scaffolding, not product code.
+_EXEMPT_SEGMENTS = {"tests", "benchmarks", "examples", "fixtures"}
+
+_LATENCY_SUFFIXES = ("_ps", "_ns", "_cycles")
+_MAGIC_THRESHOLD = 1000
+
+
+@register
+class MagicLatencyPass(ModulePass):
+    """Flag bare latency constants that bypass the audited cost models."""
+
+    name = "magic-latency"
+    description = ("no numeric literal >= 1000 assigned directly to a "
+                   "*_ps/*_ns/*_cycles name outside config/units/timing")
+    scope = None  # repo-wide
+
+    def applies_to(self, path: str) -> bool:
+        parts = os.path.normpath(path).split(os.sep)
+        if _EXEMPT_SEGMENTS.intersection(parts):
+            return False
+        return os.path.basename(path) not in _CONSTANT_HOMES
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not (isinstance(value, ast.Constant)
+                    and isinstance(value.value, (int, float))
+                    and not isinstance(value.value, bool)
+                    and abs(value.value) >= _MAGIC_THRESHOLD):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = None
+                if isinstance(target, ast.Name):
+                    name = target.id
+                elif isinstance(target, ast.Attribute):
+                    name = target.attr
+                if name and any(name.endswith(s) for s in _LATENCY_SUFFIXES):
+                    findings.append(Finding(
+                        self.name,
+                        f"magic latency constant {value.value!r} assigned to "
+                        f"{name}; route it through repro.config or "
+                        "repro.dram.timing so experiments can audit it",
+                        path, node.lineno, node.col_offset))
+        return findings

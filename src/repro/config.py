@@ -138,6 +138,14 @@ class SystemConfig:
         """A copy with fields replaced (experiments tweak platforms a lot)."""
         return replace(self, **overrides)
 
+    def dram_timings(self):
+        """The resolved :class:`~repro.dram.timing.DDR3Timings` for this
+        platform's ``dram_grade`` — the object the JEDEC protocol validator
+        (:mod:`repro.analyze.protocol`) audits."""
+        from .dram.timing import speed_grade
+
+        return speed_grade(self.dram_grade)
+
     def describe(self) -> list[tuple[str, str]]:
         """Human-readable spec rows, used by the Table 1 bench."""
         cache_desc = ", ".join(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..config import CPUCostModel, SystemConfig
 from ..dram import DDR3Timings
 from ..errors import ConfigError
+from ..units import period_ps
 
 
 @dataclass(frozen=True)
@@ -97,7 +98,7 @@ def scan_estimate(config: SystemConfig, timings: DDR3Timings, nrows: int,
         cycles_row = predicated_cycles_per_row(cost)
     else:
         raise ConfigError(f"unknown kernel {kernel!r}")
-    cpu_period_ps = 1e12 / config.cpu_freq_hz
+    cpu_period_ps = period_ps(config.cpu_freq_hz)
     compute_line_ps = (cycles_row * rows_per_line
                        + cost.residual_stall_cycles_per_line) * cpu_period_ps
 

@@ -23,6 +23,9 @@ class BurstTiming:
     ``cas_ps`` is when the column command issued, ``data_start_ps`` when the
     first beat hits the bus, ``data_end_ps`` when the last beat completes.
     ``row_hit`` reports whether the burst hit the open row buffer.
+    ``pre_ps``/``act_ps`` are the issue times of the PRE and ACT commands the
+    burst required (None when the row buffer already held the row) — command
+    tracing and the protocol replay validator consume them.
     """
 
     cas_ps: int
@@ -30,6 +33,8 @@ class BurstTiming:
     data_end_ps: int
     row_hit: bool
     activated_row: bool
+    pre_ps: int | None = None
+    act_ps: int | None = None
 
 
 class Bank:
@@ -90,6 +95,8 @@ class Bank:
         """
         t = self.timings
         activated = False
+        pre_at: int | None = None
+        act_at: int | None = None
         if self.open_row is not None and self.open_row != row:
             pre_at = self.precharge(at_ps)
             at_ps = max(at_ps, pre_at)
@@ -121,7 +128,7 @@ class Bank:
             self.next_pre_ps = max(self.next_pre_ps,
                                    cas + t.cycles_to_ps(t.trtp))
         return BurstTiming(cas, data_start, data_end, row_hit=not activated,
-                           activated_row=activated)
+                           activated_row=activated, pre_ps=pre_at, act_ps=act_at)
 
     def block_until(self, time_ps: int) -> None:
         """Forbid any command before ``time_ps`` (refresh / ownership holds)."""

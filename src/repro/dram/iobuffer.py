@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import DRAMError
+from ..units import div_round
 from .timing import DDR3Timings
 
 
@@ -38,7 +39,9 @@ class IOBuffer:
     def __init__(self, timings: DDR3Timings) -> None:
         self.timings = timings
         self.words_per_burst = timings.burst_length
-        self._half_ps = timings.tck_ps / 2.0
+        # Beats land on both clock edges, so beat spacing is half a tCK.
+        # Kept as the full period to stay in exact integer picoseconds.
+        self._tck_ps = timings.tck_ps
 
     def beat_schedule(self, data_start_ps: int) -> BeatSchedule:
         """Timestamps at which each beat of a burst starting at
@@ -50,7 +53,7 @@ class IOBuffer:
         if data_start_ps < 0:
             raise DRAMError(f"negative data start: {data_start_ps}")
         beats = tuple(
-            data_start_ps + round((k + 1) * self._half_ps)
+            data_start_ps + div_round((k + 1) * self._tck_ps, 2)
             for k in range(self.words_per_burst)
         )
         return BeatSchedule(data_start_ps, beats)
@@ -64,5 +67,5 @@ class IOBuffer:
         if time_ps <= data_start_ps:
             return 0
         elapsed = time_ps - data_start_ps
-        words = int(elapsed / self._half_ps)
+        words = (2 * elapsed) // self._tck_ps
         return min(words, self.words_per_burst)

@@ -9,6 +9,8 @@ them is modeled naturally.
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..errors import DRAMOwnershipError
 from .bank import Bank, BurstTiming
 from .commands import Agent
@@ -32,8 +34,14 @@ class Rank:
         # The rank's internal data path (chip IO). The channel bus is tracked
         # separately by the controller; JAFAR taps this path directly.
         self.io_free_ps = 0
-        # Optional command trace (see repro.sim.trace.attach_trace).
+        # Issue times of the most recent ACTs anywhere on the rank, for the
+        # inter-bank tRRD spacing and the tFAW four-activate window.
+        self._act_times: deque[int] = deque(maxlen=4)
+        # Optional command trace (see repro.sim.trace.attach_trace);
+        # trace_rank_id is a machine-wide unique id assigned at attach time
+        # (Rank.index alone is only unique within one DIMM).
         self.trace = None
+        self.trace_rank_id = index
 
     def _settle_refresh(self, at_ps: int) -> int:
         ready = self.refresh.settle(at_ps)
@@ -41,7 +49,20 @@ class Rank:
             for bank in self.banks:
                 bank.open_row = None  # REF requires precharge-all
                 bank.block_until(ready)
+            if self.trace is not None:
+                self.trace.record_command(ready - self.timings.trfc_ps, "REF",
+                                          "refresh", self.trace_rank_id, None)
         return ready
+
+    def _act_floor_ps(self) -> int:
+        """Earliest time the next ACT may issue anywhere on this rank."""
+        if not self._act_times:
+            return 0
+        t = self.timings
+        floor = self._act_times[-1] + t.cycles_to_ps(t.trrd)
+        if len(self._act_times) == self._act_times.maxlen:
+            floor = max(floor, self._act_times[0] + t.cycles_to_ps(t.tfaw))
+        return floor
 
     def access(self, bank: int, row: int, at_ps: int, is_write: bool,
                agent: Agent = Agent.CPU, bus_free_ps: int = 0) -> BurstTiming:
@@ -57,11 +78,26 @@ class Rank:
                 f"rank {self.index}: MPR engaged; host reads/writes blocked"
             )
         at_ps = self._settle_refresh(at_ps)
-        timing = self.banks[bank].access(
+        target = self.banks[bank]
+        # Rank-level ACT spacing (tRRD) and the tFAW rolling window: raise
+        # the bank's ACT floor before it decides whether to activate.  The
+        # floor only ever grows, so applying it on row hits is harmless.
+        target.next_act_ps = max(target.next_act_ps, self._act_floor_ps())
+        timing = target.access(
             row, at_ps, is_write, bus_free_ps=max(bus_free_ps, self.io_free_ps)
         )
         self.io_free_ps = timing.data_end_ps
+        if timing.act_ps is not None:
+            self._act_times.append(timing.act_ps)
         if self.trace is not None:
+            if timing.pre_ps is not None:
+                self.trace.record_command(timing.pre_ps, "PRE", agent.value,
+                                          self.trace_rank_id, bank)
+            if timing.act_ps is not None:
+                self.trace.record_command(timing.act_ps, "ACT", agent.value,
+                                          self.trace_rank_id, bank, row)
+            self.trace.record_command(timing.cas_ps, "WR" if is_write else "RD",
+                                      agent.value, self.trace_rank_id, bank, row)
             self.trace.record(timing.cas_ps, agent.value, self.index, bank,
                               row, is_write, timing.row_hit)
         return timing
@@ -72,6 +108,9 @@ class Rank:
         for bank in self.banks:
             if bank.open_row is not None:
                 issue = bank.precharge(at_ps)
+                if self.trace is not None:
+                    self.trace.record_command(issue, "PRE", "controller",
+                                              self.trace_rank_id, bank.index)
                 done = max(done, issue + self.timings.cycles_to_ps(self.timings.trp))
         return done
 

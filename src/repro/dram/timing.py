@@ -34,6 +34,9 @@ class DDR3Timings:
         trp: row precharge time — PRE to next ACT.
         tras: ACT to PRE minimum (row must stay open this long).
         tccd: column-to-column delay between bursts (BL/2 = 4 for DDR3).
+        trrd: ACT-to-ACT delay between *different* banks of one rank.
+        tfaw: four-activate window — any five ACTs to one rank must span
+            at least this long (limits peak current draw).
         twr: write recovery — last write data to PRE.
         trtp: read-to-precharge delay.
         twtr: write-to-read turnaround.
@@ -50,6 +53,8 @@ class DDR3Timings:
     trp: int
     tras: int
     tccd: int = 4
+    trrd: int = 6
+    tfaw: int = 24
     twr: int = 12
     trtp: int = 6
     twtr: int = 6
@@ -61,9 +66,15 @@ class DDR3Timings:
     def __post_init__(self) -> None:
         if self.tck_ps <= 0:
             raise ConfigError(f"{self.name}: tCK must be positive")
-        for fname in ("cl", "trcd", "trp", "tras", "tccd", "twr", "trtp", "twtr", "cwl"):
+        for fname in ("cl", "trcd", "trp", "tras", "tccd", "trrd", "tfaw",
+                      "twr", "trtp", "twtr", "cwl"):
             if getattr(self, fname) <= 0:
                 raise ConfigError(f"{self.name}: {fname} must be positive")
+        if self.tfaw < 4 * self.trrd:
+            raise ConfigError(
+                f"{self.name}: tFAW ({self.tfaw}) must cover four ACTs "
+                f"spaced tRRD ({self.trrd}) apart"
+            )
         if self.burst_length not in (4, 8):
             raise ConfigError(f"{self.name}: DDR3 burst length must be 4 or 8")
         if self.tras < self.trcd:
@@ -126,17 +137,19 @@ class DDR3Timings:
         return self.bus_freq_hz * 16.0
 
 
-# JEDEC DDR3 speed grades (common bins; secondary timings at typical values).
+# JEDEC DDR3 speed grades (common bins; secondary timings at typical values;
+# tRRD/tFAW from the 8 Gb / 2 kB-page datasheet columns: tRRD ≈ 7.5 ns at the
+# slower bins and the 6-clock floor above, tFAW ≈ 30–40 ns).
 DDR3_1066 = DDR3Timings("DDR3-1066G", tck_ps=1875, cl=8, trcd=8, trp=8, tras=20,
-                        twr=8, trtp=4, twtr=4, cwl=6)
+                        trrd=4, tfaw=20, twr=8, trtp=4, twtr=4, cwl=6)
 DDR3_1333 = DDR3Timings("DDR3-1333H", tck_ps=1500, cl=9, trcd=9, trp=9, tras=24,
-                        twr=10, trtp=5, twtr=5, cwl=7)
+                        trrd=5, tfaw=20, twr=10, trtp=5, twtr=5, cwl=7)
 DDR3_1600 = DDR3Timings("DDR3-1600K", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28,
-                        twr=12, trtp=6, twtr=6, cwl=8)
+                        trrd=6, tfaw=24, twr=12, trtp=6, twtr=6, cwl=8)
 DDR3_1866 = DDR3Timings("DDR3-1866M", tck_ps=1071, cl=13, trcd=13, trp=13, tras=32,
-                        twr=14, trtp=7, twtr=7, cwl=9)
+                        trrd=6, tfaw=26, twr=14, trtp=7, twtr=7, cwl=9)
 DDR3_2133 = DDR3Timings("DDR3-2133N", tck_ps=938, cl=14, trcd=14, trp=14, tras=36,
-                        twr=16, trtp=8, twtr=8, cwl=10)
+                        trrd=6, tfaw=27, twr=16, trtp=8, twtr=8, cwl=10)
 
 SPEED_GRADES: dict[str, DDR3Timings] = {
     grade.name: grade

@@ -18,10 +18,12 @@ event callbacks; the event queue is used where genuine asynchrony matters
 from .clock import ClockDomain
 from .engine import Event, Simulator
 from .stats import BusyTracker, Counter, Histogram, StatGroup
-from .trace import CommandTrace, TraceRecord, attach_trace, detach_trace
+from .trace import (CommandRecord, CommandTrace, TraceRecord, attach_trace,
+                    detach_trace, dump_commands, load_commands)
 
 __all__ = [
     "BusyTracker",
+    "CommandRecord",
     "CommandTrace",
     "ClockDomain",
     "Counter",
@@ -31,5 +33,7 @@ __all__ = [
     "TraceRecord",
     "attach_trace",
     "detach_trace",
+    "dump_commands",
+    "load_commands",
     "StatGroup",
 ]

@@ -10,7 +10,7 @@ for one such domain.
 from __future__ import annotations
 
 from ..errors import ClockError
-from ..units import PS_PER_S, period_ps
+from ..units import PS_PER_S, div_round, period_ps
 
 
 class ClockDomain:
@@ -86,8 +86,7 @@ def transfer_time_ps(clock: ClockDomain, nbytes: int, bytes_per_edge: int = 8, p
     if nbytes < 0:
         raise ClockError(f"negative transfer size: {nbytes}")
     edges = -(-nbytes // bytes_per_edge)  # ceil division
-    edge_ps = clock.period_ps / pumped
-    return round(edges * edge_ps)
+    return div_round(edges * clock.period_ps, pumped)
 
 
 # A convenience constant: picoseconds per second, re-exported for callers

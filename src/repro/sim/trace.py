@@ -6,13 +6,20 @@ row-buffer outcome.  Traces answer the questions the paper's §3.3 raises
 about interference: who touched which rank when, how row locality evolved,
 and how the two agents' accesses interleave.
 
+Alongside the burst-level :class:`TraceRecord` stream, ranks also append a
+*command* stream of :class:`CommandRecord` entries — the ACT/PRE/RD/WR/REF
+sequence each burst decomposed into.  The command stream is what the
+protocol replay validator (:mod:`repro.analyze.protocol`) consumes to check
+per-bank and per-rank ordering constraints after the fact.
+
 Tracing is off by default (zero overhead on the hot path: a single ``is not
 None`` test); attach with :func:`attach_trace`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 from ..errors import SimulationError
 
@@ -30,11 +37,34 @@ class TraceRecord:
     row_hit: bool
 
 
+#: Command mnemonics appearing in the command stream.
+COMMAND_KINDS = ("ACT", "PRE", "RD", "WR", "REF")
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One DRAM command as issued on the command bus.
+
+    ``row`` is None for commands without a row address (PRE, REF); ``bank``
+    is None for rank-wide commands (REF).  Records are appended in *service*
+    order — the causal order the timestamped-resource model computed them in
+    — which per bank is also time order for every command class.
+    """
+
+    time_ps: int
+    kind: str         # one of COMMAND_KINDS
+    agent: str
+    rank: int
+    bank: int | None
+    row: int | None = None
+
+
 @dataclass
 class CommandTrace:
     """An append-only record of DRAM activity with summary analyses."""
 
     records: list[TraceRecord] = field(default_factory=list)
+    commands: list[CommandRecord] = field(default_factory=list)
     capacity: int = 1_000_000
 
     def record(self, time_ps: int, agent: str, rank: int, bank: int,
@@ -46,6 +76,18 @@ class CommandTrace:
             )
         self.records.append(TraceRecord(time_ps, agent, rank, bank, row,
                                         is_write, row_hit))
+
+    def record_command(self, time_ps: int, kind: str, agent: str, rank: int,
+                       bank: int | None, row: int | None = None) -> None:
+        """Append one command-bus event (ACT/PRE/RD/WR/REF)."""
+        if kind not in COMMAND_KINDS:
+            raise SimulationError(f"unknown DRAM command kind {kind!r}")
+        if len(self.commands) >= 8 * self.capacity:
+            raise SimulationError(
+                f"command stream exceeded {8 * self.capacity} records; "
+                "raise capacity or narrow the traced window"
+            )
+        self.commands.append(CommandRecord(time_ps, kind, agent, rank, bank, row))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -104,12 +146,20 @@ class CommandTrace:
 
 
 def attach_trace(machine, capacity: int = 1_000_000) -> CommandTrace:
-    """Attach one shared trace to every rank of a machine (or controller)."""
+    """Attach one shared trace to every rank of a machine (or controller).
+
+    Each rank is also given a globally unique ``trace_rank_id`` (its
+    ``index`` is only unique within one DIMM) so the command stream can be
+    replayed per physical rank.
+    """
     trace = CommandTrace(capacity=capacity)
     controller = getattr(machine, "controller", machine)
+    ordinal = 0
     for channel in controller.channels:
         for rank in channel.all_ranks():
             rank.trace = trace
+            rank.trace_rank_id = ordinal
+            ordinal += 1
     return trace
 
 
@@ -119,3 +169,39 @@ def detach_trace(machine) -> None:
     for channel in controller.channels:
         for rank in channel.all_ranks():
             rank.trace = None
+
+
+# -- command-stream persistence ------------------------------------------------
+#
+# The replay validator runs out of process (CI gates, `python -m repro.analyze
+# --replay`), so the command stream needs a stable on-disk form.  JSON lines
+# keep it greppable and diff-friendly.
+
+def dump_commands(trace: CommandTrace, path: str) -> int:
+    """Write the trace's command stream to ``path`` as JSON lines.
+
+    Returns the number of commands written.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for cmd in trace.commands:
+            fh.write(json.dumps(asdict(cmd), sort_keys=True))
+            fh.write("\n")
+    return len(trace.commands)
+
+
+def load_commands(path: str) -> list[CommandRecord]:
+    """Read a JSON-lines command stream written by :func:`dump_commands`."""
+    commands: list[CommandRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                commands.append(CommandRecord(**obj))
+            except (ValueError, TypeError) as exc:
+                raise SimulationError(
+                    f"{path}:{lineno}: malformed command record: {exc}"
+                ) from exc
+    return commands

@@ -38,6 +38,21 @@ def seconds(value: float) -> int:
     return round(value * PS_PER_S)
 
 
+def div_round(num: int, den: int) -> int:
+    """Integer division rounded to nearest, ties to even (matches ``round``).
+
+    Timestamp arithmetic must stay in exact integers (the determinism lint
+    forbids true division feeding ``*_ps`` values); this is the sanctioned
+    way to divide a picosecond quantity.
+    """
+    if den <= 0:
+        raise ConfigError(f"div_round: denominator must be positive, got {den}")
+    q, r = divmod(num, den)
+    if 2 * r > den or (2 * r == den and q % 2 == 1):
+        q += 1
+    return q
+
+
 def to_ns(ps: int) -> float:
     """Convert picoseconds to nanoseconds (float, for reporting)."""
     return ps / PS_PER_NS

@@ -1,0 +1,24 @@
+"""Shared fixtures for the repro.analyze tests.
+
+Fixture source files live under ``tests/analyze/fixtures/{sim,dram}/``.
+They are copied into a temp tree before scanning because two passes
+deliberately exempt paths containing ``tests``/``fixtures`` segments
+(magic-latency treats test scaffolding as out of scope); the copy gives the
+files a product-code-shaped path while keeping one canonical source.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture()
+def fixture_tree(tmp_path):
+    """Copy the fixture files to ``tmp_path/proj`` and return that root."""
+    root = tmp_path / "proj"
+    shutil.copytree(FIXTURES, root)
+    return root

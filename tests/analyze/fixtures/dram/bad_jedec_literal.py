@@ -1,0 +1,5 @@
+"""Known-bad fixture for the ddr3-literal pass."""
+from repro.dram.timing import DDR3Timings
+
+BROKEN = DDR3Timings("DDR3-broken", tck_ps=1250, cl=11, trcd=11, trp=11,
+                     tras=12, trrd=6, tfaw=10, cwl=13)

@@ -1,0 +1,7 @@
+"""Known-bad fixture for the magic-latency pass."""
+
+
+def model():
+    stall_ps = 150_000                     # line 5: magic latency constant
+    refresh_cycles = 5200                  # line 6: magic cycle count
+    return stall_ps + refresh_cycles

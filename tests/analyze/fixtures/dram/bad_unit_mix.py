@@ -1,0 +1,8 @@
+"""Known-bad fixture for the unit-mix pass."""
+
+
+def total(delay_ps, delay_cycles, size_bytes):
+    combined = delay_ps + delay_cycles     # line 5: ps + cycles
+    if delay_ps > size_bytes:              # line 6: ps vs bytes comparison
+        combined -= size_bytes
+    return combined

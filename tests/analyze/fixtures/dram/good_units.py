@@ -1,0 +1,8 @@
+"""Known-good fixture: unit-disciplined code."""
+
+
+def total(delay_ps, delay_cycles, timings, config):
+    converted_ps = timings.cycles_to_ps(delay_cycles)
+    combined_ps = delay_ps + converted_ps
+    stall_ps = config.stall_ps
+    return combined_ps + stall_ps

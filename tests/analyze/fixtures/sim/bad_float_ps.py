@@ -1,0 +1,8 @@
+"""Known-bad fixture for the float-ps pass."""
+
+
+def schedule(period_ps, pumped):
+    edge_ps = period_ps / pumped     # line 5: true division into *_ps
+    half_ps = period_ps * 0.5        # line 6: float literal into *_ps
+    wait_cycles = 3.5                # line 7: float literal into *_cycles
+    return edge_ps, half_ps, wait_cycles

@@ -1,0 +1,9 @@
+"""Known-bad fixture for the unseeded-random pass."""
+import random                        # line 2: stdlib random import
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()    # line 7: seedless generator
+    vals = np.random.shuffle([1])    # line 8: global-state RNG
+    return rng, vals, random.random()

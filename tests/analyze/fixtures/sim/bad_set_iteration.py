@@ -1,0 +1,7 @@
+"""Known-bad fixture for the set-iteration pass."""
+
+
+def drain(pending):
+    for event in set(pending):       # line 5: iterating a set() call
+        event()
+    return [e for e in {1, 2, 3}]    # line 7: comprehension over set display

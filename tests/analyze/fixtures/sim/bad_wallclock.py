@@ -1,0 +1,9 @@
+"""Known-bad fixture for the wall-clock pass.  Never imported, only parsed."""
+import time                          # line 2: wall-clock import
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()                 # line 7: wall-clock call
+    t1 = datetime.now()              # line 8: wall-clock call
+    return t0, t1

@@ -1,0 +1,11 @@
+"""Known-good fixture: determinism-safe simulation-style code."""
+import numpy as np
+
+
+def schedule(period_ps, pumped, pending):
+    edge_ps = period_ps // pumped          # floor division stays integer
+    half_ps = (period_ps + 1) // 2
+    rng = np.random.default_rng(42)        # explicitly seeded
+    for event in sorted(set(pending)):     # sorted() restores determinism
+        event()
+    return edge_ps, half_ps, rng

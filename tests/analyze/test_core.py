@@ -1,0 +1,123 @@
+"""Framework behaviour: discovery, suppression, CLI exit codes, clean repo."""
+
+import json
+
+import pytest
+
+from repro.analyze import all_passes, discover, run_analysis
+from repro.analyze.cli import main
+
+from .conftest import REPO_SRC
+
+
+class TestDiscovery:
+    def test_discovers_py_files_and_skips_caches(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.txt").write_text("not python\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.pyc").write_text("junk")
+        (cache / "c.py").write_text("x = 1\n")
+        found = discover([str(tmp_path)])
+        assert found == [str(tmp_path / "a.py")]
+
+    def test_single_file_path(self, tmp_path):
+        f = tmp_path / "one.py"
+        f.write_text("x = 1\n")
+        assert discover([str(f)]) == [str(f)]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            discover(["/no/such/dir/anywhere"])
+
+
+class TestSuppression:
+    def test_allow_comment_silences_named_rule(self, tmp_path):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "mod.py").write_text(
+            "def f(a, p):\n"
+            "    edge_ps = a / p  # analyze: allow[float-ps] audited\n"
+        )
+        report = run_analysis([str(tmp_path)], with_project_passes=False)
+        assert report.findings == []
+
+    def test_allow_comment_is_rule_specific(self, tmp_path):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "mod.py").write_text(
+            "def f(a, p):\n"
+            "    edge_ps = a / p  # analyze: allow[wall-clock]\n"
+        )
+        report = run_analysis([str(tmp_path)], with_project_passes=False)
+        assert [f.rule for f in report.findings] == ["float-ps"]
+
+    def test_bare_allow_silences_everything(self, tmp_path):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "mod.py").write_text(
+            "import time  # analyze: allow\n"
+            "def f(a, p):\n"
+            "    return time.time()\n"
+        )
+        report = run_analysis([str(tmp_path)], with_project_passes=False)
+        assert [f.rule for f in report.findings] == ["wall-clock"]
+        assert report.findings[0].line == 3
+
+
+class TestCleanRepo:
+    def test_repo_source_yields_zero_findings(self):
+        report = run_analysis([str(REPO_SRC)])
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.format() for f in report.findings)
+        assert report.ok
+        assert report.files_scanned > 90
+
+    def test_all_eight_passes_registered(self):
+        names = {p.name for p in all_passes()}
+        assert names == {"wall-clock", "unseeded-random", "float-ps",
+                         "set-iteration", "unit-mix", "magic-latency",
+                         "jedec", "ddr3-literal"}
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert main([str(REPO_SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_exit_one_on_each_bad_fixture(self, fixture_tree, capsys):
+        bad = sorted(fixture_tree.rglob("bad_*.py"))
+        assert len(bad) >= 6
+        for path in bad:
+            assert main([str(path), "--no-project-passes"]) == 1, path.name
+
+    def test_exit_zero_on_good_fixtures(self, fixture_tree):
+        for path in sorted(fixture_tree.rglob("good_*.py")):
+            assert main([str(path), "--no-project-passes"]) == 0, path.name
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert main(["/no/such/path"]) == 2
+
+    def test_json_format_shape(self, fixture_tree, capsys):
+        rc = main([str(fixture_tree / "sim" / "bad_float_ps.py"),
+                   "--format", "json", "--no-project-passes"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"float-ps"}
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "message", "path", "line", "col"}
+
+    def test_list_passes(self, capsys):
+        assert main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "jedec" in out and "float-ps" in out
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main([str(tmp_path), "--no-project-passes"]) == 1
+        assert "parse-error" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Determinism pass family: exact finding locations on the fixtures."""
+
+from repro.analyze import run_analysis
+
+
+def _findings(fixture_tree, name, rule=None):
+    path = next(fixture_tree.rglob(name))
+    report = run_analysis([str(path)], with_project_passes=False)
+    found = report.findings
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+def test_wall_clock_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_wallclock.py", "wall-clock")
+    assert [(f.line, f.col) for f in found] == [(2, 0), (7, 9), (8, 9)]
+    # Nothing else fires on this fixture.
+    assert _findings(fixture_tree, "bad_wallclock.py") == found
+
+
+def test_unseeded_random_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_random.py", "unseeded-random")
+    assert [f.line for f in found] == [2, 7, 8, 9]
+    assert "default_rng() without a seed" in found[1].message
+
+
+def test_float_ps_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_float_ps.py", "float-ps")
+    assert [f.line for f in found] == [5, 6, 7]
+    assert "edge_ps" in found[0].message
+    assert "true division" in found[0].message
+    assert "float literal 0.5" in found[1].message
+    assert "wait_cycles" in found[2].message
+
+
+def test_set_iteration_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_set_iteration.py", "set-iteration")
+    assert [f.line for f in found] == [5, 7]
+
+
+def test_good_fixture_is_clean(fixture_tree):
+    assert _findings(fixture_tree, "good_clean.py") == []
+
+
+def test_scope_limits_passes_to_simulation_dirs(tmp_path):
+    # The same wall-clock violation outside sim/dram/jafar is not flagged.
+    other = tmp_path / "workloads"
+    other.mkdir()
+    (other / "mod.py").write_text("import time\nnow = time.time()\n")
+    report = run_analysis([str(tmp_path)], with_project_passes=False)
+    assert report.findings == []

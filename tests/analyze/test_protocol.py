@@ -1,0 +1,203 @@
+"""Protocol invariants: JEDEC static checks and trace replay.
+
+The replay tests drive the Figure 3 workload shape — a JAFAR select over a
+column plus a CPU read stream — record the DRAM command stream, and assert
+the validator accepts it; then hand-corrupt the stream and assert each
+corruption is caught.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analyze import jedec_findings, replay_commands, replay_trace
+from repro.analyze.cli import main
+from repro.config import GEM5_PLATFORM, PLATFORMS
+from repro.dram import Agent, MemRequest
+from repro.dram.timing import DDR3_2133, SPEED_GRADES, DDR3Timings
+from repro.sim import CommandTrace, attach_trace, dump_commands, load_commands
+from repro.system import Machine
+
+
+def _fig3_trace(rows=16384):
+    """Run a scaled-down Figure 3 workload with command tracing attached."""
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    values = np.arange(rows, dtype=np.int64)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(max(rows // 8, 64), dimm=0, pinned=True)
+    machine.driver.select_column(col.vaddr, rows, 0, rows // 2, out.vaddr)
+    for i in range(64):  # the interfering CPU agent of §3.3
+        machine.controller.submit(
+            MemRequest(i * 64, 64, False, machine.core.now_ps, Agent.CPU))
+    return machine, trace
+
+
+class TestJEDECStatic:
+    def test_all_registered_grades_are_consistent(self):
+        for grade in SPEED_GRADES.values():
+            assert jedec_findings(grade, "<test>") == []
+
+    def test_all_platforms_resolve_and_validate(self):
+        for platform in PLATFORMS.values():
+            assert jedec_findings(platform.dram_timings(), "<test>") == []
+
+    def test_tras_too_short_is_flagged(self):
+        bad = DDR3Timings("X", tck_ps=1250, cl=11, trcd=11, trp=11, tras=15)
+        rules = [f.message for f in jedec_findings(bad, "<test>")]
+        assert any("tRAS" in m and "tRCD + CL" in m for m in rules)
+
+    def test_write_latency_above_read_latency_is_flagged(self):
+        bad = DDR3Timings("X", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28,
+                          cwl=13)
+        assert any("CWL" in f.message for f in jedec_findings(bad, "<test>"))
+
+    def test_refresh_starvation_is_flagged(self):
+        bad = DDR3Timings("X", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28,
+                          trfc_ps=200_000, trefi_ps=100_000)
+        assert any("tREFI" in f.message for f in jedec_findings(bad, "<test>"))
+
+    def test_tfaw_smaller_than_four_trrd_rejected_at_construction(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            DDR3Timings("X", tck_ps=1250, cl=11, trcd=11, trp=11, tras=28,
+                        trrd=6, tfaw=10)
+
+    def test_literal_pass_flags_fixture(self, fixture_tree):
+        rc = main([str(next(fixture_tree.rglob("bad_jedec_literal.py"))),
+                   "--no-project-passes"])
+        assert rc == 1
+
+
+class TestReplayOnRealTraces:
+    def test_fig3_command_stream_is_protocol_clean(self):
+        machine, trace = _fig3_trace()
+        assert len(trace.commands) > 1000
+        kinds = {c.kind for c in trace.commands}
+        assert {"ACT", "RD", "WR"} <= kinds
+        assert replay_trace(trace, machine.timings) == []
+
+    def test_both_agents_present_in_command_stream(self):
+        _machine, trace = _fig3_trace()
+        agents = {c.agent for c in trace.commands if c.kind in ("RD", "WR")}
+        assert {"cpu", "jafar"} <= agents
+
+    def test_dump_load_roundtrip_and_cli(self, tmp_path, capsys):
+        machine, trace = _fig3_trace(rows=4096)
+        path = tmp_path / "trace.jsonl"
+        n = dump_commands(trace, str(path))
+        assert n == len(trace.commands)
+        assert load_commands(str(path)) == trace.commands
+        assert main(["--replay", str(path), "--grade",
+                     machine.timings.name]) == 0
+
+    def test_cli_replay_fails_on_corrupted_stream(self, tmp_path, capsys):
+        machine, trace = _fig3_trace(rows=4096)
+        acts = [i for i, c in enumerate(trace.commands) if c.kind == "ACT"]
+        victim = acts[len(acts) // 2]
+        corrupted = list(trace.commands)
+        corrupted[victim] = dataclasses.replace(
+            corrupted[victim], time_ps=corrupted[victim].time_ps - 10_000_000)
+        bad_trace = CommandTrace()
+        bad_trace.commands = corrupted
+        path = tmp_path / "bad.jsonl"
+        dump_commands(bad_trace, str(path))
+        assert main(["--replay", str(path), "--grade",
+                     machine.timings.name]) == 1
+
+
+class TestReplayCorruptions:
+    """Each hand-corruption trips the specific rule guarding it."""
+
+    @pytest.fixture()
+    def stream(self):
+        _machine, trace = _fig3_trace(rows=8192)
+        violations = replay_trace(trace, DDR3_2133)
+        assert violations == []
+        return list(trace.commands)
+
+    @staticmethod
+    def _shift(stream, index, delta_ps):
+        out = list(stream)
+        out[index] = dataclasses.replace(
+            out[index], time_ps=out[index].time_ps + delta_ps)
+        return out
+
+    def test_act_moved_before_pre_completion_trips_trp(self, stream):
+        # Find an ACT directly preceded by a PRE on the same bank.
+        for i, cmd in enumerate(stream):
+            if (cmd.kind == "ACT" and i > 0 and stream[i - 1].kind == "PRE"
+                    and stream[i - 1].bank == cmd.bank):
+                corrupted = self._shift(stream, i, -DDR3_2133.cycles_to_ps(
+                    DDR3_2133.trp))
+                rules = {v.rule for v in replay_commands(corrupted, DDR3_2133)}
+                assert "trp" in rules
+                return
+        pytest.fail("no PRE->ACT pair found in trace")
+
+    def test_duplicated_act_trips_act_while_open(self, stream):
+        i = next(i for i, c in enumerate(stream) if c.kind == "ACT")
+        corrupted = list(stream)
+        corrupted.insert(i + 1, dataclasses.replace(
+            stream[i], time_ps=stream[i].time_ps + 100_000_000))
+        rules = {v.rule for v in replay_commands(corrupted, DDR3_2133)}
+        assert "act-while-open" in rules
+
+    def test_compressed_activates_trip_tfaw(self, stream):
+        # Synthetic stream: 5 ACTs to distinct banks, tRRD-spaced but
+        # inside one tFAW window.
+        t = DDR3_2133
+        trrd_ps = t.cycles_to_ps(t.trrd)
+        proto = next(c for c in stream if c.kind == "ACT")
+        acts = [dataclasses.replace(proto, bank=b, time_ps=b * trrd_ps)
+                for b in range(5)]
+        rules = {v.rule for v in replay_commands(acts, t)}
+        assert "tfaw" in rules
+        assert "trrd" not in rules
+
+    def test_early_cas_trips_trcd(self, stream):
+        for i, cmd in enumerate(stream):
+            if (cmd.kind in ("RD", "WR") and i > 0
+                    and stream[i - 1].kind == "ACT"
+                    and stream[i - 1].bank == cmd.bank):
+                corrupted = self._shift(stream, i, -DDR3_2133.cycles_to_ps(
+                    DDR3_2133.trcd))
+                rules = {v.rule for v in replay_commands(corrupted, DDR3_2133)}
+                assert "trcd" in rules or "tccd" in rules
+                return
+        pytest.fail("no ACT->CAS pair found in trace")
+
+    def test_cas_to_wrong_row_trips_closed_row(self, stream):
+        i = next(i for i, c in enumerate(stream) if c.kind == "RD")
+        corrupted = list(stream)
+        corrupted[i] = dataclasses.replace(corrupted[i],
+                                           row=corrupted[i].row + 1)
+        rules = {v.rule for v in replay_commands(corrupted, DDR3_2133)}
+        assert "cas-closed-row" in rules
+
+
+class TestRankEnforcement:
+    """The model itself honours what the validator checks (no ACT races)."""
+
+    def test_rank_spaces_activates_by_trrd_and_tfaw(self):
+        from repro.dram.rank import Rank
+
+        t = DDR3_2133
+        rank = Rank(t, banks=8)
+        trace = CommandTrace()
+        rank.trace = trace
+        # Eight row-miss accesses to eight different banks, all requested
+        # at time 0: without rank-level enforcement all eight would ACT at
+        # once (a tFAW violation / current-draw race).
+        for b in range(8):
+            rank.access(b, row=0, at_ps=0, is_write=False)
+        acts = sorted(c.time_ps for c in trace.commands if c.kind == "ACT")
+        assert len(acts) == 8
+        trrd_ps = t.cycles_to_ps(t.trrd)
+        tfaw_ps = t.cycles_to_ps(t.tfaw)
+        for a, b in zip(acts, acts[1:]):
+            assert b - a >= trrd_ps
+        for first, fifth in zip(acts, acts[4:]):
+            assert fifth - first >= tfaw_ps
+        assert replay_trace(trace, t) == []

@@ -1,0 +1,46 @@
+"""Unit-safety pass family: exact finding locations on the fixtures."""
+
+from repro.analyze import run_analysis
+from repro.analyze.units_lint import MagicLatencyPass
+
+
+def _findings(root, name, rule):
+    path = next(root.rglob(name))
+    report = run_analysis([str(path)], with_project_passes=False)
+    return [f for f in report.findings if f.rule == rule]
+
+
+def test_unit_mix_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_unit_mix.py", "unit-mix")
+    assert [f.line for f in found] == [5, 6]
+    assert "[ps]" in found[0].message and "[cycles]" in found[0].message
+    assert "[bytes]" in found[1].message
+
+
+def test_magic_latency_exact_locations(fixture_tree):
+    found = _findings(fixture_tree, "bad_magic.py", "magic-latency")
+    assert [f.line for f in found] == [5, 6]
+    assert "150000" in found[0].message
+    assert "refresh_cycles" in found[1].message
+
+
+def test_magic_latency_exempts_constant_homes_and_tests(tmp_path):
+    exempt = MagicLatencyPass()
+    assert not exempt.applies_to("src/repro/config.py")
+    assert not exempt.applies_to("src/repro/dram/timing.py")
+    assert not exempt.applies_to("src/repro/units.py")
+    assert not exempt.applies_to("tests/analyze/fixtures/dram/bad_magic.py")
+    assert not exempt.applies_to("benchmarks/bench_fig3.py")
+    assert exempt.applies_to("src/repro/jafar/device.py")
+
+
+def test_small_literals_are_not_magic(tmp_path):
+    (tmp_path / "mod.py").write_text("delay_ps = 0\nwarmup_cycles = 16\n")
+    report = run_analysis([str(tmp_path)], with_project_passes=False)
+    assert report.findings == []
+
+
+def test_good_units_fixture_is_clean(fixture_tree):
+    path = next(fixture_tree.rglob("good_units.py"))
+    report = run_analysis([str(path)], with_project_passes=False)
+    assert report.findings == []
