@@ -43,6 +43,20 @@ def test_figure3_speedup_vs_selectivity(benchmark, bench_rows):
     assert 8.0 <= points[-1].speedup <= 10.5
 
 
+def test_figure3_matches_orchestrator_path(benchmark, bench_rows):
+    """The `python -m repro.bench` fig3_point runner must agree exactly with
+    the run_figure3 path this benchmark regenerates."""
+    from repro.bench import SweepConfig, execute
+
+    n = min(bench_rows, 1 << 16)
+    config = SweepConfig("fig3_point", rows=n, selectivity=0.5)
+    via_bench = run_once(benchmark, execute, config)
+    point = run_figure3(n, (0.5,))[0]
+    assert via_bench["cpu_ps"] == point.cpu_ps
+    assert via_bench["jafar_ps"] == point.jafar_ps
+    assert via_bench["matches"] == point.matches
+
+
 def test_figure3_jafar_time_constant(benchmark, bench_rows):
     """§3.2's mechanism claim, at benchmark scale."""
     points = run_once(benchmark, run_figure3, bench_rows, (0.0, 0.5, 1.0))

@@ -1,0 +1,33 @@
+"""The benchmark orchestrator itself: sweep wall-clock and cache behaviour.
+
+``python -m repro.bench`` is the parallel path for regenerating the paper's
+sweeps; this benchmark measures the orchestrator end-to-end at benchmark
+scale and pins its two contracts: a warm cache answers without simulating,
+and cached results are byte-identical to freshly computed ones.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_sweep, smoke_sweep
+
+
+def test_orchestrator_cold_sweep(benchmark, tmp_path):
+    configs = smoke_sweep()
+    report = run_once(benchmark, run_sweep, configs,
+                      cache_dir=tmp_path / "cache", serial=True)
+    assert report["num_points"] == len(configs)
+    assert report["cache_hits"] == 0
+    print(f"\ncold sweep: {report['total_wall_s']:.3f}s "
+          f"for {report['num_points']} points")
+
+
+def test_orchestrator_warm_cache(benchmark, tmp_path):
+    configs = smoke_sweep()
+    cold = run_sweep(configs, cache_dir=tmp_path / "cache", serial=True)
+    warm = run_once(benchmark, run_sweep, configs,
+                    cache_dir=tmp_path / "cache", serial=True)
+    assert warm["cache_hits"] == len(configs)
+    assert ([p["result"] for p in warm["points"]]
+            == [p["result"] for p in cold["points"]])
+    print(f"\nwarm/cold wall-clock: {warm['total_wall_s']:.4f}s "
+          f"/ {cold['total_wall_s']:.3f}s")

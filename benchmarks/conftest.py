@@ -22,6 +22,14 @@ BENCH_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", str(1 << 18)))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so the
+    sweeps can be selected (``-m bench``) or skipped (``-m 'not bench'``)
+    without listing paths."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def bench_rows() -> int:
     return BENCH_ROWS

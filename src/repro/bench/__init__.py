@@ -1,0 +1,36 @@
+"""Benchmark orchestrator: enumerate sweeps, fan out, cache, report.
+
+``python -m repro.bench`` enumerates sweep configurations (rows,
+selectivity, speed grade, output-buffer size, TPC-H scale), runs each point
+through the simulator — serially or across a process pool — and writes a
+machine-readable ``BENCH_results.json`` holding simulated-time *and*
+wall-clock numbers plus deltas against the previous run.
+
+Simulated outputs are deterministic, so each point's result is cached in a
+content-addressed store keyed by ``(config hash, code fingerprint)``: a
+second invocation with unchanged code and configs returns instantly from
+cache.  Wall-clock timings are measured by the orchestrator and are *not*
+part of the cached payload.
+
+This package sits outside the simulator's determinism-lint scope
+(``repro.sim`` / ``repro.dram`` / ``repro.jafar``): wall-clock reads and
+process pools are the whole point here, and nothing in this package feeds
+timestamps back into model state.
+"""
+
+from .configs import SWEEPS, SweepConfig, enumerate_sweep, smoke_sweep
+from .orchestrator import run_sweep, write_results
+from .runner import execute
+from .store import ResultStore, code_fingerprint
+
+__all__ = [
+    "SWEEPS",
+    "SweepConfig",
+    "ResultStore",
+    "code_fingerprint",
+    "enumerate_sweep",
+    "execute",
+    "run_sweep",
+    "smoke_sweep",
+    "write_results",
+]

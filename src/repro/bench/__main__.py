@@ -1,0 +1,99 @@
+"""``python -m repro.bench`` — the benchmark-orchestrator CLI.
+
+Examples::
+
+    python -m repro.bench --smoke --workers 2
+    python -m repro.bench --sweep fig3 --sweep grades --workers 4
+    python -m repro.bench --sweep fig3 --serial --no-cache
+    python -m repro.bench --list
+
+See EXPERIMENTS.md ("Benchmark orchestrator") for the cache-key scheme and
+the CI wiring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from .configs import DEFAULT_ROWS, DEFAULT_SCALE, SWEEPS, enumerate_sweep, smoke_sweep
+from .orchestrator import DEFAULT_OUTPUT, run_sweep, write_results
+from .store import DEFAULT_CACHE_DIR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Enumerate benchmark sweeps, fan them out over a process "
+                    "pool, cache deterministic results, and write "
+                    "BENCH_results.json.",
+    )
+    parser.add_argument("--sweep", action="append", default=[],
+                        choices=sorted(SWEEPS),
+                        help="sweep(s) to run (repeatable; default: fig3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the fast 4-point CI smoke set instead")
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help=f"column rows per point (default {DEFAULT_ROWS})")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help=f"TPC-H scale factor (default {DEFAULT_SCALE})")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (default 1)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run in-process even if --workers > 1")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                        help=f"result store root (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result store entirely")
+    parser.add_argument("--list", action="store_true",
+                        help="print the configs a run would execute, then exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        configs = smoke_sweep()
+    else:
+        configs = enumerate_sweep(args.sweep or ["fig3"], rows=args.rows,
+                                  scale=args.scale)
+    if args.list:
+        for config in configs:
+            print(config.name)
+        return 0
+
+    report = run_sweep(configs, workers=args.workers,
+                       cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache, serial=args.serial)
+    report = write_results(report, args.output)
+
+    for point in report["points"]:
+        tag = "cache" if point["cached"] else f"{point['wall_s']:6.2f}s"
+        print(f"  {point['name']:<44} [{tag}]")
+    print(f"{report['num_points']} point(s), {report['cache_hits']} cached, "
+          f"{report['total_wall_s']:.2f}s wall on {report['workers']} "
+          f"worker(s) -> {args.output}")
+    deltas = report.get("deltas")
+    if deltas:
+        mismatched = [name for name, d in deltas["points"].items()
+                      if not d["sim_identical"]]
+        if mismatched:
+            print(f"simulated outputs CHANGED vs previous run: "
+                  f"{', '.join(sorted(mismatched))}")
+        elif deltas["points"]:
+            print("simulated outputs identical to previous run")
+        if deltas["total_wall_speedup"]:
+            print(f"wall-clock vs previous run: "
+                  f"{deltas['total_wall_speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,153 @@
+"""Sweep configurations for the benchmark orchestrator.
+
+A :class:`SweepConfig` is one simulation point: which experiment to run and
+every knob that changes its simulated output.  Configs are frozen, hashable,
+and serialise to canonical JSON — the cache key is derived from that JSON,
+so two configs with equal fields always share a cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+from ..dram.timing import SPEED_GRADES
+from ..errors import ConfigError
+
+#: Experiments the runner knows how to execute.
+EXPERIMENTS = ("fig3_point", "fig4_profile", "scan_estimate")
+
+#: Default column size for sweep points — small enough that a full sweep
+#: finishes in seconds per point in pure Python, large enough to exercise
+#: refresh windows and row-boundary behaviour.
+DEFAULT_ROWS = 1 << 16
+
+#: Default TPC-H scale factor for fig4 points (≈ 6K-row lineitem).
+DEFAULT_SCALE = 0.001
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One benchmark point: an experiment plus every knob that matters."""
+
+    experiment: str
+    rows: int = DEFAULT_ROWS
+    selectivity: float = 0.5
+    grade: str | None = None          # None = the platform's default grade
+    buffer_bits: int | None = None    # None = the platform's default buffer
+    scale: float = DEFAULT_SCALE      # TPC-H scale (fig4_profile only)
+    kernel: str = "branchy"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            raise ConfigError(
+                f"unknown experiment {self.experiment!r}; known: {EXPERIMENTS}"
+            )
+        if self.rows <= 0:
+            raise ConfigError("rows must be positive")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ConfigError(f"selectivity {self.selectivity} outside [0, 1]")
+        if self.grade is not None and self.grade not in SPEED_GRADES:
+            raise ConfigError(f"unknown speed grade {self.grade!r}")
+        if self.buffer_bits is not None and (
+                self.buffer_bits <= 0 or self.buffer_bits % 8):
+            raise ConfigError("buffer_bits must be a positive multiple of 8")
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+
+    def canonical_json(self) -> str:
+        """Stable serialisation: sorted keys, no whitespace variance."""
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    @property
+    def name(self) -> str:
+        """Short human-readable label for reports and logs."""
+        parts = [self.experiment]
+        if self.experiment == "fig4_profile":
+            parts.append(f"sf{self.scale:g}")
+        else:
+            parts.append(f"r{self.rows}")
+            parts.append(f"s{self.selectivity:g}")
+        if self.grade:
+            parts.append(self.grade)
+        if self.buffer_bits:
+            parts.append(f"b{self.buffer_bits}")
+        if self.kernel != "branchy":
+            parts.append(self.kernel)
+        return "-".join(parts)
+
+
+# -- sweep enumerators ---------------------------------------------------------
+
+
+def sweep_fig3(rows: int = DEFAULT_ROWS) -> Iterator[SweepConfig]:
+    """Figure 3's selectivity axis at benchmark scale."""
+    for tenth in range(11):
+        yield SweepConfig("fig3_point", rows=rows, selectivity=round(0.1 * tenth, 1))
+
+
+def sweep_grades(rows: int = DEFAULT_ROWS) -> Iterator[SweepConfig]:
+    """One mid-selectivity point per DDR3 speed grade."""
+    for grade in sorted(SPEED_GRADES):
+        yield SweepConfig("fig3_point", rows=rows, selectivity=0.5, grade=grade)
+
+
+def sweep_buffer(rows: int = DEFAULT_ROWS) -> Iterator[SweepConfig]:
+    """JAFAR output-buffer ablation (the §2.2 n-bit bitset)."""
+    for bits in (64, 128, 256, 512, 1024, 2048):
+        yield SweepConfig("fig3_point", rows=rows, selectivity=0.5,
+                          buffer_bits=bits)
+
+
+def sweep_tpch(scale: float = DEFAULT_SCALE) -> Iterator[SweepConfig]:
+    """The Figure 4 IMC-idleness profile at one TPC-H scale."""
+    yield SweepConfig("fig4_profile", scale=scale)
+
+
+def sweep_estimates(rows: int = DEFAULT_ROWS) -> Iterator[SweepConfig]:
+    """Closed-form cost-model points (cheap; cross-check material)."""
+    for kernel in ("branchy", "predicated"):
+        for tenth in (0, 5, 10):
+            yield SweepConfig("scan_estimate", rows=rows,
+                              selectivity=round(0.1 * tenth, 1), kernel=kernel)
+
+
+SWEEPS = {
+    "fig3": sweep_fig3,
+    "grades": sweep_grades,
+    "buffer": sweep_buffer,
+    "tpch": sweep_tpch,
+    "estimates": sweep_estimates,
+}
+
+
+def enumerate_sweep(names: list[str], rows: int = DEFAULT_ROWS,
+                    scale: float = DEFAULT_SCALE) -> list[SweepConfig]:
+    """Expand sweep names into a deduplicated, ordered config list."""
+    configs: list[SweepConfig] = []
+    seen: set[SweepConfig] = set()
+    for name in names:
+        try:
+            sweep = SWEEPS[name]
+        except KeyError:
+            known = ", ".join(sorted(SWEEPS))
+            raise ConfigError(f"unknown sweep {name!r}; known: {known}") from None
+        points = sweep(scale=scale) if name == "tpch" else sweep(rows=rows)
+        for config in points:
+            if config not in seen:
+                seen.add(config)
+                configs.append(config)
+    return configs
+
+
+def smoke_sweep(rows: int = 1 << 13) -> list[SweepConfig]:
+    """The CI smoke set: 4 fast points covering both experiment kinds."""
+    return [
+        SweepConfig("fig3_point", rows=rows, selectivity=0.0),
+        SweepConfig("fig3_point", rows=rows, selectivity=1.0),
+        SweepConfig("fig3_point", rows=rows, selectivity=0.5,
+                    grade="DDR3-1066G"),
+        SweepConfig("scan_estimate", rows=rows, selectivity=0.5),
+    ]

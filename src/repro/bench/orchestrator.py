@@ -1,0 +1,131 @@
+"""Fan benchmark points out over a process pool and report results.
+
+Each worker checks the content-addressed store itself before simulating, so
+a warm cache costs one JSON read per point regardless of worker count, and
+a cold run populates the store as points complete.  Wall-clock numbers are
+measured here (around the cache check + simulation), never cached.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from typing import Any
+
+from .configs import SweepConfig
+from .runner import execute
+from .store import DEFAULT_CACHE_DIR, ResultStore, cache_key, code_fingerprint
+
+DEFAULT_OUTPUT = pathlib.Path("BENCH_results.json")
+
+
+def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
+              use_cache: bool) -> dict[str, Any]:
+    """Run (or fetch) one point.  Top-level so process pools can pickle it."""
+    started = time.perf_counter()
+    key = cache_key(config, fingerprint)
+    store = ResultStore(cache_dir) if use_cache else None
+    cached = store.get(key) if store is not None else None
+    if cached is not None:
+        result = cached
+        hit = True
+    else:
+        result = execute(config)
+        hit = False
+        if store is not None:
+            store.put(key, result)
+    wall_s = time.perf_counter() - started
+    return {
+        "name": config.name,
+        "key": key,
+        "config": asdict(config),
+        "result": result,
+        "wall_s": wall_s,
+        "cached": hit,
+    }
+
+
+def run_sweep(configs: list[SweepConfig], workers: int = 1,
+              cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
+              use_cache: bool = True, serial: bool = False) -> dict[str, Any]:
+    """Run every config and assemble the report dictionary.
+
+    ``serial=True`` (or ``workers <= 1``) runs in-process — the comparison
+    baseline and the debug path.  Otherwise points fan out over a
+    ``ProcessPoolExecutor``; results keep config order regardless of
+    completion order, so reports diff cleanly run-to-run.
+    """
+    fingerprint = code_fingerprint()
+    cache_dir = str(cache_dir)
+    started = time.perf_counter()
+    if serial or workers <= 1:
+        points = [run_point(c, fingerprint, cache_dir, use_cache)
+                  for c in configs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_point, c, fingerprint, cache_dir,
+                                   use_cache)
+                       for c in configs]
+            points = [f.result() for f in futures]
+    total_wall_s = time.perf_counter() - started
+    return {
+        "version": 1,
+        "fingerprint": fingerprint,
+        "workers": 1 if serial else max(workers, 1),
+        "num_points": len(points),
+        "cache_hits": sum(1 for p in points if p["cached"]),
+        "total_wall_s": total_wall_s,
+        "points": points,
+    }
+
+
+def compute_deltas(report: dict[str, Any],
+                   previous: dict[str, Any]) -> dict[str, Any]:
+    """Speedup-vs-previous-run deltas, keyed by point name.
+
+    ``sim_identical`` flags whether the simulated payload matched the
+    previous run exactly — the determinism check CI enforces.
+    ``wall_speedup`` > 1 means this run was faster.
+    """
+    prev_points = {p["name"]: p for p in previous.get("points", [])}
+    point_deltas: dict[str, Any] = {}
+    for point in report["points"]:
+        prev = prev_points.get(point["name"])
+        if prev is None:
+            continue
+        wall_speedup = (prev["wall_s"] / point["wall_s"]
+                        if point["wall_s"] > 0 else None)
+        point_deltas[point["name"]] = {
+            "sim_identical": prev["result"] == point["result"],
+            "wall_speedup": wall_speedup,
+            "previously_cached": prev["cached"],
+        }
+    prev_total = previous.get("total_wall_s")
+    total_speedup = (prev_total / report["total_wall_s"]
+                     if prev_total and report["total_wall_s"] > 0 else None)
+    return {
+        "previous_fingerprint": previous.get("fingerprint"),
+        "total_wall_speedup": total_speedup,
+        "points": point_deltas,
+    }
+
+
+def write_results(report: dict[str, Any],
+                  output: str | pathlib.Path = DEFAULT_OUTPUT) -> dict[str, Any]:
+    """Attach deltas against the previous report at ``output`` and write it."""
+    output = pathlib.Path(output)
+    previous: dict[str, Any] | None = None
+    try:
+        with output.open("r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        previous = None
+    if previous is not None:
+        report = dict(report)
+        report["deltas"] = compute_deltas(report, previous)
+    output.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n",
+                      encoding="utf-8")
+    return report

@@ -1,0 +1,92 @@
+"""Execute one benchmark point.
+
+:func:`execute` is the unit of work the orchestrator fans out.  It is a
+top-level importable (picklable) function so ``ProcessPoolExecutor`` can
+ship :class:`~repro.bench.configs.SweepConfig` objects to workers, and it
+returns only *simulated* quantities — integer picoseconds, match counts,
+derived floats — never wall-clock readings, so the payload is deterministic
+and safe to cache content-addressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from ..analysis.idle import run_figure4
+from ..analysis.speedup import measure_point
+from ..config import GEM5_PLATFORM, XEON_PLATFORM, SystemConfig
+from ..cpu import scan_estimate
+from ..errors import ConfigError
+from .configs import SweepConfig
+
+WORD_BYTES = 8
+
+
+def _platform_for(config: SweepConfig, base: SystemConfig) -> SystemConfig:
+    """Apply the config's grade / output-buffer overrides to a platform."""
+    platform = base
+    if config.grade is not None:
+        platform = platform.with_(dram_grade=config.grade)
+    if config.buffer_bits is not None:
+        platform = platform.with_(jafar_cost=replace(
+            platform.jafar_cost, output_buffer_bits=config.buffer_bits))
+    return platform
+
+
+def _run_fig3_point(config: SweepConfig) -> dict[str, Any]:
+    platform = _platform_for(config, GEM5_PLATFORM)
+    point = measure_point(config.selectivity, config.rows, config=platform,
+                          seed=config.seed, kernel=config.kernel)
+    return {
+        "cpu_ps": point.cpu_ps,
+        "jafar_ps": point.jafar_ps,
+        "matches": point.matches,
+        "achieved_selectivity": point.achieved_selectivity,
+        "speedup": point.speedup,
+    }
+
+
+def _run_fig4_profile(config: SweepConfig) -> dict[str, Any]:
+    platform = _platform_for(config, XEON_PLATFORM)
+    points = run_figure4(scale=config.scale, seed=1, config=platform)
+    return {
+        "queries": {
+            p.query: {
+                "mean_idle_period_cycles": p.profile.mean_idle_period_cycles,
+                "true_mean_idle_gap_cycles": p.profile.true_mean_idle_gap_cycles,
+                "reads": p.profile.reads,
+                "writes": p.profile.writes,
+            }
+            for p in points
+        }
+    }
+
+
+def _run_scan_estimate(config: SweepConfig) -> dict[str, Any]:
+    platform = _platform_for(config, GEM5_PLATFORM)
+    estimate = scan_estimate(platform, platform.dram_timings(), config.rows,
+                             WORD_BYTES, config.selectivity, config.kernel)
+    return {
+        "total_ps": estimate.total_ps,
+        "compute_ps": estimate.compute_ps,
+        "memory_ps": estimate.memory_ps,
+        "bound": estimate.bound,
+        "lines": estimate.lines,
+    }
+
+
+_RUNNERS = {
+    "fig3_point": _run_fig3_point,
+    "fig4_profile": _run_fig4_profile,
+    "scan_estimate": _run_scan_estimate,
+}
+
+
+def execute(config: SweepConfig) -> dict[str, Any]:
+    """Run one point and return its simulated (deterministic) outputs."""
+    try:
+        runner = _RUNNERS[config.experiment]
+    except KeyError:
+        raise ConfigError(f"no runner for experiment {config.experiment!r}") from None
+    return runner(config)

@@ -1,0 +1,96 @@
+"""Content-addressed result store for benchmark points.
+
+A point's cache key is ``sha256(config JSON + code fingerprint)``: the
+fingerprint covers every ``repro`` source file, so *any* change to the
+simulator invalidates *every* cached result, while re-running unchanged code
+is a pure cache hit.  Entries are written atomically (temp file +
+``os.replace``) so concurrent process-pool workers — or two orchestrator
+invocations racing — can never expose a torn entry; last writer wins with
+byte-identical content either way, because payloads are deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+from typing import Any
+
+from .configs import SweepConfig
+
+_SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent  # src/repro
+DEFAULT_CACHE_DIR = pathlib.Path(".bench_cache")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + content).
+
+    Cached per process: one orchestrator run hashes the tree once, and
+    workers inherit nothing — each pool worker computes it independently,
+    which keeps the fingerprint honest even under ``fork`` semantics.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(_SRC_ROOT.rglob("*.py")):
+        digest.update(str(path.relative_to(_SRC_ROOT)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key(config: SweepConfig, fingerprint: str | None = None) -> str:
+    """The content address of one benchmark point's result."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    digest = hashlib.sha256()
+    digest.update(config.canonical_json().encode())
+    digest.update(b"\0")
+    digest.update(fingerprint.encode())
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store of point results."""
+
+    def __init__(self, root: pathlib.Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or None on miss/corruption.
+
+        A half-written or corrupted entry (which atomic writes should make
+        impossible, but a crashed run might leave a stray file) is treated
+        as a miss, never an error.
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        data = json.dumps(payload, sort_keys=True, indent=2)
+        try:
+            tmp.write_text(data + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            # os.replace consumed the temp file on success; clean up on error.
+            if tmp.exists():
+                tmp.unlink()
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

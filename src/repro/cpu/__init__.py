@@ -15,6 +15,7 @@ from .costmodel import (
     mispredict_rate,
     predicated_cycles_per_row,
     scan_estimate,
+    scan_estimate_sweep,
 )
 from .isa import (
     BRANCHY_MATCH_EXTRA,
@@ -50,4 +51,5 @@ __all__ = [
     "predicated_select",
     "range_mask",
     "scan_estimate",
+    "scan_estimate_sweep",
 ]

@@ -134,6 +134,13 @@ class Core:
 
         start_ps = self.now_ps
         stats = PhaseStats(start_ps=start_ps, end_ps=start_ps, lines_read=nlines)
+        # Hot loop: hoist attribute lookups and convert the numpy per-line
+        # vectors to plain Python floats once (np.float64 -> float is exact).
+        line_bytes = self.line_bytes
+        submit = self.controller.submit
+        cycles_to_ps = self.clock.cycles_to_ps
+        per_line_f = per_line.tolist()
+        out_per_line_f = out_per_line.tolist()
         # The prefetcher keeps up to `depth` fetches in flight; a fetch for
         # line k is issued when the core finished consuming line k - depth
         # (or at phase start during ramp-up).
@@ -142,29 +149,28 @@ class Core:
         issue_floor = start_ps
         write_backlog = 0.0
         for k in range(nlines):
-            addr = base_addr + k * self.line_bytes
+            addr = base_addr + k * line_bytes
             issue_at = max(finish_times[0], issue_floor)
             issue_floor = issue_at  # controller needs ordered arrivals
-            done = self.controller.submit(
-                MemRequest(addr, self.line_bytes, False, issue_at, Agent.CPU))
+            done = submit(MemRequest(addr, line_bytes, False, issue_at, Agent.CPU))
             data_ready = done.finish_ps
             if data_ready > self.now_ps:
                 stats.stall_ps += data_ready - self.now_ps
                 self.now_ps = data_ready
-            compute = float(per_line[k])
+            compute = per_line_f[k]
             stats.compute_cycles += compute
-            self.now_ps += self.clock.cycles_to_ps(compute)
+            self.now_ps += cycles_to_ps(compute)
             finish_times.append(self.now_ps)
 
-            write_backlog += float(out_per_line[k])
-            while write_backlog >= self.line_bytes:
-                write_backlog -= self.line_bytes
+            write_backlog += out_per_line_f[k]
+            while write_backlog >= line_bytes:
+                write_backlog -= line_bytes
                 issue_floor = self._post_write(self._write_cursor, issue_floor)
-                self._write_cursor += self.line_bytes
+                self._write_cursor += line_bytes
                 stats.lines_written += 1
         if write_backlog > 0:
             issue_floor = self._post_write(self._write_cursor, issue_floor)
-            self._write_cursor += self.line_bytes
+            self._write_cursor += line_bytes
             stats.lines_written += 1
         self._drain_writes(issue_floor)
         stats.end_ps = self.now_ps
@@ -192,16 +198,20 @@ class Core:
         finish_times: deque[int] = deque([start_ps] * lead, maxlen=lead)
         issue_floor = start_ps
         compute_ps = self.clock.cycles_to_ps(cycles_per_access)
+        hierarchy_access = self.hierarchy.access
+        cycles_to_ps = self.clock.cycles_to_ps
+        submit = self.controller.submit
+        line_bytes = self.line_bytes
         for addr in addrs:
             addr = int(addr)
-            result = self.hierarchy.access(addr)
-            self.now_ps += self.clock.cycles_to_ps(result.latency_cycles)
+            result = hierarchy_access(addr)
+            self.now_ps += cycles_to_ps(result.latency_cycles)
             if result.dram_access:
                 issue_at = max(finish_times[0], issue_floor)
                 issue_floor = issue_at
-                line_addr = (addr // self.line_bytes) * self.line_bytes
-                done = self.controller.submit(
-                    MemRequest(line_addr, self.line_bytes, False, issue_at,
+                line_addr = (addr // line_bytes) * line_bytes
+                done = submit(
+                    MemRequest(line_addr, line_bytes, False, issue_at,
                                Agent.CPU))
                 stats.lines_read += 1
                 if done.finish_ps > self.now_ps:

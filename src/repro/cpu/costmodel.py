@@ -20,6 +20,7 @@ Model:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..config import CPUCostModel, SystemConfig
 from ..dram import DDR3Timings
@@ -114,3 +115,46 @@ def scan_estimate(config: SystemConfig, timings: DDR3Timings, nrows: int,
     total = lines * per_line + ramp
     return ScanEstimate(total, lines * compute_line_ps, lines * memory_line_ps,
                         float(ramp), lines)
+
+
+def scan_estimate_sweep(config: SystemConfig, timings: DDR3Timings, nrows: int,
+                        word_bytes: int, selectivities: Sequence[float],
+                        kernel: str = "branchy") -> list[ScanEstimate]:
+    """Batched :func:`scan_estimate` over a selectivity sweep.
+
+    The selectivity-independent terms (line geometry, steady-state line
+    service time, ramp-up) are hoisted out of the loop; every remaining float
+    expression keeps :func:`scan_estimate`'s operand order, so each returned
+    estimate is bit-identical to the corresponding single-point call.  Large
+    sweeps (the benchmark orchestrator's) pay the DRAM-service derivation
+    once instead of once per point.
+    """
+    if nrows <= 0 or word_bytes <= 0:
+        raise ConfigError("nrows and word_bytes must be positive")
+    if kernel not in ("branchy", "predicated"):
+        raise ConfigError(f"unknown kernel {kernel!r}")
+    cost = config.cpu_cost
+    line_bytes = 64
+    rows_per_line = max(line_bytes // word_bytes, 1)
+    lines = -(-nrows // rows_per_line)
+    cpu_period_ps = period_ps(config.cpu_freq_hz)
+    service_line_ps = line_service_ps(
+        timings, line_bytes, config.row_bytes, refresh=config.refresh_enabled)
+    ramp = timings.cycles_to_ps(timings.trcd + timings.cl + timings.burst_cycles)
+
+    estimates = []
+    for selectivity in selectivities:
+        if kernel == "branchy":
+            cycles_row = branchy_cycles_per_row(cost, selectivity)
+        else:
+            cycles_row = predicated_cycles_per_row(cost)
+        compute_line_ps = (cycles_row * rows_per_line
+                           + cost.residual_stall_cycles_per_line) * cpu_period_ps
+        write_bytes_per_line = selectivity * rows_per_line * 8.0
+        memory_line_ps = service_line_ps * (1.0 + write_bytes_per_line / line_bytes)
+        per_line = max(compute_line_ps, memory_line_ps)
+        total = lines * per_line + ramp
+        estimates.append(
+            ScanEstimate(total, lines * compute_line_ps, lines * memory_line_ps,
+                         float(ramp), lines))
+    return estimates

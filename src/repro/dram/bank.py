@@ -16,7 +16,7 @@ from ..errors import DRAMTimingError
 from .timing import DDR3Timings
 
 
-@dataclass
+@dataclass(slots=True)
 class BurstTiming:
     """Timing outcome of one column burst on a bank.
 
@@ -40,6 +40,10 @@ class BurstTiming:
 class Bank:
     """One DRAM bank: open-row tracking plus next-legal-command timestamps."""
 
+    __slots__ = ("timings", "index", "open_row", "next_act_ps", "next_col_ps",
+                 "next_pre_ps", "_data_free_ps", "_last_act_ps", "_t",
+                 "activations", "row_hits", "row_misses")
+
     def __init__(self, timings: DDR3Timings, index: int = 0) -> None:
         self.timings = timings
         self.index = index
@@ -52,6 +56,8 @@ class Bank:
         # means equal CAS spacing does not imply disjoint data windows).
         self._data_free_ps = 0
         self._last_act_ps = -(10**15)
+        # Precomputed per-grade picosecond table for the hot path.
+        self._t = timings.ps
         # Statistics.
         self.activations = 0
         self.row_hits = 0
@@ -61,10 +67,10 @@ class Bank:
 
     def precharge(self, at_ps: int) -> int:
         """Close the open row.  Returns the PRE issue time."""
-        t = self.timings
-        issue = max(at_ps, self.next_pre_ps, self._last_act_ps + t.cycles_to_ps(t.tras))
+        t = self._t
+        issue = max(at_ps, self.next_pre_ps, self._last_act_ps + t.tras_ps)
         self.open_row = None
-        self.next_act_ps = max(self.next_act_ps, issue + t.cycles_to_ps(t.trp))
+        self.next_act_ps = max(self.next_act_ps, issue + t.trp_ps)
         return issue
 
     def activate(self, row: int, at_ps: int) -> int:
@@ -73,13 +79,13 @@ class Bank:
             raise DRAMTimingError(
                 f"bank {self.index}: ACT while row {self.open_row} is open"
             )
-        t = self.timings
+        t = self._t
         issue = max(at_ps, self.next_act_ps)
         self.open_row = row
         self._last_act_ps = issue
         self.activations += 1
-        self.next_col_ps = max(self.next_col_ps, issue + t.cycles_to_ps(t.trcd))
-        self.next_pre_ps = max(self.next_pre_ps, issue + t.cycles_to_ps(t.tras))
+        self.next_col_ps = max(self.next_col_ps, issue + t.trcd_ps)
+        self.next_pre_ps = max(self.next_pre_ps, issue + t.tras_ps)
         return issue
 
     # -- transaction-level access -----------------------------------------------
@@ -93,40 +99,43 @@ class Bank:
         Returns the burst timing; the caller must then advance its bus
         tracker to ``data_end_ps``.
         """
-        t = self.timings
+        t = self._t
         activated = False
         pre_at: int | None = None
         act_at: int | None = None
-        if self.open_row is not None and self.open_row != row:
+        open_row = self.open_row
+        if open_row is not None and open_row != row:
             pre_at = self.precharge(at_ps)
-            at_ps = max(at_ps, pre_at)
+            if pre_at > at_ps:
+                at_ps = pre_at
             self.row_misses += 1
-        elif self.open_row == row:
+            open_row = None
+        elif open_row == row:
             self.row_hits += 1
-        if self.open_row is None:
+        if open_row is None:
             act_at = self.activate(row, at_ps)
-            at_ps = max(at_ps, act_at)
+            if act_at > at_ps:
+                at_ps = act_at
             activated = True
             if self.open_row != row:  # pragma: no cover - defensive
                 raise DRAMTimingError("activation did not open the requested row")
 
-        latency = t.cwl if is_write else t.cl
+        latency_ps = t.cwl_ps if is_write else t.cl_ps
         # The column command must wait for tRCD/tCCD and for both the
         # external bus and the bank's own data pins to be free.
         data_floor = max(bus_free_ps, self._data_free_ps)
-        cas = max(at_ps, self.next_col_ps,
-                  data_floor - t.cycles_to_ps(latency))
-        data_start = cas + t.cycles_to_ps(latency)
-        data_end = data_start + t.cycles_to_ps(t.burst_cycles)
+        cas = max(at_ps, self.next_col_ps, data_floor - latency_ps)
+        data_start = cas + latency_ps
+        data_end = data_start + t.burst_ps
         self._data_free_ps = data_end
-        self.next_col_ps = cas + t.cycles_to_ps(t.tccd)
+        self.next_col_ps = cas + t.tccd_ps
         if is_write:
             # Write recovery delays the next precharge.
-            self.next_pre_ps = max(self.next_pre_ps,
-                                   data_end + t.cycles_to_ps(t.twr))
+            next_pre = data_end + t.twr_ps
         else:
-            self.next_pre_ps = max(self.next_pre_ps,
-                                   cas + t.cycles_to_ps(t.trtp))
+            next_pre = cas + t.trtp_ps
+        if next_pre > self.next_pre_ps:
+            self.next_pre_ps = next_pre
         return BurstTiming(cas, data_start, data_end, row_hit=not activated,
                            activated_row=activated, pre_ps=pre_at, act_ps=act_at)
 

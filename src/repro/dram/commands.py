@@ -38,7 +38,7 @@ class Agent(enum.Enum):
 _req_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """One transaction-level memory request (a cache-line-sized access).
 
@@ -67,7 +67,7 @@ class MemRequest:
             raise ValueError(f"negative arrival time {self.arrival_ps}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedRequest:
     """Timing outcome of a serviced :class:`MemRequest`.
 

@@ -116,27 +116,41 @@ class MemoryController:
         return [by_id[r.req_id] for r in reqs]
 
     def _service(self, req: MemRequest) -> CompletedRequest:
-        bursts = self.mapping.bursts_for(req.addr, req.nbytes)
+        mapping = self.mapping
+        decode = mapping.decode
+        channels = self.channels
+        closed_page = self.page_policy == "closed"
+        arrival_ps = req.arrival_ps
+        is_write = req.is_write
+        agent = req.agent
+        bursts = mapping.bursts_for(req.addr, req.nbytes)
         issue_ps: int | None = None
         first_data_ps: int | None = None
-        finish_ps = req.arrival_ps
+        finish_ps = arrival_ps
         hits = 0
         misses = 0
         for burst_addr in bursts:
-            loc = self.mapping.decode(burst_addr)
-            channel = self.channels[loc.channel]
+            loc = decode(burst_addr)
+            channel = channels[loc.channel]
             rank = channel.rank(loc.dimm, loc.rank)
-            timing = rank.access(loc.bank, loc.row, req.arrival_ps, req.is_write,
-                                 agent=req.agent, bus_free_ps=channel.bus_free_ps)
-            channel.bus_free_ps = timing.data_end_ps
-            if self.page_policy == "closed":
+            timing = rank.access(loc.bank, loc.row, arrival_ps, is_write,
+                                 agent=agent, bus_free_ps=channel.bus_free_ps)
+            data_end_ps = timing.data_end_ps
+            channel.bus_free_ps = data_end_ps
+            if closed_page:
                 # Auto-precharge: the row closes right after the burst, so
-                # every access pays ACT+CAS but never a conflict PRE.
-                rank.banks[loc.bank].precharge(timing.data_end_ps)
+                # every access pays ACT+CAS but never a conflict PRE.  The
+                # implicit PRE still goes on the command bus, so the trace
+                # (and the replay validator behind it) must see it.
+                pre_ps = rank.banks[loc.bank].precharge(data_end_ps)
+                if rank.trace is not None:
+                    rank.trace.record_command(pre_ps, "PRE", "controller",
+                                              rank.trace_rank_id, loc.bank)
             if issue_ps is None:
                 issue_ps = timing.cas_ps
                 first_data_ps = timing.data_start_ps
-            finish_ps = max(finish_ps, timing.data_end_ps)
+            if data_end_ps > finish_ps:
+                finish_ps = data_end_ps
             if timing.row_hit:
                 hits += 1
             else:

@@ -29,7 +29,7 @@ from ..units import is_power_of_two, log2_exact
 from .timing import DDR3Timings
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Location:
     """A fully decoded DRAM coordinate."""
 
@@ -128,43 +128,41 @@ class AddressMapping:
         self._dimm_bits = log2_exact(geometry.dimms_per_channel)
         self._chan_bits = log2_exact(geometry.channels)
         self._row_bits = log2_exact(geometry.rows_per_bank)
+        # The size cascade (bank -> rank -> dimm -> channel -> total) is a
+        # chain of property multiplications; decode() is called per burst, so
+        # snapshot the sizes once (the geometry dataclass is frozen).
+        self._bank_bytes = geometry.bank_bytes
+        self._rank_bytes = geometry.rank_bytes
+        self._dimm_bytes = geometry.dimm_bytes
+        self._channel_bytes = geometry.channel_bytes
+        self._total_bytes = geometry.total_bytes
 
     def decode(self, addr: int) -> Location:
         """Decode a physical byte address into a DRAM coordinate."""
         geometry = self.geometry
-        if addr < 0 or addr >= geometry.total_bytes:
+        if addr < 0 or addr >= self._total_bytes:
             raise DRAMAddressError(
-                f"address {addr:#x} outside {geometry.total_bytes:#x}-byte memory"
+                f"address {addr:#x} outside {self._total_bytes:#x}-byte memory"
             )
         if geometry.interleave_bytes and geometry.channels > 1:
-            block = addr // geometry.interleave_bytes
-            channel = block % geometry.channels
-            within = (block // geometry.channels) * geometry.interleave_bytes + (
-                addr % geometry.interleave_bytes
-            )
+            block, rem = divmod(addr, geometry.interleave_bytes)
+            block, channel = divmod(block, geometry.channels)
+            within = block * geometry.interleave_bytes + rem
         else:
-            channel = addr // geometry.channel_bytes
-            within = addr % geometry.channel_bytes
+            channel, within = divmod(addr, self._channel_bytes)
 
-        dimm = within // geometry.dimm_bytes
-        within %= geometry.dimm_bytes
-        rank = within // geometry.rank_bytes
-        within %= geometry.rank_bytes
+        dimm, within = divmod(within, self._dimm_bytes)
+        rank, within = divmod(within, self._rank_bytes)
 
         if geometry.bank_rotate_bytes:
-            chunk = within // geometry.bank_rotate_bytes
-            bank = chunk % geometry.banks_per_rank
-            linear = (chunk // geometry.banks_per_rank) * geometry.bank_rotate_bytes + (
-                within % geometry.bank_rotate_bytes
-            )
+            chunk, rem = divmod(within, geometry.bank_rotate_bytes)
+            chunk, bank = divmod(chunk, geometry.banks_per_rank)
+            linear = chunk * geometry.bank_rotate_bytes + rem
         else:
-            bank = within // geometry.bank_bytes
-            linear = within % geometry.bank_bytes
+            bank, linear = divmod(within, self._bank_bytes)
 
-        row = linear // geometry.row_bytes
-        in_row = linear % geometry.row_bytes
-        column = in_row // self.burst_bytes
-        offset = in_row % self.burst_bytes
+        row, in_row = divmod(linear, geometry.row_bytes)
+        column, offset = divmod(in_row, self.burst_bytes)
         return Location(channel, dimm, rank, bank, row, column, offset)
 
     def encode(self, loc: Location) -> int:

@@ -21,7 +21,7 @@ from ..units import div_round
 from .timing import DDR3Timings
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BeatSchedule:
     """Availability times of each 64-bit beat of one burst."""
 
@@ -36,12 +36,20 @@ class BeatSchedule:
 class IOBuffer:
     """Models the prefetch buffer's dual-pumped streaming behaviour."""
 
+    __slots__ = ("timings", "words_per_burst", "_tck_ps", "_beat_offsets")
+
     def __init__(self, timings: DDR3Timings) -> None:
         self.timings = timings
         self.words_per_burst = timings.burst_length
         # Beats land on both clock edges, so beat spacing is half a tCK.
         # Kept as the full period to stay in exact integer picoseconds.
         self._tck_ps = timings.tck_ps
+        # Beat k's offset from data_start never changes for a grade, so the
+        # half-cycle rounding is done once here rather than per burst.
+        self._beat_offsets = tuple(
+            div_round((k + 1) * self._tck_ps, 2)
+            for k in range(self.words_per_burst)
+        )
 
     def beat_schedule(self, data_start_ps: int) -> BeatSchedule:
         """Timestamps at which each beat of a burst starting at
@@ -52,10 +60,7 @@ class IOBuffer:
         """
         if data_start_ps < 0:
             raise DRAMError(f"negative data start: {data_start_ps}")
-        beats = tuple(
-            data_start_ps + div_round((k + 1) * self._tck_ps, 2)
-            for k in range(self.words_per_burst)
-        )
+        beats = tuple(data_start_ps + off for off in self._beat_offsets)
         return BeatSchedule(data_start_ps, beats)
 
     def burst_duration_ps(self) -> int:

@@ -23,6 +23,10 @@ from .timing import DDR3Timings
 class Rank:
     """Banks + mode registers + refresh state for one rank."""
 
+    __slots__ = ("timings", "index", "banks", "mode_registers", "refresh",
+                 "io_buffer", "io_free_ps", "_act_times", "_t", "trace",
+                 "trace_rank_id")
+
     def __init__(self, timings: DDR3Timings, banks: int, index: int = 0,
                  refresh_enabled: bool = True) -> None:
         self.timings = timings
@@ -37,6 +41,8 @@ class Rank:
         # Issue times of the most recent ACTs anywhere on the rank, for the
         # inter-bank tRRD spacing and the tFAW four-activate window.
         self._act_times: deque[int] = deque(maxlen=4)
+        # Precomputed per-grade picosecond table for the hot path.
+        self._t = timings.ps
         # Optional command trace (see repro.sim.trace.attach_trace);
         # trace_rank_id is a machine-wide unique id assigned at attach time
         # (Rank.index alone is only unique within one DIMM).
@@ -56,12 +62,13 @@ class Rank:
 
     def _act_floor_ps(self) -> int:
         """Earliest time the next ACT may issue anywhere on this rank."""
-        if not self._act_times:
+        acts = self._act_times
+        if not acts:
             return 0
-        t = self.timings
-        floor = self._act_times[-1] + t.cycles_to_ps(t.trrd)
-        if len(self._act_times) == self._act_times.maxlen:
-            floor = max(floor, self._act_times[0] + t.cycles_to_ps(t.tfaw))
+        t = self._t
+        floor = acts[-1] + t.trrd_ps
+        if len(acts) == acts.maxlen:
+            floor = max(floor, acts[0] + t.tfaw_ps)
         return floor
 
     def access(self, bank: int, row: int, at_ps: int, is_write: bool,
@@ -111,7 +118,7 @@ class Rank:
                 if self.trace is not None:
                     self.trace.record_command(issue, "PRE", "controller",
                                               self.trace_rank_id, bank.index)
-                done = max(done, issue + self.timings.cycles_to_ps(self.timings.trp))
+                done = max(done, issue + self._t.trp_ps)
         return done
 
     @property

@@ -16,12 +16,17 @@ from .timing import DDR3Timings
 class RefreshState:
     """Lazy refresh scheduler for one rank."""
 
+    __slots__ = ("timings", "enabled", "next_refresh_ps", "refreshes_issued",
+                 "busy_ps", "_trfc_ps", "_trefi_ps")
+
     def __init__(self, timings: DDR3Timings, enabled: bool = True) -> None:
         self.timings = timings
         self.enabled = enabled
         self.next_refresh_ps = timings.trefi_ps
         self.refreshes_issued = 0
         self.busy_ps = 0
+        self._trfc_ps = timings.trfc_ps
+        self._trefi_ps = timings.trefi_ps
 
     def settle(self, now_ps: int) -> int:
         """Apply refreshes due strictly before ``now_ps``.
@@ -34,11 +39,12 @@ class RefreshState:
         if not self.enabled:
             return now_ps
         earliest = now_ps
+        trfc_ps = self._trfc_ps
         while self.next_refresh_ps <= earliest:
-            end = self.next_refresh_ps + self.timings.trfc_ps
+            end = self.next_refresh_ps + trfc_ps
             self.refreshes_issued += 1
-            self.busy_ps += self.timings.trfc_ps
-            self.next_refresh_ps += self.timings.trefi_ps
+            self.busy_ps += trfc_ps
+            self.next_refresh_ps += self._trefi_ps
             if end > earliest:
                 earliest = end
         return earliest

@@ -14,10 +14,14 @@ trivially testable and swappable in the controller.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Protocol, Sequence
 
 from .commands import MemRequest
 from .geometry import AddressMapping
+
+#: Sort key shared by both policies: (arrival_ps, req_id) arrival order.
+_ARRIVAL_ORDER = attrgetter("arrival_ps", "req_id")
 
 
 class SchedulingPolicy(Protocol):
@@ -44,7 +48,7 @@ class FCFSPolicy:
     def order(self, window: Sequence[MemRequest],
               mapping: AddressMapping,
               open_rows: dict[tuple[int, int, int, int], int | None]) -> list[MemRequest]:
-        return sorted(window, key=lambda r: (r.arrival_ps, r.req_id))
+        return sorted(window, key=_ARRIVAL_ORDER)
 
 
 class FRFCFSPolicy:
@@ -64,10 +68,12 @@ class FRFCFSPolicy:
               open_rows: dict[tuple[int, int, int, int], int | None]) -> list[MemRequest]:
         hits: list[MemRequest] = []
         misses: list[MemRequest] = []
-        for req in sorted(window, key=lambda r: (r.arrival_ps, r.req_id)):
-            loc = mapping.decode(req.addr)
+        decode = mapping.decode
+        get_open_row = open_rows.get
+        for req in sorted(window, key=_ARRIVAL_ORDER):
+            loc = decode(req.addr)
             key = (loc.channel, loc.dimm, loc.rank, loc.bank)
-            if open_rows.get(key) == loc.row:
+            if get_open_row(key) == loc.row:
                 hits.append(req)
             else:
                 misses.append(req)

@@ -15,6 +15,7 @@ default grade for the gem5-like platform.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import ConfigError
 from ..sim.clock import ClockDomain
@@ -120,6 +121,29 @@ class DDR3Timings:
         """Row cycle time tRC = tRAS + tRP, picoseconds."""
         return self.cycles_to_ps(self.tras + self.trp)
 
+    @cached_property
+    def ps(self) -> "TimingTablePs":
+        """Precomputed integer-picosecond table for this grade.
+
+        Hot loops (bank/rank state machines, the controller, the replay
+        validator) read these instead of calling :meth:`cycles_to_ps` per
+        command.  For integer cycle counts ``round(c * tck_ps) == c * tck_ps``
+        exactly, so the table is bit-identical to the method it replaces.
+        """
+        return TimingTablePs(
+            trp_ps=self.trp * self.tck_ps,
+            trcd_ps=self.trcd * self.tck_ps,
+            tras_ps=self.tras * self.tck_ps,
+            tccd_ps=self.tccd * self.tck_ps,
+            trrd_ps=self.trrd * self.tck_ps,
+            tfaw_ps=self.tfaw * self.tck_ps,
+            twr_ps=self.twr * self.tck_ps,
+            trtp_ps=self.trtp * self.tck_ps,
+            cl_ps=self.cl * self.tck_ps,
+            cwl_ps=self.cwl * self.tck_ps,
+            burst_ps=self.burst_cycles * self.tck_ps,
+        )
+
     def bus_clock(self) -> ClockDomain:
         """The data-bus clock as a :class:`ClockDomain`."""
         return ClockDomain(self.bus_freq_hz, f"{self.name}.bus")
@@ -135,6 +159,23 @@ class DDR3Timings:
     def peak_bandwidth_bytes_per_s(self) -> float:
         """Peak channel bandwidth: 8 B per beat, 2 beats per bus cycle."""
         return self.bus_freq_hz * 16.0
+
+
+@dataclass(frozen=True, slots=True)
+class TimingTablePs:
+    """Per-grade timing parameters pre-multiplied into integer picoseconds."""
+
+    trp_ps: int
+    trcd_ps: int
+    tras_ps: int
+    tccd_ps: int
+    trrd_ps: int
+    tfaw_ps: int
+    twr_ps: int
+    trtp_ps: int
+    cl_ps: int
+    cwl_ps: int
+    burst_ps: int
 
 
 # JEDEC DDR3 speed grades (common bins; secondary timings at typical values;

@@ -160,10 +160,16 @@ class JafarDevice:
         last_proc_done = start_ps
         owned_any = False
 
+        decode = self.mapping.decode
+        ranks = self.dimm.ranks
+        dimm_index = self.dimm.index
+        channel_index = self.channel_index
+        stats = self.stats
+
         addr = first_burst
         while addr <= last_burst:
-            loc = self.mapping.decode(addr)
-            if loc.channel != self.channel_index or loc.dimm != self.dimm.index:
+            loc = decode(addr)
+            if loc.channel != channel_index or loc.dimm != dimm_index:
                 # Interleaved layout: this chunk belongs to a sibling DIMM's
                 # JAFAR; skip it but keep the result-bit accounting aligned.
                 bursts_skipped += 1
@@ -176,11 +182,11 @@ class JafarDevice:
             hi_word = min(num_rows,
                           (addr + burst_bytes - col_addr) // WORD_BYTES)
             owned[lo_word:hi_word] = True
-            rank = self.dimm.ranks[loc.rank]
+            rank = ranks[loc.rank]
             row_key = (loc.rank, loc.bank, loc.row)
             if current_row_key is not None and row_key != current_row_key:
                 # Natural PRE/ACT gap: drain owed writebacks here.
-                self.stats.row_boundaries_crossed += 1
+                stats.row_boundaries_crossed += 1
                 while writebacks_owed > 0:
                     cursor, out_cursor = self._write_back(out_cursor, cursor)
                     writebacks_owed -= 1

@@ -15,7 +15,7 @@ from typing import Callable
 from ..errors import SimulationError
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.  Ordered by ``(time_ps, seq)``."""
 

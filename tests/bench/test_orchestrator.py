@@ -1,0 +1,106 @@
+"""End-to-end orchestrator tests at tiny scale: order, cache, deltas, CLI."""
+
+import json
+
+from repro.bench import SweepConfig, enumerate_sweep, run_sweep, smoke_sweep
+from repro.bench.__main__ import main as bench_main
+from repro.bench.orchestrator import compute_deltas, write_results
+
+TINY = [
+    SweepConfig("fig3_point", rows=2048, selectivity=0.0),
+    SweepConfig("fig3_point", rows=2048, selectivity=1.0),
+    SweepConfig("scan_estimate", rows=2048, selectivity=0.5),
+]
+
+
+class TestRunSweep:
+    def test_report_keeps_config_order_and_shape(self, tmp_path):
+        report = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        assert report["num_points"] == len(TINY)
+        assert [p["name"] for p in report["points"]] == [c.name for c in TINY]
+        assert report["cache_hits"] == 0
+        for point in report["points"]:
+            assert point["result"]
+            assert len(point["key"]) == 64
+            assert point["wall_s"] >= 0
+
+    def test_second_run_hits_cache_with_identical_results(self, tmp_path):
+        first = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        second = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        assert second["cache_hits"] == len(TINY)
+        assert ([p["result"] for p in first["points"]]
+                == [p["result"] for p in second["points"]])
+
+    def test_no_cache_recomputes(self, tmp_path):
+        run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        again = run_sweep(TINY, cache_dir=tmp_path, use_cache=False,
+                          serial=True)
+        assert again["cache_hits"] == 0
+
+    def test_pool_and_serial_agree(self, tmp_path):
+        serial = run_sweep(TINY, cache_dir=tmp_path / "a", serial=True)
+        pooled = run_sweep(TINY, workers=2, cache_dir=tmp_path / "b")
+        assert ([p["result"] for p in serial["points"]]
+                == [p["result"] for p in pooled["points"]])
+        assert ([p["key"] for p in serial["points"]]
+                == [p["key"] for p in pooled["points"]])
+
+
+class TestDeltasAndOutput:
+    def test_deltas_flag_identical_simulated_output(self, tmp_path):
+        first = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        second = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        deltas = compute_deltas(second, first)
+        assert set(deltas["points"]) == {c.name for c in TINY}
+        assert all(d["sim_identical"] for d in deltas["points"].values())
+
+    def test_deltas_catch_changed_results(self, tmp_path):
+        first = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        second = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        second["points"][0] = dict(second["points"][0],
+                                   result={"cpu_ps": -1})
+        deltas = compute_deltas(second, first)
+        assert not deltas["points"][TINY[0].name]["sim_identical"]
+        assert deltas["points"][TINY[1].name]["sim_identical"]
+
+    def test_write_results_attaches_deltas_on_rewrite(self, tmp_path):
+        out = tmp_path / "BENCH_results.json"
+        report1 = run_sweep(TINY, cache_dir=tmp_path / "c", serial=True)
+        written1 = write_results(report1, out)
+        assert "deltas" not in written1
+        report2 = run_sweep(TINY, cache_dir=tmp_path / "c", serial=True)
+        written2 = write_results(report2, out)
+        assert written2["deltas"]["points"]
+        on_disk = json.loads(out.read_text())
+        assert on_disk["deltas"] == written2["deltas"]
+
+
+class TestSweepsAndCLI:
+    def test_smoke_sweep_is_four_points(self):
+        configs = smoke_sweep()
+        assert len(configs) == 4
+        assert len({c.name for c in configs}) == 4
+
+    def test_enumerate_dedupes_across_sweeps(self):
+        once = enumerate_sweep(["fig3"], rows=1024)
+        twice = enumerate_sweep(["fig3", "fig3"], rows=1024)
+        assert once == twice
+
+    def test_cli_list_and_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert bench_main(["--smoke", "--list"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+        code = bench_main(["--smoke", "--serial",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--output", str(tmp_path / "out.json")])
+        assert code == 0
+        report = json.loads((tmp_path / "out.json").read_text())
+        assert report["num_points"] == 4
+        # Second CLI run: all cached, deltas report identical sim output.
+        code = bench_main(["--smoke", "--serial",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--output", str(tmp_path / "out.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 cached" in out
+        assert "identical to previous run" in out

@@ -1,0 +1,123 @@
+"""Round-trip tests: the result store, its keys, and concurrent writers."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.bench import ResultStore, SweepConfig, code_fingerprint
+from repro.bench.store import cache_key
+from repro.errors import ConfigError
+
+PAYLOAD = {"cpu_ps": 123_456_789, "jafar_ps": 23_456_789, "matches": 4096,
+           "nested": {"speedup": 5.26, "flags": [True, False, None]}}
+
+
+class TestKeys:
+    def test_key_is_stable_across_equal_configs(self):
+        a = SweepConfig("fig3_point", rows=4096, selectivity=0.5)
+        b = SweepConfig("fig3_point", rows=4096, selectivity=0.5)
+        assert a.canonical_json() == b.canonical_json()
+        assert cache_key(a, "fp") == cache_key(b, "fp")
+
+    def test_key_changes_with_any_knob(self):
+        base = SweepConfig("fig3_point", rows=4096, selectivity=0.5)
+        variants = [
+            SweepConfig("fig3_point", rows=8192, selectivity=0.5),
+            SweepConfig("fig3_point", rows=4096, selectivity=0.6),
+            SweepConfig("fig3_point", rows=4096, selectivity=0.5,
+                        grade="DDR3-1066G"),
+            SweepConfig("fig3_point", rows=4096, selectivity=0.5,
+                        buffer_bits=64),
+            SweepConfig("fig3_point", rows=4096, selectivity=0.5, seed=43),
+            SweepConfig("scan_estimate", rows=4096, selectivity=0.5),
+        ]
+        keys = {cache_key(v, "fp") for v in variants}
+        assert len(keys) == len(variants)
+        assert cache_key(base, "fp") not in keys
+
+    def test_key_changes_with_code_fingerprint(self):
+        config = SweepConfig("fig3_point")
+        assert cache_key(config, "fp-a") != cache_key(config, "fp-b")
+
+    def test_real_fingerprint_is_stable_in_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepConfig("no_such_experiment")
+        with pytest.raises(ConfigError):
+            SweepConfig("fig3_point", rows=0)
+        with pytest.raises(ConfigError):
+            SweepConfig("fig3_point", selectivity=1.5)
+        with pytest.raises(ConfigError):
+            SweepConfig("fig3_point", grade="DDR4-3200")
+        with pytest.raises(ConfigError):
+            SweepConfig("fig3_point", buffer_bits=100)
+
+
+class TestStoreRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = "a" * 64
+        assert store.get(key) is None
+        assert key not in store
+        store.put(key, PAYLOAD)
+        assert key in store
+        assert store.get(key) == PAYLOAD
+        assert len(store) == 1
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("b" * 64, PAYLOAD)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "c" * 64
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+        assert len(store) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "d" * 64
+        (tmp_path / f"{key}.json").write_text("{truncated", encoding="utf-8")
+        assert store.get(key) is None
+
+
+def _pool_put(args):
+    """Top-level worker: hammer one store key from a separate process."""
+    root, key, value = args
+    store = ResultStore(root)
+    for _ in range(20):
+        store.put(key, {"value": value, "blob": "x" * 4096})
+    return store.get(key) is not None
+
+
+class TestConcurrentWriters:
+    def test_process_pool_writers_never_tear_an_entry(self, tmp_path):
+        """Four processes replace the same entry concurrently; every read —
+        during and after — must see one complete JSON document."""
+        key = "e" * 64
+        jobs = [(str(tmp_path), key, worker) for worker in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(_pool_put, jobs))
+        assert all(results)
+        final = json.loads((tmp_path / f"{key}.json").read_text())
+        assert final["value"] in range(4)
+        assert len(final["blob"]) == 4096
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_distinct_keys_from_pool_all_land(self, tmp_path):
+        jobs = [(str(tmp_path), f"{i:064x}", i) for i in range(8)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            assert all(pool.map(_pool_put, jobs))
+        store = ResultStore(tmp_path)
+        assert len(store) == 8
+        for i in range(8):
+            assert store.get(f"{i:064x}")["value"] == i

@@ -1,0 +1,49 @@
+"""The batched cost-model sweep must be bit-identical to single points."""
+
+import pytest
+
+from repro.config import GEM5_PLATFORM, XEON_PLATFORM
+from repro.cpu import scan_estimate, scan_estimate_sweep
+from repro.dram.timing import SPEED_GRADES
+from repro.errors import ConfigError
+
+SELECTIVITIES = tuple(round(0.05 * i, 2) for i in range(21))
+
+
+@pytest.mark.parametrize("kernel", ("branchy", "predicated"))
+@pytest.mark.parametrize("config", (GEM5_PLATFORM, XEON_PLATFORM),
+                         ids=lambda c: c.name)
+def test_sweep_matches_single_points_bit_exactly(config, kernel):
+    timings = config.dram_timings()
+    batched = scan_estimate_sweep(config, timings, 100_000, 8,
+                                  SELECTIVITIES, kernel)
+    for selectivity, estimate in zip(SELECTIVITIES, batched):
+        single = scan_estimate(config, timings, 100_000, 8, selectivity,
+                               kernel)
+        # == on floats here is deliberate: the sweep hoists shared terms but
+        # must keep every float expression's operand order, so the results
+        # are required to be bit-identical, not merely close.
+        assert estimate == single, selectivity
+
+
+def test_sweep_across_grades():
+    for grade_name in SPEED_GRADES:
+        config = GEM5_PLATFORM.with_(dram_grade=grade_name)
+        timings = config.dram_timings()
+        batched = scan_estimate_sweep(config, timings, 4096, 8, (0.0, 1.0))
+        assert batched[0] == scan_estimate(config, timings, 4096, 8, 0.0)
+        assert batched[1] == scan_estimate(config, timings, 4096, 8, 1.0)
+
+
+def test_sweep_rejects_bad_args():
+    timings = GEM5_PLATFORM.dram_timings()
+    with pytest.raises(ConfigError):
+        scan_estimate_sweep(GEM5_PLATFORM, timings, 0, 8, (0.5,))
+    with pytest.raises(ConfigError):
+        scan_estimate_sweep(GEM5_PLATFORM, timings, 100, 8, (0.5,),
+                            kernel="vectorized")
+
+
+def test_empty_sweep_is_empty():
+    timings = GEM5_PLATFORM.dram_timings()
+    assert scan_estimate_sweep(GEM5_PLATFORM, timings, 100, 8, ()) == []

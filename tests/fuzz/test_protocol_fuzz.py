@@ -1,0 +1,148 @@
+"""Seeded protocol fuzzing: random request streams vs the JEDEC validator.
+
+Each case drives a seeded-random request stream — mixed reads/writes,
+random addresses, FCFS and reordered-batch submission, both page policies —
+through the memory controller with command tracing attached, round-trips
+the recorded stream through ``dump_commands``/``load_commands``, and replays
+it through the ``repro.analyze`` JEDEC validator.  The timing model must
+never emit an illegal command sequence, whatever the traffic; a single
+violation is a model bug.
+
+Seeds are fixed, so failures reproduce exactly; bump ``SEEDS`` locally for
+longer campaigns.
+"""
+
+import random
+
+import pytest
+
+from repro.analyze import replay_commands
+from repro.analyze.cli import main as analyze_main
+from repro.dram import (
+    Agent,
+    DRAMGeometry,
+    MemoryController,
+    MemRequest,
+)
+from repro.dram.timing import SPEED_GRADES, speed_grade
+from repro.sim import attach_trace, dump_commands, load_commands
+
+#: Small geometry: few rows per bank so random streams hit row conflicts,
+#: bank conflicts, and rank switches constantly.
+GEOMETRY = DRAMGeometry(ranks_per_dimm=2, banks_per_rank=8,
+                        row_bytes=2048, rows_per_bank=64)
+
+SEEDS = range(6)
+GRADES = tuple(sorted(SPEED_GRADES))
+
+
+def _random_stream(rng: random.Random, total_bytes: int, count: int,
+                   gap_ps: int) -> list[MemRequest]:
+    """A seeded stream of requests with non-decreasing arrival times."""
+    reqs = []
+    now_ps = 0
+    for _ in range(count):
+        addr = rng.randrange(total_bytes - 512)
+        nbytes = rng.choice((8, 64, 96, 256))
+        is_write = rng.random() < 0.3
+        agent = Agent.JAFAR if rng.random() < 0.2 else Agent.CPU
+        reqs.append(MemRequest(addr, nbytes, is_write, now_ps, agent))
+        now_ps += rng.randrange(gap_ps)
+    return reqs
+
+
+def _fuzz_controller(seed: int, grade: str, page_policy: str,
+                     batched: bool, count: int = 150):
+    """Drive one fuzz case; returns the controller and its command trace."""
+    rng = random.Random(seed)
+    timings = speed_grade(grade)
+    controller = MemoryController(timings, GEOMETRY, page_policy=page_policy)
+    trace = attach_trace(controller)
+    stream = _random_stream(rng, GEOMETRY.total_bytes, count, gap_ps=20_000)
+    if batched:
+        window = 8
+        for i in range(0, len(stream), window):
+            controller.submit_batch(stream[i:i + window])
+    else:
+        for req in stream:
+            controller.submit(req)
+    controller.finish()
+    return controller, trace
+
+
+class TestFuzzReplay:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("page_policy", ("open", "closed"))
+    def test_fcfs_stream_replays_clean(self, seed, page_policy):
+        _, trace = _fuzz_controller(seed, "DDR3-1600K", page_policy,
+                                    batched=False)
+        assert len(trace.commands) > 0
+        violations = replay_commands(trace.commands,
+                                     speed_grade("DDR3-1600K"))
+        assert violations == [], [v.format() for v in violations]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_frfcfs_batches_replay_clean(self, seed):
+        _, trace = _fuzz_controller(seed, "DDR3-2133N", "open", batched=True)
+        violations = replay_commands(trace.commands,
+                                     speed_grade("DDR3-2133N"))
+        assert violations == [], [v.format() for v in violations]
+
+    @pytest.mark.parametrize("grade", GRADES)
+    def test_every_speed_grade_replays_clean(self, grade):
+        _, trace = _fuzz_controller(seed=99, grade=grade, page_policy="open",
+                                    batched=False)
+        violations = replay_commands(trace.commands, speed_grade(grade))
+        assert violations == [], [v.format() for v in violations]
+
+    def test_wrong_grade_replay_catches_violations(self):
+        """Sanity: the validator is not vacuously clean — replaying a fast
+        grade's trace against a slower grade's timings must fail."""
+        _, trace = _fuzz_controller(seed=7, grade="DDR3-2133N",
+                                    page_policy="open", batched=False)
+        violations = replay_commands(trace.commands,
+                                     speed_grade("DDR3-1066G"))
+        assert violations
+
+
+@pytest.mark.slow
+class TestFuzzCampaign:
+    """The long campaign: every (grade, policy, submission) combination under
+    many seeds.  Excluded from tier 1; run with ``pytest -m slow``."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_long_mixed_campaign(self, seed):
+        rng = random.Random(1000 + seed)
+        grade = rng.choice(GRADES)
+        page_policy = rng.choice(("open", "closed"))
+        batched = rng.random() < 0.5
+        _, trace = _fuzz_controller(seed, grade, page_policy, batched,
+                                    count=500)
+        violations = replay_commands(trace.commands, speed_grade(grade))
+        assert violations == [], [v.format() for v in violations]
+
+
+class TestFuzzRoundTripAndCLI:
+    def test_dump_load_replay_round_trip(self, tmp_path):
+        """The on-disk form must replay exactly like the in-memory stream."""
+        _, trace = _fuzz_controller(seed=3, grade="DDR3-1600K",
+                                    page_policy="open", batched=True)
+        path = tmp_path / "fuzz.jsonl"
+        written = dump_commands(trace, str(path))
+        loaded = load_commands(str(path))
+        assert written == len(loaded) == len(trace.commands)
+        assert loaded == list(trace.commands)
+        violations = replay_commands(loaded, speed_grade("DDR3-1600K"))
+        assert violations == []
+
+    def test_analyze_cli_replays_fuzz_trace(self, tmp_path, capsys):
+        """End-to-end: ``python -m repro.analyze --replay TRACE.jsonl``."""
+        _, trace = _fuzz_controller(seed=11, grade="DDR3-2133N",
+                                    page_policy="open", batched=False)
+        path = tmp_path / "fuzz_cli.jsonl"
+        dump_commands(trace, str(path))
+        exit_code = analyze_main(["--replay", str(path),
+                                  "--grade", "DDR3-2133N"])
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.out + captured.err
+        assert "clean" in captured.out

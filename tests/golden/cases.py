@@ -1,0 +1,221 @@
+"""Golden-case definitions: the exact simulated-time numbers behind the
+paper-claim checks, at small scale.
+
+Each case is a zero-argument callable returning a JSON-serialisable value.
+``compute_all()`` evaluates every case; ``regen.py`` writes the result to
+``golden_values.json`` and ``test_golden.py`` asserts exact equality against
+that file.  Timestamps are integer picoseconds and the workloads are seeded,
+so equality is exact — any hot-path refactor that moves a calibrated number
+by even one picosecond fails these tests loudly.
+
+Regenerate (only when a timing-model change is *intended*):
+
+    PYTHONPATH=src python -m tests.golden.regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.analysis import measure_point, run_figure3, run_query_profile
+from repro.config import GEM5_PLATFORM
+from repro.cpu.costmodel import scan_estimate
+from repro.dram import DDR3_1600, Agent, MemoryController, MemRequest
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.iobuffer import IOBuffer
+from repro.sim.trace import attach_trace
+from repro.system import Machine
+from repro.tpch import generate
+from repro.workloads import uniform_column
+
+GOLDEN_ROWS = 1 << 14
+
+
+def fig3_small():
+    """Figure 3 endpoints + midpoint: the headline speedup numbers."""
+    points = run_figure3(num_rows=GOLDEN_ROWS, selectivities=(0.0, 0.5, 1.0))
+    return [
+        {"selectivity": p.selectivity, "cpu_ps": p.cpu_ps,
+         "jafar_ps": p.jafar_ps, "matches": p.matches}
+        for p in points
+    ]
+
+
+def fig3_slow_grade():
+    """One point on the slowest grade: locks the per-grade timing tables."""
+    config = GEM5_PLATFORM.with_(dram_grade="DDR3-1066G")
+    p = measure_point(0.5, GOLDEN_ROWS, config)
+    return {"cpu_ps": p.cpu_ps, "jafar_ps": p.jafar_ps, "matches": p.matches}
+
+
+def fig3_predicated():
+    """The predicated CPU kernel: locks the branch-free cost path."""
+    p = measure_point(0.25, GOLDEN_ROWS, kernel="predicated")
+    return {"cpu_ps": p.cpu_ps, "jafar_ps": p.jafar_ps, "matches": p.matches}
+
+
+def fig4_q6():
+    """One Table-of-Figure-4 bar at tiny scale: locks the TPC-H path."""
+    data = generate(scale=0.001, seed=1)
+    point = run_query_profile("Q6", data)
+    return {
+        "mean_idle_cycles": point.mean_idle_cycles,
+        "reads": point.profile.reads,
+        "writes": point.profile.writes,
+    }
+
+
+def _small_controller(policy: str = "fr-fcfs",
+                      page_policy: str = "open") -> MemoryController:
+    geometry = DRAMGeometry(channels=1, dimms_per_channel=1, ranks_per_dimm=2,
+                            banks_per_rank=8, row_bytes=8192, rows_per_bank=64)
+    return MemoryController(DDR3_1600, geometry, policy=policy,
+                            page_policy=page_policy)
+
+
+def controller_stream():
+    """A mixed row-hit/row-miss/bank-conflict read stream, FCFS."""
+    mc = _small_controller()
+    # Walk two rows of bank 0, hop banks, then revisit — exercises PRE/ACT,
+    # tRRD/tFAW spacing, and the channel bus serialisation.
+    addrs = ([64 * k for k in range(8)]
+             + [8192 + 64 * k for k in range(4)]
+             + [n * 8192 * 64 for n in range(1, 6)]
+             + [0, 8192, 64])
+    done = mc.stream(addrs, nbytes=64, start_ps=1000, gap_ps=500)
+    mc.finish()
+    return {
+        "finish_ps": [c.finish_ps for c in done],
+        "issue_ps": [c.issue_ps for c in done],
+        "row_hits": sum(c.row_hits for c in done),
+        "row_misses": sum(c.row_misses for c in done),
+        "read_busy_ps": mc.counters.read_queue.busy_ps,
+    }
+
+
+def controller_batch_frfcfs():
+    """A reordered window under FR-FCFS, including posted writes."""
+    mc = _small_controller()
+    # Open a row first so the window has genuine hits to promote.
+    mc.submit(MemRequest(0, 64, False, 0, Agent.CPU))
+    window = [
+        MemRequest(3 * 8192 * 64, 64, False, 100, Agent.CPU),   # miss
+        MemRequest(128, 64, False, 200, Agent.CPU),             # hit
+        MemRequest(2 * 8192 * 64, 64, True, 300, Agent.JAFAR),  # write miss
+        MemRequest(192, 64, False, 400, Agent.CPU),             # hit
+    ]
+    done = mc.submit_batch(window)
+    mc.finish()
+    return {
+        "finish_ps": [c.finish_ps for c in done],
+        "service_order_hits": [c.row_hits for c in done],
+        "write_busy_ps": mc.counters.write_queue.busy_ps,
+    }
+
+
+def controller_closed_page():
+    """The same stream under the closed-page (auto-precharge) policy."""
+    mc = _small_controller(page_policy="closed")
+    addrs = [64 * k for k in range(6)] + [8192, 0]
+    done = mc.stream(addrs, nbytes=64, start_ps=0, gap_ps=0)
+    return {"finish_ps": [c.finish_ps for c in done],
+            "row_hits": sum(c.row_hits for c in done)}
+
+
+def jafar_select_digest():
+    """A full device run: duration, traffic, and a hash of the exact DRAM
+    command stream (issue times included) it generated."""
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    values = uniform_column(GOLDEN_ROWS, seed=7)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(max(GOLDEN_ROWS // 8, 64), dimm=0, pinned=True)
+    result = machine.driver.select_column(col.vaddr, GOLDEN_ROWS,
+                                          0, 500_000, out.vaddr)
+    stream = "\n".join(json.dumps(asdict(c), sort_keys=True)
+                       for c in trace.commands)
+    return {
+        "duration_ps": result.duration_ps,
+        "matches": result.matches,
+        "bursts_read": sum(r.bursts_read for r in result.per_page),
+        "writeback_bursts": sum(r.writeback_bursts for r in result.per_page),
+        "commands": len(trace.commands),
+        "command_stream_sha256": hashlib.sha256(stream.encode()).hexdigest(),
+    }
+
+
+def jafar_small_buffer():
+    """A 64-bit output buffer: locks the writeback-drain scheduling."""
+    config = GEM5_PLATFORM.with_(
+        jafar_cost=GEM5_PLATFORM.jafar_cost.__class__(output_buffer_bits=64))
+    machine = Machine(config)
+    values = uniform_column(1 << 12, seed=3)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(max(values.size // 8, 64), dimm=0, pinned=True)
+    result = machine.driver.select_column(col.vaddr, values.size,
+                                          0, 250_000, out.vaddr)
+    return {"duration_ps": result.duration_ps,
+            "writeback_bursts": sum(r.writeback_bursts
+                                    for r in result.per_page)}
+
+
+def scan_estimates():
+    """Closed-form cost-model values across kernels and selectivities."""
+    out = []
+    for kernel in ("branchy", "predicated"):
+        for sel in (0.0, 0.3, 1.0):
+            est = scan_estimate(GEM5_PLATFORM, DDR3_1600, nrows=100_000,
+                                word_bytes=8, selectivity=sel, kernel=kernel)
+            out.append({"kernel": kernel, "selectivity": sel,
+                        "total_ps": est.total_ps,
+                        "compute_ps": est.compute_ps,
+                        "memory_ps": est.memory_ps,
+                        "bound": est.bound})
+    return out
+
+
+def beat_schedules():
+    """IO-buffer beat timestamps: locks the 8n-prefetch stream timing."""
+    buf = IOBuffer(DDR3_1600)
+    return {
+        "at_0": list(buf.beat_schedule(0).beat_ps),
+        "at_12345": list(buf.beat_schedule(12345).beat_ps),
+        "words_by": [buf.words_available_by(1000, 1000 + d)
+                     for d in (0, 625, 1250, 5000, 50_000)],
+    }
+
+
+def cpu_random_phase():
+    """Dependent random reads through the cache hierarchy."""
+    machine = Machine(GEM5_PLATFORM)
+    rng = np.random.default_rng(11)
+    addrs = rng.integers(0, 1 << 20, size=512, dtype=np.int64) * 64 % (1 << 22)
+    stats = machine.core.random_read_phase(addrs, cycles_per_access=4.0)
+    return {"end_ps": stats.end_ps, "lines_read": stats.lines_read,
+            "lines_written": stats.lines_written,
+            "stall_ps": stats.stall_ps}
+
+
+#: name -> case callable; keys are the golden-file keys.
+CASES = {
+    "fig3_small": fig3_small,
+    "fig3_slow_grade": fig3_slow_grade,
+    "fig3_predicated": fig3_predicated,
+    "fig4_q6": fig4_q6,
+    "controller_stream": controller_stream,
+    "controller_batch_frfcfs": controller_batch_frfcfs,
+    "controller_closed_page": controller_closed_page,
+    "jafar_select_digest": jafar_select_digest,
+    "jafar_small_buffer": jafar_small_buffer,
+    "scan_estimates": scan_estimates,
+    "beat_schedules": beat_schedules,
+    "cpu_random_phase": cpu_random_phase,
+}
+
+
+def compute_all() -> dict:
+    return {name: case() for name, case in sorted(CASES.items())}

@@ -1,0 +1,27 @@
+"""Regenerate ``golden_values.json`` from the live simulator.
+
+Run only when a timing-model change is intended; the diff of the golden file
+is then the reviewable record of exactly which calibrated numbers moved:
+
+    PYTHONPATH=src python -m tests.golden.regen
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .cases import compute_all
+
+GOLDEN_PATH = pathlib.Path(__file__).with_name("golden_values.json")
+
+
+def main() -> None:
+    values = compute_all()
+    GOLDEN_PATH.write_text(json.dumps(values, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {len(values)} golden case(s) to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

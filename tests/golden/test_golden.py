@@ -1,0 +1,41 @@
+"""Golden regression tests: exact simulated-time pins at small scale.
+
+These are the safety net under every hot-path refactor: the simulator's
+contract is *bit-identical* outputs, so each case's value must equal the
+recorded golden exactly — integer picoseconds, match counts, command-stream
+hashes, and the closed-form float estimates alike.
+
+If a test fails because a timing-model change was *intended*, regenerate and
+review the diff:
+
+    PYTHONPATH=src python -m tests.golden.regen
+"""
+
+import json
+
+import pytest
+
+from .cases import CASES
+from .regen import GOLDEN_PATH
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():  # pragma: no cover - setup error
+        pytest.fail(f"{GOLDEN_PATH} missing; run `python -m tests.golden.regen`")
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_golden_file_covers_every_case(golden):
+    assert sorted(golden) == sorted(CASES), (
+        "golden file out of sync with cases; regenerate via tests.golden.regen"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden(name, golden):
+    actual = CASES[name]()
+    assert actual == golden[name], (
+        f"golden case {name!r} drifted — a simulated-time output moved. "
+        "If intentional, regenerate: PYTHONPATH=src python -m tests.golden.regen"
+    )

@@ -1,0 +1,83 @@
+"""``dump_commands``/``load_commands`` edge cases.
+
+The happy path is covered by the protocol and fuzz suites; this file pins
+the on-disk format's failure modes: empty traces, blank lines, truncated or
+garbage records (which must fail loudly with ``path:lineno`` context, never
+silently drop commands).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CommandTrace, dump_commands, load_commands
+from repro.sim.trace import CommandRecord
+
+
+def _small_trace() -> CommandTrace:
+    trace = CommandTrace()
+    trace.record_command(1000, "ACT", "cpu", 0, 2, 17)
+    trace.record_command(15_000, "RD", "cpu", 0, 2, 17)
+    trace.record_command(30_000, "PRE", "controller", 0, 2)
+    trace.record_command(200_000, "REF", "refresh", 1, None)
+    return trace
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        trace = _small_trace()
+        path = tmp_path / "trace.jsonl"
+        assert dump_commands(trace, str(path)) == 4
+        loaded = load_commands(str(path))
+        assert loaded == list(trace.commands)
+        assert all(isinstance(c, CommandRecord) for c in loaded)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert dump_commands(CommandTrace(), str(path)) == 0
+        assert path.exists()
+        assert load_commands(str(path)) == []
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        trace = _small_trace()
+        path = tmp_path / "padded.jsonl"
+        dump_commands(trace, str(path))
+        padded = "\n" + path.read_text().replace("\n", "\n\n") + "\n\n"
+        path.write_text(padded, encoding="utf-8")
+        assert load_commands(str(path)) == list(trace.commands)
+
+
+class TestMalformedInput:
+    def test_truncated_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        dump_commands(_small_trace(), str(path))
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # cut a record in half
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(SimulationError, match=r"truncated\.jsonl:3"):
+            load_commands(str(path))
+
+    def test_garbage_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"time_ps": 1, "kind": "ACT"}\n', encoding="utf-8")
+        with pytest.raises(SimulationError, match=r"garbage\.jsonl:1"):
+            load_commands(str(path))
+
+    def test_non_json_line_raises(self, tmp_path):
+        path = tmp_path / "text.jsonl"
+        dump_commands(_small_trace(), str(path))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("this is not json\n")
+        with pytest.raises(SimulationError, match=r"text\.jsonl:5"):
+            load_commands(str(path))
+
+    def test_unknown_field_raises(self, tmp_path):
+        path = tmp_path / "extra.jsonl"
+        path.write_text(
+            '{"time_ps": 1, "kind": "ACT", "agent": "cpu", "rank": 0, '
+            '"bank": 0, "row": 1, "bogus_field": 9}\n', encoding="utf-8")
+        with pytest.raises(SimulationError, match=r"extra\.jsonl:1"):
+            load_commands(str(path))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_commands(str(tmp_path / "does_not_exist.jsonl"))
