@@ -1,0 +1,36 @@
+"""Repo-level pytest wiring: the ``--simsan`` flag.
+
+``pytest --simsan`` installs the runtime sanitizers
+(:mod:`repro.analyze.simsan`) before tests import model objects, so the
+whole suite runs with online JEDEC checking, event accounting, ownership
+handoff checks, and scan-equivalence shadowing.  Equivalent to running the
+suite with ``REPRO_SIMSAN=1`` in the environment.
+"""
+
+import pathlib
+import sys
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--simsan",
+        action="store_true",
+        default=False,
+        help="run with the repro.analyze.simsan runtime sanitizers installed",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--simsan"):
+        try:
+            from repro.analyze.simsan import install
+        except ImportError:
+            sys.path.insert(0, str(pathlib.Path(__file__).parent / "src"))
+            from repro.analyze.simsan import install
+        install()
+
+
+def pytest_report_header(config):
+    if config.getoption("--simsan"):
+        return "simsan: runtime sanitizers installed (repro.analyze.simsan)"
+    return None

@@ -34,12 +34,22 @@ Package map (see DESIGN.md for the full inventory):
 ====================  ======================================================
 """
 
+import os as _os
+
 from .analysis import run_figure3, run_figure4
 from .config import GEM5_PLATFORM, PLATFORMS, XEON_PLATFORM, SystemConfig, platform
 from .errors import ReproError
 from .system import Machine
 
 __version__ = "1.0.0"
+
+# Opt-in runtime sanitizers (see repro.analyze.simsan): REPRO_SIMSAN=1 in
+# the environment installs them before any model object exists.  Zero cost
+# otherwise — nothing is imported or patched.
+if _os.environ.get("REPRO_SIMSAN") == "1":
+    from .analyze.simsan import install as _install_simsan
+
+    _install_simsan()
 
 __all__ = [
     "GEM5_PLATFORM",

@@ -5,22 +5,29 @@ Three pass families guard the contracts the reported numbers rest on:
 * determinism (:mod:`repro.analyze.determinism`) — no wall clock, no
   unseeded randomness, integer-picosecond timestamp arithmetic, no
   set-iteration in event-scheduling code;
-* unit safety (:mod:`repro.analyze.units_lint`) — no cross-unit
-  add/subtract/compare, no magic latency constants outside the audited
-  cost-model homes;
+* unit safety (:mod:`repro.analyze.dimflow` and
+  :mod:`repro.analyze.units_lint`) — cross-module dimension-dataflow
+  inference flagging cross-unit arithmetic and dimension-changing
+  rebinding, plus the magic-latency-constant lint;
 * DDR3 protocol (:mod:`repro.analyze.protocol`) — JEDEC relationships on
-  every speed grade and platform, plus a trace-replay validator that
-  re-checks recorded command streams against per-bank/per-rank ordering
-  constraints.
+  every speed grade and platform, plus an incremental command-stream
+  validator (:class:`~repro.analyze.protocol.CommandChecker`) used both
+  for post-hoc trace replay and as the live engine of the runtime JEDEC
+  sanitizer.
 
-Run as ``python -m repro.analyze [paths] [--format json|text]``; exits
-non-zero on any finding, which is how CI gates on it.
+The static passes run as ``python -m repro.analyze [paths] [--format
+json|text]``; exits non-zero on any finding, which is how CI gates on it.
+The dynamic side lives in :mod:`repro.analyze.simsan`: opt-in runtime
+sanitizers (``REPRO_SIMSAN=1`` or ``pytest --simsan``) that hook the
+simulator, DRAM FSMs, JAFAR device, and cache hierarchy.
 """
 
 from .core import (
     AnalysisReport,
+    CorpusPass,
     Finding,
     ModulePass,
+    ModuleSource,
     Pass,
     ProjectPass,
     all_passes,
@@ -29,6 +36,7 @@ from .core import (
     run_analysis,
 )
 from .protocol import (
+    CommandChecker,
     ReplayReport,
     TraceViolation,
     jedec_findings,
@@ -38,8 +46,11 @@ from .protocol import (
 
 __all__ = [
     "AnalysisReport",
+    "CommandChecker",
+    "CorpusPass",
     "Finding",
     "ModulePass",
+    "ModuleSource",
     "Pass",
     "ProjectPass",
     "ReplayReport",

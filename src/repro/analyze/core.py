@@ -6,11 +6,14 @@ invariants).  It exists because the numbers this repo reports rest on
 contracts — integer-picosecond timestamps, deterministic event ordering,
 JEDEC-consistent DDR3 parameters — that Python will not enforce for us.
 
-Two kinds of pass:
+Three kinds of pass:
 
 * :class:`ModulePass` — walks the AST of each discovered file.  Scoping is
   by path segment (e.g. the wall-clock ban applies only under ``sim``,
   ``dram``, ``jafar``), so benchmarks and analysis code keep their floats.
+* :class:`CorpusPass` — sees every discovered module at once, for analyses
+  that must cross file boundaries (the dimension-dataflow pass propagates
+  inferred units through the call graph of the whole scanned tree).
 * :class:`ProjectPass` — runs once per invocation against live objects
   (the registered DDR3 speed grades, the platform table).
 
@@ -75,6 +78,26 @@ class ModulePass(Pass):
         raise NotImplementedError
 
 
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed module handed to corpus passes."""
+
+    path: str
+    tree: ast.Module
+    source: str
+
+
+class CorpusPass(Pass):
+    """A pass that analyses every scanned module together.
+
+    ``check_corpus`` receives the modules the pass's scope admits; findings
+    are suppression-filtered per file exactly like module-pass findings.
+    """
+
+    def check_corpus(self, modules: list[ModuleSource]) -> list[Finding]:
+        raise NotImplementedError
+
+
 class ProjectPass(Pass):
     """A pass that validates live project objects once per run."""
 
@@ -96,7 +119,7 @@ def register(cls: type[Pass]) -> type[Pass]:
 def all_passes() -> list[Pass]:
     """Fresh instances of every registered pass, in registration order."""
     # Importing the pass modules populates the registry exactly once.
-    from . import determinism, protocol, units_lint  # noqa: F401
+    from . import determinism, dimflow, protocol, units_lint  # noqa: F401
 
     return [cls() for cls in _REGISTRY]
 
@@ -177,11 +200,19 @@ def run_analysis(paths: list[str], passes: list[Pass] | None = None,
     if passes is None:
         passes = all_passes()
     module_passes = [p for p in passes if isinstance(p, ModulePass)]
+    corpus_passes = [p for p in passes if isinstance(p, CorpusPass)]
     project_passes = [p for p in passes if isinstance(p, ProjectPass)]
 
     report = AnalysisReport(passes_run=[p.name for p in passes])
     files = discover(paths)
     report.files_scanned = len(files)
+
+    modules: list[ModuleSource] = []
+    allow_by_path: dict[str, dict[int, set[str] | None]] = {}
+
+    def suppressed(finding: Finding) -> bool:
+        rules = allow_by_path.get(finding.path, {}).get(finding.line, ...)
+        return rules is None or (rules is not ... and finding.rule in rules)
 
     for path in files:
         with open(path, "r", encoding="utf-8") as fh:
@@ -193,14 +224,19 @@ def run_analysis(paths: list[str], passes: list[Pass] | None = None,
                 "parse-error", f"syntax error: {exc.msg}", path,
                 exc.lineno or 0, exc.offset or 0))
             continue
-        allow = suppressed_lines(source)
+        modules.append(ModuleSource(path, tree, source))
+        allow_by_path[path] = suppressed_lines(source)
         for mod_pass in module_passes:
             if not mod_pass.applies_to(path):
                 continue
             for finding in mod_pass.check_module(tree, source, path):
-                rules = allow.get(finding.line, ...)
-                if rules is None or (rules is not ... and finding.rule in rules):
-                    continue
+                if not suppressed(finding):
+                    report.findings.append(finding)
+
+    for corpus_pass in corpus_passes:
+        admitted = [m for m in modules if corpus_pass.applies_to(m.path)]
+        for finding in corpus_pass.check_corpus(admitted):
+            if not suppressed(finding):
                 report.findings.append(finding)
 
     if with_project_passes:

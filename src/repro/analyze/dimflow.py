@@ -1,0 +1,564 @@
+"""Unit-dimension dataflow inference (the ``dimflow`` corpus pass).
+
+The predecessor ``unit-mix`` lint was name-local: it could flag
+``delay_ps + delay_cycles`` but not the same bug laundered through a
+variable without a suffix, a helper's return value, or a dataclass field.
+This pass is a small abstract interpreter over the whole scanned tree:
+
+* **Seeds.**  Physical dimensions come from three places: name suffixes
+  (``_ps``, ``_ns``, ``_us``, ``_ms``, ``_cycles``, ``_bytes``, ``_bits``,
+  ``_rows``, ``_hz`` — lower-case names only, so ALL_CAPS conversion
+  factors like ``PS_PER_NS`` stay dimensionless), the documented return
+  dimensions of the :mod:`repro.units` constructors (``ns()``/``us()``/
+  ``ms()``/``seconds()`` return integer *picoseconds*, ``kib()``/``mib()``/
+  ``gib()`` bytes, ``mhz()``/``ghz()`` hertz), and dataclass/instance
+  fields observed being bound to dimensioned values.
+
+* **Propagation.**  Dimensions flow through locals, tuple/branch joins,
+  dimension-preserving arithmetic (``+``/``-``/``%``, ``round``/``abs``/
+  ``max``/``min``/``sum``, collection element access), and — across
+  function boundaries — through a name-keyed return-dimension table
+  computed to fixpoint over the corpus.  Multiplication and division by a
+  dimensionless factor deliberately *erase* the dimension: that is how
+  unit conversions are written (``x_ps // 1000``), and guessing would
+  flood real code with false positives.  A quantity divided by a
+  same-dimension quantity is a dimensionless ratio.
+
+* **Checks.**  Two rules:
+
+  - ``dim-mix`` — ``+``/``-``/ordering/equality between operands whose
+    inferred dimensions are both known and different.
+  - ``dim-reassign`` — a binding that changes a name's dimension: a local
+    re-bound from one known dimension to another, or a value of one
+    dimension bound to a name/attribute whose suffix declares another.
+
+Everything unknown stays unknown: the pass only reports when *both* sides
+of a conflict are concretely inferred, so the abstraction can be (and is)
+run over the full ``src/`` tree with zero suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from .core import CorpusPass, Finding, ModuleSource, register
+
+#: The dimensionless element of the lattice (int/float literals, ratios).
+NUMBER = "number"
+
+#: Unknown is represented as None.
+Dim = str | None
+
+_SUFFIX_RE = re.compile(r"_(ps|ns|us|ms|cycles|bytes|bits|rows|hz)$")
+
+#: Authoritative return dimensions for the repro.units constructors and the
+#: conversion helpers whose contracts live in docstrings the AST cannot see.
+#: These win over corpus-inferred entries.
+SEED_RETURNS: dict[str, Dim] = {
+    "ns": "ps", "us": "ps", "ms": "ps", "seconds": "ps",
+    "period_ps": "ps", "div_round": None,  # handled positionally below
+    "to_ns": "ns", "to_us": "us", "to_ms": "ms",
+    "mhz": "hz", "ghz": "hz",
+    "kib": "bytes", "mib": "bytes", "gib": "bytes",
+}
+
+#: Marker for a name defined with conflicting dimensions across the corpus;
+#: such names resolve to unknown and skip the suffix fallback.
+_CONFLICT = "<conflict>"
+
+#: Builtins that return their argument's dimension unchanged.
+_PASSTHROUGH_BUILTINS = {"round", "abs", "int", "float", "sorted",
+                         "reversed", "list", "tuple", "sum", "next"}
+#: Builtins that join the dimensions of all their arguments.
+_JOIN_BUILTINS = {"max", "min"}
+#: Builtins that always produce a dimensionless count/flag.
+_NUMBER_BUILTINS = {"len", "bool", "any", "all", "range"}
+
+#: Comparison operators that demand dimension agreement (identity and
+#: membership tests do not).
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def suffix_dim(name: str) -> Dim:
+    """Dimension declared by a name's suffix, or None.
+
+    ALL_CAPS names are conversion factors, not quantities of one unit.
+    """
+    if name != name.lower():
+        return None
+    m = _SUFFIX_RE.search(name)
+    return m.group(1) if m else None
+
+
+def _is_physical(dim: Dim) -> bool:
+    return dim is not None and dim != NUMBER
+
+
+def _join(a: Dim, b: Dim) -> Dim:
+    """Lattice join for branch merges: agreement or nothing."""
+    if a == b:
+        return a
+    if a is None or b is None:
+        return None
+    if a == NUMBER:
+        return b
+    if b == NUMBER:
+        return a
+    return None
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _describe(node.func) + "()"
+    return "<expr>"
+
+
+@dataclass
+class _Corpus:
+    """Cross-module inference state shared by every function analysis."""
+
+    returns: dict[str, Dim]
+    fields: dict[str, Dim]
+
+    def call_dim(self, name: str) -> Dim:
+        dim = self.returns.get(name)
+        if dim == _CONFLICT:
+            return None
+        if dim is not None:
+            return dim
+        if name in self.returns:        # defined, inferred unknown
+            return suffix_dim(name)
+        return suffix_dim(name)         # undefined: trust the suffix contract
+
+    def field_dim(self, attr: str) -> Dim:
+        dim = suffix_dim(attr)
+        if dim is not None:
+            return dim
+        dim = self.fields.get(attr)
+        return None if dim == _CONFLICT else dim
+
+
+class _FunctionAnalyzer:
+    """Abstract interpretation of one function body."""
+
+    def __init__(self, corpus: _Corpus, path: str, emit: bool) -> None:
+        self.corpus = corpus
+        self.path = path
+        self.emit = emit
+        self.findings: list[Finding] = []
+        self.return_dims: list[Dim] = []
+
+    # -- entry -----------------------------------------------------------------
+
+    def run(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Dim:
+        env: dict[str, Dim] = {}
+        args = fn.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            env[arg.arg] = suffix_dim(arg.arg)
+        self.exec_block(fn.body, env)
+        # Join of every return's dimension; disagreement degrades to unknown.
+        result: Dim = None
+        if self.return_dims:
+            result = self.return_dims[0]
+            for dim in self.return_dims[1:]:
+                result = _join(result, dim)
+        return result
+
+    # -- statements ------------------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.stmt], env: dict[str, Dim]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, Dim]) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value, env, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value, env, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value_dim = self.infer(stmt.value, env)
+            target_dim = self._target_dim(stmt.target, env)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_mix(stmt, stmt.target, target_dim,
+                                stmt.value, value_dim)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_dims.append(self.infer(stmt.value, env))
+            else:
+                self.return_dims.append(None)
+        elif isinstance(stmt, (ast.Expr, ast.Assert)):
+            value = stmt.value if isinstance(stmt, ast.Expr) else stmt.test
+            self.infer(value, env)
+            if isinstance(stmt, ast.Assert) and stmt.msg is not None:
+                self.infer(stmt.msg, env)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test, env)
+            self._branches(env, stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_dim = self.infer(stmt.iter, env)
+            branch = dict(env)
+            self._bind_target(stmt.target, iter_dim, branch, stmt,
+                              check=False)
+            self.exec_block(stmt.body, branch)
+            other = dict(env)
+            self.exec_block(stmt.orelse, other)
+            self._merge(env, branch, other)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test, env)
+            self._branches(env, stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                dim = self.infer(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, dim, env, stmt,
+                                      check=False)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body] + [h.body for h in stmt.handlers]
+            if stmt.orelse:
+                branches.append(stmt.body + stmt.orelse)
+            merged = [dict(env) for _ in branches]
+            for copy, body in zip(merged, branches):
+                self.exec_block(body, copy)
+            self._merge(env, *merged)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.Raise, ast.Delete)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.infer(value, env)
+        # Nested defs/classes are analyzed as their own corpus entries;
+        # import/global/pass/break/continue carry no dimension flow.
+
+    def _branches(self, env: dict[str, Dim], *bodies: list[ast.stmt]) -> None:
+        copies = [dict(env) for _ in bodies]
+        for copy, body in zip(copies, bodies):
+            self.exec_block(body, copy)
+        self._merge(env, *copies)
+
+    def _merge(self, env: dict[str, Dim], *branches: dict[str, Dim]) -> None:
+        names = set(env)
+        for branch in branches:
+            names.update(branch)
+        for name in names:
+            dims = [b.get(name, env.get(name)) for b in branches]
+            merged = dims[0]
+            for dim in dims[1:]:
+                merged = _join(merged, dim)
+            env[name] = merged
+
+    # -- bindings --------------------------------------------------------------
+
+    def _assign(self, targets: list[ast.expr], value: ast.expr,
+                env: dict[str, Dim], stmt: ast.stmt) -> None:
+        value_dim = self.infer(value, env)
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                if (isinstance(value, (ast.Tuple, ast.List))
+                        and len(value.elts) == len(target.elts)):
+                    for t, v in zip(target.elts, value.elts):
+                        self._bind_target(t, self.infer(v, env), env, stmt)
+                else:
+                    for t in target.elts:
+                        self._bind_target(t, None, env, stmt, check=False)
+            else:
+                self._bind_target(target, value_dim, env, stmt)
+
+    def _target_dim(self, target: ast.expr, env: dict[str, Dim]) -> Dim:
+        if isinstance(target, ast.Name):
+            return env.get(target.id, suffix_dim(target.id))
+        if isinstance(target, ast.Attribute):
+            return self.corpus.field_dim(target.attr)
+        return None
+
+    def _bind_target(self, target: ast.expr, dim: Dim,
+                     env: dict[str, Dim], stmt: ast.stmt,
+                     check: bool = True) -> None:
+        if isinstance(target, ast.Starred):
+            target = target.value
+            dim = None
+        if isinstance(target, ast.Name):
+            name = target.id
+            declared = suffix_dim(name)
+            old = env.get(name, declared)
+            if check and _is_physical(old) and _is_physical(dim) and old != dim:
+                self._finding(
+                    "dim-reassign",
+                    f"{name} [{old}] re-bound to a {dim} value; a name keeps "
+                    "one dimension for its whole scope",
+                    stmt)
+            env[name] = dim if dim is not None else declared
+        elif isinstance(target, ast.Attribute):
+            declared = self.corpus.field_dim(target.attr)
+            if (check and _is_physical(declared) and _is_physical(dim)
+                    and declared != dim):
+                self._finding(
+                    "dim-reassign",
+                    f"{_describe(target)} [{declared}] assigned a {dim} "
+                    "value; convert via repro.units first",
+                    stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None, env, stmt, check=False)
+        # Subscript targets carry no name to track.
+
+    # -- expressions -----------------------------------------------------------
+
+    def infer(self, node: ast.expr, env: dict[str, Dim]) -> Dim:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, suffix_dim(node.id))
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value, env)
+            return self.corpus.field_dim(node.attr)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return NUMBER
+            if isinstance(node.value, (int, float)):
+                return NUMBER
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            dims = [self.infer(op, env) for op in operands]
+            for (left, ld), (right, rd), op in zip(
+                    zip(operands, dims), zip(operands[1:], dims[1:]), node.ops):
+                if isinstance(op, _ORDERED_CMP):
+                    self._check_mix(node, left, ld, right, rd)
+            return NUMBER
+        if isinstance(node, ast.BoolOp):
+            dims = [self.infer(v, env) for v in node.values]
+            merged = dims[0]
+            for dim in dims[1:]:
+                merged = _join(merged, dim)
+            return merged
+        if isinstance(node, ast.UnaryOp):
+            dim = self.infer(node.operand, env)
+            return NUMBER if isinstance(node.op, ast.Not) else dim
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, env)
+            return _join(self.infer(node.body, env),
+                         self.infer(node.orelse, env))
+        if isinstance(node, ast.Subscript):
+            base = self.infer(node.value, env)
+            self.infer(node.slice, env)
+            # Indexing a homogeneous collection of quantities yields one.
+            return base if _is_physical(base) else None
+        if isinstance(node, ast.NamedExpr):
+            dim = self.infer(node.value, env)
+            self._bind_target(node.target, dim, env, node)
+            return dim
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt, env)
+            return None
+        if isinstance(node, ast.Dict):
+            for child in list(node.keys) + list(node.values):
+                if child is not None:
+                    self.infer(child, env)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node, env)
+        if isinstance(node, ast.DictComp):
+            branch = dict(env)
+            for gen in node.generators:
+                self._bind_target(gen.target, self.infer(gen.iter, branch),
+                                  branch, node, check=False)
+                for cond in gen.ifs:
+                    self.infer(cond, branch)
+            self.infer(node.key, branch)
+            self.infer(node.value, branch)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value, env)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, env)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.infer(part, env)
+            return None
+        return None
+
+    def _comprehension(self, node, env: dict[str, Dim]) -> Dim:
+        branch = dict(env)
+        for gen in node.generators:
+            self._bind_target(gen.target, self.infer(gen.iter, branch),
+                              branch, node, check=False)
+            for cond in gen.ifs:
+                self.infer(cond, branch)
+        return self.infer(node.elt, branch)
+
+    def _binop(self, node: ast.BinOp, env: dict[str, Dim]) -> Dim:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            self._check_mix(node, node.left, left, node.right, right)
+            if left == right:
+                return left
+            if left == NUMBER and _is_physical(right):
+                return right
+            if right == NUMBER and _is_physical(left):
+                return left
+            return None
+        if isinstance(op, ast.Mult):
+            return NUMBER if left == NUMBER and right == NUMBER else None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if _is_physical(left) and left == right:
+                return NUMBER          # a ratio of like quantities
+            if left == NUMBER and right == NUMBER:
+                return NUMBER
+            return None                # conversions scale by plain numbers
+        if isinstance(op, ast.Mod):
+            if right == NUMBER or left == right:
+                return left            # a remainder keeps its units
+            return None
+        return None
+
+    def _call(self, node: ast.Call, env: dict[str, Dim]) -> Dim:
+        arg_dims = [self.infer(arg, env) for arg in node.args]
+        for kw in node.keywords:
+            self.infer(kw.value, env)
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            self.infer(func.value, env)
+            name = func.attr
+        else:
+            self.infer(func, env)
+            return None
+        if name == "div_round":
+            return arg_dims[0] if arg_dims else None
+        if name in _PASSTHROUGH_BUILTINS:
+            return arg_dims[0] if arg_dims else None
+        if name in _JOIN_BUILTINS:
+            merged = arg_dims[0] if arg_dims else None
+            for dim in arg_dims[1:]:
+                merged = _join(merged, dim)
+            return merged
+        if name in _NUMBER_BUILTINS:
+            return NUMBER
+        return self.corpus.call_dim(name)
+
+    # -- findings --------------------------------------------------------------
+
+    def _check_mix(self, node: ast.AST, left: ast.expr, ld: Dim,
+                   right: ast.expr, rd: Dim) -> None:
+        if _is_physical(ld) and _is_physical(rd) and ld != rd:
+            self._finding(
+                "dim-mix",
+                f"mixing units: {_describe(left)} [{ld}] and "
+                f"{_describe(right)} [{rd}] combined without a "
+                "repro.units / DDR3Timings conversion",
+                node)
+
+    def _finding(self, rule: str, message: str, node: ast.AST) -> None:
+        if self.emit:
+            self.findings.append(Finding(
+                rule, message, self.path,
+                getattr(node, "lineno", 0), getattr(node, "col_offset", 0)))
+
+
+# -- corpus construction -------------------------------------------------------
+
+def _functions(tree: ast.Module):
+    """Every (possibly nested) function definition in a module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _collect_fields(modules: list[ModuleSource],
+                    corpus: _Corpus) -> dict[str, Dim]:
+    """Field table: attr name -> dimension, from class-body annotations and
+    ``self.attr = <dimensioned expr>`` bindings."""
+    fields: dict[str, Dim] = {}
+
+    def record(attr: str, dim: Dim) -> None:
+        if not _is_physical(dim) or suffix_dim(attr) is not None:
+            return
+        if attr in fields and fields[attr] != dim:
+            fields[attr] = _CONFLICT
+        elif fields.get(attr) != _CONFLICT:
+            fields[attr] = dim
+
+    for module in modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for stmt in cls.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name) and stmt.value is not None:
+                    analyzer = _FunctionAnalyzer(corpus, module.path,
+                                                 emit=False)
+                    record(stmt.target.id, analyzer.infer(stmt.value, {}))
+        for fn in _functions(module.tree):
+            analyzer = _FunctionAnalyzer(corpus, module.path, emit=False)
+            env: dict[str, Dim] = {
+                a.arg: suffix_dim(a.arg)
+                for a in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+            }
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"):
+                    record(node.targets[0].attr,
+                           analyzer.infer(node.value, env))
+    return fields
+
+
+def build_corpus(modules: list[ModuleSource], iterations: int = 4) -> _Corpus:
+    """Fixpoint the return-dimension and field tables over the corpus."""
+    corpus = _Corpus(returns=dict(SEED_RETURNS), fields={})
+    for _ in range(iterations):
+        corpus.fields = _collect_fields(modules, corpus)
+        inferred: dict[str, Dim] = {}
+        for module in modules:
+            for fn in _functions(module.tree):
+                analyzer = _FunctionAnalyzer(corpus, module.path, emit=False)
+                dim = analyzer.run(fn)
+                name = fn.name
+                if name in inferred and inferred[name] != dim:
+                    inferred[name] = _CONFLICT
+                elif inferred.get(name) != _CONFLICT:
+                    inferred[name] = dim
+        merged = dict(inferred)
+        merged.update(SEED_RETURNS)     # seeds are authoritative
+        if merged == corpus.returns:
+            break
+        corpus.returns = merged
+    return corpus
+
+
+@register
+class DimFlowPass(CorpusPass):
+    """Infer unit dimensions across the corpus and flag conflicts."""
+
+    name = "dimflow"
+    description = ("unit-dimension dataflow: no cross-dimension +/-/compare "
+                   "(dim-mix) or dimension-changing rebinding (dim-reassign)")
+    scope = None  # repo-wide
+
+    def check_corpus(self, modules: list[ModuleSource]) -> list[Finding]:
+        corpus = build_corpus(modules)
+        findings: list[Finding] = []
+        for module in modules:
+            for fn in _functions(module.tree):
+                analyzer = _FunctionAnalyzer(corpus, module.path, emit=True)
+                analyzer.run(fn)
+                findings.extend(analyzer.findings)
+        return findings

@@ -172,6 +172,151 @@ class _BankState:
         self.wr_data_end_ps = None
 
 
+class CommandChecker:
+    """Incremental DDR3 command-stream validator.
+
+    The same FSM serves two callers: :func:`replay_commands` feeds it a
+    recorded trace after the fact, and the ``simsan`` JEDEC sanitizer feeds
+    it live as the bank/rank models issue commands.  ``feed`` returns the
+    violations that one command introduced (usually an empty list).
+    """
+
+    def __init__(self, timings) -> None:
+        cps = timings.cycles_to_ps
+        self.trp_ps = cps(timings.trp)
+        self.trcd_ps = cps(timings.trcd)
+        self.tras_ps = cps(timings.tras)
+        self.tccd_ps = cps(timings.tccd)
+        self.trrd_ps = cps(timings.trrd)
+        self.tfaw_ps = cps(timings.tfaw)
+        self.twr_ps = cps(timings.twr)
+        self.trtp_ps = cps(timings.trtp)
+        self.wr_data_ps = cps(timings.cwl + timings.burst_cycles)
+        self.trfc_ps = timings.trfc_ps
+        self.banks: dict[tuple[int, int], _BankState] = {}
+        self.rank_acts: dict[int, list[int]] = {}
+        self.rank_ref_ready: dict[int, int] = {}
+        self.index = 0
+
+    def feed(self, kind: str, rank: int, bank: int | None,
+             row: int | None, time_ps: int) -> list[TraceViolation]:
+        """Validate one command and advance the FSM.  Returns violations."""
+        i = self.index
+        self.index += 1
+        violations: list[TraceViolation] = []
+        where = f"rank {rank} bank {bank} @ {time_ps} ps"
+
+        if kind == "REF":
+            # Lazy-refresh barrier: close every bank of the rank, block
+            # ACTs until tRFC elapses.  (See module docstring for why REF
+            # ordering itself is not checked.)
+            for (r, _bank), state in self.banks.items():
+                if r == rank:
+                    state.reset_for_ref()
+            self.rank_ref_ready[rank] = max(
+                self.rank_ref_ready.get(rank, 0), time_ps + self.trfc_ps)
+            return violations
+
+        if bank is None:
+            violations.append(TraceViolation(
+                i, "malformed", f"{kind} without a bank address ({where})"))
+            return violations
+        b = self.banks.setdefault((rank, bank), _BankState())
+
+        if kind == "ACT":
+            if b.open_row is not None:
+                violations.append(TraceViolation(
+                    i, "act-while-open",
+                    f"ACT row {row} while row {b.open_row} is open ({where})"))
+            if time_ps < b.pre_done_ps:
+                violations.append(TraceViolation(
+                    i, "trp",
+                    f"ACT at {time_ps} ps before PRE completes at "
+                    f"{b.pre_done_ps} ps ({where})"))
+            ready = self.rank_ref_ready.get(rank, 0)
+            if time_ps < ready:
+                violations.append(TraceViolation(
+                    i, "trfc",
+                    f"ACT during refresh; rank busy until {ready} ps ({where})"))
+            acts = self.rank_acts.setdefault(rank, [])
+            if acts:
+                if time_ps < acts[-1]:
+                    violations.append(TraceViolation(
+                        i, "act-order",
+                        f"ACT times regressed: {time_ps} ps after "
+                        f"{acts[-1]} ps ({where})"))
+                if time_ps < acts[-1] + self.trrd_ps:
+                    violations.append(TraceViolation(
+                        i, "trrd",
+                        f"ACT {time_ps - acts[-1]} ps after previous ACT "
+                        f"on the rank; tRRD is {self.trrd_ps} ps ({where})"))
+            if len(acts) >= 4 and time_ps < acts[-4] + self.tfaw_ps:
+                violations.append(TraceViolation(
+                    i, "tfaw",
+                    f"5th ACT within the four-activate window: "
+                    f"{time_ps - acts[-4]} ps since the 4th-last ACT; "
+                    f"tFAW is {self.tfaw_ps} ps ({where})"))
+            acts.append(time_ps)
+            if len(acts) > 8:
+                del acts[:-8]          # only the last 4 matter for tFAW
+            b.open_row = row
+            b.act_ps = time_ps
+
+        elif kind in ("RD", "WR"):
+            if b.open_row != row:
+                violations.append(TraceViolation(
+                    i, "cas-closed-row",
+                    f"{kind} to row {row} but open row is "
+                    f"{b.open_row} ({where})"))
+            if b.act_ps is not None and time_ps < b.act_ps + self.trcd_ps:
+                violations.append(TraceViolation(
+                    i, "trcd",
+                    f"{kind} {time_ps - b.act_ps} ps after ACT; "
+                    f"tRCD is {self.trcd_ps} ps ({where})"))
+            if (b.last_cas_ps is not None
+                    and time_ps < b.last_cas_ps + self.tccd_ps):
+                violations.append(TraceViolation(
+                    i, "tccd",
+                    f"{kind} {time_ps - b.last_cas_ps} ps after the "
+                    f"previous burst on this bank; tCCD is "
+                    f"{self.tccd_ps} ps ({where})"))
+            b.last_cas_ps = time_ps
+            if kind == "WR":
+                b.wr_data_end_ps = time_ps + self.wr_data_ps
+            else:
+                b.last_rd_cas_ps = time_ps
+
+        elif kind == "PRE":
+            if b.open_row is not None:
+                if b.act_ps is not None and time_ps < b.act_ps + self.tras_ps:
+                    violations.append(TraceViolation(
+                        i, "tras",
+                        f"PRE {time_ps - b.act_ps} ps after ACT; tRAS is "
+                        f"{self.tras_ps} ps ({where})"))
+                if (b.wr_data_end_ps is not None
+                        and time_ps < b.wr_data_end_ps + self.twr_ps):
+                    violations.append(TraceViolation(
+                        i, "twr",
+                        f"PRE before write recovery completes ({where})"))
+                if (b.last_rd_cas_ps is not None
+                        and time_ps < b.last_rd_cas_ps + self.trtp_ps):
+                    violations.append(TraceViolation(
+                        i, "trtp",
+                        f"PRE {time_ps - b.last_rd_cas_ps} ps after read "
+                        f"CAS; tRTP is {self.trtp_ps} ps ({where})"))
+            b.open_row = None
+            b.act_ps = None
+            b.wr_data_end_ps = None
+            b.last_rd_cas_ps = None
+            b.pre_done_ps = max(b.pre_done_ps, time_ps + self.trp_ps)
+
+        else:
+            violations.append(TraceViolation(
+                i, "malformed", f"unknown command kind {kind!r} ({where})"))
+
+        return violations
+
+
 def replay_commands(commands, timings) -> list[TraceViolation]:
     """Replay a DRAM command stream against ``timings``.
 
@@ -179,132 +324,11 @@ def replay_commands(commands, timings) -> list[TraceViolation]:
     append (service) order.  Returns every protocol violation found; an
     empty list means the stream is consistent with the DDR3 contract.
     """
-    cps = timings.cycles_to_ps
-    trp_ps = cps(timings.trp)
-    trcd_ps = cps(timings.trcd)
-    tras_ps = cps(timings.tras)
-    tccd_ps = cps(timings.tccd)
-    trrd_ps = cps(timings.trrd)
-    tfaw_ps = cps(timings.tfaw)
-    twr_ps = cps(timings.twr)
-    trtp_ps = cps(timings.trtp)
-    wr_data_ps = cps(timings.cwl + timings.burst_cycles)
-
-    banks: dict[tuple[int, int], _BankState] = {}
-    rank_acts: dict[int, list[int]] = {}
-    rank_ref_ready: dict[int, int] = {}
+    checker = CommandChecker(timings)
     violations: list[TraceViolation] = []
-
-    def bank_state(rank: int, bank: int) -> _BankState:
-        return banks.setdefault((rank, bank), _BankState())
-
-    for i, cmd in enumerate(commands):
-        where = f"rank {cmd.rank} bank {cmd.bank} @ {cmd.time_ps} ps"
-
-        if cmd.kind == "REF":
-            # Lazy-refresh barrier: close every bank of the rank, block
-            # ACTs until tRFC elapses.  (See module docstring for why REF
-            # ordering itself is not checked.)
-            for (rank, _bank), state in banks.items():
-                if rank == cmd.rank:
-                    state.reset_for_ref()
-            rank_ref_ready[cmd.rank] = max(
-                rank_ref_ready.get(cmd.rank, 0), cmd.time_ps + timings.trfc_ps)
-            continue
-
-        if cmd.bank is None:
-            violations.append(TraceViolation(
-                i, "malformed", f"{cmd.kind} without a bank address ({where})"))
-            continue
-        b = bank_state(cmd.rank, cmd.bank)
-
-        if cmd.kind == "ACT":
-            if b.open_row is not None:
-                violations.append(TraceViolation(
-                    i, "act-while-open",
-                    f"ACT row {cmd.row} while row {b.open_row} is open ({where})"))
-            if cmd.time_ps < b.pre_done_ps:
-                violations.append(TraceViolation(
-                    i, "trp",
-                    f"ACT at {cmd.time_ps} ps before PRE completes at "
-                    f"{b.pre_done_ps} ps ({where})"))
-            ready = rank_ref_ready.get(cmd.rank, 0)
-            if cmd.time_ps < ready:
-                violations.append(TraceViolation(
-                    i, "trfc",
-                    f"ACT during refresh; rank busy until {ready} ps ({where})"))
-            acts = rank_acts.setdefault(cmd.rank, [])
-            if acts:
-                if cmd.time_ps < acts[-1]:
-                    violations.append(TraceViolation(
-                        i, "act-order",
-                        f"ACT times regressed: {cmd.time_ps} ps after "
-                        f"{acts[-1]} ps ({where})"))
-                if cmd.time_ps < acts[-1] + trrd_ps:
-                    violations.append(TraceViolation(
-                        i, "trrd",
-                        f"ACT {cmd.time_ps - acts[-1]} ps after previous ACT "
-                        f"on the rank; tRRD is {trrd_ps} ps ({where})"))
-            if len(acts) >= 4 and cmd.time_ps < acts[-4] + tfaw_ps:
-                violations.append(TraceViolation(
-                    i, "tfaw",
-                    f"5th ACT within the four-activate window: "
-                    f"{cmd.time_ps - acts[-4]} ps since the 4th-last ACT; "
-                    f"tFAW is {tfaw_ps} ps ({where})"))
-            acts.append(cmd.time_ps)
-            b.open_row = cmd.row
-            b.act_ps = cmd.time_ps
-
-        elif cmd.kind in ("RD", "WR"):
-            if b.open_row != cmd.row:
-                violations.append(TraceViolation(
-                    i, "cas-closed-row",
-                    f"{cmd.kind} to row {cmd.row} but open row is "
-                    f"{b.open_row} ({where})"))
-            if b.act_ps is not None and cmd.time_ps < b.act_ps + trcd_ps:
-                violations.append(TraceViolation(
-                    i, "trcd",
-                    f"{cmd.kind} {cmd.time_ps - b.act_ps} ps after ACT; "
-                    f"tRCD is {trcd_ps} ps ({where})"))
-            if b.last_cas_ps is not None and cmd.time_ps < b.last_cas_ps + tccd_ps:
-                violations.append(TraceViolation(
-                    i, "tccd",
-                    f"{cmd.kind} {cmd.time_ps - b.last_cas_ps} ps after the "
-                    f"previous burst on this bank; tCCD is {tccd_ps} ps ({where})"))
-            b.last_cas_ps = cmd.time_ps
-            if cmd.kind == "WR":
-                b.wr_data_end_ps = cmd.time_ps + wr_data_ps
-            else:
-                b.last_rd_cas_ps = cmd.time_ps
-
-        elif cmd.kind == "PRE":
-            if b.open_row is not None:
-                if b.act_ps is not None and cmd.time_ps < b.act_ps + tras_ps:
-                    violations.append(TraceViolation(
-                        i, "tras",
-                        f"PRE {cmd.time_ps - b.act_ps} ps after ACT; tRAS is "
-                        f"{tras_ps} ps ({where})"))
-                if (b.wr_data_end_ps is not None
-                        and cmd.time_ps < b.wr_data_end_ps + twr_ps):
-                    violations.append(TraceViolation(
-                        i, "twr",
-                        f"PRE before write recovery completes ({where})"))
-                if (b.last_rd_cas_ps is not None
-                        and cmd.time_ps < b.last_rd_cas_ps + trtp_ps):
-                    violations.append(TraceViolation(
-                        i, "trtp",
-                        f"PRE {cmd.time_ps - b.last_rd_cas_ps} ps after read "
-                        f"CAS; tRTP is {trtp_ps} ps ({where})"))
-            b.open_row = None
-            b.act_ps = None
-            b.wr_data_end_ps = None
-            b.last_rd_cas_ps = None
-            b.pre_done_ps = max(b.pre_done_ps, cmd.time_ps + trp_ps)
-
-        else:
-            violations.append(TraceViolation(
-                i, "malformed", f"unknown command kind {cmd.kind!r} ({where})"))
-
+    for cmd in commands:
+        violations.extend(
+            checker.feed(cmd.kind, cmd.rank, cmd.bank, cmd.row, cmd.time_ps))
     return violations
 
 

@@ -1,0 +1,81 @@
+"""SimSan: opt-in runtime sanitizers for the DRAM/JAFAR/cache stack.
+
+The static passes in :mod:`repro.analyze` prove properties of the *code*;
+SimSan checks properties of the *run*: JEDEC command legality as commands
+issue, simulation-clock monotonicity and event accounting, the MR3/MPR
+ownership handoff, IO-buffer beat-schedule consistency, cache fill and
+invalidation effectiveness, and bit-equivalence of the accelerator bitmask
+with a shadow execution of the CPU predicate.
+
+Enabling (both are zero-cost when off — nothing is patched until
+:func:`install` runs):
+
+* environment: ``REPRO_SIMSAN=1`` before importing :mod:`repro` (the
+  package's import hook calls :func:`install`);
+* pytest: ``pytest --simsan`` (see the repo-root ``conftest.py``);
+* programmatic: :func:`install` / :func:`uninstall`, or the
+  :func:`sanitized` context manager for a scoped check.
+
+Violations raise :class:`repro.errors.SanitizerError` at the offending
+operation.  Sanitizers hook classes, so objects constructed before
+:func:`install` are only partially covered (per-object shadow state is
+registered in the wrapped constructors).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ...errors import SanitizerError
+from .cache import CacheSanitizer
+from .engine import EngineSanitizer
+from .jafar import JafarSanitizer
+from .jedec import JEDECSanitizer
+
+__all__ = ["SanitizerError", "active", "install", "sanitized", "uninstall"]
+
+#: Environment variable that auto-installs the sanitizers on repro import.
+ENV_VAR = "REPRO_SIMSAN"
+
+_SANITIZER_TYPES = (EngineSanitizer, JEDECSanitizer, JafarSanitizer,
+                    CacheSanitizer)
+
+_active: list | None = None
+
+
+def active() -> bool:
+    """Whether the sanitizers are currently installed."""
+    return _active is not None
+
+
+def install() -> None:
+    """Install every sanitizer.  Idempotent."""
+    global _active
+    if _active is not None:
+        return
+    sanitizers = [cls() for cls in _SANITIZER_TYPES]
+    for sanitizer in sanitizers:
+        sanitizer.install()
+    _active = sanitizers
+
+
+def uninstall() -> None:
+    """Remove every sanitizer, restoring the original methods.  Idempotent."""
+    global _active
+    if _active is None:
+        return
+    for sanitizer in reversed(_active):
+        sanitizer.uninstall()
+    _active = None
+
+
+@contextmanager
+def sanitized():
+    """Run a block with sanitizers installed (restores the prior state)."""
+    was_active = active()
+    install()
+    try:
+        yield
+    finally:
+        if not was_active:
+            uninstall()

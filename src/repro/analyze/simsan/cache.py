@@ -1,0 +1,72 @@
+"""Cache-hierarchy sanitizer: fills and invalidations actually happen.
+
+The hierarchy's contract (which the JAFAR driver's correctness rests on —
+it invalidates the output range before the CPU reads accelerator-written
+memory) has two sides:
+
+* after ``access(addr)``, the line is resident in every level the access
+  touched (the hit level and every level above it that missed and filled);
+* after ``invalidate_range(addr, nbytes)``, no level holds any line of the
+  range.
+
+Both are checked with :meth:`SetAssociativeCache.probe`, which inspects
+residency without perturbing LRU state or hit/miss counters, so the
+sanitizer cannot change modeled behaviour.
+"""
+
+from __future__ import annotations
+
+from ...cache.hierarchy import CacheHierarchy
+from ...errors import SanitizerError
+from .hooks import PatchSet
+
+
+class CacheSanitizer:
+    """Hooks :class:`repro.cache.hierarchy.CacheHierarchy`."""
+
+    name = "cache"
+
+    def __init__(self) -> None:
+        self._patches = PatchSet()
+
+    def install(self) -> None:
+        patches = self._patches
+
+        def make_access(original):
+            def access(hierarchy, addr, is_write=False):
+                result = original(hierarchy, addr, is_write=is_write)
+                depth = result.level if result.level else len(hierarchy.levels)
+                for cache in hierarchy.levels[:depth]:
+                    if not cache.probe(addr):
+                        raise SanitizerError(
+                            f"{cache.name} does not hold {addr:#x} after an "
+                            "access that touched it; a miss must fill "
+                            "(write-allocate, inclusive walk)"
+                        )
+                return result
+            return access
+
+        patches.wrap(CacheHierarchy, "access", make_access)
+
+        def make_invalidate(original):
+            def invalidate_range(hierarchy, addr, nbytes):
+                dropped = original(hierarchy, addr, nbytes)
+                line_bytes = hierarchy.line_bytes
+                first = addr // line_bytes
+                last = (addr + nbytes - 1) // line_bytes
+                for line in range(first, last + 1):
+                    for cache in hierarchy.levels:
+                        if cache.probe(line * line_bytes):
+                            raise SanitizerError(
+                                f"{cache.name} still holds line "
+                                f"{line * line_bytes:#x} after "
+                                "invalidate_range; a stale line would let "
+                                "the CPU read pre-accelerator data"
+                            )
+                return dropped
+            return invalidate_range
+
+        patches.wrap(CacheHierarchy, "invalidate_range", make_invalidate)
+
+    def uninstall(self) -> None:
+        self._patches.remove_all()

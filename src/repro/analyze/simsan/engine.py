@@ -1,0 +1,77 @@
+"""Simulator sanitizer: event-time monotonicity and orphan accounting.
+
+Two invariants of the discrete-event kernel that everything downstream
+assumes but nothing re-checks in production:
+
+* **Monotonicity** — firing an event never moves simulation time backwards.
+  ``schedule_at`` guards the front door, but anything that reaches into the
+  heap (or a buggy future refactor of the kernel itself) can smuggle in a
+  past-dated event; ``step`` would silently rewind the clock.
+* **Orphan accounting** — every live (non-cancelled) queued event is owned
+  by its simulator and the O(1) ``pending`` counter agrees with an O(n)
+  scan of the heap.  A drifted counter means events were lost or leaked.
+"""
+
+from __future__ import annotations
+
+from ...errors import SanitizerError
+from ...sim.engine import Simulator
+from .hooks import PatchSet
+
+
+class EngineSanitizer:
+    """Hooks :class:`repro.sim.engine.Simulator`."""
+
+    name = "engine"
+
+    def __init__(self) -> None:
+        self._patches = PatchSet()
+
+    def install(self) -> None:
+        patches = self._patches
+
+        def make_step(original):
+            def step(sim):
+                before_ps = sim.now
+                fired = original(sim)
+                if fired and sim.now < before_ps:
+                    raise SanitizerError(
+                        f"simulation time regressed: step() moved the clock "
+                        f"from {before_ps} ps back to {sim.now} ps"
+                    )
+                return fired
+            return step
+
+        patches.wrap(Simulator, "step", make_step)
+
+        def make_run(original):
+            def run(sim, *args, **kwargs):
+                try:
+                    return original(sim, *args, **kwargs)
+                finally:
+                    _audit_queue(sim)
+            return run
+
+        patches.wrap(Simulator, "run", make_run)
+
+    def uninstall(self) -> None:
+        self._patches.remove_all()
+
+
+def _audit_queue(sim: Simulator) -> None:
+    """Cross-check the live counter against the heap's ground truth."""
+    live = 0
+    for event in sim._queue:
+        if event.cancelled:
+            continue
+        live += 1
+        if event._owner is not sim:
+            raise SanitizerError(
+                f"orphan event at {event.time_ps} ps: queued and live but "
+                "not owned by its simulator (it would corrupt `pending`)"
+            )
+    if live != sim.pending:
+        raise SanitizerError(
+            f"pending-event counter drifted: counter says {sim.pending}, "
+            f"queue scan finds {live} live event(s)"
+        )

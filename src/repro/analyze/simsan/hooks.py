@@ -1,0 +1,35 @@
+"""Patch bookkeeping shared by every sanitizer.
+
+Sanitizers hook model classes by replacing methods at the class level (the
+model classes use ``__slots__``, so per-instance patching is impossible and
+per-instance shadow state lives in id-keyed registries inside each
+sanitizer).  :class:`PatchSet` records every replacement so uninstalling
+restores the original methods exactly, in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class PatchSet:
+    """The method replacements one sanitizer has applied."""
+
+    def __init__(self) -> None:
+        self._patches: list[tuple[type, str, Callable]] = []
+
+    def wrap(self, owner: type, attr: str,
+             make_wrapper: Callable[[Callable], Callable]) -> None:
+        """Replace ``owner.attr`` with ``make_wrapper(original)``."""
+        original = owner.__dict__[attr]
+        wrapper = make_wrapper(original)
+        wrapper.__name__ = getattr(original, "__name__", attr)
+        wrapper.__doc__ = getattr(original, "__doc__", None)
+        wrapper.__simsan_original__ = original
+        setattr(owner, attr, wrapper)
+        self._patches.append((owner, attr, original))
+
+    def remove_all(self) -> None:
+        for owner, attr, original in reversed(self._patches):
+            setattr(owner, attr, original)
+        self._patches.clear()

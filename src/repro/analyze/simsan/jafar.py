@@ -1,0 +1,185 @@
+"""JAFAR-path sanitizers: IO buffer, ownership handoff, scan equivalence.
+
+Three checks on the accelerator's bitmask path:
+
+* **IO buffer** — every beat schedule the 8n-prefetch buffer hands out must
+  be internally consistent: one timestamp per burst word, strictly
+  increasing (DDR delivers one word per clock *edge*), starting after the
+  burst's ``data_start``, and in agreement with ``words_available_by`` at
+  the window's endpoints.
+* **Ownership handoff** — while an MR3/MPR grant is active for a rank,
+  JAFAR may not issue before the MRS handoff completes (``ready_ps``), and
+  the MPR block must still be engaged when the grant is released (a rank
+  handed back with MPR already off means the host was unblocked early).
+  Grant-less device runs (unit tests drive ``device.start`` directly) are
+  out of scope: the contract being checked is the handoff, not the run.
+* **Scan equivalence** — after every device invocation, the bitmask in
+  memory is diffed against a shadow execution of the predicate using plain
+  Python integer comparisons (independent of the vectorised ALU path and of
+  the pack/unpack helpers), for every row this device owned — sampled
+  deterministically on large columns to keep sanitized runs usable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dram.iobuffer import IOBuffer
+from ...dram.rank import Rank
+from ...errors import SanitizerError
+from ...jafar.device import JafarDevice
+from ...jafar.ownership import RankOwnership
+from ...jafar.registers import Reg
+from .hooks import PatchSet
+
+#: Above this row count the scan-equivalence shadow checks a deterministic
+#: stride sample instead of every row.
+_FULL_CHECK_ROWS = 2048
+_SAMPLE_TARGET = 1024
+
+
+class JafarSanitizer:
+    """Hooks the JAFAR device, rank ownership, and the DRAM IO buffer."""
+
+    name = "jafar"
+
+    def __init__(self) -> None:
+        self._patches = PatchSet()
+        self._grants: dict[int, object] = {}  # id(rank) -> active grant
+
+    def install(self) -> None:
+        san = self
+        patches = self._patches
+
+        def make_rank_init(original):
+            def __init__(rank, *args, **kwargs):
+                original(rank, *args, **kwargs)
+                san._grants.pop(id(rank), None)
+            return __init__
+
+        patches.wrap(Rank, "__init__", make_rank_init)
+
+        def make_acquire(original):
+            def acquire(ownership, rank, now_ps, duration_ps, *args, **kwargs):
+                grant = original(ownership, rank, now_ps, duration_ps,
+                                 *args, **kwargs)
+                san._grants[id(rank)] = grant
+                return grant
+            return acquire
+
+        patches.wrap(RankOwnership, "acquire", make_acquire)
+
+        def make_release(original):
+            def release(ownership, grant, now_ps):
+                if (san._grants.get(id(grant.rank)) is grant
+                        and not grant.rank.mode_registers.mpr_enabled):
+                    raise SanitizerError(
+                        f"ownership handoff broken: rank {grant.rank.index} "
+                        "released while MPR is already disengaged — the host "
+                        "was unblocked before the grant ended"
+                    )
+                ready = original(ownership, grant, now_ps)
+                san._grants.pop(id(grant.rank), None)
+                return ready
+            return release
+
+        patches.wrap(RankOwnership, "release", make_release)
+
+        def make_rank_access(original):
+            def access(rank, bank, row, at_ps, is_write, *args, **kwargs):
+                grant = san._grants.get(id(rank))
+                if grant is not None and at_ps < grant.ready_ps:
+                    raise SanitizerError(
+                        f"ownership handoff broken: {grant.owner.value} "
+                        f"issued to rank {rank.index} at {at_ps} ps, before "
+                        f"the MRS handoff completes at {grant.ready_ps} ps"
+                    )
+                return original(rank, bank, row, at_ps, is_write,
+                                *args, **kwargs)
+            return access
+
+        patches.wrap(Rank, "access", make_rank_access)
+
+        def make_beat_schedule(original):
+            def beat_schedule(buf, data_start_ps):
+                schedule = original(buf, data_start_ps)
+                _audit_schedule(buf, data_start_ps, schedule)
+                return schedule
+            return beat_schedule
+
+        patches.wrap(IOBuffer, "beat_schedule", make_beat_schedule)
+
+        def make_execute(original):
+            def _execute(device, start_ps):
+                regs = device.registers
+                col_addr = regs.read(Reg.COL_ADDR)
+                out_addr = regs.read(Reg.OUT_ADDR)
+                num_rows = regs.read(Reg.NUM_ROWS)
+                low = regs.read(Reg.RANGE_LOW)
+                high = regs.read(Reg.RANGE_HIGH)
+                result = original(device, start_ps)
+                _audit_bitmask(device, col_addr, out_addr, num_rows,
+                               low, high)
+                return result
+            return _execute
+
+        patches.wrap(JafarDevice, "_execute", make_execute)
+
+    def uninstall(self) -> None:
+        self._patches.remove_all()
+        self._grants.clear()
+
+
+def _audit_schedule(buf: IOBuffer, data_start_ps: int, schedule) -> None:
+    beats = schedule.beat_ps
+    if len(beats) != buf.words_per_burst:
+        raise SanitizerError(
+            f"IO buffer produced {len(beats)} beats for a "
+            f"{buf.words_per_burst}-word burst"
+        )
+    previous = data_start_ps
+    for beat in beats:
+        if beat <= previous:
+            raise SanitizerError(
+                f"IO buffer beat at {beat} ps does not follow {previous} ps; "
+                "beats must be strictly increasing after data_start"
+            )
+        previous = beat
+    if buf.words_available_by(data_start_ps, data_start_ps) != 0:
+        raise SanitizerError(
+            "IO buffer claims words are available at the instant the burst "
+            "starts"
+        )
+    available = buf.words_available_by(data_start_ps,
+                                       schedule.end_ps + buf._tck_ps)
+    if available != buf.words_per_burst:
+        raise SanitizerError(
+            f"IO buffer claims {available} of {buf.words_per_burst} words a "
+            "full cycle after the last beat; the dual-pumped stream must "
+            "have completed"
+        )
+
+
+def _audit_bitmask(device: JafarDevice, col_addr: int, out_addr: int,
+                   num_rows: int, low: int, high: int) -> None:
+    words = device.memory.view_words(col_addr, num_rows, dtype=np.int64)
+    buf = device.memory.read(out_addr, -(-num_rows // 8))
+    decode = device.mapping.decode
+    channel = device.channel_index
+    dimm = device.dimm.index
+    if num_rows <= _FULL_CHECK_ROWS:
+        indices = range(num_rows)
+    else:
+        indices = range(0, num_rows, max(1, num_rows // _SAMPLE_TARGET))
+    for i in indices:
+        loc = decode(col_addr + i * 8)
+        if loc.channel != channel or loc.dimm != dimm:
+            continue  # bit owned by a sibling DIMM's JAFAR
+        expected = low <= int(words[i]) <= high
+        got = (int(buf[i >> 3]) >> (i & 7)) & 1
+        if bool(got) != expected:
+            raise SanitizerError(
+                f"scan equivalence broken: row {i} (value {int(words[i])}) "
+                f"under predicate [{low}, {high}] should be "
+                f"{int(expected)} but the accelerator bitmask holds {got}"
+            )

@@ -1,0 +1,128 @@
+"""Online JEDEC legality checking.
+
+PR 1's :func:`repro.analyze.protocol.replay_commands` validates a recorded
+trace *after* a run; this sanitizer feeds the same
+:class:`~repro.analyze.protocol.CommandChecker` FSM live, as the bank and
+rank models issue commands, so an illegal interleaving aborts at the exact
+command that broke the protocol instead of surfacing as a post-hoc report
+(or not at all, when tracing is off).
+
+Hook topology: PRE/ACT are fed from :class:`~repro.dram.bank.Bank` wrappers
+because the controller's closed-page auto-precharge calls
+``Bank.precharge`` directly, bypassing the rank; RD/WR are fed from
+``Bank.access`` (whose internal precharge/activate calls hit the wrapped
+methods first, preserving command order); REF is fed from
+``Rank._settle_refresh``, the single place lazy refresh settles.  Banks are
+mapped to their owning rank when the rank constructs them — a standalone
+``Bank`` (unit tests) has no rank-level protocol context and is skipped.
+"""
+
+from __future__ import annotations
+
+from ...dram.bank import Bank
+from ...dram.rank import Rank
+from ...errors import SanitizerError
+from ..protocol import CommandChecker
+from .hooks import PatchSet
+
+
+class JEDECSanitizer:
+    """Hooks the DRAM bank/rank FSMs with a live protocol checker."""
+
+    name = "jedec"
+
+    def __init__(self) -> None:
+        self._patches = PatchSet()
+        # id-keyed (the model classes use __slots__); entries are refreshed
+        # in the wrapped constructors, which also defuses id() reuse.
+        self._rank_of_bank: dict[int, Rank | None] = {}
+        self._checkers: dict[int, CommandChecker] = {}
+
+    # -- shadow state ----------------------------------------------------------
+
+    def _feed(self, rank: Rank, kind: str, bank_index: int | None,
+              row: int | None, time_ps: int) -> None:
+        checker = self._checkers.get(id(rank))
+        if checker is None:
+            checker = CommandChecker(rank.timings)
+            self._checkers[id(rank)] = checker
+        violations = checker.feed(kind, rank.index, bank_index, row, time_ps)
+        if violations:
+            raise SanitizerError(
+                "JEDEC violation: " + "; ".join(v.format() for v in violations)
+            )
+
+    # -- hooks -----------------------------------------------------------------
+
+    def install(self) -> None:
+        san = self
+        patches = self._patches
+
+        def make_bank_init(original):
+            def __init__(bank, *args, **kwargs):
+                original(bank, *args, **kwargs)
+                san._rank_of_bank[id(bank)] = None
+            return __init__
+
+        patches.wrap(Bank, "__init__", make_bank_init)
+
+        def make_rank_init(original):
+            def __init__(rank, *args, **kwargs):
+                original(rank, *args, **kwargs)
+                san._checkers.pop(id(rank), None)
+                for bank in rank.banks:
+                    san._rank_of_bank[id(bank)] = rank
+            return __init__
+
+        patches.wrap(Rank, "__init__", make_rank_init)
+
+        def make_precharge(original):
+            def precharge(bank, at_ps):
+                issue = original(bank, at_ps)
+                rank = san._rank_of_bank.get(id(bank))
+                if rank is not None:
+                    san._feed(rank, "PRE", bank.index, None, issue)
+                return issue
+            return precharge
+
+        patches.wrap(Bank, "precharge", make_precharge)
+
+        def make_activate(original):
+            def activate(bank, row, at_ps):
+                issue = original(bank, row, at_ps)
+                rank = san._rank_of_bank.get(id(bank))
+                if rank is not None:
+                    san._feed(rank, "ACT", bank.index, row, issue)
+                return issue
+            return activate
+
+        patches.wrap(Bank, "activate", make_activate)
+
+        def make_access(original):
+            def access(bank, row, at_ps, is_write, bus_free_ps=0):
+                timing = original(bank, row, at_ps, is_write,
+                                  bus_free_ps=bus_free_ps)
+                rank = san._rank_of_bank.get(id(bank))
+                if rank is not None:
+                    san._feed(rank, "WR" if is_write else "RD", bank.index,
+                              row, timing.cas_ps)
+                return timing
+            return access
+
+        patches.wrap(Bank, "access", make_access)
+
+        def make_settle(original):
+            def _settle_refresh(rank, at_ps):
+                ready = original(rank, at_ps)
+                if ready > at_ps:
+                    san._feed(rank, "REF", None, None,
+                              ready - rank.timings.trfc_ps)
+                return ready
+            return _settle_refresh
+
+        patches.wrap(Rank, "_settle_refresh", make_settle)
+
+    def uninstall(self) -> None:
+        self._patches.remove_all()
+        self._rank_of_bank.clear()
+        self._checkers.clear()

@@ -1,14 +1,13 @@
-"""Unit-safety passes.
+"""Unit-safety lint: magic latency constants.
 
 The codebase encodes physical units in name suffixes (``_ps``, ``_ns``,
 ``_cycles``, ``_bytes``, …) and funnels conversions through
 :mod:`repro.units` and the per-grade converters on
-:class:`repro.dram.timing.DDR3Timings`.  These passes catch the two ways
-that discipline silently rots:
+:class:`repro.dram.timing.DDR3Timings`.  Cross-unit arithmetic is checked
+by the dataflow pass in :mod:`repro.analyze.dimflow` (which superseded the
+name-local ``unit-mix`` lint that used to live here); this module keeps the
+one rule that is genuinely syntactic:
 
-* ``unit-mix`` — adding/subtracting/comparing two suffixed names whose
-  units differ (``x_ps + y_cycles`` is always a bug; multiply/divide are
-  exempt because that *is* how conversions are written).
 * ``magic-latency`` — a large numeric literal assigned straight into a
   ``_ps``/``_ns``/``_cycles`` name outside the audited constant homes
   (``repro/config.py``, ``repro/units.py``, ``repro/dram/timing.py``).
@@ -20,63 +19,8 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 
 from .core import Finding, ModulePass, register
-
-#: suffix -> canonical unit.  Lower-case only: ALL_CAPS constants like
-#: ``PS_PER_NS`` are conversion factors, not quantities of one unit.
-_UNIT_RE = re.compile(r"_(ps|ns|us|ms|cycles|bytes)$")
-
-
-def _unit_of(node: ast.expr) -> str | None:
-    if isinstance(node, ast.Name):
-        name = node.id
-    elif isinstance(node, ast.Attribute):
-        name = node.attr
-    else:
-        return None
-    if name != name.lower():
-        return None
-    m = _UNIT_RE.search(name)
-    return m.group(1) if m else None
-
-
-def _describe(node: ast.expr) -> str:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return "<expr>"
-
-
-@register
-class UnitMixPass(ModulePass):
-    """Flag additive/comparison mixing of differently-suffixed quantities."""
-
-    name = "unit-mix"
-    description = "no +/-/comparison between *_ps, *_ns, *_cycles, *_bytes names"
-    scope = None  # repo-wide
-
-    def check_module(self, tree, source, path):
-        findings = []
-        for node in ast.walk(tree):
-            pairs: list[tuple[ast.expr, ast.expr]] = []
-            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
-                pairs.append((node.left, node.right))
-            elif isinstance(node, ast.Compare):
-                operands = [node.left] + list(node.comparators)
-                pairs.extend(zip(operands, operands[1:]))
-            for left, right in pairs:
-                lu, ru = _unit_of(left), _unit_of(right)
-                if lu and ru and lu != ru:
-                    findings.append(Finding(
-                        self.name,
-                        f"mixing units: {_describe(left)} [{lu}] and "
-                        f"{_describe(right)} [{ru}] combined without a "
-                        "repro.units / DDR3Timings conversion",
-                        path, node.lineno, node.col_offset))
-        return findings
 
 
 #: Files allowed to define raw latency/size constants.

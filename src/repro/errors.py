@@ -18,6 +18,11 @@ class ConfigError(ReproError):
     """A configuration object is inconsistent or out of range."""
 
 
+class SanitizerError(ReproError):
+    """A runtime sanitizer (repro.analyze.simsan) observed a model invariant
+    being violated.  Only raised when sanitizers are installed."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel was used incorrectly."""
 

@@ -78,7 +78,9 @@ def bandwidth_bytes_per_s(clock: ClockDomain, bytes_per_edge: int, pumped: int =
     return clock.freq_hz * bytes_per_edge * pumped * 1.0
 
 
-def transfer_time_ps(clock: ClockDomain, nbytes: int, bytes_per_edge: int = 8, pumped: int = 2) -> int:
+def transfer_time_ps(
+    clock: ClockDomain, nbytes: int, bytes_per_edge: int = 8, pumped: int = 2
+) -> int:
     """Time to stream ``nbytes`` over a ``pumped``-rate bus, in picoseconds.
 
     Rounded up to a whole number of bus *edges* (half cycles for DDR).

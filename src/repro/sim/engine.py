@@ -23,10 +23,22 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning simulator while the event is live (scheduled, not yet fired or
+    # cancelled); keeps the owner's pending-event counter exact without a
+    # queue scan.  Cleared when the event fires or is cancelled.
+    _owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when popped."""
+        """Mark the event so the simulator skips it when popped.
+
+        Idempotent, and a no-op on an event that has already fired.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner._pending -= 1
 
 
 class Simulator:
@@ -47,6 +59,7 @@ class Simulator:
         self._seq = 0
         self._now = 0
         self._running = False
+        self._pending = 0
 
     @property
     def now(self) -> int:
@@ -55,8 +68,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled (non-cancelled) events.
+
+        O(1): a live counter maintained on schedule/cancel/fire rather than a
+        scan of the heap (cancelled events stay queued until popped).
+        """
+        return self._pending
 
     def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ps``."""
@@ -64,8 +81,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time_ps} ps; time is {self._now} ps"
             )
-        event = Event(time_ps, self._seq, callback)
+        event = Event(time_ps, self._seq, callback, _owner=self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -81,6 +99,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event._owner = None
+            self._pending -= 1
             self._now = event.time_ps
             event.callback()
             return True

@@ -77,7 +77,7 @@ class TestCleanRepo:
     def test_all_eight_passes_registered(self):
         names = {p.name for p in all_passes()}
         assert names == {"wall-clock", "unseeded-random", "float-ps",
-                         "set-iteration", "unit-mix", "magic-latency",
+                         "set-iteration", "dimflow", "magic-latency",
                          "jedec", "ddr3-literal"}
 
 
@@ -121,3 +121,39 @@ class TestCLI:
         (tmp_path / "broken.py").write_text("def f(:\n")
         assert main([str(tmp_path), "--no-project-passes"]) == 1
         assert "parse-error" in capsys.readouterr().out
+
+    def test_json_schema_is_stable_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("def f(x_ps):\n    return x_ps\n")
+        rc = main([str(tmp_path), "--format", "json", "--no-project-passes"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The top-level shape is a contract for CI tooling: same keys on a
+        # clean run as on a dirty one, findings just empty.
+        assert set(payload) == {"ok", "files_scanned", "passes",
+                                "findings", "parse_errors"}
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["parse_errors"] == []
+        assert "dimflow" in payload["passes"]
+
+    def test_dimflow_findings_reach_the_cli(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "def f(delay_ps, size_bytes):\n"
+            "    return delay_ps + size_bytes\n"
+        )
+        rc = main([str(tmp_path), "--format", "json", "--no-project-passes"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"dim-mix"}
+
+    def test_missing_path_emits_no_json_payload(self, capsys):
+        assert main(["/no/such/path", "--format", "json"]) == 2
+        captured = capsys.readouterr()
+        # Errors go to stderr only; stdout stays empty so a consumer piping
+        # stdout into a JSON parser sees the failure, not a bogus document.
+        assert captured.out == ""
+        assert "error:" in captured.err
+
+    def test_list_passes_includes_dimflow(self, capsys):
+        assert main(["--list-passes"]) == 0
+        assert "dimflow" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Dimension-dataflow pass: propagation beyond what a name lint can see."""
+
+import textwrap
+
+from repro.analyze import run_analysis
+from repro.analyze.dimflow import DimFlowPass
+
+
+def _run(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    report = run_analysis([str(tmp_path)], passes=[DimFlowPass()],
+                          with_project_passes=False)
+    return report.findings
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_mix_laundered_through_unsuffixed_local(tmp_path):
+    found = _run(tmp_path, """\
+        def f(delay_ps, count_cycles):
+            stash = delay_ps
+            return stash + count_cycles
+    """)
+    assert _rules(found) == ["dim-mix"]
+    assert "[ps]" in found[0].message and "[cycles]" in found[0].message
+
+
+def test_mix_through_helper_return_value(tmp_path):
+    found = _run(tmp_path, """\
+        def budget(raw):
+            return ns(raw)
+
+        def f(count_cycles):
+            total = budget(3)
+            return total + count_cycles
+    """)
+    assert _rules(found) == ["dim-mix"]
+
+
+def test_mix_through_units_constructor(tmp_path):
+    found = _run(tmp_path, """\
+        def f(count_cycles):
+            return ns(10) < count_cycles
+    """)
+    assert _rules(found) == ["dim-mix"]
+
+
+def test_mix_through_instance_field(tmp_path):
+    found = _run(tmp_path, """\
+        class Clock:
+            def __init__(self):
+                self.budget = us(1)
+
+            def over(self, size_bytes):
+                return self.budget + size_bytes
+    """)
+    assert _rules(found) == ["dim-mix"]
+    assert "[ps]" in found[0].message and "[bytes]" in found[0].message
+
+
+def test_reassign_changes_dimension(tmp_path):
+    found = _run(tmp_path, """\
+        def f(delay_ps, size_bytes):
+            cursor = delay_ps
+            cursor = size_bytes
+            return cursor
+    """)
+    assert _rules(found) == ["dim-reassign"]
+
+
+def test_suffix_contract_violated_by_binding(tmp_path):
+    found = _run(tmp_path, """\
+        def f():
+            total_ps = kib(4)
+            return total_ps
+    """)
+    assert _rules(found) == ["dim-reassign"]
+    assert "total_ps" in found[0].message
+
+
+def test_multiplicative_conversions_are_exempt(tmp_path):
+    found = _run(tmp_path, """\
+        def f(delay_ps, tck_ps, count_cycles):
+            scaled = delay_ps // 1000
+            widened = count_cycles * 8
+            ratio = delay_ps / tck_ps
+            return scaled + widened + ratio
+    """)
+    assert found == []
+
+
+def test_branch_disagreement_degrades_to_unknown(tmp_path):
+    found = _run(tmp_path, """\
+        def f(flag, delay_ps, size_bytes, count_cycles):
+            x = delay_ps if flag else size_bytes
+            return x + count_cycles
+    """)
+    assert found == []
+
+
+def test_dimension_survives_round_abs_max_and_indexing(tmp_path):
+    found = _run(tmp_path, """\
+        def f(starts, delay_ps, count_cycles):
+            latest_ps = max(round(delay_ps), abs(starts[0]))
+            return latest_ps + count_cycles
+    """, name="g.py")
+    # starts[0] is unknown, so max() joins to ps via delay_ps.
+    assert _rules(found) == ["dim-mix"]
+
+
+def test_allow_comment_suppresses_corpus_findings(tmp_path):
+    found = _run(tmp_path, """\
+        def f(delay_ps, count_cycles):
+            return delay_ps + count_cycles  # analyze: allow[dim-mix]
+    """)
+    assert found == []
+
+
+def test_conflicting_return_dims_block_name_resolution(tmp_path):
+    found = _run(tmp_path, """\
+        def span(a_ps):
+            return a_ps
+
+        class Other:
+            def span(self, n_bytes):
+                return n_bytes
+
+        def f(count_cycles, x):
+            return span(x) + count_cycles
+    """)
+    assert found == []
+
+
+def test_full_tree_is_dimflow_clean():
+    report = run_analysis(["src"], passes=[DimFlowPass()],
+                          with_project_passes=False)
+    assert report.findings == []

@@ -11,7 +11,7 @@ def _findings(root, name, rule):
 
 
 def test_unit_mix_exact_locations(fixture_tree):
-    found = _findings(fixture_tree, "bad_unit_mix.py", "unit-mix")
+    found = _findings(fixture_tree, "bad_unit_mix.py", "dim-mix")
     assert [f.line for f in found] == [5, 6]
     assert "[ps]" in found[0].message and "[cycles]" in found[0].message
     assert "[bytes]" in found[1].message

@@ -102,3 +102,53 @@ def test_pending_counts_only_live_events():
     assert sim.pending == 2
     event.cancel()
     assert sim.pending == 1
+
+
+def _live_scan(sim):
+    """The O(n) definition the live counter must stay equivalent to."""
+    return sum(1 for e in sim._queue if not e.cancelled)
+
+
+def test_pending_counter_matches_queue_scan_through_mixed_workload():
+    sim = Simulator()
+    events = [sim.schedule_at(10 * i, lambda: None) for i in range(20)]
+    assert sim.pending == _live_scan(sim) == 20
+    for event in events[::3]:
+        event.cancel()
+    assert sim.pending == _live_scan(sim)
+    sim.run(until_ps=95)
+    assert sim.pending == _live_scan(sim)
+    sim.run()
+    assert sim.pending == _live_scan(sim) == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule_at(10, lambda: None)
+    sim.schedule_at(20, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sim = Simulator()
+    event = sim.schedule_at(10, lambda: None)
+    later = sim.schedule_at(20, lambda: None)
+    assert sim.step() is True          # fires `event`
+    event.cancel()                     # stale cancel of a fired event
+    assert sim.pending == 1
+    later.cancel()
+    assert sim.pending == 0
+
+
+def test_pending_drops_as_events_fire_inside_run():
+    sim = Simulator()
+    observed = []
+    sim.schedule_at(10, lambda: observed.append(sim.pending))
+    sim.schedule_at(20, lambda: observed.append(sim.pending))
+    sim.run()
+    # Each callback runs after its own event left the pending count.
+    assert observed == [1, 0]
