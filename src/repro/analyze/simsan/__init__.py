@@ -5,7 +5,10 @@ SimSan checks properties of the *run*: JEDEC command legality as commands
 issue, simulation-clock monotonicity and event accounting, the MR3/MPR
 ownership handoff, IO-buffer beat-schedule consistency, cache fill and
 invalidation effectiveness, and bit-equivalence of the accelerator bitmask
-with a shadow execution of the CPU predicate.
+with a shadow execution of the CPU predicate.  Installing also cross-checks
+steady-state fast-forward against an exact run and then forces it off, so
+every other sanitizer observes the full command stream (see
+:mod:`repro.analyze.simsan.fastforward`).
 
 Enabling (both are zero-cost when off — nothing is patched until
 :func:`install` runs):
@@ -29,6 +32,7 @@ from contextlib import contextmanager
 from ...errors import SanitizerError
 from .cache import CacheSanitizer
 from .engine import EngineSanitizer
+from .fastforward import FastForwardSanitizer
 from .jafar import JafarSanitizer
 from .jedec import JEDECSanitizer
 
@@ -37,8 +41,12 @@ __all__ = ["SanitizerError", "active", "install", "sanitized", "uninstall"]
 #: Environment variable that auto-installs the sanitizers on repro import.
 ENV_VAR = "REPRO_SIMSAN"
 
-_SANITIZER_TYPES = (EngineSanitizer, JEDECSanitizer, JafarSanitizer,
-                    CacheSanitizer)
+#: FastForwardSanitizer must come first: its install-time cross-check runs
+#: the fast-forward paths one last time, which must happen before the other
+#: sanitizers hook the model classes (they expect the full call graph, which
+#: fast-forward elides), and it then forces exact mode for all of them.
+_SANITIZER_TYPES = (FastForwardSanitizer, EngineSanitizer, JEDECSanitizer,
+                    JafarSanitizer, CacheSanitizer)
 
 _active: list | None = None
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+import json
+
 from ..errors import ReproError
 from .configs import DEFAULT_ROWS, DEFAULT_SCALE, SWEEPS, enumerate_sweep, smoke_sweep
-from .orchestrator import DEFAULT_OUTPUT, run_sweep, write_results
+from .orchestrator import DEFAULT_OUTPUT, diff_reports, run_sweep, write_results
 from .store import DEFAULT_CACHE_DIR
 
 
@@ -48,13 +50,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"result store root (default {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the result store entirely")
+    parser.add_argument("--exact", action="store_true",
+                        help="disable steady-state fast-forward (the escape "
+                             "hatch; results are bit-identical either way)")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                        help="compare two report files on simulated fields "
+                             "only and exit nonzero on any mismatch")
     parser.add_argument("--list", action="store_true",
                         help="print the configs a run would execute, then exit")
     return parser
 
 
+def run_diff(path_a: str, path_b: str) -> int:
+    """``--diff``: compare two reports, ignoring host-timing fields."""
+    with open(path_a, encoding="utf-8") as handle:
+        report_a = json.load(handle)
+    with open(path_b, encoding="utf-8") as handle:
+        report_b = json.load(handle)
+    mismatched = diff_reports(report_a, report_b)
+    if mismatched:
+        print(f"simulated outputs differ between {path_a} and {path_b}: "
+              f"{', '.join(mismatched)}")
+        return 1
+    print(f"simulated outputs identical between {path_a} and {path_b} "
+          f"({len(report_a.get('points', []))} point(s))")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.diff:
+        return run_diff(*args.diff)
     if args.smoke:
         configs = smoke_sweep()
     else:
@@ -67,15 +93,19 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_sweep(configs, workers=args.workers,
                        cache_dir=args.cache_dir,
-                       use_cache=not args.no_cache, serial=args.serial)
+                       use_cache=not args.no_cache, serial=args.serial,
+                       exact=args.exact)
     report = write_results(report, args.output)
 
     for point in report["points"]:
         tag = "cache" if point["cached"] else f"{point['wall_s']:6.2f}s"
-        print(f"  {point['name']:<44} [{tag}]")
+        skipped = point["ff_skipped_events"]
+        ff = "" if skipped is None else f" ff_skipped={skipped}"
+        print(f"  {point['name']:<44} [{tag}]{ff}")
+    mode = "exact" if report["exact"] else "fast-forward"
     print(f"{report['num_points']} point(s), {report['cache_hits']} cached, "
           f"{report['total_wall_s']:.2f}s wall on {report['workers']} "
-          f"worker(s) -> {args.output}")
+          f"worker(s), {mode} -> {args.output}")
     deltas = report.get("deltas")
     if deltas:
         mismatched = [name for name, d in deltas["points"].items()

@@ -15,25 +15,57 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Any
 
+from ..sim import fastforward as _ffm
 from .configs import SweepConfig
 from .runner import execute
 from .store import DEFAULT_CACHE_DIR, ResultStore, cache_key, code_fingerprint
 
 DEFAULT_OUTPUT = pathlib.Path("BENCH_results.json")
 
+#: Per-point fields measured on the host rather than simulated.  They vary
+#: run to run (timers, cache state, how much work fast-forward elided) and
+#: MUST stay out of every determinism comparison — sim_identical deltas, the
+#: CI ``--diff`` gate — and out of the content-addressed store payloads.
+HOST_ONLY_POINT_FIELDS = ("wall_s", "cached", "ff_skipped_events", "exact")
+
+
+def simulated_view(point: dict[str, Any]) -> dict[str, Any]:
+    """The point with every host-timing field stripped: the comparable part.
+
+    ``key`` is dropped too — it encodes the code fingerprint, so it changes
+    whenever any source file does, which says nothing about the simulation.
+    """
+    return {k: v for k, v in point.items()
+            if k not in HOST_ONLY_POINT_FIELDS and k != "key"}
+
 
 def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
-              use_cache: bool) -> dict[str, Any]:
-    """Run (or fetch) one point.  Top-level so process pools can pickle it."""
+              use_cache: bool, exact: bool = False) -> dict[str, Any]:
+    """Run (or fetch) one point.  Top-level so process pools can pickle it.
+
+    ``exact=True`` disables steady-state fast-forward for the simulation —
+    the escape hatch CI uses to prove the fast path changes nothing.  The
+    cache key is deliberately shared between modes: results are bit-identical
+    by contract, so an exact run may be served by a fast-forwarded entry and
+    vice versa.  ``ff_skipped_events`` is measured per execution and is
+    ``None`` on a cache hit (nothing was simulated).
+    """
     started = time.perf_counter()
     key = cache_key(config, fingerprint)
     store = ResultStore(cache_dir) if use_cache else None
     cached = store.get(key) if store is not None else None
+    skipped: int | None = None
     if cached is not None:
         result = cached
         hit = True
     else:
-        result = execute(config)
+        _ffm.STATS.reset()
+        if exact:
+            with _ffm.exact_mode():
+                result = execute(config)
+        else:
+            result = execute(config)
+        skipped = _ffm.STATS.skipped_events
         hit = False
         if store is not None:
             store.put(key, result)
@@ -45,12 +77,15 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
         "result": result,
         "wall_s": wall_s,
         "cached": hit,
+        "exact": exact,
+        "ff_skipped_events": skipped,
     }
 
 
 def run_sweep(configs: list[SweepConfig], workers: int = 1,
               cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
-              use_cache: bool = True, serial: bool = False) -> dict[str, Any]:
+              use_cache: bool = True, serial: bool = False,
+              exact: bool = False) -> dict[str, Any]:
     """Run every config and assemble the report dictionary.
 
     ``serial=True`` (or ``workers <= 1``) runs in-process — the comparison
@@ -62,24 +97,50 @@ def run_sweep(configs: list[SweepConfig], workers: int = 1,
     cache_dir = str(cache_dir)
     started = time.perf_counter()
     if serial or workers <= 1:
-        points = [run_point(c, fingerprint, cache_dir, use_cache)
+        points = [run_point(c, fingerprint, cache_dir, use_cache, exact)
                   for c in configs]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_point, c, fingerprint, cache_dir,
-                                   use_cache)
+                                   use_cache, exact)
                        for c in configs]
             points = [f.result() for f in futures]
     total_wall_s = time.perf_counter() - started
+    skipped = [p["ff_skipped_events"] for p in points
+               if p.get("ff_skipped_events") is not None]
     return {
         "version": 1,
         "fingerprint": fingerprint,
         "workers": 1 if serial else max(workers, 1),
         "num_points": len(points),
-        "cache_hits": sum(1 for p in points if p["cached"]),
+        # Reduce step: the authoritative hit count is derived here from the
+        # per-point flags, so the top-level counter can never disagree with
+        # the ``cached: true`` entries in ``points``.
+        "cache_hits": sum(1 for p in points if p.get("cached")),
+        "exact": exact,
+        "ff_skipped_events": sum(skipped) if skipped else None,
         "total_wall_s": total_wall_s,
         "points": points,
     }
+
+
+def diff_reports(report_a: dict[str, Any],
+                 report_b: dict[str, Any]) -> list[str]:
+    """Names of points whose *simulated* payloads differ between reports.
+
+    Host-timing fields (:data:`HOST_ONLY_POINT_FIELDS`) are stripped before
+    comparing, so an exact run diffs clean against a fast-forwarded run of
+    the same code.  A point present in only one report counts as a mismatch.
+    """
+    a_points = {p["name"]: p for p in report_a.get("points", [])}
+    b_points = {p["name"]: p for p in report_b.get("points", [])}
+    mismatched = []
+    for name in sorted(a_points.keys() | b_points.keys()):
+        in_a, in_b = a_points.get(name), b_points.get(name)
+        if (in_a is None or in_b is None
+                or simulated_view(in_a) != simulated_view(in_b)):
+            mismatched.append(name)
+    return mismatched
 
 
 def compute_deltas(report: dict[str, Any],
@@ -99,7 +160,7 @@ def compute_deltas(report: dict[str, Any],
         wall_speedup = (prev["wall_s"] / point["wall_s"]
                         if point["wall_s"] > 0 else None)
         point_deltas[point["name"]] = {
-            "sim_identical": prev["result"] == point["result"],
+            "sim_identical": simulated_view(prev) == simulated_view(point),
             "wall_speedup": wall_speedup,
             "previously_cached": prev["cached"],
         }

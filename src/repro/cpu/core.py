@@ -22,6 +22,7 @@ measurement.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -32,6 +33,8 @@ from ..config import SystemConfig
 from ..dram import Agent, MemoryController, MemRequest
 from ..errors import ConfigError
 from ..sim.clock import ClockDomain
+from ..sim.fastforward import (CONFIRM_PERIODS, FF as _FF, STATS as _FF_STATS,
+                               EpochSkipper)
 
 
 @dataclass
@@ -87,10 +90,12 @@ class Core:
 
     def _drain_writes(self, issue_floor: int) -> int:
         issue_at = max(issue_floor, self.now_ps)
-        for addr in self._pending_writes:
-            self.controller.submit(
-                MemRequest(addr, self.line_bytes, True, issue_at, Agent.CPU))
-        self._pending_writes.clear()
+        if self._pending_writes:
+            write_ps = self.controller.stream_write_ps
+            nbytes = self.line_bytes
+            for addr in self._pending_writes:
+                write_ps(addr, nbytes, issue_at)
+            self._pending_writes.clear()
         return issue_at
 
     # -- compute ------------------------------------------------------------------
@@ -137,44 +142,699 @@ class Core:
         # Hot loop: hoist attribute lookups and convert the numpy per-line
         # vectors to plain Python floats once (np.float64 -> float is exact).
         line_bytes = self.line_bytes
-        submit = self.controller.submit
-        cycles_to_ps = self.clock.cycles_to_ps
+        controller = self.controller
+        read_ps = controller.stream_read_ps
         per_line_f = per_line.tolist()
         out_per_line_f = out_per_line.tolist()
+        # Pre-convert per-line compute to picoseconds.  np.rint rounds half
+        # to even exactly like round(), so cps[k] == cycles_to_ps(per_line[k])
+        # bit for bit.
+        cps = np.rint(per_line * self.clock.period_ps).astype(np.int64).tolist()
         # The prefetcher keeps up to `depth` fetches in flight; a fetch for
         # line k is issued when the core finished consuming line k - depth
-        # (or at phase start during ramp-up).
-        finish_times: deque[int] = deque([start_ps] * max(self.prefetch_depth, 1),
-                                         maxlen=max(self.prefetch_depth, 1))
+        # (or at phase start during ramp-up).  The deque is modelled as a
+        # fixed ring: slot `ft_idx` always holds the oldest finish time.
+        depth = max(self.prefetch_depth, 1)
+        finish_times: list[int] = [start_ps] * depth
+        ft_idx = 0
         issue_floor = start_ps
         write_backlog = 0.0
-        for k in range(nlines):
-            addr = base_addr + k * line_bytes
-            issue_at = max(finish_times[0], issue_floor)
-            issue_floor = issue_at  # controller needs ordered arrivals
-            done = submit(MemRequest(addr, line_bytes, False, issue_at, Agent.CPU))
-            data_ready = done.finish_ps
-            if data_ready > self.now_ps:
-                stats.stall_ps += data_ready - self.now_ps
-                self.now_ps = data_ready
-            compute = per_line_f[k]
-            stats.compute_cycles += compute
-            self.now_ps += cycles_to_ps(compute)
-            finish_times.append(self.now_ps)
+        stall_ps = 0
+        lines_written = 0
+        k = 0
 
-            write_backlog += out_per_line_f[k]
-            while write_backlog >= line_bytes:
-                write_backlog -= line_bytes
-                issue_floor = self._post_write(self._write_cursor, issue_floor)
-                self._write_cursor += line_bytes
-                stats.lines_written += 1
+        # -- epoch skipping (repro.sim.fastforward) ------------------------------
+        #
+        # One period = the run of lines covering one DRAM row.  At every
+        # row-aligned line index the skipper snapshots loop state plus the
+        # full controller state; once the per-period delta repeats, whole
+        # periods are jumped in O(1).  Phases whose per-line compute or
+        # write volume varies (data-dependent scan costs) never confirm a
+        # delta and simply keep executing line by line.
+        skipper = None
+        lines_per_row = 0
+        first_boundary = 0
+        geometry = controller.geometry
+        row_bytes = geometry.row_bytes
+        if (_FF.on and controller.steady_lane_ok
+                and row_bytes % line_bytes == 0
+                and base_addr % row_bytes % line_bytes == 0):
+            lines_per_row = row_bytes // line_bytes
+            first_boundary = ((row_bytes - base_addr % row_bytes)
+                              % row_bytes) // line_bytes
+            if nlines - first_boundary >= 3 * lines_per_row:
+                def snap_locals() -> tuple:
+                    return (k, self.now_ps, stall_ps, issue_floor,
+                            write_backlog, lines_written,
+                            self._write_cursor, ft_idx) + tuple(finish_times)
+
+                def restore_locals(state: tuple) -> None:
+                    nonlocal k, stall_ps, issue_floor, ft_idx
+                    nonlocal write_backlog, lines_written
+                    k = state[0]
+                    self.now_ps = state[1]
+                    stall_ps = state[2]
+                    issue_floor = state[3]
+                    write_backlog = state[4]
+                    lines_written = state[5]
+                    self._write_cursor = state[6]
+                    ft_idx = state[7]
+                    finish_times[:] = state[8:]
+
+                def snap_pending() -> tuple:
+                    return tuple(self._pending_writes)
+
+                def restore_pending(state: tuple) -> None:
+                    self._pending_writes[:] = state
+
+                parts = [(snap_locals, restore_locals),
+                         (snap_pending, restore_pending)]
+                parts.extend(controller.ff_parts())
+                skipper = EpochSkipper(
+                    parts, trace=controller.rank_at(base_addr).trace)
+            else:
+                skipper = None
+        bank_bytes = geometry.bank_bytes
+        last_boundary = -1
+
+        # Fused steady-state executor (see _stream_run_lane): eligible when
+        # both stream lanes can serve whole runs of lines without leaving
+        # Python locals.  Tried opportunistically; a failed attempt costs a
+        # few attribute reads.
+        fuse_gate = (_FF.on and controller.steady_lane_ok
+                     and line_bytes == controller.mapping.burst_bytes
+                     and base_addr % line_bytes == 0)
+        has_writes = fuse_gate and any(out_per_line_f)
+        fuse_retry = 0
+        box = [0, 0, 0, 0.0, 0, 0]
+
+        while k < nlines:
+            if (skipper is not None and k > last_boundary
+                    and k >= first_boundary
+                    and (k - first_boundary) % lines_per_row == 0):
+                last_boundary = k
+                delta = skipper.observe()
+                if delta is not None:
+                    periods = self._stream_skip_horizon(
+                        delta, k, nlines, lines_per_row, base_addr,
+                        line_bytes, bank_bytes, row_bytes, issue_floor)
+                    if periods > 0 and skipper.skip(delta, periods, delta[1]):
+                        _FF_STATS.skipped_events += (
+                            (lines_per_row + delta[5]) * periods)
+                        # restore_locals rebound k to the landing boundary;
+                        # mark it observed (its snapshot is already primed).
+                        last_boundary = k
+                        continue
+            if fuse_gate and k >= fuse_retry:
+                box[0] = self.now_ps
+                box[1] = issue_floor
+                box[2] = stall_ps
+                box[3] = write_backlog
+                box[4] = lines_written
+                box[5] = ft_idx
+                new_k = self._stream_run_lane(k, nlines, base_addr, cps,
+                                              out_per_line_f, finish_times,
+                                              box, has_writes)
+                if new_k > k:
+                    k = new_k
+                    self.now_ps = box[0]
+                    issue_floor = box[1]
+                    stall_ps = box[2]
+                    write_backlog = box[3]
+                    lines_written = box[4]
+                    ft_idx = box[5]
+                    continue
+                fuse_retry = k + 2
+            addr = base_addr + k * line_bytes
+            issue_at = finish_times[ft_idx]
+            if issue_floor > issue_at:
+                issue_at = issue_floor
+            issue_floor = issue_at  # controller needs ordered arrivals
+            data_ready = read_ps(addr, line_bytes, issue_at)
+            if data_ready > self.now_ps:
+                stall_ps += data_ready - self.now_ps
+                self.now_ps = data_ready
+            self.now_ps += cps[k]
+            finish_times[ft_idx] = self.now_ps
+            ft_idx += 1
+            if ft_idx == depth:
+                ft_idx = 0
+
+            out = out_per_line_f[k]
+            if out:
+                write_backlog += out
+                while write_backlog >= line_bytes:
+                    write_backlog -= line_bytes
+                    issue_floor = self._post_write(self._write_cursor,
+                                                   issue_floor)
+                    self._write_cursor += line_bytes
+                    lines_written += 1
+            k += 1
         if write_backlog > 0:
             issue_floor = self._post_write(self._write_cursor, issue_floor)
             self._write_cursor += line_bytes
-            stats.lines_written += 1
+            lines_written += 1
         self._drain_writes(issue_floor)
+        # Order-independent accumulation: identical whether lines executed
+        # one by one or whole periods were skipped.
+        stats.compute_cycles = math.fsum(per_line_f)
+        stats.stall_ps = stall_ps
+        stats.lines_written = lines_written
         stats.end_ps = self.now_ps
         return stats
+
+    def _stream_run_lane(self, k: int, nlines: int, base_addr: int,
+                         cps: list, outs: list, ft: list, box: list,
+                         has_writes: bool) -> int:
+        """Execute a run of stream lines entirely in Python locals.
+
+        The per-line flow (prefetch issue, DRAM service, counter account,
+        compute, posted writes, batch drains) is replayed op for op with the
+        hot bank/channel/counter state held in local variables, so the
+        result is bit-identical to the per-line path at a fraction of its
+        interpreter overhead.  Row hits use the inlined Bank.access hit
+        algebra; row misses (the input/output row ping-pong around drains,
+        row crossings) are replayed through the exact :meth:`Rank.access`
+        path with the locals synced down and back up around the call.  A
+        run covers at most the current bank and exits early — writing all
+        state back — at refresh deadlines or when a write drain cannot be
+        validated; the caller's per-line loop handles the boundary exactly.
+
+        ``box`` carries [now_ps, issue_floor, stall_ps, write_backlog,
+        lines_written, ft_idx] in and out; ``ft`` is mutated in place.
+        Returns the first unexecuted line index (== ``k`` when not entered).
+        """
+        controller = self.controller
+        line_bytes = self.line_bytes
+        addr = base_addr + k * line_bytes
+        mapping = controller.mapping
+        loc = mapping.decode(addr)
+        channel = controller.channels[loc.channel]
+        r_rank = channel.rank(loc.dimm, loc.rank)
+        if r_rank.trace is not None or r_rank.mode_registers.mpr_enabled:
+            return k
+        geometry = controller.geometry
+        bank_bytes = geometry.bank_bytes
+        row_bytes = geometry.row_bytes
+        bank_off = addr % bank_bytes
+        bank_start = addr - bank_off
+        limit = k + (bank_bytes - bank_off) // line_bytes
+        if limit > nlines:
+            limit = nlines
+        if limit - k < 8:
+            return k
+        # Row-address linearity probe: the executor tracks rows by byte
+        # arithmetic, which is only valid when the mapping lays rows out
+        # contiguously inside the bank (the fill-first default).
+        if bank_off // row_bytes != loc.row:
+            return k
+        probe = addr - addr % row_bytes + row_bytes
+        if probe < bank_start + bank_bytes:
+            p = mapping.decode(probe)
+            if (p.channel != loc.channel or p.dimm != loc.dimm
+                    or p.rank != loc.rank or p.bank != loc.bank
+                    or p.row != loc.row + 1):
+                return k
+        r_bank = r_rank.banks[loc.bank]
+        r_bank_index = loc.bank
+        r_row = loc.row
+        lpr = row_bytes // line_bytes
+        row_countdown = (row_bytes - addr % row_bytes) // line_bytes
+
+        now, floor, stall, backlog, lines_written, idx = box
+        pending = self._pending_writes
+        w_cursor = self._write_cursor
+        batch = self.write_drain_batch
+
+        # Write-side setup.  Mode 1: the output stream lives in the *same*
+        # bank, so drains ping-pong rows and every access (hit or miss)
+        # runs against the shared bank locals.  Mode 2: a confirmed write
+        # template on another bank serves whole drains closed-form.  Mode
+        # 0: no drain can be fused — posts still accumulate in locals and
+        # the run bails out the moment a drain would trigger.
+        w_mode = 0
+        w_bank = w_rank = None
+        w_span_lo = w_span_hi = 0
+        if has_writes or pending or backlog > 0.0:
+            wloc = mapping.decode(w_cursor)
+            if (wloc.channel == loc.channel and wloc.dimm == loc.dimm
+                    and wloc.rank == loc.rank and wloc.bank == loc.bank
+                    and wloc.row == (w_cursor % bank_bytes) // row_bytes):
+                w_mode = 1
+            else:
+                wt = controller._write_tpl
+                if (wt is not None and wt.streak >= CONFIRM_PERIODS
+                        and wt.bank is not r_bank
+                        and wt.channel is channel
+                        and wt.bank.open_row == wt.row
+                        and wt.rank.trace is None
+                        and not wt.rank.mode_registers.mpr_enabled
+                        and w_cursor % line_bytes == 0):
+                    w_mode = 2
+                    w_bank = wt.bank
+                    w_rank = wt.rank
+                    w_span_lo = wt.span_lo
+                    w_span_hi = wt.span_hi
+
+        t = controller._t
+        CL = t.cl_ps
+        CWL = t.cwl_ps
+        BURST = t.burst_ps
+        TCCD = t.tccd_ps
+        TRTP = t.trtp_ps
+        TWR = t.twr_ps
+        TRRD = t.trrd_ps
+        TFAW = t.tfaw_ps
+        BIG = 1 << 62
+
+        r_refresh = r_rank.refresh
+        r_next_ref = r_refresh.next_refresh_ps if r_refresh.enabled else BIG
+        if w_mode == 2:
+            w_refresh = w_rank.refresh
+            w_next_ref = w_refresh.next_refresh_ps if w_refresh.enabled else BIG
+        else:
+            w_next_ref = r_next_ref
+
+        acts_r = r_rank._act_times
+        acts_max = acts_r.maxlen
+
+        def act_floor(acts):
+            # Rank._act_floor_ps: earliest legal ACT given tRRD/tFAW history.
+            if not acts:
+                return 0
+            af = acts[-1] + TRRD
+            if len(acts) == acts_max:
+                faw = acts[0] + TFAW
+                if faw > af:
+                    af = faw
+            return af
+
+        # The exact hit branch raises the bank's ACT floor on every access.
+        # The floor only changes when the ACT ring does (at a miss), so it
+        # is cached here and re-derived after each slow-path replay.
+        r_act_floor = act_floor(acts_r)
+        shared_rank = w_rank is r_rank
+        if w_mode == 2:
+            acts_w = w_rank._act_times
+            w_act_floor = act_floor(acts_w)
+        else:
+            w_act_floor = 0
+
+        bus = channel.bus_free_ps
+        open_row_l = r_bank.open_row
+        r_next_act = r_bank.next_act_ps
+        r_next_col = r_bank.next_col_ps
+        r_dfree = r_bank._data_free_ps
+        r_next_pre = r_bank.next_pre_ps
+        r_hits = r_bank.row_hits
+        r_io = r_rank.io_free_ps
+        if w_mode == 2:
+            w_next_act = w_bank.next_act_ps
+            w_next_col = w_bank.next_col_ps
+            w_dfree = w_bank._data_free_ps
+            w_next_pre = w_bank.next_pre_ps
+            w_hits = w_bank.row_hits
+            w_io = w_rank.io_free_ps
+        else:
+            w_next_act = w_next_col = w_dfree = w_next_pre = w_hits = w_io = 0
+
+        cnt = controller.counters
+        reads_v = cnt.reads.value
+        writes_v = cnt.writes.value
+        rowh_v = cnt.row_hits.value
+        rowm_v = cnt.row_misses.value
+        rl = cnt.read_latency
+        rl_count = rl.count
+        rl_total = rl.total
+        rl_tsq = rl.total_sq
+        rl_min = rl.min
+        rl_max = rl.max
+        rl_buckets = rl.buckets
+
+        # Busy trackers, inlined: [cur_start, cur_end, busy_ps, intervals,
+        # last_end, first_start, gap-histogram scalars..., gap buckets].
+        def pull(tracker):
+            g = tracker._gaps
+            return [tracker._cur_start, tracker._cur_end, tracker.busy_ps,
+                    tracker.intervals, tracker._last_end,
+                    tracker._first_start, g.count, g.total, g.total_sq,
+                    g.min, g.max, g.buckets]
+
+        def push(tracker, s) -> None:
+            (tracker._cur_start, tracker._cur_end, tracker.busy_ps,
+             tracker.intervals, tracker._last_end, tracker._first_start,
+             g_count, g_total, g_tsq, g_min, g_max, _) = s
+            g = tracker._gaps
+            g.count = g_count
+            g.total = g_total
+            g.total_sq = g_tsq
+            g.min = g_min
+            g.max = g_max
+
+        rq = pull(cnt.read_queue)
+        wq = pull(cnt.write_queue)
+        cb = pull(cnt.combined)
+
+        def mark(s, start, end) -> None:
+            # BusyTracker.mark_busy on the pulled list (end > start always
+            # holds here: end = cas + latency + burst).
+            cur_end = s[1]
+            if s[0] is None:
+                s[0] = start
+                s[1] = end
+                if s[5] is None:
+                    s[5] = start
+                return
+            if start <= cur_end:
+                if end > cur_end:
+                    s[1] = end
+                return
+            s[2] += cur_end - s[0]
+            s[3] += 1
+            s[4] = cur_end
+            gap = start - (cur_end or 0)
+            s[6] += 1
+            s[7] += gap
+            s[8] += gap * gap
+            if s[9] is None:
+                s[9] = gap
+            elif gap < s[9]:
+                s[9] = gap
+            if s[10] is None:
+                s[10] = gap
+            elif gap > s[10]:
+                s[10] = gap
+            b = 0 if gap < 1 else gap.bit_length()
+            buckets = s[11]
+            buckets[b] = buckets.get(b, 0) + 1
+            s[0] = start
+            s[1] = end
+
+        lane_count = 0
+        depth = len(ft)
+        j = k
+        bail_posts = 0
+        while j < limit:
+            if row_countdown == 0:
+                r_row += 1
+                row_countdown = lpr
+            issue = ft[idx]
+            if floor > issue:
+                issue = floor
+            if issue >= r_next_ref:
+                break
+            if open_row_l == r_row:
+                # Bank.access row-hit branch + channel bus update, inlined.
+                if r_act_floor > r_next_act:
+                    r_next_act = r_act_floor
+                cas = r_next_col
+                if issue > cas:
+                    cas = issue
+                dfloor = (bus if bus > r_dfree else r_dfree) - CL
+                if dfloor > cas:
+                    cas = dfloor
+                de = cas + CL + BURST
+                r_dfree = de
+                r_next_col = cas + TCCD
+                npre = cas + TRTP
+                if npre > r_next_pre:
+                    r_next_pre = npre
+                bus = de
+                r_io = de
+                r_hits += 1
+                rowh_v += 1
+                lane_count += 1
+            else:
+                # Row miss: sync the locals down and replay through the
+                # exact rank path (PRE/ACT floors, ACT-ring bookkeeping).
+                r_bank.next_act_ps = r_next_act
+                r_bank.next_col_ps = r_next_col
+                r_bank._data_free_ps = r_dfree
+                r_bank.next_pre_ps = r_next_pre
+                r_bank.row_hits = r_hits
+                r_rank.io_free_ps = r_io
+                de = r_rank.access(r_bank_index, r_row, issue, False,
+                                   bus_free_ps=bus).data_end_ps
+                bus = de
+                r_io = r_rank.io_free_ps
+                open_row_l = r_row
+                r_next_act = r_bank.next_act_ps
+                r_next_col = r_bank.next_col_ps
+                r_dfree = r_bank._data_free_ps
+                r_next_pre = r_bank.next_pre_ps
+                r_act_floor = act_floor(acts_r)
+                if shared_rank:
+                    w_act_floor = r_act_floor
+                rowm_v += 1
+            floor = issue
+            # IMCCounters.record(False, issue, de, hit, miss).
+            reads_v += 1
+            mark(rq, issue, de)
+            lat = de - issue
+            rl_count += 1
+            rl_total += lat
+            rl_tsq += lat * lat
+            if rl_min is None or lat < rl_min:
+                rl_min = lat
+            if rl_max is None or lat > rl_max:
+                rl_max = lat
+            b = 0 if lat < 1 else lat.bit_length()
+            rl_buckets[b] = rl_buckets.get(b, 0) + 1
+            mark(cb, issue, de)
+            # Stall + compute + prefetch window.
+            if de > now:
+                stall += de - now
+                now = de
+            now += cps[j]
+            ft[idx] = now
+            idx += 1
+            if idx == depth:
+                idx = 0
+            out = outs[j]
+            j += 1
+            row_countdown -= 1
+            if not out:
+                continue
+            backlog += out
+            while backlog >= line_bytes:
+                if len(pending) + 1 >= batch:
+                    # The next post triggers a drain; pre-validate it so a
+                    # refused drain can fall back before any state moves.
+                    if w_mode == 0:
+                        bail_posts = 1
+                        break
+                    wi = floor if floor > now else now
+                    if w_mode == 1:
+                        if (wi >= r_next_ref
+                                or (pending[0] if pending else w_cursor)
+                                < bank_start
+                                or w_cursor + line_bytes
+                                > bank_start + bank_bytes
+                                or w_cursor % line_bytes):
+                            bail_posts = 1
+                            break
+                    elif (wi >= w_next_ref
+                            or (pending[0] if pending else w_cursor)
+                            < w_span_lo
+                            or w_cursor + line_bytes > w_span_hi):
+                        bail_posts = 1
+                        break
+                backlog -= line_bytes
+                pending.append(w_cursor)
+                w_cursor += line_bytes
+                lines_written += 1
+                if len(pending) >= batch:
+                    # _drain_writes: every pending write at arrival wi.
+                    wi = floor if floor > now else now
+                    if w_mode == 1:
+                        for w_addr in pending:
+                            w_row = (w_addr - bank_start) // row_bytes
+                            if open_row_l == w_row:
+                                if r_act_floor > r_next_act:
+                                    r_next_act = r_act_floor
+                                cas = r_next_col
+                                if wi > cas:
+                                    cas = wi
+                                dfloor = ((bus if bus > r_dfree else r_dfree)
+                                          - CWL)
+                                if dfloor > cas:
+                                    cas = dfloor
+                                de = cas + CWL + BURST
+                                r_dfree = de
+                                r_next_col = cas + TCCD
+                                npre = de + TWR
+                                if npre > r_next_pre:
+                                    r_next_pre = npre
+                                bus = de
+                                r_io = de
+                                r_hits += 1
+                                rowh_v += 1
+                                lane_count += 1
+                            else:
+                                r_bank.next_act_ps = r_next_act
+                                r_bank.next_col_ps = r_next_col
+                                r_bank._data_free_ps = r_dfree
+                                r_bank.next_pre_ps = r_next_pre
+                                r_bank.row_hits = r_hits
+                                r_rank.io_free_ps = r_io
+                                de = r_rank.access(
+                                    r_bank_index, w_row, wi, True,
+                                    bus_free_ps=bus).data_end_ps
+                                bus = de
+                                r_io = r_rank.io_free_ps
+                                open_row_l = w_row
+                                r_next_act = r_bank.next_act_ps
+                                r_next_col = r_bank.next_col_ps
+                                r_dfree = r_bank._data_free_ps
+                                r_next_pre = r_bank.next_pre_ps
+                                r_act_floor = act_floor(acts_r)
+                                rowm_v += 1
+                            writes_v += 1
+                            mark(wq, wi, de)
+                            mark(cb, wi, de)
+                    else:
+                        for _ in pending:
+                            if w_act_floor > w_next_act:
+                                w_next_act = w_act_floor
+                            cas = w_next_col
+                            if wi > cas:
+                                cas = wi
+                            dfloor = (bus if bus > w_dfree else w_dfree) - CWL
+                            if dfloor > cas:
+                                cas = dfloor
+                            de = cas + CWL + BURST
+                            w_dfree = de
+                            w_next_col = cas + TCCD
+                            npre = de + TWR
+                            if npre > w_next_pre:
+                                w_next_pre = npre
+                            bus = de
+                            w_io = de
+                            w_hits += 1
+                            lane_count += 1
+                            writes_v += 1
+                            mark(wq, wi, de)
+                            mark(cb, wi, de)
+                            rowh_v += 1
+                    pending.clear()
+                    floor = wi
+            if bail_posts:
+                break
+
+        # Write everything back.
+        box[0] = now
+        box[1] = floor
+        box[2] = stall
+        box[3] = backlog
+        box[4] = lines_written
+        box[5] = idx
+        self._write_cursor = w_cursor
+        if j > k:
+            controller._last_arrival_ps = floor
+        channel.bus_free_ps = bus
+        r_bank.next_act_ps = r_next_act
+        r_bank.next_col_ps = r_next_col
+        r_bank._data_free_ps = r_dfree
+        r_bank.next_pre_ps = r_next_pre
+        r_bank.row_hits = r_hits
+        if w_mode == 2:
+            w_bank.next_act_ps = w_next_act
+            w_bank.next_col_ps = w_next_col
+            w_bank._data_free_ps = w_dfree
+            w_bank.next_pre_ps = w_next_pre
+            w_bank.row_hits = w_hits
+            if shared_rank:
+                # One rank, two access kinds: io_free is the data end of
+                # whichever access ran last, i.e. the larger of the two.
+                r_rank.io_free_ps = r_io if r_io > w_io else w_io
+            else:
+                r_rank.io_free_ps = r_io
+                w_rank.io_free_ps = w_io
+        else:
+            r_rank.io_free_ps = r_io
+        cnt.reads.value = reads_v
+        cnt.writes.value = writes_v
+        cnt.row_hits.value = rowh_v
+        cnt.row_misses.value = rowm_v
+        rl.count = rl_count
+        rl.total = rl_total
+        rl.total_sq = rl_tsq
+        rl.min = rl_min
+        rl.max = rl_max
+        push(cnt.read_queue, rq)
+        push(cnt.write_queue, wq)
+        push(cnt.combined, cb)
+        _FF_STATS.lane_requests += lane_count
+        if bail_posts:
+            # Finish the interrupted line's posting via the slow path with
+            # fully written-back state (identical to the per-line flow).
+            self.now_ps = now
+            while backlog >= line_bytes:
+                backlog -= line_bytes
+                floor = self._post_write(self._write_cursor, floor)
+                self._write_cursor += line_bytes
+                lines_written += 1
+            box[1] = floor
+            box[3] = backlog
+            box[4] = lines_written
+        return j
+
+    def _stream_skip_horizon(self, delta: tuple, k: int, nlines: int,
+                             lines_per_row: int, base_addr: int,
+                             line_bytes: int, bank_bytes: int, row_bytes: int,
+                             issue_floor: int) -> int:
+        """Admissible period count for a confirmed stream-phase delta.
+
+        Slots 0..7 of the loop snapshot are (k, now_ps, stall_ps,
+        issue_floor, write_backlog, lines_written, write_cursor, ft_idx);
+        slots 8+ are the prefetch finish times.  Bounds keep every skipped
+        access inside the current input/output banks, inside the current
+        output row when writes are not row-periodic, below the refresh
+        deadline of every rank the period touches, and short of the phase
+        end.
+        """
+        d_k = delta[0]
+        d_now = delta[1]
+        d_floor = delta[3]
+        d_wc = delta[6]
+        if (d_k != lines_per_row or d_now <= 0 or d_floor != d_now
+                or delta[7] != 0):
+            return 0
+        # Every in-flight fetch slot must ride the same time shift; a slot
+        # that advances differently means the pipeline has not settled.
+        for d_slot in delta[8:]:
+            if d_slot != d_now:
+                return 0
+        addr = base_addr + k * line_bytes
+        periods = (nlines - k) // lines_per_row - 1
+        n = (bank_bytes - addr % bank_bytes) // row_bytes - 1
+        if n < periods:
+            periods = n
+        controller = self.controller
+        touched = [controller.rank_at(addr)]
+        if d_wc:
+            wc = self._write_cursor
+            n = (bank_bytes - wc % bank_bytes) // d_wc - 1
+            if n < periods:
+                periods = n
+            if d_wc % row_bytes:
+                # Writes are not row-periodic: stay inside the current
+                # output row so no skipped period hides a row crossing.
+                row_end = ((wc - 1) // row_bytes + 1) * row_bytes
+                n = (row_end - wc) // d_wc
+                if n < periods:
+                    periods = n
+            touched.append(controller.rank_at(wc))
+        for rank in touched:
+            refresh = rank.refresh
+            if refresh.enabled:
+                # All arrivals in skipped period p stay <= issue_floor +
+                # p * d_floor; keep them strictly below the (settled, since
+                # the period accessed this rank) refresh deadline.
+                n = (refresh.next_refresh_ps - 1 - issue_floor) // d_floor
+                if n < periods:
+                    periods = n
+        return max(periods, 0)
 
     # -- random-access phase -----------------------------------------------------------
 

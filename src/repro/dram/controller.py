@@ -19,13 +19,42 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..errors import DRAMError
+from ..sim.fastforward import CONFIRM_PERIODS, FF as _FF, STATS as _FF_STATS
 from .commands import Agent, CompletedRequest, MemRequest
 from .counters import IMCCounters
 from .dimm import Channel
 from .geometry import AddressMapping, DRAMGeometry
 from .rank import Rank
-from .scheduler import SchedulingPolicy, make_policy
+from .scheduler import _ARRIVAL_ORDER, SchedulingPolicy, make_policy
 from .timing import DDR3Timings
+
+
+class _LaneTemplate:
+    """One armed steady-state stream for the controller's fast lane.
+
+    Records the (channel, rank, bank, row) a run of consecutive single-burst
+    row hits has been walking, plus the row's contiguous physical-address
+    span.  ``streak`` counts the consecutive matching requests serviced by
+    the exact path; once it reaches the fast-forward confirm threshold the
+    lane serves matching requests closed-form (see
+    :mod:`repro.sim.fastforward`).  Every precondition is re-validated per
+    request against live bank state, so a stale template is harmless — it
+    simply fails the checks and the exact path re-arms it.
+    """
+
+    __slots__ = ("channel", "rank", "bank", "bank_index", "row",
+                 "span_lo", "span_hi", "streak")
+
+    def __init__(self, channel, rank, bank, bank_index: int, row: int,
+                 span_lo: int, span_hi: int) -> None:
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.bank_index = bank_index
+        self.row = row
+        self.span_lo = span_lo
+        self.span_hi = span_hi
+        self.streak = 1
 
 
 class MemoryController:
@@ -52,6 +81,26 @@ class MemoryController:
         )
         self.counters = IMCCounters(timings)
         self._last_arrival_ps = 0
+        # Fast-forward steady lane (see repro.sim.fastforward).  Armed only
+        # under the fill-first mapping (bank rotation / channel interleave
+        # off), where a row's bytes are physically contiguous, and with the
+        # open-page policy (closed-page auto-PREs every burst, so row-hit
+        # templates can never recur).
+        self._lane_ok = (
+            page_policy == "open"
+            and geometry.bank_rotate_bytes == 0
+            and (geometry.channels == 1 or geometry.interleave_bytes == 0)
+        )
+        self._burst_bytes = self.mapping.burst_bytes
+        self._row_bytes = geometry.row_bytes
+        self._t = timings.ps
+        self._read_tpl: _LaneTemplate | None = None
+        self._write_tpl: _LaneTemplate | None = None
+
+    @property
+    def steady_lane_ok(self) -> bool:
+        """Whether the mapping/page policy admit steady-state fast paths."""
+        return self._lane_ok
 
     # -- topology helpers --------------------------------------------------------
 
@@ -96,6 +145,69 @@ class MemoryController:
                              completed.row_hits, completed.row_misses)
         return completed
 
+    def stream_read_ps(self, addr: int, nbytes: int, arrival_ps: int) -> int:
+        """One CPU read; returns only its finish time.
+
+        Semantically identical to ``submit(MemRequest(addr, nbytes, False,
+        arrival_ps, Agent.CPU)).finish_ps``: a fast entry for per-line
+        streaming loops that skips request/completion object construction
+        when the steady lane is armed.  Falls back to :meth:`submit` (same
+        ordering checks, same errors) otherwise.
+        """
+        if _FF.on:
+            tpl = self._read_tpl
+            if (tpl is not None and tpl.streak >= CONFIRM_PERIODS
+                    and arrival_ps >= self._last_arrival_ps):
+                timing = self._lane_try(tpl, addr, nbytes, arrival_ps,
+                                        False, Agent.CPU)
+                if timing is not None:
+                    self._last_arrival_ps = arrival_ps
+                    finish_ps = timing[2]
+                    self.counters.record(False, arrival_ps, finish_ps, 1, 0)
+                    return finish_ps
+        return self.submit(
+            MemRequest(addr, nbytes, False, arrival_ps, Agent.CPU)).finish_ps
+
+    def stream_write_ps(self, addr: int, nbytes: int, arrival_ps: int) -> int:
+        """One CPU write; returns only its finish time (see stream_read_ps)."""
+        if _FF.on:
+            tpl = self._write_tpl
+            if (tpl is not None and tpl.streak >= CONFIRM_PERIODS
+                    and arrival_ps >= self._last_arrival_ps):
+                timing = self._lane_try(tpl, addr, nbytes, arrival_ps,
+                                        True, Agent.CPU)
+                if timing is not None:
+                    self._last_arrival_ps = arrival_ps
+                    finish_ps = timing[2]
+                    self.counters.record(True, arrival_ps, finish_ps, 1, 0)
+                    return finish_ps
+        return self.submit(
+            MemRequest(addr, nbytes, True, arrival_ps, Agent.CPU)).finish_ps
+
+    def _batch_fast_order(self, reqs: Sequence[MemRequest]) -> list[MemRequest] | None:
+        """Arrival order for an all-lane-hit window, or None.
+
+        When every request in the window is covered by an armed template
+        whose row is (still) open, the policy would classify all of them as
+        row hits, and for hit-only windows both shipped policies reduce to
+        arrival order (``hits_preserve_arrival``).  Skipping the per-request
+        decode/classify pass changes nothing about the service order.
+        """
+        if not (_FF.on and self._lane_ok
+                and getattr(self.policy, "hits_preserve_arrival", False)):
+            return None
+        rt, wt = self._read_tpl, self._write_tpl
+        bb = self._burst_bytes
+        for req in reqs:
+            tpl = wt if req.is_write else rt
+            if (tpl is None or tpl.streak < CONFIRM_PERIODS
+                    or req.addr < tpl.span_lo
+                    or req.addr + req.nbytes > tpl.span_hi
+                    or req.addr % bb + req.nbytes > bb
+                    or tpl.bank.open_row != tpl.row):
+                return None
+        return sorted(reqs, key=_ARRIVAL_ORDER)
+
     def submit_batch(self, reqs: Sequence[MemRequest]) -> list[CompletedRequest]:
         """Service a window of outstanding requests in policy order.
 
@@ -105,7 +217,9 @@ class MemoryController:
         """
         if not reqs:
             return []
-        ordered = self.policy.order(reqs, self.mapping, self.open_rows())
+        ordered = self._batch_fast_order(reqs)
+        if ordered is None:
+            ordered = self.policy.order(reqs, self.mapping, self.open_rows())
         completed = [self._service(req) for req in ordered]
         for done in sorted(completed, key=lambda c: c.request.arrival_ps):
             self.counters.record(done.request.is_write, done.request.arrival_ps,
@@ -115,7 +229,83 @@ class MemoryController:
         by_id = {c.request.req_id: c for c in completed}
         return [by_id[r.req_id] for r in reqs]
 
+    def _lane_try(self, tpl: _LaneTemplate, addr: int, nbytes: int,
+                  arrival_ps: int, is_write: bool,
+                  agent: Agent) -> tuple[int, int, int] | None:
+        """Serve one access closed-form via an armed lane template.
+
+        Returns ``(cas_ps, data_start_ps, data_end_ps)``, or None when any
+        precondition fails (caller falls back to the exact path).  The body
+        is the Bank.access row-hit branch plus the controller's channel-bus
+        update, inlined — identical max/plus arithmetic, so the resulting
+        state and trace are bit-identical to the exact path.
+        """
+        if addr < tpl.span_lo or addr + nbytes > tpl.span_hi:
+            return None
+        bb = self._burst_bytes
+        if addr % bb + nbytes > bb:
+            return None  # straddles a burst boundary: multi-burst request
+        bank = tpl.bank
+        if bank.open_row != tpl.row:
+            return None
+        rank = tpl.rank
+        refresh = rank.refresh
+        if refresh.enabled and arrival_ps >= refresh.next_refresh_ps:
+            return None
+        if agent is not Agent.JAFAR and rank.mode_registers.mpr_enabled:
+            return None
+        t = self._t
+        acts = rank._act_times
+        if acts:
+            floor = acts[-1] + t.trrd_ps
+            if len(acts) == acts.maxlen:
+                faw = acts[0] + t.tfaw_ps
+                if faw > floor:
+                    floor = faw
+            if floor > bank.next_act_ps:
+                bank.next_act_ps = floor
+        bank.row_hits += 1
+        latency = t.cwl_ps if is_write else t.cl_ps
+        channel = tpl.channel
+        busy = rank.io_free_ps
+        if channel.bus_free_ps > busy:
+            busy = channel.bus_free_ps
+        if bank._data_free_ps > busy:
+            busy = bank._data_free_ps
+        cas = bank.next_col_ps
+        if arrival_ps > cas:
+            cas = arrival_ps
+        data_floor = busy - latency
+        if data_floor > cas:
+            cas = data_floor
+        data_start = cas + latency
+        data_end = data_start + t.burst_ps
+        bank._data_free_ps = data_end
+        bank.next_col_ps = cas + t.tccd_ps
+        next_pre = data_end + t.twr_ps if is_write else cas + t.trtp_ps
+        if next_pre > bank.next_pre_ps:
+            bank.next_pre_ps = next_pre
+        rank.io_free_ps = data_end
+        channel.bus_free_ps = data_end
+        trace = rank.trace
+        if trace is not None:
+            trace.record_command(cas, "WR" if is_write else "RD", agent.value,
+                                 rank.trace_rank_id, tpl.bank_index, tpl.row)
+            trace.record(cas, agent.value, rank.index, tpl.bank_index,
+                         tpl.row, is_write, True)
+        _FF_STATS.lane_requests += 1
+        return cas, data_start, data_end
+
     def _service(self, req: MemRequest) -> CompletedRequest:
+        if _FF.on:
+            tpl = self._write_tpl if req.is_write else self._read_tpl
+            if tpl is not None and tpl.streak >= CONFIRM_PERIODS:
+                timing = self._lane_try(tpl, req.addr, req.nbytes,
+                                        req.arrival_ps, req.is_write,
+                                        req.agent)
+                if timing is not None:
+                    return CompletedRequest(req, timing[0], timing[1],
+                                            timing[2], 1, 0)
         mapping = self.mapping
         decode = mapping.decode
         channels = self.channels
@@ -129,6 +319,7 @@ class MemoryController:
         finish_ps = arrival_ps
         hits = 0
         misses = 0
+        loc = channel = rank = None
         for burst_addr in bursts:
             loc = decode(burst_addr)
             channel = channels[loc.channel]
@@ -156,7 +347,54 @@ class MemoryController:
             else:
                 misses += 1
         assert issue_ps is not None and first_data_ps is not None
+        if self._lane_ok and len(bursts) == 1:
+            # Lane cadence detection: consecutive single-burst row hits on
+            # one (bank, row) arm a template; a miss (row crossing) clears
+            # it so the next row's hits re-arm from scratch.
+            tpl = self._write_tpl if is_write else self._read_tpl
+            if hits == 1:
+                bank_obj = rank.banks[loc.bank]
+                if tpl is not None and tpl.bank is bank_obj and tpl.row == loc.row:
+                    tpl.streak += 1
+                else:
+                    span_lo = bursts[0] - loc.column * self._burst_bytes
+                    tpl = _LaneTemplate(channel, rank, bank_obj, loc.bank,
+                                        loc.row, span_lo,
+                                        span_lo + self._row_bytes)
+                    if is_write:
+                        self._write_tpl = tpl
+                    else:
+                        self._read_tpl = tpl
+            elif tpl is not None:
+                if is_write:
+                    self._write_tpl = None
+                else:
+                    self._read_tpl = None
         return CompletedRequest(req, issue_ps, first_data_ps, finish_ps, hits, misses)
+
+    def ff_parts(self) -> list:
+        """(snapshot, restore) pairs covering all controller-side state.
+
+        Consumed by :class:`repro.sim.fastforward.EpochSkipper`: own
+        bookkeeping, channel buses, every rank (banks, refresh, ACT ring),
+        and the IMC counters.  Lane templates are deliberately excluded —
+        they are self-validating hints, not simulation state.
+        """
+        def snap() -> tuple:
+            return (self._last_arrival_ps,) + tuple(
+                ch.bus_free_ps for ch in self.channels)
+
+        def restore(state: tuple) -> None:
+            self._last_arrival_ps = state[0]
+            for ch, bus_free_ps in zip(self.channels, state[1:]):
+                ch.bus_free_ps = bus_free_ps
+
+        parts: list = [(snap, restore)]
+        for channel in self.channels:
+            for rank in channel.all_ranks():
+                parts.extend(rank.ff_parts())
+        parts.extend(self.counters.ff_parts())
+        return parts
 
     # -- convenience --------------------------------------------------------------
 

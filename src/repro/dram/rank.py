@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import DRAMOwnershipError
+from ..sim.fastforward import FF as _FF
 from .bank import Bank, BurstTiming
 from .commands import Agent
 from .iobuffer import IOBuffer
@@ -80,6 +81,58 @@ class Rank:
         :class:`DRAMOwnershipError` when the host controller touches a rank
         whose MPR is engaged — the §2.2 blocking semantics.
         """
+        refresh = self.refresh
+        if (_FF.on
+                and (not refresh.enabled or at_ps < refresh.next_refresh_ps)
+                and (agent is Agent.JAFAR
+                     or not self.mode_registers.mpr_enabled)):
+            target = self.banks[bank]
+            if target.open_row == row:
+                # Steady-cadence hot path: a row hit with no refresh due is
+                # the Bank.access hit branch inlined — identical max/plus
+                # arithmetic, no state machine transitions skipped.  Gated
+                # on the fast-forward flag so exact mode (and the SimSan
+                # hooks on Bank.access) sees the full call graph.
+                t = self._t
+                acts = self._act_times
+                if acts:
+                    floor = acts[-1] + t.trrd_ps
+                    if len(acts) == acts.maxlen:
+                        faw = acts[0] + t.tfaw_ps
+                        if faw > floor:
+                            floor = faw
+                    if floor > target.next_act_ps:
+                        target.next_act_ps = floor
+                target.row_hits += 1
+                latency = t.cwl_ps if is_write else t.cl_ps
+                busy = self.io_free_ps
+                if bus_free_ps > busy:
+                    busy = bus_free_ps
+                if target._data_free_ps > busy:
+                    busy = target._data_free_ps
+                cas = target.next_col_ps
+                if at_ps > cas:
+                    cas = at_ps
+                data_floor = busy - latency
+                if data_floor > cas:
+                    cas = data_floor
+                data_start = cas + latency
+                data_end = data_start + t.burst_ps
+                target._data_free_ps = data_end
+                target.next_col_ps = cas + t.tccd_ps
+                next_pre = data_end + t.twr_ps if is_write else cas + t.trtp_ps
+                if next_pre > target.next_pre_ps:
+                    target.next_pre_ps = next_pre
+                self.io_free_ps = data_end
+                trace = self.trace
+                if trace is not None:
+                    trace.record_command(cas, "WR" if is_write else "RD",
+                                         agent.value, self.trace_rank_id,
+                                         bank, row)
+                    trace.record(cas, agent.value, self.index, bank, row,
+                                 is_write, True)
+                return BurstTiming(cas, data_start, data_end, row_hit=True,
+                                   activated_row=False)
         if agent is Agent.CPU and self.mode_registers.mpr_enabled:
             raise DRAMOwnershipError(
                 f"rank {self.index}: MPR engaged; host reads/writes blocked"
@@ -108,6 +161,29 @@ class Rank:
             self.trace.record(timing.cas_ps, agent.value, self.index, bank,
                               row, is_write, timing.row_hit)
         return timing
+
+    def ff_parts(self) -> list:
+        """(snapshot, restore) pairs covering this rank's mutable timing state.
+
+        Consumed by :class:`repro.sim.fastforward.EpochSkipper`.  The ACT
+        ring (tRRD/tFAW history) snapshots slot-wise: in a steady one-ACT-
+        per-period cadence every remembered issue time advances by exactly
+        the period, so extrapolation reproduces the ring bit-for-bit.  The
+        MPR bit and ring length are equality-pinned — a change restarts
+        period detection.
+        """
+        def snap() -> tuple:
+            return (self.io_free_ps, self.mode_registers.mpr_enabled,
+                    len(self._act_times)) + tuple(self._act_times)
+
+        def restore(state: tuple) -> None:
+            self.io_free_ps = state[0]
+            self._act_times = deque(state[3:], maxlen=self._act_times.maxlen)
+
+        parts = [(snap, restore),
+                 (self.refresh.ff_snapshot, self.refresh.ff_restore)]
+        parts.extend((bank.ff_snapshot, bank.ff_restore) for bank in self.banks)
+        return parts
 
     def precharge_all(self, at_ps: int) -> int:
         """Close every open row; returns when the rank is fully precharged."""

@@ -31,6 +31,7 @@ from ..dram.dimm import DIMM
 from ..errors import JafarBusyError, JafarProgrammingError
 from ..mem import PhysicalMemory
 from ..sim.clock import ClockDomain
+from ..sim.fastforward import FF as _FF, STATS as _FF_STATS, EpochSkipper
 from .alu import ComparatorPair
 from .bitmask import pack_mask
 from .registers import CTRL_START, Reg, RegisterFile, Status
@@ -166,6 +167,55 @@ class JafarDevice:
         channel_index = self.channel_index
         stats = self.stats
 
+        # Epoch skipping (repro.sim.fastforward): one period = one DRAM row
+        # of the read stream, with boundaries at the row crossings where the
+        # writeback FIFO drains.  Armed only when the per-word ALU advance is
+        # integral (round() is then translation-invariant) and the address
+        # mapping keeps a row's bytes physically contiguous.
+        geometry = self.mapping.geometry
+        skipper = None
+        if (_FF.on and word_period.is_integer()
+                and geometry.bank_rotate_bytes == 0
+                and (geometry.channels == 1 or geometry.interleave_bytes == 0)):
+
+            def _snap_locals() -> tuple:
+                # Slot layout consumed by _skip_horizon: 0 cursor, 1
+                # alu_ready, 2 last_proc_done, 3 addr, 4 out_cursor, 5
+                # bursts_read, 6 bursts_skipped, 7 writeback_bursts, 8
+                # results_done, 9 writebacks_owed, 10 row boundaries, 11
+                # refreshes issued (restored by the rank parts; guarded to
+                # zero delta here so no refresh fires inside a template).
+                return (cursor, alu_ready, last_proc_done, addr, out_cursor,
+                        bursts_read, bursts_skipped, writeback_bursts,
+                        results_done, writebacks_owed,
+                        stats.row_boundaries_crossed,
+                        sum(r.refresh.refreshes_issued for r in ranks))
+
+            def _restore_locals(state: tuple) -> None:
+                nonlocal cursor, alu_ready, last_proc_done, addr, \
+                    out_cursor, bursts_read, bursts_skipped, \
+                    writeback_bursts, results_done, writebacks_owed
+                (cursor, alu_ready, last_proc_done, addr, out_cursor,
+                 bursts_read, bursts_skipped, writeback_bursts,
+                 results_done, writebacks_owed,
+                 stats.row_boundaries_crossed, _) = state
+
+            parts = [(_snap_locals, _restore_locals)]
+            for r in ranks:
+                parts.extend(r.ff_parts())
+            skipper = EpochSkipper(parts, trace=ranks[0].trace)
+
+        # Fused row executor (see _fused_row_run): after the first burst of
+        # a row, the remaining interior bursts are consecutive row hits with
+        # no drains in between — serviced in a tight local loop when the
+        # mapping keeps the row's bytes contiguous.
+        fused_gate = (_FF.on and geometry.bank_rotate_bytes == 0
+                      and (geometry.channels == 1
+                           or geometry.interleave_bytes == 0))
+        row_bytes = geometry.row_bytes
+        interior_end = col_addr + total_bytes
+        wp_full = words_per_burst * word_period
+
         addr = first_burst
         while addr <= last_burst:
             loc = decode(addr)
@@ -191,6 +241,30 @@ class JafarDevice:
                     cursor, out_cursor = self._write_back(out_cursor, cursor)
                     writebacks_owed -= 1
                     writeback_bursts += 1
+                if skipper is not None:
+                    if getattr(self, "_staging_used", False):
+                        # The template period staged a foreign chunk; the
+                        # modular scratch-column cursor is not translation-
+                        # invariant, so restart detection from scratch.
+                        self._staging_used = False
+                        skipper.detector.reset()
+                    delta = skipper.observe()
+                    if delta is not None:
+                        periods = self._skip_horizon(delta, cursor, addr,
+                                                     out_cursor, last_burst,
+                                                     ranks)
+                        addr_before = addr
+                        if periods > 0 and skipper.skip(delta, periods,
+                                                        delta[0]):
+                            _FF_STATS.skipped_events += delta[5] * periods
+                            lo_word = max(0, (addr_before - col_addr)
+                                          // WORD_BYTES)
+                            hi_word = min(num_rows,
+                                          (addr - col_addr) // WORD_BYTES)
+                            owned[lo_word:hi_word] = True
+                            loc = decode(addr)
+                            current_row_key = (loc.rank, loc.bank, loc.row)
+                            continue
             current_row_key = row_key
 
             timing = rank.access(loc.bank, loc.row, cursor, is_write=False,
@@ -208,6 +282,43 @@ class JafarDevice:
             results_done += words_here
             writebacks_owed += results_done // buffer_bits - before
             addr += burst_bytes
+
+            if (fused_gate and rank.trace is None and addr >= col_addr
+                    and addr <= last_burst):
+                # Fuse the rest of this row: interior bursts only, stopping
+                # at the row boundary, the column end, and the stream end.
+                end = addr - addr % row_bytes + row_bytes
+                if interior_end < end:
+                    end = interior_end
+                stop = last_burst + burst_bytes
+                if stop < end:
+                    end = stop
+                n = (end - addr) // burst_bytes
+                if n >= 4:
+                    d0 = decode(addr)
+                    dn = decode(addr + (n - 1) * burst_bytes)
+                    if (d0.channel == channel_index
+                            and d0.dimm == dimm_index
+                            and dn.channel == channel_index
+                            and dn.dimm == dimm_index
+                            and d0.rank == loc.rank and dn.rank == loc.rank
+                            and d0.bank == loc.bank and dn.bank == loc.bank
+                            and d0.row == loc.row and dn.row == loc.row
+                            and rank.banks[loc.bank].open_row == loc.row):
+                        done, cursor, alu_ready = self._fused_row_run(
+                            rank, rank.banks[loc.bank], n, cursor,
+                            alu_ready, wp_full)
+                        if done:
+                            last_proc_done = alu_ready
+                            bursts_read += done
+                            nwords = done * words_per_burst
+                            lo_word = (addr - col_addr) // WORD_BYTES
+                            owned[lo_word:lo_word + nwords] = True
+                            before = results_done // buffer_bits
+                            results_done += nwords
+                            writebacks_owed += (results_done // buffer_bits
+                                                - before)
+                            addr += done * burst_bytes
 
         if not owned_any:
             raise JafarProgrammingError(
@@ -242,6 +353,122 @@ class JafarDevice:
         self.stats.busy_ps += end_ps - start_ps
         return JafarRunResult(start_ps, end_ps, num_rows, matches,
                               bursts_read, writeback_bursts, bursts_skipped)
+
+    def _skip_horizon(self, delta: tuple, cursor: int, addr: int,
+                      out_cursor: int, last_burst: int,
+                      ranks) -> int:
+        """Admissible period count for one epoch skip.
+
+        Bounded so that no skipped access crosses an exogenous deadline:
+        the earliest enabled refresh (every arrival in skipped period *p*
+        is at most ``cursor + p * delta[0]``, so the last period must stay
+        strictly below tREFI), the end of the streamed span (the final
+        row's tail flush executes live), the next bank crossing of the
+        read stream, and the next DRAM-row crossing of the output
+        bitmask.  Also validates the structural shape of the confirmed
+        delta (slot layout documented at the snapshot site).
+        """
+        d_cursor = delta[0]
+        if (d_cursor <= 0 or delta[1] != d_cursor or delta[2] != d_cursor
+                or delta[6] != 0 or delta[9] != 0 or delta[11] != 0):
+            return 0
+        geometry = self.mapping.geometry
+        row_bytes = geometry.row_bytes
+        if delta[3] != row_bytes:
+            return 0
+        end = last_burst + self.timings.burst_bytes
+        periods = (end - addr) // row_bytes - 1
+        bank_room = geometry.bank_bytes - addr % geometry.bank_bytes
+        periods = min(periods, bank_room // row_bytes - 1)
+        decode = self.mapping.decode
+        touched = {decode(addr).rank}
+        d_out = delta[4]
+        if d_out:
+            out_row_end = ((out_cursor - 1) // row_bytes + 1) * row_bytes
+            periods = min(periods, (out_row_end - out_cursor) // d_out)
+            touched.add(decode(out_cursor).rank)
+        # Only ranks the period actually touches constrain the jump: an
+        # untouched rank's state delta is zero and its refresh settles
+        # lazily on its next access, whenever that is.
+        for index in touched:
+            refresh = ranks[index].refresh
+            if refresh.enabled:
+                n_ref = (refresh.next_refresh_ps - 1 - cursor) // d_cursor
+                if n_ref < periods:
+                    periods = n_ref
+        return max(periods, 0)
+
+    def _fused_row_run(self, rank, bank, n: int, cursor: int,
+                       alu_ready: int, wp_full: float
+                       ) -> tuple[int, int, int]:
+        """Service up to ``n`` consecutive row-hit bursts in Python locals.
+
+        The caller guarantees every burst lands in ``bank``'s open row and
+        carries a full burst of column words, so each iteration is exactly
+        the :meth:`Rank.access` row-hit branch plus the ALU bookkeeping of
+        the per-burst loop — replayed on localized state, bit for bit.
+        Exits early at the rank's refresh deadline (the arrival check that
+        gates the hit branch); the caller's loop resumes there exactly.
+        Returns ``(bursts_done, cursor, alu_ready)``.
+        """
+        t = rank._t
+        CL = t.cl_ps
+        BURST = t.burst_ps
+        TCCD = t.tccd_ps
+        TRTP = t.trtp_ps
+        refresh = rank.refresh
+        next_ref = refresh.next_refresh_ps if refresh.enabled else 1 << 62
+        acts = rank._act_times
+        if acts:
+            # Constant during a hit run (the ring only changes at ACTs) and
+            # next_act_ps is monotone, so one application equals one per
+            # burst.
+            floor = acts[-1] + t.trrd_ps
+            if len(acts) == acts.maxlen:
+                faw = acts[0] + t.tfaw_ps
+                if faw > floor:
+                    floor = faw
+            if floor > bank.next_act_ps:
+                bank.next_act_ps = floor
+        io = rank.io_free_ps
+        b_col = bank.next_col_ps
+        b_dfree = bank._data_free_ps
+        b_pre = bank.next_pre_ps
+        done = 0
+        while done < n:
+            if cursor >= next_ref:
+                break
+            busy = io
+            if alu_ready > busy:
+                busy = alu_ready
+            if b_dfree > busy:
+                busy = b_dfree
+            cas = b_col
+            if cursor > cas:
+                cas = cursor
+            dflo = busy - CL
+            if dflo > cas:
+                cas = dflo
+            ds = cas + CL
+            de = ds + BURST
+            b_dfree = de
+            b_col = cas + TCCD
+            npre = cas + TRTP
+            if npre > b_pre:
+                b_pre = npre
+            io = de
+            proc = round(ds + wp_full)
+            if de > proc:
+                proc = de
+            alu_ready = proc
+            cursor = cas
+            done += 1
+        bank.next_col_ps = b_col
+        bank._data_free_ps = b_dfree
+        bank.next_pre_ps = b_pre
+        bank.row_hits += done
+        rank.io_free_ps = io
+        return done, cursor, alu_ready
 
     def _words_in_burst(self, burst_addr: int, col_addr: int,
                         words_per_burst: int, num_rows: int,
@@ -288,6 +515,7 @@ class JafarDevice:
         from ..dram.geometry import Location
 
         geometry = self.mapping.geometry
+        self._staging_used = True
         self._staging_col = (getattr(self, "_staging_col", -1) + 1) % (
             geometry.columns_per_row(self.timings.burst_bytes))
         return Location(self.channel_index, self.dimm.index, 0,

@@ -4,7 +4,9 @@ import json
 
 from repro.bench import SweepConfig, enumerate_sweep, run_sweep, smoke_sweep
 from repro.bench.__main__ import main as bench_main
-from repro.bench.orchestrator import compute_deltas, write_results
+from repro.bench.orchestrator import (HOST_ONLY_POINT_FIELDS, compute_deltas,
+                                      diff_reports, simulated_view,
+                                      write_results)
 
 TINY = [
     SweepConfig("fig3_point", rows=2048, selectivity=0.0),
@@ -73,6 +75,93 @@ class TestDeltasAndOutput:
         assert written2["deltas"]["points"]
         on_disk = json.loads(out.read_text())
         assert on_disk["deltas"] == written2["deltas"]
+
+
+class TestWarmRerunCacheHits:
+    """Regression: the top-level cache_hits counter must agree with the
+    per-point ``cached`` flags on a warm rerun, in the report run_sweep
+    assembles AND in the file write_results puts on disk."""
+
+    def test_reduce_step_counts_per_point_flags(self, tmp_path):
+        run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        warm = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        per_point = sum(1 for p in warm["points"] if p["cached"])
+        assert per_point == len(TINY)
+        assert warm["cache_hits"] == per_point
+
+    def test_written_report_preserves_cache_hits(self, tmp_path):
+        out = tmp_path / "BENCH_results.json"
+        write_results(run_sweep(TINY, cache_dir=tmp_path, serial=True), out)
+        write_results(run_sweep(TINY, cache_dir=tmp_path, serial=True), out)
+        on_disk = json.loads(out.read_text())
+        assert any(p["cached"] for p in on_disk["points"])
+        assert (on_disk["cache_hits"]
+                == sum(1 for p in on_disk["points"] if p["cached"]))
+
+
+class TestFastForwardReporting:
+    def test_fresh_points_report_skipped_events(self, tmp_path):
+        report = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        for point in report["points"]:
+            assert point["ff_skipped_events"] is not None
+        assert report["ff_skipped_events"] == sum(
+            p["ff_skipped_events"] for p in report["points"])
+
+    def test_cached_points_report_none(self, tmp_path):
+        run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        warm = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        assert all(p["ff_skipped_events"] is None for p in warm["points"])
+        assert warm["ff_skipped_events"] is None
+
+    def test_exact_matches_fast_forward_simulated_fields(self, tmp_path):
+        fast = run_sweep(TINY, cache_dir=tmp_path / "a", serial=True)
+        exact = run_sweep(TINY, cache_dir=tmp_path / "b", serial=True,
+                          exact=True)
+        assert exact["exact"] is True
+        assert diff_reports(fast, exact) == []
+        assert ([p["result"] for p in fast["points"]]
+                == [p["result"] for p in exact["points"]])
+
+
+class TestSimulatedFieldDiff:
+    def test_view_strips_exactly_the_host_fields(self, tmp_path):
+        report = run_sweep(TINY[:1], cache_dir=tmp_path, serial=True)
+        point = report["points"][0]
+        view = simulated_view(point)
+        for field in HOST_ONLY_POINT_FIELDS:
+            assert field in point and field not in view
+        assert "key" not in view
+        assert view["result"] == point["result"]
+
+    def test_diff_ignores_host_timing_fields(self, tmp_path):
+        report = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        other = dict(report, points=[
+            dict(p, wall_s=p["wall_s"] + 1.0, cached=not p["cached"],
+                 ff_skipped_events=None)
+            for p in report["points"]])
+        assert diff_reports(report, other) == []
+
+    def test_diff_catches_simulated_changes_and_missing_points(self, tmp_path):
+        report = run_sweep(TINY, cache_dir=tmp_path, serial=True)
+        changed = dict(report, points=[
+            dict(report["points"][0], result={"cpu_ps": -1})
+        ] + report["points"][1:])
+        assert diff_reports(report, changed) == [TINY[0].name]
+        shorter = dict(report, points=report["points"][1:])
+        assert diff_reports(report, shorter) == [TINY[0].name]
+
+    def test_cli_diff(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        write_results(run_sweep(TINY, cache_dir=tmp_path, serial=True), out_a)
+        write_results(run_sweep(TINY, cache_dir=tmp_path, serial=True,
+                                exact=True), out_b)
+        assert bench_main(["--diff", str(out_a), str(out_b)]) == 0
+        report = json.loads(out_b.read_text())
+        report["points"][0]["result"] = {"cpu_ps": -1}
+        out_b.write_text(json.dumps(report))
+        assert bench_main(["--diff", str(out_a), str(out_b)]) == 1
+        assert "differ" in capsys.readouterr().out
 
 
 class TestSweepsAndCLI:

@@ -201,6 +201,55 @@ def test_cache_healthy_traffic_is_silent(sanitizers):
     assert hierarchy.invalidate_range(0, 1024) > 0
 
 
+# -- fast-forward --------------------------------------------------------------
+
+
+def test_fastforward_catches_bad_extrapolation(monkeypatch):
+    from repro.sim import fastforward
+
+    real = fastforward.apply_delta
+
+    def skewed(base, delta, periods):
+        # Seeded bug: the first snapshot slot (the driver clock) lands a
+        # microsecond late, so the re-materialised state is inconsistent
+        # with the rest of the extrapolation.
+        out = real(base, delta, periods)
+        if out is None:
+            return None
+        return (out[0] + 1_000_000,) + out[1:]
+
+    monkeypatch.setattr(fastforward, "apply_delta", skewed)
+    # Under ``pytest --simsan`` the sanitizers are already installed (and
+    # fast-forward already forced off), so the install-time cross-check
+    # would never re-run; cycle the global install around the check.
+    was_active = simsan.active()
+    if was_active:
+        simsan.uninstall()
+    try:
+        with pytest.raises(SanitizerError, match="divergence"):
+            with simsan.sanitized():
+                pass  # the install-time cross-check must already abort
+    finally:
+        monkeypatch.undo()  # heal apply_delta before any reinstall
+        if was_active:
+            simsan.install()
+
+
+def test_fastforward_forces_exact_mode_while_installed(sanitizers):
+    from repro.sim.fastforward import FF
+
+    assert not FF.on  # forced off for the other sanitizers' benefit
+
+
+def test_fastforward_healthy_cross_check_is_silent():
+    from repro.sim.fastforward import FF
+
+    was_on = FF.on
+    with simsan.sanitized():
+        pass
+    assert FF.on == was_on  # uninstall restored the fast paths
+
+
 # -- scan equivalence ----------------------------------------------------------
 
 
