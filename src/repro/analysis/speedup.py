@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..config import GEM5_PLATFORM, SystemConfig
 from ..cpu import branchy_select, predicated_select
 from ..errors import ConfigError
+from ..obs.tracer import TRACE as _TRACE
 from ..system import Machine
 from ..workloads import bounds_for_selectivity, uniform_column
 
@@ -50,21 +51,45 @@ def measure_point(selectivity: float, num_rows: int,
     values = uniform_column(num_rows, seed)
     low, high = bounds_for_selectivity(selectivity)
 
+    # One root span per point opens a fresh causal trace; every span the two
+    # machines emit below inherits its trace id.  Only at depth 0 — when a
+    # traced caller (e.g. a query operator) invokes this, its span is the
+    # root instead.
+    tracer = _TRACE.tracer if _TRACE.on else None
+    root = tracer is not None and tracer.depth == 0
+    if root:
+        tracer.begin(f"fig3.point(sel={selectivity})",
+                     tracer.root_track("fig3"), 0,
+                     selectivity=selectivity, rows=num_rows, kernel=kernel)
+
     # JAFAR run: column pinned on DIMM 0, output bitset alongside.
     jafar_machine = Machine(config)
     col = jafar_machine.alloc_array(values, dimm=0, pinned=True)
     out = jafar_machine.alloc_zeros(max(num_rows // 8, 1), dimm=0, pinned=True)
+    if tracer is not None:
+        tracer.begin("select.jafar",
+                     tracer.track_of(jafar_machine, "query"),
+                     jafar_machine.core.now_ps)
     result = jafar_machine.driver.select_column(col.vaddr, num_rows,
                                                 low, high, out.vaddr)
+    if tracer is not None:
+        tracer.end(jafar_machine.core.now_ps, matches=result.matches)
     jafar_ps = result.duration_ps
 
     # CPU-only run on an identical, separate machine (no contention).
     cpu_machine = Machine(config)
     cpu_col = cpu_machine.alloc_array(values, dimm=0)
     paddr = cpu_machine.vm.translate(cpu_col.vaddr)
+    if tracer is not None:
+        tracer.begin("select.cpu", tracer.track_of(cpu_machine, "query"),
+                     cpu_machine.core.now_ps, kernel=kernel)
     scan = {"branchy": branchy_select,
             "predicated": predicated_select}[kernel](
         cpu_machine.core, values, paddr, low, high)
+    if tracer is not None:
+        tracer.end(cpu_machine.core.now_ps, matches=scan.num_matches)
+    if root:
+        tracer.end(None)
 
     if scan.num_matches != result.matches:
         raise ConfigError(

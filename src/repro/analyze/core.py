@@ -119,7 +119,7 @@ def register(cls: type[Pass]) -> type[Pass]:
 def all_passes() -> list[Pass]:
     """Fresh instances of every registered pass, in registration order."""
     # Importing the pass modules populates the registry exactly once.
-    from . import determinism, dimflow, protocol, units_lint  # noqa: F401
+    from . import determinism, dimflow, instruments, protocol, units_lint  # noqa: F401
 
     return [cls() for cls in _REGISTRY]
 

@@ -1,0 +1,72 @@
+"""Instrumentation lint: all metrics flow through the registry.
+
+PR 5 introduced :class:`repro.obs.metrics.MetricsRegistry` as the single
+namespace every Counter/Histogram/BusyTracker reports through — one
+``snapshot()`` schema per run, no per-module ad-hoc reporting.  This pass
+keeps it that way:
+
+* ``direct-instrument`` — a ``Counter(...)`` / ``Histogram(...)`` /
+  ``BusyTracker(...)`` call anywhere in ``src/`` except the two homes that
+  legitimately construct them: :mod:`repro.sim.stats` (the definitions —
+  ``BusyTracker`` builds its internal gap histogram) and
+  :mod:`repro.obs.metrics` (the registry factories).  Everyone else asks a
+  registry, so the instrument is named, snapshotable, and visible in every
+  trace export.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from .core import Finding, ModulePass, register
+
+#: The only modules that may call the instrument constructors directly.
+_CONSTRUCTOR_HOMES = (
+    os.path.join("repro", "sim", "stats.py"),
+    os.path.join("repro", "obs", "metrics.py"),
+)
+_EXEMPT_SEGMENTS = {"tests", "benchmarks", "examples", "fixtures"}
+
+_INSTRUMENTS = {"Counter", "Histogram", "BusyTracker"}
+
+
+@register
+class DirectInstrumentPass(ModulePass):
+    """Flag instrument construction that bypasses the MetricsRegistry."""
+
+    name = "direct-instrument"
+    description = ("no direct Counter/Histogram/BusyTracker construction "
+                   "outside repro.sim.stats and repro.obs.metrics; use a "
+                   "MetricsRegistry factory")
+    scope = None  # repo-wide
+
+    def applies_to(self, path: str) -> bool:
+        normalized = os.path.normpath(path)
+        parts = normalized.split(os.sep)
+        if _EXEMPT_SEGMENTS.intersection(parts):
+            return False
+        return not any(normalized.endswith(home)
+                       for home in _CONSTRUCTOR_HOMES)
+
+    def check_module(self, tree, source, path):
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _INSTRUMENTS:
+                findings.append(Finding(
+                    self.name,
+                    f"direct {name}(...) construction bypasses the metrics "
+                    "registry; use MetricsRegistry."
+                    f"{'busy_tracker' if name == 'BusyTracker' else name.lower()}"
+                    "(...) so the instrument shares the run's snapshot "
+                    "namespace",
+                    path, node.lineno, node.col_offset))
+        return findings

@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
                         help="compare two report files on simulated fields "
                              "only and exit nonzero on any mismatch")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a causal span trace of the sweep and "
+                             "write Chrome-trace/Perfetto JSON to PATH "
+                             "(forces --serial and --no-cache so every "
+                             "point actually simulates in-process)")
     parser.add_argument("--list", action="store_true",
                         help="print the configs a run would execute, then exit")
     return parser
@@ -91,10 +96,22 @@ def main(argv: list[str] | None = None) -> int:
             print(config.name)
         return 0
 
-    report = run_sweep(configs, workers=args.workers,
-                       cache_dir=args.cache_dir,
-                       use_cache=not args.no_cache, serial=args.serial,
-                       exact=args.exact)
+    if args.trace:
+        from ..obs.tracer import tracing
+
+        # Tracing only observes in-process simulations: run serially with
+        # the cache bypassed so every point executes (and is recorded) here.
+        with tracing(args.trace):
+            report = run_sweep(configs, workers=1,
+                               cache_dir=args.cache_dir,
+                               use_cache=False, serial=True,
+                               exact=args.exact)
+        print(f"trace written to {args.trace}")
+    else:
+        report = run_sweep(configs, workers=args.workers,
+                           cache_dir=args.cache_dir,
+                           use_cache=not args.no_cache, serial=args.serial,
+                           exact=args.exact)
     report = write_results(report, args.output)
 
     for point in report["points"]:

@@ -15,6 +15,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Any
 
+from ..obs.tracer import TRACE as _TRACE
 from ..sim import fastforward as _ffm
 from .configs import SweepConfig
 from .runner import execute
@@ -60,11 +61,20 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
         hit = True
     else:
         _ffm.STATS.reset()
-        if exact:
-            with _ffm.exact_mode():
+        tracer = _TRACE.tracer if _TRACE.on else None
+        root_opened = tracer is not None and tracer.depth == 0
+        if root_opened:
+            tracer.begin(config.name, tracer.root_track(config.name), 0,
+                         experiment=config.experiment, exact=exact)
+        try:
+            if exact:
+                with _ffm.exact_mode():
+                    result = execute(config)
+            else:
                 result = execute(config)
-        else:
-            result = execute(config)
+        finally:
+            if root_opened:
+                tracer.end(None)
         skipped = _ffm.STATS.skipped_events
         hit = False
         if store is not None:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..cpu import Core
 from ..errors import ConfigError
+from ..obs.tracer import TRACE as _TRACE
 from ..system import Machine
 from .storage import StorageManager
 
@@ -85,9 +86,18 @@ class _Timed:
 
     def __enter__(self) -> "_Timed":
         self._start = self.ctx.now_ps
+        if _TRACE.on:
+            tracer = _TRACE.tracer
+            tracer.begin(self.operator,
+                         tracer.track_of(self.ctx.machine, "query"),
+                         self._start)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if _TRACE.on:
+            # Close unconditionally (even on exceptions) so the span stack
+            # stays balanced with the dynamic nesting.
+            _TRACE.tracer.end(self.ctx.now_ps)
         if exc_type is None:
             self.ctx.profile.charge(self.operator,
                                     self.ctx.now_ps - self._start)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import PlanError
+from ..obs.tracer import TRACE as _TRACE
 from .column import Catalog
 from .context import ExecutionContext
 from .operators import aggregate as agg_ops
@@ -85,8 +86,18 @@ class QueryExecutor:
     def execute(self, plan: PlanNode) -> ResultSet:
         plan.validate()
         start = self.ctx.now_ps
-        result = self._run(plan)
-        materialized = self._materialize(result)
+        if _TRACE.on:
+            tracer = _TRACE.tracer
+            tracer.begin("query", tracer.track_of(self.ctx.machine, "query"),
+                         start, plan=type(plan).__name__)
+            try:
+                result = self._run(plan)
+                materialized = self._materialize(result)
+            finally:
+                tracer.end(self.ctx.now_ps)
+        else:
+            result = self._run(plan)
+            materialized = self._materialize(result)
         return ResultSet(materialized.columns, materialized.dictionaries,
                          self.ctx.now_ps - start)
 

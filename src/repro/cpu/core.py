@@ -32,6 +32,7 @@ from ..cache import CacheHierarchy
 from ..config import SystemConfig
 from ..dram import Agent, MemoryController, MemRequest
 from ..errors import ConfigError
+from ..obs.tracer import TRACE as _TRACE
 from ..sim.clock import ClockDomain
 from ..sim.fastforward import (CONFIRM_PERIODS, FF as _FF, STATS as _FF_STATS,
                                EpochSkipper)
@@ -238,9 +239,17 @@ class Core:
                     periods = self._stream_skip_horizon(
                         delta, k, nlines, lines_per_row, base_addr,
                         line_bytes, bank_bytes, row_bytes, issue_floor)
+                    skip_from_ps = self.now_ps
                     if periods > 0 and skipper.skip(delta, periods, delta[1]):
                         _FF_STATS.skipped_events += (
                             (lines_per_row + delta[5]) * periods)
+                        if _TRACE.on:
+                            tracer = _TRACE.tracer
+                            tracer.complete(
+                                "cpu.ff_skip", tracer.track_of(self, "cpu"),
+                                skip_from_ps, self.now_ps - skip_from_ps,
+                                ff=True, periods=periods,
+                                lines=lines_per_row * periods)
                         # restore_locals rebound k to the landing boundary;
                         # mark it observed (its snapshot is already primed).
                         last_boundary = k
@@ -256,6 +265,15 @@ class Core:
                                               out_per_line_f, finish_times,
                                               box, has_writes)
                 if new_k > k:
+                    if _TRACE.on:
+                        # One synthesized span summarising the lane-served
+                        # run (its per-request controller events are elided).
+                        tracer = _TRACE.tracer
+                        tracer.complete(
+                            "imc.fused_stream",
+                            tracer.track_of(controller, "imc"),
+                            self.now_ps, box[0] - self.now_ps,
+                            ff=True, lines=new_k - k)
                     k = new_k
                     self.now_ps = box[0]
                     issue_floor = box[1]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..errors import DRAMError
+from ..obs.tracer import TRACE as _TRACE
 from ..sim.fastforward import CONFIRM_PERIODS, FF as _FF, STATS as _FF_STATS
 from .commands import Agent, CompletedRequest, MemRequest
 from .counters import IMCCounters
@@ -63,7 +64,8 @@ class MemoryController:
     def __init__(self, timings: DDR3Timings, geometry: DRAMGeometry,
                  policy: str | SchedulingPolicy = "fr-fcfs",
                  refresh_enabled: bool = True,
-                 page_policy: str = "open") -> None:
+                 page_policy: str = "open",
+                 metrics=None) -> None:
         if page_policy not in ("open", "closed"):
             raise DRAMError(
                 f"page policy must be 'open' or 'closed', got {page_policy!r}"
@@ -79,7 +81,7 @@ class MemoryController:
         self.policy: SchedulingPolicy = (
             make_policy(policy) if isinstance(policy, str) else policy
         )
-        self.counters = IMCCounters(timings)
+        self.counters = IMCCounters(timings, metrics)
         self._last_arrival_ps = 0
         # Fast-forward steady lane (see repro.sim.fastforward).  Armed only
         # under the fill-first mapping (bank rotation / channel interleave
@@ -294,6 +296,11 @@ class MemoryController:
             trace.record(cas, agent.value, rank.index, tpl.bank_index,
                          tpl.row, is_write, True)
         _FF_STATS.lane_requests += 1
+        if _TRACE.on:
+            tracer = _TRACE.tracer
+            tracer.complete("wr" if is_write else "rd",
+                            tracer.track_of(self, "imc"), arrival_ps,
+                            data_end - arrival_ps, lane=True)
         return cas, data_start, data_end
 
     def _service(self, req: MemRequest) -> CompletedRequest:
@@ -337,6 +344,8 @@ class MemoryController:
                 if rank.trace is not None:
                     rank.trace.record_command(pre_ps, "PRE", "controller",
                                               rank.trace_rank_id, loc.bank)
+                if _TRACE.on:
+                    _TRACE.tracer.bank_precharge(rank, loc.bank, pre_ps)
             if issue_ps is None:
                 issue_ps = timing.cas_ps
                 first_data_ps = timing.data_start_ps
@@ -370,6 +379,11 @@ class MemoryController:
                     self._write_tpl = None
                 else:
                     self._read_tpl = None
+        if _TRACE.on:
+            tracer = _TRACE.tracer
+            tracer.complete("wr" if is_write else "rd",
+                            tracer.track_of(self, "imc"), arrival_ps,
+                            finish_ps - arrival_ps, hits=hits, misses=misses)
         return CompletedRequest(req, issue_ps, first_data_ps, finish_ps, hits, misses)
 
     def ff_parts(self) -> list:

@@ -14,23 +14,34 @@ the real hardware could not expose, so the bound's pessimism is measurable.
 
 from __future__ import annotations
 
-from ..sim.stats import BusyTracker, Counter, Histogram
 from .timing import DDR3Timings
 
 
 class IMCCounters:
-    """Counter block for one memory controller."""
+    """Counter block for one memory controller.
 
-    def __init__(self, timings: DDR3Timings) -> None:
+    All instruments are created through the machine's
+    :class:`~repro.obs.metrics.MetricsRegistry`, so one ``snapshot()`` of the
+    registry covers the whole block under the ``imc.*`` namespace.  A private
+    registry is constructed when none is supplied (unit tests, standalone
+    controllers).
+    """
+
+    def __init__(self, timings: DDR3Timings, registry=None) -> None:
+        if registry is None:
+            from ..obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
         self.timings = timings
-        self.read_queue = BusyTracker("imc.read_queue")
-        self.write_queue = BusyTracker("imc.write_queue")
-        self.combined = BusyTracker("imc.any_queue")
-        self.reads = Counter("imc.reads")
-        self.writes = Counter("imc.writes")
-        self.read_latency = Histogram("imc.read_latency_ps")
-        self.row_hits = Counter("imc.row_hits")
-        self.row_misses = Counter("imc.row_misses")
+        self.metrics = registry
+        self.read_queue = registry.busy_tracker("imc.read_queue")
+        self.write_queue = registry.busy_tracker("imc.write_queue")
+        self.combined = registry.busy_tracker("imc.any_queue")
+        self.reads = registry.counter("imc.reads")
+        self.writes = registry.counter("imc.writes")
+        self.read_latency = registry.histogram("imc.read_latency_ps")
+        self.row_hits = registry.counter("imc.row_hits")
+        self.row_misses = registry.counter("imc.row_misses")
 
     def record(self, is_write: bool, arrival_ps: int, finish_ps: int,
                row_hits: int, row_misses: int) -> None:

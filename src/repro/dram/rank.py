@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import DRAMOwnershipError
+from ..obs.tracer import TRACE as _TRACE
 from ..sim.fastforward import FF as _FF
 from .bank import Bank, BurstTiming
 from .commands import Agent
@@ -59,6 +60,8 @@ class Rank:
             if self.trace is not None:
                 self.trace.record_command(ready - self.timings.trfc_ps, "REF",
                                           "refresh", self.trace_rank_id, None)
+            if _TRACE.on:
+                _TRACE.tracer.rank_refresh(self, ready - self.timings.trfc_ps)
         return ready
 
     def _act_floor_ps(self) -> int:
@@ -160,6 +163,9 @@ class Rank:
                                       agent.value, self.trace_rank_id, bank, row)
             self.trace.record(timing.cas_ps, agent.value, self.index, bank,
                               row, is_write, timing.row_hit)
+        if _TRACE.on and (timing.pre_ps is not None or timing.act_ps is not None):
+            _TRACE.tracer.bank_access(self, bank, row, timing.pre_ps,
+                                      timing.act_ps)
         return timing
 
     def ff_parts(self) -> list:
@@ -194,6 +200,8 @@ class Rank:
                 if self.trace is not None:
                     self.trace.record_command(issue, "PRE", "controller",
                                               self.trace_rank_id, bank.index)
+                if _TRACE.on:
+                    _TRACE.tracer.bank_precharge(self, bank.index, issue)
                 done = max(done, issue + self._t.trp_ps)
         return done
 

@@ -30,6 +30,7 @@ from ..dram import Agent, AddressMapping, DDR3Timings
 from ..dram.dimm import DIMM
 from ..errors import JafarBusyError, JafarProgrammingError
 from ..mem import PhysicalMemory
+from ..obs.tracer import TRACE as _TRACE
 from ..sim.clock import ClockDomain
 from ..sim.fastforward import FF as _FF, STATS as _FF_STATS, EpochSkipper
 from .alu import ComparatorPair
@@ -167,6 +168,11 @@ class JafarDevice:
         channel_index = self.channel_index
         stats = self.stats
 
+        tracer = _TRACE.tracer if _TRACE.on else None
+        if tracer is not None:
+            trace_track = tracer.track_of(self, "jafar")
+            tracer.begin("jafar.run", trace_track, start_ps, rows=num_rows)
+
         # Epoch skipping (repro.sim.fastforward): one period = one DRAM row
         # of the read stream, with boundaries at the row crossings where the
         # writeback FIFO drains.  Armed only when the per-word ALU advance is
@@ -237,10 +243,15 @@ class JafarDevice:
             if current_row_key is not None and row_key != current_row_key:
                 # Natural PRE/ACT gap: drain owed writebacks here.
                 stats.row_boundaries_crossed += 1
+                drain_start = cursor
+                drained = writebacks_owed
                 while writebacks_owed > 0:
                     cursor, out_cursor = self._write_back(out_cursor, cursor)
                     writebacks_owed -= 1
                     writeback_bursts += 1
+                if tracer is not None and drained:
+                    tracer.complete("jafar.drain", trace_track, drain_start,
+                                    cursor - drain_start, bursts=drained)
                 if skipper is not None:
                     if getattr(self, "_staging_used", False):
                         # The template period staged a foreign chunk; the
@@ -254,9 +265,16 @@ class JafarDevice:
                                                      out_cursor, last_burst,
                                                      ranks)
                         addr_before = addr
+                        cursor_before = cursor
                         if periods > 0 and skipper.skip(delta, periods,
                                                         delta[0]):
                             _FF_STATS.skipped_events += delta[5] * periods
+                            if tracer is not None:
+                                tracer.complete(
+                                    "jafar.ff_skip", trace_track,
+                                    cursor_before, cursor - cursor_before,
+                                    ff=True, periods=periods,
+                                    events=delta[5] * periods)
                             lo_word = max(0, (addr_before - col_addr)
                                           // WORD_BYTES)
                             hi_word = min(num_rows,
@@ -305,9 +323,15 @@ class JafarDevice:
                             and d0.bank == loc.bank and dn.bank == loc.bank
                             and d0.row == loc.row and dn.row == loc.row
                             and rank.banks[loc.bank].open_row == loc.row):
+                        fused_start = cursor
                         done, cursor, alu_ready = self._fused_row_run(
                             rank, rank.banks[loc.bank], n, cursor,
                             alu_ready, wp_full)
+                        if tracer is not None and done:
+                            tracer.complete("jafar.fused_row", trace_track,
+                                            fused_start,
+                                            alu_ready - fused_start,
+                                            ff=True, bursts=done)
                         if done:
                             last_proc_done = alu_ready
                             bursts_read += done
@@ -328,9 +352,14 @@ class JafarDevice:
         # Tail: flush remaining full buffers plus the partial one.
         cursor = max(cursor, last_proc_done)
         pending_tail = 1 if results_done % buffer_bits else 0
-        for _ in range(writebacks_owed + pending_tail):
+        tail_start = cursor
+        tail_count = writebacks_owed + pending_tail
+        for _ in range(tail_count):
             cursor, out_cursor = self._write_back(out_cursor, cursor)
             writeback_bursts += 1
+        if tracer is not None and tail_count:
+            tracer.complete("jafar.drain", trace_track, tail_start,
+                            cursor - tail_start, bursts=tail_count, tail=True)
 
         # Drain the pipeline (a handful of JAFAR cycles).
         end_ps = max(last_proc_done, cursor) + self.clock.cycles_to_ps(
@@ -346,6 +375,9 @@ class JafarDevice:
         self.memory.write(out_addr, pack_mask(current))
 
         matches = int(mask.sum())
+        if tracer is not None:
+            tracer.end(end_ps, bursts_read=bursts_read,
+                       writeback_bursts=writeback_bursts, matches=matches)
         self.stats.invocations += 1
         self.stats.words_processed += num_rows
         self.stats.bursts_read += bursts_read

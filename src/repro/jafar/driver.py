@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..cpu import Core
 from ..errors import JafarProgrammingError, PinningError
 from ..mem import VirtualMemory
+from ..obs.tracer import TRACE as _TRACE
 from ..units import ns
 from .device import JafarDevice, JafarRunResult
 from .ownership import RankOwnership
@@ -116,6 +117,12 @@ class JafarDriver:
 
         core = self.core
         cost = device.cost
+        tracer = _TRACE.tracer if _TRACE.on else None
+        if tracer is not None:
+            track = tracer.track_of(self, "driver")
+            tracer.begin("driver.select_page", track, core.now_ps,
+                         rows=num_rows)
+            program_start = core.now_ps
         # Fixed syscall + translation overhead (half up front, half on the
         # completion side), plus the uncached register writes.
         core.advance_ps(ns(cost.invoke_overhead_ns / 2))
@@ -125,12 +132,18 @@ class JafarDriver:
         device.mmio_write(Reg.RANGE_HIGH, high)
         device.mmio_write(Reg.OUT_ADDR, out_paddr)
         device.mmio_write(Reg.NUM_ROWS, num_rows)
+        if tracer is not None:
+            tracer.complete("driver.program", track, program_start,
+                            core.now_ps - program_start)
 
         # Ownership handoff: the query manager grants the rank for the
         # (predictable) duration of the work, with slack.
         rank = self._rank_of(device, col_paddr)
         expected = self.expected_run_ps(device, num_rows)
         grant = self.ownership.acquire(rank, core.now_ps, 2 * expected)
+        if tracer is not None:
+            tracer.complete("driver.own", track, core.now_ps,
+                            max(0, grant.ready_ps - core.now_ps))
 
         result = device.start(max(core.now_ps, grant.ready_ps))
 
@@ -138,12 +151,18 @@ class JafarDriver:
         # on average (§3.1's spin-wait); an interrupt frees the CPU but adds
         # delivery + handler latency (§2.2's noted improvement).
         done_seen = result.end_ps + self.completion_latency_ps()
+        if tracer is not None:
+            tracer.complete("driver.complete", track, result.end_ps,
+                            max(0, done_seen - result.end_ps),
+                            mode=self.completion)
         if done_seen > core.now_ps:
             core.now_ps = done_seen
         self.ownership.release(grant, core.now_ps)
         core.advance_ps(ns(cost.invoke_overhead_ns / 2))
         # The accelerator wrote the output buffer behind the caches.
         core.hierarchy.invalidate_range(out_paddr, out_bytes)
+        if tracer is not None:
+            tracer.end(core.now_ps, matches=result.matches)
         return result
 
     # -- whole column ------------------------------------------------------------------
@@ -159,6 +178,11 @@ class JafarDriver:
             raise JafarProgrammingError("num_rows must be positive")
         page_rows = self.vm.page_bytes // 8
         start_ps = self.core.now_ps
+        tracer = _TRACE.tracer if _TRACE.on else None
+        if tracer is not None:
+            tracer.begin("driver.select_column",
+                         tracer.track_of(self, "driver"), start_ps,
+                         rows=num_rows)
         per_page: list[JafarRunResult] = []
         matches = 0
         done = 0
@@ -170,6 +194,8 @@ class JafarDriver:
             per_page.append(result)
             matches += result.matches
             done += rows_here
+        if tracer is not None:
+            tracer.end(self.core.now_ps, pages=len(per_page), matches=matches)
         return DriverResult(matches, len(per_page), start_ps,
                             self.core.now_ps, per_page)
 

@@ -1,0 +1,33 @@
+"""repro.obs — cross-layer causal tracing and the unified metrics registry.
+
+See DESIGN.md §8.  Three pieces:
+
+* :mod:`repro.obs.tracer` — span tracer on the simulated-ps clock with the
+  process-wide ``TRACE`` switch and the :func:`tracing` context manager;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, the one hierarchical
+  namespace every Counter/Histogram/BusyTracker snapshot flows through;
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON and terminal
+  flame-summary exporters.
+
+``repro.obs.check`` (zero-perturbation cross-check) and ``repro.obs.cli``
+import bench machinery and are deliberately *not* imported here, keeping
+this package safe to import from the innermost simulation layers.
+"""
+
+from .export import (chrome_trace, flame_summary, flame_summary_doc,
+                     write_chrome_trace)
+from .metrics import MetricsRegistry
+from .tracer import MAX_EVENTS, TRACE, SpanTracer, TraceEvent, tracing
+
+__all__ = [
+    "MAX_EVENTS",
+    "MetricsRegistry",
+    "SpanTracer",
+    "TRACE",
+    "TraceEvent",
+    "chrome_trace",
+    "flame_summary",
+    "flame_summary_doc",
+    "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,80 @@
+"""SimSan-style cross-check: tracing must not perturb the simulation.
+
+:func:`verify_point` executes one benchmark config twice — untraced, then
+with the span tracer enabled — and structurally diffs the two *simulated*
+payloads.  Any difference, down to a single picosecond or counter value,
+is reported with its JSON path.  The bench payloads
+(:func:`repro.bench.runner.execute`) contain only simulated quantities, so
+an empty diff proves the zero-perturbation invariant for that run.
+
+Lives outside ``repro.obs.__init__`` because it imports the bench runner
+(which imports the whole simulation stack).
+"""
+
+from __future__ import annotations
+
+from .tracer import TRACE, SpanTracer, tracing
+
+
+def deep_diff(a, b, path: str = "$") -> list[str]:
+    """Human-readable paths at which two JSON-like values differ."""
+    if type(a) is not type(b):
+        return [f"{path}: type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        out: list[str] = []
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                out.append(f"{path}.{key}: only in traced run")
+            elif key not in b:
+                out.append(f"{path}.{key}: only in untraced run")
+            else:
+                out.extend(deep_diff(a[key], b[key], f"{path}.{key}"))
+        return out
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return [f"{path}: length {len(a)} != {len(b)}"]
+        out = []
+        for i, (va, vb) in enumerate(zip(a, b)):
+            out.extend(deep_diff(va, vb, f"{path}[{i}]"))
+        return out
+    if a != b:
+        return [f"{path}: {a!r} != {b!r}"]
+    return []
+
+
+def verify_point(config, exact: bool = False,
+                 trace_path=None) -> tuple[list[str], SpanTracer]:
+    """Run ``config`` untraced and traced; return (diffs, tracer).
+
+    ``exact=True`` additionally disables steady-state fast-forward for both
+    runs, covering the exact path; the default covers the fast-forward path
+    (synthesized ``ff=true`` spans included).  An empty diff list means the
+    traced run's simulated payload is bit-identical.
+    """
+    from ..bench.runner import execute
+    from ..sim import fastforward as _ffm
+
+    if TRACE.on:
+        # The baseline must be genuinely untraced; detach and restore.
+        saved = TRACE.disable()
+    else:
+        saved = None
+    try:
+        if exact:
+            with _ffm.exact_mode():
+                baseline = execute(config)
+        else:
+            baseline = execute(config)
+    finally:
+        if saved is not None:
+            TRACE.tracer = saved
+            TRACE.on = True
+
+    with tracing(trace_path) as tracer:
+        if exact:
+            with _ffm.exact_mode():
+                traced = execute(config)
+        else:
+            traced = execute(config)
+
+    return deep_diff(traced, baseline), tracer

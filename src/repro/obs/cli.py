@@ -1,0 +1,135 @@
+"""``python -m repro.obs`` — trace, verify, and summarise simulation runs.
+
+Subcommands:
+
+* ``trace``   — run one benchmark point with the span tracer on, write the
+  Chrome-trace/Perfetto JSON, and print the flame-style summary.
+* ``verify``  — the zero-perturbation gate: run the point untraced and
+  traced, diff the simulated payloads, exit nonzero on any difference.
+* ``summary`` — print the flame-style summary of an existing trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..bench.configs import EXPERIMENTS, SweepConfig
+from ..errors import ReproError
+from .check import verify_point
+from .export import flame_summary, flame_summary_doc, write_chrome_trace
+from .tracer import tracing
+
+
+def _add_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--experiment", default="fig3_point",
+                        choices=EXPERIMENTS,
+                        help="benchmark experiment (default fig3_point)")
+    parser.add_argument("--rows", type=int, default=1 << 13,
+                        help="column rows (default 8192)")
+    parser.add_argument("--selectivity", type=float, default=0.5,
+                        help="select selectivity (default 0.5)")
+    parser.add_argument("--grade", default=None,
+                        help="DDR3 speed grade (default: platform default)")
+    parser.add_argument("--kernel", default="branchy",
+                        choices=("branchy", "predicated"),
+                        help="CPU scan kernel (default branchy)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--exact", action="store_true",
+                        help="disable steady-state fast-forward")
+
+
+def _point_config(args: argparse.Namespace) -> SweepConfig:
+    return SweepConfig(args.experiment, rows=args.rows,
+                       selectivity=args.selectivity, grade=args.grade,
+                       kernel=args.kernel, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Cross-layer causal tracing: capture, verify, and "
+                    "summarise simulated-time traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="run one point with tracing on")
+    _add_point_args(trace)
+    trace.add_argument("--out", default="point.trace.json",
+                       help="trace output path (default point.trace.json)")
+    trace.add_argument("--no-summary", action="store_true",
+                       help="skip the terminal flame summary")
+
+    verify = sub.add_parser(
+        "verify", help="prove tracing leaves the simulation bit-identical")
+    _add_point_args(verify)
+    verify.add_argument("--out", default=None,
+                        help="also write the traced run's trace JSON here")
+
+    summary = sub.add_parser("summary",
+                             help="summarise an existing trace file")
+    summary.add_argument("trace_file", help="a .trace.json written by "
+                                            "trace/verify or repro.bench --trace")
+    return parser
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from ..bench.runner import execute
+    from ..sim import fastforward as _ffm
+
+    config = _point_config(args)
+    with tracing() as tracer:
+        if args.exact:
+            with _ffm.exact_mode():
+                result = execute(config)
+        else:
+            result = execute(config)
+        write_chrome_trace(tracer, args.out)
+    if not args.no_summary:
+        print(flame_summary(tracer))
+    print(f"{config.name}: {len(tracer.events)} events "
+          f"({tracer.dropped} dropped) -> {args.out}")
+    del result
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    config = _point_config(args)
+    diffs, tracer = verify_point(config, exact=args.exact,
+                                 trace_path=args.out)
+    mode = "exact" if args.exact else "fast-forward"
+    if diffs:
+        print(f"{config.name} ({mode}): tracing PERTURBED the simulation:")
+        for line in diffs[:40]:
+            print(f"  {line}")
+        if len(diffs) > 40:
+            print(f"  ... and {len(diffs) - 40} more")
+        return 1
+    print(f"{config.name} ({mode}): traced run bit-identical to untraced "
+          f"({len(tracer.events)} events recorded)")
+    if args.out:
+        print(f"trace written to {args.out}")
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    with open(args.trace_file, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    print(flame_summary_doc(doc))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {"trace": cmd_trace, "verify": cmd_verify,
+                "summary": cmd_summary}
+    return commands[args.command](args)
+
+
+def entry() -> None:  # pragma: no cover - thin wrapper
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

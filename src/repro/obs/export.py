@@ -1,0 +1,174 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and a terminal flame summary.
+
+The JSON document follows the Trace Event Format (the ``traceEvents`` array
+with ``B``/``E``/``X``/``I`` phases plus ``M`` metadata events) that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly.  Timestamps
+in that format are microseconds; simulated picoseconds are scaled by 1e-6 at
+export, with the exact ``ts_ps`` values preserved per-event under ``args``.
+
+Tracks map to pid/tid pairs: every machine prefix (``m0``, ``m1``, ...)
+becomes one process, and each component track (``m0.imc``,
+``m0.dram.ch0.dimm0.rank0.bank3``, ...) one named thread within it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import SpanTracer, TraceEvent
+
+PS_PER_US = 1_000_000
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    """(process, thread) for a track name: ``m0.imc`` -> (``m0``, ``imc``)."""
+    head, sep, tail = track.partition(".")
+    if sep and head.startswith("m") and head[1:].isdigit():
+        return head, tail
+    return "run", track
+
+
+def chrome_trace(tracer: SpanTracer) -> dict:
+    """The full Chrome-trace/Perfetto document for one tracer, as a dict."""
+    tracer.flush()
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[str, int] = {}
+    for event in tracer.events:
+        process, thread = _split_track(event.track)
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": process}})
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = tids[event.track] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": thread or process}})
+        args = dict(event.args) if event.args else {}
+        args["ts_ps"] = event.ts_ps
+        args["trace_id"] = event.trace_id
+        args["span_id"] = event.span_id
+        if event.parent_id:
+            args["parent_id"] = event.parent_id
+        out = {"ph": event.ph, "name": event.name, "pid": pid, "tid": tid,
+               "ts": event.ts_ps / PS_PER_US, "args": args}
+        if event.ph == "X":
+            out["dur"] = (event.dur_ps or 0) / PS_PER_US
+            args["dur_ps"] = event.dur_ps
+        if event.ph == "I":
+            out["s"] = "t"
+        events.append(out)
+    metrics = {}
+    for i, machine in enumerate(tracer.machines()):
+        registry = getattr(machine, "metrics", None)
+        if registry is not None:
+            metrics[f"m{i}"] = registry.snapshot()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "clock": "simulated_ps",
+            "dropped_events": tracer.dropped,
+            "max_ts_ps": tracer.max_ts_ps,
+        },
+        "metrics": metrics,
+    }
+
+
+def write_chrome_trace(tracer: SpanTracer, path) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+
+
+def events_from_doc(doc: dict) -> tuple[list[TraceEvent], int]:
+    """Reconstruct tracer events from an exported Chrome-trace document.
+
+    Inverse of :func:`chrome_trace` up to track naming: pid/tid pairs are
+    mapped back through the metadata events, and the exact picosecond
+    values come from the ``ts_ps``/``dur_ps`` args.
+    """
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    out: list[TraceEvent] = []
+    for event in doc.get("traceEvents", []):
+        if event["ph"] == "M":
+            if event["name"] == "process_name":
+                processes[event["pid"]] = event["args"]["name"]
+            elif event["name"] == "thread_name":
+                threads[(event["pid"], event["tid"])] = event["args"]["name"]
+            continue
+        process = processes.get(event["pid"], str(event["pid"]))
+        thread = threads.get((event["pid"], event["tid"]), str(event["tid"]))
+        track = thread if process == "run" else f"{process}.{thread}"
+        args = event.get("args", {})
+        out.append(TraceEvent(event["ph"], event["name"], track,
+                              args.get("ts_ps", 0), args.get("dur_ps"),
+                              args.get("trace_id", 0), args.get("span_id", 0),
+                              args.get("parent_id", 0), args))
+    dropped = doc.get("metadata", {}).get("dropped_events", 0)
+    return out, dropped
+
+
+def flame_summary(tracer: SpanTracer, width: int = 46) -> str:
+    """A terminal flame-style summary: per-track span totals with bars.
+
+    Aggregates total simulated time per (track, span name); B/E pairs are
+    matched via the recorded span ids.
+    """
+    tracer.flush()
+    return summarize_events(tracer.events, tracer.dropped, width)
+
+
+def flame_summary_doc(doc: dict, width: int = 46) -> str:
+    """:func:`flame_summary` over a previously-exported trace document."""
+    events, dropped = events_from_doc(doc)
+    return summarize_events(events, dropped, width)
+
+
+def summarize_events(trace_events: list[TraceEvent], dropped: int = 0,
+                     width: int = 46) -> str:
+    totals: dict[tuple[str, str], tuple[int, int]] = {}
+    open_begins: dict[int, int] = {}
+    for event in trace_events:
+        if event.ph == "B":
+            open_begins[event.span_id] = event.ts_ps
+            continue
+        if event.ph == "E":
+            start = open_begins.pop(event.span_id, None)
+            if start is None:
+                continue
+            dur = event.ts_ps - start
+        elif event.ph == "X":
+            dur = event.dur_ps or 0
+        else:
+            continue
+        key = (event.track, event.name)
+        total, count = totals.get(key, (0, 0))
+        totals[key] = (total + dur, count + 1)
+    if not totals:
+        return "(empty trace)"
+    peak = max(total for total, _ in totals.values()) or 1
+    lines = [f"{'track':<34} {'span':<18} {'total':>12} {'n':>7}"]
+    by_track: dict[str, list[tuple[str, int, int]]] = {}
+    for (track, name), (total, count) in totals.items():
+        by_track.setdefault(track, []).append((name, total, count))
+    for track in sorted(by_track):
+        rows = sorted(by_track[track], key=lambda r: -r[1])
+        for name, total, count in rows:
+            bar = "█" * max(1, round(width * total / peak))
+            lines.append(f"{track:<34} {name:<18} {_fmt_ps(total):>12} "
+                         f"{count:>7}  {bar}")
+    if dropped:
+        lines.append(f"[{dropped} events dropped at the event cap]")
+    return "\n".join(lines)
+
+
+def _fmt_ps(ps: int) -> str:
+    if ps >= PS_PER_US:
+        return f"{ps / PS_PER_US:.3f}us"
+    if ps >= 1000:
+        return f"{ps / 1000:.1f}ns"
+    return f"{ps}ps"

@@ -1,0 +1,100 @@
+"""Unified metrics registry: one namespace, one snapshot schema per run.
+
+Every :class:`~repro.sim.stats.Counter`, :class:`~repro.sim.stats.Histogram`
+and :class:`~repro.sim.stats.BusyTracker` a Machine creates registers here
+under a hierarchical dotted name (``imc.read_queue.busy_ps`` lives at
+``imc.read_queue``; ``jafar.rows_filtered`` is a gauge).  ``snapshot()``
+delegates to each instrument's own ``snapshot()`` method, so the registry
+adds no second reporting path — deleting the old per-module ad-hoc dicts
+(``StatGroup``, ``FFStats.as_dict``) was the point.
+
+The registry is *passive*: it holds references and reads them at snapshot
+time.  Registering an instrument changes nothing about how the simulation
+updates it, so a Machine built with a registry is bit-identical to one
+without.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import SimulationError
+from ..sim.stats import BusyTracker, Counter, Histogram
+
+
+class MetricsRegistry:
+    """Hierarchically-named instruments, snapshotable to one JSON document.
+
+    The ``counter``/``histogram``/``busy_tracker`` factories are idempotent:
+    asking twice for the same name returns the same instance, and
+    ``attach()`` adopts an externally-constructed instrument under its own
+    name.  Name collisions across different instruments are an error — the
+    namespace is flat and global per Machine.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._gauges: dict[str, Callable[[], object]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def _claim(self, name: str, kind: type):
+        existing = self._instruments.get(name)
+        if existing is not None and not isinstance(existing, kind):
+            raise SimulationError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        if name in self._gauges:
+            raise SimulationError(f"metric {name!r} already registered as gauge")
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        existing = self._claim(name, Counter)
+        if existing is None:
+            existing = self._instruments[name] = Counter(name)
+        return existing
+
+    def histogram(self, name: str) -> Histogram:
+        existing = self._claim(name, Histogram)
+        if existing is None:
+            existing = self._instruments[name] = Histogram(name)
+        return existing
+
+    def busy_tracker(self, name: str) -> BusyTracker:
+        existing = self._claim(name, BusyTracker)
+        if existing is None:
+            existing = self._instruments[name] = BusyTracker(name)
+        return existing
+
+    def gauge(self, name: str, fn: Callable[[], object]) -> None:
+        """Register a read-time-computed value (e.g. summed over devices)."""
+        if name in self._instruments or name in self._gauges:
+            raise SimulationError(f"metric {name!r} already registered")
+        self._gauges[name] = fn
+
+    def attach(self, instrument) -> None:
+        """Adopt an already-constructed instrument under its own ``name``."""
+        existing = self._claim(instrument.name, type(instrument))
+        if existing is not None and existing is not instrument:
+            raise SimulationError(
+                f"metric {instrument.name!r} already registered"
+            )
+        self._instruments[instrument.name] = instrument
+
+    # -- reading ---------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(list(self._instruments) + list(self._gauges))
+
+    def get(self, name: str):
+        return self._instruments[name]
+
+    def snapshot(self) -> dict:
+        """One ``{dotted.name: instrument.snapshot()}`` document, sorted."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            out[name] = self._instruments[name].snapshot()
+        for name in sorted(self._gauges):
+            out[name] = {"type": "gauge", "value": self._gauges[name]()}
+        return dict(sorted(out.items()))

@@ -1,0 +1,349 @@
+"""Cross-layer causal span tracing on the simulated-picosecond clock.
+
+One :class:`SpanTracer` records *what the simulation did and when* — in
+simulated time, never wall-clock — as a flat event list that the exporters
+(:mod:`repro.obs.export`) turn into a Chrome-trace/Perfetto JSON document or
+a terminal flame-style summary.  Hook sites live in the columnstore executor
+(query/operator spans), the JAFAR driver and device (program/run/drain
+phases), the memory controller (per-request service spans) and the DRAM
+ranks (row open/close windows per bank, refresh instants), so a single
+query's causality is visible from the operator that issued it down to the
+bank rows it touched.
+
+Causality is threaded through a synchronous span stack: :meth:`begin` pushes
+a frame, :meth:`end` pops it, and every event — including instants and
+complete (``X``) spans emitted by lower layers — inherits the *trace id* of
+the innermost open span.  The simulator is single-threaded, so the stack is
+exactly the dynamic call nesting.
+
+Zero-cost-when-off contract: tracing is opt-in (``REPRO_TRACE=1`` or the
+:func:`tracing` context manager); every hook in simulation code is guarded
+by the single attribute read ``TRACE.on`` and compiles to a no-op branch
+when disabled.  When enabled, hooks only *read* simulation state — they
+never write a timestamp, counter, or mode bit — so every simulated output
+is bit-identical with tracing on or off (``repro.obs.check`` proves it per
+run; the goldens-under-tracing tests pin it).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..errors import SimulationError
+
+ENV_VAR = "REPRO_TRACE"
+
+#: Default event-buffer capacity.  When full, further events are *dropped*
+#: (and counted) rather than raising — an overflow must not perturb or
+#: abort a run that would otherwise complete.
+MAX_EVENTS = 4_000_000
+
+
+class TraceEvent:
+    """One trace event: a span boundary, a complete span, or an instant.
+
+    ``ph`` follows the Chrome-trace phase vocabulary: ``B``/``E`` for
+    begin/end pairs, ``X`` for complete spans (``dur_ps`` set), ``I`` for
+    instants.  Timestamps are integer simulated picoseconds.
+    """
+
+    __slots__ = ("ph", "name", "track", "ts_ps", "dur_ps", "trace_id",
+                 "span_id", "parent_id", "args")
+
+    def __init__(self, ph: str, name: str, track: str, ts_ps: int,
+                 dur_ps: int | None, trace_id: int, span_id: int,
+                 parent_id: int, args: dict | None) -> None:
+        self.ph = ph
+        self.name = name
+        self.track = track
+        self.ts_ps = ts_ps
+        self.dur_ps = dur_ps
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.ph}, {self.name!r}, {self.track!r}, "
+                f"ts={self.ts_ps}, dur={self.dur_ps})")
+
+
+class _Frame:
+    """One open span on the tracer's stack."""
+
+    __slots__ = ("name", "track", "ts_ps", "trace_id", "span_id", "parent_id")
+
+    def __init__(self, name: str, track: str, ts_ps: int, trace_id: int,
+                 span_id: int, parent_id: int) -> None:
+        self.name = name
+        self.track = track
+        self.ts_ps = ts_ps
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+
+class SpanTracer:
+    """Collects spans/instants in simulated picoseconds.
+
+    The tracer also keeps the track registry (simulation object -> display
+    track) and the per-bank open-row windows, so no tracing state ever has
+    to live on the slotted simulation classes themselves.
+    """
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise SimulationError("tracer needs max_events >= 1")
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self.max_events = max_events
+        self.max_ts_ps = 0
+        self._stack: list[_Frame] = []
+        self._next_span = 1
+        self._next_trace = 1
+        self._tracks: dict[int, str] = {}
+        self._machines: list = []
+        self._root_counts: dict[str, int] = {}
+        # (id(rank), bank_index) -> (row, act_ps, track, trace_id, parent_id)
+        # for open row windows; the causal context is captured at ACT time so
+        # windows closed later (flush, a refresh after the query span ended)
+        # still carry the trace that opened them.
+        self._open_rows: dict[tuple[int, int],
+                              tuple[int, int, str, int, int]] = {}
+
+    # -- identity / registry ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def register_machine(self, machine) -> str:
+        """Assign stable track names to one Machine's components.
+
+        Returns the machine's track prefix (``m0``, ``m1``, ...).  Called
+        from ``Machine.__init__`` when tracing is on; also records the
+        machine so exporters can attach its metrics-registry snapshot.
+        """
+        prefix = f"m{len(self._machines)}"
+        self._machines.append(machine)
+        tracks = self._tracks
+        tracks[id(machine)] = f"{prefix}.query"
+        tracks[id(machine.core)] = f"{prefix}.cpu"
+        tracks[id(machine.controller)] = f"{prefix}.imc"
+        tracks[id(machine.driver)] = f"{prefix}.driver"
+        for flat, device in machine.devices.items():
+            tracks[id(device)] = f"{prefix}.jafar.dimm{flat}"
+        for channel in machine.controller.channels:
+            for dimm in channel.dimms:
+                for rank in dimm.ranks:
+                    tracks[id(rank)] = (f"{prefix}.dram.ch{channel.index}"
+                                        f".dimm{dimm.index}.rank{rank.index}")
+        return prefix
+
+    def track_of(self, obj, fallback: str) -> str:
+        """The registered track for ``obj`` (auto-named when unregistered)."""
+        track = self._tracks.get(id(obj))
+        if track is None:
+            track = f"{fallback}@{len(self._tracks)}"
+            self._tracks[id(obj)] = track
+        return track
+
+    def root_track(self, name: str) -> str:
+        """A unique track name for a root span (``name``, ``name#2``, ...).
+
+        Root spans of successive runs all start at simulated t=0, so they
+        cannot share one track without overlapping; a fresh track per root
+        keeps every track's span stream well-nested.
+        """
+        n = self._root_counts.get(name, 0) + 1
+        self._root_counts[name] = n
+        return name if n == 1 else f"{name}#{n}"
+
+    # -- event emission --------------------------------------------------------
+
+    def _emit(self, ph: str, name: str, track: str, ts_ps: int,
+              dur_ps: int | None, trace_id: int, span_id: int,
+              parent_id: int, args: dict | None) -> None:
+        if ts_ps > self.max_ts_ps:
+            self.max_ts_ps = ts_ps
+        if dur_ps is not None and ts_ps + dur_ps > self.max_ts_ps:
+            self.max_ts_ps = ts_ps + dur_ps
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(ph, name, track, ts_ps, dur_ps,
+                                      trace_id, span_id, parent_id, args))
+
+    def _context(self) -> tuple[int, int]:
+        """(trace_id, parent span id) of the innermost open span."""
+        if self._stack:
+            top = self._stack[-1]
+            return top.trace_id, top.span_id
+        return 0, 0
+
+    def begin(self, name: str, track: str, ts_ps: int, **args) -> int:
+        """Open a span at ``ts_ps``; returns its span id.
+
+        A span opened with no enclosing span starts a new causal trace; all
+        nested spans and events inherit its trace id.
+        """
+        if ts_ps < 0:
+            raise SimulationError(f"span {name!r}: negative timestamp {ts_ps}")
+        if self._stack:
+            top = self._stack[-1]
+            trace_id, parent_id = top.trace_id, top.span_id
+        else:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = 0
+        span_id = self._next_span
+        self._next_span += 1
+        self._stack.append(_Frame(name, track, ts_ps, trace_id, span_id,
+                                  parent_id))
+        self._emit("B", name, track, ts_ps, None, trace_id, span_id,
+                   parent_id, args or None)
+        return span_id
+
+    def end(self, ts_ps: int | None = None, **args) -> None:
+        """Close the innermost span.  ``ts_ps=None`` uses the latest
+        timestamp the tracer has seen (for roots spanning several
+        independent timelines)."""
+        if not self._stack:
+            raise SimulationError("tracer.end() with no open span")
+        frame = self._stack.pop()
+        if ts_ps is None:
+            ts_ps = self.max_ts_ps
+        if ts_ps < frame.ts_ps:
+            raise SimulationError(
+                f"span {frame.name!r}: end {ts_ps} before begin {frame.ts_ps}"
+            )
+        self._emit("E", frame.name, frame.track, ts_ps, None, frame.trace_id,
+                   frame.span_id, frame.parent_id, args or None)
+
+    def complete(self, name: str, track: str, ts_ps: int, dur_ps: int,
+                 **args) -> None:
+        """Record a finished span ``[ts_ps, ts_ps + dur_ps)`` in one event."""
+        if dur_ps < 0:
+            raise SimulationError(f"span {name!r}: negative duration {dur_ps}")
+        trace_id, parent_id = self._context()
+        span_id = self._next_span
+        self._next_span += 1
+        self._emit("X", name, track, ts_ps, dur_ps, trace_id, span_id,
+                   parent_id, args or None)
+
+    def instant(self, name: str, track: str, ts_ps: int, **args) -> None:
+        """Record a point-in-time event."""
+        trace_id, parent_id = self._context()
+        span_id = self._next_span
+        self._next_span += 1
+        self._emit("I", name, track, ts_ps, None, trace_id, span_id,
+                   parent_id, args or None)
+
+    # -- DRAM bank row windows -------------------------------------------------
+
+    def bank_access(self, rank, bank: int, row: int, pre_ps: int | None,
+                    act_ps: int | None) -> None:
+        """Account one exact-path rank access: PRE closes the open row
+        window, ACT opens the next.  Row hits (both fields None) are
+        covered by the window that is already open."""
+        key = (id(rank), bank)
+        if pre_ps is not None:
+            self._close_row(key, pre_ps)
+        if act_ps is not None:
+            track = f"{self.track_of(rank, 'dram.rank')}.bank{bank}"
+            trace_id, parent_id = self._context()
+            self._open_rows[key] = (row, act_ps, track, trace_id, parent_id)
+
+    def bank_precharge(self, rank, bank: int, pre_ps: int) -> None:
+        """Close the open row window (controller-issued / auto precharge)."""
+        self._close_row((id(rank), bank), pre_ps)
+
+    def rank_refresh(self, rank, ref_ps: int) -> None:
+        """One REF: closes every open row on the rank, marks an instant."""
+        rid = id(rank)
+        for key in [k for k in self._open_rows if k[0] == rid]:
+            self._close_row(key, ref_ps)
+        self.instant("REF", self.track_of(rank, "dram.rank"), ref_ps)
+
+    def _close_row(self, key: tuple[int, int], end_ps: int) -> None:
+        window = self._open_rows.pop(key, None)
+        if window is None:
+            return
+        row, act_ps, track, trace_id, parent_id = window
+        if end_ps < act_ps:
+            end_ps = act_ps
+        span_id = self._next_span
+        self._next_span += 1
+        self._emit("X", f"row {row}", track, act_ps, end_ps - act_ps,
+                   trace_id, span_id, parent_id, {"row": row})
+
+    # -- finalisation ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Close anything still open (row windows, unbalanced spans) at the
+        latest timestamp seen.  Idempotent; exporters call it first."""
+        for key in list(self._open_rows):
+            self._close_row(key, self.max_ts_ps)
+        while self._stack:
+            self.end(self.max_ts_ps, flushed=True)
+
+    def machines(self) -> list:
+        """Machines registered during this trace (for metrics export)."""
+        return list(self._machines)
+
+
+class TraceState:
+    """Process-wide tracing switch: the one flag every hook reads.
+
+    Mirrors :class:`repro.sim.fastforward.FastForwardState` — a module-level
+    singleton whose ``on`` attribute the hot paths test before touching the
+    tracer, so the disabled cost is a single attribute read and branch.
+    """
+
+    __slots__ = ("on", "tracer")
+
+    def __init__(self) -> None:
+        self.tracer: SpanTracer | None = None
+        self.on = False
+        if os.environ.get(ENV_VAR, "") not in ("", "0"):
+            self.enable()
+
+    def enable(self, max_events: int = MAX_EVENTS) -> SpanTracer:
+        """Install a fresh tracer and turn the hooks on."""
+        self.tracer = SpanTracer(max_events)
+        self.on = True
+        return self.tracer
+
+    def disable(self) -> SpanTracer | None:
+        """Turn the hooks off; returns the detached tracer (if any)."""
+        tracer = self.tracer
+        self.on = False
+        self.tracer = None
+        return tracer
+
+
+TRACE = TraceState()
+
+
+@contextmanager
+def tracing(path=None, max_events: int = MAX_EVENTS):
+    """Enable span tracing for a block; yields the :class:`SpanTracer`.
+
+    When ``path`` is given, the Chrome-trace/Perfetto JSON document is
+    written there on exit.  Re-entrant: if tracing is already on (e.g. via
+    ``REPRO_TRACE=1``), the block joins the existing tracer and leaves it
+    installed on exit.
+    """
+    owned = not TRACE.on
+    tracer = TRACE.enable(max_events) if owned else TRACE.tracer
+    try:
+        yield tracer
+    finally:
+        if owned:
+            TRACE.disable()
+        if path is not None:
+            from .export import write_chrome_trace
+
+            write_chrome_trace(tracer, path)

@@ -17,7 +17,7 @@ event callbacks; the event queue is used where genuine asynchrony matters
 
 from .clock import ClockDomain
 from .engine import Event, Simulator
-from .stats import BusyTracker, Counter, Histogram, StatGroup
+from .stats import BusyTracker, Counter, Histogram
 from .trace import (CommandRecord, CommandTrace, TraceRecord, attach_trace,
                     detach_trace, dump_commands, load_commands)
 
@@ -35,5 +35,4 @@ __all__ = [
     "detach_trace",
     "dump_commands",
     "load_commands",
-    "StatGroup",
 ]

@@ -26,8 +26,8 @@ Snapshot slots follow strict extrapolation rules (:func:`apply_delta`):
 * ``int`` slots advance additively (timestamps, counters, cursors);
 * ``float`` slots advance additively only while every value on the
   sequential path is an exactly-representable integer (< 2**53) — the only
-  floats in hot-path state are integer-valued histogram moments — otherwise
-  the skip is refused and execution stays exact;
+  float left in hot-path state is the CPU stream phase's write backlog —
+  otherwise the skip is refused and execution stays exact;
 * ``bool``/``str``/``None`` slots must be equal across periods (mode bits,
   bucket keys, open-interval markers).
 
@@ -132,14 +132,21 @@ class FFStats:
         self.lane_requests = 0     # requests served by the controller lane
         self.refused = 0           # confirmed periods not skipped (bounds)
 
-    def as_dict(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
+        """MetricsRegistry-schema view (one ``snapshot()`` shape everywhere)."""
         return {
+            "type": "ff_stats",
             "skipped_events": self.skipped_events,
             "skipped_periods": self.skipped_periods,
             "skips": self.skips,
             "lane_requests": self.lane_requests,
             "refused": self.refused,
         }
+
+    def register_into(self, registry) -> None:
+        """Expose each counter as an ``ff.*`` gauge on an obs registry."""
+        for slot in self.__slots__:
+            registry.gauge(f"ff.{slot}", lambda s=slot: getattr(self, s))
 
 
 STATS = FFStats()

@@ -5,12 +5,16 @@ role of the Xeon's integrated-memory-controller occupancy counters.  It
 accumulates the number of picoseconds a resource (the read queue, the write
 queue) was non-empty, and also records the *actual* idle-gap distribution so
 the paper's lower-bound estimate can be compared against ground truth.
+
+All samples in this package are integer picosecond (or count) values, so the
+histogram accumulates exact integer sums; ``mean``/``stddev`` are derived at
+read time.  Each primitive exposes a ``snapshot()`` dict — the one reporting
+schema used by :class:`repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 
@@ -30,35 +34,46 @@ class Counter:
     def reset(self) -> None:
         self.value = 0
 
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {self.value})"
 
 
 class Histogram:
-    """A streaming histogram with exact moments and bucketed counts.
+    """A streaming histogram with exact integer moments and bucketed counts.
 
     Buckets are power-of-two sized by default, which matches how hardware
-    profilers bucket latency/occupancy samples.
+    profilers bucket latency/occupancy samples.  Samples must be
+    non-negative integers (everything recorded in this package is a
+    picosecond delta or a count), which keeps ``total``/``total_sq`` exact
+    at any count — no float accumulation drift.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
-        self.total = 0.0
-        self.total_sq = 0.0
-        self.min: float | None = None
-        self.max: float | None = None
+        self.total = 0
+        self.total_sq = 0
+        self.min: int | None = None
+        self.max: int | None = None
         self.buckets: dict[int, int] = {}
 
-    def record(self, value: float) -> None:
+    def record(self, value: int) -> None:
         if value < 0:
             raise SimulationError(f"histogram {self.name!r}: negative sample {value}")
+        if value != int(value):
+            raise SimulationError(
+                f"histogram {self.name!r}: non-integer sample {value!r}"
+            )
+        value = int(value)
         self.count += 1
         self.total += value
         self.total_sq += value * value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        bucket = 0 if value < 1 else int(value).bit_length()
+        bucket = 0 if value < 1 else value.bit_length()
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
     def ff_snapshot(self) -> tuple:
@@ -97,6 +112,18 @@ class Histogram:
             return 0.0
         var = self.total_sq / self.count - self.mean**2
         return math.sqrt(max(var, 0.0))
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
 
     def reset(self) -> None:
         self.__init__(self.name)
@@ -202,37 +229,11 @@ class BusyTracker:
             open_ps = self._cur_end - self._cur_start
         return min(1.0, (self.busy_ps + open_ps) / total_ps)
 
-
-@dataclass
-class StatGroup:
-    """A named bag of counters/histograms with a flat reporting view."""
-
-    name: str
-    counters: dict[str, Counter] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
-
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(f"{self.name}.{name}")
-        return self.counters[name]
-
-    def histogram(self, name: str) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(f"{self.name}.{name}")
-        return self.histograms[name]
-
-    def snapshot(self) -> dict[str, float]:
-        """Flat ``{name: value}`` view of all counters and histogram means."""
-        out: dict[str, float] = {}
-        for key, counter in self.counters.items():
-            out[key] = counter.value
-        for key, histogram in self.histograms.items():
-            out[f"{key}.mean"] = histogram.mean
-            out[f"{key}.count"] = histogram.count
-        return out
-
-    def reset(self) -> None:
-        for counter in self.counters.values():
-            counter.reset()
-        for histogram in self.histograms.values():
-            histogram.reset()
+    def snapshot(self) -> dict:
+        return {
+            "type": "busy_tracker",
+            "busy_ps": self.busy_ps,
+            "intervals": self.intervals,
+            "span_ps": self.span_ps(),
+            "idle_gaps": self._gaps.snapshot(),
+        }

@@ -23,6 +23,8 @@ from ..dram import DRAMGeometry, MemoryController, speed_grade
 from ..errors import ConfigError
 from ..jafar import JafarDevice, JafarDriver, RankOwnership
 from ..mem import FrameAllocator, Mapping, PhysicalMemory, Placement, VirtualMemory
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACE
 from ..units import MIB, is_power_of_two
 
 
@@ -56,9 +58,11 @@ class Machine:
         self.config = config
         self.timings = speed_grade(config.dram_grade)
         self.geometry = _populated_geometry(config)
+        self.metrics = MetricsRegistry()
         self.controller = MemoryController(
             self.timings, self.geometry, policy=policy,
-            refresh_enabled=config.refresh_enabled)
+            refresh_enabled=config.refresh_enabled,
+            metrics=self.metrics)
         self.memory = PhysicalMemory(self.geometry.total_bytes)
         self.allocator = FrameAllocator(self.geometry, config.page_bytes,
                                         populated_per_dimm=self.geometry.dimm_bytes)
@@ -81,6 +85,23 @@ class Machine:
                 flat += 1
         self.driver = JafarDriver(self.vm, self.devices, self.core,
                                   self.ownership)
+        self._register_gauges()
+        if TRACE.on:
+            TRACE.tracer.register_machine(self)
+
+    def _register_gauges(self) -> None:
+        """Expose JAFAR device stats as summed ``jafar.*`` gauges."""
+        devices = self.devices
+
+        def summed(attr):
+            return lambda: sum(getattr(d.stats, attr) for d in devices.values())
+
+        for attr in ("invocations", "words_processed", "bursts_read",
+                     "writeback_bursts", "busy_ps",
+                     "row_boundaries_crossed"):
+            self.metrics.gauge(f"jafar.{attr}", summed(attr))
+        # The issue-facing alias: rows the filter engines pushed through.
+        self.metrics.gauge("jafar.rows_filtered", summed("words_processed"))
 
     # -- data placement helpers ---------------------------------------------------
 

@@ -74,11 +74,11 @@ class TestCleanRepo:
         assert report.ok
         assert report.files_scanned > 90
 
-    def test_all_eight_passes_registered(self):
+    def test_all_nine_passes_registered(self):
         names = {p.name for p in all_passes()}
         assert names == {"wall-clock", "unseeded-random", "float-ps",
                          "set-iteration", "dimflow", "magic-latency",
-                         "jedec", "ddr3-literal"}
+                         "jedec", "ddr3-literal", "direct-instrument"}
 
 
 class TestCLI:

@@ -1,0 +1,23 @@
+"""Shared guard: no test may leak an installed tracer to its neighbours.
+
+When the whole suite runs with ``REPRO_TRACE=1`` the process-wide tracer is
+legitimately on at entry; these tests manage their own tracers, so the
+fixture detaches it either way and the leak assert only applies when the
+environment did not enable tracing itself.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.tracer import ENV_VAR, TRACE
+
+
+@pytest.fixture(autouse=True)
+def _trace_off_around_each_test():
+    env_traced = os.environ.get(ENV_VAR, "") not in ("", "0")
+    if not env_traced:
+        assert not TRACE.on, "tracer leaked into this test"
+    TRACE.disable()
+    yield
+    TRACE.disable()

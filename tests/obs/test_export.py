@@ -1,0 +1,109 @@
+"""Chrome-trace/Perfetto document schema and the terminal flame summary."""
+
+import json
+
+from repro.obs.export import (chrome_trace, events_from_doc, flame_summary,
+                              flame_summary_doc, summarize_events,
+                              write_chrome_trace)
+from repro.obs.tracer import SpanTracer
+
+VALID_PHASES = {"M", "B", "E", "X", "I"}
+
+
+def _sample_tracer() -> SpanTracer:
+    tracer = SpanTracer()
+    tracer.begin("query", "m0.query", 0, plan="Select")
+    tracer.complete("rd", "m0.imc", 1_000_000, 500_000, hits=3)
+    tracer.instant("REF", "m0.dram.ch0.dimm0.rank0", 1_500_000)
+    tracer.complete("row 4", "m0.dram.ch0.dimm0.rank0.bank2", 0, 2_000_000)
+    tracer.end(3_000_000)
+    tracer.complete("host", "sweep", 0, 10)
+    return tracer
+
+
+class TestChromeTraceSchema:
+    def test_document_shape_and_metadata(self):
+        doc = chrome_trace(_sample_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata",
+                            "metrics"}
+        assert doc["metadata"]["clock"] == "simulated_ps"
+        assert doc["metadata"]["dropped_events"] == 0
+        assert doc["metadata"]["max_ts_ps"] == 3_000_000
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_every_event_is_well_formed(self):
+        doc = chrome_trace(_sample_tracer())
+        for event in doc["traceEvents"]:
+            assert event["ph"] in VALID_PHASES
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "M":
+                assert event["name"] in ("process_name", "thread_name")
+                assert "name" in event["args"]
+            else:
+                assert event["args"]["ts_ps"] == round(
+                    event["ts"] * 1_000_000)
+            if event["ph"] == "X":
+                assert round(event["dur"] * 1_000_000) == event["args"]["dur_ps"]
+            if event["ph"] == "I":
+                assert event["s"] == "t"
+
+    def test_tracks_map_to_named_processes_and_threads(self):
+        doc = chrome_trace(_sample_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        processes = {e["args"]["name"] for e in meta
+                     if e["name"] == "process_name"}
+        threads = {e["args"]["name"] for e in meta
+                   if e["name"] == "thread_name"}
+        assert processes == {"m0", "run"}  # machine prefix + root track
+        assert {"query", "imc", "dram.ch0.dimm0.rank0.bank2",
+                "sweep"} <= threads
+
+    def test_causal_ids_preserved_in_args(self):
+        doc = chrome_trace(_sample_tracer())
+        payload = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert all("trace_id" in e["args"] and "span_id" in e["args"]
+                   for e in payload)
+        nested = next(e for e in payload if e["name"] == "rd")
+        root = next(e for e in payload if e["name"] == "query")
+        assert nested["args"]["parent_id"] == root["args"]["span_id"]
+
+    def test_roundtrip_through_events_from_doc(self):
+        tracer = _sample_tracer()
+        doc = chrome_trace(tracer)
+        events, dropped = events_from_doc(doc)
+        assert dropped == 0
+        assert len(events) == len(tracer.events)
+        for original, restored in zip(tracer.events, events):
+            assert restored.ph == original.ph
+            assert restored.name == original.name
+            assert restored.track == original.track
+            assert restored.ts_ps == original.ts_ps
+            assert restored.trace_id == original.trace_id
+
+    def test_write_chrome_trace_is_loadable(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(_sample_tracer(), path)
+        doc = json.loads(path.read_text())
+        assert doc["metadata"]["clock"] == "simulated_ps"
+
+
+class TestFlameSummary:
+    def test_summary_aggregates_per_track(self):
+        text = flame_summary(_sample_tracer())
+        assert "m0.query" in text
+        assert "query" in text and "rd" in text
+        assert "█" in text
+
+    def test_summary_of_doc_matches_summary_of_tracer(self):
+        tracer = _sample_tracer()
+        assert flame_summary_doc(chrome_trace(tracer)) == flame_summary(tracer)
+
+    def test_empty_trace(self):
+        assert summarize_events([]) == "(empty trace)"
+
+    def test_dropped_note_appended(self):
+        tracer = SpanTracer(max_events=1)
+        tracer.complete("a", "t", 0, 1)
+        tracer.complete("b", "t", 0, 1)
+        assert "1 events dropped" in flame_summary(tracer)

@@ -1,0 +1,227 @@
+"""Span tracer unit tests: nesting/ordering invariants, causal IDs, the
+event cap, DRAM row windows, and the process-wide switch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.tracer import MAX_EVENTS, TRACE, SpanTracer, TraceState, tracing
+
+
+class TestSpanNesting:
+    def test_begin_end_pair_shares_ids(self):
+        tracer = SpanTracer()
+        span_id = tracer.begin("outer", "t", 100)
+        tracer.end(250)
+        begin, end = tracer.events
+        assert (begin.ph, end.ph) == ("B", "E")
+        assert begin.span_id == end.span_id == span_id
+        assert begin.trace_id == end.trace_id != 0
+        assert begin.ts_ps == 100 and end.ts_ps == 250
+        assert tracer.depth == 0
+
+    def test_nested_spans_inherit_trace_id_and_parent(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("outer", "t", 0)
+        inner = tracer.begin("inner", "t", 10)
+        tracer.end(20)
+        tracer.end(30)
+        events = {(e.ph, e.name): e for e in tracer.events}
+        assert events[("B", "inner")].parent_id == outer
+        assert events[("B", "inner")].trace_id == events[("B", "outer")].trace_id
+        assert events[("B", "outer")].parent_id == 0
+        assert inner != outer
+
+    def test_depth_zero_begins_start_fresh_traces(self):
+        tracer = SpanTracer()
+        tracer.begin("first", "t", 0)
+        tracer.end(1)
+        tracer.begin("second", "t", 0)
+        tracer.end(1)
+        trace_ids = {e.trace_id for e in tracer.events if e.ph == "B"}
+        assert len(trace_ids) == 2
+
+    def test_complete_and_instant_inherit_innermost_context(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("outer", "t", 0)
+        tracer.complete("work", "u", 5, 10, detail=1)
+        tracer.instant("mark", "u", 7)
+        tracer.end(20)
+        x = next(e for e in tracer.events if e.ph == "X")
+        i = next(e for e in tracer.events if e.ph == "I")
+        assert x.parent_id == outer and i.parent_id == outer
+        assert x.trace_id == i.trace_id != 0
+        assert x.dur_ps == 10
+
+    def test_end_uses_latest_timestamp_when_none(self):
+        tracer = SpanTracer()
+        tracer.begin("root", "t", 0)
+        tracer.complete("late", "u", 100, 50)
+        tracer.end(None)
+        end = tracer.events[-1]
+        assert end.ph == "E" and end.ts_ps == 150
+
+    def test_negative_begin_timestamp_raises(self):
+        with pytest.raises(SimulationError):
+            SpanTracer().begin("x", "t", -1)
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(SimulationError):
+            SpanTracer().end(0)
+
+    def test_end_before_begin_raises(self):
+        tracer = SpanTracer()
+        tracer.begin("x", "t", 100)
+        with pytest.raises(SimulationError):
+            tracer.end(99)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(SimulationError):
+            SpanTracer().complete("x", "t", 0, -1)
+
+
+class TestEventCap:
+    def test_overflow_drops_and_counts_instead_of_raising(self):
+        tracer = SpanTracer(max_events=2)
+        tracer.complete("a", "t", 0, 1)
+        tracer.complete("b", "t", 1, 1)
+        tracer.complete("c", "t", 2, 1)
+        tracer.instant("d", "t", 3)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 2
+
+    def test_dropped_events_still_advance_max_ts(self):
+        tracer = SpanTracer(max_events=1)
+        tracer.complete("a", "t", 0, 1)
+        tracer.complete("b", "t", 100, 50)
+        assert tracer.max_ts_ps == 150
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            SpanTracer(max_events=0)
+
+
+class TestTracks:
+    def test_track_of_is_stable_per_object(self):
+        tracer = SpanTracer()
+        obj = object()
+        assert tracer.track_of(obj, "imc") == tracer.track_of(obj, "other")
+
+    def test_root_track_names_never_collide(self):
+        tracer = SpanTracer()
+        first = tracer.root_track("fig3")
+        second = tracer.root_track("fig3")
+        assert first == "fig3"
+        assert second == "fig3#2"
+
+
+class TestRowWindows:
+    def test_act_then_precharge_emits_row_span(self):
+        tracer = SpanTracer()
+        rank = object()
+        tracer.bank_access(rank, 3, row=7, pre_ps=None, act_ps=1000)
+        tracer.bank_precharge(rank, 3, 2500)
+        (event,) = tracer.events
+        assert event.ph == "X" and event.name == "row 7"
+        assert event.ts_ps == 1000 and event.dur_ps == 1500
+        assert event.track.endswith(".bank3")
+
+    def test_pre_closes_previous_window_before_act_opens_next(self):
+        tracer = SpanTracer()
+        rank = object()
+        tracer.bank_access(rank, 0, row=1, pre_ps=None, act_ps=0)
+        tracer.bank_access(rank, 0, row=2, pre_ps=500, act_ps=600)
+        tracer.flush()
+        rows = [e.name for e in tracer.events if e.ph == "X"]
+        assert rows == ["row 1", "row 2"]
+        first = tracer.events[0]
+        assert first.ts_ps == 0 and first.dur_ps == 500
+
+    def test_refresh_closes_all_rank_windows_and_marks_instant(self):
+        tracer = SpanTracer()
+        rank, other = object(), object()
+        tracer.bank_access(rank, 0, row=1, pre_ps=None, act_ps=0)
+        tracer.bank_access(rank, 1, row=2, pre_ps=None, act_ps=0)
+        tracer.bank_access(other, 0, row=3, pre_ps=None, act_ps=0)
+        tracer.rank_refresh(rank, 1000)
+        closed = {e.name for e in tracer.events if e.ph == "X"}
+        assert closed == {"row 1", "row 2"}
+        assert any(e.ph == "I" and e.name == "REF" for e in tracer.events)
+        # The other rank's window is untouched until flush.
+        tracer.flush()
+        assert "row 3" in {e.name for e in tracer.events if e.ph == "X"}
+
+    def test_close_captures_context_at_open_time(self):
+        tracer = SpanTracer()
+        rank = object()
+        root = tracer.begin("query", "t", 0)
+        tracer.bank_access(rank, 0, row=9, pre_ps=None, act_ps=10)
+        tracer.end(100)
+        tracer.flush()  # window closed after the query span already ended
+        row = next(e for e in tracer.events if e.ph == "X")
+        assert row.parent_id == root
+        assert row.trace_id == tracer.events[0].trace_id
+
+    def test_close_clamps_end_before_act(self):
+        tracer = SpanTracer()
+        rank = object()
+        tracer.bank_access(rank, 0, row=1, pre_ps=None, act_ps=1000)
+        tracer.bank_precharge(rank, 0, 500)
+        (event,) = tracer.events
+        assert event.dur_ps == 0
+
+
+class TestFlush:
+    def test_flush_ends_unbalanced_spans_and_is_idempotent(self):
+        tracer = SpanTracer()
+        tracer.begin("left-open", "t", 0)
+        tracer.complete("work", "u", 10, 40)
+        tracer.flush()
+        tracer.flush()
+        ends = [e for e in tracer.events if e.ph == "E"]
+        assert len(ends) == 1
+        assert ends[0].ts_ps == 50
+        assert ends[0].args == {"flushed": True}
+        assert tracer.depth == 0
+
+
+class TestTraceState:
+    def test_default_off_and_enable_disable_roundtrip(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        state = TraceState()
+        assert not state.on and state.tracer is None
+        tracer = state.enable()
+        assert state.on and state.tracer is tracer
+        assert state.disable() is tracer
+        assert not state.on and state.tracer is None
+
+    def test_env_var_enables_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        state = TraceState()
+        assert state.on and state.tracer is not None
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not TraceState().on
+
+    def test_tracing_context_installs_and_removes(self):
+        assert not TRACE.on
+        with tracing() as tracer:
+            assert TRACE.on and TRACE.tracer is tracer
+        assert not TRACE.on and TRACE.tracer is None
+
+    def test_tracing_is_reentrant_joining_existing_tracer(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert inner is outer
+            assert TRACE.on and TRACE.tracer is outer
+        assert not TRACE.on
+
+    def test_tracing_writes_trace_file_on_exit(self, tmp_path):
+        import json
+
+        out = tmp_path / "t.trace.json"
+        with tracing(str(out)) as tracer:
+            tracer.complete("x", "t", 0, 5)
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_default_cap_is_generous(self):
+        assert SpanTracer().max_events == MAX_EVENTS

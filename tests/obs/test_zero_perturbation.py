@@ -1,0 +1,67 @@
+"""The zero-perturbation invariant: tracing never moves a simulated value.
+
+Two independent proofs:
+
+* ``repro.obs.check.verify_point`` runs one benchmark point untraced and
+  traced and deep-diffs the simulated payloads — in fast-forward and exact
+  modes alike the diff must be empty;
+* the golden cases themselves, re-evaluated inside ``tracing()``, must still
+  equal ``golden_values.json`` bit for bit.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.configs import SweepConfig
+from repro.obs.check import deep_diff, verify_point
+from repro.obs.tracer import TRACE, tracing
+from repro.sim import fastforward as ffm
+
+from ..golden.cases import CASES
+from ..golden.regen import GOLDEN_PATH
+
+
+class TestDeepDiff:
+    def test_equal_values_yield_no_diff(self):
+        assert deep_diff({"a": [1, {"b": 2}]}, {"a": [1, {"b": 2}]}) == []
+
+    def test_differences_are_located_by_path(self):
+        diffs = deep_diff({"a": [1, 2]}, {"a": [1, 3]})
+        assert len(diffs) == 1
+        assert "$.a[1]" in diffs[0]
+
+    def test_type_and_shape_mismatches_reported(self):
+        assert deep_diff({"a": 1}, {"a": "1"})
+        assert deep_diff([1], [1, 2])
+        assert deep_diff({"a": 1}, {"b": 1})
+
+
+@pytest.mark.parametrize("exact", [False, True], ids=["fast-forward", "exact"])
+def test_traced_point_bit_identical_to_untraced(exact):
+    config = SweepConfig("fig3_point", rows=1 << 13, selectivity=0.5)
+    diffs, tracer = verify_point(config, exact=exact)
+    assert diffs == [], "\n".join(diffs)
+    assert tracer.events, "the traced run must actually have recorded spans"
+    assert not TRACE.on, "verify_point must uninstall its tracer"
+
+
+class TestGoldensUnderTracing:
+    """The strongest pin: the exact golden numbers, traced."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    def test_fig3_small_unchanged_fast_forwarded(self, golden):
+        with tracing() as tracer:
+            assert CASES["fig3_small"]() == golden["fig3_small"]
+        if ffm.FF.on:  # forced off under REPRO_EXACT / simsan
+            assert any(e.args and e.args.get("ff") for e in tracer.events), (
+                "the fast-forwarded golden run should contain ff=True spans")
+
+    def test_fig3_predicated_unchanged_exact(self, golden):
+        with tracing() as tracer:
+            with ffm.exact_mode():
+                assert CASES["fig3_predicated"]() == golden["fig3_predicated"]
+        assert tracer.events

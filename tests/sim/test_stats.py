@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.stats import BusyTracker, Counter, Histogram, StatGroup
+from repro.sim.stats import BusyTracker, Counter, Histogram
 
 
 class TestCounter:
@@ -27,21 +27,40 @@ class TestCounter:
 class TestHistogram:
     def test_moments(self):
         hist = Histogram("lat")
-        for value in (1.0, 2.0, 3.0):
+        for value in (1, 2, 3):
             hist.record(value)
         assert hist.count == 3
         assert hist.mean == pytest.approx(2.0)
-        assert hist.min == 1.0
-        assert hist.max == 3.0
+        assert hist.min == 1
+        assert hist.max == 3
         assert hist.stddev == pytest.approx(0.8165, abs=1e-3)
 
     def test_power_of_two_buckets(self):
         hist = Histogram("lat")
-        hist.record(0.5)   # bucket 0
+        hist.record(0)     # bucket 0
         hist.record(1)     # bucket 1
         hist.record(3)     # bucket 2
         hist.record(1000)  # bucket 10
         assert hist.buckets == {0: 1, 1: 1, 2: 1, 10: 1}
+
+    def test_sums_stay_integral(self):
+        hist = Histogram("lat")
+        # Large picosecond-scale samples whose float accumulation would
+        # round: the integer sums must stay exact.
+        big = (1 << 53) + 1
+        hist.record(big)
+        hist.record(1)
+        assert hist.total == big + 1
+        assert isinstance(hist.total, int)
+        assert isinstance(hist.total_sq, int)
+        assert hist.mean == pytest.approx((big + 1) / 2)
+
+    def test_accepts_integral_floats_only(self):
+        hist = Histogram("lat")
+        hist.record(2.0)  # integral float is coerced
+        assert hist.buckets == {2: 1}
+        with pytest.raises(SimulationError):
+            hist.record(0.5)
 
     def test_rejects_negative_samples(self):
         with pytest.raises(SimulationError):
@@ -49,6 +68,15 @@ class TestHistogram:
 
     def test_empty_mean_is_zero(self):
         assert Histogram("x").mean == 0.0
+
+    def test_snapshot_schema(self):
+        hist = Histogram("lat")
+        hist.record(4)
+        snap = hist.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["total"] == 4
+        assert snap["buckets"] == {"3": 1}
 
 
 class TestBusyTracker:
@@ -106,21 +134,12 @@ class TestBusyTracker:
         with pytest.raises(SimulationError):
             BusyTracker("rq").utilisation(0)
 
-
-class TestStatGroup:
-    def test_lazily_creates_and_snapshots(self):
-        group = StatGroup("mc")
-        group.counter("reads").add(3)
-        group.histogram("lat").record(10)
-        snap = group.snapshot()
-        assert snap["reads"] == 3
-        assert snap["lat.mean"] == 10
-        assert snap["lat.count"] == 1
-
-    def test_reset_clears_everything(self):
-        group = StatGroup("mc")
-        group.counter("reads").add(3)
-        group.histogram("lat").record(10)
-        group.reset()
-        assert group.counter("reads").value == 0
-        assert group.histogram("lat").count == 0
+    def test_snapshot_schema(self):
+        tracker = BusyTracker("rq")
+        tracker.mark_busy(0, 100)
+        tracker.finish()
+        snap = tracker.snapshot()
+        assert snap["type"] == "busy_tracker"
+        assert snap["busy_ps"] == 100
+        assert snap["intervals"] == 1
+        assert snap["idle_gaps"]["type"] == "histogram"
