@@ -13,13 +13,23 @@ Three pass families guard the contracts the reported numbers rest on:
   every speed grade and platform, plus an incremental command-stream
   validator (:class:`~repro.analyze.protocol.CommandChecker`) used both
   for post-hoc trace replay and as the live engine of the runtime JEDEC
-  sanitizer.
+  sanitizer;
+* event ordering (RaceSan, :mod:`repro.analyze.races`) — per-handler
+  read/write effect inference over the corpus call graph, flagging
+  same-timestamp schedule sites with no declared priority edge and
+  overlapping write sets (``race-static``).
 
 The static passes run as ``python -m repro.analyze [paths] [--format
 json|text]``; exits non-zero on any finding, which is how CI gates on it.
-The dynamic side lives in :mod:`repro.analyze.simsan`: opt-in runtime
-sanitizers (``REPRO_SIMSAN=1`` or ``pytest --simsan``) that hook the
-simulator, DRAM FSMs, JAFAR device, and cache hierarchy.
+``python -m repro.analyze races`` runs the schedule-confluence harness
+(:mod:`repro.analyze.confluence`): golden points and a DES storm re-run
+under seeded tie-break permutations must stay bit-identical.  The dynamic
+side lives in :mod:`repro.analyze.simsan`: opt-in runtime sanitizers
+(``REPRO_SIMSAN=1`` or ``pytest --simsan``) that hook the simulator, DRAM
+FSMs, JAFAR device, and cache hierarchy — including the dynamic race
+detector (:mod:`repro.analyze.simsan.races`), which shadows event execution
+and aborts on same-timestamp conflicting accesses ordered only by the heap
+tie-break.
 """
 
 from .core import (

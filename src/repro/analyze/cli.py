@@ -4,6 +4,9 @@ Exit codes: 0 = clean, 1 = findings (or replay violations), 2 = usage /
 internal error.  ``--format json`` emits a machine-readable report for
 tooling; the default text format prints one finding per line in the
 ``path:line:col: [rule] message`` shape editors understand.
+
+``python -m repro.analyze races`` dispatches to the schedule-confluence
+harness (:mod:`repro.analyze.confluence`) instead of scanning source.
 """
 
 from __future__ import annotations
@@ -38,6 +41,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--grade", default="DDR3-2133N",
                         help="speed grade to validate --replay against "
                              "(default: DDR3-2133N)")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-pass wall time after the summary "
+                             "(text format; JSON always carries "
+                             "pass_timings_ms)")
     return parser
 
 
@@ -52,6 +59,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "races":
+        from .confluence import main as races_main
+
+        return races_main(argv[1:])
+
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -83,6 +97,9 @@ def _main(argv: list[str] | None = None) -> int:
                if report.parse_errors else ""))
         print(f"repro.analyze: {report.files_scanned} file(s), "
               f"{len(report.passes_run)} pass(es): {status}")
+        if args.timings:
+            for name, ms in sorted(report.pass_timings_ms.items()):
+                print(f"  {name:<20} {ms:8.1f} ms")
     return 0 if report.ok else 1
 
 

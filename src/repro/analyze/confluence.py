@@ -1,0 +1,281 @@
+"""Schedule-confluence harness: ``python -m repro.analyze races``.
+
+"The simulator is deterministic" is cheap to claim and easy to break: any
+observable that depends on same-timestamp FIFO order is one refactor away
+from a silent golden drift.  This harness turns the claim into an enforced
+invariant — **schedule confluence**: the simulated output must be
+bit-identical under every seeded permutation of the heap tie-break
+(:mod:`repro.sim.perturb` shuffles exactly the orderings no priority edge
+declares; declared edges are preserved by construction).
+
+Two scenario families run under every seed, in fast-forward and exact mode:
+
+* **Golden Figure-3 points** — ``measure_point`` at the smoke selectivities
+  (0.0 / 0.5 / 1.0).  Their payloads (integer picosecond latencies, match
+  counts, speedups) are compared field-for-field against the unperturbed
+  baseline; any drift is an ordering dependence in the measured pipeline.
+* **A discrete-event storm** — same-timestamp commutative work at one
+  priority, an ordered reduction behind a declared priority edge, and a
+  DRAM bank probe per tick.  The storm's *payload* must be seed-invariant
+  while its observed *firing order* must actually vary across seeds —
+  proving the permuter engaged rather than vacuously passing.  The storm
+  runs under the dynamic race sanitizer
+  (:mod:`repro.analyze.simsan.races`), whose per-event access log becomes
+  the failure artifact CI uploads.
+
+Exit codes follow the analyze CLI: 0 confluent, 1 divergence (or a race
+flagged by the sanitizer), 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Callable
+
+from ..sim import fastforward as _ffm
+from ..sim.engine import Simulator
+from ..sim.perturb import PERTURB, perturbed
+
+DEFAULT_SEEDS = 5
+DEFAULT_ROWS = 8192
+SELECTIVITIES = (0.0, 0.5, 1.0)
+MODES = ("fast-forward", "exact")
+
+#: Storm shape: ticks (ps), commutative events per tick, and the tick gap —
+#: wide enough apart that the bank probe is trivially protocol-legal.
+STORM_TICKS = 3
+STORM_EVENTS_PER_TICK = 8
+STORM_TICK_GAP = 1_000_000
+
+
+def fig3_payload(rows: int, selectivity: float) -> dict[str, Any]:
+    """One golden Figure-3 point's simulated (deterministic) outputs."""
+    from ..analysis.speedup import measure_point
+
+    point = measure_point(selectivity, rows)
+    return {
+        "cpu_ps": point.cpu_ps,
+        "jafar_ps": point.jafar_ps,
+        "matches": point.matches,
+        "achieved_selectivity": point.achieved_selectivity,
+        "speedup": point.speedup,
+    }
+
+
+def storm_payload() -> tuple[dict[str, Any], tuple[int, ...]]:
+    """Run the DES event storm; return (payload, observed firing order).
+
+    The payload is order-invariant by design: the per-tick commutative sum
+    at priority 0, a fold over it behind a priority edge (priority 1), and
+    the bank probe's burst timings at priority 2.  The firing order of the
+    priority-0 group is returned separately — it is *expected* to differ
+    across perturbation seeds.
+    """
+    from ..dram.bank import Bank
+    from ..dram.timing import speed_grade
+
+    sim = Simulator()
+    bank = Bank(speed_grade("DDR3-1600K"))
+    total = 0
+    checksum = 0
+    bursts: list[int] = []
+    order: list[int] = []
+
+    def bump(k: int) -> None:
+        nonlocal total
+        total += k
+        order.append(k)
+
+    def fold() -> None:
+        nonlocal checksum
+        checksum = checksum * 31 + total
+
+    def probe(tick: int) -> None:
+        burst = bank.access(0, tick, False)
+        bursts.append(burst.data_end_ps)
+
+    for index in range(STORM_TICKS):
+        tick = (index + 1) * STORM_TICK_GAP
+        for k in range(STORM_EVENTS_PER_TICK):
+            sim.schedule_at(tick, lambda k=k: bump(k))
+        sim.schedule_at(tick, fold, priority=1)
+        sim.schedule_at(tick, lambda tick=tick: probe(tick), priority=2)
+    sim.run()
+    payload = {"total": total, "checksum": checksum, "bursts": bursts}
+    return payload, tuple(order)
+
+
+def check_confluence(run: Callable[[], Any], seeds: list[int],
+                     label: str) -> dict[str, Any]:
+    """Run ``run`` unperturbed, then under every seed; compare payloads.
+
+    Returns ``{"name", "confluent", "divergent_seeds"}``.  ``run`` must
+    return a JSON-comparable payload free of host-timing fields.
+    """
+    baseline = run()
+    divergent = [seed for seed in seeds
+                 if not _payloads_equal(baseline, _run_seeded(run, seed))]
+    return {"name": label, "confluent": not divergent,
+            "divergent_seeds": divergent}
+
+
+def _run_seeded(run: Callable[[], Any], seed: int) -> Any:
+    with perturbed(seed):
+        return run()
+
+
+def _payloads_equal(a: Any, b: Any) -> bool:
+    # Bit-identical means bit-identical: exact equality on the JSON view,
+    # so 2.0 vs 2.0000000001 is a divergence, not noise.
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def _mode_context(mode: str):
+    if mode == "exact":
+        return _ffm.exact_mode()
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def run_confluence(seeds: list[int], rows: int = DEFAULT_ROWS,
+                   modes: tuple[str, ...] = MODES,
+                   shadow_storm: bool = True) -> dict[str, Any]:
+    """The full harness: fig3 points × modes × seeds, plus the storm."""
+    report: dict[str, Any] = {
+        "seeds": list(seeds),
+        "rows": rows,
+        "modes": {},
+        "storm": None,
+        "permutations_applied": 0,
+        "ok": True,
+    }
+    before = PERTURB.permutations_applied
+    for mode in modes:
+        checks = []
+        with _mode_context(mode):
+            for selectivity in SELECTIVITIES:
+                checks.append(check_confluence(
+                    lambda s=selectivity: fig3_payload(rows, s), seeds,
+                    f"fig3_point-r{rows}-s{selectivity:g}"))
+        mode_ok = all(c["confluent"] for c in checks)
+        report["modes"][mode] = {"ok": mode_ok, "points": checks}
+        report["ok"] = report["ok"] and mode_ok
+
+    report["storm"] = _run_storm(seeds, shadow=shadow_storm)
+    report["ok"] = report["ok"] and report["storm"]["ok"]
+    report["permutations_applied"] = PERTURB.permutations_applied - before
+    return report
+
+
+def _run_storm(seeds: list[int], shadow: bool) -> dict[str, Any]:
+    """Storm confluence + permuter-engagement proof (+ access log)."""
+    from .simsan.races import RaceSanitizer, drain_access_log
+
+    sanitizer = RaceSanitizer() if shadow else None
+    if sanitizer is not None:
+        sanitizer.install()
+    try:
+        divergent: list[int] = []
+        orders_differed = False
+        race: str | None = None
+        try:
+            baseline_payload, baseline_order = storm_payload()
+        except Exception as exc:  # SanitizerError on the unperturbed run
+            log = drain_access_log() if sanitizer is not None else []
+            return {
+                "ok": False, "confluent": False, "divergent_seeds": [],
+                "orders_permuted": False, "race": f"baseline: {exc}",
+                "events": len(log), "access_log": log,
+            }
+        for seed in seeds:
+            try:
+                with perturbed(seed):
+                    payload, order = storm_payload()
+            except Exception as exc:  # SanitizerError: a flagged race
+                race = f"seed {seed}: {exc}"
+                divergent.append(seed)
+                continue
+            if not _payloads_equal(baseline_payload, payload):
+                divergent.append(seed)
+            if order != baseline_order:
+                orders_differed = True
+        access_log = drain_access_log() if sanitizer is not None else []
+    finally:
+        if sanitizer is not None:
+            sanitizer.uninstall()
+    return {
+        "ok": not divergent and orders_differed and race is None,
+        "confluent": not divergent,
+        "divergent_seeds": divergent,
+        "orders_permuted": orders_differed,
+        "race": race,
+        "events": len(access_log),
+        "access_log": access_log,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze races",
+        description="Schedule-confluence harness: golden fig3 points and a "
+                    "DES event storm must be bit-identical under seeded "
+                    "tie-break permutations (exact and fast-forward).",
+    )
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        help=f"number of permutation seeds (default "
+                             f"{DEFAULT_SEEDS})")
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help=f"rows per fig3 point (default {DEFAULT_ROWS})")
+    parser.add_argument("--mode", choices=MODES + ("both",), default="both",
+                        help="simulation mode(s) to cover (default both)")
+    parser.add_argument("--out", metavar="REPORT.json",
+                        help="write the JSON report (access log included) "
+                             "to this path")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format (default text)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    seeds = list(range(1, args.seeds + 1))
+    modes = MODES if args.mode == "both" else (args.mode,)
+    started = time.perf_counter()
+    report = run_confluence(seeds, rows=args.rows, modes=modes)
+    report["wall_s"] = round(time.perf_counter() - started, 3)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        # The access log can be large; stdout gets the summary view.
+        slim = dict(report)
+        slim["storm"] = {k: v for k, v in report["storm"].items()
+                         if k != "access_log"}
+        print(json.dumps(slim, indent=2, sort_keys=True))
+    else:
+        for mode, result in report["modes"].items():
+            for check in result["points"]:
+                status = ("confluent" if check["confluent"] else
+                          f"DIVERGED under seeds {check['divergent_seeds']}")
+                print(f"  {mode:<13} {check['name']:<28} {status}")
+        storm = report["storm"]
+        print(f"  storm: {'confluent' if storm['confluent'] else 'DIVERGED'}"
+              f", orders_permuted={storm['orders_permuted']}"
+              f", events_shadowed={storm['events']}"
+              + (f", race: {storm['race']}" if storm["race"] else ""))
+        verdict = "confluent" if report["ok"] else "NOT confluent"
+        print(f"repro.analyze races: {len(seeds)} seed(s), "
+              f"{len(report['modes'])} mode(s), "
+              f"{report['permutations_applied']} tie-break(s) permuted: "
+              f"{verdict}")
+    return 0 if report["ok"] else 1

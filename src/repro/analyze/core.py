@@ -30,6 +30,7 @@ from __future__ import annotations
 import ast
 import os
 import re
+import time
 from dataclasses import dataclass, field
 
 
@@ -119,7 +120,8 @@ def register(cls: type[Pass]) -> type[Pass]:
 def all_passes() -> list[Pass]:
     """Fresh instances of every registered pass, in registration order."""
     # Importing the pass modules populates the registry exactly once.
-    from . import determinism, dimflow, instruments, protocol, units_lint  # noqa: F401
+    from . import (determinism, dimflow, instruments, protocol,  # noqa: F401
+                   races, units_lint)
 
     return [cls() for cls in _REGISTRY]
 
@@ -179,18 +181,25 @@ class AnalysisReport:
     files_scanned: int = 0
     passes_run: list[str] = field(default_factory=list)
     parse_errors: list[Finding] = field(default_factory=list)
+    pass_timings_ms: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.findings and not self.parse_errors
 
     def as_dict(self) -> dict:
+        # Findings and parse errors are sorted (path, line, rule, col) by
+        # run_analysis, and timings are keyed by pass name, so two clean
+        # runs over the same tree serialize identically modulo the timing
+        # values themselves — CI diffs the findings, not the wall clock.
         return {
             "ok": self.ok,
             "files_scanned": self.files_scanned,
             "passes": self.passes_run,
             "findings": [f.as_dict() for f in self.findings],
             "parse_errors": [f.as_dict() for f in self.parse_errors],
+            "pass_timings_ms": {name: round(ms, 3) for name, ms
+                                in sorted(self.pass_timings_ms.items())},
         }
 
 
@@ -204,6 +213,7 @@ def run_analysis(paths: list[str], passes: list[Pass] | None = None,
     project_passes = [p for p in passes if isinstance(p, ProjectPass)]
 
     report = AnalysisReport(passes_run=[p.name for p in passes])
+    timings = {p.name: 0.0 for p in passes}
     files = discover(paths)
     report.files_scanned = len(files)
 
@@ -229,19 +239,32 @@ def run_analysis(paths: list[str], passes: list[Pass] | None = None,
         for mod_pass in module_passes:
             if not mod_pass.applies_to(path):
                 continue
-            for finding in mod_pass.check_module(tree, source, path):
+            started = time.perf_counter()
+            pass_findings = mod_pass.check_module(tree, source, path)
+            timings[mod_pass.name] += (time.perf_counter() - started) * 1e3
+            for finding in pass_findings:
                 if not suppressed(finding):
                     report.findings.append(finding)
 
     for corpus_pass in corpus_passes:
         admitted = [m for m in modules if corpus_pass.applies_to(m.path)]
-        for finding in corpus_pass.check_corpus(admitted):
+        started = time.perf_counter()
+        pass_findings = corpus_pass.check_corpus(admitted)
+        timings[corpus_pass.name] += (time.perf_counter() - started) * 1e3
+        for finding in pass_findings:
             if not suppressed(finding):
                 report.findings.append(finding)
 
     if with_project_passes:
         for proj_pass in project_passes:
+            started = time.perf_counter()
             report.findings.extend(proj_pass.check_project())
+            timings[proj_pass.name] += (time.perf_counter() - started) * 1e3
 
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # Stable report order — (path, line, rule, col) — so CI runs over the
+    # same tree produce byte-identical findings output, diffable across
+    # machines and Python hash seeds.
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    report.parse_errors.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    report.pass_timings_ms = timings
     return report

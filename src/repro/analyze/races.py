@@ -1,0 +1,371 @@
+"""Static event-ordering race detection (the ``race-static`` corpus pass).
+
+The engine's total order is ``(time_ps, priority, tiebreak, seq)``
+(:mod:`repro.sim.engine`): among same-timestamp events, only an explicit
+``priority`` is a *declared* ordering edge — the FIFO ``seq`` tail is an
+accident of insertion order that the schedule perturber is free to shuffle.
+This pass proves, per schedule site, that nothing observable can depend on
+that accident:
+
+* **Effect inference.**  Every function and method in the corpus gets a
+  read/write *effect set* over component state — ``(owner class, attr)``
+  pairs collected from ``self.attr`` / annotated-parameter attribute
+  accesses — propagated transitively through a name-keyed call-graph
+  fixpoint (the same whole-corpus machinery as
+  :mod:`repro.analyze.dimflow`'s return-dimension table).
+* **Handler extraction.**  Every callback handed to ``schedule_at`` /
+  ``schedule_after`` (a bound method, a function name, a lambda, or a
+  ``functools.partial``) is resolved to its inferred effect set, together
+  with the statically-known scheduling priority (a non-constant priority is
+  a wildcard that conflicts with every priority).
+* **Conflict check.**  Two handlers scheduled *in the same module* with no
+  declared ordering edge between them (equal or wildcard priorities) and a
+  write/write or write/read overlap on some ``(owner, attr)`` are reported
+  as ``race-static``: their relative firing order is decided only by the
+  heap tie-break, so the overlapping state makes the simulation's output
+  insertion-order-dependent.
+
+What the pass deliberately does **not** claim:
+
+* Two sites scheduling the *same* resolved handler are not paired — the
+  instances may differ (one handler per bank), which only the dynamic race
+  sanitizer (:mod:`repro.analyze.simsan.races`) can distinguish.
+* Cross-module handler pairs are not paired either: same-module sites share
+  a simulator by construction in this codebase, cross-module collisions are
+  the dynamic detector's and the confluence harness's job.
+* An effect whose owner class cannot be inferred is a wildcard ``*`` and
+  conflicts with any same-named attribute — conservative, like every other
+  abstraction in this package: unknown stays unknown, but a *known* overlap
+  is never dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import CorpusPass, Finding, ModuleSource, register
+
+#: Owner marker for attribute effects whose receiver class is unknown.
+WILDCARD = "*"
+
+#: The scheduling entry points whose callback argument defines a handler.
+_SCHEDULE_METHODS = ("schedule_at", "schedule_after")
+
+#: Fixpoint rounds for the transitive-effect closure (call-graph depth cap).
+_FIXPOINT_ROUNDS = 10
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One attribute touched by a handler: ``owner`` class (or ``*``) + attr."""
+
+    owner: str
+    attr: str
+
+    def conflicts_with(self, other: "Effect") -> bool:
+        if self.attr != other.attr:
+            return False
+        return (self.owner == other.owner
+                or self.owner == WILDCARD or other.owner == WILDCARD)
+
+    def describe(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+@dataclass
+class EffectSet:
+    """Read/write effect sets plus unresolved callee names."""
+
+    reads: set[Effect] = field(default_factory=set)
+    writes: set[Effect] = field(default_factory=set)
+    calls: set[str] = field(default_factory=set)
+
+    def merge(self, other: "EffectSet") -> bool:
+        """Union ``other`` in; True when anything new was added."""
+        before = (len(self.reads), len(self.writes), len(self.calls))
+        self.reads |= other.reads
+        self.writes |= other.writes
+        self.calls |= other.calls
+        return (len(self.reads), len(self.writes), len(self.calls)) != before
+
+
+def _receiver_owner(node: ast.expr, owners: dict[str, str]) -> str | None:
+    """Owner class for an attribute access base, or None (not a receiver)."""
+    if isinstance(node, ast.Name):
+        return owners.get(node.id, WILDCARD)
+    return None
+
+
+def _collect_effects(fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+                     self_class: str | None) -> EffectSet:
+    """Local (non-transitive) effects of one function body.
+
+    ``owners`` maps receiver variable names to class names: ``self`` inside
+    a class body, plus parameters with a plain-name class annotation
+    (``bank: Bank``).  Unannotated receivers are wildcards.
+    """
+    owners: dict[str, str] = {}
+    args = fn.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        if arg.arg == "self" and self_class is not None:
+            owners["self"] = self_class
+        elif isinstance(arg.annotation, ast.Name):
+            owners[arg.arg] = arg.annotation.id
+    effects = EffectSet()
+    body = fn.body if isinstance(fn.body, list) else [ast.Expr(fn.body)]
+    # Walk the body without descending into nested defs/lambdas — those are
+    # their own corpus entries (or their own handlers).
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+        if isinstance(node, ast.Attribute):
+            owner = _receiver_owner(node.value, owners)
+            if owner is None:
+                continue
+            effect = Effect(owner, node.attr)
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                effects.writes.add(effect)
+            else:
+                effects.reads.add(effect)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute):
+            owner = _receiver_owner(node.target.value, owners)
+            if owner is not None:
+                # x.a += v both reads and writes a.
+                effects.reads.add(Effect(owner, node.target.attr))
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                if callee.attr not in _SCHEDULE_METHODS:
+                    effects.calls.add(callee.attr)
+            elif isinstance(callee, ast.Name):
+                effects.calls.add(callee.id)
+    return effects
+
+
+def _class_of(fn: ast.AST, parents: dict[ast.AST, ast.AST]) -> str | None:
+    """Name of the class whose body (directly) holds ``fn``, if any."""
+    parent = parents.get(fn)
+    if isinstance(parent, ast.ClassDef):
+        return parent.name
+    return None
+
+
+def _parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def build_effect_table(modules: list[ModuleSource]) -> dict[str, EffectSet]:
+    """Name-keyed transitive effect table, fixpointed over the corpus.
+
+    Methods sharing a bare name across classes merge conservatively (their
+    ``self`` effects stay distinguishable through the owner class embedded
+    in each :class:`Effect`).
+    """
+    table: dict[str, EffectSet] = {}
+    for module in modules:
+        parents = _parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local = _collect_effects(node, _class_of(node, parents))
+            table.setdefault(node.name, EffectSet()).merge(local)
+    for _ in range(_FIXPOINT_ROUNDS):
+        changed = False
+        for effects in table.values():
+            for callee in sorted(effects.calls):
+                target = table.get(callee)
+                if target is None:
+                    continue
+                grown = effects.reads | target.reads
+                if grown != effects.reads:
+                    effects.reads = grown
+                    changed = True
+                grown = effects.writes | target.writes
+                if grown != effects.writes:
+                    effects.writes = grown
+                    changed = True
+        if not changed:
+            break
+    return table
+
+
+@dataclass
+class Handler:
+    """One resolved schedule-site callback."""
+
+    label: str
+    path: str
+    line: int
+    col: int
+    priority: int | None           # None = not statically constant (wildcard)
+    reads: set[Effect]
+    writes: set[Effect]
+    target: str                    # resolved callee name ("" for lambdas)
+
+    def orderable_against(self, other: "Handler") -> bool:
+        """True when a declared priority edge separates the two handlers."""
+        if self.priority is None or other.priority is None:
+            return False
+        return self.priority != other.priority
+
+
+def _priority_of(call: ast.Call) -> int | None | str:
+    """Static priority of a schedule call: int, None (default 0) or "?"."""
+    node: ast.expr | None = None
+    if len(call.args) >= 3:
+        node = call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "priority":
+            node = kw.value
+    if node is None:
+        return 0
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return int(node.value)
+    return "?"
+
+
+def _callback_of(call: ast.Call) -> ast.expr | None:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "callback":
+            return kw.value
+    return None
+
+
+def _resolve_handler(callback: ast.expr, table: dict[str, EffectSet],
+                     self_class: str | None) -> tuple[str, str, EffectSet] | None:
+    """(label, target-name, effects) for a callback expression, or None."""
+    if isinstance(callback, ast.Attribute):
+        # Bound method: self._drain / dev.refresh — effects by method name.
+        effects = table.get(callback.attr)
+        if effects is None:
+            return None
+        base = callback.value.id if isinstance(callback.value, ast.Name) else "<expr>"
+        return (f"{base}.{callback.attr}", callback.attr, effects)
+    if isinstance(callback, ast.Name):
+        effects = table.get(callback.id)
+        if effects is None:
+            return None
+        return (callback.id, callback.id, effects)
+    if isinstance(callback, ast.Lambda):
+        local = _collect_effects(callback, self_class)
+        closed = EffectSet(reads=set(local.reads), writes=set(local.writes))
+        for callee in sorted(local.calls):
+            target = table.get(callee)
+            if target is not None:
+                closed.reads |= target.reads
+                closed.writes |= target.writes
+        return (f"lambda@{callback.lineno}", "", closed)
+    if isinstance(callback, ast.Call):
+        # functools.partial(f, ...): resolve the wrapped callable.
+        func = callback.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name == "partial" and callback.args:
+            return _resolve_handler(callback.args[0], table, self_class)
+    return None
+
+
+def _module_handlers(module: ModuleSource,
+                     table: dict[str, EffectSet]) -> list[Handler]:
+    handlers: list[Handler] = []
+    parents = _parent_map(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _SCHEDULE_METHODS):
+            continue
+        callback = _callback_of(node)
+        if callback is None:
+            continue
+        # Class context for `self` effects inside lambda callbacks.
+        scope: ast.AST | None = node
+        self_class = None
+        while scope is not None:
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self_class = _class_of(scope, parents)
+                break
+            scope = parents.get(scope)
+        resolved = _resolve_handler(callback, table, self_class)
+        if resolved is None:
+            continue
+        label, target, effects = resolved
+        priority = _priority_of(node)
+        handlers.append(Handler(
+            label=label, path=module.path, line=node.lineno,
+            col=node.col_offset,
+            priority=None if priority == "?" else priority,
+            reads=effects.reads, writes=effects.writes, target=target))
+    return handlers
+
+
+def _conflicting(a: Handler, b: Handler) -> list[Effect]:
+    """Write/write and write/read overlaps between two handlers, sorted."""
+    out: set[Effect] = set()
+    for wa in a.writes:
+        for wb in b.writes:
+            if wa.conflicts_with(wb):
+                out.add(wa)
+        for rb in b.reads:
+            if wa.conflicts_with(rb):
+                out.add(wa)
+    for wb in b.writes:
+        for ra in a.reads:
+            if wb.conflicts_with(ra):
+                out.add(wb)
+    return sorted(out, key=lambda e: (e.attr, e.owner))
+
+
+@register
+class RaceStaticPass(CorpusPass):
+    """Flag same-priority handler pairs with conflicting effect sets."""
+
+    name = "race-static"
+    description = ("event-ordering races: same-module schedule sites with "
+                   "no priority edge and overlapping write effect sets")
+    scope = None  # repo-wide: handlers may be scheduled from any layer
+
+    def check_corpus(self, modules: list[ModuleSource]) -> list[Finding]:
+        table = build_effect_table(modules)
+        findings: list[Finding] = []
+        for module in modules:
+            handlers = _module_handlers(module, table)
+            for i, first in enumerate(handlers):
+                for second in handlers[i + 1:]:
+                    if first.target and first.target == second.target:
+                        continue  # same handler: per-instance, dynamic's job
+                    if first.orderable_against(second):
+                        continue  # declared priority edge
+                    overlap = _conflicting(first, second)
+                    if not overlap:
+                        continue
+                    attrs = ", ".join(e.describe() for e in overlap)
+                    edge = ("equal priority "
+                            f"{first.priority}" if first.priority is not None
+                            and first.priority == second.priority
+                            else "non-constant priority")
+                    site = max((first, second), key=lambda h: (h.line, h.col))
+                    findings.append(Finding(
+                        self.name,
+                        f"handlers {first.label} (line {first.line}) and "
+                        f"{second.label} (line {second.line}) can fire at "
+                        f"the same timestamp with no ordering edge ({edge}) "
+                        f"and conflicting access to {attrs}; declare "
+                        "distinct schedule priorities or make the state "
+                        "disjoint",
+                        site.path, site.line, site.col))
+        return findings

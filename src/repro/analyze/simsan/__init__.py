@@ -35,8 +35,10 @@ from .engine import EngineSanitizer
 from .fastforward import FastForwardSanitizer
 from .jafar import JafarSanitizer
 from .jedec import JEDECSanitizer
+from .races import RaceSanitizer
 
-__all__ = ["SanitizerError", "active", "install", "sanitized", "uninstall"]
+__all__ = ["RaceSanitizer", "SanitizerError", "active", "install",
+           "sanitized", "uninstall"]
 
 #: Environment variable that auto-installs the sanitizers on repro import.
 ENV_VAR = "REPRO_SIMSAN"
@@ -45,8 +47,11 @@ ENV_VAR = "REPRO_SIMSAN"
 #: the fast-forward paths one last time, which must happen before the other
 #: sanitizers hook the model classes (they expect the full call graph, which
 #: fast-forward elides), and it then forces exact mode for all of them.
+#: RaceSanitizer comes last so its schedule_at/run wrappers sit outermost —
+#: its per-event access shadowing then brackets whatever the other
+#: sanitizers' wrapped model methods touch.
 _SANITIZER_TYPES = (FastForwardSanitizer, EngineSanitizer, JEDECSanitizer,
-                    JafarSanitizer, CacheSanitizer)
+                    JafarSanitizer, CacheSanitizer, RaceSanitizer)
 
 _active: list | None = None
 

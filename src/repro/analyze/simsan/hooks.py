@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+#: Sentinel recording that the patched attribute did not exist on the class
+#: itself (it was inherited, e.g. ``object.__setattr__``): uninstall deletes
+#: the override instead of restoring a value.
+_ABSENT = object()
+
 
 class PatchSet:
     """The method replacements one sanitizer has applied."""
@@ -29,7 +34,17 @@ class PatchSet:
         setattr(owner, attr, wrapper)
         self._patches.append((owner, attr, original))
 
+    def add(self, owner: type, attr: str, replacement: Callable) -> None:
+        """Install ``owner.attr = replacement`` even when the class itself
+        defines no ``attr`` (dunder overrides on slotted model classes)."""
+        original = owner.__dict__.get(attr, _ABSENT)
+        setattr(owner, attr, replacement)
+        self._patches.append((owner, attr, original))
+
     def remove_all(self) -> None:
         for owner, attr, original in reversed(self._patches):
-            setattr(owner, attr, original)
+            if original is _ABSENT:
+                delattr(owner, attr)
+            else:
+                setattr(owner, attr, original)
         self._patches.clear()

@@ -1,0 +1,289 @@
+"""Dynamic event-ordering race sanitizer (RaceSan's runtime half).
+
+The static pass (:mod:`repro.analyze.races`) reasons about effect sets it
+can see in the AST; this sanitizer shadows the *run*.  While installed it
+wraps every callback handed to :meth:`repro.sim.engine.Simulator.schedule_at`
+and records each component-state access the callback makes as a
+``(time_ps, seq, component, attr, R/W)`` tuple — component classes (Bank,
+Rank, MemoryController, JafarDevice, IOBuffer) get class-level
+``__getattribute__``/``__setattr__`` overrides that feed the recorder only
+while an event callback is on the stack, so non-event (direct-timestamp)
+execution pays one predicate per access and records nothing.
+
+When simulated time leaves a timestamp, the completed same-timestamp group
+is audited: two events that
+
+* share ``(time_ps, priority)`` — i.e. no declared ordering edge; their
+  relative order was decided only by the heap tie-break,
+* are not causally ordered (one scheduled the other, directly or
+  transitively, within the group), and
+* made conflicting accesses (write/write or write/read) to the same
+  component attribute
+
+constitute an **ordering race**: the simulation's output depends on heap
+insertion order, which the schedule perturber is licensed to shuffle.  The
+sanitizer raises :class:`SanitizerError` naming both events and the
+contested attribute.
+
+Counters live on a :class:`repro.obs.metrics.MetricsRegistry`
+(:data:`METRICS`): ``races.events_shadowed``, ``races.conflicts_observed``,
+and a ``races.permutations_applied`` gauge reading the perturber.  The
+recent per-event access log is kept (bounded) for the confluence harness's
+failure artifact — :func:`drain_access_log`.
+"""
+
+from __future__ import annotations
+
+from ...dram.bank import Bank
+from ...dram.controller import MemoryController
+from ...dram.iobuffer import IOBuffer
+from ...dram.rank import Rank
+from ...errors import SanitizerError
+from ...jafar.device import JafarDevice
+from ...obs.metrics import MetricsRegistry
+from ...sim.engine import Simulator
+from ...sim.perturb import PERTURB
+from .hooks import PatchSet
+
+#: Component classes whose per-attribute state the sanitizer shadows.
+SHADOWED_CLASSES = (Bank, Rank, MemoryController, JafarDevice, IOBuffer)
+
+#: Maximum per-event access records retained for the failure artifact.
+ACCESS_LOG_LIMIT = 10_000
+
+#: Shared registry for the detector's instruments (one namespace, one
+#: snapshot schema — the repro.obs contract).
+METRICS = MetricsRegistry()
+EVENTS_SHADOWED = METRICS.counter("races.events_shadowed")
+CONFLICTS_OBSERVED = METRICS.counter("races.conflicts_observed")
+METRICS.gauge("races.permutations_applied",
+              lambda: PERTURB.permutations_applied)
+
+
+class _EventRecord:
+    """Accesses one shadowed event made, plus its ordering coordinates."""
+
+    __slots__ = ("time_ps", "priority", "seq", "parent_seq", "accesses")
+
+    def __init__(self, time_ps: int, priority: int, seq: int,
+                 parent_seq: int | None) -> None:
+        self.time_ps = time_ps
+        self.priority = priority
+        self.seq = seq
+        self.parent_seq = parent_seq
+        # (component id, class name, attr) -> "R" | "W" | "RW"
+        self.accesses: dict[tuple[int, str, str], str] = {}
+
+    def record(self, obj: object, attr: str, mode: str) -> None:
+        key = (id(obj), type(obj).__name__, attr)
+        prior = self.accesses.get(key)
+        if prior is None:
+            self.accesses[key] = mode
+        elif mode not in prior:
+            self.accesses[key] = "RW"
+
+    def as_dict(self) -> dict:
+        return {
+            "time_ps": self.time_ps,
+            "priority": self.priority,
+            "seq": self.seq,
+            "parent_seq": self.parent_seq,
+            "accesses": [
+                {"component": cls, "attr": attr, "mode": mode}
+                for (_, cls, attr), mode in sorted(
+                    self.accesses.items(),
+                    key=lambda item: (item[0][1], item[0][2], item[0][0]))
+            ],
+        }
+
+
+class _ShadowState:
+    """Module-level recorder shared by the class hooks and the wrappers."""
+
+    __slots__ = ("current", "groups", "log")
+
+    def __init__(self) -> None:
+        self.current: _EventRecord | None = None
+        # Simulator id -> (group time_ps, [records])
+        self.groups: dict[int, tuple[int, list[_EventRecord]]] = {}
+        self.log: list[dict] = []
+
+
+_SHADOW = _ShadowState()
+
+
+def drain_access_log() -> list[dict]:
+    """Return and clear the recent per-event access records."""
+    out, _SHADOW.log = _SHADOW.log, []
+    return out
+
+
+def _ancestor(a: _EventRecord, b: _EventRecord,
+              by_seq: dict[int, _EventRecord]) -> bool:
+    """Whether one record causally scheduled the other within the group."""
+    for first, second in ((a, b), (b, a)):
+        seq: int | None = second.parent_seq
+        while seq is not None:
+            if seq == first.seq:
+                return True
+            parent = by_seq.get(seq)
+            seq = parent.parent_seq if parent is not None else None
+    return False
+
+
+def _audit_group(records: list[_EventRecord]) -> None:
+    """Flag tie-break-ordered conflicting accesses within one timestamp."""
+    if len(records) < 2:
+        return
+    by_seq = {r.seq: r for r in records}
+    for i, first in enumerate(records):
+        for second in records[i + 1:]:
+            if first.priority != second.priority:
+                continue  # declared ordering edge
+            if _ancestor(first, second, by_seq):
+                continue  # causally ordered: the tie-break cannot flip them
+            for key, mode in first.accesses.items():
+                other = second.accesses.get(key)
+                if other is None:
+                    continue
+                if "W" not in mode and "W" not in other:
+                    continue  # read/read commutes
+                CONFLICTS_OBSERVED.add()
+                _, cls, attr = key
+                raise SanitizerError(
+                    f"event-ordering race at {first.time_ps} ps: events "
+                    f"seq={first.seq} and seq={second.seq} (both priority "
+                    f"{first.priority}) made conflicting accesses "
+                    f"({mode} vs {other}) to {cls}.{attr}; their order is "
+                    "decided only by the heap tie-break — declare distinct "
+                    "schedule priorities or make the state disjoint"
+                )
+
+
+def _flush_groups(sim: Simulator, up_to_ps: int | None = None) -> None:
+    """Audit (and drop) completed same-timestamp groups for ``sim``."""
+    entry = _SHADOW.groups.get(id(sim))
+    if entry is None:
+        return
+    group_time_ps, records = entry
+    if up_to_ps is not None and group_time_ps >= up_to_ps:
+        return
+    del _SHADOW.groups[id(sim)]
+    _audit_group(records)
+
+
+def _begin_event(sim: Simulator, time_ps: int, priority: int, seq: int,
+                 parent_seq: int | None) -> _EventRecord | None:
+    _flush_groups(sim, up_to_ps=time_ps)
+    record = _EventRecord(time_ps, priority, seq, parent_seq)
+    previous, _SHADOW.current = _SHADOW.current, record
+    EVENTS_SHADOWED.add()
+    return previous
+
+
+def _end_event(sim: Simulator, record: _EventRecord,
+               previous: _EventRecord | None) -> None:
+    _SHADOW.current = previous
+    entry = _SHADOW.groups.get(id(sim))
+    if entry is None or entry[0] != record.time_ps:
+        if entry is not None:
+            _audit_group(entry[1])
+        _SHADOW.groups[id(sim)] = (record.time_ps, [record])
+    else:
+        entry[1].append(record)
+    if len(_SHADOW.log) < ACCESS_LOG_LIMIT:
+        _SHADOW.log.append(record.as_dict())
+
+
+def _tracked_attrs(cls: type) -> frozenset[str]:
+    """Data attributes of a slotted class (its whole-MRO slot union)."""
+    names: set[str] = set()
+    for klass in cls.__mro__:
+        names.update(getattr(klass, "__slots__", ()) or ())
+    return frozenset(n for n in names if not n.startswith("__"))
+
+
+class RaceSanitizer:
+    """Shadows event execution and flags tie-break-ordered conflicts."""
+
+    name = "races"
+
+    def __init__(self) -> None:
+        self._patches = PatchSet()
+
+    def install(self) -> None:
+        patches = self._patches
+
+        def make_schedule_at(original):
+            def schedule_at(sim, time_ps, callback, priority=0):
+                # Causal parentage is decided HERE, at schedule time: the
+                # event currently executing (if any, and if it targets the
+                # same timestamp) is guaranteed to precede the new event,
+                # so that pair is ordered by construction, not by tie-break.
+                scheduler = _SHADOW.current
+                parent_seq = (scheduler.seq if scheduler is not None
+                              and scheduler.time_ps == time_ps else None)
+
+                def shadowed():
+                    previous = _begin_event(sim, event.time_ps,
+                                            event.priority, event.seq,
+                                            parent_seq)
+                    record = _SHADOW.current
+                    try:
+                        callback()
+                    finally:
+                        _end_event(sim, record, previous)
+                event = original(sim, time_ps, shadowed, priority)
+                return event
+            return schedule_at
+
+        patches.wrap(Simulator, "schedule_at", make_schedule_at)
+
+        def make_run(original):
+            def run(sim, *args, **kwargs):
+                try:
+                    return original(sim, *args, **kwargs)
+                finally:
+                    _flush_groups(sim)
+            return run
+
+        patches.wrap(Simulator, "run", make_run)
+
+        for cls in SHADOWED_CLASSES:
+            self._shadow_class(cls)
+
+    def _shadow_class(self, cls: type) -> None:
+        slots = _tracked_attrs(cls)
+        has_slots = bool(slots)
+
+        def tracked(self, name):
+            if has_slots:
+                return name in slots
+            if name.startswith("__"):
+                return False
+            try:
+                instance_dict = object.__getattribute__(self, "__dict__")
+            except AttributeError:
+                return False
+            return name in instance_dict
+
+        def __getattribute__(self, name):
+            value = object.__getattribute__(self, name)
+            record = _SHADOW.current
+            if record is not None and tracked(self, name):
+                record.record(self, name, "R")
+            return value
+
+        def __setattr__(self, name, value):
+            record = _SHADOW.current
+            if record is not None and tracked(self, name):
+                record.record(self, name, "W")
+            object.__setattr__(self, name, value)
+
+        self._patches.add(cls, "__getattribute__", __getattribute__)
+        self._patches.add(cls, "__setattr__", __setattr__)
+
+    def uninstall(self) -> None:
+        self._patches.remove_all()
+        _SHADOW.current = None
+        _SHADOW.groups.clear()

@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--exact", action="store_true",
                         help="disable steady-state fast-forward (the escape "
                              "hatch; results are bit-identical either way)")
+    parser.add_argument("--perturb-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="shuffle same-timestamp event tie-breaks with "
+                             "this seed (schedule-confluence contract: "
+                             "simulated outputs are bit-identical anyway; "
+                             "forces a cache bypass)")
     parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
                         help="compare two report files on simulated fields "
                              "only and exit nonzero on any mismatch")
@@ -105,13 +111,15 @@ def main(argv: list[str] | None = None) -> int:
             report = run_sweep(configs, workers=1,
                                cache_dir=args.cache_dir,
                                use_cache=False, serial=True,
-                               exact=args.exact)
+                               exact=args.exact,
+                               perturb_seed=args.perturb_seed)
         print(f"trace written to {args.trace}")
     else:
         report = run_sweep(configs, workers=args.workers,
                            cache_dir=args.cache_dir,
                            use_cache=not args.no_cache, serial=args.serial,
-                           exact=args.exact)
+                           exact=args.exact,
+                           perturb_seed=args.perturb_seed)
     report = write_results(report, args.output)
 
     for point in report["points"]:
@@ -120,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         ff = "" if skipped is None else f" ff_skipped={skipped}"
         print(f"  {point['name']:<44} [{tag}]{ff}")
     mode = "exact" if report["exact"] else "fast-forward"
+    if report.get("perturb_seed") is not None:
+        mode += f", perturb-seed {report['perturb_seed']}"
     print(f"{report['num_points']} point(s), {report['cache_hits']} cached, "
           f"{report['total_wall_s']:.2f}s wall on {report['workers']} "
           f"worker(s), {mode} -> {args.output}")

@@ -17,6 +17,7 @@ from typing import Any
 
 from ..obs.tracer import TRACE as _TRACE
 from ..sim import fastforward as _ffm
+from ..sim.perturb import perturbed
 from .configs import SweepConfig
 from .runner import execute
 from .store import DEFAULT_CACHE_DIR, ResultStore, cache_key, code_fingerprint
@@ -27,7 +28,11 @@ DEFAULT_OUTPUT = pathlib.Path("BENCH_results.json")
 #: run to run (timers, cache state, how much work fast-forward elided) and
 #: MUST stay out of every determinism comparison — sim_identical deltas, the
 #: CI ``--diff`` gate — and out of the content-addressed store payloads.
-HOST_ONLY_POINT_FIELDS = ("wall_s", "cached", "ff_skipped_events", "exact")
+#: ``perturb_seed`` belongs here by the confluence contract: the simulated
+#: payload is bit-identical under every tie-break permutation, so a
+#: perturbed report must diff clean against an unperturbed one.
+HOST_ONLY_POINT_FIELDS = ("wall_s", "cached", "ff_skipped_events", "exact",
+                          "perturb_seed")
 
 
 def simulated_view(point: dict[str, Any]) -> dict[str, Any]:
@@ -41,7 +46,8 @@ def simulated_view(point: dict[str, Any]) -> dict[str, Any]:
 
 
 def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
-              use_cache: bool, exact: bool = False) -> dict[str, Any]:
+              use_cache: bool, exact: bool = False,
+              perturb_seed: int | None = None) -> dict[str, Any]:
     """Run (or fetch) one point.  Top-level so process pools can pickle it.
 
     ``exact=True`` disables steady-state fast-forward for the simulation —
@@ -50,9 +56,17 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
     by contract, so an exact run may be served by a fast-forwarded entry and
     vice versa.  ``ff_skipped_events`` is measured per execution and is
     ``None`` on a cache hit (nothing was simulated).
+
+    ``perturb_seed`` shuffles same-timestamp event tie-breaks for the run
+    (see :mod:`repro.sim.perturb`): the schedule-confluence contract says
+    the simulated payload is bit-identical anyway.  Perturbed runs bypass
+    the result store — serving a cached payload would prove nothing about
+    this schedule.
     """
     started = time.perf_counter()
     key = cache_key(config, fingerprint)
+    if perturb_seed is not None:
+        use_cache = False
     store = ResultStore(cache_dir) if use_cache else None
     cached = store.get(key) if store is not None else None
     skipped: int | None = None
@@ -67,11 +81,12 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
             tracer.begin(config.name, tracer.root_track(config.name), 0,
                          experiment=config.experiment, exact=exact)
         try:
-            if exact:
-                with _ffm.exact_mode():
+            with perturbed(perturb_seed):
+                if exact:
+                    with _ffm.exact_mode():
+                        result = execute(config)
+                else:
                     result = execute(config)
-            else:
-                result = execute(config)
         finally:
             if root_opened:
                 tracer.end(None)
@@ -88,6 +103,7 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
         "wall_s": wall_s,
         "cached": hit,
         "exact": exact,
+        "perturb_seed": perturb_seed,
         "ff_skipped_events": skipped,
     }
 
@@ -95,7 +111,8 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
 def run_sweep(configs: list[SweepConfig], workers: int = 1,
               cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
               use_cache: bool = True, serial: bool = False,
-              exact: bool = False) -> dict[str, Any]:
+              exact: bool = False,
+              perturb_seed: int | None = None) -> dict[str, Any]:
     """Run every config and assemble the report dictionary.
 
     ``serial=True`` (or ``workers <= 1``) runs in-process — the comparison
@@ -107,12 +124,13 @@ def run_sweep(configs: list[SweepConfig], workers: int = 1,
     cache_dir = str(cache_dir)
     started = time.perf_counter()
     if serial or workers <= 1:
-        points = [run_point(c, fingerprint, cache_dir, use_cache, exact)
+        points = [run_point(c, fingerprint, cache_dir, use_cache, exact,
+                            perturb_seed)
                   for c in configs]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_point, c, fingerprint, cache_dir,
-                                   use_cache, exact)
+                                   use_cache, exact, perturb_seed)
                        for c in configs]
             points = [f.result() for f in futures]
     total_wall_s = time.perf_counter() - started
@@ -128,6 +146,7 @@ def run_sweep(configs: list[SweepConfig], workers: int = 1,
         # the ``cached: true`` entries in ``points``.
         "cache_hits": sum(1 for p in points if p.get("cached")),
         "exact": exact,
+        "perturb_seed": perturb_seed,
         "ff_skipped_events": sum(skipped) if skipped else None,
         "total_wall_s": total_wall_s,
         "points": points,

@@ -8,6 +8,8 @@ The kernel has three parts:
   picoseconds exactly (:class:`~repro.sim.clock.ClockDomain`).
 * :mod:`repro.sim.stats` — counters, histograms, and interval trackers used
   to implement the paper's performance-counter methodology.
+* :mod:`repro.sim.perturb` — the seeded schedule perturber that shuffles
+  same-timestamp tie-breaks (confluence probing; see DESIGN.md §9).
 
 The DRAM/CPU hot paths in this package use *direct timestamp arithmetic*
 (each transaction computes its completion time in O(1)) rather than per-cycle
@@ -17,6 +19,7 @@ event callbacks; the event queue is used where genuine asynchrony matters
 
 from .clock import ClockDomain
 from .engine import Event, Simulator
+from .perturb import PERTURB, is_perturbed, perturbed, set_seed
 from .stats import BusyTracker, Counter, Histogram
 from .trace import (CommandRecord, CommandTrace, TraceRecord, attach_trace,
                     detach_trace, dump_commands, load_commands)
@@ -29,10 +32,14 @@ __all__ = [
     "Counter",
     "Event",
     "Histogram",
+    "PERTURB",
     "Simulator",
     "TraceRecord",
     "attach_trace",
     "detach_trace",
     "dump_commands",
+    "is_perturbed",
     "load_commands",
+    "perturbed",
+    "set_seed",
 ]

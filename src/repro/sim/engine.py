@@ -1,9 +1,33 @@
 """Timestamp-ordered discrete-event simulator.
 
-Events are ``(time_ps, sequence, callback)`` triples kept in a binary heap.
-The sequence number makes ordering total and deterministic: two events
-scheduled for the same picosecond fire in scheduling order.  Timestamps are
-integer picoseconds (see :mod:`repro.units`).
+Events are kept in a binary heap under an **explicit, documented total
+order**::
+
+    (time_ps, priority, tiebreak, seq)
+
+* ``time_ps`` — integer picoseconds (see :mod:`repro.units`).  Earlier
+  events fire first; nothing below this field can reorder across time.
+* ``priority`` — the *declared ordering edge* between same-timestamp
+  events.  Lower fires first.  Two handlers that may legitimately collide
+  on the same picosecond and whose relative order matters MUST be given
+  distinct priorities; the static race pass (``race-static`` in
+  :mod:`repro.analyze.races`) and the dynamic race sanitizer
+  (:mod:`repro.analyze.simsan.races`) both treat equal priorities as "no
+  ordering edge declared".
+* ``tiebreak`` — 0 in normal runs, a seeded pseudo-random key when the
+  schedule perturber (:mod:`repro.sim.perturb`) is installed.  It sits
+  *below* ``priority``, so perturbation can only permute orderings nobody
+  declared.
+* ``seq`` — the monotone scheduling sequence number.  It makes the order
+  total (FIFO among exact ties) and is the only field two distinct events
+  can never share, so heap *insertion* order is irrelevant to firing
+  order: the key decides everything, which is what the confluence harness
+  (``python -m repro.analyze races``) enforces bit-for-bit.
+
+The order is implemented as the dataclass field order of :class:`Event` —
+tuple comparison over exactly these four fields, in this sequence.  Do not
+add compared fields or reorder them without updating the race tooling and
+DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -13,13 +37,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import SimulationError
+from .perturb import PERTURB
 
 
 @dataclass(order=True, slots=True)
 class Event:
-    """A scheduled callback.  Ordered by ``(time_ps, seq)``."""
+    """A scheduled callback, ordered by ``(time_ps, priority, tiebreak, seq)``."""
 
     time_ps: int
+    priority: int
+    tiebreak: int
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
@@ -75,23 +102,33 @@ class Simulator:
         """
         return self._pending
 
-    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute time ``time_ps``."""
+    def schedule_at(self, time_ps: int, callback: Callable[[], None],
+                    priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ps``.
+
+        ``priority`` declares an ordering edge among same-timestamp events:
+        lower priorities fire first.  Events sharing both timestamp and
+        priority fire in scheduling (FIFO) order — an ordering the schedule
+        perturber is free to permute, so handlers must not rely on it.
+        """
         if time_ps < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time_ps} ps; time is {self._now} ps"
             )
-        event = Event(time_ps, self._seq, callback, _owner=self)
+        event = Event(time_ps, priority,
+                      PERTURB.tiebreak(time_ps, priority, self._seq),
+                      self._seq, callback, _owner=self)
         self._seq += 1
         self._pending += 1
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule_after(self, delay_ps: int, callback: Callable[[], None]) -> Event:
+    def schedule_after(self, delay_ps: int, callback: Callable[[], None],
+                       priority: int = 0) -> Event:
         """Schedule ``callback`` after a relative delay of ``delay_ps``."""
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps} ps")
-        return self.schedule_at(self._now + delay_ps, callback)
+        return self.schedule_at(self._now + delay_ps, callback, priority)
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""

@@ -1,0 +1,95 @@
+"""Seeded schedule perturbation: permute same-timestamp event tie-breaks.
+
+The engine's total order is ``(time_ps, priority, tiebreak, seq)`` (see
+:mod:`repro.sim.engine`).  With perturbation off — the default — every
+event's ``tiebreak`` is 0 and same-timestamp, same-priority events fire in
+FIFO scheduling order.  With a perturbation seed installed, each event is
+assigned a pseudo-random ``tiebreak`` derived from a keyed hash of
+``(seed, time_ps, priority, seq)``: a deterministic, seed-indexed
+permutation of every same-``(time_ps, priority)`` group.
+
+Two properties make this the right probe for ordering races:
+
+* **Declared ordering edges are preserved.**  ``priority`` precedes the
+  perturbed tiebreak in the sort key, so an ordering the model *declared*
+  (distinct priorities) can never be inverted — only the orderings nobody
+  asked for (FIFO ties) are shuffled.
+* **Each seed is exactly reproducible.**  The tiebreak is a pure function
+  of the seed and the event's scheduling coordinates, so a divergence found
+  under seed *k* replays under seed *k* — there is no hidden RNG stream to
+  desynchronise.
+
+A simulation is *schedule-confluent* when its observable output is
+bit-identical under every seed.  The confluence harness
+(``python -m repro.analyze races``) enforces exactly that over the golden
+Figure-3 points and a discrete-event storm; the dynamic race sanitizer
+(:mod:`repro.analyze.simsan.races`) explains any divergence in terms of the
+conflicting same-timestamp accesses that caused it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+
+
+class PerturbState:
+    """Process-wide perturbation switch (mirrors ``fastforward.FF``).
+
+    ``seed`` is the single field the engine reads on every ``schedule_at``;
+    ``None`` means FIFO tie-breaks (tiebreak 0 for every event).
+    ``permutations_applied`` counts events that received a perturbed
+    tiebreak — the :mod:`repro.analyze.simsan.races` metrics registry
+    exposes it as a gauge.
+    """
+
+    __slots__ = ("seed", "permutations_applied")
+
+    def __init__(self) -> None:
+        self.seed: int | None = None
+        self.permutations_applied = 0
+
+    @property
+    def on(self) -> bool:
+        return self.seed is not None
+
+    def set_seed(self, seed: int | None) -> None:
+        """Install (or clear, with ``None``) the perturbation seed."""
+        self.seed = None if seed is None else int(seed)
+
+    def tiebreak(self, time_ps: int, priority: int, seq: int) -> int:
+        """Tie-break key for one event under the current seed (0 when off)."""
+        if self.seed is None:
+            return 0
+        coords = f"{self.seed}:{time_ps}:{priority}:{seq}".encode()
+        digest = hashlib.blake2b(coords, digest_size=8).digest()
+        self.permutations_applied += 1
+        return int.from_bytes(digest, "big")
+
+
+PERTURB = PerturbState()
+
+
+def is_perturbed() -> bool:
+    """Whether a perturbation seed is currently installed."""
+    return PERTURB.on
+
+
+def set_seed(seed: int | None) -> None:
+    """Install a perturbation seed globally (``None`` restores FIFO)."""
+    PERTURB.set_seed(seed)
+
+
+@contextmanager
+def perturbed(seed: int | None):
+    """Run a block with tie-break perturbation under ``seed`` (no-op if None).
+
+    Restores the previous seed (usually ``None``) on exit, so scoped
+    confluence checks compose with an outer perturbed run.
+    """
+    previous = PERTURB.seed
+    PERTURB.set_seed(seed)
+    try:
+        yield
+    finally:
+        PERTURB.set_seed(previous)

@@ -1,0 +1,23 @@
+"""Seeded ordering bug: two same-tick writes to the row-buffer field.
+
+``close_row`` and ``load_row`` are scheduled at the same timestamp with the
+default (equal) priority, and both write ``open_row`` — whichever fires
+last wins, so the simulated state depends on heap tie-break order.  The
+``race-static`` pass must flag the pair.
+"""
+
+
+class RowBufferModel:
+    def __init__(self):
+        self.open_row = -1
+        self.row_hits = 0
+
+    def close_row(self):
+        self.open_row = -1
+
+    def load_row(self):
+        self.open_row = 7
+
+    def arm(self, sim, when_ps):
+        sim.schedule_at(when_ps, self.close_row)
+        sim.schedule_at(when_ps, self.load_row)

@@ -1,0 +1,23 @@
+"""The same-tick row-buffer writers, correctly ordered by priority.
+
+Identical effect sets to ``bad_race_same_tick``, but the two schedule
+sites declare distinct priorities — an explicit ordering edge the engine's
+``(time_ps, priority, tiebreak, seq)`` key can never invert — so the
+``race-static`` pass must stay silent.
+"""
+
+
+class RowBufferModel:
+    def __init__(self):
+        self.open_row = -1
+        self.row_hits = 0
+
+    def close_row(self):
+        self.open_row = -1
+
+    def load_row(self):
+        self.open_row = 7
+
+    def arm(self, sim, when_ps):
+        sim.schedule_at(when_ps, self.close_row, priority=0)
+        sim.schedule_at(when_ps, self.load_row, priority=1)

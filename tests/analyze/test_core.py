@@ -74,11 +74,12 @@ class TestCleanRepo:
         assert report.ok
         assert report.files_scanned > 90
 
-    def test_all_nine_passes_registered(self):
+    def test_all_ten_passes_registered(self):
         names = {p.name for p in all_passes()}
         assert names == {"wall-clock", "unseeded-random", "float-ps",
                          "set-iteration", "dimflow", "magic-latency",
-                         "jedec", "ddr3-literal", "direct-instrument"}
+                         "jedec", "ddr3-literal", "direct-instrument",
+                         "race-static"}
 
 
 class TestCLI:
@@ -130,11 +131,38 @@ class TestCLI:
         # The top-level shape is a contract for CI tooling: same keys on a
         # clean run as on a dirty one, findings just empty.
         assert set(payload) == {"ok", "files_scanned", "passes",
-                                "findings", "parse_errors"}
+                                "findings", "parse_errors",
+                                "pass_timings_ms"}
         assert payload["ok"] is True
         assert payload["findings"] == []
         assert payload["parse_errors"] == []
         assert "dimflow" in payload["passes"]
+        assert "race-static" in payload["passes"]
+        # Every pass reports a timing; values are host wall time (>= 0).
+        assert set(payload["pass_timings_ms"]) == set(payload["passes"])
+        assert all(ms >= 0 for ms in payload["pass_timings_ms"].values())
+
+    def test_findings_sorted_for_reproducible_diffs(self, tmp_path, capsys):
+        # Two rules fire on the same file: output order must be
+        # (path, line, rule, col), not discovery or registration order.
+        (tmp_path / "mod.py").write_text(
+            "def f(delay_ps, size_bytes):\n"
+            "    return delay_ps + size_bytes\n"
+            "def g(gap_ps, n_rows):\n"
+            "    return gap_ps + n_rows\n"
+        )
+        rc = main([str(tmp_path), "--format", "json", "--no-project-passes"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        keys = [(f["path"], f["line"], f["rule"], f["col"])
+                for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_timings_flag_prints_per_pass_wall_time(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        assert main([str(tmp_path), "--no-project-passes", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "dimflow" in out and "ms" in out
 
     def test_dimflow_findings_reach_the_cli(self, tmp_path, capsys):
         (tmp_path / "mod.py").write_text(

@@ -1,0 +1,222 @@
+"""The ``race-static`` pass: effect inference and conflict pairing."""
+
+import ast
+import textwrap
+
+from repro.analyze import run_analysis
+from repro.analyze.core import ModuleSource
+from repro.analyze.races import Effect, build_effect_table
+
+
+def _scan(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    report = run_analysis([str(tmp_path)], with_project_passes=False)
+    return [f for f in report.findings if f.rule == "race-static"]
+
+
+def _table(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_effect_table([ModuleSource("mod.py", tree, source)])
+
+
+class TestEffectInference:
+    def test_self_attribute_effects_carry_the_owner_class(self):
+        table = _table("""
+            class Bank:
+                def close(self):
+                    self.open_row = -1
+                def peek(self):
+                    return self.open_row
+        """)
+        assert Effect("Bank", "open_row") in table["close"].writes
+        assert Effect("Bank", "open_row") in table["peek"].reads
+
+    def test_annotated_parameter_receivers_are_owned(self):
+        table = _table("""
+            def drain(buf: IOBuffer):
+                buf.words = 0
+        """)
+        assert Effect("IOBuffer", "words") in table["drain"].writes
+
+    def test_unannotated_receivers_are_wildcards(self):
+        table = _table("""
+            def drain(buf):
+                buf.words = 0
+        """)
+        assert Effect("*", "words") in table["drain"].writes
+        assert Effect("*", "words").conflicts_with(Effect("IOBuffer", "words"))
+
+    def test_effects_propagate_through_the_call_graph(self):
+        table = _table("""
+            class Bank:
+                def _raw_close(self):
+                    self.open_row = -1
+                def close(self):
+                    self._raw_close()
+                def drain(self):
+                    self.close()
+        """)
+        assert Effect("Bank", "open_row") in table["drain"].writes
+
+    def test_augassign_counts_as_read(self):
+        table = _table("""
+            class Bank:
+                def hit(self):
+                    self.row_hits += 1
+        """)
+        assert Effect("Bank", "row_hits") in table["hit"].reads
+
+    def test_nested_defs_do_not_leak_into_the_enclosing_function(self):
+        table = _table("""
+            class Bank:
+                def outer(self):
+                    def inner():
+                        self.open_row = 3
+                    return inner
+        """)
+        assert Effect("Bank", "open_row") not in table["outer"].writes
+
+
+class TestConflictPairing:
+    def test_seeded_same_tick_write_write_is_flagged(self, tmp_path):
+        findings = _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps, self.load_row)
+        """)
+        assert len(findings) == 1
+        assert "open_row" in findings[0].message
+        assert "no ordering edge" in findings[0].message
+
+    def test_priority_edge_silences_the_pair(self, tmp_path):
+        assert _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row, priority=0)
+                    sim.schedule_at(when_ps, self.load_row, priority=1)
+        """) == []
+
+    def test_write_read_overlap_is_flagged(self, tmp_path):
+        findings = _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def audit(self):
+                    return self.open_row
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps, self.audit)
+        """)
+        assert len(findings) == 1
+
+    def test_disjoint_attributes_are_silent(self, tmp_path):
+        assert _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def count_hit(self):
+                    self.row_hits = 1
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps, self.count_hit)
+        """) == []
+
+    def test_read_read_overlap_is_silent(self, tmp_path):
+        assert _scan(tmp_path, """
+            class RowBufferModel:
+                def audit(self):
+                    return self.open_row
+                def peek(self):
+                    return self.open_row + 1
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.audit)
+                    sim.schedule_at(when_ps, self.peek)
+        """) == []
+
+    def test_same_handler_twice_is_not_paired(self, tmp_path):
+        assert _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps + 5, self.close_row)
+        """) == []
+
+    def test_non_constant_priority_is_no_edge(self, tmp_path):
+        findings = _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps, p):
+                    sim.schedule_at(when_ps, self.close_row, priority=p)
+                    sim.schedule_at(when_ps, self.load_row, priority=1)
+        """)
+        assert len(findings) == 1
+        assert "non-constant priority" in findings[0].message
+
+    def test_lambda_handlers_are_resolved(self, tmp_path):
+        findings = _scan(tmp_path, """
+            class RowBufferModel:
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, lambda: setattr_row(self))
+                    sim.schedule_at(when_ps, self.load_row)
+
+            def setattr_row(model: RowBufferModel):
+                model.open_row = -1
+        """)
+        assert len(findings) == 1
+
+    def test_transitive_conflict_through_helper_is_flagged(self, tmp_path):
+        findings = _scan(tmp_path, """
+            class RowBufferModel:
+                def _raw_close(self):
+                    self.open_row = -1
+                def close_row(self):
+                    self._raw_close()
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps, self.load_row)
+        """)
+        assert len(findings) == 1
+
+    def test_suppression_comment_applies(self, tmp_path):
+        assert _scan(tmp_path, """
+            class RowBufferModel:
+                def close_row(self):
+                    self.open_row = -1
+                def load_row(self):
+                    self.open_row = 7
+                def arm(self, sim, when_ps):
+                    sim.schedule_at(when_ps, self.close_row)
+                    sim.schedule_at(when_ps, self.load_row)  # analyze: allow[race-static] audited
+        """) == []
+
+
+class TestFixtures:
+    def test_bad_fixture_trips_only_race_static(self, fixture_tree):
+        report = run_analysis(
+            [str(fixture_tree / "sim" / "bad_race_same_tick.py")],
+            with_project_passes=False)
+        assert [f.rule for f in report.findings] == ["race-static"]
+
+    def test_good_fixture_is_clean(self, fixture_tree):
+        report = run_analysis(
+            [str(fixture_tree / "sim" / "good_race_priorities.py")],
+            with_project_passes=False)
+        assert report.findings == []

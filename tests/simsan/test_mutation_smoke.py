@@ -46,7 +46,7 @@ def test_engine_catches_time_regression(sanitizers):
     # Smuggle a past-dated event straight into the heap, bypassing the
     # schedule_at guard (the counter is kept honest so only the regression
     # trips).
-    heapq.heappush(sim._queue, Event(50, 999, lambda: None, _owner=sim))
+    heapq.heappush(sim._queue, Event(50, 0, 0, 999, lambda: None, _owner=sim))
     sim._pending += 1
     with pytest.raises(SanitizerError, match="regressed"):
         sim.step()
@@ -62,7 +62,7 @@ def test_engine_catches_pending_counter_drift(sanitizers):
 
 def test_engine_catches_orphan_event(sanitizers):
     sim = Simulator()
-    heapq.heappush(sim._queue, Event(50, 0, lambda: None))  # ownerless
+    heapq.heappush(sim._queue, Event(50, 0, 0, 0, lambda: None))  # ownerless
     sim._pending += 1
     with pytest.raises(SanitizerError, match="orphan"):
         sim.run(until_ps=10)  # the orphan is still queued at audit time

@@ -1,0 +1,191 @@
+"""The dynamic race sanitizer: shadowing, auditing, and zero-cost removal."""
+
+import pytest
+
+from repro.analyze import simsan
+from repro.analyze.simsan.races import (
+    CONFLICTS_OBSERVED, EVENTS_SHADOWED, METRICS, RaceSanitizer,
+    drain_access_log)
+from repro.dram.bank import Bank
+from repro.dram.timing import speed_grade
+from repro.errors import SanitizerError
+from repro.sim.engine import Simulator
+
+TIMINGS = speed_grade("DDR3-1600K")
+TICK_PS = 400
+
+
+@pytest.fixture()
+def races():
+    """A lone RaceSanitizer (cycling any global simsan install around it)."""
+    was_active = simsan.active()
+    if was_active:
+        simsan.uninstall()
+    sanitizer = RaceSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+        drain_access_log()
+        if was_active:
+            simsan.install()
+
+
+def _same_tick_writes(priority_a=0, priority_b=0, attr_b="open_row"):
+    """Two events at one tick poking Bank state; returns the armed sim."""
+    sim = Simulator()
+    bank = Bank(TIMINGS)
+    sim.schedule_at(TICK_PS, lambda: setattr(bank, "open_row", 5),
+                    priority=priority_a)
+    sim.schedule_at(TICK_PS, lambda: setattr(bank, attr_b, 9),
+                    priority=priority_b)
+    return sim
+
+
+class TestConflictDetection:
+    def test_seeded_same_tick_writes_are_flagged(self, races):
+        sim = _same_tick_writes()
+        with pytest.raises(SanitizerError, match="event-ordering race"):
+            sim.run()
+
+    def test_error_names_the_contested_attribute(self, races):
+        sim = _same_tick_writes()
+        with pytest.raises(SanitizerError, match=r"Bank\.open_row"):
+            sim.run()
+
+    def test_conflict_counter_increments(self, races):
+        before = CONFLICTS_OBSERVED.value
+        sim = _same_tick_writes()
+        with pytest.raises(SanitizerError):
+            sim.run()
+        assert CONFLICTS_OBSERVED.value == before + 1
+
+    def test_write_read_conflict_is_flagged(self, races):
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+        seen = []
+        sim.schedule_at(TICK_PS, lambda: setattr(bank, "open_row", 5))
+        sim.schedule_at(TICK_PS, lambda: seen.append(bank.open_row))
+        with pytest.raises(SanitizerError, match="conflicting accesses"):
+            sim.run()
+
+
+class TestNonConflicts:
+    def test_priority_edge_silences_the_pair(self, races):
+        sim = _same_tick_writes(priority_a=0, priority_b=1)
+        sim.run()
+
+    def test_disjoint_attributes_are_silent(self, races):
+        sim = _same_tick_writes(attr_b="row_hits")
+        sim.run()
+
+    def test_read_read_is_silent(self, races):
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+        seen = []
+        sim.schedule_at(TICK_PS, lambda: seen.append(bank.row_hits))
+        sim.schedule_at(TICK_PS, lambda: seen.append(bank.row_hits))
+        sim.run()
+        assert seen == [0, 0]
+
+    def test_different_timestamps_are_silent(self, races):
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+        sim.schedule_at(TICK_PS, lambda: setattr(bank, "open_row", 5))
+        sim.schedule_at(2 * TICK_PS, lambda: setattr(bank, "open_row", 9))
+        sim.run()
+        assert bank.open_row == 9
+
+    def test_causally_ordered_events_are_silent(self, races):
+        # The first event *schedules* the second at the same tick: the
+        # engine guarantees parent-before-child, so the tie-break cannot
+        # flip them and the write pair is not a race.
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+
+        def parent():
+            bank.open_row = 5
+            sim.schedule_at(TICK_PS, child)
+
+        def child():
+            bank.open_row = 9
+
+        sim.schedule_at(TICK_PS, parent)
+        sim.run()
+        assert bank.open_row == 9
+
+
+class TestShadowing:
+    def test_events_shadowed_counter_and_access_log(self, races):
+        before = EVENTS_SHADOWED.value
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+        sim.schedule_at(TICK_PS, lambda: setattr(bank, "open_row", 5))
+        sim.schedule_at(2 * TICK_PS, lambda: setattr(bank, "row_hits", 1))
+        sim.run()
+        assert EVENTS_SHADOWED.value == before + 2
+        log = drain_access_log()
+        assert len(log) == 2
+        accesses = [a for record in log for a in record["accesses"]]
+        assert {"component": "Bank", "attr": "open_row", "mode": "W"} in accesses
+
+    def test_metrics_registry_snapshot_has_the_detector_counters(self, races):
+        snapshot = METRICS.snapshot()
+        assert "races.events_shadowed" in snapshot
+        assert "races.conflicts_observed" in snapshot
+        assert "races.permutations_applied" in snapshot
+
+    def test_non_event_accesses_are_not_recorded(self, races):
+        bank = Bank(TIMINGS)
+        bank.open_row = 42  # direct-timestamp code path: no event running
+        assert drain_access_log() == []
+
+
+class TestZeroOverheadWhenOff:
+    def test_uninstall_restores_unhooked_classes(self):
+        was_active = simsan.active()
+        if was_active:
+            simsan.uninstall()
+        try:
+            sanitizer = RaceSanitizer()
+            sanitizer.install()
+            assert "__getattribute__" in Bank.__dict__
+            sanitizer.uninstall()
+            assert "__getattribute__" not in Bank.__dict__
+            assert "__setattr__" not in Bank.__dict__
+            assert not hasattr(Simulator.schedule_at, "__simsan_original__")
+        finally:
+            if was_active:
+                simsan.install()
+
+    def test_no_shadowing_means_no_counting(self):
+        if simsan.active():
+            pytest.skip("global sanitizers shadow every event")
+        before = EVENTS_SHADOWED.value
+        sim = Simulator()
+        bank = Bank(TIMINGS)
+        sim.schedule_at(TICK_PS, lambda: setattr(bank, "open_row", 5))
+        sim.run()
+        assert EVENTS_SHADOWED.value == before
+        assert drain_access_log() == []
+
+    def test_install_uninstall_cycle_leaves_results_bit_identical(self):
+        from repro.analysis.speedup import measure_point
+
+        def payload():
+            point = measure_point(0.5, 512)
+            return (point.cpu_ps, point.jafar_ps, point.matches)
+
+        was_active = simsan.active()
+        if was_active:
+            simsan.uninstall()
+        try:
+            baseline = payload()
+            sanitizer = RaceSanitizer()
+            sanitizer.install()
+            sanitizer.uninstall()
+            assert payload() == baseline
+        finally:
+            if was_active:
+                simsan.install()
