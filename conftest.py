@@ -1,14 +1,23 @@
-"""Repo-level pytest wiring: the ``--simsan`` flag.
+"""Repo-level pytest wiring: the ``--simsan`` flag and the ``engine`` fixture.
 
 ``pytest --simsan`` installs the runtime sanitizers
 (:mod:`repro.analyze.simsan`) before tests import model objects, so the
 whole suite runs with online JEDEC checking, event accounting, ownership
 handoff checks, and scan-equivalence shadowing.  Equivalent to running the
 suite with ``REPRO_SIMSAN=1`` in the environment.
+
+The module-scoped ``engine`` fixture parameterizes a test module over the
+compute backends (:mod:`repro.compute`): every test taking ``engine`` runs
+once per backend, with that backend active process-wide for the duration.
+Simulated outputs must not depend on the parameter — that is the DESIGN.md
+§10 bit-identity contract, and the golden suite pins it by asserting the
+same exact values under each.
 """
 
 import pathlib
 import sys
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -28,6 +37,17 @@ def pytest_configure(config):
             sys.path.insert(0, str(pathlib.Path(__file__).parent / "src"))
             from repro.analyze.simsan import install
         install()
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"])
+def engine(request):
+    """Run the requesting module's tests under each compute backend."""
+    if request.param == "numpy":
+        pytest.importorskip("numpy")
+    from repro.compute import backend_scope
+
+    with backend_scope(request.param):
+        yield request.param
 
 
 def pytest_report_header(config):

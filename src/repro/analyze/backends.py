@@ -1,0 +1,224 @@
+"""Cross-backend differential harness: ``python -m repro.analyze backends``.
+
+DESIGN.md §10's bit-identity contract says a compute backend may change how
+a value is computed, never what it is.  This harness measures the contract
+end-to-end, in both fast-forward and exact mode, by running the same work
+under every available backend and demanding exact-JSON equality of every
+simulated artifact:
+
+* **Figure-3 reports** — the bench smoke set via ``run_sweep``, compared
+  point-for-point with :func:`repro.bench.orchestrator.diff_reports` (the
+  same gate CI's ``--diff`` uses);
+* **Command traces** — a full traced JAFAR ``select_column`` run: duration,
+  match count, command count, and a SHA-256 over the exact DRAM command
+  stream (issue times included);
+* **MetricsRegistry snapshots** — the machine's full instrument registry
+  after that run;
+* **Goldens** — ``tests.golden.cases.compute_all()`` (skipped gracefully
+  when the tests package is not importable, e.g. from an installed wheel),
+  compared across backends *and* against the committed golden file.
+
+Exit codes follow the analyze CLI: 0 identical, 1 divergence, 2 usage /
+internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import time
+from dataclasses import asdict
+from typing import Any
+
+from ..compute import available_backends, backend_scope
+from ..sim import fastforward as _ffm
+
+DEFAULT_ROWS = 8192
+MODES = ("fast-forward", "exact")
+
+
+def _canon(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _mode_context(mode: str):
+    if mode == "exact":
+        return _ffm.exact_mode()
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def trace_digest(rows: int) -> dict[str, Any]:
+    """One traced JAFAR select: timings, command-stream hash, metrics."""
+    from ..config import GEM5_PLATFORM
+    from ..sim.trace import attach_trace
+    from ..system import Machine
+    from ..workloads import uniform_column
+
+    machine = Machine(GEM5_PLATFORM)
+    trace = attach_trace(machine)
+    values = uniform_column(rows, seed=7)
+    col = machine.alloc_array(values, dimm=0, pinned=True)
+    out = machine.alloc_zeros(max(rows // 8, 64), dimm=0, pinned=True)
+    result = machine.driver.select_column(col.vaddr, rows, 0, 500_000,
+                                          out.vaddr)
+    stream = "\n".join(_canon(asdict(c)) for c in trace.commands)
+    return {
+        "duration_ps": result.duration_ps,
+        "matches": result.matches,
+        "commands": len(trace.commands),
+        "command_stream_sha256": hashlib.sha256(stream.encode()).hexdigest(),
+        "metrics": machine.metrics.snapshot(),
+    }
+
+
+def _fig3_payloads(rows: int, exact: bool, backend: str) -> dict[str, Any]:
+    """The smoke sweep's simulated payloads under one backend."""
+    from ..bench.configs import smoke_sweep
+    from ..bench.orchestrator import run_sweep, simulated_view
+
+    report = run_sweep(smoke_sweep(rows), serial=True, use_cache=False,
+                       exact=exact, backend=backend)
+    return {p["name"]: simulated_view(p) for p in report["points"]}
+
+
+def _golden_payload() -> tuple[Any, Any] | None:
+    """(compute_all callable, committed golden payload) or None if absent."""
+    try:
+        from tests.golden.cases import compute_all
+    except ImportError:
+        return None
+    committed = None
+    path = pathlib.Path("tests/golden/golden_values.json")
+    if path.exists():
+        committed = json.loads(path.read_text(encoding="utf-8"))
+    return compute_all, committed
+
+
+def _differential(name: str, payloads: dict[str, Any],
+                  baseline: str) -> dict[str, Any]:
+    """One check result: every backend's payload vs the baseline's."""
+    reference = _canon(payloads[baseline])
+    divergent = sorted(b for b, payload in payloads.items()
+                       if _canon(payload) != reference)
+    return {"name": name, "ok": not divergent, "divergent_backends": divergent}
+
+
+def run_backends(rows: int = DEFAULT_ROWS, modes: tuple[str, ...] = MODES,
+                 backends: tuple[str, ...] | None = None,
+                 with_goldens: bool = True) -> dict[str, Any]:
+    """The full harness; returns the JSON report (``ok`` is the verdict)."""
+    if backends is None:
+        backends = available_backends()
+    report: dict[str, Any] = {
+        "rows": rows,
+        "backends": list(backends),
+        "modes": {},
+        "ok": True,
+    }
+    if len(backends) < 2:
+        # Nothing to compare against (numpy unavailable): vacuously ok,
+        # but say so rather than pretending the contract was measured.
+        report["note"] = "fewer than two backends available; nothing compared"
+        return report
+    baseline = backends[0]
+    golden = _golden_payload() if with_goldens else None
+    for mode in modes:
+        exact = mode == "exact"
+        checks: list[dict[str, Any]] = []
+        with _mode_context(mode):
+            fig3 = {b: _fig3_payloads(rows, exact, b) for b in backends}
+            digests = {}
+            for b in backends:
+                with backend_scope(b):
+                    digests[b] = trace_digest(rows)
+            checks.append(_differential("fig3_reports", fig3, baseline))
+            checks.append(_differential(
+                "command_trace",
+                {b: {k: v for k, v in digests[b].items() if k != "metrics"}
+                 for b in backends}, baseline))
+            checks.append(_differential(
+                "metrics_snapshot",
+                {b: digests[b]["metrics"] for b in backends}, baseline))
+            if golden is not None:
+                compute_all, committed = golden
+                payloads = {}
+                for b in backends:
+                    with backend_scope(b):
+                        payloads[b] = compute_all()
+                check = _differential("goldens", payloads, baseline)
+                if committed is not None:
+                    drifted = sorted(
+                        b for b, payload in payloads.items()
+                        if _canon(payload) != _canon(committed))
+                    check["ok"] = check["ok"] and not drifted
+                    check["drifted_from_committed"] = drifted
+                checks.append(check)
+            elif with_goldens:
+                checks.append({"name": "goldens", "ok": True,
+                               "skipped": "tests package not importable"})
+        mode_ok = all(c["ok"] for c in checks)
+        report["modes"][mode] = {"ok": mode_ok, "checks": checks}
+        report["ok"] = report["ok"] and mode_ok
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze backends",
+        description="Cross-backend differential harness: goldens, fig3 "
+                    "reports, command traces, and metrics snapshots must be "
+                    "bit-identical across compute backends (exact and "
+                    "fast-forward).",
+    )
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help=f"rows per workload (default {DEFAULT_ROWS})")
+    parser.add_argument("--mode", choices=MODES + ("both",), default="both",
+                        help="simulation mode(s) to cover (default both)")
+    parser.add_argument("--skip-goldens", action="store_true",
+                        help="skip the golden-suite comparison (quick runs)")
+    parser.add_argument("--out", metavar="REPORT.json",
+                        help="write the JSON report to this path")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format (default text)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.rows < 1:
+        print("error: --rows must be >= 1", file=sys.stderr)
+        return 2
+    modes = MODES if args.mode == "both" else (args.mode,)
+    started = time.perf_counter()
+    report = run_backends(rows=args.rows, modes=modes,
+                          with_goldens=not args.skip_goldens)
+    report["wall_s"] = round(time.perf_counter() - started, 3)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for mode, result in report["modes"].items():
+            for check in result["checks"]:
+                if check.get("skipped"):
+                    status = f"skipped ({check['skipped']})"
+                elif check["ok"]:
+                    status = "identical"
+                else:
+                    status = ("DIVERGED: "
+                              f"{check.get('divergent_backends') or check.get('drifted_from_committed')}")
+                print(f"  {mode:<13} {check['name']:<18} {status}")
+        verdict = "bit-identical" if report["ok"] else "NOT bit-identical"
+        print(f"repro.analyze backends: {len(report['backends'])} backend(s) "
+              f"({', '.join(report['backends'])}), "
+              f"{len(report['modes'])} mode(s): {verdict}")
+    return 0 if report["ok"] else 1

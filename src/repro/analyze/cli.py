@@ -6,7 +6,9 @@ tooling; the default text format prints one finding per line in the
 ``path:line:col: [rule] message`` shape editors understand.
 
 ``python -m repro.analyze races`` dispatches to the schedule-confluence
-harness (:mod:`repro.analyze.confluence`) instead of scanning source.
+harness (:mod:`repro.analyze.confluence`) instead of scanning source;
+``python -m repro.analyze backends`` dispatches to the cross-backend
+differential harness (:mod:`repro.analyze.backends`).
 """
 
 from __future__ import annotations
@@ -65,6 +67,10 @@ def _main(argv: list[str] | None = None) -> int:
         from .confluence import main as races_main
 
         return races_main(argv[1:])
+    if argv and argv[0] == "backends":
+        from .backends import main as backends_main
+
+        return backends_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)

@@ -18,9 +18,16 @@ import sys
 
 import json
 
+from ..compute import BACKEND_NAMES
 from ..errors import ReproError
 from .configs import DEFAULT_ROWS, DEFAULT_SCALE, SWEEPS, enumerate_sweep, smoke_sweep
-from .orchestrator import DEFAULT_OUTPUT, diff_reports, run_sweep, write_results
+from .orchestrator import (
+    DEFAULT_OUTPUT,
+    compare_backends,
+    diff_reports,
+    run_sweep,
+    write_results,
+)
 from .store import DEFAULT_CACHE_DIR
 
 
@@ -59,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "this seed (schedule-confluence contract: "
                              "simulated outputs are bit-identical anyway; "
                              "forces a cache bypass)")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="compute backend for the simulations (default: "
+                             "the REPRO_BACKEND env var, else numpy when "
+                             "available; part of the cache key)")
+    parser.add_argument("--compare-backends", action="store_true",
+                        help="run every point under each backend (serial, "
+                             "uncached), record per-backend wall-clock in "
+                             "the report's backend_compare section, and "
+                             "exit nonzero if simulated outputs differ")
     parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
                         help="compare two report files on simulated fields "
                              "only and exit nonzero on any mismatch")
@@ -102,6 +118,27 @@ def main(argv: list[str] | None = None) -> int:
             print(config.name)
         return 0
 
+    if args.compare_backends:
+        report = compare_backends(configs, cache_dir=args.cache_dir,
+                                  exact=args.exact)
+        report = write_results(report, args.output)
+        compare = report["backend_compare"]
+        for name, entry in compare["points"].items():
+            walls = "  ".join(f"{b}={entry[f'{b}_wall_s']:.3f}s"
+                              for b in compare["backends"])
+            speedup = entry["wall_speedup"]
+            tag = f"  {speedup:.2f}x" if speedup else ""
+            print(f"  {name:<44} {walls}{tag}")
+        verdict = ("bit-identical" if compare["identical"] else
+                   f"MISMATCHED: {', '.join(compare['mismatched_points'])}")
+        total = compare["total"]
+        speedup = total["wall_speedup"]
+        print(f"{len(compare['points'])} point(s) x "
+              f"{len(compare['backends'])} backend(s): {verdict}"
+              + (f", {speedup:.2f}x total" if speedup else "")
+              + f" -> {args.output}")
+        return 0 if compare["identical"] else 1
+
     if args.trace:
         from ..obs.tracer import tracing
 
@@ -112,14 +149,16 @@ def main(argv: list[str] | None = None) -> int:
                                cache_dir=args.cache_dir,
                                use_cache=False, serial=True,
                                exact=args.exact,
-                               perturb_seed=args.perturb_seed)
+                               perturb_seed=args.perturb_seed,
+                               backend=args.backend)
         print(f"trace written to {args.trace}")
     else:
         report = run_sweep(configs, workers=args.workers,
                            cache_dir=args.cache_dir,
                            use_cache=not args.no_cache, serial=args.serial,
                            exact=args.exact,
-                           perturb_seed=args.perturb_seed)
+                           perturb_seed=args.perturb_seed,
+                           backend=args.backend)
     report = write_results(report, args.output)
 
     for point in report["points"]:
@@ -130,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     mode = "exact" if report["exact"] else "fast-forward"
     if report.get("perturb_seed") is not None:
         mode += f", perturb-seed {report['perturb_seed']}"
+    mode += f", {report['backend']} backend"
     print(f"{report['num_points']} point(s), {report['cache_hits']} cached, "
           f"{report['total_wall_s']:.2f}s wall on {report['workers']} "
           f"worker(s), {mode} -> {args.output}")

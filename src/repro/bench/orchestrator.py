@@ -30,9 +30,11 @@ DEFAULT_OUTPUT = pathlib.Path("BENCH_results.json")
 #: CI ``--diff`` gate — and out of the content-addressed store payloads.
 #: ``perturb_seed`` belongs here by the confluence contract: the simulated
 #: payload is bit-identical under every tie-break permutation, so a
-#: perturbed report must diff clean against an unperturbed one.
+#: perturbed report must diff clean against an unperturbed one.  ``backend``
+#: belongs here by the backend bit-identity contract (DESIGN.md §10): a
+#: python-backend report must diff clean against a numpy-backend one.
 HOST_ONLY_POINT_FIELDS = ("wall_s", "cached", "ff_skipped_events", "exact",
-                          "perturb_seed")
+                          "perturb_seed", "backend")
 
 
 def simulated_view(point: dict[str, Any]) -> dict[str, Any]:
@@ -47,7 +49,8 @@ def simulated_view(point: dict[str, Any]) -> dict[str, Any]:
 
 def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
               use_cache: bool, exact: bool = False,
-              perturb_seed: int | None = None) -> dict[str, Any]:
+              perturb_seed: int | None = None,
+              backend: str | None = None) -> dict[str, Any]:
     """Run (or fetch) one point.  Top-level so process pools can pickle it.
 
     ``exact=True`` disables steady-state fast-forward for the simulation —
@@ -62,9 +65,17 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
     the simulated payload is bit-identical anyway.  Perturbed runs bypass
     the result store — serving a cached payload would prove nothing about
     this schedule.
+
+    ``backend`` selects the compute backend for the simulation (default:
+    the process's active backend).  It is part of the cache key, so the
+    two backends' results never cross-pollinate the store.
     """
+    from ..compute import backend_scope, get_backend
+
     started = time.perf_counter()
-    key = cache_key(config, fingerprint)
+    if backend is None:
+        backend = get_backend().name
+    key = cache_key(config, fingerprint, backend)
     if perturb_seed is not None:
         use_cache = False
     store = ResultStore(cache_dir) if use_cache else None
@@ -81,7 +92,7 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
             tracer.begin(config.name, tracer.root_track(config.name), 0,
                          experiment=config.experiment, exact=exact)
         try:
-            with perturbed(perturb_seed):
+            with perturbed(perturb_seed), backend_scope(backend):
                 if exact:
                     with _ffm.exact_mode():
                         result = execute(config)
@@ -104,6 +115,7 @@ def run_point(config: SweepConfig, fingerprint: str, cache_dir: str,
         "cached": hit,
         "exact": exact,
         "perturb_seed": perturb_seed,
+        "backend": backend,
         "ff_skipped_events": skipped,
     }
 
@@ -112,25 +124,32 @@ def run_sweep(configs: list[SweepConfig], workers: int = 1,
               cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
               use_cache: bool = True, serial: bool = False,
               exact: bool = False,
-              perturb_seed: int | None = None) -> dict[str, Any]:
+              perturb_seed: int | None = None,
+              backend: str | None = None) -> dict[str, Any]:
     """Run every config and assemble the report dictionary.
 
     ``serial=True`` (or ``workers <= 1``) runs in-process — the comparison
     baseline and the debug path.  Otherwise points fan out over a
     ``ProcessPoolExecutor``; results keep config order regardless of
-    completion order, so reports diff cleanly run-to-run.
+    completion order, so reports diff cleanly run-to-run.  ``backend`` is
+    resolved here once so pool workers cannot disagree with the parent
+    about which compute backend a point ran under.
     """
+    from ..compute import get_backend
+
     fingerprint = code_fingerprint()
     cache_dir = str(cache_dir)
+    if backend is None:
+        backend = get_backend().name
     started = time.perf_counter()
     if serial or workers <= 1:
         points = [run_point(c, fingerprint, cache_dir, use_cache, exact,
-                            perturb_seed)
+                            perturb_seed, backend)
                   for c in configs]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_point, c, fingerprint, cache_dir,
-                                   use_cache, exact, perturb_seed)
+                                   use_cache, exact, perturb_seed, backend)
                        for c in configs]
             points = [f.result() for f in futures]
     total_wall_s = time.perf_counter() - started
@@ -147,6 +166,7 @@ def run_sweep(configs: list[SweepConfig], workers: int = 1,
         "cache_hits": sum(1 for p in points if p.get("cached")),
         "exact": exact,
         "perturb_seed": perturb_seed,
+        "backend": backend,
         "ff_skipped_events": sum(skipped) if skipped else None,
         "total_wall_s": total_wall_s,
         "points": points,
@@ -170,6 +190,53 @@ def diff_reports(report_a: dict[str, Any],
                 or simulated_view(in_a) != simulated_view(in_b)):
             mismatched.append(name)
     return mismatched
+
+
+def compare_backends(configs: list[SweepConfig],
+                     backends: tuple[str, ...] = ("python", "numpy"),
+                     cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
+                     exact: bool = False) -> dict[str, Any]:
+    """Run ``configs`` under every backend and fold the timings together.
+
+    Every backend runs serially with the cache bypassed so each point's
+    ``wall_s`` measures an actual simulation.  Returns the last backend's
+    report with a ``backend_compare`` section attached: per-point and
+    total wall-clock per backend, the last-vs-first speedup, and whether
+    the simulated payloads were bit-identical across all backends
+    (``identical`` — the DESIGN.md §10 contract, measured end-to-end).
+    """
+    reports = {name: run_sweep(configs, serial=True, cache_dir=cache_dir,
+                               use_cache=False, exact=exact, backend=name)
+               for name in backends}
+    names = list(backends)
+    baseline = names[0]
+    mismatched = sorted({point
+                         for name in names[1:]
+                         for point in diff_reports(reports[baseline],
+                                                   reports[name])})
+    walls = {name: {p["name"]: p["wall_s"] for p in reports[name]["points"]}
+             for name in names}
+    points: dict[str, Any] = {}
+    for config in configs:
+        entry = {f"{name}_wall_s": walls[name][config.name] for name in names}
+        last = walls[names[-1]][config.name]
+        entry["wall_speedup"] = (walls[baseline][config.name] / last
+                                 if last > 0 else None)
+        points[config.name] = entry
+    total = {f"{name}_wall_s": reports[name]["total_wall_s"]
+             for name in names}
+    last_total = reports[names[-1]]["total_wall_s"]
+    total["wall_speedup"] = (reports[baseline]["total_wall_s"] / last_total
+                             if last_total > 0 else None)
+    primary = dict(reports[names[-1]])
+    primary["backend_compare"] = {
+        "backends": names,
+        "identical": not mismatched,
+        "mismatched_points": mismatched,
+        "points": points,
+        "total": total,
+    }
+    return primary
 
 
 def compute_deltas(report: dict[str, Any],

@@ -1,9 +1,10 @@
 """Content-addressed result store for benchmark points.
 
-A point's cache key is ``sha256(config JSON + code fingerprint)``: the
-fingerprint covers every ``repro`` source file, so *any* change to the
-simulator invalidates *every* cached result, while re-running unchanged code
-is a pure cache hit.  Entries are written atomically (temp file +
+A point's cache key is ``sha256(config JSON + code fingerprint + compute
+backend)``: the fingerprint covers every ``repro`` source file, so *any*
+change to the simulator invalidates *every* cached result, while re-running
+unchanged code is a pure cache hit; the backend component keeps python- and
+numpy-backend results from ever cross-pollinating.  Entries are written atomically (temp file +
 ``os.replace``) so concurrent process-pool workers — or two orchestrator
 invocations racing — can never expose a torn entry; last writer wins with
 byte-identical content either way, because payloads are deterministic.
@@ -41,14 +42,28 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
-def cache_key(config: SweepConfig, fingerprint: str | None = None) -> str:
-    """The content address of one benchmark point's result."""
+def cache_key(config: SweepConfig, fingerprint: str | None = None,
+              backend: str | None = None) -> str:
+    """The content address of one benchmark point's result.
+
+    The compute backend is part of the address: results are bit-identical
+    across backends *by contract*, but sharing cache entries between them
+    would let a buggy backend silently serve the other's payloads and
+    defeat every cross-backend differential check.  A python-backend entry
+    can therefore never satisfy a numpy-backend lookup, or vice versa.
+    """
     if fingerprint is None:
         fingerprint = code_fingerprint()
+    if backend is None:
+        from ..compute import get_backend
+
+        backend = get_backend().name
     digest = hashlib.sha256()
     digest.update(config.canonical_json().encode())
     digest.update(b"\0")
     digest.update(fingerprint.encode())
+    digest.update(b"\0")
+    digest.update(backend.encode())
     return digest.hexdigest()
 
 

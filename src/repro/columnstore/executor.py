@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..compute import get_backend
 from ..errors import PlanError
 from ..obs.tracer import TRACE as _TRACE
 from .column import Catalog
@@ -142,7 +143,8 @@ class QueryExecutor:
                 values = fetched.column.values
                 with self.ctx.timed("select.refine"):
                     agg_ops._charge_stream(self.ctx, values.nbytes, 8.0)
-                    keep = (values >= pred.low) & (values <= pred.high)
+                    keep = get_backend().range_mask(values, pred.low,
+                                                    pred.high)
                 positions = PositionList(positions.positions[keep])
         return _BaseRef(child.table, positions)
 

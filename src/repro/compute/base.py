@@ -1,0 +1,122 @@
+"""The batch-compute backend interface (DESIGN.md §10).
+
+Every hot-path batch kernel in the simulator — predicate evaluation over
+column segments, bitmask pack/unpack/popcount, the fused interior-burst
+hit algebra, and snapshot-delta extrapolation in fast-forward — is reached
+through one of the methods below.  Two implementations exist:
+
+* ``python`` (:mod:`repro.compute.python_backend`) — per-element pure
+  Python loops; the executable specification every other backend is
+  measured against.
+* ``numpy`` (:mod:`repro.compute.numpy_backend`) — vectorised batch
+  kernels, bit-identical to the reference by contract.
+
+**Bit-identity contract.**  A backend may change how a value is computed,
+never what it is: every simulated-clock artifact (goldens, fig3 reports,
+command traces, MetricsRegistry snapshots) must be byte-identical across
+backends.  ``python -m repro.analyze backends`` and the cross-backend fuzz
+suite enforce this.  A kernel may therefore vectorise only operations whose
+batched semantics are exactly the sequential semantics: integer compare /
+count / gather always qualify; float arithmetic qualifies only when every
+intermediate is an exactly-representable integer below
+:data:`MAX_EXACT_FLOAT` (otherwise the kernel must fall back to the
+sequential order, as ``fused_hit_run`` and ``apply_delta`` do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest magnitude at which consecutive float additions of integral
+#: increments are guaranteed exact (and hence equal to extrapolation).
+#: Shared with :mod:`repro.sim.fastforward`.
+MAX_EXACT_FLOAT = float(2**53)
+
+
+class ComputeBackend:
+    """Abstract batch-kernel surface.  All array arguments are NumPy arrays
+    (NumPy is the data plane regardless of backend; the backend decides how
+    the *kernel* runs, not how data is stored)."""
+
+    name = "abstract"
+
+    # -- predicate evaluation ------------------------------------------------------
+
+    def range_mask(self, values: np.ndarray, low: int, high: int) -> np.ndarray:
+        """Boolean mask of ``low <= values[i] <= high`` (inclusive range).
+
+        Dtype validation is the caller's job; ``values`` is integer-typed.
+        """
+        raise NotImplementedError
+
+    def count_in_range(self, values: np.ndarray, low: int, high: int) -> int:
+        """Number of elements inside the inclusive range."""
+        raise NotImplementedError
+
+    def kth_smallest(self, values: np.ndarray, k: int) -> int:
+        """The k-th smallest element (1-based), as a Python int."""
+        raise NotImplementedError
+
+    # -- bitmask materialisation ---------------------------------------------------
+
+    def pack_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Pack a boolean row mask into little-endian-bit uint8 bytes."""
+        raise NotImplementedError
+
+    def unpack_mask(self, buf: np.ndarray, num_rows: int) -> np.ndarray:
+        """Inverse of :meth:`pack_mask`.  ``buf`` is pre-validated to hold
+        at least ``ceil(num_rows / 8)`` bytes."""
+        raise NotImplementedError
+
+    def popcount(self, mask: np.ndarray) -> int:
+        """Number of set bits in a boolean mask, as a Python int."""
+        raise NotImplementedError
+
+    def flatnonzero(self, mask: np.ndarray) -> np.ndarray:
+        """Ascending int64 indices of the set bits of a boolean mask."""
+        raise NotImplementedError
+
+    def merge_masked(self, current: np.ndarray, owned: np.ndarray,
+                     update: np.ndarray) -> None:
+        """In place: ``current[i] = update[i]`` wherever ``owned[i]``."""
+        raise NotImplementedError
+
+    # -- CPU scan cost shaping -----------------------------------------------------
+
+    def per_line_stats(self, mask: np.ndarray,
+                       rows_per_line: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cache-line ``(matches, mispredicts)`` float64 arrays.
+
+        Mispredicts model a 1-bit predictor: the first row counts iff it
+        matches (the predictor starts predicting "no match"); every later
+        row counts iff its outcome differs from the previous row's.
+        """
+        raise NotImplementedError
+
+    # -- fused-lane hit algebra ----------------------------------------------------
+
+    def fused_hit_run(self, n: int, cursor: int, alu_ready: int, io: int,
+                      b_col: int, b_dfree: int, b_pre: int, next_ref: int,
+                      cl: int, burst: int, tccd: int, trtp: int,
+                      wp_full: float) -> tuple[int, int, int, int, int, int, int]:
+        """Service up to ``n`` consecutive row-hit bursts.
+
+        Pure max/plus recurrence over integer picosecond state (the
+        :meth:`Rank.access` row-hit branch plus ALU bookkeeping, localized).
+        Stops early when ``cursor`` reaches ``next_ref``.  Returns
+        ``(done, cursor, alu_ready, io, b_col, b_dfree, b_pre)`` exactly as
+        the sequential reference computes them.
+        """
+        raise NotImplementedError
+
+    # -- fast-forward snapshot algebra ---------------------------------------------
+
+    def apply_delta(self, base: tuple, delta: tuple,
+                    periods: int) -> tuple | None:
+        """Extrapolate ``base`` forward by ``periods`` periods of ``delta``.
+
+        Semantics of :func:`repro.sim.fastforward.apply_delta`: int slots
+        advance additively, ``None`` delta slots are carried through, float
+        slots advance only while provably exact (else return None).
+        """
+        raise NotImplementedError

@@ -1,0 +1,181 @@
+"""The ``numpy`` backend: vectorised batch kernels.
+
+Bit-identical to :mod:`repro.compute.python_backend` by contract (enforced
+by ``python -m repro.analyze backends``, the golden suite, and the
+cross-backend fuzzer).  Where exact vectorisation is impossible the kernel
+runs the sequential reference semantics instead of approximating:
+
+* :meth:`NumpyBackend.fused_hit_run` executes live iterations until the
+  per-iteration state delta is a *uniform positive shift*; the recurrence
+  is translation-invariant max/plus arithmetic (plus a ``round`` that is
+  invariant only for integral ``wp_full`` and magnitudes below 2**53), so
+  once one uniform shift is observed every later iteration provably
+  applies the same shift and the remainder is one O(1) jump.
+* :meth:`NumpyBackend.apply_delta` vectorises the all-int common case with
+  an overflow guard computed in Python ints, and defers anything else to
+  the shared reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MAX_EXACT_FLOAT, ComputeBackend
+from .python_backend import apply_delta_reference
+
+#: Headroom subtracted from 2**53 before trusting ``round(ds + wp_full)``
+#: to be exact along an extrapolated stretch (covers the per-iteration
+#: constants added on top of the guarded state components).
+_FLOAT_EXACT_LIMIT = int(MAX_EXACT_FLOAT) - (1 << 20)
+
+#: int64 headroom for the vectorised apply_delta fast path.
+_INT64_SAFE = 1 << 62
+
+
+class NumpyBackend(ComputeBackend):
+    """Vectorised kernels over the NumPy data plane."""
+
+    name = "numpy"
+
+    def range_mask(self, values: np.ndarray, low: int, high: int) -> np.ndarray:
+        return (values >= low) & (values <= high)
+
+    def count_in_range(self, values: np.ndarray, low: int, high: int) -> int:
+        return int(((values >= low) & (values <= high)).sum())
+
+    def kth_smallest(self, values: np.ndarray, k: int) -> int:
+        return int(np.partition(values, k - 1)[k - 1])
+
+    def pack_mask(self, mask: np.ndarray) -> np.ndarray:
+        return np.packbits(mask.astype(np.uint8), bitorder="little")
+
+    def unpack_mask(self, buf: np.ndarray, num_rows: int) -> np.ndarray:
+        need = -(-num_rows // 8)
+        bits = np.unpackbits(buf[:need].astype(np.uint8), bitorder="little")
+        return bits[:num_rows].astype(bool)
+
+    def popcount(self, mask: np.ndarray) -> int:
+        return int(mask.sum())
+
+    def flatnonzero(self, mask: np.ndarray) -> np.ndarray:
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def merge_masked(self, current: np.ndarray, owned: np.ndarray,
+                     update: np.ndarray) -> None:
+        current[owned] = update[owned]
+
+    def per_line_stats(self, mask: np.ndarray,
+                       rows_per_line: int) -> tuple[np.ndarray, np.ndarray]:
+        n = mask.size
+        nlines = -(-n // rows_per_line)
+        padded = np.zeros(nlines * rows_per_line, dtype=bool)
+        padded[:n] = mask
+        matches = padded.reshape(nlines, rows_per_line).sum(axis=1)
+        transitions = np.empty(n, dtype=bool)
+        transitions[0] = mask[0]  # predictor starts predicting "no match"
+        np.not_equal(mask[1:], mask[:-1], out=transitions[1:])
+        tpad = np.zeros(nlines * rows_per_line, dtype=bool)
+        tpad[:n] = transitions
+        mispredicts = tpad.reshape(nlines, rows_per_line).sum(axis=1)
+        return matches.astype(np.float64), mispredicts.astype(np.float64)
+
+    def fused_hit_run(self, n: int, cursor: int, alu_ready: int, io: int,
+                      b_col: int, b_dfree: int, b_pre: int, next_ref: int,
+                      cl: int, burst: int, tccd: int, trtp: int,
+                      wp_full: float) -> tuple[int, int, int, int, int, int, int]:
+        done = 0
+        # round(ds + wp_full) is translation-invariant only when wp_full is
+        # integral (a fractional part makes banker's rounding depend on
+        # parity) — otherwise every iteration runs live, like the reference.
+        extrapolate = wp_full.is_integer()
+        wp_const = int(wp_full) if extrapolate else 0
+        while done < n:
+            if cursor >= next_ref:
+                break
+            prev_cursor = cursor
+            prev_alu = alu_ready
+            prev_io = io
+            prev_col = b_col
+            prev_dfree = b_dfree
+            prev_pre = b_pre
+            busy = io
+            if alu_ready > busy:
+                busy = alu_ready
+            if b_dfree > busy:
+                busy = b_dfree
+            cas = b_col
+            if cursor > cas:
+                cas = cursor
+            dflo = busy - cl
+            if dflo > cas:
+                cas = dflo
+            ds = cas + cl
+            de = ds + burst
+            b_dfree = de
+            b_col = cas + tccd
+            npre = cas + trtp
+            if npre > b_pre:
+                b_pre = npre
+            io = de
+            proc = round(ds + wp_full)
+            if de > proc:
+                proc = de
+            alu_ready = proc
+            cursor = cas
+            done += 1
+            if not extrapolate:
+                continue
+            step = cursor - prev_cursor
+            if (step <= 0
+                    or alu_ready - prev_alu != step
+                    or io - prev_io != step
+                    or b_col - prev_col != step
+                    or b_dfree - prev_dfree != step
+                    or b_pre - prev_pre != step):
+                continue
+            # Uniform positive shift observed: the recurrence is pure
+            # max/plus over the six components, so F(S + d*1) = F(S) + d*1
+            # and by induction every remaining iteration shifts the state
+            # by exactly `step`.  Jump as far as the refresh deadline, the
+            # burst budget, and float-exactness of ds + wp_full allow.
+            room = (next_ref - 1 - cursor) // step
+            m = n - done
+            if room < m:
+                m = room
+            if m <= 0:
+                continue
+            hi = cursor
+            for component in (alu_ready, io, b_col, b_dfree, b_pre):
+                if component > hi:
+                    hi = component
+            if hi + step * m + cl + burst + trtp + wp_const > _FLOAT_EXACT_LIMIT:
+                continue
+            shift = step * m
+            cursor += shift
+            alu_ready += shift
+            io += shift
+            b_col += shift
+            b_dfree += shift
+            b_pre += shift
+            done += m
+        return done, cursor, alu_ready, io, b_col, b_dfree, b_pre
+
+    def apply_delta(self, base: tuple, delta: tuple,
+                    periods: int) -> tuple | None:
+        if len(base) != len(delta):
+            return apply_delta_reference(base, delta, periods)
+        for value in base:
+            if type(value) is not int:
+                return apply_delta_reference(base, delta, periods)
+        bound = 0
+        for value, step in zip(base, delta):
+            if type(step) is not int:
+                return apply_delta_reference(base, delta, periods)
+            magnitude = abs(value) + abs(step) * periods
+            if magnitude > bound:
+                bound = magnitude
+        if bound >= _INT64_SAFE:
+            return apply_delta_reference(base, delta, periods)
+        out = (np.array(base, dtype=np.int64)
+               + np.array(delta, dtype=np.int64) * np.int64(periods))
+        return tuple(out.tolist())

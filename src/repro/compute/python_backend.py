@@ -1,0 +1,149 @@
+"""The ``python`` backend: per-element reference kernels.
+
+Every kernel is a plain Python loop over Python scalars — the executable
+specification of the batch semantics.  Arrays still go in and out as NumPy
+(the data plane is unchanged); only the *kernel* runs element by element.
+Deliberately unclever: when the numpy backend and this one disagree, this
+one is right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MAX_EXACT_FLOAT, ComputeBackend
+
+
+def apply_delta_reference(base: tuple, delta: tuple,
+                          periods: int) -> tuple | None:
+    """Sequential-semantics snapshot extrapolation (the shared reference).
+
+    The numpy backend falls back to this for snapshots its int64 fast path
+    cannot represent, so the exact-fallback logic lives once, here.
+    """
+    out = []
+    append = out.append
+    for value, step in zip(base, delta):
+        if step is None:
+            append(value)
+        elif type(value) is int:
+            append(value + step * periods)
+        else:  # float slot: only integral values within 2**53 are exact
+            if step == 0.0:
+                append(value)
+                continue
+            new = value + step * periods
+            if not (value.is_integer() and step.is_integer()
+                    and abs(new) <= MAX_EXACT_FLOAT):
+                return None
+            append(new)
+    return tuple(out)
+
+
+class PythonBackend(ComputeBackend):
+    """Pure-Python per-element loops; the bit-identity reference."""
+
+    name = "python"
+
+    def range_mask(self, values: np.ndarray, low: int, high: int) -> np.ndarray:
+        return np.fromiter((low <= v <= high for v in values.tolist()),
+                           dtype=bool, count=values.size)
+
+    def count_in_range(self, values: np.ndarray, low: int, high: int) -> int:
+        count = 0
+        for v in values.tolist():
+            if low <= v <= high:
+                count += 1
+        return count
+
+    def kth_smallest(self, values: np.ndarray, k: int) -> int:
+        return int(sorted(values.tolist())[k - 1])
+
+    def pack_mask(self, mask: np.ndarray) -> np.ndarray:
+        bits = mask.tolist()
+        out = bytearray((len(bits) + 7) // 8)
+        for i, bit in enumerate(bits):
+            if bit:
+                out[i >> 3] |= 1 << (i & 7)
+        # frombuffer over the bytearray keeps the array writable, matching
+        # np.packbits output.
+        return np.frombuffer(out, dtype=np.uint8)
+
+    def unpack_mask(self, buf: np.ndarray, num_rows: int) -> np.ndarray:
+        data = buf.tolist()
+        return np.fromiter(((data[i >> 3] >> (i & 7)) & 1
+                            for i in range(num_rows)),
+                           dtype=bool, count=num_rows)
+
+    def popcount(self, mask: np.ndarray) -> int:
+        count = 0
+        for bit in mask.tolist():
+            if bit:
+                count += 1
+        return count
+
+    def flatnonzero(self, mask: np.ndarray) -> np.ndarray:
+        return np.array([i for i, bit in enumerate(mask.tolist()) if bit],
+                        dtype=np.int64)
+
+    def merge_masked(self, current: np.ndarray, owned: np.ndarray,
+                     update: np.ndarray) -> None:
+        for i, take in enumerate(owned.tolist()):
+            if take:
+                current[i] = update[i]
+
+    def per_line_stats(self, mask: np.ndarray,
+                       rows_per_line: int) -> tuple[np.ndarray, np.ndarray]:
+        bits = mask.tolist()
+        nlines = -(-len(bits) // rows_per_line)
+        matches = [0] * nlines
+        mispredicts = [0] * nlines
+        prev = False  # predictor starts predicting "no match"
+        for i, bit in enumerate(bits):
+            line = i // rows_per_line
+            if bit:
+                matches[line] += 1
+            if bit != prev:
+                mispredicts[line] += 1
+            prev = bit
+        return (np.array(matches, dtype=np.float64),
+                np.array(mispredicts, dtype=np.float64))
+
+    def fused_hit_run(self, n: int, cursor: int, alu_ready: int, io: int,
+                      b_col: int, b_dfree: int, b_pre: int, next_ref: int,
+                      cl: int, burst: int, tccd: int, trtp: int,
+                      wp_full: float) -> tuple[int, int, int, int, int, int, int]:
+        done = 0
+        while done < n:
+            if cursor >= next_ref:
+                break
+            busy = io
+            if alu_ready > busy:
+                busy = alu_ready
+            if b_dfree > busy:
+                busy = b_dfree
+            cas = b_col
+            if cursor > cas:
+                cas = cursor
+            dflo = busy - cl
+            if dflo > cas:
+                cas = dflo
+            ds = cas + cl
+            de = ds + burst
+            b_dfree = de
+            b_col = cas + tccd
+            npre = cas + trtp
+            if npre > b_pre:
+                b_pre = npre
+            io = de
+            proc = round(ds + wp_full)
+            if de > proc:
+                proc = de
+            alu_ready = proc
+            cursor = cas
+            done += 1
+        return done, cursor, alu_ready, io, b_col, b_dfree, b_pre
+
+    def apply_delta(self, base: tuple, delta: tuple,
+                    periods: int) -> tuple | None:
+        return apply_delta_reference(base, delta, periods)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compute import get_backend
 from ..errors import TypeMismatchError
 from .core import Core, PhaseStats
 # The default config µop counts equal these bundles' totals; the bundles
@@ -53,23 +54,12 @@ def range_mask(values: np.ndarray, low: int, high: int) -> np.ndarray:
         raise TypeMismatchError(
             f"select operates on integer columns, got dtype {values.dtype}"
         )
-    return (values >= low) & (values <= high)
+    return get_backend().range_mask(values, low, high)
 
 
 def _per_line(mask: np.ndarray, rows_per_line: int) -> tuple[np.ndarray, np.ndarray]:
     """Per-cache-line match counts and 1-bit-predictor mispredict counts."""
-    n = mask.size
-    nlines = -(-n // rows_per_line)
-    padded = np.zeros(nlines * rows_per_line, dtype=bool)
-    padded[:n] = mask
-    matches = padded.reshape(nlines, rows_per_line).sum(axis=1)
-    transitions = np.empty(n, dtype=bool)
-    transitions[0] = mask[0]  # predictor starts predicting "no match"
-    np.not_equal(mask[1:], mask[:-1], out=transitions[1:])
-    tpad = np.zeros(nlines * rows_per_line, dtype=bool)
-    tpad[:n] = transitions
-    mispredicts = tpad.reshape(nlines, rows_per_line).sum(axis=1)
-    return matches.astype(np.float64), mispredicts.astype(np.float64)
+    return get_backend().per_line_stats(mask, rows_per_line)
 
 
 def branchy_select(core: Core, values: np.ndarray, base_addr: int,
@@ -101,7 +91,7 @@ def branchy_select(core: Core, values: np.ndarray, base_addr: int,
         cycles_per_line=cycles_per_line,
         write_bytes_per_line=matches * 8.0,  # 64-bit positions out
     )
-    return SelectResult(np.flatnonzero(mask).astype(np.int64), mask,
+    return SelectResult(get_backend().flatnonzero(mask), mask,
                         core.now_ps - start, phase)
 
 
@@ -127,7 +117,7 @@ def predicated_select(core: Core, values: np.ndarray, base_addr: int,
         cycles_per_line=cycles_per_line,
         write_bytes_per_line=matches * 8.0,
     )
-    return SelectResult(np.flatnonzero(mask).astype(np.int64), mask,
+    return SelectResult(get_backend().flatnonzero(mask), mask,
                         core.now_ps - start, phase)
 
 

@@ -15,6 +15,7 @@ import enum
 
 import numpy as np
 
+from ..compute import get_backend
 from ..errors import JafarProgrammingError
 
 #: Extremes of the signed 64-bit domain the ALUs operate on.
@@ -90,4 +91,4 @@ class ComparatorPair:
             raise JafarProgrammingError(
                 f"datapath is integer-only, got dtype {words.dtype}"
             )
-        return (words >= self.low) & (words <= self.high)
+        return get_backend().range_mask(words, self.low, self.high)

@@ -18,12 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compute import get_backend
 from ..errors import JafarProgrammingError
 
 
 def pack_mask(mask: np.ndarray) -> np.ndarray:
     """Pack a boolean row mask into the out_buf byte layout."""
-    return np.packbits(mask.astype(np.uint8), bitorder="little")
+    return get_backend().pack_mask(mask)
 
 
 def unpack_mask(buf: np.ndarray, num_rows: int) -> np.ndarray:
@@ -35,13 +36,12 @@ def unpack_mask(buf: np.ndarray, num_rows: int) -> np.ndarray:
         raise JafarProgrammingError(
             f"buffer of {buf.size} bytes cannot hold {num_rows} result bits"
         )
-    bits = np.unpackbits(buf[:need].astype(np.uint8), bitorder="little")
-    return bits[:num_rows].astype(bool)
+    return get_backend().unpack_mask(buf, num_rows)
 
 
 def positions_from_mask(buf: np.ndarray, num_rows: int) -> np.ndarray:
     """Qualifying row ids from a packed output buffer."""
-    return np.flatnonzero(unpack_mask(buf, num_rows)).astype(np.int64)
+    return get_backend().flatnonzero(unpack_mask(buf, num_rows))
 
 
 @dataclass(frozen=True)

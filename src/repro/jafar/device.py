@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..accel import JAFAR_RESOURCES, jafar_filter_body, pipeline_analysis
+from ..compute import get_backend
 from ..config import JafarCostModel
 from ..dram import Agent, AddressMapping, DDR3Timings
 from ..dram.dimm import DIMM
@@ -369,12 +370,13 @@ class JafarDevice:
         # operated on (§2.2, Handling Data Interleaving) — sibling DIMMs'
         # JAFARs own the other bits.
         from .bitmask import unpack_mask
+        backend = get_backend()
         nbytes = -(-num_rows // 8)
         current = unpack_mask(self.memory.read(out_addr, nbytes), num_rows)
-        current[owned] = mask[owned]
+        backend.merge_masked(current, owned, mask)
         self.memory.write(out_addr, pack_mask(current))
 
-        matches = int(mask.sum())
+        matches = backend.popcount(mask)
         if tracer is not None:
             tracer.end(end_ps, bursts_read=bursts_read,
                        writeback_bursts=writeback_bursts, matches=matches)
@@ -438,10 +440,11 @@ class JafarDevice:
         The caller guarantees every burst lands in ``bank``'s open row and
         carries a full burst of column words, so each iteration is exactly
         the :meth:`Rank.access` row-hit branch plus the ALU bookkeeping of
-        the per-burst loop — replayed on localized state, bit for bit.
-        Exits early at the rank's refresh deadline (the arrival check that
-        gates the hit branch); the caller's loop resumes there exactly.
-        Returns ``(bursts_done, cursor, alu_ready)``.
+        the per-burst loop — replayed on localized state, bit for bit, by
+        the active compute backend's ``fused_hit_run`` kernel.  Exits early
+        at the rank's refresh deadline (the arrival check that gates the
+        hit branch); the caller's loop resumes there exactly.  Returns
+        ``(bursts_done, cursor, alu_ready)``.
         """
         t = rank._t
         CL = t.cl_ps
@@ -462,39 +465,11 @@ class JafarDevice:
                     floor = faw
             if floor > bank.next_act_ps:
                 bank.next_act_ps = floor
-        io = rank.io_free_ps
-        b_col = bank.next_col_ps
-        b_dfree = bank._data_free_ps
-        b_pre = bank.next_pre_ps
-        done = 0
-        while done < n:
-            if cursor >= next_ref:
-                break
-            busy = io
-            if alu_ready > busy:
-                busy = alu_ready
-            if b_dfree > busy:
-                busy = b_dfree
-            cas = b_col
-            if cursor > cas:
-                cas = cursor
-            dflo = busy - CL
-            if dflo > cas:
-                cas = dflo
-            ds = cas + CL
-            de = ds + BURST
-            b_dfree = de
-            b_col = cas + TCCD
-            npre = cas + TRTP
-            if npre > b_pre:
-                b_pre = npre
-            io = de
-            proc = round(ds + wp_full)
-            if de > proc:
-                proc = de
-            alu_ready = proc
-            cursor = cas
-            done += 1
+        done, cursor, alu_ready, io, b_col, b_dfree, b_pre = (
+            get_backend().fused_hit_run(
+                n, cursor, alu_ready, rank.io_free_ps, bank.next_col_ps,
+                bank._data_free_ps, bank.next_pre_ps, next_ref,
+                CL, BURST, TCCD, TRTP, wp_full))
         bank.next_col_ps = b_col
         bank._data_free_ps = b_dfree
         bank.next_pre_ps = b_pre

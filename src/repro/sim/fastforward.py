@@ -44,11 +44,9 @@ import os
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
+from ..compute import get_backend
+from ..compute.base import MAX_EXACT_FLOAT  # noqa: F401  (re-exported)
 from ..errors import SimulationError
-
-#: Largest magnitude at which consecutive float additions of integral
-#: increments are guaranteed exact (and hence equal to extrapolation).
-MAX_EXACT_FLOAT = float(2**53)
 
 #: Periods with identical deltas required before a skip is trusted.  Two
 #: identical deltas means three identical boundary-to-boundary transitions
@@ -209,24 +207,10 @@ def apply_delta(base: tuple, delta: tuple, periods: int) -> tuple | None:
 
     Returns None when a float slot cannot be extrapolated exactly (the
     sequential additions might round); the caller must then stay exact.
+    Dispatches to the active compute backend (the reference semantics live
+    in :func:`repro.compute.python_backend.apply_delta_reference`).
     """
-    out = []
-    append = out.append
-    for value, step in zip(base, delta):
-        if step is None:
-            append(value)
-        elif type(value) is int:
-            append(value + step * periods)
-        else:  # float slot: only integral values within 2**53 are exact
-            if step == 0.0:
-                append(value)
-                continue
-            new = value + step * periods
-            if not (value.is_integer() and step.is_integer()
-                    and abs(new) <= MAX_EXACT_FLOAT):
-                return None
-            append(new)
-    return tuple(out)
+    return get_backend().apply_delta(base, delta, periods)
 
 
 class PeriodDetector:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..compute import get_backend
 from ..errors import WorkloadError
 from .generators import DOMAIN_MAX
 
@@ -41,7 +42,7 @@ def exact_bounds(values: np.ndarray, selectivity: float) -> tuple[int, int]:
         low = int(values.min())
         return low - 2, low - 1
     k = max(1, round(selectivity * values.size))
-    kth = int(np.partition(values, k - 1)[k - 1])
+    kth = get_backend().kth_smallest(values, k)
     return int(values.min()), kth
 
 
@@ -49,4 +50,5 @@ def achieved_selectivity(values: np.ndarray, low: int, high: int) -> float:
     """The fraction of rows an inclusive range actually selects."""
     if values.size == 0:
         raise WorkloadError("empty column has no selectivity")
-    return float(((values >= low) & (values <= high)).mean())
+    # count/size division is exact float64, identical to bool-mean.
+    return get_backend().count_in_range(values, low, high) / values.size

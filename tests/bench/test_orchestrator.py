@@ -2,11 +2,15 @@
 
 import json
 
+import pytest
+
 from repro.bench import SweepConfig, enumerate_sweep, run_sweep, smoke_sweep
 from repro.bench.__main__ import main as bench_main
-from repro.bench.orchestrator import (HOST_ONLY_POINT_FIELDS, compute_deltas,
+from repro.bench.orchestrator import (HOST_ONLY_POINT_FIELDS,
+                                      compare_backends, compute_deltas,
                                       diff_reports, simulated_view,
                                       write_results)
+from repro.bench.store import cache_key
 
 TINY = [
     SweepConfig("fig3_point", rows=2048, selectivity=0.0),
@@ -162,6 +166,70 @@ class TestSimulatedFieldDiff:
         out_b.write_text(json.dumps(report))
         assert bench_main(["--diff", str(out_a), str(out_b)]) == 1
         assert "differ" in capsys.readouterr().out
+
+
+class TestBackendCacheIsolation:
+    """Regression: backends share the cache *directory* but never entries.
+
+    The results are bit-identical by contract, so cross-pollination would go
+    unnoticed in outputs — but a cached python-backend point reported as a
+    numpy run would falsify the wall-clock numbers and hide backend bugs
+    from any uncached rerun. The backend therefore lives in the cache key.
+    """
+
+    def test_backend_is_part_of_cache_key(self):
+        pytest.importorskip("numpy")
+        cfg = TINY[0]
+        assert (cache_key(cfg, "fp", "python")
+                != cache_key(cfg, "fp", "numpy"))
+        assert cache_key(cfg, "fp", "python") == cache_key(cfg, "fp", "python")
+
+    def test_warm_rerun_never_crosses_backends(self, tmp_path):
+        pytest.importorskip("numpy")
+        cold_py = run_sweep(TINY, cache_dir=tmp_path, serial=True,
+                            backend="python")
+        assert cold_py["cache_hits"] == 0
+        # A different backend over the same cache dir must also run cold.
+        cold_np = run_sweep(TINY, cache_dir=tmp_path, serial=True,
+                            backend="numpy")
+        assert cold_np["cache_hits"] == 0
+        # ...while each backend's own rerun is fully warm.
+        warm_py = run_sweep(TINY, cache_dir=tmp_path, serial=True,
+                            backend="python")
+        warm_np = run_sweep(TINY, cache_dir=tmp_path, serial=True,
+                            backend="numpy")
+        assert warm_py["cache_hits"] == len(TINY)
+        assert warm_np["cache_hits"] == len(TINY)
+        for report in (cold_py, warm_py):
+            assert report["backend"] == "python"
+            assert all(p["backend"] == "python" for p in report["points"])
+        for report in (cold_np, warm_np):
+            assert report["backend"] == "numpy"
+        # The bit-identity contract: all four reports diff clean.
+        assert diff_reports(cold_py, cold_np) == []
+        assert diff_reports(cold_py, warm_py) == []
+        assert diff_reports(cold_py, warm_np) == []
+
+    def test_compare_backends_reports_identity_and_walls(self, tmp_path):
+        pytest.importorskip("numpy")
+        report = compare_backends(TINY, cache_dir=tmp_path)
+        compare = report["backend_compare"]
+        assert compare["identical"] is True
+        assert compare["mismatched_points"] == []
+        assert set(compare["points"]) == {c.name for c in TINY}
+        for walls in compare["points"].values():
+            assert walls["python_wall_s"] >= 0
+            assert walls["numpy_wall_s"] >= 0
+        assert compare["total"]["wall_speedup"] > 0
+
+    def test_cli_backend_flag(self, tmp_path, capsys):
+        code = bench_main(["--smoke", "--serial", "--backend", "python",
+                           "--cache-dir", str(tmp_path / "cache"),
+                           "--output", str(tmp_path / "out.json")])
+        assert code == 0
+        assert "python backend" in capsys.readouterr().out
+        report = json.loads((tmp_path / "out.json").read_text())
+        assert report["backend"] == "python"
 
 
 class TestSweepsAndCLI:

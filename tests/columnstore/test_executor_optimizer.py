@@ -78,7 +78,7 @@ class TestPlanValidation:
 
 
 class TestExecutor:
-    def test_select_project(self):
+    def test_select_project(self, engine):
         ctx, catalog, t, _ = make_world()
         plan = Project(Select(Scan("t"), (RangePredicate("a", 10, 20),)),
                        ("a", "b"))
@@ -88,7 +88,7 @@ class TestExecutor:
         assert (rs.column("b") == t["b"].values[mask]).all()
         assert rs.duration_ps > 0
 
-    def test_conjunctive_select(self):
+    def test_conjunctive_select(self, engine):
         ctx, catalog, t, _ = make_world()
         plan = Project(Select(Scan("t"), (RangePredicate("a", 10, 60),
                                           RangePredicate("b", 0, 4))),
@@ -135,7 +135,7 @@ class TestExecutor:
         expected = np.sort(t["a"].values)[::-1][:5]
         assert rs.column("a").tolist() == expected.tolist()
 
-    def test_ndp_and_cpu_plans_agree(self):
+    def test_ndp_and_cpu_plans_agree(self, engine):
         plan = Aggregate(Select(Scan("t"), (RangePredicate("a", 20, 70),)),
                          ("b",), (AggregateSpec("s", "a", AggKind.SUM),))
         cpu_ctx, catalog, _, _ = make_world(use_ndp=False)

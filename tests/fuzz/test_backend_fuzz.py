@@ -1,0 +1,102 @@
+"""Seeded cross-backend differential fuzzing.
+
+Each case draws a random batch of sweep configurations — rows, selectivity,
+kernel, speed grade — runs the full bench pipeline under every compute
+backend (and, for the slow campaign, in both exact and fast-forward mode),
+and demands the simulated payloads diff clean via
+:func:`repro.bench.orchestrator.diff_reports`.  Any mismatch dumps both
+reports to a JSON artifact so the divergence can be inspected offline, then
+fails naming the artifact and the seed.
+
+Seeds are fixed, so failures reproduce exactly; the ``slow``-marked campaign
+widens the seed range and row sizes for nightly runs.
+"""
+
+import json
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.bench.configs import SweepConfig
+from repro.bench.orchestrator import diff_reports, run_sweep
+from repro.compute import available_backends
+from repro.sim import fastforward as _ffm
+
+KERNELS = ("branchy", "predicated")
+GRADES = (None, "DDR3-1066G")
+
+
+def _random_configs(seed: int, max_rows: int, count: int) -> list[SweepConfig]:
+    rng = random.Random(seed)
+    configs = []
+    for i in range(count):
+        rows = rng.choice((256, 512, 1024, 2048, max_rows))
+        configs.append(SweepConfig(
+            "fig3_point",
+            rows=rows,
+            selectivity=rng.choice((0.0, 0.01, 0.25, 0.5, 0.99, 1.0)),
+            grade=rng.choice(GRADES),
+            kernel=rng.choice(KERNELS),
+            seed=rng.randrange(1 << 16),
+        ))
+    return configs
+
+
+def _dump_artifact(tmp_path, seed, mode, reports, mismatched):
+    artifact = tmp_path / f"backend_divergence_seed{seed}_{mode}.json"
+    artifact.write_text(json.dumps({
+        "seed": seed,
+        "mode": mode,
+        "mismatched_points": mismatched,
+        "reports": reports,
+    }, indent=2, sort_keys=True), encoding="utf-8")
+    return artifact
+
+
+def _run_case(seed: int, mode: str, max_rows: int, count: int, tmp_path):
+    backends = available_backends()
+    if len(backends) < 2:  # pragma: no cover - numpy importorskip'd above
+        pytest.skip("fewer than two compute backends available")
+    configs = _random_configs(seed, max_rows, count)
+    reports = {}
+    if mode == "exact":
+        with _ffm.exact_mode():
+            for backend in backends:
+                reports[backend] = run_sweep(configs, serial=True,
+                                             use_cache=False, backend=backend)
+    else:
+        for backend in backends:
+            reports[backend] = run_sweep(configs, serial=True,
+                                         use_cache=False, backend=backend)
+    baseline = backends[0]
+    for other in backends[1:]:
+        mismatched = diff_reports(reports[baseline], reports[other])
+        if mismatched:
+            artifact = _dump_artifact(tmp_path, seed, mode, reports,
+                                      mismatched)
+            pytest.fail(
+                f"backends {baseline!r} and {other!r} diverged on "
+                f"{mismatched} (seed={seed}, mode={mode}); both reports "
+                f"dumped to {artifact}")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cross_backend_fuzz(seed, tmp_path):
+    """Tier-1 campaign: small rows, fast-forward mode."""
+    _run_case(seed, "fast-forward", max_rows=4096, count=4, tmp_path=tmp_path)
+
+
+def test_cross_backend_fuzz_exact_mode(tmp_path):
+    """One exact-mode case in tier 1: the fallback path must agree too."""
+    _run_case(seed=99, mode="exact", max_rows=1024, count=3,
+              tmp_path=tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10, 22))
+@pytest.mark.parametrize("mode", ["fast-forward", "exact"])
+def test_cross_backend_fuzz_campaign(seed, mode, tmp_path):
+    """Nightly campaign: wider seeds, larger rows, both modes."""
+    _run_case(seed, mode, max_rows=16384, count=6, tmp_path=tmp_path)

@@ -33,9 +33,10 @@ def test_golden_file_covers_every_case(golden):
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_golden(name, golden):
+def test_golden(name, golden, engine):
     actual = CASES[name]()
     assert actual == golden[name], (
-        f"golden case {name!r} drifted — a simulated-time output moved. "
+        f"golden case {name!r} drifted under the {engine} backend — a "
+        "simulated-time output moved. "
         "If intentional, regenerate: PYTHONPATH=src python -m tests.golden.regen"
     )

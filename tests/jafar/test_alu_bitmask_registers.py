@@ -30,7 +30,7 @@ class TestComparator:
         assert alu.compare(20)
         assert not alu.compare(21)
 
-    def test_block_matches_scalar(self):
+    def test_block_matches_scalar(self, engine):
         alu = ComparatorPair(-5, 5)
         words = np.arange(-10, 11, dtype=np.int64)
         block = alu.compare_block(words)
@@ -89,7 +89,7 @@ class TestPredicateLowering:
 
 
 class TestBitmaskPacking:
-    def test_bit_order_is_little_endian(self):
+    def test_bit_order_is_little_endian(self, engine):
         mask = np.zeros(8, dtype=bool)
         mask[0] = True
         mask[3] = True
@@ -97,11 +97,11 @@ class TestBitmaskPacking:
 
     @settings(max_examples=100, deadline=None)
     @given(st.lists(st.booleans(), min_size=1, max_size=200))
-    def test_pack_unpack_round_trip(self, bits):
+    def test_pack_unpack_round_trip(self, engine, bits):
         mask = np.array(bits, dtype=bool)
         assert (unpack_mask(pack_mask(mask), mask.size) == mask).all()
 
-    def test_positions_from_mask(self):
+    def test_positions_from_mask(self, engine):
         mask = np.array([True, False, False, True, True], dtype=bool)
         assert positions_from_mask(pack_mask(mask), 5).tolist() == [0, 3, 4]
 

@@ -46,23 +46,23 @@ class TestSnapshotDelta:
 
 
 class TestApplyDelta:
-    def test_extrapolates_ints_additively(self):
+    def test_extrapolates_ints_additively(self, engine):
         assert apply_delta((100, 7), (10, 0), 5) == (150, 7)
 
-    def test_none_steps_carry_the_base_value(self):
+    def test_none_steps_carry_the_base_value(self, engine):
         assert apply_delta((100, "rd"), (10, None), 3) == (130, "rd")
 
-    def test_integral_floats_extrapolate_exactly(self):
+    def test_integral_floats_extrapolate_exactly(self, engine):
         assert apply_delta((2.0,), (3.0,), 4) == (14.0,)
 
-    def test_non_integral_float_refuses(self):
+    def test_non_integral_float_refuses(self, engine):
         assert apply_delta((0.5,), (1.0,), 2) is None
         assert apply_delta((0.0,), (0.3,), 2) is None
 
-    def test_float_beyond_exact_range_refuses(self):
+    def test_float_beyond_exact_range_refuses(self, engine):
         assert apply_delta((float(2**52),), (float(2**52),), 4) is None
 
-    def test_zero_float_step_is_always_safe(self):
+    def test_zero_float_step_is_always_safe(self, engine):
         assert apply_delta((0.5,), (0.0,), 1000) == (0.5,)
 
 
@@ -217,7 +217,7 @@ def _run_select(machine, rows=N_ROWS):
 
 @needs_fastforward
 class TestBitIdentity:
-    def test_device_select_matches_exact(self):
+    def test_device_select_matches_exact(self, engine):
         ffm.STATS.reset()
         fast, fast_mask = _run_select(Machine(GEM5_PLATFORM))
         assert ffm.STATS.skipped_events > 0
@@ -226,7 +226,7 @@ class TestBitIdentity:
         assert fast == exact
         assert fast_mask == exact_mask
 
-    def test_measure_point_matches_exact(self):
+    def test_measure_point_matches_exact(self, engine):
         """End to end: device run + CPU baseline + derived figures."""
         fast = measure_point(0.3, 16384, config=GEM5_PLATFORM, seed=11,
                              kernel="branchy")
