@@ -1,14 +1,20 @@
 """``python -m repro.analyze`` — the CI gate.
 
 Exit codes: 0 = clean, 1 = findings (or replay violations), 2 = usage /
-internal error.  ``--format json`` emits a machine-readable report for
-tooling; the default text format prints one finding per line in the
-``path:line:col: [rule] message`` shape editors understand.
+internal error — including pass-internal parse errors: a file the
+analyzer cannot parse means the gate did not actually run over it, which
+is an analysis failure, not a finding.  ``--format json`` emits a
+machine-readable report for tooling; the default text format prints one
+finding per line in the ``path:line:col: [rule] message`` shape editors
+understand.
 
 ``python -m repro.analyze races`` dispatches to the schedule-confluence
 harness (:mod:`repro.analyze.confluence`) instead of scanning source;
 ``python -m repro.analyze backends`` dispatches to the cross-backend
-differential harness (:mod:`repro.analyze.backends`).
+differential harness (:mod:`repro.analyze.backends`);
+``python -m repro.analyze hotpath`` dispatches to the hot-path purity and
+bounds suite (:mod:`repro.analyze.hotpath`), which subtracts its
+checked-in baseline of grandfathered findings.
 """
 
 from __future__ import annotations
@@ -71,6 +77,10 @@ def _main(argv: list[str] | None = None) -> int:
         from .backends import main as backends_main
 
         return backends_main(argv[1:])
+    if argv and argv[0] == "hotpath":
+        from .hotpath import main as hotpath_main
+
+        return hotpath_main(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -106,6 +116,8 @@ def _main(argv: list[str] | None = None) -> int:
         if args.timings:
             for name, ms in sorted(report.pass_timings_ms.items()):
                 print(f"  {name:<20} {ms:8.1f} ms")
+    if report.parse_errors:
+        return 2  # the gate did not fully run: internal error, not findings
     return 0 if report.ok else 1
 
 

@@ -19,10 +19,14 @@ Three kinds of pass:
 
 Findings can be suppressed line-by-line with an audited comment::
 
-    foo_ps = bar / 2   # analyze: allow[float-ps] reviewed: exact halves
+    foo_ps = bar / 2   # analyze: ignore[float-ps] reviewed: exact halves
 
-Suppressions without a rule name (``# analyze: allow``) silence every rule
-on that line.
+``ignore`` is the canonical spelling (``allow`` is accepted as a legacy
+alias).  Suppressions without a rule name (``# analyze: ignore``) silence
+every rule on that line; a rule name that does not match the finding's
+rule suppresses nothing.  This is the one corpus-wide suppression
+mechanism — passes must not grow private allowlists beyond the shared
+:data:`EXEMPT_SEGMENTS` path exemption below.
 """
 
 from __future__ import annotations
@@ -50,6 +54,19 @@ class Finding:
     def as_dict(self) -> dict:
         return {"rule": self.rule, "message": self.message,
                 "path": self.path, "line": self.line, "col": self.col}
+
+
+#: Path segments whose files are scaffolding, not product code: test
+#: suites, bench harnesses, examples, and the lint fixtures themselves.
+#: Passes that only constrain product code share this one exemption
+#: instead of keeping private copies.
+EXEMPT_SEGMENTS = frozenset({"tests", "benchmarks", "examples", "fixtures"})
+
+
+def path_exempt(path: str) -> bool:
+    """True when ``path`` has a segment in :data:`EXEMPT_SEGMENTS`."""
+    parts = os.path.normpath(path).split(os.sep)
+    return any(seg in EXEMPT_SEGMENTS for seg in parts)
 
 
 class Pass:
@@ -154,7 +171,8 @@ def discover(paths: list[str]) -> list[str]:
 
 # -- suppression --------------------------------------------------------------
 
-_ALLOW_RE = re.compile(r"#\s*analyze:\s*allow(?:\[([a-z0-9_,\- ]+)\])?")
+_ALLOW_RE = re.compile(
+    r"#\s*analyze:\s*(?:ignore|allow)(?:\[([a-z0-9_,\- ]+)\])?")
 
 
 def suppressed_lines(source: str) -> dict[int, set[str] | None]:

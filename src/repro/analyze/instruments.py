@@ -19,14 +19,13 @@ from __future__ import annotations
 import ast
 import os
 
-from .core import Finding, ModulePass, register
+from .core import Finding, ModulePass, path_exempt, register
 
 #: The only modules that may call the instrument constructors directly.
 _CONSTRUCTOR_HOMES = (
     os.path.join("repro", "sim", "stats.py"),
     os.path.join("repro", "obs", "metrics.py"),
 )
-_EXEMPT_SEGMENTS = {"tests", "benchmarks", "examples", "fixtures"}
 
 _INSTRUMENTS = {"Counter", "Histogram", "BusyTracker"}
 
@@ -42,10 +41,9 @@ class DirectInstrumentPass(ModulePass):
     scope = None  # repo-wide
 
     def applies_to(self, path: str) -> bool:
-        normalized = os.path.normpath(path)
-        parts = normalized.split(os.sep)
-        if _EXEMPT_SEGMENTS.intersection(parts):
+        if path_exempt(path):
             return False
+        normalized = os.path.normpath(path)
         return not any(normalized.endswith(home)
                        for home in _CONSTRUCTOR_HOMES)
 

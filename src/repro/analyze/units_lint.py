@@ -20,13 +20,11 @@ from __future__ import annotations
 import ast
 import os
 
-from .core import Finding, ModulePass, register
+from .core import Finding, ModulePass, path_exempt, register
 
 
 #: Files allowed to define raw latency/size constants.
 _CONSTANT_HOMES = ("config.py", "units.py", "timing.py")
-#: Path segments where magic numbers are test scaffolding, not product code.
-_EXEMPT_SEGMENTS = {"tests", "benchmarks", "examples", "fixtures"}
 
 _LATENCY_SUFFIXES = ("_ps", "_ns", "_cycles")
 _MAGIC_THRESHOLD = 1000
@@ -42,8 +40,7 @@ class MagicLatencyPass(ModulePass):
     scope = None  # repo-wide
 
     def applies_to(self, path: str) -> bool:
-        parts = os.path.normpath(path).split(os.sep)
-        if _EXEMPT_SEGMENTS.intersection(parts):
+        if path_exempt(path):
             return False
         return os.path.basename(path) not in _CONSTANT_HOMES
 

@@ -136,7 +136,9 @@ class PythonBackend(ComputeBackend):
             if npre > b_pre:
                 b_pre = npre
             io = de
-            proc = round(ds + wp_full)
+            # Reference semantics: exact while the command cursor stays
+            # inside the 2**52 ps sim horizon (MAX_EXACT_FLOAT is 2**53).
+            proc = round(ds + wp_full)  # analyze: ignore[float-exactness] ds < 2**52 sim horizon
             if de > proc:
                 proc = de
             alu_ready = proc

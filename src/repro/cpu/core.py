@@ -149,8 +149,10 @@ class Core:
         out_per_line_f = out_per_line.tolist()
         # Pre-convert per-line compute to picoseconds.  np.rint rounds half
         # to even exactly like round(), so cps[k] == cycles_to_ps(per_line[k])
-        # bit for bit.
-        cps = np.rint(per_line * self.clock.period_ps).astype(np.int64).tolist()
+        # bit for bit.  Per-line cycle counts stay below ~1e6 at a ~1e3 ps
+        # period, so the product is far inside int64.
+        cps = np.rint(  # analyze: ignore[int-overflow] <=1e6 cycles * ~1e3 ps/cycle
+            per_line * self.clock.period_ps).astype(np.int64).tolist()
         # The prefetcher keeps up to `depth` fetches in flight; a fetch for
         # line k is issued when the core finished consuming line k - depth
         # (or at phase start during ramp-up).  The deque is modelled as a

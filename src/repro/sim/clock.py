@@ -29,8 +29,12 @@ class ClockDomain:
         self.period_ps = period_ps(self.freq_hz)
 
     def cycles_to_ps(self, cycles: float) -> int:
-        """Duration of ``cycles`` cycles, in picoseconds (rounded)."""
-        return round(cycles * self.period_ps)
+        """Duration of ``cycles`` cycles, in picoseconds (rounded).
+
+        Callers convert per-op durations (< 2**30 cycles); at a ~1e3 ps
+        period the product stays far below 2**53, so round() is exact.
+        """
+        return round(cycles * self.period_ps)  # analyze: ignore[float-exactness] per-op, < 2**53
 
     def ps_to_cycles(self, ps: int) -> int:
         """Whole cycles elapsed in ``ps`` picoseconds (floor)."""

@@ -1,6 +1,6 @@
 """Shared fixtures for the repro.analyze tests.
 
-Fixture source files live under ``tests/analyze/fixtures/{sim,dram}/``.
+Fixture source files live under ``tests/analyze/fixtures/{sim,dram,compute}/``.
 They are copied into a temp tree before scanning because two passes
 deliberately exempt paths containing ``tests``/``fixtures`` segments
 (magic-latency treats test scaffolding as out of scope); the copy gives the

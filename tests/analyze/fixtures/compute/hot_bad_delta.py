@@ -1,0 +1,14 @@
+"""Mutation fixture: apply_delta copy with the int64 magnitude guard removed.
+
+Mirrors the numpy backend's fast-forward delta kernel, minus the
+``_INT64_SAFE`` check that routes huge extrapolations to the reference
+implementation.  The bounds pass cannot prove ``delta * reps`` fits int64.
+"""
+
+import numpy as np
+
+
+class LeakyDeltaBackend:
+    def apply_delta(self, base, delta, reps):
+        scaled = np.asarray(delta, dtype=np.int64) * np.int64(reps)
+        return np.asarray(base, dtype=np.int64) + scaled

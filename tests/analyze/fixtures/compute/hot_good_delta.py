@@ -1,0 +1,14 @@
+"""Guarded twin of hot_bad_delta: the magnitude check dominates the narrow."""
+
+import numpy as np
+
+_INT64_SAFE = 1 << 62
+
+
+class GuardedDeltaBackend:
+    def apply_delta(self, base, delta, reps):
+        bound = int(max(abs(int(d)) for d in delta)) * reps
+        if bound >= _INT64_SAFE:
+            return [int(b) + int(d) * reps for b, d in zip(base, delta)]
+        scaled = np.asarray(delta, dtype=np.int64) * np.int64(reps)
+        return np.asarray(base, dtype=np.int64) + scaled

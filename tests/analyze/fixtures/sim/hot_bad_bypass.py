@@ -1,0 +1,15 @@
+"""Mutation fixture: an element-wise row loop that bypasses repro.compute.
+
+The filter belongs in a ComputeBackend kernel (range_mask); looping over
+the values in the event loop is exactly the bypass the hotpath suite exists
+to catch.
+"""
+
+
+class Engine:
+    def run(self, values, lo, hi):
+        hits = []
+        for v in values:
+            if lo <= v <= hi:
+                hits.append(v)
+        return hits

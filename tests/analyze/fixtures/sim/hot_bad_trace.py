@@ -1,0 +1,18 @@
+"""Mutation fixture: tracer use in a hot run loop without the flag guard.
+
+Named ``hot_*`` (not ``bad_*``) because only the ``hotpath`` suite flags
+it — the default-gate fixture tests iterate ``bad_*``/``good_*`` and expect
+their verdicts from the registered passes alone.
+"""
+
+from repro.obs.tracing import _TRACE
+
+
+class Engine:
+    def __init__(self, queue):
+        self.queue = queue
+
+    def run(self):
+        for ev in self.queue:
+            tracer = _TRACE.tracer
+            tracer.emit("event", ev)

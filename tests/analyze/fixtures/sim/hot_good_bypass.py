@@ -1,0 +1,10 @@
+"""Fixed twin of hot_bad_bypass: the filter routed through the backend."""
+
+
+class Engine:
+    def __init__(self, backend):
+        self.backend = backend
+
+    def run(self, values, lo, hi):
+        mask = self.backend.range_mask(values, lo, hi)
+        return self.backend.popcount(mask)

@@ -1,0 +1,13 @@
+"""Guarded twin of hot_bad_trace: tracing behind the single-flag check."""
+
+from repro.obs.tracing import _TRACE
+
+
+class Engine:
+    def __init__(self, queue):
+        self.queue = queue
+
+    def run(self):
+        for ev in self.queue:
+            if _TRACE.on:
+                _TRACE.tracer.emit("event", ev)

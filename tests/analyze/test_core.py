@@ -52,6 +52,27 @@ class TestSuppression:
         report = run_analysis([str(tmp_path)], with_project_passes=False)
         assert [f.rule for f in report.findings] == ["float-ps"]
 
+    def test_ignore_spelling_silences_named_rule(self, tmp_path):
+        # ``ignore`` is the canonical spelling (``allow`` stays as an alias).
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "mod.py").write_text(
+            "def f(a, p):\n"
+            "    edge_ps = a / p  # analyze: ignore[float-ps] audited\n"
+        )
+        report = run_analysis([str(tmp_path)], with_project_passes=False)
+        assert report.findings == []
+
+    def test_ignore_spelling_is_rule_specific(self, tmp_path):
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "mod.py").write_text(
+            "def f(a, p):\n"
+            "    edge_ps = a / p  # analyze: ignore[wall-clock]\n"
+        )
+        report = run_analysis([str(tmp_path)], with_project_passes=False)
+        assert [f.rule for f in report.findings] == ["float-ps"]
+
     def test_bare_allow_silences_everything(self, tmp_path):
         sim = tmp_path / "sim"
         sim.mkdir()
@@ -118,10 +139,22 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "jedec" in out and "float-ps" in out
 
-    def test_parse_error_is_reported_not_raised(self, tmp_path, capsys):
+    def test_parse_error_is_reported_and_exits_two(self, tmp_path, capsys):
+        # A file the gate could not parse means the gate did not fully run:
+        # that is an internal error (2), not a findings verdict (1).
         (tmp_path / "broken.py").write_text("def f(:\n")
-        assert main([str(tmp_path), "--no-project-passes"]) == 1
+        assert main([str(tmp_path), "--no-project-passes"]) == 2
         assert "parse-error" in capsys.readouterr().out
+
+    def test_parse_error_outranks_findings(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "mod.py").write_text(
+            "def f(delay_ps, size_bytes):\n"
+            "    return delay_ps + size_bytes\n"
+        )
+        assert main([str(tmp_path), "--no-project-passes"]) == 2
+        out = capsys.readouterr().out
+        assert "parse-error" in out and "dim-mix" in out
 
     def test_json_schema_is_stable_on_clean_tree(self, tmp_path, capsys):
         (tmp_path / "fine.py").write_text("def f(x_ps):\n    return x_ps\n")
