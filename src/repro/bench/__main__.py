@@ -22,9 +22,12 @@ from ..compute import BACKEND_NAMES
 from ..errors import ReproError
 from .configs import DEFAULT_ROWS, DEFAULT_SCALE, SWEEPS, enumerate_sweep, smoke_sweep
 from .orchestrator import (
+    DEFAULT_HISTORY,
     DEFAULT_OUTPUT,
+    check_history_regression,
     compare_backends,
     diff_reports,
+    record_history,
     run_sweep,
     write_results,
 )
@@ -71,10 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "the REPRO_BACKEND env var, else numpy when "
                              "available; part of the cache key)")
     parser.add_argument("--compare-backends", action="store_true",
-                        help="run every point under each backend (serial, "
-                             "uncached), record per-backend wall-clock in "
-                             "the report's backend_compare section, and "
-                             "exit nonzero if simulated outputs differ")
+                        help="run every point under each available backend "
+                             "(serial, uncached; unavailable backends are "
+                             "skipped with a note), record per-backend "
+                             "wall-clock in the report's backend_compare "
+                             "section, and exit nonzero if simulated "
+                             "outputs differ")
+    parser.add_argument("--record-history", nargs="?", metavar="PATH",
+                        const=str(DEFAULT_HISTORY), default=None,
+                        help="append this run's summary (fingerprint, "
+                             "backend, rows, total_wall_speedup, "
+                             f"ff_skipped_events) to PATH (default "
+                             f"{DEFAULT_HISTORY}); implies --no-cache so "
+                             "wall-clock is real")
+    parser.add_argument("--history-gate", action="store_true",
+                        help="after recording, exit nonzero if the newest "
+                             "history entry is >10%% slower than the "
+                             "previous entry for the same point set")
     parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
                         help="compare two report files on simulated fields "
                              "only and exit nonzero on any mismatch")
@@ -129,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
             speedup = entry["wall_speedup"]
             tag = f"  {speedup:.2f}x" if speedup else ""
             print(f"  {name:<44} {walls}{tag}")
+        for skip in compare.get("skipped_backends", []):
+            print(f"  note: backend {skip['backend']!r} skipped "
+                  f"({skip['reason']})")
         verdict = ("bit-identical" if compare["identical"] else
                    f"MISMATCHED: {', '.join(compare['mismatched_points'])}")
         total = compare["total"]
@@ -153,9 +172,10 @@ def main(argv: list[str] | None = None) -> int:
                                backend=args.backend)
         print(f"trace written to {args.trace}")
     else:
+        use_cache = not args.no_cache and args.record_history is None
         report = run_sweep(configs, workers=args.workers,
                            cache_dir=args.cache_dir,
-                           use_cache=not args.no_cache, serial=args.serial,
+                           use_cache=use_cache, serial=args.serial,
                            exact=args.exact,
                            perturb_seed=args.perturb_seed,
                            backend=args.backend)
@@ -185,6 +205,17 @@ def main(argv: list[str] | None = None) -> int:
         if deltas["total_wall_speedup"]:
             print(f"wall-clock vs previous run: "
                   f"{deltas['total_wall_speedup']:.2f}x")
+    if args.record_history is not None:
+        entry = record_history(report, args.record_history)
+        speedup = entry["total_wall_speedup"]
+        tag = f", {speedup:.2f}x vs previous entry" if speedup else ""
+        print(f"history entry appended to {args.record_history}: "
+              f"{entry['total_wall_s']:.3f}s wall{tag}")
+        if args.history_gate:
+            ok, message = check_history_regression(args.record_history)
+            print(message)
+            if not ok:
+                return 1
     return 0
 
 

@@ -15,6 +15,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Any
 
+from ..errors import ConfigError
 from ..obs.tracer import TRACE as _TRACE
 from ..sim import fastforward as _ffm
 from ..sim.perturb import perturbed
@@ -23,6 +24,15 @@ from .runner import execute
 from .store import DEFAULT_CACHE_DIR, ResultStore, cache_key, code_fingerprint
 
 DEFAULT_OUTPUT = pathlib.Path("BENCH_results.json")
+
+#: Committed perf trajectory: one JSON line per recorded run (``--record-
+#: history``).  Entries chain PR to PR, so CI can gate on wall-clock
+#: regressions against the previous recording of the same point set.
+DEFAULT_HISTORY = pathlib.Path("BENCH_history.jsonl")
+
+#: ``--history-gate`` fails on a wall-clock regression beyond this factor
+#: vs the previous comparable history entry (>10% slower fails).
+HISTORY_REGRESSION_TOLERANCE = 0.10
 
 #: Per-point fields measured on the host rather than simulated.  They vary
 #: run to run (timers, cache state, how much work fast-forward elided) and
@@ -193,7 +203,7 @@ def diff_reports(report_a: dict[str, Any],
 
 
 def compare_backends(configs: list[SweepConfig],
-                     backends: tuple[str, ...] = ("python", "numpy"),
+                     backends: tuple[str, ...] = ("python", "numpy", "numba"),
                      cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
                      exact: bool = False) -> dict[str, Any]:
     """Run ``configs`` under every backend and fold the timings together.
@@ -204,11 +214,27 @@ def compare_backends(configs: list[SweepConfig],
     total wall-clock per backend, the last-vs-first speedup, and whether
     the simulated payloads were bit-identical across all backends
     (``identical`` — the DESIGN.md §10 contract, measured end-to-end).
+
+    Backends that cannot be constructed in this process (e.g. ``numba``
+    where numba is not installed) are skipped, not failed: they are listed
+    under ``skipped_backends`` with the reason, and the comparison runs
+    over whatever remains.  Asking for zero available backends is the only
+    error case.
     """
+    from ..compute import available_backends
+
+    usable = available_backends()
+    names = [name for name in backends if name in usable]
+    skipped = [{"backend": name, "reason": "unavailable in this environment"}
+               for name in backends if name not in usable]
+    if not names:
+        raise ConfigError(
+            f"none of the requested backends {tuple(backends)} are "
+            f"available (have: {usable})"
+        )
     reports = {name: run_sweep(configs, serial=True, cache_dir=cache_dir,
                                use_cache=False, exact=exact, backend=name)
-               for name in backends}
-    names = list(backends)
+               for name in names}
     baseline = names[0]
     mismatched = sorted({point
                          for name in names[1:]
@@ -231,6 +257,7 @@ def compare_backends(configs: list[SweepConfig],
     primary = dict(reports[names[-1]])
     primary["backend_compare"] = {
         "backends": names,
+        "skipped_backends": skipped,
         "identical": not mismatched,
         "mismatched_points": mismatched,
         "points": points,
@@ -286,3 +313,117 @@ def write_results(report: dict[str, Any],
     output.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n",
                       encoding="utf-8")
     return report
+
+
+def _history_signature(report: dict[str, Any]) -> str:
+    """What makes two history entries wall-clock comparable: the point set.
+
+    Names encode experiment/rows/selectivity/grade/..., so identical sorted
+    names means the same work was simulated.  Mode and backend are excluded
+    deliberately — a history line records *the repo's* speed for this point
+    set however it was achieved, and regressions against a faster backend's
+    entry are exactly the regressions the gate exists to catch.
+    """
+    return ",".join(sorted(p["name"] for p in report.get("points", [])))
+
+
+def read_history(path: str | pathlib.Path = DEFAULT_HISTORY) -> list[dict]:
+    """All parseable entries in the history file, oldest first."""
+    entries: list[dict] = []
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def record_history(report: dict[str, Any],
+                   path: str | pathlib.Path = DEFAULT_HISTORY,
+                   note: str | None = None) -> dict[str, Any]:
+    """Append this run's summary line to the committed perf trajectory.
+
+    One JSON object per line: fingerprint, backend, the largest row count
+    in the sweep, total wall seconds, fast-forward events skipped, and the
+    speedup vs the previous entry for the *same point set*
+    (``total_wall_speedup`` > 1 means this run was faster; ``null`` when
+    there is no comparable predecessor).  Wall-clock only ever comes from
+    uncached points — recording a cache-hit run would write a meaningless
+    near-zero wall time into the trajectory, so it is refused.
+    """
+    if any(p.get("cached") for p in report.get("points", [])):
+        raise ConfigError(
+            "refusing to record history from a run with cache hits; rerun "
+            "with --no-cache so wall_s measures actual simulation"
+        )
+    signature = _history_signature(report)
+    previous = None
+    for entry in reversed(read_history(path)):
+        if entry.get("points_sig") == signature:
+            previous = entry
+            break
+    prev_wall = previous.get("total_wall_s") if previous else None
+    total_wall_s = report["total_wall_s"]
+    speedup = (prev_wall / total_wall_s
+               if prev_wall and total_wall_s > 0 else None)
+    rows = [p.get("config", {}).get("rows") for p in report.get("points", [])]
+    rows = [r for r in rows if isinstance(r, int)]
+    entry = {
+        "fingerprint": report.get("fingerprint"),
+        "backend": report.get("backend"),
+        "rows": max(rows) if rows else None,
+        "num_points": report.get("num_points"),
+        "points_sig": signature,
+        "exact": report.get("exact", False),
+        "total_wall_s": total_wall_s,
+        "total_wall_speedup": speedup,
+        "ff_skipped_events": report.get("ff_skipped_events"),
+    }
+    if note:
+        entry["note"] = note
+    history_path = pathlib.Path(path)
+    with history_path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def check_history_regression(
+        path: str | pathlib.Path = DEFAULT_HISTORY,
+        tolerance: float = HISTORY_REGRESSION_TOLERANCE) -> tuple[bool, str]:
+    """Gate the newest history entry against its comparable predecessor.
+
+    Returns ``(ok, message)``.  Fails only when the latest entry is more
+    than ``tolerance`` slower than the previous entry with the same point
+    set; a missing file, a single entry, or no comparable predecessor all
+    pass (the trajectory has to start somewhere).
+    """
+    entries = read_history(path)
+    if not entries:
+        return True, f"history gate: no entries in {path}"
+    latest = entries[-1]
+    previous = None
+    for entry in reversed(entries[:-1]):
+        if entry.get("points_sig") == latest.get("points_sig"):
+            previous = entry
+            break
+    if previous is None:
+        return True, "history gate: no comparable predecessor entry"
+    prev_wall = previous.get("total_wall_s")
+    wall = latest.get("total_wall_s")
+    if not prev_wall or not wall:
+        return True, "history gate: missing wall-clock data"
+    ratio = wall / prev_wall
+    detail = (f"{wall:.3f}s vs previous {prev_wall:.3f}s "
+              f"({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)")
+    if ratio > 1 + tolerance:
+        return False, f"history gate: wall-clock regression — {detail}"
+    return True, f"history gate: ok — {detail}"

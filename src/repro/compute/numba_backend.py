@@ -1,0 +1,199 @@
+"""The ``numba`` backend: JIT-compiled sequential kernels (optional).
+
+Importing this module requires `numba <https://numba.pydata.org>`_; the
+registry (:func:`repro.compute._build`) import-gates it exactly like the
+numpy backend, so environments without numba simply never offer the
+backend (``available_backends`` omits it, the bench ``--backend numba``
+flag reports it unavailable, and the test matrix leg skips).
+
+Design: the scalar max/plus recurrences that the numpy backend must solve
+by fixpoint iteration (``batch_issue``) or serve element-wise
+(``fused_hit_run``, ``batch_row_timing``) are *naturally sequential* —
+exactly the shape ``@njit`` compiles to a tight native loop.  Every jitted
+function below is a line-for-line transcription of the python backend's
+reference loop over int64/float64 scalars: same operations, same order,
+same intermediate types, so results are bit-identical by construction
+(int64 covers the < 2**52 ps simulation horizon; the single float path —
+the posted-write backlog — performs the identical IEEE add/subtract
+sequence the reference does).  Everything without a sequential bottleneck
+(masks, popcounts, fold kernels) is inherited from the numpy backend
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit
+
+from .numpy_backend import NumpyBackend
+
+_NUMBA_VERSION = getattr(numba, "__version__", "unknown")
+
+
+@njit(cache=True)
+def _fused_hit_run_jit(n, cursor, alu_ready, io, b_col, b_dfree, b_pre,
+                       next_ref, cl, burst, tccd, trtp, wp_full):
+    done = 0
+    while done < n:
+        if cursor >= next_ref:
+            break
+        busy = io
+        if alu_ready > busy:
+            busy = alu_ready
+        if b_dfree > busy:
+            busy = b_dfree
+        cas = b_col
+        if cursor > cas:
+            cas = cursor
+        dflo = busy - cl
+        if dflo > cas:
+            cas = dflo
+        ds = cas + cl
+        de = ds + burst
+        b_dfree = de
+        b_col = cas + tccd
+        npre = cas + trtp
+        if npre > b_pre:
+            b_pre = npre
+        io = de
+        proc = np.int64(round(ds + wp_full))
+        if de > proc:
+            proc = de
+        alu_ready = proc
+        cursor = cas
+        done += 1
+    return done, cursor, alu_ready, io, b_col, b_dfree, b_pre
+
+
+@njit(cache=True)
+def _batch_row_timing_jit(n, arrival, col0, busfree0, latency, burst, tccd,
+                          chained):
+    cas_first = np.int64(0)
+    cas = np.int64(0)
+    de = np.int64(0)
+    col = col0
+    busfree = busfree0
+    at = arrival
+    for i in range(n):
+        cas = col
+        if at > cas:
+            cas = at
+        dflo = busfree - latency
+        if dflo > cas:
+            cas = dflo
+        de = cas + latency + burst
+        busfree = de
+        col = cas + tccd
+        if i == 0:
+            cas_first = cas
+        if chained:
+            at = de
+    return cas_first, cas, de
+
+
+@njit(cache=True)
+def _batch_issue_jit(ft, floor0, now0, cps, outs, has_outs, backlog0,
+                     post_budget, line_bytes, col0, busfree0, next_ref, cl,
+                     burst, tccd):
+    depth = ft.shape[0]
+    m = cps.shape[0]
+    issue_out = np.empty(m, dtype=np.int64)
+    de_out = np.empty(m, dtype=np.int64)
+    now_out = np.empty(m, dtype=np.int64)
+    floor = floor0
+    now = now0
+    col = col0
+    busfree = busfree0
+    backlog = backlog0
+    posts = 0
+    stall = np.int64(0)
+    cas = np.int64(0)
+    done = 0
+    for p in range(m):
+        out = outs[p] if has_outs else 0.0
+        if out:
+            # Identical float order to the reference: add, then repeated
+            # subtraction (never a division) so the running backlog state
+            # matches the per-line flow bit for bit.
+            nb = backlog + out
+            np_count = posts
+            while nb >= line_bytes:
+                nb -= line_bytes
+                np_count += 1
+            if np_count > post_budget:
+                break
+        else:
+            nb = backlog
+            np_count = posts
+        raw = ft[p] if p < depth else now_out[p - depth]
+        issue = raw if raw > floor else floor
+        if issue >= next_ref:
+            break
+        cas = col
+        if issue > cas:
+            cas = issue
+        dflo = busfree - cl
+        if dflo > cas:
+            cas = dflo
+        de = cas + cl + burst
+        busfree = de
+        col = cas + tccd
+        floor = issue
+        if de > now:
+            stall += de - now
+            now = de
+        now += cps[p]
+        backlog = nb
+        posts = np_count
+        issue_out[p] = issue
+        de_out[p] = de
+        now_out[p] = now
+        done += 1
+    return (done, issue_out[:done], de_out[:done], now_out[:done],
+            stall, posts, backlog, cas)
+
+
+class NumbaBackend(NumpyBackend):
+    """Numpy data plane + jitted sequential recurrences.
+
+    Inherits every vectorisable kernel from :class:`NumpyBackend` (they are
+    already optimal there) and replaces the three sequential max/plus
+    solves with native loops.  ``batch_issue`` in particular needs no
+    fixpoint iteration, no small-batch cutoff, and no integral-outs
+    fallback: the jitted loop IS the sequential reference.
+    """
+
+    name = "numba"
+
+    def fused_hit_run(self, n, cursor, alu_ready, io, b_col, b_dfree, b_pre,
+                      next_ref, cl, burst, tccd, trtp, wp_full):
+        done, cursor, alu_ready, io, b_col, b_dfree, b_pre = _fused_hit_run_jit(
+            np.int64(n), np.int64(cursor), np.int64(alu_ready), np.int64(io),
+            np.int64(b_col), np.int64(b_dfree), np.int64(b_pre),
+            np.int64(next_ref), np.int64(cl), np.int64(burst),
+            np.int64(tccd), np.int64(trtp), np.float64(wp_full))
+        return (int(done), int(cursor), int(alu_ready), int(io), int(b_col),
+                int(b_dfree), int(b_pre))
+
+    def batch_row_timing(self, n, arrival, col0, busfree0, latency, burst,
+                         tccd, chained=False):
+        cas_first, cas_last, de_last = _batch_row_timing_jit(
+            np.int64(n), np.int64(arrival), np.int64(col0),
+            np.int64(busfree0), np.int64(latency), np.int64(burst),
+            np.int64(tccd), bool(chained))
+        return int(cas_first), int(cas_last), int(de_last)
+
+    def batch_issue(self, ft, floor0, now0, cps, outs, backlog0, post_budget,
+                    line_bytes, col0, busfree0, next_ref, cl, burst, tccd):
+        has_outs = outs is not None
+        outs_a = (outs.astype(np.float64)
+                  if has_outs else np.empty(0, dtype=np.float64))
+        done, issue, de, now, stall, posts, backlog, cas = _batch_issue_jit(
+            np.asarray(ft, dtype=np.int64), np.int64(floor0), np.int64(now0),
+            cps.astype(np.int64), outs_a, has_outs, np.float64(backlog0),
+            np.int64(post_budget), np.float64(line_bytes), np.int64(col0),
+            np.int64(busfree0), np.int64(next_ref), np.int64(cl),
+            np.int64(burst), np.int64(tccd))
+        return (int(done), issue, de, now, int(stall), int(posts),
+                float(backlog), int(cas))

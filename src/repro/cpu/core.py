@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cache import CacheHierarchy
+from ..compute import get_backend
 from ..config import SystemConfig
 from ..dram import Agent, MemoryController, MemRequest
 from ..errors import ConfigError
@@ -36,6 +37,14 @@ from ..obs.tracer import TRACE as _TRACE
 from ..sim.clock import ClockDomain
 from ..sim.fastforward import (CONFIRM_PERIODS, FF as _FF, STATS as _FF_STATS,
                                EpochSkipper)
+
+# Minimum run length before the scan loop hands a burst to the backend's
+# ``batch_issue`` kernel.  Shorter runs (posted-write budget or row-boundary
+# capped, common at mid selectivity) stay on the inlined per-request lane
+# path, which beats per-batch slice/concat setup below this break-even.
+# Matches the numpy backend's own reference-delegation threshold, so every
+# batch that does form takes the vectorised fixpoint path.
+_BATCH_MIN = 48
 
 
 @dataclass
@@ -150,9 +159,11 @@ class Core:
         # Pre-convert per-line compute to picoseconds.  np.rint rounds half
         # to even exactly like round(), so cps[k] == cycles_to_ps(per_line[k])
         # bit for bit.  Per-line cycle counts stay below ~1e6 at a ~1e3 ps
-        # period, so the product is far inside int64.
-        cps = np.rint(  # analyze: ignore[int-overflow] <=1e6 cycles * ~1e3 ps/cycle
-            per_line * self.clock.period_ps).astype(np.int64).tolist()
+        # period, so the product is far inside int64.  The array forms feed
+        # the batch kernels; the list forms feed the per-line loop.
+        cps_a = np.rint(  # analyze: ignore[int-overflow] <=1e6 cycles * ~1e3 ps/cycle
+            per_line * self.clock.period_ps).astype(np.int64)
+        cps = cps_a.tolist()
         # The prefetcher keeps up to `depth` fetches in flight; a fetch for
         # line k is issued when the core finished consuming line k - depth
         # (or at phase start during ramp-up).  The deque is modelled as a
@@ -228,6 +239,21 @@ class Core:
                      and line_bytes == controller.mapping.burst_bytes
                      and base_addr % line_bytes == 0)
         has_writes = fuse_gate and any(out_per_line_f)
+        # Batch-formation inputs (DESIGN.md §12).  The posted-write schedule
+        # is deterministic — the running byte total divided by the line size
+        # — so the lane can predict where a drain will truncate a batch and
+        # skip unprofitable short ones.  Non-integral write volumes cannot
+        # be predicted exactly (the backlog order is float-authoritative),
+        # so such phases keep the per-line path (outs_a None disables
+        # batching when has_writes is set).
+        outs_a = None
+        posts_pc = None
+        if has_writes:
+            outs_i = np.asarray(out_per_line)
+            if bool(np.all(outs_i == np.floor(outs_i))):
+                outs_a = outs_i
+                posts_pc = (np.cumsum(outs_i.astype(np.int64))  # analyze: ignore[int-overflow] phase bytes << 2**63
+                            // line_bytes)
         fuse_retry = 0
         box = [0, 0, 0, 0.0, 0, 0]
 
@@ -264,8 +290,9 @@ class Core:
                 box[4] = lines_written
                 box[5] = ft_idx
                 new_k = self._stream_run_lane(k, nlines, base_addr, cps,
-                                              out_per_line_f, finish_times,
-                                              box, has_writes)
+                                              out_per_line_f, cps_a, outs_a,
+                                              posts_pc, finish_times, box,
+                                              has_writes)
                 if new_k > k:
                     if _TRACE.on:
                         # One synthesized span summarising the lane-served
@@ -324,7 +351,9 @@ class Core:
         return stats
 
     def _stream_run_lane(self, k: int, nlines: int, base_addr: int,
-                         cps: list, outs: list, ft: list, box: list,
+                         cps: list, outs: list, cps_a: np.ndarray,
+                         outs_a: np.ndarray | None,
+                         posts_pc: np.ndarray | None, ft: list, box: list,
                          has_writes: bool) -> int:
         """Execute a run of stream lines entirely in Python locals.
 
@@ -332,13 +361,19 @@ class Core:
         compute, posted writes, batch drains) is replayed op for op with the
         hot bank/channel/counter state held in local variables, so the
         result is bit-identical to the per-line path at a fraction of its
-        interpreter overhead.  Row hits use the inlined Bank.access hit
-        algebra; row misses (the input/output row ping-pong around drains,
-        row crossings) are replayed through the exact :meth:`Rank.access`
-        path with the locals synced down and back up around the call.  A
+        interpreter overhead.  Runs of row-hit lines inside one open row are
+        further handed to the compute backend as one ``batch_issue`` call
+        (DESIGN.md §12); batches never span a row crossing, a refresh
+        deadline, or a write-drain trigger, so the per-line flow below
+        services every boundary exactly.  Row hits outside a batch use the
+        inlined Bank.access hit algebra; row misses (the input/output row
+        ping-pong around drains, row crossings) and refresh-deadline lines
+        are replayed through the exact :meth:`Rank.access` path with the
+        locals synced down and back up around the call (the rank settles
+        the refresh inside the replay; the deadline is then reloaded).  A
         run covers at most the current bank and exits early — writing all
-        state back — at refresh deadlines or when a write drain cannot be
-        validated; the caller's per-line loop handles the boundary exactly.
+        state back — when a write drain cannot be validated; the caller's
+        per-line loop handles the boundary exactly.
 
         ``box`` carries [now_ps, issue_floor, stall_ps, write_backlog,
         lines_written, ft_idx] in and out; ``ft`` is mutated in place.
@@ -395,6 +430,8 @@ class Core:
         w_mode = 0
         w_bank = w_rank = None
         w_span_lo = w_span_hi = 0
+        w_row_tpl = 0
+        w_open = True
         if has_writes or pending or backlog > 0.0:
             wloc = mapping.decode(w_cursor)
             if (wloc.channel == loc.channel and wloc.dimm == loc.dimm
@@ -415,6 +452,7 @@ class Core:
                     w_rank = wt.rank
                     w_span_lo = wt.span_lo
                     w_span_hi = wt.span_hi
+                    w_row_tpl = wt.row
 
         t = controller._t
         CL = t.cl_ps
@@ -551,19 +589,191 @@ class Core:
             s[1] = end
 
         lane_count = 0
+        batched = 0
+        backend = get_backend()
+        batch_issue = backend.batch_issue
+        batch_hist = backend.batch_latency_hist
+        batch_mark = backend.batch_mark_busy
+        searchsorted = np.searchsorted
+        can_batch = outs_a is not None or not has_writes
         depth = len(ft)
         j = k
         bail_posts = 0
+        batch_retry = 0
         while j < limit:
             if row_countdown == 0:
                 r_row += 1
                 row_countdown = lpr
+            if can_batch and open_row_l == r_row and j >= batch_retry:
+                # Batched pipeline (DESIGN.md §12): hand the rest of the
+                # open row to the backend as one batch_issue call.  The
+                # kernel truncates at the refresh deadline and before any
+                # line whose posted writes would trigger a drain, so every
+                # boundary is replayed by the per-line flow below.  Batches
+                # shorter than the vectorisation break-even (the write-drain
+                # cadence under high selectivity) stay on the per-line path.
+                m_max = limit - j
+                if row_countdown < m_max:
+                    m_max = row_countdown
+                if outs_a is not None and m_max >= _BATCH_MIN:
+                    # lines_written counts this phase's posts so far, so the
+                    # drain truncation point is where the phase-cumulative
+                    # post count first exceeds the remaining queue budget.
+                    m_max = int(searchsorted(
+                        posts_pc[j:j + m_max],
+                        lines_written + batch - 1 - len(pending),
+                        side="right"))
+                if m_max >= _BATCH_MIN:
+                    (done, issue_a, de_a, now_a, stall_inc, n_posts,
+                     backlog_out, cas_last) = batch_issue(
+                        ft[idx:] + ft[:idx], floor, now, cps_a[j:j + m_max],
+                        outs_a[j:j + m_max] if outs_a is not None else None,
+                        backlog, batch - 1 - len(pending), line_bytes,
+                        r_next_col, bus if bus > r_dfree else r_dfree,
+                        r_next_ref, CL, BURST, TCCD)
+                    if done:
+                        if r_act_floor > r_next_act:
+                            r_next_act = r_act_floor
+                        de_last = int(de_a[-1])
+                        r_dfree = de_last
+                        cas_last = int(cas_last)
+                        r_next_col = cas_last + TCCD
+                        npre = cas_last + TRTP
+                        if npre > r_next_pre:
+                            r_next_pre = npre
+                        bus = de_last
+                        r_io = de_last
+                        r_hits += done
+                        rowh_v += done
+                        reads_v += done
+                        lane_count += done
+                        batched += done
+                        floor = int(issue_a[-1])
+                        stall += int(stall_inc)
+                        now = int(now_a[-1])
+                        # Counter folds, in stream order.  Starts are
+                        # non-decreasing (the issue floor ratchets) and every
+                        # data end strictly exceeds all previously marked
+                        # ends (each cas >= busfree - CL, so de >= busfree +
+                        # BURST), so consecutive overlapping intervals merge
+                        # into runs: marking one merged run is bit-identical
+                        # to marking each line — interior marks only extend
+                        # cur_end, and at a run break the tracker's cur_end
+                        # equals the previous line's de.
+                        if type(issue_a) is list:
+                            # Short run: scalar folds beat the ndarray
+                            # round-trip.  Latencies are folded run-length
+                            # encoded (steady-state batches repeat one
+                            # latency).
+                            run_s = run_e = None
+                            rle_lat = None
+                            rle_n = 0
+                            for b_i, b_d in zip(issue_a, de_a):
+                                lat = b_d - b_i
+                                if lat == rle_lat:
+                                    rle_n += 1
+                                else:
+                                    if rle_n:
+                                        rl_count += rle_n
+                                        rl_total += rle_lat * rle_n
+                                        rl_tsq += rle_lat * rle_lat * rle_n
+                                        if rl_min is None or rle_lat < rl_min:
+                                            rl_min = rle_lat
+                                        if rl_max is None or rle_lat > rl_max:
+                                            rl_max = rle_lat
+                                        b = (0 if rle_lat < 1
+                                             else rle_lat.bit_length())
+                                        rl_buckets[b] = (
+                                            rl_buckets.get(b, 0) + rle_n)
+                                    rle_lat = lat
+                                    rle_n = 1
+                                if run_s is None:
+                                    run_s = b_i
+                                    run_e = b_d
+                                elif b_i <= run_e:
+                                    if b_d > run_e:
+                                        run_e = b_d
+                                else:
+                                    mark(rq, run_s, run_e)
+                                    mark(cb, run_s, run_e)
+                                    run_s = b_i
+                                    run_e = b_d
+                            if rle_n:
+                                rl_count += rle_n
+                                rl_total += rle_lat * rle_n
+                                rl_tsq += rle_lat * rle_lat * rle_n
+                                if rl_min is None or rle_lat < rl_min:
+                                    rl_min = rle_lat
+                                if rl_max is None or rle_lat > rl_max:
+                                    rl_max = rle_lat
+                                b = 0 if rle_lat < 1 else rle_lat.bit_length()
+                                rl_buckets[b] = rl_buckets.get(b, 0) + rle_n
+                            mark(rq, run_s, run_e)
+                            mark(cb, run_s, run_e)
+                            now_t = now_a
+                        else:
+                            # Starts ratchet and ends are non-decreasing, so
+                            # the backend's vectorised tracker fold applies
+                            # directly — it merges overlap runs and folds the
+                            # idle-gap histogram without a per-run Python
+                            # loop (the dominant cost when the stream has a
+                            # gap between every line).
+                            batch_mark(rq, issue_a, de_a)
+                            batch_mark(cb, issue_a, de_a)
+                            lats = de_a - issue_a
+                            l0 = int(lats[0])
+                            if bool((lats == l0).all()):
+                                rl_count += done
+                                rl_total += l0 * done
+                                rl_tsq += l0 * l0 * done
+                                if rl_min is None or l0 < rl_min:
+                                    rl_min = l0
+                                if rl_max is None or l0 > rl_max:
+                                    rl_max = l0
+                                b = 0 if l0 < 1 else l0.bit_length()
+                                rl_buckets[b] = rl_buckets.get(b, 0) + done
+                            else:
+                                (rl_count, rl_total, rl_tsq, rl_min,
+                                 rl_max) = batch_hist(
+                                    rl_count, rl_total, rl_tsq, rl_min,
+                                    rl_max, rl_buckets, lats)
+                            now_t = None
+                        # The last min(done, depth) finish times land in the
+                        # ring exactly where the per-line walk would leave
+                        # them (earlier slots were overwritten).
+                        start_p = done - depth
+                        if start_p < 0:
+                            start_p = 0
+                        if now_t is None:
+                            now_t = now_a[start_p:].tolist()
+                        else:
+                            now_t = now_t[start_p:]
+                        for off, val in enumerate(now_t):
+                            ft[(idx + start_p + off) % depth] = val
+                        idx = (idx + done) % depth
+                        backlog = backlog_out
+                        if n_posts:
+                            w_end = w_cursor + n_posts * line_bytes
+                            pending.extend(range(w_cursor, w_end, line_bytes))
+                            w_cursor = w_end
+                            lines_written += n_posts
+                        j += done
+                        row_countdown -= done
+                    if done < m_max:
+                        # Truncated (refresh / post budget): let the
+                        # per-line flow handle the boundary before retrying.
+                        batch_retry = j + 1
+                    if done:
+                        continue
+                else:
+                    # Too short to vectorise; nothing changes until the
+                    # predicted truncation point (a drain resets the queue
+                    # budget there) or the next row, so skip ahead.
+                    batch_retry = j + m_max + 1
             issue = ft[idx]
             if floor > issue:
                 issue = floor
-            if issue >= r_next_ref:
-                break
-            if open_row_l == r_row:
+            if open_row_l == r_row and issue < r_next_ref:
                 # Bank.access row-hit branch + channel bus update, inlined.
                 if r_act_floor > r_next_act:
                     r_next_act = r_act_floor
@@ -585,14 +795,27 @@ class Core:
                 rowh_v += 1
                 lane_count += 1
             else:
-                # Row miss: sync the locals down and replay through the
-                # exact rank path (PRE/ACT floors, ACT-ring bookkeeping).
+                # Row miss or refresh deadline: sync the locals down and
+                # replay through the exact rank path (refresh settle, PRE/
+                # ACT floors, ACT-ring bookkeeping).  A refresh precharges
+                # every bank on the rank, so this access is a miss either
+                # way and the deadline line replays identically to the
+                # event-driven path.
+                refreshing = issue >= r_next_ref
                 r_bank.next_act_ps = r_next_act
                 r_bank.next_col_ps = r_next_col
                 r_bank._data_free_ps = r_dfree
                 r_bank.next_pre_ps = r_next_pre
                 r_bank.row_hits = r_hits
                 r_rank.io_free_ps = r_io
+                if refreshing and shared_rank and w_mode == 2:
+                    # The settle blocks every bank on the rank; hand the
+                    # write bank's progress down first so the block lands
+                    # on current floors, and re-pull it after.
+                    w_bank.next_act_ps = w_next_act
+                    w_bank.next_col_ps = w_next_col
+                    w_bank._data_free_ps = w_dfree
+                    w_bank.next_pre_ps = w_next_pre
                 de = r_rank.access(r_bank_index, r_row, issue, False,
                                    bus_free_ps=bus).data_end_ps
                 bus = de
@@ -606,6 +829,21 @@ class Core:
                 if shared_rank:
                     w_act_floor = r_act_floor
                 rowm_v += 1
+                if refreshing:
+                    r_next_ref = (r_refresh.next_refresh_ps
+                                  if r_refresh.enabled else BIG)
+                    if w_mode == 2:
+                        if shared_rank:
+                            w_next_ref = r_next_ref
+                            w_next_act = w_bank.next_act_ps
+                            w_next_col = w_bank.next_col_ps
+                            w_dfree = w_bank._data_free_ps
+                            w_next_pre = w_bank.next_pre_ps
+                            # The refresh closed the write row; the next
+                            # drain must reopen it through the exact path.
+                            w_open = False
+                    else:
+                        w_next_ref = r_next_ref
             floor = issue
             # IMCCounters.record(False, issue, de, hit, miss).
             reads_v += 1
@@ -667,30 +905,26 @@ class Core:
                     # _drain_writes: every pending write at arrival wi.
                     wi = floor if floor > now else now
                     if w_mode == 1:
-                        for w_addr in pending:
+                        # Drain bursts arrive together at wi and the queue
+                        # is line-sequential, so each same-row run collapses
+                        # to one batch_row_timing call: per-burst state
+                        # (next_col, data_free, next_pre) is affine in the
+                        # burst index and the mark sequence (wi, de_0) ..
+                        # (wi, de_last) is one mark(wi, de_last) — wi never
+                        # exceeds the running end, so only the final end
+                        # survives, identically to marking each burst.  Row
+                        # crossings (the input/output ping-pong) replay one
+                        # burst through the exact rank path first.
+                        n_pend = len(pending)
+                        pos = 0
+                        while pos < n_pend:
+                            w_addr = pending[pos]
                             w_row = (w_addr - bank_start) // row_bytes
-                            if open_row_l == w_row:
-                                if r_act_floor > r_next_act:
-                                    r_next_act = r_act_floor
-                                cas = r_next_col
-                                if wi > cas:
-                                    cas = wi
-                                dfloor = ((bus if bus > r_dfree else r_dfree)
-                                          - CWL)
-                                if dfloor > cas:
-                                    cas = dfloor
-                                de = cas + CWL + BURST
-                                r_dfree = de
-                                r_next_col = cas + TCCD
-                                npre = de + TWR
-                                if npre > r_next_pre:
-                                    r_next_pre = npre
-                                bus = de
-                                r_io = de
-                                r_hits += 1
-                                rowh_v += 1
-                                lane_count += 1
-                            else:
+                            run = (bank_start + (w_row + 1) * row_bytes
+                                   - w_addr) // line_bytes
+                            if run > n_pend - pos:
+                                run = n_pend - pos
+                            if open_row_l != w_row:
                                 r_bank.next_act_ps = r_next_act
                                 r_bank.next_col_ps = r_next_col
                                 r_bank._data_free_ps = r_dfree
@@ -709,33 +943,96 @@ class Core:
                                 r_next_pre = r_bank.next_pre_ps
                                 r_act_floor = act_floor(acts_r)
                                 rowm_v += 1
-                            writes_v += 1
+                                writes_v += 1
+                                mark(wq, wi, de)
+                                mark(cb, wi, de)
+                                pos += 1
+                                run -= 1
+                                if not run:
+                                    continue
+                            if r_act_floor > r_next_act:
+                                r_next_act = r_act_floor
+                            _, cas_l, de = backend.batch_row_timing(
+                                run, wi, r_next_col,
+                                bus if bus > r_dfree else r_dfree,
+                                CWL, BURST, TCCD)
+                            r_dfree = de
+                            r_next_col = cas_l + TCCD
+                            npre = de + TWR
+                            if npre > r_next_pre:
+                                r_next_pre = npre
+                            bus = de
+                            r_io = de
+                            r_hits += run
+                            rowh_v += run
+                            lane_count += run
+                            batched += run
+                            writes_v += run
                             mark(wq, wi, de)
                             mark(cb, wi, de)
+                            pos += run
                     else:
-                        for _ in pending:
+                        # Whole drain in one batch_row_timing call: every
+                        # burst is a hit on the confirmed write row with the
+                        # common arrival wi, so only the endpoints matter.
+                        # The mark sequence (wi, de_0) .. (wi, de_last)
+                        # collapses to one mark(wi, de_last): each later
+                        # start wi is <= the current end, so only the final
+                        # end survives and gap accounting sees the first
+                        # interval alone — identical either way.
+                        count = len(pending)
+                        if not w_open:
+                            # A refresh closed the write row since the last
+                            # drain: reopen it through the exact rank path
+                            # (PRE/ACT floors, ACT ring), then serve the
+                            # remaining bursts closed-form as row hits.
+                            w_bank.next_act_ps = w_next_act
+                            w_bank.next_col_ps = w_next_col
+                            w_bank._data_free_ps = w_dfree
+                            w_bank.next_pre_ps = w_next_pre
+                            w_bank.row_hits = w_hits
+                            w_rank.io_free_ps = w_io
+                            de_l = w_rank.access(
+                                w_bank.index, w_row_tpl, wi, True,
+                                bus_free_ps=bus).data_end_ps
+                            bus = de_l
+                            w_io = w_rank.io_free_ps
+                            w_next_act = w_bank.next_act_ps
+                            w_next_col = w_bank.next_col_ps
+                            w_dfree = w_bank._data_free_ps
+                            w_next_pre = w_bank.next_pre_ps
+                            w_hits = w_bank.row_hits
+                            w_act_floor = act_floor(acts_w)
+                            if shared_rank:
+                                r_act_floor = w_act_floor
+                            rowm_v += 1
+                            writes_v += 1
+                            lane_count += 1
+                            mark(wq, wi, de_l)
+                            mark(cb, wi, de_l)
+                            w_open = True
+                            count -= 1
+                        if count:
                             if w_act_floor > w_next_act:
                                 w_next_act = w_act_floor
-                            cas = w_next_col
-                            if wi > cas:
-                                cas = wi
-                            dfloor = (bus if bus > w_dfree else w_dfree) - CWL
-                            if dfloor > cas:
-                                cas = dfloor
-                            de = cas + CWL + BURST
-                            w_dfree = de
-                            w_next_col = cas + TCCD
-                            npre = de + TWR
+                            _, cas_l, de_l = backend.batch_row_timing(
+                                count, wi, w_next_col,
+                                bus if bus > w_dfree else w_dfree,
+                                CWL, BURST, TCCD)
+                            w_dfree = de_l
+                            w_next_col = cas_l + TCCD
+                            npre = de_l + TWR
                             if npre > w_next_pre:
                                 w_next_pre = npre
-                            bus = de
-                            w_io = de
-                            w_hits += 1
-                            lane_count += 1
-                            writes_v += 1
-                            mark(wq, wi, de)
-                            mark(cb, wi, de)
-                            rowh_v += 1
+                            bus = de_l
+                            w_io = de_l
+                            w_hits += count
+                            lane_count += count
+                            batched += count
+                            writes_v += count
+                            rowh_v += count
+                            mark(wq, wi, de_l)
+                            mark(cb, wi, de_l)
                     pending.clear()
                     floor = wi
             if bail_posts:
@@ -785,6 +1082,7 @@ class Core:
         push(cnt.write_queue, wq)
         push(cnt.combined, cb)
         _FF_STATS.lane_requests += lane_count
+        _FF_STATS.batched_requests += batched
         if bail_posts:
             # Finish the interrupted line's posting via the slow path with
             # fully written-back state (identical to the per-line flow).

@@ -223,9 +223,8 @@ class MemoryController:
         if ordered is None:
             ordered = self.policy.order(reqs, self.mapping, self.open_rows())
         completed = [self._service(req) for req in ordered]
-        for done in sorted(completed, key=lambda c: c.request.arrival_ps):
-            self.counters.record(done.request.is_write, done.request.arrival_ps,
-                                 done.finish_ps, done.row_hits, done.row_misses)
+        self.counters.record_run(
+            sorted(completed, key=lambda c: c.request.arrival_ps))
         self._last_arrival_ps = max(self._last_arrival_ps,
                                     max(r.arrival_ps for r in reqs))
         by_id = {c.request.req_id: c for c in completed}

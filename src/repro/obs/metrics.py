@@ -22,6 +22,28 @@ from ..errors import SimulationError
 from ..sim.stats import BusyTracker, Counter, Histogram
 
 
+class Gauge:
+    """A read-time-computed instrument: ``fn`` is pulled at snapshot time.
+
+    Wrapping the callable in an instrument gives gauges the same
+    ``snapshot()`` surface as :class:`~repro.sim.stats.Counter` et al., so
+    the registry's snapshot loop is one uniform method call per name — no
+    per-iteration document building in the registry itself.
+    """
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], object]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def read(self):
+        return self._fn()
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._fn()}
+
+
 class MetricsRegistry:
     """Hierarchically-named instruments, snapshotable to one JSON document.
 
@@ -71,7 +93,7 @@ class MetricsRegistry:
         """Register a read-time-computed value (e.g. summed over devices)."""
         if name in self._instruments or name in self._gauges:
             raise SimulationError(f"metric {name!r} already registered")
-        self._gauges[name] = fn
+        self._gauges[name] = Gauge(name, fn)
 
     def attach(self, instrument) -> None:
         """Adopt an already-constructed instrument under its own ``name``."""
@@ -96,5 +118,5 @@ class MetricsRegistry:
         for name in sorted(self._instruments):
             out[name] = self._instruments[name].snapshot()
         for name in sorted(self._gauges):
-            out[name] = {"type": "gauge", "value": self._gauges[name]()}
+            out[name] = self._gauges[name].snapshot()
         return dict(sorted(out.items()))

@@ -118,7 +118,7 @@ class FFStats:
     """Counters describing how much work fast-forward elided."""
 
     __slots__ = ("skipped_events", "skipped_periods", "skips",
-                 "lane_requests", "refused")
+                 "lane_requests", "batched_requests", "refused")
 
     def __init__(self) -> None:
         self.reset()
@@ -128,6 +128,7 @@ class FFStats:
         self.skipped_periods = 0   # whole periods jumped over
         self.skips = 0             # O(1) jumps performed
         self.lane_requests = 0     # requests served by the controller lane
+        self.batched_requests = 0  # lane requests served via batch kernels
         self.refused = 0           # confirmed periods not skipped (bounds)
 
     def snapshot(self) -> dict:
@@ -138,6 +139,7 @@ class FFStats:
             "skipped_periods": self.skipped_periods,
             "skips": self.skips,
             "lane_requests": self.lane_requests,
+            "batched_requests": self.batched_requests,
             "refused": self.refused,
         }
 
