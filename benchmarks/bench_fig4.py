@@ -14,6 +14,7 @@ from conftest import run_once
 from repro.analysis import (
     average_idle_cycles,
     check_figure4_shape,
+    measured_idle_summary,
     render_bars,
     render_table,
     run_figure4,
@@ -38,9 +39,28 @@ def test_figure4_idle_periods(benchmark, bench_scale):
          "est. idle (paper formula)", "true gap (simulator)"],
         rows, title=f"Counter detail (TPC-H scale={bench_scale})"))
 
+    # Ground truth the paper's methodology could not see: the measured
+    # idle-gap distribution per query, next to the pessimistic estimate.
+    measured = measured_idle_summary(points)
+    rows = [[q, f"{m['estimate_cycles']:.1f}",
+             f"{m['measured_p50_cycles']:.1f}",
+             f"{m['measured_p95_cycles']:.1f}",
+             f"{m['measured_longest_cycles']:.0f}",
+             f"{m['pessimism_ratio']:.1f}x"]
+            for q, m in measured.items()]
+    print()
+    print(render_table(
+        ["query", "est. idle (paper)", "measured p50", "measured p95",
+         "longest gap", "pessimism"],
+        rows, title="Ground-truth idle-gap percentiles (bus cycles)"))
+
     checks = check_figure4_shape(points)
     assert all(checks.values()), checks
     assert 300 <= bars["AVG"] <= 700  # paper: ~500
+    for q, m in measured.items():
+        assert m["gap_count"] > 0, f"{q}: no idle gaps recorded"
+        assert m["measured_p50_cycles"] <= m["measured_p95_cycles"] \
+            <= m["measured_longest_cycles"]
 
 
 def test_figure4_budget_arithmetic(benchmark, bench_scale):

@@ -9,14 +9,22 @@ Two engine capabilities beyond the paper's benchmarks:
 2. **Asynchronous invocation** — §3.1 notes the CPU "is free to do other
    work" while JAFAR runs; `driver.start_page()` + `pending.wait()` overlap
    CPU compute with the device, versus the spin-wait the paper measures.
+3. **Timeline counter tracks** — run TPC-H Q6 with select pushdown inside
+   `tracing()` and show the continuous per-origin bus attribution the
+   sampler records (cpu vs jafar vs refresh share of the data bus), then
+   write the Chrome-trace/Perfetto file with the counter tracks embedded.
 
 Run:  python examples/trace_and_overlap.py
 """
 
 from repro import GEM5_PLATFORM, Machine
+from repro.analysis.idle import run_query_profile
 from repro.dram import Agent, MemRequest
 from repro.jafar import JafarDriver
+from repro.obs.export import write_chrome_trace
+from repro.obs.tracer import tracing
 from repro.sim import attach_trace
+from repro.tpch import generate
 from repro.units import to_us
 from repro.workloads import uniform_column
 
@@ -68,6 +76,25 @@ def main() -> None:
     pending.wait()
     print(f"  overlapped:          {to_us(async_m.core.now_ps - t0):.1f} us "
           "(compute hides under the device time; interrupt frees the core)")
+
+    # -- timeline counter tracks -------------------------------------------------
+    print("\ntimeline: per-origin bus share during TPC-H Q6 with pushdown")
+    data = generate(scale=0.002, seed=1)
+    with tracing() as tracer:
+        run_query_profile("Q6", data, use_ndp=True)
+    summary = tracer.timeline.summary()
+    for prefix, m in sorted(summary["machines"].items()):
+        shares = "  ".join(
+            f"{origin}={m['origins'][origin]['bus_share_pct']:5.1f}%"
+            for origin in ("cpu", "jafar", "refresh"))
+        idle = m["idle"]
+        print(f"  {prefix}: bus util {m['bus_utilisation_pct']:5.1f}%   "
+              f"{shares}   idle p50 {idle['p50_ps']} ps")
+    out = "q6_pushdown.trace.json"
+    write_chrome_trace(tracer, out)
+    print(f"  counter tracks (bus_util_pct, queue_depth, busy_pct.*) "
+          f"written to {out};\n  open in Perfetto, or run: "
+          f"python -m repro.obs timeline {out}")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from .idle import (
     MONETDB_ENGINE_CYCLES_PER_ROW,
     average_idle_cycles,
     check_figure4_shape,
+    measured_idle_summary,
     run_figure4,
     run_query_profile,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "energy_ratio",
     "jafar_select_energy",
     "measure_point",
+    "measured_idle_summary",
     "render_bars",
     "render_series",
     "render_table",

@@ -22,6 +22,7 @@ from ..cpu import branchy_select, predicated_select
 from ..errors import ConfigError
 from ..obs.tracer import TRACE as _TRACE
 from ..system import Machine
+from ..system.profiler import utilisation_summary
 from ..workloads import bounds_for_selectivity, uniform_column
 
 DEFAULT_SELECTIVITIES = tuple(round(0.1 * i, 1) for i in range(11))
@@ -29,13 +30,20 @@ DEFAULT_SELECTIVITIES = tuple(round(0.1 * i, 1) for i in range(11))
 
 @dataclass(frozen=True)
 class Fig3Point:
-    """One x-position of Figure 3."""
+    """One x-position of Figure 3.
+
+    ``timeline`` is the CPU-leg controller's utilisation/idle digest
+    (:func:`repro.system.profiler.utilisation_summary`): counter-derived,
+    so bit-identical across backends, exact/fast-forward, and tracing
+    on/off.
+    """
 
     selectivity: float
     achieved_selectivity: float
     cpu_ps: int
     jafar_ps: int
     matches: int
+    timeline: dict | None = None
 
     @property
     def speedup(self) -> float:
@@ -96,8 +104,10 @@ def measure_point(selectivity: float, num_rows: int,
             "CPU and JAFAR disagree on the result: "
             f"{scan.num_matches} vs {result.matches} matches"
         )
+    timeline = utilisation_summary(cpu_machine.controller, scan.time_ps)
     return Fig3Point(selectivity, scan.num_matches / num_rows,
-                     scan.time_ps, jafar_ps, scan.num_matches)
+                     scan.time_ps, jafar_ps, scan.num_matches,
+                     timeline=timeline)
 
 
 def run_figure3(num_rows: int = 262_144,

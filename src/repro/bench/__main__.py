@@ -211,6 +211,11 @@ def main(argv: list[str] | None = None) -> int:
         tag = f", {speedup:.2f}x vs previous entry" if speedup else ""
         print(f"history entry appended to {args.record_history}: "
               f"{entry['total_wall_s']:.3f}s wall{tag}")
+        if entry.get("bus_utilisation_pct") is not None:
+            print(f"  utilisation (informational): bus "
+                  f"{entry['bus_utilisation_pct']:.1f}%, idle-gap p50 "
+                  f"{entry['idle_gap_p50_cycles']:.0f} / p95 "
+                  f"{entry['idle_gap_p95_cycles']:.0f} bus cycles")
         if args.history_gate:
             ok, message = check_history_regression(args.record_history)
             print(message)

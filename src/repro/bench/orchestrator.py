@@ -347,6 +347,31 @@ def read_history(path: str | pathlib.Path = DEFAULT_HISTORY) -> list[dict]:
     return entries
 
 
+def timeline_columns(report: dict[str, Any]) -> dict[str, Any]:
+    """Informational utilisation/idle columns for a sweep report.
+
+    Mean over the points whose payload carries the counter-derived
+    ``timeline`` digest (fig3 points); ``None`` columns when no point does.
+    These never gate — :func:`check_history_regression` compares only
+    ``total_wall_s``.
+    """
+    digests = [p["result"]["timeline"] for p in report.get("points", [])
+               if isinstance(p.get("result"), dict)
+               and p["result"].get("timeline")]
+    if not digests:
+        return {"bus_utilisation_pct": None, "idle_gap_p50_cycles": None,
+                "idle_gap_p95_cycles": None}
+    n = len(digests)
+    return {
+        "bus_utilisation_pct":
+            sum(d["bus_utilisation_pct"] for d in digests) / n,
+        "idle_gap_p50_cycles":
+            sum(d["idle_gap_p50_cycles"] for d in digests) / n,
+        "idle_gap_p95_cycles":
+            sum(d["idle_gap_p95_cycles"] for d in digests) / n,
+    }
+
+
 def record_history(report: dict[str, Any],
                    path: str | pathlib.Path = DEFAULT_HISTORY,
                    note: str | None = None) -> dict[str, Any]:
@@ -359,6 +384,12 @@ def record_history(report: dict[str, Any],
     there is no comparable predecessor).  Wall-clock only ever comes from
     uncached points — recording a cache-hit run would write a meaningless
     near-zero wall time into the trajectory, so it is refused.
+
+    Entries additionally carry informational (non-gating) utilisation/idle
+    columns averaged over the points that report a ``timeline`` digest:
+    ``bus_utilisation_pct``, ``idle_gap_p50_cycles``,
+    ``idle_gap_p95_cycles`` — ``null`` when no point carries one (e.g. the
+    analytic ``scan_estimate`` experiment).  Only ``total_wall_s`` gates.
     """
     if any(p.get("cached") for p in report.get("points", [])):
         raise ConfigError(
@@ -388,6 +419,7 @@ def record_history(report: dict[str, Any],
         "total_wall_speedup": speedup,
         "ff_skipped_events": report.get("ff_skipped_events"),
     }
+    entry.update(timeline_columns(report))
     if note:
         entry["note"] = note
     history_path = pathlib.Path(path)

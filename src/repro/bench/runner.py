@@ -44,6 +44,10 @@ def _run_fig3_point(config: SweepConfig) -> dict[str, Any]:
         "matches": point.matches,
         "achieved_selectivity": point.achieved_selectivity,
         "speedup": point.speedup,
+        # Counter-derived utilisation/idle digest (see
+        # repro.system.profiler.utilisation_summary): simulated quantities,
+        # identical across backends/modes, so the diff gates cover it.
+        "timeline": point.timeline,
     }
 
 
@@ -55,6 +59,10 @@ def _run_fig4_profile(config: SweepConfig) -> dict[str, Any]:
             p.query: {
                 "mean_idle_period_cycles": p.profile.mean_idle_period_cycles,
                 "true_mean_idle_gap_cycles": p.profile.true_mean_idle_gap_cycles,
+                "idle_gap_p50_cycles": p.profile.idle_gap_p50_cycles,
+                "idle_gap_p95_cycles": p.profile.idle_gap_p95_cycles,
+                "longest_idle_gap_cycles": p.profile.longest_idle_gap_cycles,
+                "bus_utilisation_pct": 100.0 * p.profile.bus_utilisation,
                 "reads": p.profile.reads,
                 "writes": p.profile.writes,
             }
@@ -64,6 +72,8 @@ def _run_fig4_profile(config: SweepConfig) -> dict[str, Any]:
 
 
 def _run_scan_estimate(config: SweepConfig) -> dict[str, Any]:
+    # Analytic model: no controller is simulated, so there is no counter
+    # state to derive a timeline digest from.
     platform = _platform_for(config, GEM5_PLATFORM)
     estimate = scan_estimate(platform, platform.dram_timings(), config.rows,
                              WORD_BYTES, config.selectivity, config.kernel)

@@ -278,6 +278,16 @@ class Core:
                                 skip_from_ps, self.now_ps - skip_from_ps,
                                 ff=True, periods=periods,
                                 lines=lines_per_row * periods)
+                            # Synthesized timeline sample for the skipped
+                            # span: delta[5] is lines written per period.
+                            bpl = line_bytes // controller.mapping.burst_bytes
+                            reads = lines_per_row * periods
+                            writes = delta[5] * periods
+                            tracer.timeline.synth(
+                                tracer.track_of(self, "cpu"), "cpu",
+                                skip_from_ps, self.now_ps - skip_from_ps,
+                                (reads + writes) * bpl * controller._t.burst_ps,
+                                reads=reads, writes=writes)
                         # restore_locals rebound k to the landing boundary;
                         # mark it observed (its snapshot is already primed).
                         last_boundary = k
@@ -303,6 +313,15 @@ class Core:
                             tracer.track_of(controller, "imc"),
                             self.now_ps, box[0] - self.now_ps,
                             ff=True, lines=new_k - k)
+                        # One burst per line by the fuse gate; box[4] holds
+                        # the lane's updated write count, lines_written the
+                        # pre-run one.
+                        tracer.timeline.synth(
+                            tracer.track_of(self, "cpu"), "cpu",
+                            self.now_ps, box[0] - self.now_ps,
+                            (new_k - k + box[4] - lines_written)
+                            * controller._t.burst_ps,
+                            reads=new_k - k, writes=box[4] - lines_written)
                     k = new_k
                     self.now_ps = box[0]
                     issue_floor = box[1]

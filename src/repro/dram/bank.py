@@ -26,6 +26,11 @@ class BurstTiming:
     ``pre_ps``/``act_ps`` are the issue times of the PRE and ACT commands the
     burst required (None when the row buffer already held the row) — command
     tracing and the protocol replay validator consume them.
+
+    ``[data_start_ps, data_end_ps)`` is the burst's exclusive data-bus
+    window — the unit the timeline sampler (:mod:`repro.obs.timeline`)
+    attributes to the issuing :class:`~repro.dram.commands.Agent`, so
+    per-origin bus occupancy is exact by construction.
     """
 
     cas_ps: int
@@ -35,6 +40,11 @@ class BurstTiming:
     activated_row: bool
     pre_ps: int | None = None
     act_ps: int | None = None
+
+    @property
+    def bus_busy_ps(self) -> int:
+        """Picoseconds of data-bus occupancy this burst contributed."""
+        return self.data_end_ps - self.data_start_ps
 
 
 class Bank:

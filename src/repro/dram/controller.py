@@ -300,6 +300,9 @@ class MemoryController:
             tracer.complete("wr" if is_write else "rd",
                             tracer.track_of(self, "imc"), arrival_ps,
                             data_end - arrival_ps, lane=True)
+            timeline = tracer.timeline
+            timeline.bus(rank, agent.value, data_start, data_end)
+            timeline.queue(self, is_write, arrival_ps, data_end)
         return cas, data_start, data_end
 
     def _service(self, req: MemRequest) -> CompletedRequest:
@@ -383,6 +386,7 @@ class MemoryController:
             tracer.complete("wr" if is_write else "rd",
                             tracer.track_of(self, "imc"), arrival_ps,
                             finish_ps - arrival_ps, hits=hits, misses=misses)
+            tracer.timeline.queue(self, is_write, arrival_ps, finish_ps)
         return CompletedRequest(req, issue_ps, first_data_ps, finish_ps, hits, misses)
 
     def ff_parts(self) -> list:

@@ -61,7 +61,10 @@ class Rank:
                 self.trace.record_command(ready - self.timings.trfc_ps, "REF",
                                           "refresh", self.trace_rank_id, None)
             if _TRACE.on:
-                _TRACE.tracer.rank_refresh(self, ready - self.timings.trfc_ps)
+                tracer = _TRACE.tracer
+                tracer.rank_refresh(self, ready - self.timings.trfc_ps)
+                tracer.timeline.bus(self, "refresh",
+                                    ready - self.timings.trfc_ps, ready)
         return ready
 
     def _act_floor_ps(self) -> int:
@@ -134,6 +137,9 @@ class Rank:
                                          bank, row)
                     trace.record(cas, agent.value, self.index, bank, row,
                                  is_write, True)
+                if _TRACE.on:
+                    _TRACE.tracer.timeline.bus(self, agent.value,
+                                               data_start, data_end)
                 return BurstTiming(cas, data_start, data_end, row_hit=True,
                                    activated_row=False)
         if agent is Agent.CPU and self.mode_registers.mpr_enabled:
@@ -163,9 +169,13 @@ class Rank:
                                       agent.value, self.trace_rank_id, bank, row)
             self.trace.record(timing.cas_ps, agent.value, self.index, bank,
                               row, is_write, timing.row_hit)
-        if _TRACE.on and (timing.pre_ps is not None or timing.act_ps is not None):
-            _TRACE.tracer.bank_access(self, bank, row, timing.pre_ps,
-                                      timing.act_ps)
+        if _TRACE.on:
+            tracer = _TRACE.tracer
+            if timing.pre_ps is not None or timing.act_ps is not None:
+                tracer.bank_access(self, bank, row, timing.pre_ps,
+                                   timing.act_ps)
+            tracer.timeline.bus(self, agent.value, timing.data_start_ps,
+                                timing.data_end_ps)
         return timing
 
     def ff_parts(self) -> list:

@@ -279,6 +279,15 @@ class JafarDevice:
                                     cursor_before, cursor - cursor_before,
                                     ff=True, periods=periods,
                                     events=delta[5] * periods)
+                                # delta[5]/delta[7]: bursts read / written
+                                # back per period (slot layout above).
+                                tracer.timeline.synth(
+                                    trace_track, "jafar", cursor_before,
+                                    cursor - cursor_before,
+                                    (delta[5] + delta[7]) * periods
+                                    * rank._t.burst_ps,
+                                    reads=delta[5] * periods,
+                                    writes=delta[7] * periods)
                             lo_word = max(0, (addr_before - col_addr)
                                           // WORD_BYTES)
                             hi_word = min(num_rows,
@@ -340,6 +349,10 @@ class JafarDevice:
                                             fused_start,
                                             alu_ready - fused_start,
                                             ff=True, bursts=done)
+                            tracer.timeline.synth(
+                                trace_track, "jafar", fused_start,
+                                alu_ready - fused_start,
+                                done * rank._t.burst_ps, reads=done)
                         if done:
                             last_proc_done = alu_ready
                             bursts_read += done

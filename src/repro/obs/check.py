@@ -7,6 +7,13 @@ is reported with its JSON path.  The bench payloads
 (:func:`repro.bench.runner.execute`) contain only simulated quantities, so
 an empty diff proves the zero-perturbation invariant for that run.
 
+The timeline sampler (:mod:`repro.obs.timeline`) rides the installed
+tracer, so the traced leg of this check runs with windowed counter sampling
+on as well: an empty diff simultaneously proves sampling-on and sampling-off
+payloads bit-identical.  The payloads' own ``timeline`` summary fields are
+derived from the always-on IMC counters (not from the sampler), so they are
+present and identical in both legs.
+
 Lives outside ``repro.obs.__init__`` because it imports the bench runner
 (which imports the whole simulation stack).
 """
@@ -48,8 +55,10 @@ def verify_point(config, exact: bool = False,
 
     ``exact=True`` additionally disables steady-state fast-forward for both
     runs, covering the exact path; the default covers the fast-forward path
-    (synthesized ``ff=true`` spans included).  An empty diff list means the
-    traced run's simulated payload is bit-identical.
+    (synthesized ``ff=true`` spans and synthesized timeline samples
+    included).  An empty diff list means the traced run's simulated payload
+    is bit-identical — with timeline sampling active on the traced leg, the
+    same diff also proves sampling does not perturb the simulation.
     """
     from ..bench.runner import execute
     from ..sim import fastforward as _ffm

@@ -7,6 +7,9 @@ Subcommands:
 * ``verify``  — the zero-perturbation gate: run the point untraced and
   traced, diff the simulated payloads, exit nonzero on any difference.
 * ``summary`` — print the flame-style summary of an existing trace file.
+* ``timeline`` — render the memory-system timeline report (bus utilisation,
+  per-origin traffic share, queue depths, idle-window percentiles) from an
+  existing trace file's counter-track section.
 """
 
 from __future__ import annotations
@@ -71,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="summarise an existing trace file")
     summary.add_argument("trace_file", help="a .trace.json written by "
                                             "trace/verify or repro.bench --trace")
+
+    timeline = sub.add_parser(
+        "timeline", help="render the memory-system timeline report "
+                         "(utilisation, origins, idle windows)")
+    timeline.add_argument("trace_file", help="a .trace.json written by "
+                                             "trace/verify or repro.bench "
+                                             "--trace")
+    timeline.add_argument("--json", default=None, metavar="OUT",
+                          help="also write the timeline summary as JSON")
     return parser
 
 
@@ -106,8 +118,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
         if len(diffs) > 40:
             print(f"  ... and {len(diffs) - 40} more")
         return 1
+    inventory = tracer.timeline.counter_inventory()
     print(f"{config.name} ({mode}): traced run bit-identical to untraced "
-          f"({len(tracer.events)} events recorded)")
+          f"({len(tracer.events)} events, {sum(inventory.values())} timeline "
+          f"samples across {len(inventory)} counter series)")
     if args.out:
         print(f"trace written to {args.out}")
     return 0
@@ -120,10 +134,28 @@ def cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from .timeline import render_timeline
+
+    with open(args.trace_file, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    timeline = doc.get("timeline")
+    if not timeline or not timeline.get("machines"):
+        print(f"{args.trace_file}: no timeline section (trace predates the "
+              "timeline sampler, or no memory traffic was recorded)")
+        return 1
+    print(render_timeline(timeline))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(timeline, handle, indent=1)
+        print(f"timeline summary written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {"trace": cmd_trace, "verify": cmd_verify,
-                "summary": cmd_summary}
+                "summary": cmd_summary, "timeline": cmd_timeline}
     return commands[args.command](args)
 
 

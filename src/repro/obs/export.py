@@ -1,20 +1,28 @@
 """Trace exporters: Chrome-trace/Perfetto JSON and a terminal flame summary.
 
 The JSON document follows the Trace Event Format (the ``traceEvents`` array
-with ``B``/``E``/``X``/``I`` phases plus ``M`` metadata events) that both
-``chrome://tracing`` and https://ui.perfetto.dev load directly.  Timestamps
-in that format are microseconds; simulated picoseconds are scaled by 1e-6 at
-export, with the exact ``ts_ps`` values preserved per-event under ``args``.
+with ``B``/``E``/``X``/``I`` phases plus ``M`` metadata and ``C`` counter
+events) that both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  Timestamps in that format are microseconds; simulated picoseconds
+are scaled by 1e-6 at export, with the exact ``ts_ps`` values preserved
+per-event under ``args`` (span/instant events; counter samples land on exact
+window boundaries, recovered by rescaling).
 
 Tracks map to pid/tid pairs: every machine prefix (``m0``, ``m1``, ...)
 becomes one process, and each component track (``m0.imc``,
-``m0.dram.ch0.dimm0.rank0.bank3``, ...) one named thread within it.
+``m0.dram.ch0.dimm0.rank0.bank3``, ...) one named thread within it.  The
+timeline sampler's windows (:mod:`repro.obs.timeline`) export as counter
+series on a per-machine ``timeline`` thread — ``bus_util_pct`` (stacked
+cpu/jafar/refresh/synth), ``queue_depth`` (read/write) and per-rank
+``busy_pct.*`` — and the derived summary is embedded verbatim as the
+document's ``timeline`` section for the CLI report and roundtrip tests.
 """
 
 from __future__ import annotations
 
 import json
 
+from .timeline import counter_inventory
 from .tracer import SpanTracer, TraceEvent
 
 PS_PER_US = 1_000_000
@@ -60,6 +68,8 @@ def chrome_trace(tracer: SpanTracer) -> dict:
         if event.ph == "I":
             out["s"] = "t"
         events.append(out)
+    timeline = tracer.timeline.summary()
+    _append_counter_events(events, pids, tids, timeline)
     metrics = {}
     for i, machine in enumerate(tracer.machines()):
         registry = getattr(machine, "metrics", None)
@@ -72,9 +82,65 @@ def chrome_trace(tracer: SpanTracer) -> dict:
             "clock": "simulated_ps",
             "dropped_events": tracer.dropped,
             "max_ts_ps": tracer.max_ts_ps,
+            "counter_tracks": counter_inventory(timeline),
         },
         "metrics": metrics,
+        "timeline": timeline,
     }
+
+
+def _append_counter_events(events: list, pids: dict, tids: dict,
+                           timeline: dict) -> None:
+    """Emit the timeline windows as Chrome-trace ``C`` counter samples.
+
+    Counter args are pure numeric series (Perfetto stacks them per
+    ``(pid, name)``), so exact timestamps are *not* duplicated into args;
+    windows start on exact multiples of ``window_ps`` and rescale losslessly.
+    """
+    window_ps = timeline["window_ps"]
+    for prefix in sorted(timeline["machines"]):
+        machine = timeline["machines"][prefix]
+        pid = pids.get(prefix)
+        if pid is None:
+            pid = pids[prefix] = len(pids) + 1
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": prefix}})
+        track = f"{prefix}.timeline"
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": "timeline"}})
+        for idx, cpu, jafar, refresh, synth, rq, wq, _reads, _writes \
+                in machine["windows"]:
+            ts = idx * window_ps / PS_PER_US
+            events.append({
+                "ph": "C", "name": "bus_util_pct", "pid": pid, "tid": tid,
+                "ts": ts,
+                "args": {"cpu": 100.0 * cpu / window_ps,
+                         "jafar": 100.0 * jafar / window_ps,
+                         "refresh": 100.0 * refresh / window_ps,
+                         "synth": 100.0 * synth / window_ps},
+            })
+            events.append({
+                "ph": "C", "name": "queue_depth", "pid": pid, "tid": tid,
+                "ts": ts,
+                "args": {"read": rq / window_ps, "write": wq / window_ps},
+            })
+        for suffix in sorted(machine["ranks"]):
+            rank_track = f"{prefix}.timeline.{suffix}"
+            rtid = tids.get(rank_track)
+            if rtid is None:
+                rtid = tids[rank_track] = len(tids) + 1
+                events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                               "tid": rtid,
+                               "args": {"name": f"timeline.{suffix}"}})
+            for idx, busy in machine["ranks"][suffix]:
+                events.append({
+                    "ph": "C", "name": f"busy_pct.{suffix}", "pid": pid,
+                    "tid": rtid, "ts": idx * window_ps / PS_PER_US,
+                    "args": {"busy": 100.0 * busy / window_ps},
+                })
 
 
 def write_chrome_trace(tracer: SpanTracer, path) -> None:
@@ -104,8 +170,13 @@ def events_from_doc(doc: dict) -> tuple[list[TraceEvent], int]:
         thread = threads.get((event["pid"], event["tid"]), str(event["tid"]))
         track = thread if process == "run" else f"{process}.{thread}"
         args = event.get("args", {})
+        ts_ps = args.get("ts_ps")
+        if ts_ps is None:
+            # Counter samples carry pure numeric series in args; their
+            # timestamps sit on window boundaries and rescale losslessly.
+            ts_ps = round(event.get("ts", 0) * PS_PER_US)
         out.append(TraceEvent(event["ph"], event["name"], track,
-                              args.get("ts_ps", 0), args.get("dur_ps"),
+                              ts_ps, args.get("dur_ps"),
                               args.get("trace_id", 0), args.get("span_id", 0),
                               args.get("parent_id", 0), args))
     dropped = doc.get("metadata", {}).get("dropped_events", 0)
@@ -119,17 +190,20 @@ def flame_summary(tracer: SpanTracer, width: int = 46) -> str:
     matched via the recorded span ids.
     """
     tracer.flush()
-    return summarize_events(tracer.events, tracer.dropped, width)
+    return summarize_events(tracer.events, tracer.dropped, width,
+                            counters=tracer.timeline.counter_inventory())
 
 
 def flame_summary_doc(doc: dict, width: int = 46) -> str:
     """:func:`flame_summary` over a previously-exported trace document."""
     events, dropped = events_from_doc(doc)
-    return summarize_events(events, dropped, width)
+    return summarize_events(events, dropped, width,
+                            counters=counter_inventory(
+                                doc.get("timeline", {})))
 
 
 def summarize_events(trace_events: list[TraceEvent], dropped: int = 0,
-                     width: int = 46) -> str:
+                     width: int = 46, counters: dict | None = None) -> str:
     totals: dict[tuple[str, str], tuple[int, int]] = {}
     open_begins: dict[int, int] = {}
     for event in trace_events:
@@ -148,21 +222,34 @@ def summarize_events(trace_events: list[TraceEvent], dropped: int = 0,
         key = (event.track, event.name)
         total, count = totals.get(key, (0, 0))
         totals[key] = (total + dur, count + 1)
-    if not totals:
+    if not totals and not dropped and not counters:
         return "(empty trace)"
-    peak = max(total for total, _ in totals.values()) or 1
-    lines = [f"{'track':<34} {'span':<18} {'total':>12} {'n':>7}"]
-    by_track: dict[str, list[tuple[str, int, int]]] = {}
-    for (track, name), (total, count) in totals.items():
-        by_track.setdefault(track, []).append((name, total, count))
-    for track in sorted(by_track):
-        rows = sorted(by_track[track], key=lambda r: -r[1])
-        for name, total, count in rows:
-            bar = "█" * max(1, round(width * total / peak))
-            lines.append(f"{track:<34} {name:<18} {_fmt_ps(total):>12} "
-                         f"{count:>7}  {bar}")
+    if totals:
+        peak = max(total for total, _ in totals.values()) or 1
+        lines = [f"{'track':<34} {'span':<18} {'total':>12} {'n':>7}"]
+        by_track: dict[str, list[tuple[str, int, int]]] = {}
+        for (track, name), (total, count) in totals.items():
+            by_track.setdefault(track, []).append((name, total, count))
+        for track in sorted(by_track):
+            rows = sorted(by_track[track], key=lambda r: -r[1])
+            for name, total, count in rows:
+                bar = "█" * max(1, round(width * total / peak))
+                lines.append(f"{track:<34} {name:<18} {_fmt_ps(total):>12} "
+                             f"{count:>7}  {bar}")
+    else:
+        lines = ["(no span events)"]
+    # Truncation honesty: always state the dropped count (0 included), and
+    # list the counter-series inventory, so a truncated or counter-free
+    # trace is never silently read as complete.
     if dropped:
         lines.append(f"[{dropped} events dropped at the event cap]")
+    else:
+        lines.append("[0 events dropped; span stream complete]")
+    if counters:
+        inv = ", ".join(f"{name} x{n}" for name, n in sorted(counters.items()))
+        lines.append(f"[counter tracks: {inv}]")
+    else:
+        lines.append("[no counter tracks]")
     return "\n".join(lines)
 
 

@@ -95,9 +95,14 @@ class SpanTracer:
     def __init__(self, max_events: int = MAX_EVENTS) -> None:
         if max_events < 1:
             raise SimulationError("tracer needs max_events >= 1")
+        from .timeline import TimelineSampler
+
         self.events: list[TraceEvent] = []
         self.dropped = 0
         self.max_events = max_events
+        #: Windowed counter-track sampler riding the same hook sites (and
+        #: the same ``TRACE.on`` guard) — see :mod:`repro.obs.timeline`.
+        self.timeline = TimelineSampler(self)
         self.max_ts_ps = 0
         self._stack: list[_Frame] = []
         self._next_span = 1

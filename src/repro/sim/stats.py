@@ -126,6 +126,33 @@ class Histogram:
             buckets[state[i].value] = state[i + 1]
         self.buckets = buckets
 
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the power-of-two buckets.
+
+        Exact at the extremes (returns ``min``/``max``); interior values are
+        linearly interpolated inside the containing bucket and clamped to
+        the observed range.  Good enough for reporting p50/p95 of idle-gap
+        distributions whose buckets are already the unit of interest.
+        """
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        if q <= 0:
+            return float(self.min)
+        if q >= 1:
+            return float(self.max)
+        target = q * self.count
+        cum = 0
+        for key in sorted(self.buckets):
+            n = self.buckets[key]
+            lo = 0 if key == 0 else (1 << (key - 1))
+            hi = 1 if key == 0 else (1 << key)
+            if cum + n >= target:
+                value = lo + (target - cum) / n * (hi - lo)
+                return float(min(max(value, self.min), self.max))
+            cum += n
+        return float(self.max)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -13,7 +13,7 @@ from .arbiter import (
     idle_gap_slowdown,
 )
 from .machine import Machine
-from .profiler import MCProfile, profile_controller
+from .profiler import MCProfile, profile_controller, utilisation_summary
 
 __all__ = [
     "GapBudget",
@@ -23,4 +23,5 @@ __all__ = [
     "gap_budget",
     "idle_gap_slowdown",
     "profile_controller",
+    "utilisation_summary",
 ]

@@ -35,6 +35,13 @@ class MCProfile:
     mean_idle_period_cycles: float       # the paper's pessimistic estimate
     true_mean_idle_gap_cycles: float     # simulator ground truth
     true_idle_gap_count: int
+    # Ground-truth idle-gap distribution (simulator-only; defaulted so
+    # pre-existing constructions stay valid).  Percentiles come from the
+    # combined queue's idle-gap histogram; the longest gap is exact.
+    bus_utilisation: float = 0.0
+    idle_gap_p50_cycles: float = 0.0
+    idle_gap_p95_cycles: float = 0.0
+    longest_idle_gap_cycles: float = 0.0
 
     @property
     def accesses(self) -> int:
@@ -52,7 +59,8 @@ def profile_controller(controller: MemoryController, window_ps: int,
         raise SimulationError("measurement window must be positive")
     controller.finish()
     counters = controller.counters
-    total_cycles = controller.timings.ps_to_cycles(window_ps)
+    timings = controller.timings
+    total_cycles = timings.ps_to_cycles(window_ps)
     gaps = counters.combined.idle_gaps_ps()
     return MCProfile(
         name=name,
@@ -65,4 +73,29 @@ def profile_controller(controller: MemoryController, window_ps: int,
         mean_idle_period_cycles=counters.mean_idle_period_cycles(total_cycles),
         true_mean_idle_gap_cycles=counters.true_mean_idle_gap_cycles(),
         true_idle_gap_count=gaps.count,
+        bus_utilisation=counters.combined.utilisation(window_ps),
+        idle_gap_p50_cycles=timings.ps_to_cycles(gaps.quantile(0.50)),
+        idle_gap_p95_cycles=timings.ps_to_cycles(gaps.quantile(0.95)),
+        longest_idle_gap_cycles=timings.ps_to_cycles(gaps.max or 0),
     )
+
+
+def utilisation_summary(controller: MemoryController,
+                        window_ps: int) -> dict:
+    """JSON-safe utilisation/idle digest for bench payloads and reports.
+
+    Derived entirely from the always-on IMC counters (never the optional
+    timeline sampler), so the values are bit-identical across exact vs
+    fast-forward modes, compute backends, and tracing on vs off — the bench
+    diff gates compare them like any other simulated quantity.
+    """
+    profile = profile_controller(controller, window_ps)
+    return {
+        "bus_utilisation_pct": 100.0 * profile.bus_utilisation,
+        "read_queue_utilisation_pct": 100.0 * profile.read_queue_utilisation,
+        "idle_gap_count": profile.true_idle_gap_count,
+        "idle_gap_p50_cycles": profile.idle_gap_p50_cycles,
+        "idle_gap_p95_cycles": profile.idle_gap_p95_cycles,
+        "longest_idle_gap_cycles": profile.longest_idle_gap_cycles,
+        "mean_idle_gap_cycles": profile.true_mean_idle_gap_cycles,
+    }

@@ -7,7 +7,7 @@ from repro.obs.export import (chrome_trace, events_from_doc, flame_summary,
                               write_chrome_trace)
 from repro.obs.tracer import SpanTracer
 
-VALID_PHASES = {"M", "B", "E", "X", "I"}
+VALID_PHASES = {"M", "B", "E", "X", "I", "C"}
 
 
 def _sample_tracer() -> SpanTracer:
@@ -25,10 +25,11 @@ class TestChromeTraceSchema:
     def test_document_shape_and_metadata(self):
         doc = chrome_trace(_sample_tracer())
         assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata",
-                            "metrics"}
+                            "metrics", "timeline"}
         assert doc["metadata"]["clock"] == "simulated_ps"
         assert doc["metadata"]["dropped_events"] == 0
         assert doc["metadata"]["max_ts_ps"] == 3_000_000
+        assert doc["metadata"]["counter_tracks"] == {}  # no sampled windows
         json.dumps(doc)  # must be serialisable as-is
 
     def test_every_event_is_well_formed(self):
@@ -40,6 +41,10 @@ class TestChromeTraceSchema:
             if event["ph"] == "M":
                 assert event["name"] in ("process_name", "thread_name")
                 assert "name" in event["args"]
+            elif event["ph"] == "C":
+                # Counter args are pure numeric series; timestamps rescale.
+                assert all(isinstance(v, (int, float))
+                           for v in event["args"].values())
             else:
                 assert event["args"]["ts_ps"] == round(
                     event["ts"] * 1_000_000)
@@ -107,3 +112,19 @@ class TestFlameSummary:
         tracer.complete("a", "t", 0, 1)
         tracer.complete("b", "t", 0, 1)
         assert "1 events dropped" in flame_summary(tracer)
+
+    def test_complete_trace_still_reports_drop_count(self):
+        # Truncation honesty: a complete trace says so explicitly instead
+        # of silently omitting the dropped-events line.
+        text = flame_summary(_sample_tracer())
+        assert "0 events dropped" in text
+        assert "no counter tracks" in text
+
+    def test_counter_inventory_listed(self):
+        tracer = _sample_tracer()
+        tracer._tracks[id(self)] = "m0.dram.ch0.dimm0.rank0"
+        tracer.timeline.bus(self, "cpu", 0, 500_000)
+        text = flame_summary(tracer)
+        assert "counter tracks:" in text
+        assert "m0.bus_util_pct" in text
+        assert flame_summary_doc(chrome_trace(tracer)) == text

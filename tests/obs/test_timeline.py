@@ -1,0 +1,262 @@
+"""The timeline sampler: window algebra, origin attribution, counter export.
+
+Three layers of coverage:
+
+* unit tests drive :class:`TimelineSampler` directly and pin the window
+  algebra — exact splitting of spans across window boundaries, proportional
+  distribution of synthesized occupancy, idle-gap tracking and the honesty
+  counters (gap breaks, dropped windows);
+* attribution tests run a traced fig3 point and check that all four hook
+  layers land in the right origin buckets — ``jafar`` (device direct taps),
+  ``cpu`` (controller/rank path and FF-synthesized executor samples),
+  ``refresh`` (tRFC windows) — on the right machines;
+* export tests pin the Perfetto counter-track schema and its JSON roundtrip
+  against the ``timeline`` CLI report.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.configs import SweepConfig
+from repro.obs.export import chrome_trace
+from repro.obs.timeline import (
+    DEFAULT_WINDOW_PS,
+    TimelineSampler,
+    counter_inventory,
+    render_timeline,
+)
+from repro.obs.tracer import SpanTracer, tracing
+from repro.sim import fastforward as ffm
+
+
+def _sampler(window_ps=1000):
+    tracer = SpanTracer()
+    sampler = TimelineSampler(tracer, window_ps=window_ps)
+    rank = object()
+    tracer._tracks[id(rank)] = "m0.dram.ch0.dimm0.rank0"
+    ctrl = object()
+    tracer._tracks[id(ctrl)] = "m0.imc"
+    return sampler, rank, ctrl
+
+
+class TestWindowAlgebra:
+    def test_span_inside_one_window(self):
+        sampler, rank, _ = _sampler()
+        sampler.bus(rank, "cpu", 100, 400)
+        summary = sampler.summary()
+        m = summary["machines"]["m0"]
+        assert m["windows"] == [[0, 300, 0, 0, 0, 0, 0, 0, 0]]
+        assert m["origins"]["cpu"]["busy_ps"] == 300
+
+    def test_span_straddling_window_boundary_splits_exactly(self):
+        sampler, rank, _ = _sampler(window_ps=1000)
+        sampler.bus(rank, "cpu", 800, 2300)
+        windows = sampler.summary()["machines"]["m0"]["windows"]
+        # [800,1000) + [1000,2000) + [2000,2300): 200 + 1000 + 300 ps.
+        assert [(w[0], w[1]) for w in windows] == [(0, 200), (1, 1000),
+                                                   (2, 300)]
+
+    def test_refresh_straddle_attributed_to_refresh_slot(self):
+        # A tRFC window crossing a sampling boundary — the satellite's
+        # "sample straddling tREFI refresh" edge case at unit scale.
+        sampler, rank, _ = _sampler(window_ps=1000)
+        sampler.bus(rank, "refresh", 900, 1260)
+        windows = sampler.summary()["machines"]["m0"]["windows"]
+        assert [(w[0], w[3]) for w in windows] == [(0, 100), (1, 260)]
+        assert sampler.summary()["machines"]["m0"]["origins"]["refresh"][
+            "busy_ps"] == 360
+
+    def test_zero_length_span_ignored(self):
+        sampler, rank, _ = _sampler()
+        sampler.bus(rank, "cpu", 500, 500)
+        assert sampler.empty
+
+    def test_queue_residency_and_request_counts(self):
+        sampler, _, ctrl = _sampler(window_ps=1000)
+        sampler.queue(ctrl, False, 100, 600)   # read, 500 ps residency
+        sampler.queue(ctrl, True, 1900, 2100)  # write straddling a boundary
+        m = sampler.summary()["machines"]["m0"]
+        assert m["queue"]["reads"] == 1
+        assert m["queue"]["writes"] == 1
+        by_idx = {w[0]: w for w in m["windows"]}
+        assert by_idx[0][5] == 500           # read-queue ps, slot RQ
+        assert by_idx[1][6] == 100           # write-queue ps split
+        assert by_idx[2][6] == 100
+
+    def test_idle_gaps_exact_and_percentiles(self):
+        sampler, rank, _ = _sampler()
+        sampler.bus(rank, "cpu", 0, 100)
+        sampler.bus(rank, "cpu", 200, 300)    # gap 100
+        sampler.bus(rank, "cpu", 700, 800)    # gap 400
+        idle = sampler.summary()["machines"]["m0"]["idle"]
+        assert idle["count"] == 2
+        assert idle["p50_ps"] == 100
+        assert idle["p95_ps"] == 400
+        assert idle["longest_ps"] == 400
+        assert idle["total_ps"] == 500
+
+    def test_synth_distributes_busy_proportionally(self):
+        sampler, _, _ = _sampler(window_ps=1000)
+        # 900 busy ps over [500, 2500): overlaps 500/1000/500 → shares
+        # 225/450/225 (integer split, remainder to the last window).
+        sampler.synth("m0.cpu", "cpu", 500, 2000, 900, reads=10)
+        m = sampler.summary()["machines"]["m0"]
+        shares = [(w[0], w[1], w[4]) for w in m["windows"]]
+        assert shares == [(0, 225, 225), (1, 450, 450), (2, 225, 225)]
+        assert m["origins"]["cpu"]["busy_ps"] == 900
+        assert m["synth"]["busy_ps"] == 900
+        assert m["queue"]["reads"] == 10
+
+    def test_synth_breaks_idle_gap_tracking(self):
+        sampler, rank, _ = _sampler()
+        sampler.bus(rank, "cpu", 0, 100)
+        sampler.synth("m0.cpu", "cpu", 100, 400, 200)
+        sampler.bus(rank, "cpu", 900, 1000)
+        m = sampler.summary()["machines"]["m0"]
+        assert m["synth"]["gap_breaks"] == 1
+        # The 500..900 gap after the synth span counts; nothing inside it.
+        assert m["idle"]["count"] == 1
+        assert m["idle"]["longest_ps"] == 400
+
+    def test_window_cap_drops_and_counts(self):
+        sampler, rank, _ = _sampler(window_ps=10)
+        sampler.max_windows = sampler._window_budget = 2
+        sampler.bus(rank, "cpu", 0, 50)  # needs 5 windows
+        assert sampler.dropped_windows > 0
+        summary = sampler.summary()
+        assert summary["dropped_windows"] == sampler.dropped_windows
+
+    def test_per_rank_tracks_recorded(self):
+        sampler, rank, _ = _sampler()
+        sampler.bus(rank, "jafar", 0, 1500)
+        ranks = sampler.summary()["machines"]["m0"]["ranks"]
+        assert list(ranks) == ["dram.ch0.dimm0.rank0"]
+        assert ranks["dram.ch0.dimm0.rank0"] == [[0, 1000], [1, 500]]
+
+
+class TestAttribution:
+    """Per-origin attribution across the four hook layers, end to end."""
+
+    @pytest.fixture(scope="class")
+    def traced_summary(self):
+        from repro.bench.runner import execute
+
+        with tracing() as tracer:
+            execute(SweepConfig("fig3_point", rows=1 << 13, selectivity=0.5))
+        return tracer.timeline.summary()
+
+    def test_machines_split_jafar_and_cpu(self, traced_summary):
+        machines = traced_summary["machines"]
+        # m0 = JAFAR machine, m1 = CPU machine (measure_point build order).
+        assert machines["m0"]["origins"]["jafar"]["busy_ps"] > 0
+        assert machines["m0"]["origins"]["cpu"]["busy_ps"] == 0
+        assert machines["m1"]["origins"]["cpu"]["busy_ps"] > 0
+        assert machines["m1"]["origins"]["jafar"]["busy_ps"] == 0
+
+    def test_refresh_traffic_attributed(self, traced_summary):
+        # The CPU scan is long enough to cross several tREFI deadlines.
+        assert traced_summary["machines"]["m1"]["origins"]["refresh"][
+            "busy_ps"] > 0
+
+    def test_ff_synthesized_samples_flagged(self, traced_summary):
+        if not ffm.FF.on:
+            pytest.skip("fast-forward disabled in this environment")
+        assert any(m["synth"]["busy_ps"] > 0
+                   for m in traced_summary["machines"].values())
+
+    def test_exact_mode_has_no_synth_samples(self):
+        from repro.bench.runner import execute
+
+        with tracing() as tracer:
+            with ffm.exact_mode():
+                execute(SweepConfig("fig3_point", rows=1 << 12,
+                                    selectivity=0.5))
+        summary = tracer.timeline.summary()
+        assert summary["machines"]
+        for m in summary["machines"].values():
+            assert m["synth"]["busy_ps"] == 0
+            assert m["synth"]["gap_breaks"] == 0
+
+    def test_bus_share_sums_to_100(self, traced_summary):
+        for m in traced_summary["machines"].values():
+            total = sum(m["origins"][o]["bus_share_pct"]
+                        for o in ("cpu", "jafar", "refresh"))
+            assert total == pytest.approx(100.0)
+
+
+class TestCounterExport:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        from repro.bench.runner import execute
+
+        with tracing() as tracer:
+            execute(SweepConfig("fig3_point", rows=1 << 13, selectivity=0.5))
+        return chrome_trace(tracer)
+
+    def test_counter_series_present(self, doc):
+        names = {(e["pid"], e["name"]) for e in doc["traceEvents"]
+                 if e["ph"] == "C"}
+        series = {name for _, name in names}
+        assert "bus_util_pct" in series
+        assert "queue_depth" in series
+        assert any(name.startswith("busy_pct.") for name in series)
+
+    def test_inventory_matches_event_stream(self, doc):
+        counts: dict[str, int] = {}
+        processes = {e["pid"]: e["args"]["name"]
+                     for e in doc["traceEvents"]
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        for event in doc["traceEvents"]:
+            if event["ph"] != "C":
+                continue
+            key = f"{processes[event['pid']]}.{event['name']}"
+            counts[key] = counts.get(key, 0) + 1
+        assert counts == doc["metadata"]["counter_tracks"]
+        assert counts == counter_inventory(doc["timeline"])
+
+    def test_counter_args_are_stacked_origin_series(self, doc):
+        sample = next(e for e in doc["traceEvents"]
+                      if e["ph"] == "C" and e["name"] == "bus_util_pct")
+        assert set(sample["args"]) == {"cpu", "jafar", "refresh", "synth"}
+        depth = next(e for e in doc["traceEvents"]
+                     if e["ph"] == "C" and e["name"] == "queue_depth")
+        assert set(depth["args"]) == {"read", "write"}
+
+    def test_timeline_section_roundtrips_through_json(self, doc):
+        reloaded = json.loads(json.dumps(doc))
+        assert reloaded["timeline"] == doc["timeline"]
+        report = render_timeline(reloaded["timeline"])
+        assert "data-bus utilisation" in report
+        assert "idle gaps" in report
+
+    def test_render_covers_origins_and_percentiles(self, doc):
+        report = render_timeline(doc["timeline"])
+        assert "cpu" in report
+        assert "p50" in report and "p95" in report
+
+    def test_window_width_is_simulated_time(self, doc):
+        assert doc["timeline"]["window_ps"] == DEFAULT_WINDOW_PS
+
+
+class TestCli:
+    def test_timeline_command_renders_and_writes_json(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        trace_path = tmp_path / "point.trace.json"
+        out_path = tmp_path / "point.timeline.json"
+        assert main(["trace", "--rows", "8192", "--no-summary",
+                     "--out", str(trace_path)]) == 0
+        assert main(["timeline", str(trace_path),
+                     "--json", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "data-bus utilisation" in text
+        summary = json.loads(out_path.read_text())
+        assert summary["machines"]
+
+    def test_timeline_command_rejects_counterless_doc(self, tmp_path):
+        from repro.obs.cli import main
+
+        path = tmp_path / "empty.trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["timeline", str(path)]) == 1

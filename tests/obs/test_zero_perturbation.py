@@ -43,6 +43,10 @@ def test_traced_point_bit_identical_to_untraced(exact):
     diffs, tracer = verify_point(config, exact=exact)
     assert diffs == [], "\n".join(diffs)
     assert tracer.events, "the traced run must actually have recorded spans"
+    # The timeline sampler rides the tracer, so the empty diff above also
+    # proves sampling-on == sampling-off; the traced leg must really have
+    # sampled (otherwise the claim is vacuous).
+    assert not tracer.timeline.empty, "the traced run must have sampled"
     assert not TRACE.on, "verify_point must uninstall its tracer"
 
 
@@ -65,3 +69,15 @@ class TestGoldensUnderTracing:
             with ffm.exact_mode():
                 assert CASES["fig3_predicated"]() == golden["fig3_predicated"]
         assert tracer.events
+
+    def test_goldens_unchanged_with_sampling_active(self, golden, engine):
+        """Sampling on, both backends (``engine`` fixture), FF and exact:
+        the golden numbers must not move, and windows must be recorded."""
+        with tracing() as tracer:
+            assert CASES["fig3_small"]() == golden["fig3_small"]
+            with ffm.exact_mode():
+                assert CASES["fig3_predicated"]() == golden["fig3_predicated"]
+        assert not tracer.timeline.empty
+        summary = tracer.timeline.summary()
+        assert any(m["origins"]["cpu"]["busy_ps"] > 0
+                   for m in summary["machines"].values())
